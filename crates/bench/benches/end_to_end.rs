@@ -1,0 +1,79 @@
+//! End-to-end solver comparison at n = 289 on the Fig.-11 machine: wall
+//! time of *our implementations* (simulation included for the distributed
+//! ones) to reach RMS 10⁻⁶. Complements `repro cmp-*`, which reports
+//! simulated time.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dtm_bench::{fig11_topology, mesh_config, paper_split, paper_system};
+use dtm_core::baselines::{self, BlockJacobiConfig};
+use dtm_core::solver::{self, ComputeModel, Termination};
+use dtm_core::vtm;
+use dtm_simnet::SimDuration;
+use dtm_sparse::solvers::{cg, IterConfig};
+use dtm_sparse::SparseCholesky;
+use std::hint::black_box;
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let side = 17;
+    let topo = fig11_topology();
+    let ss = paper_split(side, 4, 4, &topo);
+    let (a, b) = paper_system(side);
+    let asg = dtm_graph::partition::grid_blocks(side, side, 4, 4);
+    let tol = 1e-6;
+
+    let mut group = c.benchmark_group("end_to_end_289");
+    group.bench_function("dtm_simulated", |bench| {
+        bench.iter(|| {
+            let r = solver::solve(&ss, fig11_topology(), None, &mesh_config(tol, 120_000.0))
+                .expect("runs");
+            black_box(r.final_rms)
+        });
+    });
+    group.bench_function("vtm_rounds", |bench| {
+        bench.iter(|| {
+            let r = vtm::solve(
+                &ss,
+                None,
+                &vtm::VtmConfig {
+                    tol,
+                    ..Default::default()
+                },
+            )
+            .expect("runs");
+            black_box(r.final_rms)
+        });
+    });
+    group.bench_function("async_block_jacobi_simulated", |bench| {
+        let config = BlockJacobiConfig {
+            compute: ComputeModel::Fixed(SimDuration::from_millis_f64(1.0)),
+            termination: Termination::OracleRms { tol },
+            horizon: SimDuration::from_millis_f64(240_000.0),
+            ..Default::default()
+        };
+        bench.iter(|| {
+            let r = baselines::solve_async(&a, &b, &asg, fig11_topology(), None, &config)
+                .expect("runs");
+            black_box(r.final_rms)
+        });
+    });
+    group.bench_function("cg_sequential", |bench| {
+        bench.iter(|| {
+            let r = cg::solve(&a, &b, &IterConfig::with_rtol(1e-10));
+            black_box(r.residual)
+        });
+    });
+    group.bench_function("sparse_cholesky_direct", |bench| {
+        bench.iter(|| {
+            let x = SparseCholesky::factor_rcm(&a).expect("SPD").solve(&b);
+            black_box(x[0])
+        });
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_end_to_end
+}
+criterion_main!(benches);

@@ -1,0 +1,81 @@
+//! Raw discrete-event engine throughput: events per second with message
+//! ping-pong and with a 16-node mesh flood — the simulator must stay out of
+//! the way of the solver being measured.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dtm_simnet::{Ctx, DelayModel, Engine, Envelope, Node, SimDuration, SimTime, Topology};
+use std::hint::black_box;
+
+struct Pinger {
+    id: usize,
+    hops: u64,
+}
+
+impl Node for Pinger {
+    type Msg = u64;
+    fn start(&mut self, ctx: &mut Ctx<u64>) {
+        if self.id == 0 {
+            ctx.send(1, 0);
+        }
+    }
+    fn receive(&mut self, ctx: &mut Ctx<u64>, batch: Vec<Envelope<u64>>) {
+        for env in batch {
+            if env.payload < self.hops {
+                ctx.send(1 - self.id, env.payload + 1);
+            }
+        }
+    }
+}
+
+struct Gossiper;
+
+impl Node for Gossiper {
+    type Msg = u32;
+    fn start(&mut self, ctx: &mut Ctx<u32>) {
+        let neighbors: Vec<usize> = ctx.neighbors().collect();
+        for n in neighbors {
+            ctx.send(n, 0);
+        }
+    }
+    fn receive(&mut self, ctx: &mut Ctx<u32>, batch: Vec<Envelope<u32>>) {
+        ctx.set_compute(SimDuration::from_micros_f64(100.0));
+        let hop = batch.iter().map(|e| e.payload).max().unwrap_or(0);
+        if hop < 200 {
+            let neighbors: Vec<usize> = ctx.neighbors().collect();
+            for n in neighbors {
+                ctx.send(n, hop + 1);
+            }
+        }
+    }
+}
+
+fn bench_engine(c: &mut Criterion) {
+    c.bench_function("pingpong_10k_messages", |bench| {
+        bench.iter(|| {
+            let topo = Topology::complete(2).with_delays(&DelayModel::fixed_us(5.0));
+            let mut engine = Engine::new(
+                topo,
+                vec![Pinger { id: 0, hops: 10_000 }, Pinger { id: 1, hops: 10_000 }],
+            );
+            let out = engine.run_until(SimTime::from_nanos(u64::MAX - 1));
+            black_box(out.events)
+        });
+    });
+
+    c.bench_function("mesh4x4_gossip_200_rounds", |bench| {
+        bench.iter(|| {
+            let topo = Topology::mesh(4, 4).with_delays(&DelayModel::uniform_ms(1.0, 9.0, 3));
+            let nodes = (0..16).map(|_| Gossiper).collect();
+            let mut engine = Engine::new(topo, nodes);
+            let out = engine.run_until(SimTime::from_nanos(u64::MAX - 1));
+            black_box(out.events)
+        });
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_engine
+}
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Cost of the preprocessing pipeline: plan derivation (greedy cut cover),
+//! Electric Vertex Splitting, and reverse Cuthill–McKee ordering, at the
+//! paper's largest size (n = 4225 on 64 parts).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dtm_graph::evs::{split, EvsOptions};
+use dtm_graph::{partition, ElectricGraph, PartitionPlan};
+use dtm_sparse::{generators, ordering};
+use std::hint::black_box;
+
+fn bench_evs(c: &mut Criterion) {
+    let a = generators::grid2d_random(65, 65, 1.0, 7);
+    let b = generators::random_rhs(65 * 65, 8);
+    let g = ElectricGraph::from_system(a.clone(), b).expect("symmetric");
+    let asg = partition::grid_blocks(65, 65, 8, 8);
+
+    c.bench_function("plan_from_assignment_4225", |bench| {
+        bench.iter(|| black_box(PartitionPlan::from_assignment(&g, &asg).expect("valid")));
+    });
+
+    let plan = PartitionPlan::from_assignment(&g, &asg).expect("valid");
+    c.bench_function("evs_split_4225_into_64", |bench| {
+        bench.iter(|| black_box(split(&g, &plan, &EvsOptions::default()).expect("splits")));
+    });
+
+    c.bench_function("rcm_ordering_4225", |bench| {
+        bench.iter(|| black_box(ordering::reverse_cuthill_mckee(&a)));
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_evs
+}
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! §5's key performance remark: the DTM local matrix is constant, so the
+//! Cholesky factor is computed **once** and every boundary update costs only
+//! a substitution. This bench quantifies the claim by comparing
+//! factor-once + substitute against refactor-every-update.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dtm_core::impedance::{per_port, ImpedancePolicy};
+use dtm_core::local::{LocalSolverKind, LocalSystem};
+use dtm_bench::{fig11_topology, paper_split};
+use std::hint::black_box;
+
+fn bench_local_solve(c: &mut Criterion) {
+    let topo = fig11_topology();
+    let ss = paper_split(33, 4, 4, &topo); // n = 1089 on 16 parts
+    let z = ImpedancePolicy::default().assign(&ss).expect("impedances");
+    let zp = per_port(&ss, &z);
+    let sd = &ss.subdomains[5]; // an interior part with many ports
+
+    let mut group = c.benchmark_group("local_solve");
+    for kind in [LocalSolverKind::Dense, LocalSolverKind::SparseRcm] {
+        let label = format!("{kind:?}");
+        // Factor once, substitute per update (the DTM design).
+        group.bench_with_input(
+            BenchmarkId::new("substitute_only", &label),
+            &kind,
+            |bench, &kind| {
+                let mut ls = LocalSystem::new(sd, &zp[5], kind).expect("factors");
+                let mut t = 0.0f64;
+                bench.iter(|| {
+                    t += 0.01;
+                    for p in 0..ls.n_ports() {
+                        ls.set_remote(p, t.sin(), t.cos());
+                    }
+                    black_box(ls.solve()[0])
+                });
+            },
+        );
+        // Strawman: refactor on every update.
+        group.bench_with_input(
+            BenchmarkId::new("refactor_every_update", &label),
+            &kind,
+            |bench, &kind| {
+                let mut t = 0.0f64;
+                bench.iter(|| {
+                    let mut ls = LocalSystem::new(sd, &zp[5], kind).expect("factors");
+                    t += 0.01;
+                    for p in 0..ls.n_ports() {
+                        ls.set_remote(p, t.sin(), t.cos());
+                    }
+                    black_box(ls.solve()[0])
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_local_solve
+}
+criterion_main!(benches);

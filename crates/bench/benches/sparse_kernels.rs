@@ -1,0 +1,71 @@
+//! Substrate kernels: sparse matvec, sparse vs dense Cholesky
+//! factorization and substitution at DTM-local-system sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dtm_sparse::{generators, DenseCholesky, SparseCholesky};
+use std::hint::black_box;
+
+fn bench_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matvec");
+    for side in [17usize, 33, 65] {
+        let a = generators::grid2d_random(side, side, 1.0, 5);
+        let x = generators::random_rhs(a.n_rows(), 6);
+        group.bench_with_input(BenchmarkId::from_parameter(side * side), &a, |bench, a| {
+            let mut y = vec![0.0; a.n_rows()];
+            bench.iter(|| {
+                a.matvec_into(&x, &mut y);
+                black_box(y[0])
+            });
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("cholesky_factor");
+    for side in [9usize, 17, 33] {
+        let a = generators::grid2d_random(side, side, 1.0, 5);
+        group.bench_with_input(
+            BenchmarkId::new("sparse_rcm", side * side),
+            &a,
+            |bench, a| {
+                bench.iter(|| black_box(SparseCholesky::factor_rcm(a).expect("SPD").nnz_l()));
+            },
+        );
+        if side <= 17 {
+            group.bench_with_input(
+                BenchmarkId::new("dense", side * side),
+                &a,
+                |bench, a| {
+                    bench.iter(|| black_box(DenseCholesky::factor_csr(a).expect("SPD").n()));
+                },
+            );
+        }
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("cholesky_substitute");
+    for side in [9usize, 17, 33] {
+        let a = generators::grid2d_random(side, side, 1.0, 5);
+        let b = generators::random_rhs(a.n_rows(), 6);
+        let f = SparseCholesky::factor_rcm(&a).expect("SPD");
+        group.bench_with_input(
+            BenchmarkId::new("sparse_rcm", side * side),
+            &f,
+            |bench, f| {
+                let mut x = b.clone();
+                bench.iter(|| {
+                    x.copy_from_slice(&b);
+                    f.solve_in_place(&mut x);
+                    black_box(x[0])
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_kernels
+}
+criterion_main!(benches);

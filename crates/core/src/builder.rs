@@ -1,0 +1,278 @@
+//! High-level entry point: assemble graph → plan → EVS → machine → solve.
+//!
+//! [`DtmBuilder`] wires the whole pipeline with sensible defaults so the
+//! quickstart is five lines, while every knob (partition, shares, twin
+//! topology, impedances, machine, compute model, termination) stays
+//! overridable.
+
+use crate::impedance::ImpedancePolicy;
+use crate::local::LocalSolverKind;
+use crate::report::SolveReport;
+use crate::solver::{self, ComputeModel, DtmConfig, Termination};
+use crate::vtm::{self, VtmConfig, VtmReport};
+use dtm_graph::evs::{split as evs_split, EvsOptions, SplitSystem, TwinTopology};
+use dtm_graph::{partition, ElectricGraph, PartitionPlan};
+use dtm_simnet::{DelayModel, SimDuration, Topology};
+use dtm_sparse::{Csr, Error, Result, SparseCholesky};
+use std::collections::BTreeSet;
+
+/// Builder for a DTM solve.
+#[derive(Debug, Clone)]
+pub struct DtmBuilder {
+    a: Csr,
+    b: Vec<f64>,
+    assignment: Option<Vec<usize>>,
+    evs_options: EvsOptions,
+    twin_topology_set: bool,
+    topology: Option<Topology>,
+    config: DtmConfig,
+}
+
+/// A fully assembled DTM problem, ready to solve (and re-solve under
+/// different configs without re-partitioning).
+#[derive(Debug, Clone)]
+pub struct DtmProblem {
+    /// The torn system.
+    pub split: SplitSystem,
+    /// The machine.
+    pub topology: Topology,
+    /// Solver configuration.
+    pub config: DtmConfig,
+    /// Direct reference solution `A⁻¹ b`.
+    pub reference: Vec<f64>,
+}
+
+impl DtmBuilder {
+    /// Start from a symmetric system `A x = b`.
+    pub fn new(a: Csr, b: Vec<f64>) -> Self {
+        Self {
+            a,
+            b,
+            assignment: None,
+            evs_options: EvsOptions::default(),
+            twin_topology_set: false,
+            topology: None,
+            config: DtmConfig::default(),
+        }
+    }
+
+    /// Partition an `nx × ny` grid system into `px × py` blocks mapped onto
+    /// a `py × px` processor mesh (links get 1 ms delays unless a topology
+    /// is supplied explicitly).
+    pub fn grid_blocks(mut self, nx: usize, ny: usize, px: usize, py: usize) -> Self {
+        self.assignment = Some(partition::grid_blocks(nx, ny, px, py));
+        if self.topology.is_none() {
+            self.topology = Some(Topology::mesh(py, px).with_delays(&DelayModel::fixed_ms(1.0)));
+        }
+        self
+    }
+
+    /// Partition an `nx × ny` grid into `k` column strips on a `k`-ring.
+    pub fn grid_strips(mut self, nx: usize, ny: usize, k: usize) -> Self {
+        self.assignment = Some(partition::grid_strips(nx, ny, k));
+        if self.topology.is_none() && k >= 2 {
+            self.topology = Some(Topology::ring(k).with_delays(&DelayModel::fixed_ms(1.0)));
+        }
+        self
+    }
+
+    /// Use an explicit per-vertex part assignment.
+    pub fn assignment(mut self, assignment: Vec<usize>) -> Self {
+        self.assignment = Some(assignment);
+        self
+    }
+
+    /// Override the EVS options (share policy, explicit shares, twin
+    /// topology). Supplying options here pins the twin topology and
+    /// disables the automatic machine-aligned spanning tree.
+    pub fn evs_options(mut self, options: EvsOptions) -> Self {
+        self.twin_topology_set = true;
+        self.evs_options = options;
+        self
+    }
+
+    /// The machine to run on (processors must equal parts).
+    pub fn network(mut self, topology: Topology) -> Self {
+        self.topology = Some(topology);
+        self
+    }
+
+    /// Impedance policy.
+    pub fn impedance(mut self, policy: ImpedancePolicy) -> Self {
+        self.config.impedance = policy;
+        self
+    }
+
+    /// Local factorization backend.
+    pub fn local_solver(mut self, kind: LocalSolverKind) -> Self {
+        self.config.solver_kind = kind;
+        self
+    }
+
+    /// Compute-time model.
+    pub fn compute(mut self, model: ComputeModel) -> Self {
+        self.config.compute = model;
+        self
+    }
+
+    /// Termination rule.
+    pub fn termination(mut self, t: Termination) -> Self {
+        self.config.termination = t;
+        self
+    }
+
+    /// Simulated-time budget.
+    pub fn horizon(mut self, d: SimDuration) -> Self {
+        self.config.horizon = d;
+        self
+    }
+
+    /// Series sampling interval.
+    pub fn sample_interval(mut self, d: SimDuration) -> Self {
+        self.config.sample_interval = d;
+        self
+    }
+
+    /// Assemble the problem: build the electric graph, derive the plan,
+    /// choose the machine, align the DTLP trees with its links, split, and
+    /// compute the direct reference solution.
+    ///
+    /// # Errors
+    /// Any validation failure along the pipeline.
+    pub fn build(self) -> Result<DtmProblem> {
+        let graph = ElectricGraph::from_system(self.a.clone(), self.b.clone())?;
+        let assignment = self
+            .assignment
+            .ok_or_else(|| Error::Parse("no partition given: call grid_blocks/grid_strips/assignment".into()))?;
+        let plan = PartitionPlan::from_assignment(&graph, &assignment)?;
+        let n_parts = plan.n_parts();
+        let topology = match self.topology {
+            Some(t) => t,
+            None => Topology::complete(n_parts).with_delays(&DelayModel::fixed_ms(1.0)),
+        };
+        if topology.n_nodes() != n_parts {
+            return Err(Error::DimensionMismatch {
+                context: "DtmBuilder: processors vs parts",
+                expected: n_parts,
+                actual: topology.n_nodes(),
+            });
+        }
+        // Align multilevel DTLP trees with machine links unless the caller
+        // pinned a twin topology explicitly.
+        let mut evs_options = self.evs_options;
+        if !self.twin_topology_set {
+            let pairs: BTreeSet<(usize, usize)> = topology
+                .links()
+                .iter()
+                .map(|l| (l.src.min(l.dst), l.src.max(l.dst)))
+                .collect();
+            evs_options.twin_topology = TwinTopology::TreeWithin(pairs);
+        }
+        let split = evs_split(&graph, &plan, &evs_options)?;
+        let reference = SparseCholesky::factor_rcm(&self.a)?.solve(&self.b);
+        Ok(DtmProblem {
+            split,
+            topology,
+            config: self.config,
+            reference,
+        })
+    }
+
+    /// Build and solve in one call.
+    ///
+    /// # Errors
+    /// See [`DtmBuilder::build`] and [`solver::solve`].
+    pub fn solve(self) -> Result<SolveReport> {
+        self.build()?.solve()
+    }
+}
+
+impl DtmProblem {
+    /// Run DTM on the assembled problem.
+    ///
+    /// # Errors
+    /// See [`solver::solve`].
+    pub fn solve(&self) -> Result<SolveReport> {
+        solver::solve(
+            &self.split,
+            self.topology.clone(),
+            Some(self.reference.clone()),
+            &self.config,
+        )
+    }
+
+    /// Run VTM (synchronous rounds) on the same torn system — the paper's
+    /// DTM-vs-VTM comparison uses exactly this pairing.
+    ///
+    /// # Errors
+    /// See [`vtm::solve`].
+    pub fn solve_vtm(&self, config: &VtmConfig) -> Result<VtmReport> {
+        vtm::solve(&self.split, Some(self.reference.clone()), config)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dtm_sparse::generators;
+
+    #[test]
+    fn quickstart_grid_blocks() {
+        let a = generators::grid2d_laplacian(9, 9);
+        let b = vec![1.0; 81];
+        let report = DtmBuilder::new(a.clone(), b.clone())
+            .grid_blocks(9, 9, 2, 2)
+            .solve()
+            .unwrap();
+        assert!(report.converged, "rms {}", report.final_rms);
+        assert!(a.residual_norm(&report.solution, &b) < 1e-6);
+        assert_eq!(report.n_parts, 4);
+    }
+
+    #[test]
+    fn strips_on_ring() {
+        let a = generators::grid2d_random(12, 6, 1.0, 61);
+        let b = generators::random_rhs(72, 62);
+        let report = DtmBuilder::new(a, b)
+            .grid_strips(12, 6, 3)
+            .termination(Termination::OracleRms { tol: 1e-7 })
+            .solve()
+            .unwrap();
+        assert!(report.converged);
+    }
+
+    #[test]
+    fn missing_partition_is_an_error() {
+        let a = generators::grid2d_laplacian(4, 4);
+        let err = DtmBuilder::new(a, vec![0.0; 16]).solve();
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn problem_can_be_resolved_with_vtm() {
+        let a = generators::grid2d_laplacian(8, 8);
+        let b = generators::random_rhs(64, 63);
+        let problem = DtmBuilder::new(a, b).grid_blocks(8, 8, 2, 2).build().unwrap();
+        let dtm = problem.solve().unwrap();
+        let vtm = problem
+            .solve_vtm(&VtmConfig {
+                tol: 1e-8,
+                ..Default::default()
+            })
+            .unwrap();
+        assert!(dtm.converged && vtm.converged);
+        for (u, v) in dtm.solution.iter().zip(&vtm.solution) {
+            assert!((u - v).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn wrong_machine_size_rejected() {
+        let a = generators::grid2d_laplacian(6, 6);
+        let err = DtmBuilder::new(a, vec![0.0; 36])
+            .assignment(dtm_graph::partition::grid_blocks(6, 6, 2, 2))
+            .network(Topology::ring(3).with_delays(&DelayModel::fixed_ms(1.0)))
+            .build();
+        assert!(err.is_err());
+    }
+}

@@ -1,0 +1,140 @@
+//! The Directed Transmission Line and its delay-equation algebra (paper §2).
+//!
+//! A DTL with characteristic impedance `Z > 0` and propagation delay `τ`
+//! imposes
+//!
+//! ```text
+//! U_out(t) + Z·I_out(t) = U_in(t − τ) − Z·I_in(t − τ)
+//! ```
+//!
+//! In *wave* form: the sender emits `w = u − Z·ω` (its reflected wave), and
+//! the receiver enforces `u + Z·ω = w` as a Robin boundary condition. Two
+//! DTLs of equal impedance pointing opposite ways form a DTLP; their delays
+//! may differ (that is what "directed" buys: a perfect match to asymmetric
+//! link delays).
+
+/// A single directed transmission line: impedance plus one-way delay in
+/// nanoseconds (delay bookkeeping lives in the network layer; it is carried
+/// here for inspection and Laplace-domain analysis).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Dtl {
+    /// Characteristic impedance `Z > 0`.
+    pub impedance: f64,
+    /// Propagation delay in nanoseconds.
+    pub delay_ns: u64,
+}
+
+impl Dtl {
+    /// Create a DTL.
+    ///
+    /// # Panics
+    /// Panics unless `impedance > 0` (required by §2 and Theorem 6.1).
+    pub fn new(impedance: f64, delay_ns: u64) -> Self {
+        assert!(
+            impedance > 0.0 && impedance.is_finite(),
+            "DTL impedance must be positive, got {impedance}"
+        );
+        Self {
+            impedance,
+            delay_ns,
+        }
+    }
+}
+
+/// The wave value the far end will *receive*: `u − Z·ω` evaluated at the
+/// near end (right-hand side of eq. (2.1) with the sign convention of §5).
+#[inline]
+pub fn outgoing_wave(u: f64, omega: f64, z: f64) -> f64 {
+    u - z * omega
+}
+
+/// The incident-wave constraint value at the receiving port: the received
+/// pair `(u_twin, ω_twin)` collapses to `w = u_twin − Z·ω_twin`, and the
+/// local solve then enforces `u + Z·ω = w`.
+#[inline]
+pub fn incident_wave(u_twin: f64, omega_twin: f64, z: f64) -> f64 {
+    u_twin - z * omega_twin
+}
+
+/// Inflow current implied by the incident wave once the local potential is
+/// known: `ω = (w − u) / Z` (rearranging `u + Z·ω = w`).
+#[inline]
+pub fn inflow_current(w: f64, u: f64, z: f64) -> f64 {
+    (w - u) / z
+}
+
+/// Verify a `(u, ω)` pair satisfies the receiving-end delay equation for an
+/// incident wave `w` within `tol`.
+#[inline]
+pub fn satisfies_delay_equation(u: f64, omega: f64, w: f64, z: f64, tol: f64) -> bool {
+    (u + z * omega - w).abs() <= tol
+}
+
+/// Fixed point of an isolated DTLP: at steady state the twin potentials are
+/// equal and the twin currents cancel. Returns `(|u1 − u2|, |ω1 + ω2|)` as
+/// a diagnostic.
+pub fn dtlp_steady_state_gap(u1: f64, o1: f64, u2: f64, o2: f64) -> (f64, f64) {
+    ((u1 - u2).abs(), (o1 + o2).abs())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wave_roundtrip_is_consistent() {
+        let z = 0.2;
+        let (u2, o2) = (1.5, -0.3);
+        let w = incident_wave(u2, o2, z);
+        // Receiver solves, getting some u1; its current follows from w.
+        let u1 = 0.9;
+        let o1 = inflow_current(w, u1, z);
+        assert!(satisfies_delay_equation(u1, o1, w, z, 1e-14));
+    }
+
+    #[test]
+    fn steady_state_forces_equality_and_cancellation() {
+        // Impose both directions of the DTLP with *equal* values on both
+        // sides (the time-invariant fixed point):
+        //   u1 + z ω1 = u2 − z ω2   and   u2 + z ω2 = u1 − z ω1.
+        // Adding: z(ω1 + ω2) = −z(ω1 + ω2) → ω1 = −ω2; then u1 = u2.
+        let z = 0.7;
+        // Pick a candidate fixed point and check it satisfies both ends.
+        let (u, o) = (2.4, 0.31);
+        let (u1, o1, u2, o2) = (u, o, u, -o);
+        let w12 = incident_wave(u1, o1, z);
+        let w21 = incident_wave(u2, o2, z);
+        assert!(satisfies_delay_equation(u2, o2, w12, z, 1e-14));
+        assert!(satisfies_delay_equation(u1, o1, w21, z, 1e-14));
+        let (du, dsum) = dtlp_steady_state_gap(u1, o1, u2, o2);
+        assert_eq!(du, 0.0);
+        assert_eq!(dsum, 0.0);
+    }
+
+    #[test]
+    fn non_fixed_point_violates_some_end() {
+        let z = 1.0;
+        let (u1, o1, u2, o2) = (1.0, 0.5, 2.0, 0.25);
+        let w12 = incident_wave(u1, o1, z);
+        let ok2 = satisfies_delay_equation(u2, o2, w12, z, 1e-12);
+        let w21 = incident_wave(u2, o2, z);
+        let ok1 = satisfies_delay_equation(u1, o1, w21, z, 1e-12);
+        assert!(!(ok1 && ok2), "arbitrary state must not be a fixed point");
+    }
+
+    #[test]
+    #[should_panic(expected = "impedance must be positive")]
+    fn zero_impedance_rejected() {
+        let _ = Dtl::new(0.0, 100);
+    }
+
+    #[test]
+    fn physical_line_is_symmetric_special_case() {
+        // §2: "the physical transmission line could be recognized as a
+        // special DTLP with symmetric propagation delay".
+        let fwd = Dtl::new(0.1, 2900);
+        let bwd = Dtl::new(0.1, 2900);
+        assert_eq!(fwd.delay_ns, bwd.delay_ns);
+        assert_eq!(fwd.impedance, bwd.impedance);
+    }
+}

@@ -1,0 +1,158 @@
+//! Characteristic-impedance selection.
+//!
+//! Theorem 6.1 guarantees convergence for *any* positive impedances, but §5
+//! (Fig. 9) shows the choice governs convergence *speed*: "we could speedup
+//! DTM if the characteristic impedances of DTLPs are carefully chosen."
+//! This module provides the policies the reproduction sweeps over.
+
+use dtm_graph::evs::SplitSystem;
+use dtm_sparse::{Error, Result};
+
+/// How to assign the characteristic impedance of each DTLP.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ImpedancePolicy {
+    /// The same impedance for every DTLP.
+    Fixed(f64),
+    /// One explicit impedance per DTLP (indexed like `SplitSystem::dtlps`);
+    /// reproduces Example 5.1's `Z₂ = 0.2, Z₃ = 0.1` exactly.
+    PerDtlp(Vec<f64>),
+    /// Admittance matching: `z = scale / √(dₐ · d_b)` where `dₐ`, `d_b` are
+    /// the split diagonal weights of the DTLP's two copy vertices. The
+    /// diagonal of an electric graph is an admittance, so its inverse
+    /// square-root mean is a natural impedance scale; `scale = 1` is the
+    /// default policy.
+    GeometricMean {
+        /// Multiplier on the matched impedance.
+        scale: f64,
+    },
+}
+
+impl Default for ImpedancePolicy {
+    fn default() -> Self {
+        ImpedancePolicy::GeometricMean { scale: 1.0 }
+    }
+}
+
+impl ImpedancePolicy {
+    /// Resolve the policy into one impedance per DTLP.
+    ///
+    /// # Errors
+    /// Rejects non-positive impedances (Theorem 6.1 requires `z > 0`) and
+    /// length mismatches for [`ImpedancePolicy::PerDtlp`].
+    pub fn assign(&self, split: &SplitSystem) -> Result<Vec<f64>> {
+        let n = split.dtlps.len();
+        let zs = match self {
+            ImpedancePolicy::Fixed(z) => vec![*z; n],
+            ImpedancePolicy::PerDtlp(zs) => {
+                if zs.len() != n {
+                    return Err(Error::DimensionMismatch {
+                        context: "ImpedancePolicy::PerDtlp",
+                        expected: n,
+                        actual: zs.len(),
+                    });
+                }
+                zs.clone()
+            }
+            ImpedancePolicy::GeometricMean { scale } => split
+                .dtlps
+                .iter()
+                .map(|d| {
+                    let da = copy_diag(split, d.a);
+                    let db = copy_diag(split, d.b);
+                    let prod = (da * db).max(f64::MIN_POSITIVE);
+                    scale / prod.sqrt()
+                })
+                .collect(),
+        };
+        for (i, &z) in zs.iter().enumerate() {
+            if !(z > 0.0 && z.is_finite()) {
+                return Err(Error::Parse(format!(
+                    "DTLP {i}: impedance must be positive and finite, got {z}"
+                )));
+            }
+        }
+        Ok(zs)
+    }
+}
+
+/// Diagonal weight of the copy vertex a port sits on.
+fn copy_diag(split: &SplitSystem, port: dtm_graph::evs::PortRef) -> f64 {
+    let sd = &split.subdomains[port.part];
+    let lv = sd.ports[port.port].local_vertex;
+    sd.matrix.get(lv, lv).abs()
+}
+
+/// Impedances per *port* from impedances per DTLP (both ports of a DTLP
+/// share its impedance, as §5 requires).
+pub fn per_port(split: &SplitSystem, z_per_dtlp: &[f64]) -> Vec<Vec<f64>> {
+    split
+        .subdomains
+        .iter()
+        .map(|sd| sd.ports.iter().map(|p| z_per_dtlp[p.dtlp]).collect())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dtm_graph::evs::{paper_example_shares, split, EvsOptions};
+    use dtm_graph::{ElectricGraph, PartitionPlan};
+    use dtm_sparse::generators;
+
+    fn paper_split() -> SplitSystem {
+        let (a, b) = generators::paper_example_system();
+        let g = ElectricGraph::from_system(a, b).unwrap();
+        let plan = PartitionPlan::from_assignment(&g, &[0, 0, 1, 1]).unwrap();
+        let options = EvsOptions {
+            explicit: paper_example_shares(),
+            ..Default::default()
+        };
+        split(&g, &plan, &options).unwrap()
+    }
+
+    #[test]
+    fn fixed_assigns_everywhere() {
+        let ss = paper_split();
+        let z = ImpedancePolicy::Fixed(0.25).assign(&ss).unwrap();
+        assert_eq!(z, vec![0.25, 0.25]);
+    }
+
+    #[test]
+    fn per_dtlp_reproduces_example_5_1() {
+        // Z₂ = 0.2 between V2a/V2b, Z₃ = 0.1 between V3a/V3b.
+        let ss = paper_split();
+        assert_eq!(ss.dtlps[0].vertex, 1);
+        assert_eq!(ss.dtlps[1].vertex, 2);
+        let z = ImpedancePolicy::PerDtlp(vec![0.2, 0.1]).assign(&ss).unwrap();
+        assert_eq!(z, vec![0.2, 0.1]);
+        let ports = per_port(&ss, &z);
+        // Twin ports of one DTLP share the impedance.
+        assert_eq!(ports[0], vec![0.2, 0.1]);
+        assert_eq!(ports[1], vec![0.2, 0.1]);
+    }
+
+    #[test]
+    fn geometric_mean_uses_copy_diagonals() {
+        let ss = paper_split();
+        let z = ImpedancePolicy::default().assign(&ss).unwrap();
+        // V2 copies have diagonals 2.5 and 3.5; V3 copies 3.3 and 3.7.
+        assert!((z[0] - 1.0 / (2.5_f64 * 3.5).sqrt()).abs() < 1e-14);
+        assert!((z[1] - 1.0 / (3.3_f64 * 3.7).sqrt()).abs() < 1e-14);
+    }
+
+    #[test]
+    fn nonpositive_rejected() {
+        let ss = paper_split();
+        assert!(ImpedancePolicy::Fixed(0.0).assign(&ss).is_err());
+        assert!(ImpedancePolicy::Fixed(-1.0).assign(&ss).is_err());
+        assert!(ImpedancePolicy::PerDtlp(vec![0.5, f64::NAN])
+            .assign(&ss)
+            .is_err());
+    }
+
+    #[test]
+    fn per_dtlp_length_checked() {
+        let ss = paper_split();
+        assert!(ImpedancePolicy::PerDtlp(vec![0.5]).assign(&ss).is_err());
+    }
+}

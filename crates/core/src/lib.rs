@@ -1,0 +1,73 @@
+//! # dtm-core — the Directed Transmission Method
+//!
+//! The paper's contribution (§2, §5–§6): a **fully asynchronous,
+//! continuous-time** iterative solver for sparse SPD linear systems.
+//!
+//! After `dtm-graph` tears the electric graph into subdomains, a **Directed
+//! Transmission Line Pair** is inserted between every pair of twin vertices.
+//! Each DTL imposes the Directed Transmission Delay Equation
+//!
+//! ```text
+//! U_out(t) + Z·I_out(t) = U_in(t − τ) − Z·I_in(t − τ)        (2.1)
+//! ```
+//!
+//! which turns the neighbour's *delayed* boundary condition into a Robin
+//! ("impedance") condition on the local system: the local matrix becomes
+//! `A_j + diag(1/z)` on the port rows — **constant**, so it is Cholesky-
+//! factored once and every update is a pair of triangular solves (§5's key
+//! performance remark). Because each DTL carries its own delay, the
+//! algorithm maps one-to-one onto a machine with asymmetric link delays —
+//! the *Algorithm-Architecture Delay Mapping*.
+//!
+//! Modules:
+//!
+//! * [`dtl`] — the delay-equation algebra (incident/reflected waves);
+//! * [`impedance`] — characteristic-impedance selection policies (the free
+//!   parameter studied in Fig. 9);
+//! * [`local`] — the factor-once local solver of eq. (5.9);
+//! * [`solver`] — DTM on the simulated heterogeneous machine (`dtm-simnet`);
+//! * [`vtm`] — the Virtual Transmission Method: the synchronous, unit-delay
+//!   special case (eq. 5.10);
+//! * [`threaded`] — DTM on real OS threads and channels (genuinely
+//!   asynchronous execution);
+//! * [`baselines`] — synchronous and asynchronous block-Jacobi for the
+//!   comparisons the paper's introduction makes;
+//! * [`analysis`] — spectral radius of the VTM iteration operator
+//!   (quantitative convergence rates, Fig. 9 cross-check);
+//! * [`monitor`] — RMS-error-vs-time tracking against the direct solution;
+//! * [`builder`] — the high-level [`DtmBuilder`] entry point;
+//! * [`report`] — solve reports.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use dtm_core::DtmBuilder;
+//! use dtm_sparse::generators;
+//!
+//! let a = generators::grid2d_laplacian(9, 9);
+//! let b = vec![1.0; a.n_rows()];
+//! let report = DtmBuilder::new(a.clone(), b.clone())
+//!     .grid_blocks(9, 9, 2, 2)
+//!     .solve()
+//!     .unwrap();
+//! assert!(report.converged);
+//! assert!(a.residual_norm(&report.solution, &b) < 1e-6);
+//! ```
+
+pub mod analysis;
+pub mod baselines;
+pub mod builder;
+pub mod dtl;
+pub mod impedance;
+pub mod local;
+pub mod monitor;
+pub mod report;
+pub mod solver;
+pub mod threaded;
+pub mod vtm;
+
+pub use builder::{DtmBuilder, DtmProblem};
+pub use impedance::ImpedancePolicy;
+pub use local::LocalSystem;
+pub use report::SolveReport;
+pub use solver::{ComputeModel, DtmConfig, Termination};

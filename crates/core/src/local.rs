@@ -1,0 +1,388 @@
+//! The DTM local system (paper eq. (5.8)–(5.9)).
+//!
+//! Eliminating the inflow currents ω from the subdomain system plus the DTL
+//! boundary conditions leaves
+//!
+//! ```text
+//! [ C + Z⁻¹  E ] [u]   [ f + Z⁻¹·(u_twin(t−τ) − Z·ω_twin(t−τ)) ]
+//! [ F        D ] [y] = [ g                                      ]      (5.9)
+//!   ω = −Z⁻¹u + Z⁻¹·u_twin(t−τ) − ω_twin(t−τ)
+//! ```
+//!
+//! The coefficient matrix is **constant**: "only once factorization should
+//! be done at the beginning; as long as we get the Cholesky factor, it is a
+//! piece of cake to solve (5.9)" (§5). [`LocalSystem`] is that object:
+//! factor once, then each remote-boundary update is one RHS rebuild plus a
+//! forward/backward substitution.
+
+use crate::dtl;
+use dtm_graph::evs::Subdomain;
+use dtm_sparse::{Csr, DenseCholesky, Result, SparseCholesky};
+
+/// Which factorization backs the local solves.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum LocalSolverKind {
+    /// Dense below [`AUTO_DENSE_LIMIT`] unknowns, sparse (RCM) above.
+    #[default]
+    Auto,
+    /// Dense Cholesky.
+    Dense,
+    /// Sparse up-looking Cholesky in natural order.
+    Sparse,
+    /// Sparse Cholesky with reverse Cuthill–McKee pre-ordering.
+    SparseRcm,
+}
+
+/// Crossover for [`LocalSolverKind::Auto`].
+pub const AUTO_DENSE_LIMIT: usize = 96;
+
+#[derive(Debug, Clone)]
+enum Factor {
+    Dense(DenseCholesky),
+    Sparse(SparseCholesky),
+}
+
+impl Factor {
+    fn solve_in_place(&self, x: &mut [f64]) {
+        match self {
+            Factor::Dense(f) => f.solve_in_place(x),
+            Factor::Sparse(f) => f.solve_in_place(x),
+        }
+    }
+}
+
+/// A factored DTM local system with its current boundary state.
+#[derive(Debug, Clone)]
+pub struct LocalSystem {
+    /// Local matrix `Â = A_j + Σ_p (1/z_p) e_v e_vᵀ` (kept for analysis).
+    matrix: Csr,
+    factor: Factor,
+    /// Local vertex carrying each port.
+    port_vertex: Vec<usize>,
+    /// Characteristic impedance per port.
+    z: Vec<f64>,
+    /// Constant part of the RHS: `[f; g]`.
+    base_rhs: Vec<f64>,
+    /// Latest incident wave per port (`u_twin − z·ω_twin`, init 0: eq. 5.6).
+    w: Vec<f64>,
+    /// Latest local solution `[u; y]`.
+    x: Vec<f64>,
+    /// Latest inflow current per port.
+    omega: Vec<f64>,
+    /// Previous outgoing wave per port (for convergence deltas).
+    prev_out: Vec<f64>,
+    /// Outgoing-wave change of the latest solve.
+    last_delta: f64,
+    solves: usize,
+    rhs_buf: Vec<f64>,
+}
+
+impl LocalSystem {
+    /// Build and factor the local system of `sub` with per-port impedances
+    /// `z` (use [`crate::impedance::per_port`] to derive them from a
+    /// per-DTLP assignment).
+    ///
+    /// # Errors
+    /// Propagates factorization failure (the subdomain was not SNND, i.e.
+    /// the EVS split violated Theorem 6.1's hypothesis).
+    ///
+    /// # Panics
+    /// Panics if `z.len() != sub.n_ports()` or any impedance is
+    /// non-positive.
+    pub fn new(sub: &Subdomain, z: &[f64], kind: LocalSolverKind) -> Result<Self> {
+        assert_eq!(z.len(), sub.n_ports(), "one impedance per port");
+        assert!(
+            z.iter().all(|&zi| zi > 0.0 && zi.is_finite()),
+            "impedances must be positive"
+        );
+        let n = sub.n_local();
+        // Σ 1/z per local vertex (a vertex may carry several ports).
+        let mut diag_add = vec![0.0; n];
+        for (p, port) in sub.ports.iter().enumerate() {
+            diag_add[port.local_vertex] += 1.0 / z[p];
+        }
+        let matrix = sub.matrix.add_to_diagonal(&diag_add);
+        let factor = match kind {
+            LocalSolverKind::Dense => Factor::Dense(DenseCholesky::factor_csr(&matrix)?),
+            LocalSolverKind::Sparse => Factor::Sparse(SparseCholesky::factor(&matrix)?),
+            LocalSolverKind::SparseRcm => {
+                Factor::Sparse(SparseCholesky::factor_rcm(&matrix)?)
+            }
+            LocalSolverKind::Auto => {
+                if n <= AUTO_DENSE_LIMIT {
+                    Factor::Dense(DenseCholesky::factor_csr(&matrix)?)
+                } else {
+                    Factor::Sparse(SparseCholesky::factor_rcm(&matrix)?)
+                }
+            }
+        };
+        let n_ports = sub.n_ports();
+        Ok(Self {
+            matrix,
+            factor,
+            port_vertex: sub.ports.iter().map(|p| p.local_vertex).collect(),
+            z: z.to_vec(),
+            base_rhs: sub.rhs.clone(),
+            w: vec![0.0; n_ports],
+            x: vec![0.0; n],
+            omega: vec![0.0; n_ports],
+            prev_out: vec![0.0; n_ports],
+            last_delta: f64::INFINITY,
+            solves: 0,
+            rhs_buf: vec![0.0; n],
+        })
+    }
+
+    /// Local dimension.
+    pub fn n_local(&self) -> usize {
+        self.x.len()
+    }
+
+    /// Number of ports.
+    pub fn n_ports(&self) -> usize {
+        self.port_vertex.len()
+    }
+
+    /// The (constant) local coefficient matrix `Â`.
+    pub fn matrix(&self) -> &Csr {
+        &self.matrix
+    }
+
+    /// Per-port impedances.
+    pub fn impedances(&self) -> &[f64] {
+        &self.z
+    }
+
+    /// Update one port's remote boundary condition from the twin's
+    /// transmitted `(u_twin, ω_twin)` pair — the message payload of Table 1.
+    pub fn set_remote(&mut self, port: usize, u_twin: f64, omega_twin: f64) {
+        self.w[port] = dtl::incident_wave(u_twin, omega_twin, self.z[port]);
+    }
+
+    /// Update one port's incident wave directly.
+    pub fn set_incident_wave(&mut self, port: usize, w: f64) {
+        self.w[port] = w;
+    }
+
+    /// Incident wave currently stored for `port`.
+    pub fn incident_wave(&self, port: usize) -> f64 {
+        self.w[port]
+    }
+
+    /// Solve (5.9) with the stored remote boundary conditions: one RHS
+    /// rebuild + forward/backward substitution (no refactorization).
+    pub fn solve(&mut self) -> &[f64] {
+        self.rhs_buf.copy_from_slice(&self.base_rhs);
+        for (p, &v) in self.port_vertex.iter().enumerate() {
+            self.rhs_buf[v] += self.w[p] / self.z[p];
+        }
+        self.factor.solve_in_place(&mut self.rhs_buf);
+        std::mem::swap(&mut self.x, &mut self.rhs_buf);
+        let mut delta = 0.0_f64;
+        for (p, &v) in self.port_vertex.iter().enumerate() {
+            self.omega[p] = dtl::inflow_current(self.w[p], self.x[v], self.z[p]);
+            let out = dtl::outgoing_wave(self.x[v], self.omega[p], self.z[p]);
+            delta = delta.max((out - self.prev_out[p]).abs());
+            self.prev_out[p] = out;
+        }
+        self.last_delta = delta;
+        self.solves += 1;
+        &self.x
+    }
+
+    /// Latest local solution `[u; y]`.
+    pub fn solution(&self) -> &[f64] {
+        &self.x
+    }
+
+    /// Latest inflow currents.
+    pub fn currents(&self) -> &[f64] {
+        &self.omega
+    }
+
+    /// The local boundary condition `(u, ω)` this subdomain transmits for
+    /// `port` (Table 1 step 3.2).
+    pub fn outgoing(&self, port: usize) -> (f64, f64) {
+        (self.x[self.port_vertex[port]], self.omega[port])
+    }
+
+    /// Max |change| of any outgoing wave in the latest solve — the local
+    /// convergence signal of Table 1 step 3.3.
+    pub fn last_delta(&self) -> f64 {
+        self.last_delta
+    }
+
+    /// Number of solves performed.
+    pub fn n_solves(&self) -> usize {
+        self.solves
+    }
+
+    /// Size of the factor backing each substitution (dense: n(n+1)/2;
+    /// sparse: nnz(L)); drives the per-solve compute-time model.
+    pub fn factor_nnz(&self) -> usize {
+        match &self.factor {
+            Factor::Dense(f) => f.n() * (f.n() + 1) / 2,
+            Factor::Sparse(f) => f.nnz_l(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dtm_graph::evs::{paper_example_shares, split, EvsOptions, SplitSystem};
+    use dtm_graph::{ElectricGraph, PartitionPlan};
+    use dtm_sparse::generators;
+
+    fn paper_split() -> SplitSystem {
+        let (a, b) = generators::paper_example_system();
+        let g = ElectricGraph::from_system(a, b).unwrap();
+        let plan = PartitionPlan::from_assignment(&g, &[0, 0, 1, 1]).unwrap();
+        let options = EvsOptions {
+            explicit: paper_example_shares(),
+            ..Default::default()
+        };
+        split(&g, &plan, &options).unwrap()
+    }
+
+    #[test]
+    fn example_5_4_local_matrix_exact() {
+        // (5.4): with Z₂ = 0.2, Z₃ = 0.1 the subgraph-1 matrix becomes
+        // [5 −1 −1; −1 7.5 −0.9; −1 −0.9 13.3] in (x1, x2a, x3a) order —
+        // ours is (x2a, x3a, x1).
+        let ss = paper_split();
+        let ls = LocalSystem::new(&ss.subdomains[0], &[0.2, 0.1], LocalSolverKind::Dense)
+            .unwrap();
+        let m = ls.matrix();
+        assert!((m.get(0, 0) - 7.5).abs() < 1e-12); // 2.5 + 1/0.2
+        assert!((m.get(1, 1) - 13.3).abs() < 1e-12); // 3.3 + 1/0.1
+        assert!((m.get(2, 2) - 5.0).abs() < 1e-12);
+        assert_eq!(m.get(0, 1), -0.9);
+        assert_eq!(m.get(0, 2), -1.0);
+    }
+
+    #[test]
+    fn example_5_5_local_matrix_exact() {
+        // (5.5): subgraph-2 matrix [8.5 −1.1 −1; −1.1 13.7 −2; −1 −2 8] in
+        // (x2b, x3b, x4) order.
+        let ss = paper_split();
+        let ls = LocalSystem::new(&ss.subdomains[1], &[0.2, 0.1], LocalSolverKind::Dense)
+            .unwrap();
+        let m = ls.matrix();
+        assert!((m.get(0, 0) - 8.5).abs() < 1e-12); // 3.5 + 5
+        assert!((m.get(1, 1) - 13.7).abs() < 1e-12); // 3.7 + 10
+        assert!((m.get(2, 2) - 8.0).abs() < 1e-12);
+        assert_eq!(m.get(0, 1), -1.1);
+    }
+
+    #[test]
+    fn initial_solve_uses_zero_boundary() {
+        // Initial condition (5.6): u = ω = 0 on all remote ports, so the
+        // first solve is  Â x = [f; g].
+        let ss = paper_split();
+        let mut ls =
+            LocalSystem::new(&ss.subdomains[0], &[0.2, 0.1], LocalSolverKind::Dense).unwrap();
+        let x = ls.solve().to_vec();
+        let expect = dtm_sparse::DenseCholesky::factor_csr(ls.matrix())
+            .unwrap()
+            .solve(&[0.8, 1.6, 1.0]);
+        for (u, v) in x.iter().zip(&expect) {
+            assert!((u - v).abs() < 1e-12);
+        }
+        // ω = (0 − u)/z at each port.
+        assert!((ls.currents()[0] - (-x[0] / 0.2)).abs() < 1e-12);
+        assert!((ls.currents()[1] - (-x[1] / 0.1)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn solve_satisfies_delay_equation_at_ports() {
+        let ss = paper_split();
+        let mut ls =
+            LocalSystem::new(&ss.subdomains[0], &[0.2, 0.1], LocalSolverKind::Dense).unwrap();
+        ls.set_remote(0, 0.7, -0.2);
+        ls.set_remote(1, 0.4, 0.1);
+        ls.solve();
+        for p in 0..2 {
+            let (u, om) = ls.outgoing(p);
+            assert!(crate::dtl::satisfies_delay_equation(
+                u,
+                om,
+                ls.incident_wave(p),
+                ls.impedances()[p],
+                1e-12
+            ));
+        }
+    }
+
+    #[test]
+    fn solve_satisfies_subdomain_equation_with_currents() {
+        // A_j x = rhs + ω at ports (eq. 4.3) must hold exactly.
+        let ss = paper_split();
+        let sd = &ss.subdomains[1];
+        let mut ls = LocalSystem::new(sd, &[0.2, 0.1], LocalSolverKind::Dense).unwrap();
+        ls.set_remote(0, 1.0, 0.5);
+        ls.set_remote(1, -0.3, 0.2);
+        let x = ls.solve().to_vec();
+        let ax = sd.matrix.matvec(&x);
+        let mut rhs = sd.rhs.clone();
+        for (p, port) in sd.ports.iter().enumerate() {
+            rhs[port.local_vertex] += ls.currents()[p];
+        }
+        for (u, v) in ax.iter().zip(&rhs) {
+            assert!((u - v).abs() < 1e-12, "{u} vs {v}");
+        }
+    }
+
+    #[test]
+    fn all_backends_agree() {
+        let a = generators::grid2d_random(8, 8, 1.0, 3);
+        let b = generators::random_rhs(64, 4);
+        let g = ElectricGraph::from_system(a, b).unwrap();
+        let asg = dtm_graph::partition::grid_blocks(8, 8, 2, 2);
+        let plan = PartitionPlan::from_assignment(&g, &asg).unwrap();
+        let ss = split(&g, &plan, &EvsOptions::default()).unwrap();
+        let sd = &ss.subdomains[0];
+        let z = vec![0.5; sd.n_ports()];
+        let kinds = [
+            LocalSolverKind::Dense,
+            LocalSolverKind::Sparse,
+            LocalSolverKind::SparseRcm,
+            LocalSolverKind::Auto,
+        ];
+        let mut results = Vec::new();
+        for kind in kinds {
+            let mut ls = LocalSystem::new(sd, &z, kind).unwrap();
+            for p in 0..sd.n_ports() {
+                ls.set_remote(p, 0.1 * p as f64, -0.05 * p as f64);
+            }
+            results.push(ls.solve().to_vec());
+        }
+        for r in &results[1..] {
+            for (u, v) in r.iter().zip(&results[0]) {
+                assert!((u - v).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn delta_shrinks_under_fixed_boundary() {
+        // Solving twice with the same remote boundary gives delta 0.
+        let ss = paper_split();
+        let mut ls =
+            LocalSystem::new(&ss.subdomains[0], &[0.2, 0.1], LocalSolverKind::Dense).unwrap();
+        ls.set_remote(0, 0.3, 0.0);
+        ls.solve();
+        let d1 = ls.last_delta();
+        assert!(d1 > 0.0);
+        ls.solve();
+        assert_eq!(ls.last_delta(), 0.0);
+        assert_eq!(ls.n_solves(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "one impedance per port")]
+    fn wrong_impedance_count_panics() {
+        let ss = paper_split();
+        let _ = LocalSystem::new(&ss.subdomains[0], &[0.2], LocalSolverKind::Dense);
+    }
+}

@@ -1,0 +1,96 @@
+//! Solve reports: everything a run produces, ready for printing or
+//! regression-testing.
+
+use serde::Serialize;
+
+/// Why a distributed solve ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum StopKind {
+    /// The oracle monitor observed the RMS tolerance.
+    OracleTolerance,
+    /// Every processor declared local convergence and halted (Table 1 step
+    /// 3.3 — the genuinely distributed criterion).
+    AllHalted,
+    /// The simulated-time horizon was exhausted first.
+    Horizon,
+    /// The network went quiescent (no messages in flight).
+    Quiescent,
+}
+
+/// Outcome of a distributed solve (DTM, VTM or a baseline).
+#[derive(Debug, Clone, Serialize)]
+pub struct SolveReport {
+    /// Gathered global solution (split copies averaged).
+    pub solution: Vec<f64>,
+    /// Whether the requested tolerance was met.
+    pub converged: bool,
+    /// Final RMS error against the direct reference solution.
+    pub final_rms: f64,
+    /// Simulated wall-clock at stop, in milliseconds.
+    pub final_time_ms: f64,
+    /// `(time_ms, rms)` staircase (decimated by the sample interval).
+    pub series: Vec<(f64, f64)>,
+    /// Total local solves across all processors.
+    pub total_solves: u64,
+    /// Total messages transmitted.
+    pub total_messages: u64,
+    /// Receive batches that coalesced more than one message.
+    pub coalesced_batches: u64,
+    /// Number of processors/subdomains.
+    pub n_parts: usize,
+    /// Stop cause.
+    pub stop: StopKind,
+}
+
+impl SolveReport {
+    /// Time (ms) at which the recorded series first dropped below `rms`;
+    /// `None` if it never did. Handy for "time to 10⁻⁶" tables.
+    pub fn time_to_rms(&self, rms: f64) -> Option<f64> {
+        self.series
+            .iter()
+            .find(|&&(_, e)| e <= rms)
+            .map(|&(t, _)| t)
+    }
+
+    /// Average messages per local solve (communication efficiency).
+    pub fn messages_per_solve(&self) -> f64 {
+        if self.total_solves == 0 {
+            0.0
+        } else {
+            self.total_messages as f64 / self.total_solves as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report() -> SolveReport {
+        SolveReport {
+            solution: vec![1.0],
+            converged: true,
+            final_rms: 1e-9,
+            final_time_ms: 12.5,
+            series: vec![(0.0, 1.0), (5.0, 1e-3), (10.0, 1e-7), (12.5, 1e-9)],
+            total_solves: 40,
+            total_messages: 80,
+            coalesced_batches: 3,
+            n_parts: 4,
+            stop: StopKind::OracleTolerance,
+        }
+    }
+
+    #[test]
+    fn time_to_rms_interpolates_staircase() {
+        let r = report();
+        assert_eq!(r.time_to_rms(1e-3), Some(5.0));
+        assert_eq!(r.time_to_rms(1e-8), Some(12.5));
+        assert_eq!(r.time_to_rms(1e-12), None);
+    }
+
+    #[test]
+    fn messages_per_solve() {
+        assert!((report().messages_per_solve() - 2.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,517 @@
+//! DTM on the simulated heterogeneous machine — the algorithm of Table 1.
+//!
+//! Each subdomain becomes a [`DtmNode`] mapped 1:1 onto a processor of the
+//! [`Topology`]; each DTL maps onto the directed link its messages travel,
+//! so the transmission delay of the algorithm *is* the communication delay
+//! of the machine (the Algorithm-Architecture Delay Mapping). There is no
+//! synchronization anywhere: a node re-solves whenever at least one
+//! neighbour's boundary condition arrives, with whatever other values it
+//! currently holds.
+
+use crate::impedance::{per_port, ImpedancePolicy};
+use crate::local::{LocalSolverKind, LocalSystem};
+use crate::monitor::Monitor;
+use crate::report::{SolveReport, StopKind};
+use dtm_graph::evs::SplitSystem;
+use dtm_simnet::{Ctx, Engine, Envelope, Node, SimDuration, SimTime, StopReason, Topology};
+use dtm_sparse::{Error, Result, SparseCholesky};
+
+/// Per-activation compute-time model for a processor's local solve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ComputeModel {
+    /// Instantaneous solves. Only sensible for acyclic 2-processor setups —
+    /// on cyclic topologies zero compute lets the event rate grow without
+    /// bound (each batch triggers an immediate resend).
+    Zero,
+    /// Constant solve time.
+    Fixed(SimDuration),
+    /// Proportional to the local factor size: `ns_per_entry × nnz(L)`,
+    /// clamped below by `floor` — a realistic substitution-cost model.
+    PerFactorEntry {
+        /// Nanoseconds per stored factor entry.
+        ns_per_entry: f64,
+        /// Minimum activation cost.
+        floor: SimDuration,
+    },
+}
+
+impl Default for ComputeModel {
+    fn default() -> Self {
+        // ~2 ns per factor entry (one multiply-add streamed from cache) on
+        // top of a 10 µs activation floor (syscall + message handling).
+        ComputeModel::PerFactorEntry {
+            ns_per_entry: 2.0,
+            floor: SimDuration::from_micros_f64(10.0),
+        }
+    }
+}
+
+impl ComputeModel {
+    /// Resolve to a concrete duration for a local system.
+    pub fn duration_for(&self, local: &LocalSystem) -> SimDuration {
+        self.duration_for_nnz(local.factor_nnz())
+    }
+
+    /// Resolve to a concrete duration for a factor with `nnz` entries.
+    pub fn duration_for_nnz(&self, nnz: usize) -> SimDuration {
+        match *self {
+            ComputeModel::Zero => SimDuration::ZERO,
+            ComputeModel::Fixed(d) => d,
+            ComputeModel::PerFactorEntry {
+                ns_per_entry,
+                floor,
+            } => {
+                let ns = (ns_per_entry * nnz as f64).round() as u64;
+                floor.max(SimDuration::from_nanos(ns))
+            }
+        }
+    }
+}
+
+/// Stopping rule of a distributed solve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Termination {
+    /// Oracle: stop when the (centrally monitored) global RMS error drops
+    /// below `tol`. Matches how the paper's figures are produced.
+    OracleRms {
+        /// RMS-error tolerance.
+        tol: f64,
+    },
+    /// Distributed: each processor halts itself after its outgoing boundary
+    /// conditions change by less than `tol` for `patience` consecutive
+    /// solves (Table 1 step 3.3). The run ends when every processor halted.
+    LocalDelta {
+        /// Outgoing-wave change tolerance.
+        tol: f64,
+        /// Consecutive small-delta solves required.
+        patience: usize,
+    },
+}
+
+/// Full DTM configuration.
+#[derive(Debug, Clone)]
+pub struct DtmConfig {
+    /// Impedance policy (the Fig. 9 knob).
+    pub impedance: ImpedancePolicy,
+    /// Local factorization backend.
+    pub solver_kind: LocalSolverKind,
+    /// Compute-time model.
+    pub compute: ComputeModel,
+    /// Stopping rule.
+    pub termination: Termination,
+    /// Simulated-time budget.
+    pub horizon: SimDuration,
+    /// Series sampling interval (zero = every activation).
+    pub sample_interval: SimDuration,
+    /// Safety cap on solves per node (guards non-convergent configs).
+    pub max_solves_per_node: usize,
+    /// Capture an activation trace of this capacity.
+    pub trace_capacity: Option<usize>,
+}
+
+impl Default for DtmConfig {
+    fn default() -> Self {
+        Self {
+            impedance: ImpedancePolicy::default(),
+            solver_kind: LocalSolverKind::Auto,
+            compute: ComputeModel::default(),
+            termination: Termination::OracleRms { tol: 1e-8 },
+            horizon: SimDuration::from_millis_f64(60_000.0),
+            sample_interval: SimDuration::ZERO,
+            max_solves_per_node: 200_000,
+            trace_capacity: None,
+        }
+    }
+}
+
+/// Boundary-condition update for one port of the receiving subdomain.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PortUpdate {
+    /// Port index *at the receiver*.
+    pub port: usize,
+    /// Transmitted twin potential `u`.
+    pub u: f64,
+    /// Transmitted twin inflow current `ω`.
+    pub omega: f64,
+}
+
+/// Message payload: the local boundary conditions relevant to one
+/// neighbour (Table 1 step 3.2).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DtmMsg {
+    /// Updates keyed by receiver port.
+    pub updates: Vec<PortUpdate>,
+}
+
+/// One subdomain living on one simulated processor.
+#[derive(Debug)]
+pub struct DtmNode {
+    part: usize,
+    local: LocalSystem,
+    /// Per neighbour processor: `(receiver_port, my_port)` pairs.
+    routes: Vec<(usize, Vec<(usize, usize)>)>,
+    compute: SimDuration,
+    termination: Termination,
+    max_solves: usize,
+    small_streak: usize,
+}
+
+impl DtmNode {
+    /// The local system (for inspection).
+    pub fn local(&self) -> &LocalSystem {
+        &self.local
+    }
+
+    /// The subdomain/part id.
+    pub fn part(&self) -> usize {
+        self.part
+    }
+
+    fn solve_and_send(&mut self, ctx: &mut Ctx<DtmMsg>) {
+        self.local.solve();
+        ctx.set_compute(self.compute);
+        for (dst, pairs) in &self.routes {
+            let updates = pairs
+                .iter()
+                .map(|&(their_port, my_port)| {
+                    let (u, omega) = self.local.outgoing(my_port);
+                    PortUpdate {
+                        port: their_port,
+                        u,
+                        omega,
+                    }
+                })
+                .collect();
+            ctx.send(*dst, DtmMsg { updates });
+        }
+        if let Termination::LocalDelta { tol, patience } = self.termination {
+            if self.local.last_delta() < tol {
+                self.small_streak += 1;
+                if self.small_streak >= patience {
+                    ctx.halt();
+                }
+            } else {
+                self.small_streak = 0;
+            }
+        }
+        if self.local.n_solves() >= self.max_solves {
+            ctx.halt();
+        }
+    }
+}
+
+impl Node for DtmNode {
+    type Msg = DtmMsg;
+
+    fn start(&mut self, ctx: &mut Ctx<DtmMsg>) {
+        // Initial boundary guess is zero (eq. 5.6) — already the local
+        // system's initial state. Solve and transmit (Table 1 steps 1–2).
+        self.solve_and_send(ctx);
+    }
+
+    fn receive(&mut self, ctx: &mut Ctx<DtmMsg>, batch: Vec<Envelope<DtmMsg>>) {
+        for env in batch {
+            for upd in env.payload.updates {
+                self.local.set_remote(upd.port, upd.u, upd.omega);
+            }
+        }
+        self.solve_and_send(ctx);
+    }
+}
+
+/// Build the DTM nodes for a split system.
+///
+/// # Errors
+/// Fails if the impedance assignment fails, a local factorization fails, or
+/// a DTLP connects parts with no directed machine link (broken
+/// algorithm-architecture mapping).
+pub fn build_nodes(
+    split: &SplitSystem,
+    topology: &Topology,
+    config: &DtmConfig,
+) -> Result<Vec<DtmNode>> {
+    if topology.n_nodes() != split.n_parts() {
+        return Err(Error::DimensionMismatch {
+            context: "DTM: one processor per subdomain",
+            expected: split.n_parts(),
+            actual: topology.n_nodes(),
+        });
+    }
+    let z_dtlp = config.impedance.assign(split)?;
+    let z_ports = per_port(split, &z_dtlp);
+    let mut nodes = Vec::with_capacity(split.n_parts());
+    for (p, sd) in split.subdomains.iter().enumerate() {
+        // Group ports by neighbour part, deterministically.
+        let mut routes: Vec<(usize, Vec<(usize, usize)>)> = Vec::new();
+        for (my_port, port) in sd.ports.iter().enumerate() {
+            if topology.link(p, port.peer.part).is_none() {
+                return Err(Error::Parse(format!(
+                    "subdomains {p} and {} share a DTLP but the machine has \
+                     no link {p} → {}; delay mapping impossible",
+                    port.peer.part, port.peer.part
+                )));
+            }
+            match routes.iter_mut().find(|(dst, _)| *dst == port.peer.part) {
+                Some((_, pairs)) => pairs.push((port.peer.port, my_port)),
+                None => routes.push((port.peer.part, vec![(port.peer.port, my_port)])),
+            }
+        }
+        let local = LocalSystem::new(sd, &z_ports[p], config.solver_kind)?;
+        let compute = config.compute.duration_for(&local);
+        nodes.push(DtmNode {
+            part: p,
+            local,
+            routes,
+            compute,
+            termination: config.termination,
+            max_solves: config.max_solves_per_node,
+            small_streak: 0,
+        });
+    }
+    Ok(nodes)
+}
+
+/// Run DTM to completion on a simulated machine.
+///
+/// `reference` is the direct solution used for RMS monitoring; when `None`
+/// it is computed here by sparse Cholesky on the reconstructed system.
+///
+/// # Errors
+/// Propagates node-construction failures (see [`build_nodes`]).
+pub fn solve(
+    split: &SplitSystem,
+    topology: Topology,
+    reference: Option<Vec<f64>>,
+    config: &DtmConfig,
+) -> Result<SolveReport> {
+    let reference = match reference {
+        Some(r) => r,
+        None => {
+            let (a, b) = split.reconstruct();
+            SparseCholesky::factor_rcm(&a)?.solve(&b)
+        }
+    };
+    let nodes = build_nodes(split, &topology, config)?;
+    let mut engine = Engine::new(topology, nodes);
+    if let Some(cap) = config.trace_capacity {
+        engine.enable_trace(cap);
+    }
+    let mut monitor = Monitor::new(split, reference, config.sample_interval);
+    let horizon = SimTime::ZERO + config.horizon;
+
+    let oracle_tol = match config.termination {
+        Termination::OracleRms { tol } => Some(tol),
+        Termination::LocalDelta { .. } => None,
+    };
+    // Guard the incremental error tracker against cancellation right where
+    // the stopping decision is made.
+    monitor.set_refresh_below(oracle_tol.unwrap_or(0.0));
+    let outcome = engine.run(horizon, |time, part, node: &DtmNode| {
+        let rms = monitor.update_part(part, time, node.local.solution());
+        match oracle_tol {
+            Some(tol) => rms > tol,
+            None => true,
+        }
+    });
+
+    let stats = engine.stats();
+    let final_rms = monitor.rms_exact();
+    let stop = match outcome.reason {
+        StopReason::ObserverStop => StopKind::OracleTolerance,
+        StopReason::AllHalted => StopKind::AllHalted,
+        StopReason::TimeLimit => StopKind::Horizon,
+        StopReason::QueueEmpty => StopKind::Quiescent,
+    };
+    let converged = match config.termination {
+        Termination::OracleRms { tol } => final_rms <= tol,
+        Termination::LocalDelta { .. } => matches!(
+            stop,
+            StopKind::AllHalted | StopKind::Quiescent
+        ),
+    };
+    Ok(SolveReport {
+        solution: monitor.estimate().to_vec(),
+        converged,
+        final_rms,
+        final_time_ms: outcome.final_time.as_millis_f64(),
+        series: monitor.into_series(),
+        total_solves: stats.activations.iter().sum(),
+        total_messages: stats.messages_sent,
+        coalesced_batches: stats.coalesced_batches,
+        n_parts: split.n_parts(),
+        stop,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dtm_graph::evs::{paper_example_shares, split as evs_split, EvsOptions};
+    use dtm_graph::{ElectricGraph, PartitionPlan};
+    use dtm_simnet::DelayModel;
+    use dtm_sparse::generators;
+
+    /// The paper's Example 5.1 setup: two processors, delays 6.7 µs and
+    /// 2.9 µs, impedances Z₂ = 0.2 and Z₃ = 0.1.
+    fn example_5_1() -> (SplitSystem, Topology) {
+        let (a, b) = generators::paper_example_system();
+        let g = ElectricGraph::from_system(a, b).unwrap();
+        let plan = PartitionPlan::from_assignment(&g, &[0, 0, 1, 1]).unwrap();
+        let options = EvsOptions {
+            explicit: paper_example_shares(),
+            ..Default::default()
+        };
+        let ss = evs_split(&g, &plan, &options).unwrap();
+        let topo = Topology::from_links(
+            2,
+            vec![
+                dtm_simnet::Link {
+                    src: 0,
+                    dst: 1,
+                    delay: SimDuration::from_micros_f64(6.7),
+                },
+                dtm_simnet::Link {
+                    src: 1,
+                    dst: 0,
+                    delay: SimDuration::from_micros_f64(2.9),
+                },
+            ],
+        );
+        (ss, topo)
+    }
+
+    fn example_config() -> DtmConfig {
+        DtmConfig {
+            impedance: ImpedancePolicy::PerDtlp(vec![0.2, 0.1]),
+            compute: ComputeModel::Zero,
+            termination: Termination::OracleRms { tol: 1e-10 },
+            horizon: SimDuration::from_millis_f64(10.0),
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn example_5_1_converges_to_exact_solution() {
+        let (ss, topo) = example_5_1();
+        let report = solve(&ss, topo, None, &example_config()).unwrap();
+        assert!(report.converged, "rms {}", report.final_rms);
+        // Compare against the direct solution of (3.2).
+        let (a, b) = generators::paper_example_system();
+        let exact = dtm_sparse::DenseCholesky::factor_csr(&a).unwrap().solve(&b);
+        for (u, v) in report.solution.iter().zip(&exact) {
+            assert!((u - v).abs() < 1e-8, "{u} vs {v}");
+        }
+        assert_eq!(report.n_parts, 2);
+        assert!(report.total_solves > 4);
+    }
+
+    #[test]
+    fn error_series_decreases_overall() {
+        let (ss, topo) = example_5_1();
+        let report = solve(&ss, topo, None, &example_config()).unwrap();
+        let first = report.series.first().unwrap().1;
+        let last = report.series.last().unwrap().1;
+        assert!(last < first * 1e-6, "error must fall by orders of magnitude");
+    }
+
+    #[test]
+    fn local_delta_termination_halts_all_nodes() {
+        let (ss, topo) = example_5_1();
+        let config = DtmConfig {
+            termination: Termination::LocalDelta {
+                tol: 1e-12,
+                patience: 2,
+            },
+            ..example_config()
+        };
+        let report = solve(&ss, topo, None, &config).unwrap();
+        assert!(matches!(report.stop, StopKind::AllHalted | StopKind::Quiescent));
+        assert!(report.converged);
+        assert!(report.final_rms < 1e-7, "rms {}", report.final_rms);
+    }
+
+    #[test]
+    fn grid_on_2x2_mesh_converges() {
+        let a = generators::grid2d_random(8, 8, 1.0, 21);
+        let b = generators::random_rhs(64, 22);
+        let g = ElectricGraph::from_system(a.clone(), b.clone()).unwrap();
+        let asg = dtm_graph::partition::grid_blocks(8, 8, 2, 2);
+        let plan = PartitionPlan::from_assignment(&g, &asg).unwrap();
+        let topo =
+            Topology::mesh(2, 2).with_delays(&DelayModel::uniform_ms(10.0, 99.0, 5));
+        // Align the DTLP wiring with the machine links so cross-point
+        // (multilevel) splits never need a diagonal connection.
+        let pairs: std::collections::BTreeSet<(usize, usize)> = topo
+            .links()
+            .iter()
+            .map(|l| (l.src.min(l.dst), l.src.max(l.dst)))
+            .collect();
+        let options = EvsOptions {
+            twin_topology: dtm_graph::TwinTopology::TreeWithin(pairs),
+            ..Default::default()
+        };
+        let ss = evs_split(&g, &plan, &options).unwrap();
+        let config = DtmConfig {
+            compute: ComputeModel::Fixed(SimDuration::from_millis_f64(1.0)),
+            termination: Termination::OracleRms { tol: 1e-9 },
+            horizon: SimDuration::from_millis_f64(3_600_000.0),
+            ..Default::default()
+        };
+        let report = solve(&ss, topo, None, &config).unwrap();
+        assert!(report.converged, "rms {}", report.final_rms);
+        assert!(a.residual_norm(&report.solution, &b) < 1e-6);
+    }
+
+    #[test]
+    fn mismatched_processor_count_rejected() {
+        let (ss, _) = example_5_1();
+        let topo3 = Topology::ring(3).with_delays(&DelayModel::fixed_ms(1.0));
+        assert!(solve(&ss, topo3, None, &example_config()).is_err());
+    }
+
+    #[test]
+    fn missing_link_rejected() {
+        // Two subdomains but a topology with no 0↔1 links at all.
+        let (ss, _) = example_5_1();
+        let topo = Topology::from_links(2, vec![]);
+        let err = solve(&ss, topo, None, &example_config());
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn trace_shows_n2n_only_and_no_sync(){
+        let (ss, topo) = example_5_1();
+        let config = DtmConfig {
+            trace_capacity: Some(10_000),
+            ..example_config()
+        };
+        let nodes = build_nodes(&ss, &topo, &config).unwrap();
+        let mut engine = Engine::new(topo, nodes);
+        engine.enable_trace(10_000);
+        engine.run_until(SimTime::ZERO + SimDuration::from_micros_f64(200.0));
+        // Every activation is either the start or a receive of a bounded
+        // batch; message counts per link are balanced within the round-trip
+        // pattern (no global rounds enforced).
+        let stats = engine.stats();
+        assert!(stats.messages_sent > 10);
+        assert_eq!(stats.sent_per_link.len(), 2);
+        assert!(stats.sent_per_link.iter().all(|&c| c > 5));
+    }
+
+    #[test]
+    fn compute_model_durations() {
+        let (ss, _) = example_5_1();
+        let z = ImpedancePolicy::PerDtlp(vec![0.2, 0.1]).assign(&ss).unwrap();
+        let zp = per_port(&ss, &z);
+        let local =
+            LocalSystem::new(&ss.subdomains[0], &zp[0], LocalSolverKind::Dense).unwrap();
+        assert_eq!(ComputeModel::Zero.duration_for(&local), SimDuration::ZERO);
+        let fixed = ComputeModel::Fixed(SimDuration::from_micros_f64(5.0));
+        assert_eq!(fixed.duration_for(&local).as_nanos(), 5_000);
+        let per = ComputeModel::PerFactorEntry {
+            ns_per_entry: 100.0,
+            floor: SimDuration::ZERO,
+        };
+        assert_eq!(per.duration_for(&local).as_nanos(), 600); // 6 entries
+    }
+}

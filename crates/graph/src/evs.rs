@@ -1,0 +1,853 @@
+//! Electric Vertex Splitting (paper §4) — "wire tearing".
+//!
+//! Given an [`ElectricGraph`] and a [`PartitionPlan`], EVS performs the
+//! paper's four steps:
+//!
+//! 1. the splitting boundary is the plan's split vertices;
+//! 2. each boundary vertex is split into one **copy** per part it touches
+//!    (two copies = the paper's *twin vertices*; more copies = multilevel
+//!    wire tearing, Fig. 6);
+//! 3. its vertex weight, its source, and the weights of boundary–boundary
+//!    edges are divided between the copies according to a [`SharePolicy`]
+//!    (or explicit values, to reproduce Example 4.1 digit-for-digit);
+//! 4. **inflow currents** ω are introduced at the resulting ports.
+//!
+//! The result is a [`SplitSystem`]: one [`Subdomain`] per part holding the
+//! local system of eq. (4.3) `[C E; F D][u; y] = [f; g] + [ω; 0]` (copies
+//! ordered first, exactly the paper's port/inner block structure), plus the
+//! global list of twin-vertex pairs ([`Dtlp`]) between which `dtm-core`
+//! inserts directed transmission lines.
+
+use crate::electric::ElectricGraph;
+use crate::plan::{Owner, PartitionPlan};
+use dtm_sparse::{Coo, Csr, Error, Result};
+use std::collections::HashMap;
+
+/// How to divide a split vertex's weight/source (and boundary edge weights)
+/// between its copies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SharePolicy {
+    /// Equal shares for every copy.
+    Uniform,
+    /// Diagonal shares sized so every copy keeps its local diagonal
+    /// dominance: copy `p` receives the sum of the magnitudes of its local
+    /// edge weights plus a proportional part of the leftover slack. This
+    /// preserves the SNND hypothesis of Theorem 6.1 for diagonally dominant
+    /// SPD inputs. Sources follow the diagonal proportions. Edge weights
+    /// split uniformly.
+    #[default]
+    DominanceProportional,
+}
+
+/// Topology of the DTLP links between the `k ≥ 2` copies of one split
+/// vertex (paper Fig. 6 shows the hierarchical pair-of-pairs layout, which
+/// a chain realises; all variants are trees, as multilevel tearing
+/// requires).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub enum TwinTopology {
+    /// Copies linked in ascending part order: c₁—c₂—…—c_k.
+    #[default]
+    Chain,
+    /// All copies linked to the first: c₁—c_i for i ≥ 2.
+    Star,
+    /// BFS spanning tree restricted to the given set of *allowed*
+    /// (unordered, canonical `(min, max)`) part pairs — used to align the
+    /// DTLP wiring with a physical machine topology so every DTLP maps onto
+    /// a real directed link (the Algorithm–Architecture Delay Mapping for
+    /// multilevel splits). Splitting fails if a vertex's copy parts are not
+    /// connected under the allowed pairs.
+    TreeWithin(std::collections::BTreeSet<(usize, usize)>),
+}
+
+/// Explicit absolute share overrides, keyed by original vertex (diagonal and
+/// source) or canonical edge `(min, max)`. Each override lists
+/// `(part, value)` pairs that must cover exactly the placement parts and sum
+/// to the original quantity. Used to reproduce the paper's Example 4.1.
+#[derive(Debug, Clone, Default)]
+pub struct ExplicitShares {
+    /// Vertex-weight (diagonal) overrides.
+    pub diag: HashMap<usize, Vec<(usize, f64)>>,
+    /// Source (RHS) overrides.
+    pub source: HashMap<usize, Vec<(usize, f64)>>,
+    /// Boundary-edge weight overrides.
+    pub edge: HashMap<(usize, usize), Vec<(usize, f64)>>,
+}
+
+/// Options controlling the split.
+#[derive(Debug, Clone, Default)]
+pub struct EvsOptions {
+    /// Default share policy.
+    pub policy: SharePolicy,
+    /// DTLP topology among the copies of one vertex.
+    pub twin_topology: TwinTopology,
+    /// Per-vertex/per-edge explicit overrides.
+    pub explicit: ExplicitShares,
+}
+
+/// Reference to a port: `(subdomain/part index, port index within it)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PortRef {
+    /// Subdomain (= part) index.
+    pub part: usize,
+    /// Port index within the subdomain.
+    pub port: usize,
+}
+
+/// A Directed Transmission Line *Pair* placeholder created by EVS between
+/// two copies of the same original vertex. `dtm-core` assigns it a
+/// characteristic impedance and two (possibly different) propagation delays.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Dtlp {
+    /// One endpoint.
+    pub a: PortRef,
+    /// The other endpoint.
+    pub b: PortRef,
+    /// The original vertex whose copies this DTLP ties together.
+    pub vertex: usize,
+}
+
+/// A port of a subdomain: a DTL endpoint attached to a copy vertex.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Port {
+    /// Local vertex index (always `< n_copies`, copies come first).
+    pub local_vertex: usize,
+    /// Original vertex id this copy descends from.
+    pub global_vertex: usize,
+    /// The port at the other end of the DTLP.
+    pub peer: PortRef,
+    /// Index into [`SplitSystem::dtlps`].
+    pub dtlp: usize,
+}
+
+/// One part's local system: eq. (4.3) with copies (ports-carrying vertices)
+/// ordered before inner vertices.
+#[derive(Debug, Clone)]
+pub struct Subdomain {
+    /// Part index.
+    pub part: usize,
+    /// Local symmetric matrix `[C E; F D]`.
+    pub matrix: Csr,
+    /// Local sources `[f; g]`.
+    pub rhs: Vec<f64>,
+    /// Map local vertex → original vertex.
+    pub global_of_local: Vec<usize>,
+    /// Number of copy vertices (they occupy local indices `0..n_copies`).
+    pub n_copies: usize,
+    /// The subdomain's DTL endpoints. Several ports may share a local
+    /// vertex (multilevel splits).
+    pub ports: Vec<Port>,
+}
+
+impl Subdomain {
+    /// Local dimension.
+    pub fn n_local(&self) -> usize {
+        self.matrix.n_rows()
+    }
+
+    /// Number of ports (DTL endpoints).
+    pub fn n_ports(&self) -> usize {
+        self.ports.len()
+    }
+
+    /// Parts adjacent through at least one DTLP.
+    pub fn neighbor_parts(&self) -> Vec<usize> {
+        let mut ps: Vec<usize> = self.ports.iter().map(|p| p.peer.part).collect();
+        ps.sort_unstable();
+        ps.dedup();
+        ps
+    }
+}
+
+/// The complete result of EVS: subdomains plus the DTLP wiring between them.
+#[derive(Debug, Clone)]
+pub struct SplitSystem {
+    /// Dimension of the original system.
+    pub original_n: usize,
+    /// One subdomain per part.
+    pub subdomains: Vec<Subdomain>,
+    /// All twin-vertex links.
+    pub dtlps: Vec<Dtlp>,
+    /// Copies per original vertex (1 = inner).
+    pub copy_count: Vec<usize>,
+}
+
+impl SplitSystem {
+    /// Number of parts.
+    pub fn n_parts(&self) -> usize {
+        self.subdomains.len()
+    }
+
+    /// Sum the subdomain systems back onto original indices. With exact
+    /// arithmetic this reproduces `(A, b)`; floating-point share division
+    /// leaves O(ε) differences, so compare with a tolerance (see
+    /// [`crate::validate::check_reconstruction`]).
+    pub fn reconstruct(&self) -> (Csr, Vec<f64>) {
+        let mut coo = Coo::new(self.original_n, self.original_n);
+        let mut b = vec![0.0; self.original_n];
+        for sd in &self.subdomains {
+            for lr in 0..sd.n_local() {
+                let gr = sd.global_of_local[lr];
+                b[gr] += sd.rhs[lr];
+                for (lc, v) in sd.matrix.row(lr) {
+                    let gc = sd.global_of_local[lc];
+                    coo.push(gr, gc, v).expect("global index in range");
+                }
+            }
+        }
+        (coo.to_csr(), b)
+    }
+
+    /// Gather per-part local solutions into a global vector, averaging the
+    /// copies of each split vertex (at convergence all copies agree, so the
+    /// average is exact in the limit).
+    pub fn gather(&self, locals: &[Vec<f64>]) -> Vec<f64> {
+        assert_eq!(locals.len(), self.subdomains.len(), "gather: part count");
+        let mut sum = vec![0.0; self.original_n];
+        for (sd, x) in self.subdomains.iter().zip(locals) {
+            assert_eq!(x.len(), sd.n_local(), "gather: local length");
+            for (l, &g) in sd.global_of_local.iter().enumerate() {
+                sum[g] += x[l];
+            }
+        }
+        for (s, &c) in sum.iter_mut().zip(&self.copy_count) {
+            *s /= c as f64;
+        }
+        sum
+    }
+
+    /// Maximum disagreement between copies of the same vertex — 0 at exact
+    /// convergence; a useful distributed-consistency diagnostic.
+    pub fn copy_disagreement(&self, locals: &[Vec<f64>]) -> f64 {
+        let mut min = vec![f64::INFINITY; self.original_n];
+        let mut max = vec![f64::NEG_INFINITY; self.original_n];
+        for (sd, x) in self.subdomains.iter().zip(locals) {
+            for (l, &g) in sd.global_of_local.iter().enumerate() {
+                min[g] = min[g].min(x[l]);
+                max[g] = max[g].max(x[l]);
+            }
+        }
+        min.iter()
+            .zip(&max)
+            .map(|(lo, hi)| hi - lo)
+            .fold(0.0_f64, f64::max)
+    }
+}
+
+/// Perform Electric Vertex Splitting.
+///
+/// # Errors
+/// Propagates validation failures from explicit share overrides (wrong
+/// parts, wrong sums).
+pub fn split(
+    graph: &ElectricGraph,
+    plan: &PartitionPlan,
+    options: &EvsOptions,
+) -> Result<SplitSystem> {
+    let n = graph.n();
+    let n_parts = plan.n_parts();
+
+    // --- Local vertex numbering: copies first (ascending original id),
+    //     then inner vertices (ascending original id). -------------------
+    let mut copy_lists: Vec<Vec<usize>> = vec![Vec::new(); n_parts];
+    let mut inner_lists: Vec<Vec<usize>> = vec![Vec::new(); n_parts];
+    for v in 0..n {
+        match plan.owner(v) {
+            Owner::Inner(p) => inner_lists[*p].push(v),
+            Owner::Split(ps) => {
+                for &p in ps {
+                    copy_lists[p].push(v);
+                }
+            }
+        }
+    }
+    // local index of (vertex, part)
+    let mut local_of: HashMap<(usize, usize), usize> = HashMap::new();
+    let mut global_of_local: Vec<Vec<usize>> = Vec::with_capacity(n_parts);
+    for p in 0..n_parts {
+        let mut g2l = Vec::with_capacity(copy_lists[p].len() + inner_lists[p].len());
+        for (i, &v) in copy_lists[p].iter().chain(inner_lists[p].iter()).enumerate() {
+            local_of.insert((v, p), i);
+            g2l.push(v);
+        }
+        global_of_local.push(g2l);
+    }
+
+    // --- Edge placement and weight shares. ------------------------------
+    // For each undirected edge (u < v): the list of (part, weight share).
+    let mut edge_shares: HashMap<(usize, usize), Vec<(usize, f64)>> = HashMap::new();
+    for u in 0..n {
+        for (v, w) in graph.neighbors(u) {
+            if v < u {
+                continue;
+            }
+            let parts = plan.edge_parts(u, v);
+            let shares = match options.explicit.edge.get(&(u, v)) {
+                Some(exp) => {
+                    validate_shares("edge", exp, &parts, w)?;
+                    exp.clone()
+                }
+                None => {
+                    let each = w / parts.len() as f64;
+                    parts.iter().map(|&p| (p, each)).collect()
+                }
+            };
+            edge_shares.insert((u, v), shares);
+        }
+    }
+
+    // --- Diagonal (vertex weight) shares for split vertices. ------------
+    let mut diag_shares: HashMap<usize, Vec<(usize, f64)>> = HashMap::new();
+    for v in plan.split_vertices() {
+        let parts = plan.owner(v).parts().to_vec();
+        let w = graph.vertex_weight(v);
+        let shares = match options.explicit.diag.get(&v) {
+            Some(exp) => {
+                validate_shares("diag", exp, &parts, w)?;
+                exp.clone()
+            }
+            None => match options.policy {
+                SharePolicy::Uniform => {
+                    let each = w / parts.len() as f64;
+                    parts.iter().map(|&p| (p, each)).collect()
+                }
+                SharePolicy::DominanceProportional => {
+                    // Off-diagonal magnitude that lands in each part.
+                    let mut s: HashMap<usize, f64> =
+                        parts.iter().map(|&p| (p, 0.0)).collect();
+                    for (u, _) in graph.neighbors(v) {
+                        let key = (v.min(u), v.max(u));
+                        for &(p, share) in &edge_shares[&key] {
+                            if let Some(acc) = s.get_mut(&p) {
+                                *acc += share.abs();
+                            }
+                        }
+                    }
+                    let total: f64 = s.values().sum();
+                    let slack = w - total;
+                    parts
+                        .iter()
+                        .map(|&p| {
+                            let sp = s[&p];
+                            let share = if total <= 0.0 {
+                                w / parts.len() as f64
+                            } else if slack >= 0.0 {
+                                sp + slack * sp / total
+                            } else {
+                                w * sp / total
+                            };
+                            (p, share)
+                        })
+                        .collect()
+                }
+            },
+        };
+        diag_shares.insert(v, shares);
+    }
+
+    // --- Source shares. ---------------------------------------------------
+    let mut source_shares: HashMap<usize, Vec<(usize, f64)>> = HashMap::new();
+    for v in plan.split_vertices() {
+        let parts = plan.owner(v).parts().to_vec();
+        let b = graph.source(v);
+        let shares = match options.explicit.source.get(&v) {
+            Some(exp) => {
+                validate_shares("source", exp, &parts, b)?;
+                exp.clone()
+            }
+            None => match options.policy {
+                SharePolicy::Uniform => {
+                    let each = b / parts.len() as f64;
+                    parts.iter().map(|&p| (p, each)).collect()
+                }
+                SharePolicy::DominanceProportional => {
+                    let ds = &diag_shares[&v];
+                    let total: f64 = ds.iter().map(|&(_, d)| d.abs()).sum();
+                    if total <= 0.0 {
+                        let each = b / parts.len() as f64;
+                        parts.iter().map(|&p| (p, each)).collect()
+                    } else {
+                        ds.iter().map(|&(p, d)| (p, b * d.abs() / total)).collect()
+                    }
+                }
+            },
+        };
+        source_shares.insert(v, shares);
+    }
+
+    // --- DTLPs and ports. --------------------------------------------------
+    let mut dtlps: Vec<Dtlp> = Vec::new();
+    let mut ports: Vec<Vec<Port>> = vec![Vec::new(); n_parts];
+    for v in plan.split_vertices() {
+        let parts = plan.owner(v).parts();
+        let links: Vec<(usize, usize)> = match &options.twin_topology {
+            TwinTopology::Chain => parts.windows(2).map(|w| (w[0], w[1])).collect(),
+            TwinTopology::Star => parts[1..].iter().map(|&p| (parts[0], p)).collect(),
+            TwinTopology::TreeWithin(allowed) => spanning_tree_links(v, parts, allowed)?,
+        };
+        for (pa, pb) in links {
+            let dtlp_id = dtlps.len();
+            let port_a = PortRef {
+                part: pa,
+                port: ports[pa].len(),
+            };
+            let port_b = PortRef {
+                part: pb,
+                port: ports[pb].len(),
+            };
+            ports[pa].push(Port {
+                local_vertex: local_of[&(v, pa)],
+                global_vertex: v,
+                peer: port_b,
+                dtlp: dtlp_id,
+            });
+            ports[pb].push(Port {
+                local_vertex: local_of[&(v, pb)],
+                global_vertex: v,
+                peer: port_a,
+                dtlp: dtlp_id,
+            });
+            dtlps.push(Dtlp {
+                a: port_a,
+                b: port_b,
+                vertex: v,
+            });
+        }
+    }
+
+    // --- Assemble per-part matrices and sources. ---------------------------
+    let mut subdomains = Vec::with_capacity(n_parts);
+    for p in 0..n_parts {
+        let nl = global_of_local[p].len();
+        let mut coo = Coo::new(nl, nl);
+        let mut rhs = vec![0.0; nl];
+        // Diagonals and sources.
+        for (l, &v) in global_of_local[p].iter().enumerate() {
+            let (dv, sv) = match plan.owner(v) {
+                Owner::Inner(_) => (graph.vertex_weight(v), graph.source(v)),
+                Owner::Split(_) => (
+                    share_for(&diag_shares[&v], p),
+                    share_for(&source_shares[&v], p),
+                ),
+            };
+            if dv != 0.0 {
+                coo.push(l, l, dv)?;
+            }
+            rhs[l] = sv;
+        }
+        // Edges.
+        for (&(u, v), shares) in &edge_shares {
+            for &(ep, w) in shares {
+                if ep == p && w != 0.0 {
+                    let lu = local_of[&(u, p)];
+                    let lv = local_of[&(v, p)];
+                    coo.push(lu, lv, w)?;
+                    coo.push(lv, lu, w)?;
+                }
+            }
+        }
+        subdomains.push(Subdomain {
+            part: p,
+            matrix: coo.to_csr(),
+            rhs,
+            global_of_local: global_of_local[p].clone(),
+            n_copies: copy_lists[p].len(),
+            ports: std::mem::take(&mut ports[p]),
+        });
+    }
+
+    let copy_count = (0..n)
+        .map(|v| plan.owner(v).parts().len())
+        .collect::<Vec<_>>();
+
+    Ok(SplitSystem {
+        original_n: n,
+        subdomains,
+        dtlps,
+        copy_count,
+    })
+}
+
+/// BFS spanning tree over `parts` using only `allowed` pairs; edges are
+/// reported `(parent, child)` in discovery order.
+fn spanning_tree_links(
+    vertex: usize,
+    parts: &[usize],
+    allowed: &std::collections::BTreeSet<(usize, usize)>,
+) -> Result<Vec<(usize, usize)>> {
+    let ok = |a: usize, b: usize| allowed.contains(&(a.min(b), a.max(b)));
+    let mut links = Vec::with_capacity(parts.len() - 1);
+    let mut reached = vec![false; parts.len()];
+    reached[0] = true;
+    let mut frontier = vec![parts[0]];
+    while !frontier.is_empty() {
+        let mut next = Vec::new();
+        for &p in &frontier {
+            for (i, &q) in parts.iter().enumerate() {
+                if !reached[i] && ok(p, q) {
+                    reached[i] = true;
+                    links.push((p, q));
+                    next.push(q);
+                }
+            }
+        }
+        frontier = next;
+    }
+    if let Some(i) = reached.iter().position(|r| !r) {
+        return Err(Error::Parse(format!(
+            "split vertex {vertex}: copy part {} unreachable from part {} \
+             under the allowed machine links; cannot realise the \
+             algorithm-architecture delay mapping",
+            parts[i], parts[0]
+        )));
+    }
+    Ok(links)
+}
+
+fn share_for(shares: &[(usize, f64)], part: usize) -> f64 {
+    shares
+        .iter()
+        .find(|&&(p, _)| p == part)
+        .map(|&(_, v)| v)
+        .expect("share list covers placement parts by validation")
+}
+
+fn validate_shares(
+    what: &'static str,
+    shares: &[(usize, f64)],
+    parts: &[usize],
+    total: f64,
+) -> Result<()> {
+    let mut share_parts: Vec<usize> = shares.iter().map(|&(p, _)| p).collect();
+    share_parts.sort_unstable();
+    if share_parts != parts {
+        return Err(Error::Parse(format!(
+            "explicit {what} shares cover parts {share_parts:?}, expected {parts:?}"
+        )));
+    }
+    let sum: f64 = shares.iter().map(|&(_, v)| v).sum();
+    let scale = total.abs().max(1.0);
+    if (sum - total).abs() > 1e-9 * scale {
+        return Err(Error::Parse(format!(
+            "explicit {what} shares sum to {sum}, expected {total}"
+        )));
+    }
+    Ok(())
+}
+
+/// The paper's Example 4.1 explicit shares: splits system (3.2) at
+/// `G_B = {V2, V3}` into subsystems (4.1) and (4.2).
+pub fn paper_example_shares() -> ExplicitShares {
+    let mut explicit = ExplicitShares::default();
+    explicit.diag.insert(1, vec![(0, 2.5), (1, 3.5)]);
+    explicit.diag.insert(2, vec![(0, 3.3), (1, 3.7)]);
+    explicit.source.insert(1, vec![(0, 0.8), (1, 1.2)]);
+    explicit.source.insert(2, vec![(0, 1.6), (1, 1.4)]);
+    explicit.edge.insert((1, 2), vec![(0, -0.9), (1, -1.1)]);
+    explicit
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dtm_sparse::generators;
+
+    fn paper_graph() -> ElectricGraph {
+        let (a, b) = generators::paper_example_system();
+        ElectricGraph::from_system(a, b).unwrap()
+    }
+
+    fn paper_split() -> SplitSystem {
+        let g = paper_graph();
+        let plan = PartitionPlan::from_assignment(&g, &[0, 0, 1, 1]).unwrap();
+        let options = EvsOptions {
+            explicit: paper_example_shares(),
+            ..Default::default()
+        };
+        split(&g, &plan, &options).unwrap()
+    }
+
+    #[test]
+    fn example_4_1_subsystem_1_exact() {
+        // (4.1): [5 −1 −1; −1 2.5 −0.9; −1 −0.9 3.3] [x1 x2a x3a] = [1 0.8 1.6] + ω
+        let ss = paper_split();
+        let sd = &ss.subdomains[0];
+        // Local order: copies first (V2a=0, V3a=1), inner V1=2.
+        assert_eq!(sd.global_of_local, vec![1, 2, 0]);
+        assert_eq!(sd.n_copies, 2);
+        let m = &sd.matrix;
+        assert_eq!(m.get(2, 2), 5.0);
+        assert_eq!(m.get(0, 0), 2.5);
+        assert_eq!(m.get(1, 1), 3.3);
+        assert_eq!(m.get(0, 1), -0.9);
+        assert_eq!(m.get(1, 0), -0.9);
+        assert_eq!(m.get(2, 0), -1.0);
+        assert_eq!(m.get(2, 1), -1.0);
+        assert_eq!(sd.rhs, vec![0.8, 1.6, 1.0]);
+    }
+
+    #[test]
+    fn example_4_1_subsystem_2_exact() {
+        // (4.2): [3.5 −1.1 −1; −1.1 3.7 −2; −1 −2 8], rhs [1.2 1.4 4]
+        let ss = paper_split();
+        let sd = &ss.subdomains[1];
+        assert_eq!(sd.global_of_local, vec![1, 2, 3]);
+        let m = &sd.matrix;
+        assert_eq!(m.get(0, 0), 3.5);
+        assert_eq!(m.get(1, 1), 3.7);
+        assert_eq!(m.get(2, 2), 8.0);
+        assert_eq!(m.get(0, 1), -1.1);
+        assert_eq!(m.get(0, 2), -1.0);
+        assert_eq!(m.get(1, 2), -2.0);
+        assert_eq!(sd.rhs, vec![1.2, 1.4, 4.0]);
+    }
+
+    #[test]
+    fn example_4_1_ports_and_dtlps() {
+        let ss = paper_split();
+        assert_eq!(ss.dtlps.len(), 2, "one DTLP per twin pair (V2, V3)");
+        assert_eq!(ss.subdomains[0].n_ports(), 2);
+        assert_eq!(ss.subdomains[1].n_ports(), 2);
+        // Port 0 of each part belongs to V2 and they peer with each other.
+        let p0 = &ss.subdomains[0].ports[0];
+        assert_eq!(p0.global_vertex, 1);
+        assert_eq!(p0.peer, PortRef { part: 1, port: 0 });
+        let p1 = &ss.subdomains[1].ports[0];
+        assert_eq!(p1.peer, PortRef { part: 0, port: 0 });
+        assert_eq!(ss.subdomains[0].neighbor_parts(), vec![1]);
+    }
+
+    #[test]
+    fn reconstruction_recovers_original() {
+        let ss = paper_split();
+        let (a2, b2) = ss.reconstruct();
+        let (a, b) = generators::paper_example_system();
+        assert!(a.to_dense().max_abs_diff(&a2.to_dense()) < 1e-12);
+        for (u, v) in b.iter().zip(&b2) {
+            assert!((u - v).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn uniform_policy_splits_evenly() {
+        let g = paper_graph();
+        let plan = PartitionPlan::from_assignment(&g, &[0, 0, 1, 1]).unwrap();
+        let options = EvsOptions {
+            policy: SharePolicy::Uniform,
+            ..Default::default()
+        };
+        let ss = split(&g, &plan, &options).unwrap();
+        // V2's weight 6 splits 3/3; V2–V3 edge −2 splits −1/−1.
+        assert_eq!(ss.subdomains[0].matrix.get(0, 0), 3.0);
+        assert_eq!(ss.subdomains[1].matrix.get(0, 0), 3.0);
+        assert_eq!(ss.subdomains[0].matrix.get(0, 1), -1.0);
+    }
+
+    #[test]
+    fn dominance_proportional_keeps_subdomains_dominant() {
+        let a = generators::grid2d_random(6, 6, 1.0, 5);
+        let n = a.n_rows();
+        let g = ElectricGraph::from_system(a, vec![1.0; n]).unwrap();
+        let asg = crate::partition::grid_blocks(6, 6, 2, 2);
+        let plan = PartitionPlan::from_assignment(&g, &asg).unwrap();
+        let ss = split(&g, &plan, &EvsOptions::default()).unwrap();
+        for sd in &ss.subdomains {
+            assert!(
+                sd.matrix.is_diag_dominant(),
+                "part {} lost diagonal dominance",
+                sd.part
+            );
+        }
+    }
+
+    #[test]
+    fn gather_averages_copies() {
+        let ss = paper_split();
+        // Pretend both parts solved to the same global values [x1..x4] =
+        // [1, 2, 3, 4]; gather must reproduce them exactly.
+        let mk = |sd: &Subdomain| {
+            sd.global_of_local
+                .iter()
+                .map(|&g| (g + 1) as f64)
+                .collect::<Vec<_>>()
+        };
+        let locals: Vec<Vec<f64>> = ss.subdomains.iter().map(mk).collect();
+        let x = ss.gather(&locals);
+        assert_eq!(x, vec![1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(ss.copy_disagreement(&locals), 0.0);
+    }
+
+    #[test]
+    fn copy_disagreement_detects_mismatch() {
+        let ss = paper_split();
+        let mut locals: Vec<Vec<f64>> = ss
+            .subdomains
+            .iter()
+            .map(|sd| vec![0.0; sd.n_local()])
+            .collect();
+        locals[0][0] = 1.0; // V2's copy in part 0 disagrees with part 1
+        assert_eq!(ss.copy_disagreement(&locals), 1.0);
+    }
+
+    #[test]
+    fn three_way_split_builds_chain() {
+        // 3-strip partition of a 3×3 grid: middle column splits 3 ways →
+        // each such vertex gets 2 chained DTLPs.
+        let a = generators::grid2d_laplacian(3, 3);
+        let g = ElectricGraph::from_system(a, vec![0.0; 9]).unwrap();
+        let asg: Vec<usize> = (0..9).map(|v| v % 3).collect();
+        let plan = PartitionPlan::from_assignment(&g, &asg).unwrap();
+        let ss = split(&g, &plan, &EvsOptions::default()).unwrap();
+        // Vertex 4 (grid centre) splits into parts {0,1,2} with chain 0–1–2:
+        let v4_dtlps: Vec<&Dtlp> = ss.dtlps.iter().filter(|d| d.vertex == 4).collect();
+        assert_eq!(v4_dtlps.len(), 2);
+        assert_eq!(v4_dtlps[0].a.part, 0);
+        assert_eq!(v4_dtlps[0].b.part, 1);
+        assert_eq!(v4_dtlps[1].a.part, 1);
+        assert_eq!(v4_dtlps[1].b.part, 2);
+        // Reconstruction still exact.
+        let (a2, b2) = ss.reconstruct();
+        let (a, _) = generators::paper_example_system();
+        let _ = a;
+        let orig = generators::grid2d_laplacian(3, 3);
+        assert!(orig.to_dense().max_abs_diff(&a2.to_dense()) < 1e-12);
+        assert!(b2.iter().all(|&v| v.abs() < 1e-12));
+    }
+
+    #[test]
+    fn star_topology_links_to_first_part() {
+        let a = generators::grid2d_laplacian(3, 3);
+        let g = ElectricGraph::from_system(a, vec![0.0; 9]).unwrap();
+        let asg: Vec<usize> = (0..9).map(|v| v % 3).collect();
+        let plan = PartitionPlan::from_assignment(&g, &asg).unwrap();
+        let options = EvsOptions {
+            twin_topology: TwinTopology::Star,
+            ..Default::default()
+        };
+        let ss = split(&g, &plan, &options).unwrap();
+        let v4: Vec<&Dtlp> = ss.dtlps.iter().filter(|d| d.vertex == 4).collect();
+        assert_eq!(v4.len(), 2);
+        assert!(v4.iter().all(|d| d.a.part == 0));
+    }
+
+    #[test]
+    fn explicit_share_sum_mismatch_rejected() {
+        let g = paper_graph();
+        let plan = PartitionPlan::from_assignment(&g, &[0, 0, 1, 1]).unwrap();
+        let mut explicit = ExplicitShares::default();
+        explicit.diag.insert(1, vec![(0, 1.0), (1, 1.0)]); // sums to 2 ≠ 6
+        let options = EvsOptions {
+            explicit,
+            ..Default::default()
+        };
+        assert!(split(&g, &plan, &options).is_err());
+    }
+
+    #[test]
+    fn explicit_share_wrong_parts_rejected() {
+        let g = paper_graph();
+        let plan = PartitionPlan::from_assignment(&g, &[0, 0, 1, 1]).unwrap();
+        let mut explicit = ExplicitShares::default();
+        explicit.diag.insert(1, vec![(0, 6.0)]); // missing part 1
+        let options = EvsOptions {
+            explicit,
+            ..Default::default()
+        };
+        assert!(split(&g, &plan, &options).is_err());
+    }
+
+    #[test]
+    fn grid_blocks_reconstruction_on_random_grid() {
+        let a = generators::grid2d_random(9, 9, 1.0, 11);
+        let n = a.n_rows();
+        let b = generators::random_rhs(n, 12);
+        let g = ElectricGraph::from_system(a.clone(), b.clone()).unwrap();
+        let asg = crate::partition::grid_blocks(9, 9, 3, 3);
+        let plan = PartitionPlan::from_assignment(&g, &asg).unwrap();
+        let ss = split(&g, &plan, &EvsOptions::default()).unwrap();
+        let (a2, b2) = ss.reconstruct();
+        assert!(a.to_dense().max_abs_diff(&a2.to_dense()) < 1e-10);
+        for (u, v) in b.iter().zip(&b2) {
+            assert!((u - v).abs() < 1e-10);
+        }
+        // Every part is a real subdomain with ports.
+        for sd in &ss.subdomains {
+            assert!(sd.n_local() > 0);
+            assert!(sd.n_ports() > 0);
+            assert_eq!(
+                sd.ports
+                    .iter()
+                    .filter(|p| p.local_vertex >= sd.n_copies)
+                    .count(),
+                0,
+                "ports must sit on copy vertices"
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tree_within_tests {
+    use super::*;
+    use crate::partition;
+    use crate::plan::PartitionPlan;
+    use dtm_sparse::generators;
+    use std::collections::BTreeSet;
+
+    /// Undirected pair set of a px×py processor mesh.
+    fn mesh_pairs(px: usize, py: usize) -> BTreeSet<(usize, usize)> {
+        let mut s = BTreeSet::new();
+        for r in 0..py {
+            for c in 0..px {
+                let p = r * px + c;
+                if c + 1 < px {
+                    s.insert((p, p + 1));
+                }
+                if r + 1 < py {
+                    s.insert((p, p + px));
+                }
+            }
+        }
+        s
+    }
+
+    #[test]
+    fn tree_within_respects_mesh_adjacency() {
+        // 9×9 grid on a 3×3 processor mesh: corner vertices split 3 ways;
+        // every DTLP must connect mesh-adjacent parts.
+        let a = generators::grid2d_laplacian(9, 9);
+        let g = ElectricGraph::from_system(a, vec![0.0; 81]).unwrap();
+        let asg = partition::grid_blocks(9, 9, 3, 3);
+        let plan = PartitionPlan::from_assignment(&g, &asg).unwrap();
+        let pairs = mesh_pairs(3, 3);
+        let options = EvsOptions {
+            twin_topology: TwinTopology::TreeWithin(pairs.clone()),
+            ..Default::default()
+        };
+        let ss = split(&g, &plan, &options).unwrap();
+        for d in &ss.dtlps {
+            let (lo, hi) = (d.a.part.min(d.b.part), d.a.part.max(d.b.part));
+            assert!(
+                pairs.contains(&(lo, hi)),
+                "DTLP {lo}–{hi} is not a machine link"
+            );
+        }
+        // Reconstruction still exact and wiring consistent.
+        crate::validate::check_wiring(&ss).unwrap();
+        let (a2, _) = ss.reconstruct();
+        let orig = generators::grid2d_laplacian(9, 9);
+        assert!(orig.to_dense().max_abs_diff(&a2.to_dense()) < 1e-12);
+    }
+
+    #[test]
+    fn tree_within_fails_when_disconnected() {
+        // Allow no pairs at all: any split vertex must fail.
+        let (a, b) = generators::paper_example_system();
+        let g = ElectricGraph::from_system(a, b).unwrap();
+        let plan = PartitionPlan::from_assignment(&g, &[0, 0, 1, 1]).unwrap();
+        let options = EvsOptions {
+            twin_topology: TwinTopology::TreeWithin(BTreeSet::new()),
+            ..Default::default()
+        };
+        assert!(split(&g, &plan, &options).is_err());
+    }
+}

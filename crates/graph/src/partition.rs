@@ -1,0 +1,322 @@
+//! Raw per-vertex part assignments for EVS.
+//!
+//! The paper's experiments use "regularly partitioned" grids (§7): 1-D
+//! strips and 2-D blocks that map onto mesh-connected processors, mixing
+//! level-one splits (strip/block faces) with higher-level splits where
+//! several blocks meet. General graphs get BFS-based partitioners.
+
+use dtm_sparse::Csr;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::VecDeque;
+
+/// Column-strip assignment of an `nx × ny` grid into `k` strips
+/// (vertex `(x, y)` has index `y * nx + x`).
+///
+/// # Panics
+/// Panics if `k == 0` or `k > nx`.
+pub fn grid_strips(nx: usize, ny: usize, k: usize) -> Vec<usize> {
+    assert!(k >= 1 && k <= nx, "need 1 ≤ k ≤ nx");
+    let mut assignment = vec![0usize; nx * ny];
+    for y in 0..ny {
+        for x in 0..nx {
+            assignment[y * nx + x] = x * k / nx;
+        }
+    }
+    assignment
+}
+
+/// 2-D block assignment of an `nx × ny` grid into `px × py` blocks; block
+/// `(bx, by)` is part `by * px + bx`. This is the paper's "level-one and
+/// level-two mixed" regular partitioning: vertices on a block face split
+/// 2-way, vertices near block corners split 3-way (5-point stencil).
+///
+/// # Panics
+/// Panics if `px > nx` or `py > ny` or either is zero.
+pub fn grid_blocks(nx: usize, ny: usize, px: usize, py: usize) -> Vec<usize> {
+    assert!(px >= 1 && px <= nx, "need 1 ≤ px ≤ nx");
+    assert!(py >= 1 && py <= ny, "need 1 ≤ py ≤ ny");
+    let mut assignment = vec![0usize; nx * ny];
+    for y in 0..ny {
+        for x in 0..nx {
+            let bx = x * px / nx;
+            let by = y * py / ny;
+            assignment[y * nx + x] = by * px + bx;
+        }
+    }
+    assignment
+}
+
+/// Multi-source BFS ("greedy growing") assignment of a general graph into
+/// `k` parts: `k` seeds spread by a seeded RNG, parts grow one frontier
+/// vertex at a time, always extending the currently smallest part.
+pub fn greedy_grow(a: &Csr, k: usize, seed: u64) -> Vec<usize> {
+    let n = a.n_rows();
+    assert!(k >= 1 && k <= n.max(1), "need 1 ≤ k ≤ n");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut assignment = vec![usize::MAX; n];
+    let mut queues: Vec<VecDeque<usize>> = vec![VecDeque::new(); k];
+    let mut sizes = vec![0usize; k];
+
+    // Distinct random seeds.
+    let mut chosen = Vec::with_capacity(k);
+    while chosen.len() < k {
+        let v = rng.gen_range(0..n);
+        if !chosen.contains(&v) {
+            chosen.push(v);
+        }
+    }
+    for (p, &v) in chosen.iter().enumerate() {
+        assignment[v] = p;
+        sizes[p] += 1;
+        queues[p].push_back(v);
+    }
+
+    let mut remaining = n - k;
+    while remaining > 0 {
+        // Grow the smallest part that still has a frontier.
+        let p = match (0..k)
+            .filter(|&p| !queues[p].is_empty())
+            .min_by_key(|&p| sizes[p])
+        {
+            Some(p) => p,
+            None => {
+                // Disconnected leftover: seed the smallest part anywhere.
+                let v = (0..n).find(|&v| assignment[v] == usize::MAX).expect(
+                    "remaining > 0 implies an unassigned vertex exists",
+                );
+                let p = (0..k).min_by_key(|&p| sizes[p]).expect("k ≥ 1");
+                assignment[v] = p;
+                sizes[p] += 1;
+                queues[p].push_back(v);
+                remaining -= 1;
+                continue;
+            }
+        };
+        let mut grew = false;
+        while let Some(&u) = queues[p].front() {
+            let next = a
+                .row(u)
+                .map(|(c, _)| c)
+                .find(|&c| c != u && assignment[c] == usize::MAX);
+            match next {
+                Some(v) => {
+                    assignment[v] = p;
+                    sizes[p] += 1;
+                    queues[p].push_back(v);
+                    remaining -= 1;
+                    grew = true;
+                    break;
+                }
+                None => {
+                    queues[p].pop_front();
+                }
+            }
+        }
+        let _ = grew;
+    }
+    assignment
+}
+
+/// Recursive bisection by BFS level sets: split at the median BFS level,
+/// recurse `levels` times, producing `2^levels` parts.
+pub fn recursive_bisection(a: &Csr, levels: usize) -> Vec<usize> {
+    let n = a.n_rows();
+    let mut assignment = vec![0usize; n];
+    let mut groups: Vec<Vec<usize>> = vec![(0..n).collect()];
+    for _ in 0..levels {
+        let mut next_groups = Vec::with_capacity(groups.len() * 2);
+        for group in groups {
+            let (lo, hi) = bisect(a, &group);
+            next_groups.push(lo);
+            next_groups.push(hi);
+        }
+        groups = next_groups;
+    }
+    for (p, group) in groups.iter().enumerate() {
+        for &v in group {
+            assignment[v] = p;
+        }
+    }
+    assignment
+}
+
+/// Split one vertex group in half along BFS layers from its lowest-index
+/// vertex; ties broken by index so the result is deterministic.
+fn bisect(a: &Csr, group: &[usize]) -> (Vec<usize>, Vec<usize>) {
+    if group.len() < 2 {
+        return (group.to_vec(), Vec::new());
+    }
+    let inside: std::collections::HashSet<usize> = group.iter().copied().collect();
+    let mut level = std::collections::HashMap::new();
+    let mut order = Vec::with_capacity(group.len());
+    // Cover disconnected pieces of the group too.
+    for &start in group {
+        if level.contains_key(&start) {
+            continue;
+        }
+        level.insert(start, 0usize);
+        let mut q = VecDeque::from([start]);
+        while let Some(u) = q.pop_front() {
+            order.push(u);
+            for (c, _) in a.row(u) {
+                if c != u && inside.contains(&c) && !level.contains_key(&c) {
+                    level.insert(c, level[&u] + 1);
+                    q.push_back(c);
+                }
+            }
+        }
+    }
+    let half = group.len() / 2;
+    // BFS visit order approximates level ordering; cut at the median.
+    let lo = order[..half].to_vec();
+    let hi = order[half..].to_vec();
+    (lo, hi)
+}
+
+/// Quality metrics of a raw assignment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PartitionMetrics {
+    /// Vertices per part.
+    pub sizes: Vec<usize>,
+    /// Number of vertices with a neighbour in a foreign part (these become
+    /// split vertices under EVS).
+    pub boundary_vertices: usize,
+    /// Number of edges whose endpoints lie in different parts.
+    pub cut_edges: usize,
+    /// `max(sizes) / mean(sizes)` — 1.0 is perfect balance.
+    pub imbalance: f64,
+}
+
+/// Compute [`PartitionMetrics`] for an assignment.
+pub fn metrics(a: &Csr, assignment: &[usize]) -> PartitionMetrics {
+    assert_eq!(a.n_rows(), assignment.len(), "metrics: assignment length");
+    let k = assignment.iter().copied().max().map_or(0, |m| m + 1);
+    let mut sizes = vec![0usize; k];
+    for &p in assignment {
+        sizes[p] += 1;
+    }
+    let mut boundary = 0usize;
+    let mut cut = 0usize;
+    for u in 0..a.n_rows() {
+        let mut is_boundary = false;
+        for (v, _) in a.row(u) {
+            if v == u {
+                continue;
+            }
+            if assignment[v] != assignment[u] {
+                is_boundary = true;
+                if v > u {
+                    cut += 1;
+                }
+            }
+        }
+        if is_boundary {
+            boundary += 1;
+        }
+    }
+    let mean = assignment.len() as f64 / k.max(1) as f64;
+    let imbalance = sizes.iter().copied().max().unwrap_or(0) as f64 / mean.max(1e-300);
+    PartitionMetrics {
+        sizes,
+        boundary_vertices: boundary,
+        cut_edges: cut,
+        imbalance,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dtm_sparse::generators;
+
+    #[test]
+    fn strips_cover_all_parts_evenly() {
+        let a = generators::grid2d_laplacian(8, 4);
+        let asg = grid_strips(8, 4, 4);
+        let m = metrics(&a, &asg);
+        assert_eq!(m.sizes, vec![8, 8, 8, 8]);
+        assert!((m.imbalance - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn strips_boundary_is_two_columns_per_cut() {
+        let a = generators::grid2d_laplacian(8, 4);
+        let asg = grid_strips(8, 4, 2);
+        let m = metrics(&a, &asg);
+        // Cut between x=3 and x=4: both columns are boundary → 2 * ny.
+        assert_eq!(m.boundary_vertices, 8);
+        assert_eq!(m.cut_edges, 4);
+    }
+
+    #[test]
+    fn blocks_partition_paper_grid() {
+        // The paper's 16-processor experiment: 17×17 grid on a 4×4 mesh.
+        let nx = 17;
+        let a = generators::grid2d_laplacian(nx, nx);
+        let asg = grid_blocks(nx, nx, 4, 4);
+        let m = metrics(&a, &asg);
+        assert_eq!(m.sizes.len(), 16);
+        assert!(m.sizes.iter().all(|&s| s > 0));
+        assert!(m.imbalance < 1.6, "imbalance {}", m.imbalance);
+    }
+
+    #[test]
+    fn block_ids_follow_row_major_mesh() {
+        let asg = grid_blocks(4, 4, 2, 2);
+        assert_eq!(asg[0], 0); // (0,0)
+        assert_eq!(asg[3], 1); // (3,0) → right block
+        assert_eq!(asg[12], 2); // (0,3) → lower-left block
+        assert_eq!(asg[15], 3); // (3,3)
+    }
+
+    #[test]
+    fn greedy_grow_covers_and_balances() {
+        let a = generators::grid2d_laplacian(10, 10);
+        let asg = greedy_grow(&a, 4, 42);
+        assert!(asg.iter().all(|&p| p < 4));
+        let m = metrics(&a, &asg);
+        assert_eq!(m.sizes.iter().sum::<usize>(), 100);
+        assert!(m.sizes.iter().all(|&s| s > 0));
+        assert!(m.imbalance < 1.5, "imbalance {}", m.imbalance);
+    }
+
+    #[test]
+    fn greedy_grow_deterministic_per_seed() {
+        let a = generators::grid2d_laplacian(6, 6);
+        assert_eq!(greedy_grow(&a, 3, 7), greedy_grow(&a, 3, 7));
+    }
+
+    #[test]
+    fn greedy_grow_handles_disconnected() {
+        // Two disconnected 2-paths; 2 parts must still cover everything.
+        let mut coo = dtm_sparse::Coo::new(4, 4);
+        for i in 0..4 {
+            coo.push(i, i, 2.0).unwrap();
+        }
+        coo.push_sym(0, 1, -1.0).unwrap();
+        coo.push_sym(2, 3, -1.0).unwrap();
+        let a = coo.to_csr();
+        let asg = greedy_grow(&a, 2, 1);
+        assert!(asg.iter().all(|&p| p < 2));
+    }
+
+    #[test]
+    fn recursive_bisection_produces_power_of_two_parts() {
+        let a = generators::grid2d_laplacian(8, 8);
+        let asg = recursive_bisection(&a, 2);
+        let m = metrics(&a, &asg);
+        assert_eq!(m.sizes.len(), 4);
+        assert_eq!(m.sizes.iter().sum::<usize>(), 64);
+        assert!(m.sizes.iter().all(|&s| s >= 8), "sizes {:?}", m.sizes);
+    }
+
+    #[test]
+    fn metrics_single_part() {
+        let a = generators::grid2d_laplacian(3, 3);
+        let m = metrics(&a, &vec![0; 9]);
+        assert_eq!(m.boundary_vertices, 0);
+        assert_eq!(m.cut_edges, 0);
+        assert_eq!(m.sizes, vec![9]);
+    }
+}

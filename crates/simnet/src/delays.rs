@@ -1,0 +1,214 @@
+//! Link-delay models.
+//!
+//! The paper's two evaluation machines:
+//! * Fig. 11 — 16 processors, delays between 10 ms and 99 ms, "very
+//!   unsymmetrical": the delay from Pk to Pj differs from Pj to Pk;
+//! * Fig. 13 — 64 processors, delays "uniformly distributed between 10 ms
+//!   and 100 ms".
+//!
+//! Both are seeded samplers here; each *directed* link samples
+//! independently, so asymmetry arises naturally. Explicit per-link tables
+//! support hand-built cases such as Example 5.1's 6.7 µs / 2.9 µs pair.
+
+use crate::time::SimDuration;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+
+/// A reusable description of how to assign delays to directed links.
+#[derive(Debug, Clone)]
+pub enum DelayModel {
+    /// Every link gets the same delay.
+    Fixed(SimDuration),
+    /// Independent uniform sample in `[lo, hi]` per directed link.
+    Uniform {
+        /// Lower bound.
+        lo: SimDuration,
+        /// Upper bound (inclusive).
+        hi: SimDuration,
+        /// RNG seed.
+        seed: u64,
+    },
+    /// Log-normal-ish sample: `exp(N(mu_ln, sigma_ln))` nanoseconds,
+    /// clamped to `[lo, hi]`. Models long-tailed WAN links.
+    LogNormal {
+        /// Median delay.
+        median: SimDuration,
+        /// Multiplicative spread (σ of ln-delay).
+        sigma: f64,
+        /// Clamp bounds.
+        lo: SimDuration,
+        /// Clamp bounds.
+        hi: SimDuration,
+        /// RNG seed.
+        seed: u64,
+    },
+    /// Explicit per-directed-link delays; missing pairs fall back to
+    /// `default`.
+    Table {
+        /// `(src, dst) → delay` entries.
+        entries: HashMap<(usize, usize), SimDuration>,
+        /// Fallback delay.
+        default: SimDuration,
+    },
+}
+
+impl DelayModel {
+    /// Fixed delay in milliseconds.
+    pub fn fixed_ms(ms: f64) -> Self {
+        DelayModel::Fixed(SimDuration::from_millis_f64(ms))
+    }
+
+    /// Fixed delay in microseconds.
+    pub fn fixed_us(us: f64) -> Self {
+        DelayModel::Fixed(SimDuration::from_micros_f64(us))
+    }
+
+    /// Seeded uniform delay in `[lo_ms, hi_ms]` milliseconds — the paper's
+    /// Fig. 13 model (and, with 10–99, the Fig. 11 spread).
+    pub fn uniform_ms(lo_ms: f64, hi_ms: f64, seed: u64) -> Self {
+        assert!(lo_ms <= hi_ms, "uniform delay bounds inverted");
+        DelayModel::Uniform {
+            lo: SimDuration::from_millis_f64(lo_ms),
+            hi: SimDuration::from_millis_f64(hi_ms),
+            seed,
+        }
+    }
+
+    /// Explicit table with a default, built from `(src, dst, ms)` triples.
+    pub fn table_ms(entries: &[(usize, usize, f64)], default_ms: f64) -> Self {
+        DelayModel::Table {
+            entries: entries
+                .iter()
+                .map(|&(s, d, ms)| ((s, d), SimDuration::from_millis_f64(ms)))
+                .collect(),
+            default: SimDuration::from_millis_f64(default_ms),
+        }
+    }
+
+    /// Create a sampler; sampling order is the topology's link order, so a
+    /// given `(model, topology)` pair is deterministic.
+    pub fn sampler(&self) -> DelaySampler<'_> {
+        let rng = match self {
+            DelayModel::Uniform { seed, .. } | DelayModel::LogNormal { seed, .. } => {
+                Some(StdRng::seed_from_u64(*seed))
+            }
+            _ => None,
+        };
+        DelaySampler { model: self, rng }
+    }
+}
+
+/// Stateful sampler over a [`DelayModel`].
+#[derive(Debug)]
+pub struct DelaySampler<'m> {
+    model: &'m DelayModel,
+    rng: Option<StdRng>,
+}
+
+impl DelaySampler<'_> {
+    /// Delay for the directed link `src → dst`.
+    pub fn delay(&mut self, src: usize, dst: usize) -> SimDuration {
+        match self.model {
+            DelayModel::Fixed(d) => *d,
+            DelayModel::Uniform { lo, hi, .. } => {
+                let rng = self.rng.as_mut().expect("uniform sampler has rng");
+                if lo == hi {
+                    return *lo;
+                }
+                SimDuration::from_nanos(rng.gen_range(lo.as_nanos()..=hi.as_nanos()))
+            }
+            DelayModel::LogNormal {
+                median,
+                sigma,
+                lo,
+                hi,
+                ..
+            } => {
+                let rng = self.rng.as_mut().expect("lognormal sampler has rng");
+                // Box–Muller normal from two uniforms.
+                let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+                let u2: f64 = rng.gen_range(0.0..1.0);
+                let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+                let ns = (median.as_nanos() as f64) * (sigma * z).exp();
+                let ns = ns.clamp(lo.as_nanos() as f64, hi.as_nanos() as f64);
+                SimDuration::from_nanos(ns.round() as u64)
+            }
+            DelayModel::Table { entries, default } => {
+                entries.get(&(src, dst)).copied().unwrap_or(*default)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_is_constant() {
+        let m = DelayModel::fixed_us(6.7);
+        let mut s = m.sampler();
+        assert_eq!(s.delay(0, 1).as_nanos(), 6700);
+        assert_eq!(s.delay(5, 9).as_nanos(), 6700);
+    }
+
+    #[test]
+    fn uniform_within_bounds_and_seeded() {
+        let m = DelayModel::uniform_ms(10.0, 99.0, 42);
+        let mut s1 = m.sampler();
+        let mut s2 = m.sampler();
+        for i in 0..100 {
+            let d1 = s1.delay(i, i + 1);
+            let d2 = s2.delay(i, i + 1);
+            assert_eq!(d1, d2, "same seed, same sequence");
+            assert!(d1 >= SimDuration::from_millis_f64(10.0));
+            assert!(d1 <= SimDuration::from_millis_f64(99.0));
+        }
+    }
+
+    #[test]
+    fn uniform_spread_is_wide() {
+        // The paper's point: max/min ≈ 9.9. Check our sampler spans most of
+        // the range over many draws.
+        let m = DelayModel::uniform_ms(10.0, 99.0, 3);
+        let mut s = m.sampler();
+        let draws: Vec<u64> = (0..500).map(|i| s.delay(i, 0).as_nanos()).collect();
+        let lo = *draws.iter().min().unwrap() as f64 / 1e6;
+        let hi = *draws.iter().max().unwrap() as f64 / 1e6;
+        assert!(hi / lo > 5.0, "spread {lo}..{hi} too narrow");
+    }
+
+    #[test]
+    fn table_lookup_and_default() {
+        // Example 5.1: A→B is 6.7 µs, B→A is 2.9 µs.
+        let m = DelayModel::table_ms(&[(0, 1, 0.0067), (1, 0, 0.0029)], 1.0);
+        let mut s = m.sampler();
+        assert_eq!(s.delay(0, 1).as_nanos(), 6700);
+        assert_eq!(s.delay(1, 0).as_nanos(), 2900);
+        assert_eq!(s.delay(7, 8), SimDuration::from_millis_f64(1.0));
+    }
+
+    #[test]
+    fn lognormal_clamped() {
+        let m = DelayModel::LogNormal {
+            median: SimDuration::from_millis_f64(20.0),
+            sigma: 1.0,
+            lo: SimDuration::from_millis_f64(10.0),
+            hi: SimDuration::from_millis_f64(100.0),
+            seed: 5,
+        };
+        let mut s = m.sampler();
+        for i in 0..200 {
+            let d = s.delay(i, 0);
+            assert!(d >= SimDuration::from_millis_f64(10.0));
+            assert!(d <= SimDuration::from_millis_f64(100.0));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "inverted")]
+    fn inverted_bounds_rejected() {
+        let _ = DelayModel::uniform_ms(5.0, 1.0, 0);
+    }
+}

@@ -1,0 +1,731 @@
+//! The deterministic discrete-event engine.
+//!
+//! Nodes are activated with **batches** of messages: anything that arrives
+//! while a node is busy computing coalesces into its next activation. That
+//! is exactly Table 1's step 3 — "*wait until receiving part of the remote
+//! boundary conditions from one or more of the adjacent subgraphs*" — and
+//! it also makes equal-delay runs reproduce VTM's synchronous rounds without
+//! any special-casing (all same-instant deliveries commit before any
+//! activation fires).
+//!
+//! Determinism: the event queue orders by `(time, kind, sequence)` with
+//! deliveries ranked before wakeups; sequence numbers make the order total.
+
+use crate::time::{SimDuration, SimTime};
+use crate::topology::Topology;
+use crate::trace::{Trace, TraceKind, TraceRecord};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// A delivered message with its transport metadata.
+#[derive(Debug, Clone)]
+pub struct Envelope<M> {
+    /// Sending processor.
+    pub src: usize,
+    /// Receiving processor.
+    pub dst: usize,
+    /// Departure instant (end of the sender's compute).
+    pub sent_at: SimTime,
+    /// Arrival instant (`sent_at` + link delay).
+    pub delivered_at: SimTime,
+    /// Payload.
+    pub payload: M,
+}
+
+/// Behaviour of a simulated processor.
+pub trait Node {
+    /// Message payload type.
+    type Msg;
+
+    /// Called once at `t = 0`; typically performs the initial local solve
+    /// and sends the first boundary conditions.
+    fn start(&mut self, ctx: &mut Ctx<Self::Msg>);
+
+    /// Called whenever one or more messages are ready (coalesced batch).
+    fn receive(&mut self, ctx: &mut Ctx<Self::Msg>, batch: Vec<Envelope<Self::Msg>>);
+}
+
+/// Per-activation context handed to a [`Node`].
+#[derive(Debug)]
+pub struct Ctx<'t, M> {
+    now: SimTime,
+    node: usize,
+    topology: &'t Topology,
+    outbox: Vec<(usize, M)>,
+    compute: SimDuration,
+    halt: bool,
+}
+
+impl<M> Ctx<'_, M> {
+    /// Current simulation time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// This node's id.
+    pub fn node_id(&self) -> usize {
+        self.node
+    }
+
+    /// Neighbours reachable from this node (N2N communication partners).
+    pub fn neighbors(&self) -> impl Iterator<Item = usize> + '_ {
+        self.topology.out_links(self.node).map(|l| l.dst)
+    }
+
+    /// Queue a message to `dst`. It departs when this activation's compute
+    /// time elapses and arrives one link delay later.
+    ///
+    /// # Panics
+    /// Panics if no directed link `self → dst` exists: the engine enforces
+    /// the paper's N2N model structurally (no broadcast primitive exists).
+    pub fn send(&mut self, dst: usize, msg: M) {
+        assert!(
+            self.topology.link(self.node, dst).is_some(),
+            "N2N violation: node {} has no link to {}",
+            self.node,
+            dst
+        );
+        self.outbox.push((dst, msg));
+    }
+
+    /// Declare the compute time of this activation (default: zero).
+    pub fn set_compute(&mut self, d: SimDuration) {
+        self.compute = d;
+    }
+
+    /// Stop participating: this node is locally converged (Table 1 step
+    /// 3.3, "if convergent, then break"). Pending and future messages to it
+    /// are dropped.
+    pub fn halt(&mut self) {
+        self.halt = true;
+    }
+}
+
+#[derive(Debug)]
+enum EventKind<M> {
+    Deliver(Envelope<M>),
+    Wakeup(usize),
+}
+
+/// Queue entry ordered by `(time, rank, seq)`; rank puts deliveries before
+/// wakeups at the same instant.
+#[derive(Debug)]
+struct QueuedEvent<M> {
+    time: SimTime,
+    rank: u8,
+    seq: u64,
+    kind: EventKind<M>,
+}
+
+impl<M> PartialEq for QueuedEvent<M> {
+    fn eq(&self, other: &Self) -> bool {
+        (self.time, self.rank, self.seq) == (other.time, other.rank, other.seq)
+    }
+}
+impl<M> Eq for QueuedEvent<M> {}
+impl<M> PartialOrd for QueuedEvent<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<M> Ord for QueuedEvent<M> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.time, self.rank, self.seq).cmp(&(other.time, other.rank, other.seq))
+    }
+}
+
+/// Aggregate run statistics (Table 1 evidence: message counts are per
+/// directed link; there is no broadcast calll to count).
+#[derive(Debug, Clone, Default)]
+pub struct Stats {
+    /// Messages sent per directed link (indexed like `Topology::links`).
+    pub sent_per_link: Vec<u64>,
+    /// Activations (start + receive) per node.
+    pub activations: Vec<u64>,
+    /// Total messages sent.
+    pub messages_sent: u64,
+    /// Total messages delivered (dropped-at-halted excluded).
+    pub messages_delivered: u64,
+    /// Receive batches containing more than one message.
+    pub coalesced_batches: u64,
+    /// Peak event-queue length.
+    pub max_queue_len: usize,
+}
+
+/// Why a run returned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StopReason {
+    /// No events left: the system is quiescent.
+    QueueEmpty,
+    /// The time horizon was reached.
+    TimeLimit,
+    /// The observer requested a stop.
+    ObserverStop,
+    /// Every node halted itself.
+    AllHalted,
+}
+
+/// Result of [`Engine::run`].
+#[derive(Debug, Clone)]
+pub struct RunOutcome {
+    /// Time of the last processed event.
+    pub final_time: SimTime,
+    /// Total events processed.
+    pub events: u64,
+    /// Why the run stopped.
+    pub reason: StopReason,
+}
+
+/// The discrete-event engine binding a [`Topology`] to a set of [`Node`]s.
+#[derive(Debug)]
+pub struct Engine<N: Node> {
+    topology: Topology,
+    nodes: Vec<N>,
+    queue: BinaryHeap<Reverse<QueuedEvent<N::Msg>>>,
+    inbox: Vec<Vec<Envelope<N::Msg>>>,
+    busy_until: Vec<SimTime>,
+    wakeup_at: Vec<Option<SimTime>>,
+    halted: Vec<bool>,
+    started: bool,
+    now: SimTime,
+    seq: u64,
+    stats: Stats,
+    trace: Option<Trace>,
+}
+
+impl<N: Node> Engine<N> {
+    /// Create an engine; one node per processor.
+    ///
+    /// # Panics
+    /// Panics if `nodes.len() != topology.n_nodes()`.
+    pub fn new(topology: Topology, nodes: Vec<N>) -> Self {
+        assert_eq!(
+            nodes.len(),
+            topology.n_nodes(),
+            "one node per processor required"
+        );
+        let n = nodes.len();
+        Self {
+            stats: Stats {
+                sent_per_link: vec![0; topology.links().len()],
+                activations: vec![0; n],
+                ..Default::default()
+            },
+            inbox: (0..n).map(|_| Vec::new()).collect(),
+            busy_until: vec![SimTime::ZERO; n],
+            wakeup_at: vec![None; n],
+            halted: vec![false; n],
+            started: false,
+            now: SimTime::ZERO,
+            seq: 0,
+            queue: BinaryHeap::new(),
+            trace: None,
+            topology,
+            nodes,
+        }
+    }
+
+    /// Record activations and halts into a bounded trace.
+    pub fn enable_trace(&mut self, capacity: usize) {
+        self.trace = Some(Trace::new(capacity));
+    }
+
+    /// The captured trace, if enabled.
+    pub fn trace(&self) -> Option<&Trace> {
+        self.trace.as_ref()
+    }
+
+    /// Access the nodes (e.g. to read final state).
+    pub fn nodes(&self) -> &[N] {
+        &self.nodes
+    }
+
+    /// The topology.
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// Statistics so far.
+    pub fn stats(&self) -> &Stats {
+        &self.stats
+    }
+
+    /// Current simulation time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    fn push_event(&mut self, time: SimTime, kind: EventKind<N::Msg>) {
+        let rank = match kind {
+            EventKind::Deliver(_) => 0,
+            EventKind::Wakeup(_) => 1,
+        };
+        self.seq += 1;
+        self.queue.push(Reverse(QueuedEvent {
+            time,
+            rank,
+            seq: self.seq,
+            kind,
+        }));
+        self.stats.max_queue_len = self.stats.max_queue_len.max(self.queue.len());
+    }
+
+    fn schedule_wakeup(&mut self, node: usize, at: SimTime) {
+        let earlier = match self.wakeup_at[node] {
+            Some(t) => at < t,
+            None => true,
+        };
+        if earlier {
+            self.wakeup_at[node] = Some(at);
+            self.push_event(at, EventKind::Wakeup(node));
+        }
+    }
+
+    /// Activate `node` at `time` with `batch` (empty = `start`).
+    fn activate(
+        &mut self,
+        node: usize,
+        time: SimTime,
+        batch: Vec<Envelope<N::Msg>>,
+        is_start: bool,
+    ) {
+        let batch_size = batch.len();
+        // Disjoint field borrows: the context reads the topology while the
+        // node object is mutated.
+        let (outbox, compute, halt) = {
+            let topology = &self.topology;
+            let node_obj = &mut self.nodes[node];
+            let mut ctx = Ctx {
+                now: time,
+                node,
+                topology,
+                outbox: Vec::new(),
+                compute: SimDuration::ZERO,
+                halt: false,
+            };
+            if is_start {
+                node_obj.start(&mut ctx);
+            } else {
+                node_obj.receive(&mut ctx, batch);
+            }
+            (ctx.outbox, ctx.compute, ctx.halt)
+        };
+        self.stats.activations[node] += 1;
+        if batch_size > 1 {
+            self.stats.coalesced_batches += 1;
+        }
+        let done_at = time + compute;
+        self.busy_until[node] = done_at;
+        let sent = outbox.len();
+        for (dst, payload) in outbox {
+            let link_id = self
+                .topology
+                .link_id(node, dst)
+                .expect("checked by Ctx::send");
+            let delay = self.topology.links()[link_id].delay;
+            let env = Envelope {
+                src: node,
+                dst,
+                sent_at: done_at,
+                delivered_at: done_at + delay,
+                payload,
+            };
+            self.stats.sent_per_link[link_id] += 1;
+            self.stats.messages_sent += 1;
+            self.push_event(env.delivered_at, EventKind::Deliver(env));
+        }
+        if halt {
+            self.halted[node] = true;
+            self.inbox[node].clear();
+        }
+        if let Some(trace) = &mut self.trace {
+            trace.push(TraceRecord {
+                time,
+                node,
+                kind: if halt {
+                    TraceKind::Halt
+                } else if is_start {
+                    TraceKind::Start { sent }
+                } else {
+                    TraceKind::Receive {
+                        batch: batch_size,
+                        sent,
+                    }
+                },
+            });
+        }
+        // If messages queued up during this activation window, wake again.
+        if !self.inbox[node].is_empty() && !self.halted[node] {
+            self.schedule_wakeup(node, done_at);
+        }
+    }
+
+    /// Run until `horizon`, invoking `observer` after every activation;
+    /// return `false` from the observer to stop early.
+    pub fn run<F>(&mut self, horizon: SimTime, mut observer: F) -> RunOutcome
+    where
+        F: FnMut(SimTime, usize, &N) -> bool,
+    {
+        let mut events = 0u64;
+        if !self.started {
+            self.started = true;
+            for node in 0..self.nodes.len() {
+                self.activate(node, SimTime::ZERO, Vec::new(), true);
+                if !observer(SimTime::ZERO, node, &self.nodes[node]) {
+                    return RunOutcome {
+                        final_time: self.now,
+                        events,
+                        reason: StopReason::ObserverStop,
+                    };
+                }
+            }
+        }
+        while let Some(Reverse(ev)) = self.queue.pop() {
+            if ev.time > horizon {
+                // Not consumed: push back for a later run() call.
+                self.queue.push(Reverse(ev));
+                return RunOutcome {
+                    final_time: self.now,
+                    events,
+                    reason: StopReason::TimeLimit,
+                };
+            }
+            self.now = ev.time;
+            events += 1;
+            match ev.kind {
+                EventKind::Deliver(env) => {
+                    let dst = env.dst;
+                    if self.halted[dst] {
+                        continue;
+                    }
+                    self.stats.messages_delivered += 1;
+                    self.inbox[dst].push(env);
+                    let ready_at = self.busy_until[dst].max(self.now);
+                    self.schedule_wakeup(dst, ready_at);
+                }
+                EventKind::Wakeup(node) => {
+                    if self.wakeup_at[node] == Some(ev.time) {
+                        self.wakeup_at[node] = None;
+                    }
+                    if self.halted[node] || self.inbox[node].is_empty() {
+                        continue;
+                    }
+                    if self.busy_until[node] > ev.time {
+                        let at = self.busy_until[node];
+                        self.schedule_wakeup(node, at);
+                        continue;
+                    }
+                    let batch = std::mem::take(&mut self.inbox[node]);
+                    self.activate(node, ev.time, batch, false);
+                    if !observer(ev.time, node, &self.nodes[node]) {
+                        return RunOutcome {
+                            final_time: self.now,
+                            events,
+                            reason: StopReason::ObserverStop,
+                        };
+                    }
+                    if self.halted.iter().all(|&h| h) {
+                        return RunOutcome {
+                            final_time: self.now,
+                            events,
+                            reason: StopReason::AllHalted,
+                        };
+                    }
+                }
+            }
+        }
+        RunOutcome {
+            final_time: self.now,
+            events,
+            reason: if self.halted.iter().all(|&h| h) {
+                StopReason::AllHalted
+            } else {
+                StopReason::QueueEmpty
+            },
+        }
+    }
+
+    /// Run with no observer.
+    pub fn run_until(&mut self, horizon: SimTime) -> RunOutcome {
+        self.run(horizon, |_, _, _| true)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::delays::DelayModel;
+
+    /// Bounces a counter back and forth `limit` times, then halts.
+    struct PingPong {
+        id: usize,
+        limit: u64,
+        log: Vec<(SimTime, u64)>,
+    }
+
+    impl Node for PingPong {
+        type Msg = u64;
+        fn start(&mut self, ctx: &mut Ctx<u64>) {
+            if self.id == 0 {
+                ctx.send(1, 0);
+            }
+        }
+        fn receive(&mut self, ctx: &mut Ctx<u64>, batch: Vec<Envelope<u64>>) {
+            for env in batch {
+                self.log.push((ctx.now(), env.payload));
+                if env.payload >= self.limit {
+                    ctx.halt();
+                } else {
+                    let peer = 1 - self.id;
+                    ctx.send(peer, env.payload + 1);
+                }
+            }
+        }
+    }
+
+    fn two_node_topology(d01_us: f64, d10_us: f64) -> Topology {
+        Topology::from_links(
+            2,
+            vec![
+                crate::topology::Link {
+                    src: 0,
+                    dst: 1,
+                    delay: SimDuration::from_micros_f64(d01_us),
+                },
+                crate::topology::Link {
+                    src: 1,
+                    dst: 0,
+                    delay: SimDuration::from_micros_f64(d10_us),
+                },
+            ],
+        )
+    }
+
+    #[test]
+    fn asymmetric_delays_accumulate_exactly() {
+        // Example 5.1's delays: 6.7 µs one way, 2.9 µs the other.
+        let topo = two_node_topology(6.7, 2.9);
+        let nodes = vec![
+            PingPong {
+                id: 0,
+                limit: 4,
+                log: vec![],
+            },
+            PingPong {
+                id: 1,
+                limit: 4,
+                log: vec![],
+            },
+        ];
+        let mut engine = Engine::new(topo, nodes);
+        let out = engine.run_until(SimTime::from_nanos(u64::MAX - 1));
+        // Token 0 arrives at node 1 after 6.7 µs; token 1 back at 9.6 µs; …
+        let n1 = &engine.nodes()[1];
+        assert_eq!(n1.log[0], (SimTime::from_nanos(6700), 0));
+        let n0 = &engine.nodes()[0];
+        assert_eq!(n0.log[0], (SimTime::from_nanos(9600), 1));
+        assert_eq!(n1.log[1], (SimTime::from_nanos(16300), 2));
+        assert_eq!(out.reason, StopReason::QueueEmpty);
+    }
+
+    /// Records batch sizes; used to verify coalescing.
+    struct BatchCounter {
+        batches: Vec<usize>,
+        compute: SimDuration,
+    }
+
+    impl Node for BatchCounter {
+        type Msg = ();
+        fn start(&mut self, ctx: &mut Ctx<()>) {
+            // Everyone sends to node 0 except node 0 itself.
+            if ctx.node_id() != 0 {
+                ctx.send(0, ());
+            }
+        }
+        fn receive(&mut self, ctx: &mut Ctx<()>, batch: Vec<Envelope<()>>) {
+            self.batches.push(batch.len());
+            ctx.set_compute(self.compute);
+        }
+    }
+
+    #[test]
+    fn equal_delay_messages_coalesce_into_one_batch() {
+        // Star with fixed delays: all spokes' messages reach the hub at the
+        // same instant and must form ONE batch (the VTM-equivalence
+        // property).
+        let topo = Topology::star(5).with_delays(&DelayModel::fixed_ms(1.0));
+        let nodes = (0..5)
+            .map(|_| BatchCounter {
+                batches: vec![],
+                compute: SimDuration::ZERO,
+            })
+            .collect();
+        let mut engine = Engine::new(topo, nodes);
+        engine.run_until(SimTime::from_nanos(u64::MAX - 1));
+        assert_eq!(engine.nodes()[0].batches, vec![4]);
+        assert_eq!(engine.stats().coalesced_batches, 1);
+    }
+
+    #[test]
+    fn busy_node_defers_and_coalesces() {
+        // Hub is busy 10 ms per activation; spokes' staggered messages
+        // arriving during the busy window coalesce.
+        let topo = Topology::star(4).with_delays(&DelayModel::table_ms(
+            &[(1, 0, 1.0), (2, 0, 2.0), (3, 0, 8.0)],
+            1.0,
+        ));
+        let nodes = (0..4)
+            .map(|_| BatchCounter {
+                batches: vec![],
+                compute: SimDuration::from_millis_f64(10.0),
+            })
+            .collect();
+        let mut engine = Engine::new(topo, nodes);
+        engine.run_until(SimTime::from_nanos(u64::MAX - 1));
+        // First activation at 1 ms with batch [1]; then busy until 11 ms;
+        // messages at 2 ms and 8 ms coalesce into batch [2].
+        assert_eq!(engine.nodes()[0].batches, vec![1, 2]);
+    }
+
+    #[test]
+    fn halt_drops_pending_and_future_messages() {
+        struct HaltOnFirst;
+        impl Node for HaltOnFirst {
+            type Msg = ();
+            fn start(&mut self, ctx: &mut Ctx<()>) {
+                if ctx.node_id() == 1 {
+                    ctx.send(0, ());
+                    ctx.send(0, ());
+                }
+            }
+            fn receive(&mut self, ctx: &mut Ctx<()>, _batch: Vec<Envelope<()>>) {
+                ctx.halt();
+            }
+        }
+        let topo = two_node_topology(1.0, 1.0);
+        let mut engine = Engine::new(topo, vec![HaltOnFirst, HaltOnFirst]);
+        let out = engine.run_until(SimTime::from_nanos(u64::MAX - 1));
+        assert_eq!(engine.stats().activations[0], 2); // start + one receive
+        assert_eq!(out.reason, StopReason::QueueEmpty);
+    }
+
+    #[test]
+    fn time_limit_pauses_and_resumes() {
+        let topo = two_node_topology(10.0, 10.0);
+        let nodes = vec![
+            PingPong {
+                id: 0,
+                limit: 100,
+                log: vec![],
+            },
+            PingPong {
+                id: 1,
+                limit: 100,
+                log: vec![],
+            },
+        ];
+        let mut engine = Engine::new(topo, nodes);
+        let out = engine.run_until(SimTime::from_nanos(35_000));
+        assert_eq!(out.reason, StopReason::TimeLimit);
+        let mid_count: usize = engine.nodes().iter().map(|n| n.log.len()).sum();
+        let _ = engine.run_until(SimTime::from_nanos(100_000));
+        let final_count: usize = engine.nodes().iter().map(|n| n.log.len()).sum();
+        assert!(final_count > mid_count, "resume continues the run");
+    }
+
+    #[test]
+    fn observer_can_stop_early() {
+        let topo = two_node_topology(1.0, 1.0);
+        let nodes = vec![
+            PingPong {
+                id: 0,
+                limit: 1_000_000,
+                log: vec![],
+            },
+            PingPong {
+                id: 1,
+                limit: 1_000_000,
+                log: vec![],
+            },
+        ];
+        let mut engine = Engine::new(topo, nodes);
+        let mut count = 0;
+        let out = engine.run(SimTime::from_nanos(u64::MAX - 1), |_, _, _| {
+            count += 1;
+            count < 10
+        });
+        assert_eq!(out.reason, StopReason::ObserverStop);
+    }
+
+    #[test]
+    #[should_panic(expected = "N2N violation")]
+    fn sending_without_link_panics() {
+        struct Rogue;
+        impl Node for Rogue {
+            type Msg = ();
+            fn start(&mut self, ctx: &mut Ctx<()>) {
+                if ctx.node_id() == 0 {
+                    ctx.send(3, ()); // 0 → 3 is not a mesh link
+                }
+            }
+            fn receive(&mut self, _: &mut Ctx<()>, _: Vec<Envelope<()>>) {}
+        }
+        let topo = Topology::mesh(2, 2).with_delays(&DelayModel::fixed_ms(1.0));
+        let mut engine = Engine::new(topo, vec![Rogue, Rogue, Rogue, Rogue]);
+        engine.run_until(SimTime::from_nanos(1000));
+    }
+
+    #[test]
+    fn stats_count_messages_per_link() {
+        let topo = two_node_topology(1.0, 1.0);
+        let nodes = vec![
+            PingPong {
+                id: 0,
+                limit: 5,
+                log: vec![],
+            },
+            PingPong {
+                id: 1,
+                limit: 5,
+                log: vec![],
+            },
+        ];
+        let mut engine = Engine::new(topo, nodes);
+        engine.run_until(SimTime::from_nanos(u64::MAX - 1));
+        let s = engine.stats();
+        assert_eq!(s.messages_sent, s.messages_delivered);
+        assert_eq!(s.sent_per_link.iter().sum::<u64>(), s.messages_sent);
+        assert!(s.messages_sent >= 6);
+    }
+
+    #[test]
+    fn trace_records_activations() {
+        let topo = two_node_topology(1.0, 1.0);
+        let nodes = vec![
+            PingPong {
+                id: 0,
+                limit: 2,
+                log: vec![],
+            },
+            PingPong {
+                id: 1,
+                limit: 2,
+                log: vec![],
+            },
+        ];
+        let mut engine = Engine::new(topo, nodes);
+        engine.enable_trace(100);
+        engine.run_until(SimTime::from_nanos(u64::MAX - 1));
+        let trace = engine.trace().unwrap();
+        assert!(trace.records().len() >= 4);
+        assert!(matches!(
+            trace.records()[0].kind,
+            TraceKind::Start { .. }
+        ));
+        // No record is a broadcast; every receive lists a bounded batch.
+        assert!(trace.records().iter().all(|r| match r.kind {
+            TraceKind::Receive { batch, .. } => batch >= 1,
+            _ => true,
+        }));
+    }
+}

@@ -1,0 +1,192 @@
+//! Simulation time as integer nanoseconds.
+//!
+//! DTM is a *continuous-time* algorithm; the paper's delays are real-valued
+//! (6.7 µs, 2.9 µs, 10–99 ms). Integer nanoseconds give 9 significant
+//! sub-second digits — far below any delay granularity the paper uses —
+//! while keeping a total order with no floating-point accumulation error,
+//! which the deterministic event queue requires.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// An instant of simulated time (nanoseconds since simulation start).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(u64);
+
+/// A span of simulated time (nanoseconds).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimDuration(u64);
+
+impl SimTime {
+    /// The simulation epoch.
+    pub const ZERO: SimTime = SimTime(0);
+    /// The greatest representable instant (used as "never").
+    pub const MAX: SimTime = SimTime(u64::MAX);
+
+    /// From raw nanoseconds.
+    pub const fn from_nanos(ns: u64) -> Self {
+        SimTime(ns)
+    }
+
+    /// Raw nanoseconds.
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// As floating-point microseconds (for reporting).
+    pub fn as_micros_f64(self) -> f64 {
+        self.0 as f64 / 1e3
+    }
+
+    /// As floating-point milliseconds (for reporting).
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// As floating-point seconds (for reporting).
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// Duration since an earlier instant (saturating).
+    pub fn since(self, earlier: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(earlier.0))
+    }
+}
+
+impl SimDuration {
+    /// Zero-length span.
+    pub const ZERO: SimDuration = SimDuration(0);
+
+    /// From raw nanoseconds.
+    pub const fn from_nanos(ns: u64) -> Self {
+        SimDuration(ns)
+    }
+
+    /// From microseconds (f64; rounds to nearest nanosecond).
+    ///
+    /// # Panics
+    /// Panics on negative or non-finite input.
+    pub fn from_micros_f64(us: f64) -> Self {
+        assert!(us.is_finite() && us >= 0.0, "bad duration: {us} µs");
+        SimDuration((us * 1e3).round() as u64)
+    }
+
+    /// From milliseconds (f64; rounds to nearest nanosecond).
+    ///
+    /// # Panics
+    /// Panics on negative or non-finite input.
+    pub fn from_millis_f64(ms: f64) -> Self {
+        assert!(ms.is_finite() && ms >= 0.0, "bad duration: {ms} ms");
+        SimDuration((ms * 1e6).round() as u64)
+    }
+
+    /// Raw nanoseconds.
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// As floating-point microseconds.
+    pub fn as_micros_f64(self) -> f64 {
+        self.0 as f64 / 1e3
+    }
+
+    /// As floating-point milliseconds.
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// Saturating scalar multiply (e.g. `3 × link delay`).
+    pub fn saturating_mul(self, k: u64) -> Self {
+        SimDuration(self.0.saturating_mul(k))
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        *self = *self + rhs;
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl Sub for SimDuration {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3} ms", self.as_millis_f64())
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3} ms", self.as_millis_f64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_roundtrip() {
+        let d = SimDuration::from_micros_f64(6.7);
+        assert_eq!(d.as_nanos(), 6700);
+        assert!((d.as_micros_f64() - 6.7).abs() < 1e-12);
+        let d = SimDuration::from_millis_f64(99.0);
+        assert_eq!(d.as_nanos(), 99_000_000);
+        assert!((d.as_millis_f64() - 99.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let t = SimTime::ZERO + SimDuration::from_nanos(5) + SimDuration::from_nanos(7);
+        assert_eq!(t.as_nanos(), 12);
+        assert_eq!(t.since(SimTime::from_nanos(4)).as_nanos(), 8);
+        assert_eq!(t.since(SimTime::from_nanos(100)).as_nanos(), 0);
+        assert_eq!(SimDuration::from_nanos(3).saturating_mul(4).as_nanos(), 12);
+    }
+
+    #[test]
+    fn ordering_is_total() {
+        let a = SimTime::from_nanos(1);
+        let b = SimTime::from_nanos(2);
+        assert!(a < b);
+        assert_eq!(a.max(b), b);
+        assert!(SimTime::MAX > b);
+    }
+
+    #[test]
+    #[should_panic(expected = "bad duration")]
+    fn negative_duration_panics() {
+        let _ = SimDuration::from_millis_f64(-1.0);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(SimDuration::from_millis_f64(10.0).to_string(), "10.000 ms");
+    }
+
+    #[test]
+    fn saturating_add_at_max() {
+        let t = SimTime::MAX + SimDuration::from_nanos(10);
+        assert_eq!(t, SimTime::MAX);
+    }
+}

@@ -1,0 +1,386 @@
+//! Directed processor topologies with per-link delays.
+//!
+//! A topology is a set of **directed** links: the delay from processor A to
+//! B may differ from B to A — the asymmetry the Directed Transmission Line
+//! exists to model (paper §2: "the communication from one processor to
+//! another is directed").
+
+use crate::delays::DelayModel;
+use crate::time::SimDuration;
+use std::collections::HashMap;
+
+/// A directed communication link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Link {
+    /// Source processor.
+    pub src: usize,
+    /// Destination processor.
+    pub dst: usize,
+    /// Propagation delay of this direction.
+    pub delay: SimDuration,
+}
+
+/// A directed multigraph-free processor network.
+#[derive(Debug, Clone)]
+pub struct Topology {
+    n: usize,
+    links: Vec<Link>,
+    out: Vec<Vec<usize>>,
+    index: HashMap<(usize, usize), usize>,
+}
+
+impl Topology {
+    /// Build from explicit links.
+    ///
+    /// # Panics
+    /// Panics on out-of-range endpoints, self-loops, or duplicate `(src,
+    /// dst)` pairs.
+    pub fn from_links(n: usize, links: Vec<Link>) -> Self {
+        let mut out = vec![Vec::new(); n];
+        let mut index = HashMap::with_capacity(links.len());
+        for (i, l) in links.iter().enumerate() {
+            assert!(l.src < n && l.dst < n, "link endpoint out of range");
+            assert_ne!(l.src, l.dst, "self-loop link");
+            let prev = index.insert((l.src, l.dst), i);
+            assert!(prev.is_none(), "duplicate link {} → {}", l.src, l.dst);
+            out[l.src].push(i);
+        }
+        Self {
+            n,
+            links,
+            out,
+            index,
+        }
+    }
+
+    /// Bidirectional `rows × cols` mesh (the paper's 4×4 and 8×8 machines);
+    /// both directions of every mesh edge are created with delay zero —
+    /// apply a [`DelayModel`] with [`Topology::with_delays`].
+    pub fn mesh(rows: usize, cols: usize) -> Self {
+        let n = rows * cols;
+        let idx = |r: usize, c: usize| r * cols + c;
+        let mut links = Vec::new();
+        let mut push_pair = |a: usize, b: usize| {
+            links.push(Link {
+                src: a,
+                dst: b,
+                delay: SimDuration::ZERO,
+            });
+            links.push(Link {
+                src: b,
+                dst: a,
+                delay: SimDuration::ZERO,
+            });
+        };
+        for r in 0..rows {
+            for c in 0..cols {
+                if c + 1 < cols {
+                    push_pair(idx(r, c), idx(r, c + 1));
+                }
+                if r + 1 < rows {
+                    push_pair(idx(r, c), idx(r + 1, c));
+                }
+            }
+        }
+        Self::from_links(n, links)
+    }
+
+    /// Torus: mesh plus wraparound links.
+    pub fn torus(rows: usize, cols: usize) -> Self {
+        let n = rows * cols;
+        let idx = |r: usize, c: usize| (r % rows) * cols + (c % cols);
+        let mut seen = std::collections::HashSet::new();
+        let mut links = Vec::new();
+        for r in 0..rows {
+            for c in 0..cols {
+                for (nr, nc) in [(r, c + 1), (r + 1, c)] {
+                    let (a, b) = (idx(r, c), idx(nr, nc));
+                    if a == b || !seen.insert((a.min(b), a.max(b))) {
+                        continue;
+                    }
+                    links.push(Link {
+                        src: a,
+                        dst: b,
+                        delay: SimDuration::ZERO,
+                    });
+                    links.push(Link {
+                        src: b,
+                        dst: a,
+                        delay: SimDuration::ZERO,
+                    });
+                }
+            }
+        }
+        Self::from_links(n, links)
+    }
+
+    /// Bidirectional ring of `n` processors (a line plus a closing pair;
+    /// `n = 2` degenerates to a single bidirectional link).
+    pub fn ring(n: usize) -> Self {
+        assert!(n >= 2, "ring needs ≥ 2 processors");
+        let mut seen = std::collections::HashSet::new();
+        let mut links = Vec::new();
+        for i in 0..n {
+            let j = (i + 1) % n;
+            if j == i || !seen.insert((i.min(j), i.max(j))) {
+                continue;
+            }
+            links.push(Link {
+                src: i,
+                dst: j,
+                delay: SimDuration::ZERO,
+            });
+            links.push(Link {
+                src: j,
+                dst: i,
+                delay: SimDuration::ZERO,
+            });
+        }
+        Self::from_links(n, links)
+    }
+
+    /// Star: processor 0 linked to all others.
+    pub fn star(n: usize) -> Self {
+        assert!(n >= 2, "star needs ≥ 2 processors");
+        let mut links = Vec::new();
+        for i in 1..n {
+            links.push(Link {
+                src: 0,
+                dst: i,
+                delay: SimDuration::ZERO,
+            });
+            links.push(Link {
+                src: i,
+                dst: 0,
+                delay: SimDuration::ZERO,
+            });
+        }
+        Self::from_links(n, links)
+    }
+
+    /// Fully connected digraph.
+    pub fn complete(n: usize) -> Self {
+        let mut links = Vec::new();
+        for i in 0..n {
+            for j in 0..n {
+                if i != j {
+                    links.push(Link {
+                        src: i,
+                        dst: j,
+                        delay: SimDuration::ZERO,
+                    });
+                }
+            }
+        }
+        Self::from_links(n, links)
+    }
+
+    /// Apply a delay model to every directed link (directions are sampled
+    /// independently — asymmetric by default for random models).
+    pub fn with_delays(mut self, model: &DelayModel) -> Self {
+        let mut sampler = model.sampler();
+        for l in &mut self.links {
+            l.delay = sampler.delay(l.src, l.dst);
+        }
+        self
+    }
+
+    /// Number of processors.
+    pub fn n_nodes(&self) -> usize {
+        self.n
+    }
+
+    /// All links.
+    pub fn links(&self) -> &[Link] {
+        &self.links
+    }
+
+    /// Link ids leaving `src`.
+    pub fn out_links(&self, src: usize) -> impl Iterator<Item = &Link> + '_ {
+        self.out[src].iter().map(move |&i| &self.links[i])
+    }
+
+    /// The directed link `src → dst`, if present.
+    pub fn link(&self, src: usize, dst: usize) -> Option<&Link> {
+        self.index.get(&(src, dst)).map(|&i| &self.links[i])
+    }
+
+    /// Index of the directed link `src → dst` within [`Self::links`].
+    pub fn link_id(&self, src: usize, dst: usize) -> Option<usize> {
+        self.index.get(&(src, dst)).copied()
+    }
+
+    /// Delay of `src → dst`.
+    ///
+    /// # Panics
+    /// Panics if the link does not exist (a DTM mapping bug).
+    pub fn delay(&self, src: usize, dst: usize) -> SimDuration {
+        self.link(src, dst)
+            .unwrap_or_else(|| panic!("no link {src} → {dst}"))
+            .delay
+    }
+
+    /// Smallest and largest link delay (0, 0) for an empty topology.
+    pub fn delay_range(&self) -> (SimDuration, SimDuration) {
+        let mut lo = SimDuration::from_nanos(u64::MAX);
+        let mut hi = SimDuration::ZERO;
+        if self.links.is_empty() {
+            return (SimDuration::ZERO, SimDuration::ZERO);
+        }
+        for l in &self.links {
+            lo = lo.min(l.delay);
+            hi = hi.max(l.delay);
+        }
+        (lo, hi)
+    }
+
+    /// Measure of delay asymmetry: mean over link pairs of
+    /// `|d(a→b) − d(b→a)| / max(d(a→b), d(b→a))`, in `[0, 1]`.
+    pub fn asymmetry(&self) -> f64 {
+        let mut total = 0.0;
+        let mut count = 0usize;
+        for l in &self.links {
+            if l.src < l.dst {
+                if let Some(back) = self.link(l.dst, l.src) {
+                    let (a, b) = (l.delay.as_nanos() as f64, back.delay.as_nanos() as f64);
+                    let m = a.max(b);
+                    if m > 0.0 {
+                        total += (a - b).abs() / m;
+                    }
+                    count += 1;
+                }
+            }
+        }
+        if count == 0 {
+            0.0
+        } else {
+            total / count as f64
+        }
+    }
+
+    /// Histogram of link delays in `bins` equal-width buckets over the
+    /// delay range; used to print the paper's Fig. 11B / 13B bar charts.
+    pub fn delay_histogram(&self, bins: usize) -> Vec<(SimDuration, usize)> {
+        assert!(bins > 0, "need ≥ 1 bin");
+        let (lo, hi) = self.delay_range();
+        let span = (hi.as_nanos() - lo.as_nanos()).max(1);
+        let mut counts = vec![0usize; bins];
+        for l in &self.links {
+            let off = l.delay.as_nanos() - lo.as_nanos();
+            let b = ((off as u128 * bins as u128) / (span as u128 + 1)) as usize;
+            counts[b.min(bins - 1)] += 1;
+        }
+        counts
+            .into_iter()
+            .enumerate()
+            .map(|(i, c)| {
+                (
+                    SimDuration::from_nanos(lo.as_nanos() + span * i as u64 / bins as u64),
+                    c,
+                )
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::delays::DelayModel;
+
+    #[test]
+    fn mesh_4x4_shape() {
+        // The paper's 16-processor machine: 4×4 mesh, 24 undirected edges,
+        // 48 directed links.
+        let t = Topology::mesh(4, 4);
+        assert_eq!(t.n_nodes(), 16);
+        assert_eq!(t.links().len(), 48);
+        // Corner has 2 out-links, centre has 4.
+        assert_eq!(t.out_links(0).count(), 2);
+        assert_eq!(t.out_links(5).count(), 4);
+        assert!(t.link(0, 1).is_some());
+        assert!(t.link(0, 5).is_none(), "no diagonal links in a mesh");
+    }
+
+    #[test]
+    fn mesh_8x8_shape() {
+        // The paper's 64-processor machine.
+        let t = Topology::mesh(8, 8);
+        assert_eq!(t.n_nodes(), 64);
+        assert_eq!(t.links().len(), 2 * (2 * 8 * 7));
+    }
+
+    #[test]
+    fn uniform_delays_in_range_and_asymmetric() {
+        let t = Topology::mesh(4, 4).with_delays(&DelayModel::uniform_ms(10.0, 99.0, 7));
+        let (lo, hi) = t.delay_range();
+        assert!(lo >= SimDuration::from_millis_f64(10.0));
+        assert!(hi <= SimDuration::from_millis_f64(99.0));
+        assert!(
+            t.asymmetry() > 0.1,
+            "independent sampling should be clearly asymmetric: {}",
+            t.asymmetry()
+        );
+    }
+
+    #[test]
+    fn fixed_delays_symmetric() {
+        let t = Topology::ring(5).with_delays(&DelayModel::fixed_ms(3.0));
+        assert_eq!(t.asymmetry(), 0.0);
+        assert_eq!(t.delay(0, 1), SimDuration::from_millis_f64(3.0));
+    }
+
+    #[test]
+    fn torus_has_wraparound() {
+        let t = Topology::torus(3, 3);
+        assert!(t.link(0, 2).is_some(), "row wraparound");
+        assert!(t.link(0, 6).is_some(), "column wraparound");
+    }
+
+    #[test]
+    fn ring_star_complete_shapes() {
+        assert_eq!(Topology::ring(6).links().len(), 12);
+        assert_eq!(Topology::star(5).links().len(), 8);
+        assert_eq!(Topology::complete(4).links().len(), 12);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = Topology::mesh(4, 4).with_delays(&DelayModel::uniform_ms(10.0, 99.0, 1));
+        let b = Topology::mesh(4, 4).with_delays(&DelayModel::uniform_ms(10.0, 99.0, 1));
+        let c = Topology::mesh(4, 4).with_delays(&DelayModel::uniform_ms(10.0, 99.0, 2));
+        for (la, lb) in a.links().iter().zip(b.links()) {
+            assert_eq!(la.delay, lb.delay);
+        }
+        assert!(a
+            .links()
+            .iter()
+            .zip(c.links())
+            .any(|(la, lc)| la.delay != lc.delay));
+    }
+
+    #[test]
+    fn histogram_counts_all_links() {
+        let t = Topology::mesh(4, 4).with_delays(&DelayModel::uniform_ms(10.0, 99.0, 3));
+        let h = t.delay_histogram(8);
+        assert_eq!(h.iter().map(|&(_, c)| c).sum::<usize>(), 48);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate link")]
+    fn duplicate_link_rejected() {
+        let l = Link {
+            src: 0,
+            dst: 1,
+            delay: SimDuration::ZERO,
+        };
+        let _ = Topology::from_links(2, vec![l, l]);
+    }
+
+    #[test]
+    #[should_panic(expected = "no link")]
+    fn missing_link_delay_panics() {
+        let t = Topology::mesh(2, 2);
+        let _ = t.delay(0, 3);
+    }
+}

@@ -1,0 +1,95 @@
+//! Bounded activation traces.
+//!
+//! Used by the Table 1 reproduction to *show* a run contains only
+//! neighbor-to-neighbor receives and sends — no barrier, no broadcast
+//! primitive even exists in the engine API.
+
+use crate::time::SimTime;
+
+/// What happened during one node activation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceKind {
+    /// Initial activation (Table 1 steps 1–2): `sent` messages issued.
+    Start {
+        /// Messages sent.
+        sent: usize,
+    },
+    /// A receive activation (Table 1 step 3): batch solved, messages sent.
+    Receive {
+        /// Coalesced batch size.
+        batch: usize,
+        /// Messages sent.
+        sent: usize,
+    },
+    /// The node declared local convergence and broke (step 3.3).
+    Halt,
+}
+
+/// One trace record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceRecord {
+    /// Activation time.
+    pub time: SimTime,
+    /// Node id.
+    pub node: usize,
+    /// Event kind.
+    pub kind: TraceKind,
+}
+
+/// Fixed-capacity trace; once full, further records are counted but
+/// dropped.
+#[derive(Debug, Clone)]
+pub struct Trace {
+    capacity: usize,
+    records: Vec<TraceRecord>,
+    dropped: u64,
+}
+
+impl Trace {
+    /// New trace holding at most `capacity` records.
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            capacity,
+            records: Vec::with_capacity(capacity.min(4096)),
+            dropped: 0,
+        }
+    }
+
+    /// Append a record (drops when full).
+    pub fn push(&mut self, r: TraceRecord) {
+        if self.records.len() < self.capacity {
+            self.records.push(r);
+        } else {
+            self.dropped += 1;
+        }
+    }
+
+    /// Captured records.
+    pub fn records(&self) -> &[TraceRecord] {
+        &self.records
+    }
+
+    /// Records that did not fit.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capacity_enforced() {
+        let mut t = Trace::new(2);
+        for i in 0..5 {
+            t.push(TraceRecord {
+                time: SimTime::from_nanos(i),
+                node: 0,
+                kind: TraceKind::Start { sent: 0 },
+            });
+        }
+        assert_eq!(t.records().len(), 2);
+        assert_eq!(t.dropped(), 3);
+    }
+}

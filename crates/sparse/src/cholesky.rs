@@ -1,0 +1,341 @@
+//! Dense Cholesky (LLᵀ) and LDLᵀ factorizations.
+//!
+//! The paper's key performance observation (§5) is that the DTM local
+//! coefficient matrix is *constant*: it is factored **once** and every
+//! subsequent boundary-condition update costs only a forward/backward
+//! substitution. [`DenseCholesky`] is that factor-once object for small
+//! local systems; [`DenseLdlt`] additionally handles semi-definite matrices
+//! and is used to *verify* the SNND hypothesis of convergence Theorem 6.1.
+
+use crate::csr::Csr;
+use crate::dense::Dense;
+use crate::error::{Error, Result};
+
+/// Dense LLᵀ Cholesky factor of an SPD matrix.
+#[derive(Debug, Clone)]
+pub struct DenseCholesky {
+    /// Lower factor, stored densely (upper part is garbage).
+    l: Dense,
+}
+
+impl DenseCholesky {
+    /// Factor a dense SPD matrix.
+    ///
+    /// # Errors
+    /// [`Error::NotPositiveDefinite`] on a non-positive pivot.
+    pub fn factor(a: &Dense) -> Result<Self> {
+        let n = a.n_rows();
+        if a.n_cols() != n {
+            return Err(Error::DimensionMismatch {
+                context: "DenseCholesky::factor",
+                expected: n,
+                actual: a.n_cols(),
+            });
+        }
+        let mut l = a.clone();
+        for j in 0..n {
+            // d = a_jj − Σ_{k<j} l_jk²
+            let mut d = l.get(j, j);
+            for k in 0..j {
+                let ljk = l.get(j, k);
+                d -= ljk * ljk;
+            }
+            if d <= 0.0 || !d.is_finite() {
+                return Err(Error::NotPositiveDefinite {
+                    column: j,
+                    pivot: d,
+                });
+            }
+            let dj = d.sqrt();
+            *l.get_mut(j, j) = dj;
+            for i in (j + 1)..n {
+                let mut s = l.get(i, j);
+                for k in 0..j {
+                    s -= l.get(i, k) * l.get(j, k);
+                }
+                *l.get_mut(i, j) = s / dj;
+            }
+        }
+        Ok(Self { l })
+    }
+
+    /// Factor a sparse SPD matrix by densifying (for small local systems).
+    pub fn factor_csr(a: &Csr) -> Result<Self> {
+        Self::factor(&a.to_dense())
+    }
+
+    /// Dimension of the factored matrix.
+    pub fn n(&self) -> usize {
+        self.l.n_rows()
+    }
+
+    /// Solve `A x = b` in place: forward then backward substitution.
+    pub fn solve_in_place(&self, x: &mut [f64]) {
+        let n = self.n();
+        assert_eq!(x.len(), n, "DenseCholesky::solve length");
+        // L y = b
+        for j in 0..n {
+            let xj = x[j] / self.l.get(j, j);
+            x[j] = xj;
+            for i in (j + 1)..n {
+                x[i] -= self.l.get(i, j) * xj;
+            }
+        }
+        // Lᵀ x = y
+        for j in (0..n).rev() {
+            let mut s = x[j];
+            for i in (j + 1)..n {
+                s -= self.l.get(i, j) * x[i];
+            }
+            x[j] = s / self.l.get(j, j);
+        }
+    }
+
+    /// Solve into a fresh vector.
+    pub fn solve(&self, b: &[f64]) -> Vec<f64> {
+        let mut x = b.to_vec();
+        self.solve_in_place(&mut x);
+        x
+    }
+
+    /// The lower-triangular factor (entries above the diagonal are not
+    /// meaningful).
+    pub fn l(&self) -> &Dense {
+        &self.l
+    }
+
+    /// log₂ of the determinant of `A` (= 2 Σ log₂ l_jj); cheap SPD diagnostic.
+    pub fn log2_det(&self) -> f64 {
+        (0..self.n()).map(|j| self.l.get(j, j).log2()).sum::<f64>() * 2.0
+    }
+}
+
+/// Dense LDLᵀ factorization with a semi-definite tolerance.
+///
+/// For a symmetric matrix this computes `A = L D Lᵀ` with unit lower
+/// triangular `L`. Pivots in `(-tol, tol)` are treated as zero, which is
+/// only legal when the remaining column is also (near) zero — exactly the
+/// structure of an SNND matrix. Pivots `< -tol` mean the matrix is
+/// indefinite.
+#[derive(Debug, Clone)]
+pub struct DenseLdlt {
+    l: Dense,
+    d: Vec<f64>,
+    /// Count of pivots treated as exactly zero.
+    zero_pivots: usize,
+}
+
+/// Classification of a symmetric matrix by [`DenseLdlt::classify`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Definiteness {
+    /// All pivots strictly positive: symmetric positive definite.
+    PositiveDefinite,
+    /// Non-negative pivots with at least one (near) zero: SNND but singular.
+    PositiveSemiDefinite,
+    /// A negative pivot or an inconsistent zero pivot was found.
+    Indefinite,
+}
+
+impl DenseLdlt {
+    /// The unit lower-triangular factor `L`.
+    pub fn l(&self) -> &Dense {
+        &self.l
+    }
+
+    /// Factor with tolerance `tol` (absolute, relative to the largest
+    /// diagonal magnitude).
+    ///
+    /// # Errors
+    /// [`Error::NotPositiveDefinite`] if a pivot is `< -tol`, or if a zero
+    /// pivot has a structurally nonzero column below it (indefinite or
+    /// rank-revealing failure).
+    pub fn factor(a: &Dense, tol: f64) -> Result<Self> {
+        let n = a.n_rows();
+        if a.n_cols() != n {
+            return Err(Error::DimensionMismatch {
+                context: "DenseLdlt::factor",
+                expected: n,
+                actual: a.n_cols(),
+            });
+        }
+        let scale = (0..n).fold(1.0_f64, |m, i| m.max(a.get(i, i).abs()));
+        let eff_tol = tol * scale;
+        let mut l = Dense::identity(n);
+        let mut d = vec![0.0; n];
+        let mut zero_pivots = 0usize;
+        for j in 0..n {
+            let mut dj = a.get(j, j);
+            for k in 0..j {
+                dj -= l.get(j, k) * l.get(j, k) * d[k];
+            }
+            if dj < -eff_tol || !dj.is_finite() {
+                return Err(Error::NotPositiveDefinite {
+                    column: j,
+                    pivot: dj,
+                });
+            }
+            if dj.abs() <= eff_tol {
+                // Semi-definite direction: column below must vanish too.
+                d[j] = 0.0;
+                zero_pivots += 1;
+                for i in (j + 1)..n {
+                    let mut s = a.get(i, j);
+                    for k in 0..j {
+                        s -= l.get(i, k) * l.get(j, k) * d[k];
+                    }
+                    if s.abs() > eff_tol.max(1e-10 * scale) {
+                        return Err(Error::NotPositiveDefinite {
+                            column: j,
+                            pivot: dj,
+                        });
+                    }
+                    *l.get_mut(i, j) = 0.0;
+                }
+                continue;
+            }
+            d[j] = dj;
+            for i in (j + 1)..n {
+                let mut s = a.get(i, j);
+                for k in 0..j {
+                    s -= l.get(i, k) * l.get(j, k) * d[k];
+                }
+                *l.get_mut(i, j) = s / dj;
+            }
+        }
+        Ok(Self { l, d, zero_pivots })
+    }
+
+    /// The diagonal of `D`.
+    pub fn d(&self) -> &[f64] {
+        &self.d
+    }
+
+    /// Number of pivots treated as zero.
+    pub fn zero_pivots(&self) -> usize {
+        self.zero_pivots
+    }
+
+    /// Classify a symmetric matrix as SPD / SNND / indefinite.
+    ///
+    /// This is the numerical check behind Theorem 6.1's hypothesis
+    /// ("at least one SPD subgraph, the others SNND").
+    pub fn classify(a: &Dense, tol: f64) -> Definiteness {
+        match Self::factor(a, tol) {
+            Err(_) => Definiteness::Indefinite,
+            Ok(f) if f.zero_pivots == 0 => Definiteness::PositiveDefinite,
+            Ok(_) => Definiteness::PositiveSemiDefinite,
+        }
+    }
+
+    /// Classify a sparse symmetric matrix (densifies; local blocks only).
+    pub fn classify_csr(a: &Csr, tol: f64) -> Definiteness {
+        Self::classify(&a.to_dense(), tol)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coo::Coo;
+
+    fn spd3() -> Dense {
+        Dense::from_rows(&[&[4.0, -1.0, 0.0], &[-1.0, 4.0, -1.0], &[0.0, -1.0, 4.0]]).unwrap()
+    }
+
+    #[test]
+    fn cholesky_solves() {
+        let a = spd3();
+        let f = DenseCholesky::factor(&a).unwrap();
+        let b = vec![1.0, 2.0, 3.0];
+        let x = f.solve(&b);
+        let ax = a.matvec(&x);
+        for (u, v) in ax.iter().zip(&b) {
+            assert!((u - v).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn cholesky_reconstructs() {
+        let a = spd3();
+        let f = DenseCholesky::factor(&a).unwrap();
+        let n = 3;
+        // L Lᵀ == A
+        for i in 0..n {
+            for j in 0..n {
+                let mut s = 0.0;
+                for k in 0..=i.min(j) {
+                    s += f.l().get(i, k) * f.l().get(j, k);
+                }
+                assert!((s - a.get(i, j)).abs() < 1e-12, "({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn indefinite_rejected() {
+        let a = Dense::from_rows(&[&[1.0, 2.0], &[2.0, 1.0]]).unwrap(); // eigs 3, −1
+        assert!(matches!(
+            DenseCholesky::factor(&a),
+            Err(Error::NotPositiveDefinite { .. })
+        ));
+        assert_eq!(DenseLdlt::classify(&a, 1e-12), Definiteness::Indefinite);
+    }
+
+    #[test]
+    fn zero_matrix_is_snnd() {
+        let a = Dense::zeros(3, 3);
+        assert_eq!(
+            DenseLdlt::classify(&a, 1e-12),
+            Definiteness::PositiveSemiDefinite
+        );
+    }
+
+    #[test]
+    fn semidefinite_laplacian_classified() {
+        // Graph Laplacian of a path (singular, SNND).
+        let a = Dense::from_rows(&[&[1.0, -1.0, 0.0], &[-1.0, 2.0, -1.0], &[0.0, -1.0, 1.0]])
+            .unwrap();
+        assert_eq!(
+            DenseLdlt::classify(&a, 1e-10),
+            Definiteness::PositiveSemiDefinite
+        );
+    }
+
+    #[test]
+    fn spd_classified() {
+        assert_eq!(
+            DenseLdlt::classify(&spd3(), 1e-12),
+            Definiteness::PositiveDefinite
+        );
+    }
+
+    #[test]
+    fn factor_csr_matches_dense() {
+        let mut coo = Coo::new(3, 3);
+        coo.push(0, 0, 4.0).unwrap();
+        coo.push(1, 1, 4.0).unwrap();
+        coo.push(2, 2, 4.0).unwrap();
+        coo.push_sym(0, 1, -1.0).unwrap();
+        coo.push_sym(1, 2, -1.0).unwrap();
+        let a = coo.to_csr();
+        let f1 = DenseCholesky::factor_csr(&a).unwrap();
+        let f2 = DenseCholesky::factor(&spd3()).unwrap();
+        assert!(f1.l().max_abs_diff(f2.l()) < 1e-14);
+    }
+
+    #[test]
+    fn solve_in_place_identity() {
+        let f = DenseCholesky::factor(&Dense::identity(4)).unwrap();
+        let mut x = vec![1.0, 2.0, 3.0, 4.0];
+        f.solve_in_place(&mut x);
+        assert_eq!(x, vec![1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(f.log2_det(), 0.0);
+    }
+
+    #[test]
+    fn log2_det_of_diagonal() {
+        let a = Dense::from_rows(&[&[4.0, 0.0], &[0.0, 2.0]]).unwrap();
+        let f = DenseCholesky::factor(&a).unwrap();
+        assert!((f.log2_det() - 3.0).abs() < 1e-12); // log2(8) = 3
+    }
+}

@@ -1,0 +1,205 @@
+//! Matrix Market (`.mtx`) I/O for symmetric real coordinate matrices.
+//!
+//! Enough of the format to exchange test systems with other tools:
+//! `matrix coordinate real {general|symmetric}` headers, `%` comments,
+//! 1-based indices.
+
+use crate::coo::Coo;
+use crate::csr::Csr;
+use crate::error::{Error, Result};
+use std::io::{BufRead, Write};
+
+/// Parse a Matrix Market stream into CSR.
+///
+/// Symmetric files are expanded to both triangles.
+pub fn read_matrix<R: BufRead>(reader: R) -> Result<Csr> {
+    let mut lines = reader.lines();
+    let header = lines
+        .next()
+        .ok_or_else(|| Error::Parse("empty Matrix Market stream".into()))?
+        .map_err(|e| Error::Parse(e.to_string()))?;
+    let h: Vec<String> = header.split_whitespace().map(str::to_lowercase).collect();
+    if h.len() < 5 || h[0] != "%%matrixmarket" || h[1] != "matrix" {
+        return Err(Error::Parse(format!("bad header: {header}")));
+    }
+    if h[2] != "coordinate" || h[3] != "real" {
+        return Err(Error::Parse(format!(
+            "only `coordinate real` supported, got: {header}"
+        )));
+    }
+    let symmetric = match h[4].as_str() {
+        "general" => false,
+        "symmetric" => true,
+        other => {
+            return Err(Error::Parse(format!(
+                "unsupported symmetry kind: {other}"
+            )))
+        }
+    };
+
+    let mut size_line = None;
+    for line in lines.by_ref() {
+        let line = line.map_err(|e| Error::Parse(e.to_string()))?;
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('%') {
+            continue;
+        }
+        size_line = Some(t.to_string());
+        break;
+    }
+    let size_line = size_line.ok_or_else(|| Error::Parse("missing size line".into()))?;
+    let dims: Vec<usize> = size_line
+        .split_whitespace()
+        .map(|t| t.parse().map_err(|_| Error::Parse(format!("bad size: {t}"))))
+        .collect::<Result<_>>()?;
+    if dims.len() != 3 {
+        return Err(Error::Parse(format!("bad size line: {size_line}")));
+    }
+    let (nr, nc, nnz) = (dims[0], dims[1], dims[2]);
+
+    let mut coo = Coo::with_capacity(nr, nc, if symmetric { 2 * nnz } else { nnz });
+    let mut seen = 0usize;
+    for line in lines {
+        let line = line.map_err(|e| Error::Parse(e.to_string()))?;
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('%') {
+            continue;
+        }
+        let mut it = t.split_whitespace();
+        let r: usize = it
+            .next()
+            .ok_or_else(|| Error::Parse("truncated entry".into()))?
+            .parse()
+            .map_err(|_| Error::Parse(format!("bad row in: {t}")))?;
+        let c: usize = it
+            .next()
+            .ok_or_else(|| Error::Parse("truncated entry".into()))?
+            .parse()
+            .map_err(|_| Error::Parse(format!("bad col in: {t}")))?;
+        let v: f64 = it
+            .next()
+            .ok_or_else(|| Error::Parse("truncated entry".into()))?
+            .parse()
+            .map_err(|_| Error::Parse(format!("bad value in: {t}")))?;
+        if r == 0 || c == 0 {
+            return Err(Error::Parse("Matrix Market indices are 1-based".into()));
+        }
+        if symmetric {
+            coo.push_sym(r - 1, c - 1, v)?;
+        } else {
+            coo.push(r - 1, c - 1, v)?;
+        }
+        seen += 1;
+    }
+    if seen != nnz {
+        return Err(Error::Parse(format!(
+            "expected {nnz} entries, found {seen}"
+        )));
+    }
+    Ok(coo.to_csr())
+}
+
+/// Write a CSR matrix in `coordinate real` format. If `symmetric` is true
+/// only the lower triangle is emitted (the matrix must actually be
+/// symmetric; unchecked beyond a debug assertion).
+pub fn write_matrix<W: Write>(w: &mut W, a: &Csr, symmetric: bool) -> std::io::Result<()> {
+    debug_assert!(!symmetric || a.is_symmetric(1e-12));
+    let kind = if symmetric { "symmetric" } else { "general" };
+    writeln!(w, "%%MatrixMarket matrix coordinate real {kind}")?;
+    let entries: Vec<(usize, usize, f64)> = (0..a.n_rows())
+        .flat_map(|r| {
+            a.row(r)
+                .filter(move |&(c, _)| !symmetric || c <= r)
+                .map(move |(c, v)| (r, c, v))
+        })
+        .collect();
+    writeln!(w, "{} {} {}", a.n_rows(), a.n_cols(), entries.len())?;
+    for (r, c, v) in entries {
+        writeln!(w, "{} {} {:.17e}", r + 1, c + 1, v)?;
+    }
+    Ok(())
+}
+
+/// Parse a dense vector from whitespace/newline-separated numbers.
+pub fn read_vector<R: BufRead>(reader: R) -> Result<Vec<f64>> {
+    let mut out = Vec::new();
+    for line in reader.lines() {
+        let line = line.map_err(|e| Error::Parse(e.to_string()))?;
+        for tok in line.split_whitespace() {
+            if tok.starts_with('%') {
+                break;
+            }
+            out.push(
+                tok.parse()
+                    .map_err(|_| Error::Parse(format!("bad number: {tok}")))?,
+            );
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+    use std::io::Cursor;
+
+    #[test]
+    fn roundtrip_general() {
+        let a = generators::grid2d_random(4, 4, 1.0, 3);
+        let mut buf = Vec::new();
+        write_matrix(&mut buf, &a, false).unwrap();
+        let b = read_matrix(Cursor::new(buf)).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn roundtrip_symmetric() {
+        let (a, _) = generators::paper_example_system();
+        let mut buf = Vec::new();
+        write_matrix(&mut buf, &a, true).unwrap();
+        let b = read_matrix(Cursor::new(buf)).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_skipped() {
+        let text = "%%MatrixMarket matrix coordinate real general\n\
+                    % a comment\n\
+                    \n\
+                    2 2 2\n\
+                    1 1 3.0\n\
+                    % midway comment\n\
+                    2 2 4.0\n";
+        let a = read_matrix(Cursor::new(text)).unwrap();
+        assert_eq!(a.get(0, 0), 3.0);
+        assert_eq!(a.get(1, 1), 4.0);
+    }
+
+    #[test]
+    fn bad_header_rejected() {
+        assert!(read_matrix(Cursor::new("hello\n1 1 0\n")).is_err());
+        assert!(read_matrix(Cursor::new(
+            "%%MatrixMarket matrix coordinate complex general\n1 1 1\n1 1 2.0\n"
+        ))
+        .is_err());
+    }
+
+    #[test]
+    fn zero_based_index_rejected() {
+        let text = "%%MatrixMarket matrix coordinate real general\n1 1 1\n0 1 2.0\n";
+        assert!(read_matrix(Cursor::new(text)).is_err());
+    }
+
+    #[test]
+    fn entry_count_mismatch_rejected() {
+        let text = "%%MatrixMarket matrix coordinate real general\n2 2 3\n1 1 1.0\n";
+        assert!(read_matrix(Cursor::new(text)).is_err());
+    }
+
+    #[test]
+    fn vector_parse() {
+        let v = read_vector(Cursor::new("1.0 2.0\n3.0\n")).unwrap();
+        assert_eq!(v, vec![1.0, 2.0, 3.0]);
+    }
+}

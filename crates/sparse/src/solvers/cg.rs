@@ -1,0 +1,201 @@
+//! Conjugate Gradient, optionally Jacobi-preconditioned.
+//!
+//! The standard Krylov solver for SPD systems (paper reference [3], Saad).
+//! Serves two roles in the reproduction: the strong *sequential* baseline in
+//! the end-to-end comparisons, and an alternative *local* solver for DTM
+//! subsystems (§5: "(5.9) could be solved by Sparse or Dense Cholesky, CG,
+//! MG, etc.").
+
+use super::{IterConfig, IterResult};
+use crate::csr::Csr;
+use crate::vector::{axpy, aypx, dot, norm2};
+
+/// Solve `A x = b` with plain CG from `x = 0`.
+pub fn solve(a: &Csr, b: &[f64], cfg: &IterConfig) -> IterResult {
+    solve_preconditioned(a, b, None, cfg)
+}
+
+/// Solve with Jacobi (diagonal) preconditioning.
+pub fn solve_jacobi_pc(a: &Csr, b: &[f64], cfg: &IterConfig) -> IterResult {
+    let inv_diag: Vec<f64> = a
+        .diag()
+        .iter()
+        .map(|&d| {
+            assert!(d > 0.0, "cg: Jacobi preconditioner needs positive diagonal");
+            1.0 / d
+        })
+        .collect();
+    solve_preconditioned(a, b, Some(&inv_diag), cfg)
+}
+
+fn solve_preconditioned(
+    a: &Csr,
+    b: &[f64],
+    inv_diag: Option<&[f64]>,
+    cfg: &IterConfig,
+) -> IterResult {
+    let n = a.n_rows();
+    assert_eq!(a.n_cols(), n, "cg: square matrix required");
+    assert_eq!(b.len(), n, "cg: rhs length");
+
+    let threshold = cfg.threshold(norm2(b));
+    let mut x = vec![0.0; n];
+    let mut r = b.to_vec(); // r = b − A·0
+    let mut history = Vec::new();
+
+    let apply_pc = |r: &[f64], z: &mut Vec<f64>| match inv_diag {
+        Some(d) => {
+            z.clear();
+            z.extend(r.iter().zip(d).map(|(ri, di)| ri * di));
+        }
+        None => {
+            z.clear();
+            z.extend_from_slice(r);
+        }
+    };
+
+    let mut z = Vec::with_capacity(n);
+    apply_pc(&r, &mut z);
+    let mut p = z.clone();
+    let mut rz = dot(&r, &z);
+    let mut ap = vec![0.0; n];
+    let mut res_norm = norm2(&r);
+
+    if res_norm <= threshold {
+        return IterResult {
+            x,
+            iterations: 0,
+            residual: res_norm,
+            converged: true,
+            residual_history: history,
+        };
+    }
+
+    for it in 0..cfg.max_iter {
+        a.matvec_into(&p, &mut ap);
+        let pap = dot(&p, &ap);
+        if pap <= 0.0 {
+            // Not SPD (or numerically broken down) — report best effort.
+            return IterResult {
+                x,
+                iterations: it,
+                residual: res_norm,
+                converged: false,
+                residual_history: history,
+            };
+        }
+        let alpha = rz / pap;
+        axpy(alpha, &p, &mut x);
+        axpy(-alpha, &ap, &mut r);
+        res_norm = norm2(&r);
+        if cfg.record_history {
+            history.push(res_norm);
+        }
+        if res_norm <= threshold {
+            return IterResult {
+                x,
+                iterations: it + 1,
+                residual: res_norm,
+                converged: true,
+                residual_history: history,
+            };
+        }
+        apply_pc(&r, &mut z);
+        let rz_new = dot(&r, &z);
+        let beta = rz_new / rz;
+        rz = rz_new;
+        aypx(beta, &z, &mut p); // p ← z + β p
+    }
+
+    IterResult {
+        x,
+        iterations: cfg.max_iter,
+        residual: res_norm,
+        converged: false,
+        residual_history: history,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn exact_after_n_iterations_in_theory() {
+        let a = generators::tridiagonal(12, 4.0, -1.0);
+        let (b, xe) = generators::manufactured_rhs(&a, 11);
+        let res = solve(&a, &b, &IterConfig::with_rtol(1e-12).max_iter(30));
+        assert!(res.converged);
+        assert!(res.iterations <= 12, "CG finite termination");
+        for (u, v) in res.x.iter().zip(&xe) {
+            assert!((u - v).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn zero_rhs_is_immediate() {
+        let a = generators::grid2d_laplacian(4, 4);
+        let res = solve(&a, &vec![0.0; 16], &IterConfig::default());
+        assert!(res.converged);
+        assert_eq!(res.iterations, 0);
+        assert!(res.x.iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn preconditioning_helps_on_illconditioned_diagonal() {
+        // Strongly varying diagonal: Jacobi preconditioning should cut the
+        // iteration count.
+        let n = 200;
+        let mut coo = crate::coo::Coo::new(n, n);
+        for i in 0..n {
+            let d = 1.0 + (i as f64) * (i as f64); // 1 .. ~4·10⁴
+            coo.push(i, i, d).unwrap();
+        }
+        for i in 0..n - 1 {
+            coo.push_sym(i, i + 1, -0.45).unwrap();
+        }
+        let a = coo.to_csr();
+        let b = generators::random_rhs(n, 2);
+        let cfg = IterConfig::with_rtol(1e-10).max_iter(5000);
+        let plain = solve(&a, &b, &cfg);
+        let pc = solve_jacobi_pc(&a, &b, &cfg);
+        assert!(plain.converged && pc.converged);
+        assert!(
+            pc.iterations < plain.iterations,
+            "PC {} should beat plain {}",
+            pc.iterations,
+            plain.iterations
+        );
+    }
+
+    #[test]
+    fn grid_laplacian_converges_fast() {
+        let a = generators::grid2d_laplacian(17, 17); // n = 289, a paper size
+        let (b, xe) = generators::manufactured_rhs(&a, 8);
+        let res = solve(&a, &b, &IterConfig::with_rtol(1e-10));
+        assert!(res.converged);
+        assert!(res.iterations < 289, "CG should be far sub-n on the grid");
+        for (u, v) in res.x.iter().zip(&xe) {
+            assert!((u - v).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn history_records_every_iteration() {
+        let a = generators::grid2d_laplacian(6, 6);
+        let b = generators::random_rhs(36, 1);
+        let res = solve(&a, &b, &IterConfig::with_rtol(1e-8).record_history(true));
+        assert_eq!(res.residual_history.len(), res.iterations);
+    }
+
+    #[test]
+    fn indefinite_matrix_reports_breakdown() {
+        let mut coo = crate::coo::Coo::new(2, 2);
+        coo.push(0, 0, 1.0).unwrap();
+        coo.push(1, 1, -1.0).unwrap();
+        let a = coo.to_csr();
+        let res = solve(&a, &[0.0, 1.0], &IterConfig::default());
+        assert!(!res.converged);
+    }
+}

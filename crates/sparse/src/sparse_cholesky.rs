@@ -1,0 +1,405 @@
+//! Up-looking sparse Cholesky with elimination-tree symbolic analysis.
+//!
+//! Implements the classic three-stage pipeline for symmetric positive
+//! definite matrices (following the structure of Davis, *Direct Methods for
+//! Sparse Linear Systems*):
+//!
+//! 1. **elimination tree** of `A`,
+//! 2. **symbolic factorization** — per-row reach sets give the exact nonzero
+//!    count of every column of `L`,
+//! 3. **numeric up-looking factorization** — row `k` of `L` is obtained from
+//!    a sparse triangular solve over the reach of row `k`.
+//!
+//! The factor is stored in CSC so that forward/backward substitution are
+//! column-oriented sweeps. An optional reverse Cuthill–McKee pre-ordering
+//! ([`SparseCholesky::factor_rcm`]) reduces fill.
+//!
+//! This is the "Sparse Cholesky" the paper names as the local solver of DTM
+//! (§5: "(5.9) could be solved by Sparse or Dense Cholesky, CG, MG, etc.").
+
+use crate::csr::Csr;
+use crate::error::{Error, Result};
+use crate::ordering::{reverse_cuthill_mckee, Permutation};
+
+/// Sparse Cholesky factor `A = L Lᵀ` (CSC lower-triangular `L`).
+#[derive(Debug, Clone)]
+pub struct SparseCholesky {
+    n: usize,
+    /// Column pointers of `L` (CSC).
+    col_ptr: Vec<usize>,
+    /// Row indices of `L`; the first entry of each column is the diagonal.
+    row_idx: Vec<usize>,
+    /// Values of `L`.
+    values: Vec<f64>,
+    /// Optional fill-reducing permutation (`None` = natural order).
+    perm: Option<Permutation>,
+}
+
+impl SparseCholesky {
+    /// Factor a symmetric positive definite CSR matrix in natural order.
+    ///
+    /// Only the lower triangle of `A` is read through the row/column duality
+    /// of symmetric CSR. Symmetry is the caller's responsibility (checked in
+    /// debug builds).
+    ///
+    /// # Errors
+    /// [`Error::NotPositiveDefinite`] if a pivot is non-positive.
+    pub fn factor(a: &Csr) -> Result<Self> {
+        debug_assert!(a.is_symmetric(1e-10), "SparseCholesky expects symmetry");
+        if a.n_rows() != a.n_cols() {
+            return Err(Error::DimensionMismatch {
+                context: "SparseCholesky::factor",
+                expected: a.n_rows(),
+                actual: a.n_cols(),
+            });
+        }
+        let n = a.n_rows();
+        let parent = elimination_tree(a);
+
+        // --- Symbolic: column counts of L via row reaches. ---
+        let mut col_count = vec![1usize; n]; // diagonal of each column
+        {
+            let mut mark = vec![usize::MAX; n];
+            let mut stack = Vec::with_capacity(n);
+            for k in 0..n {
+                mark[k] = k;
+                for (j0, _) in a.row(k).filter(|&(c, _)| c < k) {
+                    let mut j = j0;
+                    stack.clear();
+                    while mark[j] != k {
+                        stack.push(j);
+                        mark[j] = k;
+                        j = match parent[j] {
+                            Some(p) => p,
+                            None => break,
+                        };
+                    }
+                    for &c in &stack {
+                        col_count[c] += 1;
+                    }
+                }
+            }
+        }
+
+        let mut col_ptr = vec![0usize; n + 1];
+        for j in 0..n {
+            col_ptr[j + 1] = col_ptr[j] + col_count[j];
+        }
+        let nnz = col_ptr[n];
+        let mut row_idx = vec![0usize; nnz];
+        let mut values = vec![0f64; nnz];
+        // Next free slot per column; slot 0 of each column is the diagonal,
+        // filled at the end of step k == j.
+        let mut next = col_ptr[..n].iter().map(|&p| p + 1).collect::<Vec<_>>();
+
+        // --- Numeric: up-looking. ---
+        let mut x = vec![0f64; n]; // sparse accumulator (dense workspace)
+        let mut pattern: Vec<usize> = Vec::with_capacity(n); // reach of row k, topological
+        let mut mark = vec![usize::MAX; n];
+        let mut stack = Vec::with_capacity(n);
+
+        for k in 0..n {
+            // Scatter A(0..k, k) — by symmetry, row k entries with col ≤ k.
+            pattern.clear();
+            mark[k] = k;
+            let mut d = 0.0;
+            for (c, v) in a.row(k) {
+                match c.cmp(&k) {
+                    std::cmp::Ordering::Less => {
+                        x[c] = v;
+                        // Walk the elimination tree to collect the reach.
+                        let mut j = c;
+                        stack.clear();
+                        while mark[j] != k {
+                            stack.push(j);
+                            mark[j] = k;
+                            j = match parent[j] {
+                                Some(p) => p,
+                                None => break,
+                            };
+                        }
+                        // stack holds a root-ward path; reversing gives
+                        // ascending (topological) order for this path.
+                        for &c2 in stack.iter().rev() {
+                            pattern.push(c2);
+                        }
+                    }
+                    std::cmp::Ordering::Equal => d = v,
+                    std::cmp::Ordering::Greater => {}
+                }
+            }
+            // Paths pushed per-entry are each ascending but may interleave;
+            // a total ascending sort is a valid topological order of the
+            // reach (ancestors have larger indices in an etree).
+            pattern.sort_unstable();
+
+            for &j in &pattern {
+                let ljj = values[col_ptr[j]];
+                let lkj = x[j] / ljj;
+                x[j] = 0.0;
+                // x ← x − L(:, j) · lkj for rows < k already in column j.
+                for p in (col_ptr[j] + 1)..next[j] {
+                    x[row_idx[p]] -= values[p] * lkj;
+                }
+                d -= lkj * lkj;
+                // Append L(k, j).
+                let slot = next[j];
+                debug_assert!(slot < col_ptr[j + 1], "symbolic undercount");
+                row_idx[slot] = k;
+                values[slot] = lkj;
+                next[j] += 1;
+            }
+            if d <= 0.0 || !d.is_finite() {
+                return Err(Error::NotPositiveDefinite {
+                    column: k,
+                    pivot: d,
+                });
+            }
+            row_idx[col_ptr[k]] = k;
+            values[col_ptr[k]] = d.sqrt();
+        }
+
+        Ok(Self {
+            n,
+            col_ptr,
+            row_idx,
+            values,
+            perm: None,
+        })
+    }
+
+    /// Factor with a reverse Cuthill–McKee pre-ordering; solves transparently
+    /// permute/unpermute.
+    pub fn factor_rcm(a: &Csr) -> Result<Self> {
+        let perm = reverse_cuthill_mckee(a);
+        let pa = a.permute_sym(&perm);
+        let mut f = Self::factor(&pa)?;
+        f.perm = Some(perm);
+        Ok(f)
+    }
+
+    /// Dimension.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Nonzeros in `L` (a fill measure).
+    pub fn nnz_l(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Solve `A x = b` in place.
+    pub fn solve_in_place(&self, b: &mut [f64]) {
+        assert_eq!(b.len(), self.n, "SparseCholesky::solve length");
+        match &self.perm {
+            None => self.solve_natural(b),
+            Some(p) => {
+                // B = P A Pᵀ factored; A x = b ⇔ B (P x) = P b.
+                let mut pb = p.apply(b);
+                self.solve_natural(&mut pb);
+                let x = p.apply_inverse(&pb);
+                b.copy_from_slice(&x);
+            }
+        }
+    }
+
+    fn solve_natural(&self, x: &mut [f64]) {
+        // Forward: L y = b (column-oriented).
+        for j in 0..self.n {
+            let pj = self.col_ptr[j];
+            let xj = x[j] / self.values[pj];
+            x[j] = xj;
+            for p in (pj + 1)..self.col_ptr[j + 1] {
+                x[self.row_idx[p]] -= self.values[p] * xj;
+            }
+        }
+        // Backward: Lᵀ x = y.
+        for j in (0..self.n).rev() {
+            let pj = self.col_ptr[j];
+            let mut s = x[j];
+            for p in (pj + 1)..self.col_ptr[j + 1] {
+                s -= self.values[p] * x[self.row_idx[p]];
+            }
+            x[j] = s / self.values[pj];
+        }
+    }
+
+    /// Solve into a fresh vector.
+    pub fn solve(&self, b: &[f64]) -> Vec<f64> {
+        let mut x = b.to_vec();
+        self.solve_in_place(&mut x);
+        x
+    }
+}
+
+/// Elimination tree of a symmetric CSR matrix (None = root).
+///
+/// Uses the ancestor path-compression algorithm; `parent[j]` is the smallest
+/// `k > j` such that `L(k, j) ≠ 0`.
+pub fn elimination_tree(a: &Csr) -> Vec<Option<usize>> {
+    let n = a.n_rows();
+    let mut parent: Vec<Option<usize>> = vec![None; n];
+    let mut ancestor: Vec<Option<usize>> = vec![None; n];
+    for k in 0..n {
+        for (i, _) in a.row(k).filter(|&(c, _)| c < k) {
+            let mut j = i;
+            loop {
+                let anc = ancestor[j];
+                ancestor[j] = Some(k);
+                match anc {
+                    None => {
+                        if parent[j].is_none() && j != k {
+                            parent[j] = Some(k);
+                        }
+                        break;
+                    }
+                    Some(a) if a == k => break,
+                    Some(a) => j = a,
+                }
+            }
+        }
+    }
+    parent
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cholesky::DenseCholesky;
+    use crate::coo::Coo;
+    use crate::generators;
+
+    fn tridiag(n: usize) -> Csr {
+        let mut coo = Coo::new(n, n);
+        for i in 0..n {
+            coo.push(i, i, 4.0).unwrap();
+        }
+        for i in 0..n - 1 {
+            coo.push_sym(i, i + 1, -1.0).unwrap();
+        }
+        coo.to_csr()
+    }
+
+    #[test]
+    fn tridiagonal_solve_is_exact() {
+        let a = tridiag(10);
+        let f = SparseCholesky::factor(&a).unwrap();
+        let xe: Vec<f64> = (0..10).map(|i| (i as f64).sin() + 1.0).collect();
+        let b = a.matvec(&xe);
+        let x = f.solve(&b);
+        for (u, v) in x.iter().zip(&xe) {
+            assert!((u - v).abs() < 1e-12);
+        }
+        // Tridiagonal ⇒ no fill: nnz(L) = 2n − 1.
+        assert_eq!(f.nnz_l(), 19);
+    }
+
+    #[test]
+    fn etree_of_tridiagonal_is_a_path() {
+        let a = tridiag(5);
+        let parent = elimination_tree(&a);
+        assert_eq!(
+            parent,
+            vec![Some(1), Some(2), Some(3), Some(4), None],
+            "tridiagonal etree must be the path 0→1→2→3→4"
+        );
+    }
+
+    #[test]
+    fn matches_dense_cholesky_on_grid() {
+        let a = generators::grid2d_laplacian(6, 5);
+        let fs = SparseCholesky::factor(&a).unwrap();
+        let fd = DenseCholesky::factor_csr(&a).unwrap();
+        let b: Vec<f64> = (0..a.n_rows()).map(|i| (i % 7) as f64 - 3.0).collect();
+        let xs = fs.solve(&b);
+        let xd = fd.solve(&b);
+        for (u, v) in xs.iter().zip(&xd) {
+            assert!((u - v).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn rcm_variant_agrees_with_natural() {
+        let a = generators::grid2d_laplacian(7, 7);
+        let f1 = SparseCholesky::factor(&a).unwrap();
+        let f2 = SparseCholesky::factor_rcm(&a).unwrap();
+        let b: Vec<f64> = (0..a.n_rows()).map(|i| 1.0 / (1.0 + i as f64)).collect();
+        let x1 = f1.solve(&b);
+        let x2 = f2.solve(&b);
+        for (u, v) in x1.iter().zip(&x2) {
+            assert!((u - v).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn rcm_reduces_fill_on_shuffled_grid() {
+        // Permute a grid randomly; RCM ordering should not produce more fill
+        // than the shuffled natural ordering.
+        let a = generators::grid2d_laplacian(9, 9);
+        let shuffled = {
+            let n = a.n_rows();
+            let p = Permutation::from_new_to_old(
+                (0..n).map(|i| (i * 37) % n).collect::<Vec<_>>(),
+            )
+            .unwrap();
+            a.permute_sym(&p)
+        };
+        let f_nat = SparseCholesky::factor(&shuffled).unwrap();
+        let f_rcm = SparseCholesky::factor_rcm(&shuffled).unwrap();
+        assert!(
+            f_rcm.nnz_l() <= f_nat.nnz_l(),
+            "RCM fill {} should not exceed natural fill {}",
+            f_rcm.nnz_l(),
+            f_nat.nnz_l()
+        );
+    }
+
+    #[test]
+    fn indefinite_rejected() {
+        let mut coo = Coo::new(2, 2);
+        coo.push(0, 0, 1.0).unwrap();
+        coo.push(1, 1, 1.0).unwrap();
+        coo.push_sym(0, 1, 2.0).unwrap();
+        let a = coo.to_csr();
+        assert!(matches!(
+            SparseCholesky::factor(&a),
+            Err(Error::NotPositiveDefinite { .. })
+        ));
+    }
+
+    #[test]
+    fn diagonal_matrix() {
+        let mut coo = Coo::new(3, 3);
+        for (i, d) in [2.0, 8.0, 0.5].iter().enumerate() {
+            coo.push(i, i, *d).unwrap();
+        }
+        let a = coo.to_csr();
+        let f = SparseCholesky::factor(&a).unwrap();
+        let x = f.solve(&[2.0, 8.0, 0.5]);
+        for v in x {
+            assert!((v - 1.0).abs() < 1e-14);
+        }
+    }
+
+    #[test]
+    fn dense_like_matrix_with_full_fill() {
+        // Arrow matrix pointing the wrong way produces maximal fill in
+        // natural order; result must still be correct.
+        let n = 12;
+        let mut coo = Coo::new(n, n);
+        for i in 0..n {
+            coo.push(i, i, n as f64).unwrap();
+        }
+        for i in 1..n {
+            coo.push_sym(0, i, -1.0).unwrap();
+        }
+        let a = coo.to_csr();
+        let f = SparseCholesky::factor(&a).unwrap();
+        let xe = vec![1.0; n];
+        let b = a.matvec(&xe);
+        let x = f.solve(&b);
+        for (u, v) in x.iter().zip(&xe) {
+            assert!((u - v).abs() < 1e-12);
+        }
+    }
+}

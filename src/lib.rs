@@ -1,0 +1,12 @@
+//! # dtm-repro — reproduction of "Directed Transmission Method" (SPAA 2008)
+//!
+//! Facade crate: re-exports the four subsystem crates so examples and
+//! integration tests can use one import path. See the README for the tour
+//! and DESIGN.md / EXPERIMENTS.md for the paper mapping.
+
+pub use dtm_core as core;
+pub use dtm_graph as graph;
+pub use dtm_simnet as simnet;
+pub use dtm_sparse as sparse;
+
+pub use dtm_core::{DtmBuilder, DtmProblem, ImpedancePolicy, SolveReport};

@@ -1,0 +1,126 @@
+//! Property-based tests of the reproduction's core invariants:
+//!
+//! * EVS reconstruction is exact for random systems/partitions/policies;
+//! * Theorem 6.1: DTM converges for arbitrary positive impedances and
+//!   arbitrary positive (asymmetric) delays on SNND-split SPD systems;
+//! * the VTM iteration operator is contractive under the same hypotheses;
+//! * DTM with equal delays ≡ VTM, round for round.
+
+use dtm_repro::core::analysis::WaveOperator;
+use dtm_repro::core::impedance::ImpedancePolicy;
+use dtm_repro::core::local::LocalSolverKind;
+use dtm_repro::core::solver::{self, ComputeModel, DtmConfig, Termination};
+use dtm_repro::graph::evs::{split, EvsOptions, SharePolicy, SplitSystem};
+use dtm_repro::graph::validate;
+use dtm_repro::graph::{partition, ElectricGraph, PartitionPlan};
+use dtm_repro::simnet::{DelayModel, SimDuration, Topology};
+use dtm_repro::sparse::generators;
+use proptest::prelude::*;
+
+fn random_split(
+    nx: usize,
+    ny: usize,
+    k: usize,
+    policy: SharePolicy,
+    seed: u64,
+) -> (SplitSystem, dtm_repro::sparse::Csr, Vec<f64>) {
+    let a = generators::grid2d_random(nx, ny, 1.0, seed);
+    let b = generators::random_rhs(nx * ny, seed ^ 0xabcd);
+    let g = ElectricGraph::from_system(a.clone(), b.clone()).expect("symmetric");
+    let asg = partition::grid_strips(nx, ny, k);
+    let plan = PartitionPlan::from_assignment(&g, &asg).expect("valid");
+    let options = EvsOptions {
+        policy,
+        ..Default::default()
+    };
+    (split(&g, &plan, &options).expect("valid split"), a, b)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 12,
+        ..ProptestConfig::default()
+    })]
+
+    /// EVS reconstruction: split subsystems always sum back to (A, b).
+    #[test]
+    fn evs_reconstruction_is_exact(
+        nx in 4usize..10,
+        ny in 4usize..10,
+        k in 2usize..4,
+        uniform in any::<bool>(),
+        seed in 0u64..1_000_000,
+    ) {
+        prop_assume!(k <= nx);
+        let policy = if uniform { SharePolicy::Uniform } else { SharePolicy::DominanceProportional };
+        let (ss, a, b) = random_split(nx, ny, k, policy, seed);
+        validate::check_reconstruction(&ss, &a, &b, 1e-11).expect("reconstruction");
+        validate::check_wiring(&ss).expect("wiring");
+    }
+
+    /// Theorem 6.1 numerically: dominance-proportional splits satisfy the
+    /// SNND hypothesis and the wave operator is contractive for any z > 0.
+    #[test]
+    fn theorem_6_1_contraction(
+        nx in 5usize..9,
+        k in 2usize..4,
+        z_exp in -4.0f64..4.0,
+        seed in 0u64..1_000_000,
+    ) {
+        let (ss, _, _) = random_split(nx, nx, k, SharePolicy::DominanceProportional, seed);
+        let check = validate::check_theorem_hypothesis(&ss, 1e-10);
+        prop_assert!(check.satisfied, "split must satisfy Thm 6.1: {:?}", check.parts);
+        let z = (2.0f64).powf(z_exp);
+        let mut op = WaveOperator::new(&ss, &ImpedancePolicy::Fixed(z), LocalSolverKind::Auto)
+            .expect("operator");
+        let rho = op.spectral_radius(150, seed);
+        prop_assert!(rho < 1.0, "ρ = {rho} must be < 1 for z = {z}");
+    }
+
+    /// DTM converges under arbitrary positive asymmetric delays.
+    #[test]
+    fn dtm_converges_for_arbitrary_delays(
+        nx in 5usize..9,
+        k in 2usize..4,
+        lo_ms in 1.0f64..20.0,
+        spread in 1.0f64..10.0,
+        seed in 0u64..1_000_000,
+    ) {
+        let (ss, a, b) = random_split(nx, nx, k, SharePolicy::DominanceProportional, seed);
+        let topo = Topology::ring(k)
+            .with_delays(&DelayModel::uniform_ms(lo_ms, lo_ms * spread, seed));
+        let config = DtmConfig {
+            compute: ComputeModel::Fixed(SimDuration::from_millis_f64(lo_ms / 4.0)),
+            termination: Termination::OracleRms { tol: 1e-7 },
+            horizon: SimDuration::from_millis_f64(3_600_000.0),
+            sample_interval: SimDuration::from_millis_f64(50.0),
+            ..Default::default()
+        };
+        let report = solver::solve(&ss, topo, None, &config).expect("runs");
+        prop_assert!(report.converged, "rms {}", report.final_rms);
+        prop_assert!(a.residual_norm(&report.solution, &b) < 1e-4);
+    }
+}
+
+/// Non-proptest determinism check: two identical runs are bit-identical.
+#[test]
+fn simulation_is_deterministic() {
+    let (ss, _, _) = random_split(8, 8, 3, SharePolicy::DominanceProportional, 99);
+    let mk = || {
+        let topo = Topology::ring(3).with_delays(&DelayModel::uniform_ms(5.0, 40.0, 7));
+        let config = DtmConfig {
+            compute: ComputeModel::Fixed(SimDuration::from_millis_f64(1.0)),
+            termination: Termination::OracleRms { tol: 1e-9 },
+            horizon: SimDuration::from_millis_f64(600_000.0),
+            ..Default::default()
+        };
+        solver::solve(&ss, topo, None, &config).expect("runs")
+    };
+    let r1 = mk();
+    let r2 = mk();
+    assert_eq!(r1.total_solves, r2.total_solves);
+    assert_eq!(r1.total_messages, r2.total_messages);
+    assert_eq!(r1.final_time_ms, r2.final_time_ms);
+    assert_eq!(r1.solution, r2.solution);
+    assert_eq!(r1.series, r2.series);
+}

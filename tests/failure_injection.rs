@@ -1,0 +1,134 @@
+//! Degraded-operation behaviour: processors that stop early, overly loose
+//! local tolerances, tiny horizons, and extreme delay skew. DTM should
+//! degrade *gracefully* — bounded error, honest reports — never hang or
+//! panic.
+
+use dtm_repro::core::impedance::ImpedancePolicy;
+use dtm_repro::core::report::StopKind;
+use dtm_repro::core::solver::{self, ComputeModel, DtmConfig, Termination};
+use dtm_repro::graph::evs::{split, EvsOptions};
+use dtm_repro::graph::{partition, ElectricGraph, PartitionPlan};
+use dtm_repro::simnet::{DelayModel, SimDuration, Topology};
+use dtm_repro::sparse::generators;
+
+fn grid_split(side: usize, k: usize, seed: u64) -> dtm_repro::graph::SplitSystem {
+    let a = generators::grid2d_random(side, side, 1.0, seed);
+    let b = generators::random_rhs(side * side, seed + 1);
+    let g = ElectricGraph::from_system(a, b).expect("symmetric");
+    let plan = PartitionPlan::from_assignment(&g, &partition::grid_strips(side, side, k))
+        .expect("valid");
+    split(&g, &plan, &EvsOptions::default()).expect("splits")
+}
+
+#[test]
+fn premature_halt_via_solve_cap_reports_horizon_not_hang() {
+    // Nodes stop after 5 solves each: the run must terminate (quiescent —
+    // no messages left) with an honest non-converged report.
+    let ss = grid_split(10, 3, 501);
+    let topo = Topology::ring(3).with_delays(&DelayModel::uniform_ms(5.0, 40.0, 2));
+    let config = DtmConfig {
+        compute: ComputeModel::Fixed(SimDuration::from_millis_f64(1.0)),
+        termination: Termination::OracleRms { tol: 1e-12 },
+        horizon: SimDuration::from_millis_f64(3_600_000.0),
+        max_solves_per_node: 5,
+        ..Default::default()
+    };
+    let report = solver::solve(&ss, topo, None, &config).expect("runs");
+    assert!(!report.converged);
+    assert!(
+        matches!(report.stop, StopKind::Quiescent | StopKind::AllHalted),
+        "graceful stop expected, got {:?}",
+        report.stop
+    );
+    assert!(report.total_solves <= 3 * 5);
+    // Error is bounded by the initial error (it only ever decreases here).
+    let first = report.series.first().expect("series recorded").1;
+    assert!(report.final_rms <= first);
+}
+
+#[test]
+fn loose_local_tolerance_gives_commensurately_loose_answer() {
+    let ss = grid_split(10, 3, 502);
+    let run = |tol: f64| {
+        let topo = Topology::ring(3).with_delays(&DelayModel::uniform_ms(5.0, 40.0, 3));
+        let config = DtmConfig {
+            compute: ComputeModel::Fixed(SimDuration::from_millis_f64(1.0)),
+            termination: Termination::LocalDelta { tol, patience: 3 },
+            horizon: SimDuration::from_millis_f64(3_600_000.0),
+            ..Default::default()
+        };
+        solver::solve(&ss, topo, None, &config).expect("runs")
+    };
+    let loose = run(1e-3);
+    let tight = run(1e-10);
+    assert!(loose.total_solves < tight.total_solves);
+    assert!(loose.final_rms > tight.final_rms);
+    assert!(tight.final_rms < 1e-6, "tight rms {}", tight.final_rms);
+    assert!(loose.final_rms < 1e-1, "loose rms {}", loose.final_rms);
+}
+
+#[test]
+fn tiny_horizon_stops_on_time_limit() {
+    let ss = grid_split(8, 2, 503);
+    let topo = Topology::ring(2).with_delays(&DelayModel::fixed_ms(10.0));
+    let config = DtmConfig {
+        compute: ComputeModel::Fixed(SimDuration::from_millis_f64(1.0)),
+        termination: Termination::OracleRms { tol: 1e-12 },
+        horizon: SimDuration::from_millis_f64(25.0), // ~2 exchanges
+        ..Default::default()
+    };
+    let report = solver::solve(&ss, topo, None, &config).expect("runs");
+    assert_eq!(report.stop, StopKind::Horizon);
+    assert!(report.final_time_ms <= 25.0 + 1e-9);
+    assert!(!report.converged);
+}
+
+#[test]
+fn extreme_delay_skew_still_converges() {
+    // One direction 1 ms, the other 500 ms: 500× asymmetry (far beyond the
+    // paper's 9×). Theorem 6.1 promises convergence for arbitrary delays.
+    let ss = grid_split(8, 2, 504);
+    let topo = Topology::from_links(
+        2,
+        vec![
+            dtm_repro::simnet::Link {
+                src: 0,
+                dst: 1,
+                delay: SimDuration::from_millis_f64(1.0),
+            },
+            dtm_repro::simnet::Link {
+                src: 1,
+                dst: 0,
+                delay: SimDuration::from_millis_f64(500.0),
+            },
+        ],
+    );
+    let config = DtmConfig {
+        compute: ComputeModel::Fixed(SimDuration::from_millis_f64(0.5)),
+        termination: Termination::OracleRms { tol: 1e-8 },
+        horizon: SimDuration::from_millis_f64(3_600_000.0),
+        ..Default::default()
+    };
+    let report = solver::solve(&ss, topo, None, &config).expect("runs");
+    assert!(report.converged, "rms {}", report.final_rms);
+}
+
+#[test]
+fn wildly_bad_impedances_still_converge_just_slowly() {
+    // Theorem 6.1: any positive impedance converges. 10⁻³ and 10³ scales
+    // must both get there (eventually) on a small system.
+    let ss = grid_split(6, 2, 505);
+    for z in [1e-3, 1e3] {
+        let topo = Topology::ring(2).with_delays(&DelayModel::fixed_ms(5.0));
+        let config = DtmConfig {
+            impedance: ImpedancePolicy::Fixed(z),
+            compute: ComputeModel::Fixed(SimDuration::from_millis_f64(0.5)),
+            termination: Termination::OracleRms { tol: 1e-6 },
+            horizon: SimDuration::from_millis_f64(36_000_000.0),
+            sample_interval: SimDuration::from_millis_f64(1_000.0),
+            ..Default::default()
+        };
+        let report = solver::solve(&ss, topo, None, &config).expect("runs");
+        assert!(report.converged, "z = {z}: rms {}", report.final_rms);
+    }
+}
