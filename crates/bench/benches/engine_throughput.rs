@@ -55,7 +55,16 @@ fn bench_engine(c: &mut Criterion) {
             let topo = Topology::complete(2).with_delays(&DelayModel::fixed_us(5.0));
             let mut engine = Engine::new(
                 topo,
-                vec![Pinger { id: 0, hops: 10_000 }, Pinger { id: 1, hops: 10_000 }],
+                vec![
+                    Pinger {
+                        id: 0,
+                        hops: 10_000,
+                    },
+                    Pinger {
+                        id: 1,
+                        hops: 10_000,
+                    },
+                ],
             );
             let out = engine.run_until(SimTime::from_nanos(u64::MAX - 1));
             black_box(out.events)

@@ -4,9 +4,9 @@
 //! factor-once + substitute against refactor-every-update.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dtm_bench::{fig11_topology, paper_split};
 use dtm_core::impedance::{per_port, ImpedancePolicy};
 use dtm_core::local::{LocalSolverKind, LocalSystem};
-use dtm_bench::{fig11_topology, paper_split};
 use std::hint::black_box;
 
 fn bench_local_solve(c: &mut Criterion) {

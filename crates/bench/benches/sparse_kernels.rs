@@ -31,13 +31,9 @@ fn bench_kernels(c: &mut Criterion) {
             },
         );
         if side <= 17 {
-            group.bench_with_input(
-                BenchmarkId::new("dense", side * side),
-                &a,
-                |bench, a| {
-                    bench.iter(|| black_box(DenseCholesky::factor_csr(a).expect("SPD").n()));
-                },
-            );
+            group.bench_with_input(BenchmarkId::new("dense", side * side), &a, |bench, a| {
+                bench.iter(|| black_box(DenseCholesky::factor_csr(a).expect("SPD").n()));
+            });
         }
     }
     group.finish();

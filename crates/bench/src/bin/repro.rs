@@ -27,6 +27,7 @@ use dtm_bench::*;
 use dtm_core::baselines::{self, BlockJacobiConfig};
 use dtm_core::impedance::ImpedancePolicy;
 use dtm_core::local::LocalSolverKind;
+use dtm_core::runtime::CommonConfig;
 use dtm_core::solver::{self, ComputeModel, DtmConfig, Termination};
 use dtm_core::{analysis, vtm};
 use dtm_simnet::{Engine, SimDuration, SimTime};
@@ -80,7 +81,10 @@ fn fig3() {
     banner("Fig. 3: electric graph of the example system (3.2)");
     let (a, b) = generators::paper_example_system();
     let g = dtm_graph::ElectricGraph::from_system(a, b).expect("symmetric");
-    println!("{:>6} {:>8} {:>8}   edges (neighbour: weight)", "vertex", "weight", "source");
+    println!(
+        "{:>6} {:>8} {:>8}   edges (neighbour: weight)",
+        "vertex", "weight", "source"
+    );
     for v in 0..g.n() {
         let edges: Vec<String> = g
             .neighbors(v)
@@ -155,9 +159,12 @@ fn fig8() {
     let ss = example_5_1_split();
     let topo = example_5_1_topology();
     let config = DtmConfig {
-        impedance: ImpedancePolicy::PerDtlp(vec![0.2, 0.1]),
+        common: CommonConfig {
+            impedance: ImpedancePolicy::PerDtlp(vec![0.2, 0.1]),
+            termination: Termination::OracleRms { tol: 0.0 },
+            ..Default::default()
+        },
         compute: ComputeModel::Zero,
-        termination: Termination::OracleRms { tol: 0.0 },
         horizon: SimDuration::from_micros_f64(120.0),
         ..Default::default()
     };
@@ -169,23 +176,28 @@ fn fig8() {
         "t [us]", "x1", "x2a", "x2b", "x3a", "x3b", "x4"
     );
     let mut state = [[0.0f64; 3]; 2];
-    engine.run(SimTime::ZERO + SimDuration::from_micros_f64(120.0), |t, part, node| {
-        state[part].copy_from_slice(node.local().solution());
-        let (p0, p1) = (state[0], state[1]);
-        println!(
-            "{:>9.2} {:>9.5} {:>9.5} {:>9.5} {:>9.5} {:>9.5} {:>9.5}",
-            t.as_micros_f64(),
-            p0[2],
-            p0[0],
-            p1[0],
-            p0[1],
-            p1[1],
-            p1[2]
-        );
-        true
-    });
+    engine.run(
+        SimTime::ZERO + SimDuration::from_micros_f64(120.0),
+        |t, part, node| {
+            state[part].copy_from_slice(node.local().solution());
+            let (p0, p1) = (state[0], state[1]);
+            println!(
+                "{:>9.2} {:>9.5} {:>9.5} {:>9.5} {:>9.5} {:>9.5} {:>9.5}",
+                t.as_micros_f64(),
+                p0[2],
+                p0[0],
+                p1[0],
+                p0[1],
+                p1[1],
+                p1[2]
+            );
+            true
+        },
+    );
     let (a, b) = generators::paper_example_system();
-    let exact = dtm_sparse::DenseCholesky::factor_csr(&a).expect("SPD").solve(&b);
+    let exact = dtm_sparse::DenseCholesky::factor_csr(&a)
+        .expect("SPD")
+        .solve(&b);
     println!(
         "exact:    {:>9.5} {:>9.5} {:>9.5} {:>9.5} {:>9.5} {:>9.5}",
         exact[0], exact[1], exact[1], exact[2], exact[2], exact[3]
@@ -209,9 +221,12 @@ fn fig9() {
         print!("{z2:>8.3}");
         for z3 in zs {
             let config = DtmConfig {
-                impedance: ImpedancePolicy::PerDtlp(vec![z2, z3]),
+                common: CommonConfig {
+                    impedance: ImpedancePolicy::PerDtlp(vec![z2, z3]),
+                    termination: Termination::OracleRms { tol: 0.0 },
+                    ..Default::default()
+                },
                 compute: ComputeModel::Zero,
-                termination: Termination::OracleRms { tol: 0.0 },
                 horizon: SimDuration::from_micros_f64(100.0),
                 ..Default::default()
             };
@@ -237,12 +252,15 @@ fn table1() {
     let ss = example_5_1_split();
     let topo = example_5_1_topology();
     let config = DtmConfig {
-        impedance: ImpedancePolicy::PerDtlp(vec![0.2, 0.1]),
-        compute: ComputeModel::Zero,
-        termination: Termination::LocalDelta {
-            tol: 1e-10,
-            patience: 2,
+        common: CommonConfig {
+            impedance: ImpedancePolicy::PerDtlp(vec![0.2, 0.1]),
+            termination: Termination::LocalDelta {
+                tol: 1e-10,
+                patience: 2,
+            },
+            ..Default::default()
         },
+        compute: ComputeModel::Zero,
         horizon: SimDuration::from_millis_f64(5.0),
         ..Default::default()
     };
@@ -255,12 +273,17 @@ fn table1() {
             dtm_simnet::trace::TraceKind::Start { sent } => {
                 format!("initial local solve, sent {sent} N2N message(s)")
             }
-            dtm_simnet::trace::TraceKind::Receive { batch, sent } => format!(
-                "received {batch} boundary update(s), re-solved, sent {sent}"
-            ),
+            dtm_simnet::trace::TraceKind::Receive { batch, sent } => {
+                format!("received {batch} boundary update(s), re-solved, sent {sent}")
+            }
             dtm_simnet::trace::TraceKind::Halt => "locally convergent -> break".into(),
         };
-        println!("  t={:>9.2} us  P{}  {}", r.time.as_micros_f64(), r.node + 1, what);
+        println!(
+            "  t={:>9.2} us  P{}  {}",
+            r.time.as_micros_f64(),
+            r.node + 1,
+            what
+        );
     }
     let stats = engine.stats();
     println!(
@@ -396,8 +419,8 @@ fn cmp_vtm() {
     let ss = paper_split(33, 4, 4, &topo);
     let tol = 1e-6;
 
-    let dtm = solver::solve(&ss, topo.clone(), None, &mesh_config(tol, 240_000.0))
-        .expect("dtm run");
+    let dtm =
+        solver::solve(&ss, topo.clone(), None, &mesh_config(tol, 240_000.0)).expect("dtm run");
     let vtm_report = vtm::solve(
         &ss,
         None,
@@ -412,7 +435,10 @@ fn cmp_vtm() {
     let (_, hi) = topo.delay_range();
     let round_ms = 2.0 * hi.as_millis_f64() + 1.0;
     let vtm_time = vtm_report.rounds as f64 * round_ms;
-    println!("{:>28} {:>12} {:>14} {:>12}", "method", "exchanges", "sim time [ms]", "rms");
+    println!(
+        "{:>28} {:>12} {:>14} {:>12}",
+        "method", "exchanges", "sim time [ms]", "rms"
+    );
     println!(
         "{:>28} {:>12} {:>14.0} {:>12.2e}",
         "DTM (asynchronous)", dtm.total_messages, dtm.final_time_ms, dtm.final_rms
@@ -442,8 +468,8 @@ fn cmp_jacobi() {
     let (a, b) = paper_system(side);
     let asg = dtm_graph::partition::grid_blocks(side, side, 4, 4);
 
-    let dtm = solver::solve(&ss, topo.clone(), None, &mesh_config(tol, 240_000.0))
-        .expect("dtm run");
+    let dtm =
+        solver::solve(&ss, topo.clone(), None, &mesh_config(tol, 240_000.0)).expect("dtm run");
     let bj_config = BlockJacobiConfig {
         compute: ComputeModel::Fixed(SimDuration::from_millis_f64(1.0)),
         termination: Termination::OracleRms { tol },
@@ -451,8 +477,8 @@ fn cmp_jacobi() {
         sample_interval: SimDuration::from_millis_f64(5.0),
         ..Default::default()
     };
-    let abj = baselines::solve_async(&a, &b, &asg, topo.clone(), None, &bj_config)
-        .expect("async bj run");
+    let abj =
+        baselines::solve_async(&a, &b, &asg, topo.clone(), None, &bj_config).expect("async bj run");
     let sbj = baselines::solve_sync(&a, &b, &asg, &topo, None, &bj_config).expect("sync bj");
 
     println!(
@@ -480,16 +506,14 @@ fn sweep_z() {
     let topo = fig11_topology();
     let ss = paper_split(17, 4, 4, &topo);
     let scales = [0.01, 0.03, 0.1, 0.3, 1.0, 3.0, 10.0, 30.0, 100.0];
-    let sweep = analysis::impedance_sweep(&ss, &scales, LocalSolverKind::Auto)
-        .expect("sweep builds");
+    let sweep =
+        analysis::impedance_sweep(&ss, &scales, LocalSolverKind::Auto).expect("sweep builds");
     println!("{:>12} {:>16}", "z scale", "spectral radius");
     for (s, rho) in &sweep {
         println!("{s:>12.2} {rho:>16.6}");
     }
     let all_contractive = sweep.iter().all(|&(_, r)| r < 1.0);
-    println!(
-        "all contractive (Theorem 6.1, arbitrary positive impedance): {all_contractive}\n"
-    );
+    println!("all contractive (Theorem 6.1, arbitrary positive impedance): {all_contractive}\n");
 }
 
 fn banner(s: &str) {

@@ -3,6 +3,7 @@
 //! series decimation, and plain-text chart/table rendering.
 
 use dtm_core::impedance::ImpedancePolicy;
+use dtm_core::runtime::CommonConfig;
 use dtm_core::solver::{ComputeModel, DtmConfig, Termination};
 use dtm_graph::evs::{split as evs_split, EvsOptions, SplitSystem, TwinTopology};
 use dtm_graph::{partition, ElectricGraph, PartitionPlan};
@@ -101,9 +102,12 @@ pub fn paper_split(side: usize, px: usize, py: usize, topo: &Topology) -> SplitS
 /// monitoring.
 pub fn mesh_config(tol: f64, horizon_ms: f64) -> DtmConfig {
     DtmConfig {
-        impedance: ImpedancePolicy::default(),
+        common: CommonConfig {
+            impedance: ImpedancePolicy::default(),
+            termination: Termination::OracleRms { tol },
+            ..Default::default()
+        },
         compute: ComputeModel::Fixed(SimDuration::from_millis_f64(1.0)),
-        termination: Termination::OracleRms { tol },
         horizon: SimDuration::from_millis_f64(horizon_ms),
         sample_interval: SimDuration::from_millis_f64(5.0),
         ..Default::default()

@@ -51,7 +51,12 @@ impl WaveOperator {
         let routes: Vec<Vec<(usize, usize)>> = split
             .subdomains
             .iter()
-            .map(|sd| sd.ports.iter().map(|p| (p.peer.part, p.peer.port)).collect())
+            .map(|sd| {
+                sd.ports
+                    .iter()
+                    .map(|p| (p.peer.part, p.peer.port))
+                    .collect()
+            })
             .collect();
         let mut offsets = Vec::with_capacity(routes.len());
         let mut dim = 0;
@@ -103,8 +108,8 @@ impl WaveOperator {
             e[j] = 1.0;
             self.apply(&e, &mut col);
             e[j] = 0.0;
-            for i in 0..dim {
-                *t.get_mut(i, j) = col[i];
+            for (i, &v) in col.iter().enumerate() {
+                *t.get_mut(i, j) = v;
             }
         }
         t
@@ -148,11 +153,8 @@ pub fn impedance_sweep(
     scales
         .iter()
         .map(|&s| {
-            let mut op = WaveOperator::new(
-                split,
-                &ImpedancePolicy::GeometricMean { scale: s },
-                kind,
-            )?;
+            let mut op =
+                WaveOperator::new(split, &ImpedancePolicy::GeometricMean { scale: s }, kind)?;
             Ok((s, op.spectral_radius(200, 42)))
         })
         .collect()
@@ -221,12 +223,8 @@ mod tests {
     #[test]
     fn dense_probe_agrees_with_apply() {
         let ss = paper_split();
-        let mut op = WaveOperator::new(
-            &ss,
-            &ImpedancePolicy::Fixed(0.3),
-            LocalSolverKind::Dense,
-        )
-        .unwrap();
+        let mut op =
+            WaveOperator::new(&ss, &ImpedancePolicy::Fixed(0.3), LocalSolverKind::Dense).unwrap();
         let t = op.to_dense();
         let w: Vec<f64> = (0..op.dim()).map(|i| (i as f64 + 1.0) * 0.5).collect();
         let mut out = vec![0.0; op.dim()];
@@ -249,10 +247,7 @@ mod tests {
         let scales = [0.01, 0.1, 1.0, 10.0, 100.0];
         let sweep = impedance_sweep(&ss, &scales, LocalSolverKind::Dense).unwrap();
         let rhos: Vec<f64> = sweep.iter().map(|&(_, r)| r).collect();
-        let best = rhos
-            .iter()
-            .cloned()
-            .fold(f64::INFINITY, f64::min);
+        let best = rhos.iter().cloned().fold(f64::INFINITY, f64::min);
         assert!(rhos.iter().all(|&r| r < 1.0), "all contractive: {rhos:?}");
         assert!(
             best < rhos[0] && best < rhos[rhos.len() - 1],

@@ -15,10 +15,14 @@
 //! comparisons in `repro cmp-jacobi` are apples-to-apples.
 
 use crate::monitor::Monitor;
-use crate::report::{SolveReport, StopKind};
+use crate::report::{BackendKind, SolveReport, StopKind};
 use crate::solver::{ComputeModel, Termination};
 use dtm_simnet::{Ctx, Engine, Envelope, Node, SimDuration, SimTime, StopReason, Topology};
 use dtm_sparse::{Csr, DenseCholesky, Error, Result, SparseCholesky};
+
+/// Per part: for each neighbour part, `(their_ext_slot, my_local_row)`
+/// exchange pairs.
+type PartRoutes = Vec<(usize, Vec<(usize, usize)>)>;
 
 /// Configuration shared by both block-Jacobi baselines.
 #[derive(Debug, Clone)]
@@ -66,7 +70,7 @@ struct Blocks {
     /// Per part: the global vertex each ext slot mirrors.
     ext_globals: Vec<Vec<usize>>,
     /// Per part: per neighbour part, `(their_ext_slot, my_local_row)`.
-    routes: Vec<Vec<(usize, Vec<(usize, usize)>)>>,
+    routes: Vec<PartRoutes>,
     /// Local rhs per part.
     rhs: Vec<Vec<f64>>,
 }
@@ -112,7 +116,7 @@ impl Blocks {
         let mut factor_nnz = Vec::with_capacity(k);
         let mut coupling = vec![Vec::new(); k];
         let mut ext_globals: Vec<Vec<usize>> = vec![Vec::new(); k];
-        let mut routes: Vec<Vec<(usize, Vec<(usize, usize)>)>> = vec![Vec::new(); k];
+        let mut routes: Vec<PartRoutes> = vec![Vec::new(); k];
         let mut rhs = Vec::with_capacity(k);
 
         for p in 0..k {
@@ -147,8 +151,8 @@ impl Blocks {
         }
         // Routes: part p must send x[v] to every part q whose ext list
         // contains v ∈ p.
-        for q in 0..k {
-            for (slot, &g) in ext_globals[q].iter().enumerate() {
+        for (q, globals) in ext_globals.iter().enumerate() {
+            for (slot, &g) in globals.iter().enumerate() {
                 let p = assignment[g];
                 let entry = match routes[p].iter_mut().find(|(dst, _)| *dst == q) {
                     Some((_, pairs)) => pairs,
@@ -218,10 +222,8 @@ impl BjNode {
         let mut delta = 0.0_f64;
         let mut bi = 0usize;
         for (dst, pairs) in &self.blocks.routes[self.part] {
-            let updates: Vec<(usize, f64)> = pairs
-                .iter()
-                .map(|&(slot, l)| (slot, self.x[l]))
-                .collect();
+            let updates: Vec<(usize, f64)> =
+                pairs.iter().map(|&(slot, l)| (slot, self.x[l])).collect();
             for &(_, v) in &updates {
                 if bi < self.prev_boundary.len() {
                     delta = delta.max((v - self.prev_boundary[bi]).abs());
@@ -333,13 +335,16 @@ pub fn solve_async(
     monitor.set_refresh_below(oracle_tol.unwrap_or(0.0));
 
     let mut engine = Engine::new(topology, nodes);
-    let outcome = engine.run(SimTime::ZERO + config.horizon, |time, part, node: &BjNode| {
-        let rms = monitor.update_part(part, time, &node.x);
-        match oracle_tol {
-            Some(tol) => rms > tol,
-            None => true,
-        }
-    });
+    let outcome = engine.run(
+        SimTime::ZERO + config.horizon,
+        |time, part, node: &BjNode| {
+            let rms = monitor.update_part(part, time, &node.x);
+            match oracle_tol {
+                Some(tol) => rms > tol,
+                None => true,
+            }
+        },
+    );
 
     let stats = engine.stats();
     let final_rms = monitor.rms_exact();
@@ -356,6 +361,7 @@ pub fn solve_async(
         }
     };
     Ok(SolveReport {
+        backend: BackendKind::Simulated,
         solution: monitor.estimate().to_vec(),
         converged,
         final_rms,
@@ -430,6 +436,7 @@ pub fn solve_sync(
         }
     }
     Ok(SolveReport {
+        backend: BackendKind::Simulated,
         solution: x,
         converged: rms <= tol,
         final_rms: rms,
@@ -437,12 +444,7 @@ pub fn solve_sync(
         series,
         total_solves: rounds * k as u64,
         // Per round each coupled pair exchanges once in each direction.
-        total_messages: rounds
-            * blocks
-                .routes
-                .iter()
-                .map(|r| r.len() as u64)
-                .sum::<u64>(),
+        total_messages: rounds * blocks.routes.iter().map(|r| r.len() as u64).sum::<u64>(),
         coalesced_batches: 0,
         n_parts: k,
         stop: if rms <= tol {

@@ -99,13 +99,13 @@ impl DtmBuilder {
 
     /// Impedance policy.
     pub fn impedance(mut self, policy: ImpedancePolicy) -> Self {
-        self.config.impedance = policy;
+        self.config.common.impedance = policy;
         self
     }
 
     /// Local factorization backend.
     pub fn local_solver(mut self, kind: LocalSolverKind) -> Self {
-        self.config.solver_kind = kind;
+        self.config.common.solver_kind = kind;
         self
     }
 
@@ -117,7 +117,7 @@ impl DtmBuilder {
 
     /// Termination rule.
     pub fn termination(mut self, t: Termination) -> Self {
-        self.config.termination = t;
+        self.config.common.termination = t;
         self
     }
 
@@ -141,9 +141,9 @@ impl DtmBuilder {
     /// Any validation failure along the pipeline.
     pub fn build(self) -> Result<DtmProblem> {
         let graph = ElectricGraph::from_system(self.a.clone(), self.b.clone())?;
-        let assignment = self
-            .assignment
-            .ok_or_else(|| Error::Parse("no partition given: call grid_blocks/grid_strips/assignment".into()))?;
+        let assignment = self.assignment.ok_or_else(|| {
+            Error::Parse("no partition given: call grid_blocks/grid_strips/assignment".into())
+        })?;
         let plan = PartitionPlan::from_assignment(&graph, &assignment)?;
         let n_parts = plan.n_parts();
         let topology = match self.topology {
@@ -209,6 +209,31 @@ impl DtmProblem {
     pub fn solve_vtm(&self, config: &VtmConfig) -> Result<VtmReport> {
         vtm::solve(&self.split, Some(self.reference.clone()), config)
     }
+
+    /// Run DTM on real OS threads over the same torn system — one
+    /// algorithm, another machine (see [`crate::runtime`]).
+    ///
+    /// # Errors
+    /// See [`crate::threaded::solve`].
+    pub fn solve_threaded(&self, config: &crate::threaded::ThreadedConfig) -> Result<SolveReport> {
+        crate::threaded::solve_with_reference(&self.split, Some(self.reference.clone()), config)
+    }
+
+    /// Run DTM on the in-process work-stealing pool over the same torn
+    /// system.
+    ///
+    /// # Errors
+    /// See [`crate::rayon_backend::solve`].
+    pub fn solve_workstealing(
+        &self,
+        config: &crate::rayon_backend::RayonConfig,
+    ) -> Result<SolveReport> {
+        crate::rayon_backend::solve_with_reference(
+            &self.split,
+            Some(self.reference.clone()),
+            config,
+        )
+    }
 }
 
 #[cfg(test)]
@@ -252,7 +277,10 @@ mod tests {
     fn problem_can_be_resolved_with_vtm() {
         let a = generators::grid2d_laplacian(8, 8);
         let b = generators::random_rhs(64, 63);
-        let problem = DtmBuilder::new(a, b).grid_blocks(8, 8, 2, 2).build().unwrap();
+        let problem = DtmBuilder::new(a, b)
+            .grid_blocks(8, 8, 2, 2)
+            .build()
+            .unwrap();
         let dtm = problem.solve().unwrap();
         let vtm = problem
             .solve_vtm(&VtmConfig {

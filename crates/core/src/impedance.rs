@@ -123,7 +123,9 @@ mod tests {
         let ss = paper_split();
         assert_eq!(ss.dtlps[0].vertex, 1);
         assert_eq!(ss.dtlps[1].vertex, 2);
-        let z = ImpedancePolicy::PerDtlp(vec![0.2, 0.1]).assign(&ss).unwrap();
+        let z = ImpedancePolicy::PerDtlp(vec![0.2, 0.1])
+            .assign(&ss)
+            .unwrap();
         assert_eq!(z, vec![0.2, 0.1]);
         let ports = per_port(&ss, &z);
         // Twin ports of one DTLP share the impedance.

@@ -25,18 +25,25 @@
 //! * [`impedance`] — characteristic-impedance selection policies (the free
 //!   parameter studied in Fig. 9);
 //! * [`local`] — the factor-once local solver of eq. (5.9);
-//! * [`solver`] — DTM on the simulated heterogeneous machine (`dtm-simnet`);
+//! * [`runtime`] — the **backend-agnostic DTM runtime**: the one canonical
+//!   node state machine (solve-and-scatter, wave merge, Table 1 step 3.3
+//!   self-halt) behind the [`runtime::Transport`] /
+//!   [`runtime::ExecutorBackend`] trait pair;
+//! * [`solver`] — executor: DTM on the simulated heterogeneous machine
+//!   (`dtm-simnet`);
+//! * [`threaded`] — executor: DTM on real OS threads and channels
+//!   (genuinely asynchronous execution);
+//! * [`rayon_backend`] — executor: DTM as tasks on an in-process
+//!   work-stealing pool;
 //! * [`vtm`] — the Virtual Transmission Method: the synchronous, unit-delay
 //!   special case (eq. 5.10);
-//! * [`threaded`] — DTM on real OS threads and channels (genuinely
-//!   asynchronous execution);
 //! * [`baselines`] — synchronous and asynchronous block-Jacobi for the
 //!   comparisons the paper's introduction makes;
 //! * [`analysis`] — spectral radius of the VTM iteration operator
 //!   (quantitative convergence rates, Fig. 9 cross-check);
 //! * [`monitor`] — RMS-error-vs-time tracking against the direct solution;
 //! * [`builder`] — the high-level [`DtmBuilder`] entry point;
-//! * [`report`] — solve reports.
+//! * [`report`] — the shared solve-report vocabulary.
 //!
 //! ## Quickstart
 //!
@@ -61,7 +68,9 @@ pub mod dtl;
 pub mod impedance;
 pub mod local;
 pub mod monitor;
+pub mod rayon_backend;
 pub mod report;
+pub mod runtime;
 pub mod solver;
 pub mod threaded;
 pub mod vtm;
@@ -69,5 +78,6 @@ pub mod vtm;
 pub use builder::{DtmBuilder, DtmProblem};
 pub use impedance::ImpedancePolicy;
 pub use local::LocalSystem;
-pub use report::SolveReport;
-pub use solver::{ComputeModel, DtmConfig, Termination};
+pub use report::{BackendKind, SolveReport};
+pub use runtime::{CommonConfig, ExecutorBackend, NodeRuntime, Termination, Transport};
+pub use solver::{ComputeModel, DtmConfig};

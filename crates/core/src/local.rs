@@ -105,9 +105,7 @@ impl LocalSystem {
         let factor = match kind {
             LocalSolverKind::Dense => Factor::Dense(DenseCholesky::factor_csr(&matrix)?),
             LocalSolverKind::Sparse => Factor::Sparse(SparseCholesky::factor(&matrix)?),
-            LocalSolverKind::SparseRcm => {
-                Factor::Sparse(SparseCholesky::factor_rcm(&matrix)?)
-            }
+            LocalSolverKind::SparseRcm => Factor::Sparse(SparseCholesky::factor_rcm(&matrix)?),
             LocalSolverKind::Auto => {
                 if n <= AUTO_DENSE_LIMIT {
                     Factor::Dense(DenseCholesky::factor_csr(&matrix)?)
@@ -251,8 +249,7 @@ mod tests {
         // [5 −1 −1; −1 7.5 −0.9; −1 −0.9 13.3] in (x1, x2a, x3a) order —
         // ours is (x2a, x3a, x1).
         let ss = paper_split();
-        let ls = LocalSystem::new(&ss.subdomains[0], &[0.2, 0.1], LocalSolverKind::Dense)
-            .unwrap();
+        let ls = LocalSystem::new(&ss.subdomains[0], &[0.2, 0.1], LocalSolverKind::Dense).unwrap();
         let m = ls.matrix();
         assert!((m.get(0, 0) - 7.5).abs() < 1e-12); // 2.5 + 1/0.2
         assert!((m.get(1, 1) - 13.3).abs() < 1e-12); // 3.3 + 1/0.1
@@ -266,8 +263,7 @@ mod tests {
         // (5.5): subgraph-2 matrix [8.5 −1.1 −1; −1.1 13.7 −2; −1 −2 8] in
         // (x2b, x3b, x4) order.
         let ss = paper_split();
-        let ls = LocalSystem::new(&ss.subdomains[1], &[0.2, 0.1], LocalSolverKind::Dense)
-            .unwrap();
+        let ls = LocalSystem::new(&ss.subdomains[1], &[0.2, 0.1], LocalSolverKind::Dense).unwrap();
         let m = ls.matrix();
         assert!((m.get(0, 0) - 8.5).abs() < 1e-12); // 3.5 + 5
         assert!((m.get(1, 1) - 13.7).abs() < 1e-12); // 3.7 + 10

@@ -177,7 +177,7 @@ mod tests {
     fn starts_at_reference_norm() {
         let (ss, reference) = make();
         let m = Monitor::new(&ss, reference.clone(), SimDuration::ZERO);
-        let expect = dtm_sparse::vector::rms_error(&vec![0.0; 16], &reference);
+        let expect = dtm_sparse::vector::rms_error(&[0.0; 16], &reference);
         assert!((m.rms() - expect).abs() < 1e-12);
     }
 

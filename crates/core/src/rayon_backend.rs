@@ -1,0 +1,381 @@
+//! DTM on an in-process work-stealing pool — the [`WorkStealingBackend`].
+//!
+//! The third executor, and the proof that the [`crate::runtime`]
+//! abstraction holds: the *same* [`NodeRuntime`] state machine that runs
+//! under the discrete-event simulator and under one-thread-per-subdomain
+//! here runs as **tasks on a rayon work-stealing pool**, one task per
+//! activation. This is the execution shape a production service would
+//! use: subdomain count decoupled from thread count, load balanced by
+//! stealing, no thread parked on an idle subdomain.
+//!
+//! Delay mapping: a wave is an inbox entry plus a spawned task, so the
+//! DTL transmission delay is realised by task queueing/stealing latency —
+//! natural, uncontrolled asynchrony, exactly the regime the paper's
+//! Theorem 6.1 covers (convergence for *arbitrary* positive delays).
+//!
+//! Scheduling protocol (per node): wave arrival appends the updates to
+//! the node's inbox and sets its `scheduled` bit; if the bit was clear, an
+//! activation task is spawned. The task clears the bit *before* draining
+//! the inbox, so updates arriving during the solve schedule a fresh
+//! activation instead of being lost — the lock-free equivalent of the
+//! simulator's busy-window coalescing (Table 1 step 3: "one or more of
+//! the adjacent subgraphs").
+
+use crate::report::{BackendKind, SolveReport, StopKind};
+use crate::runtime::{
+    self, wallclock, BufferedTransport, CommonConfig, ExecutorBackend, NodeControl, NodeRuntime,
+    Termination,
+};
+use dtm_graph::evs::SplitSystem;
+use dtm_sparse::Result;
+use parking_lot::Mutex;
+use rayon::{ThreadPool, ThreadPoolBuilder};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Work-stealing-executor configuration: the shared [`CommonConfig`] plus
+/// pool sizing and wall-clock knobs.
+#[derive(Debug, Clone)]
+pub struct RayonConfig {
+    /// Algorithm configuration shared with every backend.
+    pub common: CommonConfig,
+    /// Worker threads in the pool (`0` = available parallelism).
+    pub num_threads: usize,
+    /// Wall-clock budget.
+    pub budget: Duration,
+    /// Supervisor poll interval.
+    pub poll_interval: Duration,
+}
+
+impl Default for RayonConfig {
+    fn default() -> Self {
+        Self {
+            common: CommonConfig {
+                max_solves_per_node: 1_000_000,
+                ..Default::default()
+            },
+            num_threads: 0,
+            budget: Duration::from_secs(30),
+            poll_interval: Duration::from_micros(500),
+        }
+    }
+}
+
+/// Per-subdomain shared state the tasks operate on.
+struct NodeCell {
+    rt: Mutex<NodeRuntime>,
+    inbox: Mutex<Vec<runtime::PortUpdate>>,
+    /// An activation task is queued or running.
+    scheduled: AtomicBool,
+    /// The node returned [`NodeControl::Halt`].
+    halted: AtomicBool,
+}
+
+struct Shared {
+    cells: Vec<NodeCell>,
+    snapshots: Vec<Mutex<Vec<f64>>>,
+    stop: AtomicBool,
+    halted_count: AtomicUsize,
+    /// Some node was retired by the solve cap rather than by declaring
+    /// convergence.
+    any_capped: AtomicBool,
+    total_solves: AtomicU64,
+    total_messages: AtomicU64,
+}
+
+/// Run one activation of node `p`: drain inbox, merge, solve-and-scatter,
+/// deliver the outgoing waves and schedule their receivers.
+///
+/// `force` solves even with an empty inbox (the initial eq.-5.6 solve and
+/// the supervisor's idle kick). Without it an empty drain — possible when
+/// a delivery raced an in-flight activation that already absorbed it —
+/// returns without solving, so spurious wakeups can never feed the
+/// zero-delta self-halt streak.
+fn activate(shared: &Arc<Shared>, pool: &Arc<ThreadPool>, p: usize, force: bool) {
+    let cell = &shared.cells[p];
+    // Clear *before* draining: a wave landing after this point spawns a
+    // fresh activation rather than relying on this one seeing it.
+    cell.scheduled.store(false, Ordering::Release);
+    if shared.stop.load(Ordering::Acquire) || cell.halted.load(Ordering::Acquire) {
+        return;
+    }
+    let mut transport = BufferedTransport::default();
+    let control = {
+        let mut rt = cell.rt.lock();
+        let pending = std::mem::take(&mut *cell.inbox.lock());
+        if pending.is_empty() && !force {
+            return;
+        }
+        for update in pending {
+            rt.absorb(update);
+        }
+        let control = rt.step(&mut transport);
+        shared.total_solves.fetch_add(1, Ordering::Relaxed);
+        shared.snapshots[p]
+            .lock()
+            .copy_from_slice(rt.local().solution());
+        control
+    };
+    if control.is_halt() {
+        if control == NodeControl::Capped {
+            shared.any_capped.store(true, Ordering::Release);
+        }
+        cell.halted.store(true, Ordering::Release);
+        shared.halted_count.fetch_add(1, Ordering::AcqRel);
+    }
+    // Deliver outside the node lock: inbox pushes and task spawns touch
+    // other cells only.
+    for (dst, msg) in transport.outbox {
+        shared.total_messages.fetch_add(1, Ordering::Relaxed);
+        let target = &shared.cells[dst];
+        if target.halted.load(Ordering::Acquire) {
+            continue; // halted nodes drop pending and future waves
+        }
+        target.inbox.lock().extend(msg.updates);
+        schedule(shared, pool, dst, false);
+    }
+}
+
+/// Spawn an activation task for `p` unless one is already queued/running.
+fn schedule(shared: &Arc<Shared>, pool: &Arc<ThreadPool>, p: usize, force: bool) {
+    let cell = &shared.cells[p];
+    if shared.stop.load(Ordering::Acquire) || cell.halted.load(Ordering::Acquire) {
+        return;
+    }
+    if cell
+        .scheduled
+        .compare_exchange(false, true, Ordering::AcqRel, Ordering::Acquire)
+        .is_ok()
+    {
+        let shared = shared.clone();
+        let pool2 = pool.clone();
+        pool.spawn(move || activate(&shared, &pool2, p, force));
+    }
+}
+
+/// The work-stealing executor.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct WorkStealingBackend;
+
+impl ExecutorBackend for WorkStealingBackend {
+    type Config = RayonConfig;
+
+    fn kind(&self) -> BackendKind {
+        BackendKind::WorkStealing
+    }
+
+    fn solve(
+        &self,
+        split: &SplitSystem,
+        reference: Option<Vec<f64>>,
+        config: &Self::Config,
+    ) -> Result<SolveReport> {
+        solve_with_reference(split, reference, config)
+    }
+}
+
+/// Run DTM on the work-stealing pool.
+///
+/// # Errors
+/// Propagates impedance/factorization failures and pool construction
+/// failure.
+pub fn solve(split: &SplitSystem, config: &RayonConfig) -> Result<SolveReport> {
+    solve_with_reference(split, None, config)
+}
+
+/// [`solve`] with a precomputed direct reference solution.
+///
+/// # Errors
+/// See [`solve`].
+pub fn solve_with_reference(
+    split: &SplitSystem,
+    reference: Option<Vec<f64>>,
+    config: &RayonConfig,
+) -> Result<SolveReport> {
+    let n_parts = split.n_parts();
+    let reference = runtime::reference_solution(split, reference)?;
+    let runtimes = runtime::build_nodes(split, &config.common)?;
+
+    let pool = Arc::new(
+        ThreadPoolBuilder::new()
+            .num_threads(config.num_threads)
+            .build()
+            .map_err(|e| dtm_sparse::Error::Parse(format!("thread pool: {e}")))?,
+    );
+    let shared = Arc::new(Shared {
+        snapshots: runtimes
+            .iter()
+            .map(|rt| Mutex::new(vec![0.0; rt.local().n_local()]))
+            .collect(),
+        cells: runtimes
+            .into_iter()
+            .map(|rt| NodeCell {
+                rt: Mutex::new(rt),
+                inbox: Mutex::new(Vec::new()),
+                scheduled: AtomicBool::new(false),
+                halted: AtomicBool::new(false),
+            })
+            .collect(),
+        stop: AtomicBool::new(false),
+        halted_count: AtomicUsize::new(0),
+        any_capped: AtomicBool::new(false),
+        total_solves: AtomicU64::new(0),
+        total_messages: AtomicU64::new(0),
+    });
+
+    // Initial solves (eq. 5.6): every node gets one activation task.
+    for p in 0..n_parts {
+        schedule(&shared, &pool, p, true);
+    }
+
+    // Supervisor: shared wall-clock loop over the snapshots.
+    let oracle_tol = match config.common.termination {
+        Termination::OracleRms { tol } => Some(tol),
+        Termination::LocalDelta { .. } => None,
+    };
+    let outcome = {
+        let done = shared.clone();
+        let pool2 = pool.clone();
+        let self_halting = oracle_tol.is_none();
+        wallclock::supervise(
+            split,
+            &reference,
+            &shared.snapshots,
+            oracle_tol,
+            config.budget,
+            config.poll_interval,
+            move || {
+                if done.halted_count.load(Ordering::Acquire) == n_parts {
+                    return true;
+                }
+                if self_halting && pool2.pending_tasks() == 0 {
+                    // Quiescent under LocalDelta: halted nodes have gone
+                    // silent and no activation is queued or running, so
+                    // surviving nodes would never run again. Kick every
+                    // live node: re-solving against unchanged boundary
+                    // state yields a zero outgoing delta, letting the
+                    // Table 1 step 3.3 streak complete. (Quiescence — not
+                    // a stalled solve counter — is the trigger, so a
+                    // scheduling hiccup can never feed the streak while
+                    // real waves are still in flight.)
+                    for p in 0..n_parts {
+                        schedule(&done, &pool2, p, true);
+                    }
+                }
+                false
+            },
+        )
+    };
+    shared.stop.store(true, Ordering::Release);
+    pool.wait_quiescent();
+
+    let converged = match config.common.termination {
+        Termination::OracleRms { tol } => outcome.best_rms <= tol,
+        Termination::LocalDelta { .. } => {
+            // A node retired by the solve cap never declared convergence;
+            // don't let "everyone eventually stopped" masquerade as
+            // success.
+            outcome.stop == StopKind::AllHalted && !shared.any_capped.load(Ordering::Acquire)
+        }
+    };
+    Ok(SolveReport {
+        backend: BackendKind::WorkStealing,
+        solution: outcome.solution,
+        converged,
+        final_rms: outcome.final_rms,
+        final_time_ms: outcome.elapsed.as_secs_f64() * 1e3,
+        series: outcome.series,
+        total_solves: shared.total_solves.load(Ordering::Relaxed),
+        total_messages: shared.total_messages.load(Ordering::Relaxed),
+        coalesced_batches: 0,
+        n_parts,
+        stop: outcome.stop,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::impedance::ImpedancePolicy;
+    use dtm_graph::evs::{split as evs_split, EvsOptions};
+    use dtm_graph::{ElectricGraph, PartitionPlan};
+    use dtm_sparse::generators;
+
+    fn grid_split(nx: usize, k: usize, seed: u64) -> SplitSystem {
+        let a = generators::grid2d_random(nx, nx, 1.0, seed);
+        let b = generators::random_rhs(nx * nx, seed + 1);
+        let g = ElectricGraph::from_system(a, b).unwrap();
+        let asg = dtm_graph::partition::grid_strips(nx, nx, k);
+        let plan = PartitionPlan::from_assignment(&g, &asg).unwrap();
+        evs_split(&g, &plan, &EvsOptions::default()).unwrap()
+    }
+
+    #[test]
+    fn workstealing_dtm_converges() {
+        let ss = grid_split(10, 4, 81);
+        let config = RayonConfig {
+            common: CommonConfig {
+                termination: Termination::OracleRms { tol: 1e-8 },
+                ..RayonConfig::default().common
+            },
+            num_threads: 3, // fewer workers than subdomains: real stealing
+            budget: Duration::from_secs(60),
+            ..Default::default()
+        };
+        let report = solve(&ss, &config).unwrap();
+        assert!(report.converged, "rms {}", report.final_rms);
+        assert_eq!(report.backend, BackendKind::WorkStealing);
+        let (a, b) = ss.reconstruct();
+        assert!(a.residual_norm(&report.solution, &b) < 1e-5);
+        assert!(report.total_solves > 4);
+        assert!(report.total_messages > 0);
+    }
+
+    #[test]
+    fn workstealing_local_delta_self_halts() {
+        let ss = grid_split(8, 3, 82);
+        let config = RayonConfig {
+            common: CommonConfig {
+                termination: Termination::LocalDelta {
+                    tol: 1e-12,
+                    patience: 4,
+                },
+                ..RayonConfig::default().common
+            },
+            budget: Duration::from_secs(60),
+            ..Default::default()
+        };
+        let report = solve(&ss, &config).unwrap();
+        assert_eq!(report.stop, StopKind::AllHalted);
+        assert!(report.converged);
+        assert!(report.final_rms < 1e-6, "rms {}", report.final_rms);
+    }
+
+    #[test]
+    fn paper_example_on_the_pool() {
+        let (a, b) = generators::paper_example_system();
+        let g = ElectricGraph::from_system(a.clone(), b.clone()).unwrap();
+        let plan = PartitionPlan::from_assignment(&g, &[0, 0, 1, 1]).unwrap();
+        let options = EvsOptions {
+            explicit: dtm_graph::evs::paper_example_shares(),
+            ..Default::default()
+        };
+        let ss = evs_split(&g, &plan, &options).unwrap();
+        let config = RayonConfig {
+            common: CommonConfig {
+                impedance: ImpedancePolicy::PerDtlp(vec![0.2, 0.1]),
+                termination: Termination::OracleRms { tol: 1e-9 },
+                ..RayonConfig::default().common
+            },
+            num_threads: 2,
+            ..Default::default()
+        };
+        let report = solve(&ss, &config).unwrap();
+        assert!(report.converged, "rms {}", report.final_rms);
+        let exact = dtm_sparse::DenseCholesky::factor_csr(&a).unwrap().solve(&b);
+        for (u, v) in report.solution.iter().zip(&exact) {
+            assert!((u - v).abs() < 1e-6);
+        }
+    }
+}

@@ -3,6 +3,21 @@
 
 use serde::Serialize;
 
+/// Which executor produced a report — one entry per
+/// [`ExecutorBackend`](crate::runtime::ExecutorBackend) implementation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum BackendKind {
+    /// Deterministic discrete-event simulation on a [`dtm_simnet`]
+    /// machine ([`crate::solver`]).
+    Simulated,
+    /// One OS thread per subdomain, channels for waves
+    /// ([`crate::threaded`]).
+    Threaded,
+    /// In-process work-stealing pool, one task per activation
+    /// ([`crate::rayon_backend`]).
+    WorkStealing,
+}
+
 /// Why a distributed solve ended.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
 pub enum StopKind {
@@ -13,28 +28,37 @@ pub enum StopKind {
     AllHalted,
     /// The simulated-time horizon was exhausted first.
     Horizon,
+    /// The wall-clock budget of a real-execution backend expired first.
+    Budget,
     /// The network went quiescent (no messages in flight).
     Quiescent,
 }
 
-/// Outcome of a distributed solve (DTM, VTM or a baseline).
+/// Outcome of a distributed solve (DTM, VTM or a baseline) — the shared
+/// report vocabulary of every [`ExecutorBackend`](crate::runtime::ExecutorBackend).
 #[derive(Debug, Clone, Serialize)]
 pub struct SolveReport {
+    /// Which executor ran the solve.
+    pub backend: BackendKind,
     /// Gathered global solution (split copies averaged).
     pub solution: Vec<f64>,
     /// Whether the requested tolerance was met.
     pub converged: bool,
     /// Final RMS error against the direct reference solution.
     pub final_rms: f64,
-    /// Simulated wall-clock at stop, in milliseconds.
+    /// Solver time at stop, in milliseconds: simulated time for the
+    /// simnet backend, wall-clock time for real-execution backends.
     pub final_time_ms: f64,
-    /// `(time_ms, rms)` staircase (decimated by the sample interval).
+    /// `(time_ms, rms)` staircase (decimated by the sample interval for
+    /// the simulated backend; one point per supervisor poll for the
+    /// wall-clock backends).
     pub series: Vec<(f64, f64)>,
     /// Total local solves across all processors.
     pub total_solves: u64,
     /// Total messages transmitted.
     pub total_messages: u64,
-    /// Receive batches that coalesced more than one message.
+    /// Receive batches that coalesced more than one message (tracked by
+    /// the simulated backend; zero where the fabric doesn't expose it).
     pub coalesced_batches: u64,
     /// Number of processors/subdomains.
     pub n_parts: usize,
@@ -68,6 +92,7 @@ mod tests {
 
     fn report() -> SolveReport {
         SolveReport {
+            backend: BackendKind::Simulated,
             solution: vec![1.0],
             converged: true,
             final_rms: 1e-9,

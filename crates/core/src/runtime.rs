@@ -1,0 +1,599 @@
+//! The backend-agnostic DTM runtime: **one** node state machine, many
+//! executors.
+//!
+//! # Why this layer exists
+//!
+//! The paper's central promise (§5, "Algorithm-Architecture Delay
+//! Mapping") is that the *same* algorithm — factor the local system once,
+//! then solve-and-scatter whenever remote boundary conditions arrive —
+//! runs unchanged on any machine, because the Directed Transmission Line's
+//! propagation delay simply *is* whatever delay the executing machine
+//! imposes on that message. The code must mirror that claim: the node
+//! behaviour of Table 1 lives **here, once**, and each execution scenario
+//! (deterministic simulation, OS threads, a work-stealing pool — later
+//! sockets or GPUs) is a thin adapter that decides only *when* a node runs
+//! and *how* its waves travel.
+//!
+//! # The contract
+//!
+//! Two small traits split the responsibilities:
+//!
+//! * [`Transport`] — *where scattered waves go.* The runtime calls
+//!   [`Transport::send`] once per neighbour subdomain per solve, handing it
+//!   a [`DtmMsg`] addressed to a peer part. The transport owns the delay:
+//!   the simulated backend maps it onto a [`dtm_simnet`] link (delay =
+//!   simulated link delay), the threaded backend onto a crossbeam channel
+//!   (delay = real scheduling/transmission latency, optionally shaped by a
+//!   router), the work-stealing backend onto a shared inbox (delay = task
+//!   queueing latency). **A transport must never reorder the messages of
+//!   one sender–receiver pair**; all three in-tree transports deliver
+//!   per-pair FIFO, which is what eq. (2.1) assumes of a transmission
+//!   line.
+//!
+//! * [`ExecutorBackend`] — *when nodes run.* A backend owns scheduling:
+//!   build one [`NodeRuntime`] per subdomain (via [`build_nodes`]), call
+//!   [`NodeRuntime::step`] for the initial solve of every node (eq. (5.6):
+//!   zero boundary guess), then deliver waves and re-step receivers until
+//!   a [`Termination`] condition ends the run. Backends report through the
+//!   shared [`SolveReport`](crate::report::SolveReport) vocabulary.
+//!
+//! The runtime itself never blocks, spawns, sleeps or locks: every method
+//! is a plain synchronous state transition. That is what makes it
+//! executable under a discrete-event simulator and a thread pool alike.
+//!
+//! # How the delay mapping is preserved per backend
+//!
+//! | backend | wave travels as | delay realised by |
+//! |---|---|---|
+//! | [`solver`](crate::solver) (simnet) | [`dtm_simnet::Envelope`] | per-directed-link simulated delay (Fig. 7/11) |
+//! | [`threaded`](crate::threaded) | crossbeam channel message | real channel latency, plus optional router-injected per-link delays |
+//! | [`rayon_backend`](crate::rayon_backend) | inbox entry + spawned task | work-stealing queue latency (natural, uncontrolled asynchrony) |
+//!
+//! In every case the receiving node merges whatever has arrived *by the
+//! time it runs* — Table 1 step 3: "wait until receiving part of the
+//! remote boundary conditions from one or more of the adjacent subgraphs".
+//! No barrier, no broadcast, no global clock.
+
+use crate::impedance::{per_port, ImpedancePolicy};
+use crate::local::{LocalSolverKind, LocalSystem};
+use dtm_graph::evs::SplitSystem;
+use dtm_sparse::{Result, SparseCholesky};
+
+/// Boundary-condition update for one port of the receiving subdomain.
+///
+/// This is the paper's message payload (Table 1 step 3.2): the sender's
+/// twin potential `u` and inflow current `ω` for one DTLP, addressed by
+/// the *receiver's* port index.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PortUpdate {
+    /// Port index *at the receiver*.
+    pub port: usize,
+    /// Transmitted twin potential `u`.
+    pub u: f64,
+    /// Transmitted twin inflow current `ω`.
+    pub omega: f64,
+}
+
+/// One wave-front message: every boundary condition the sending subdomain
+/// owes one neighbour after a solve.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DtmMsg {
+    /// Updates keyed by receiver port.
+    pub updates: Vec<PortUpdate>,
+}
+
+/// Stopping rule of a distributed solve — shared vocabulary across all
+/// backends.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Termination {
+    /// Oracle: stop when the (centrally monitored) global RMS error drops
+    /// below `tol`. Matches how the paper's figures are produced. The
+    /// *backend's* monitor enforces this; nodes never self-halt.
+    OracleRms {
+        /// RMS-error tolerance.
+        tol: f64,
+    },
+    /// Distributed: each node halts itself once its outgoing boundary
+    /// conditions change by less than `tol` for `patience` consecutive
+    /// solves (Table 1 step 3.3, "if convergent, then break"). The run
+    /// ends when every node halted.
+    LocalDelta {
+        /// Outgoing-wave change tolerance.
+        tol: f64,
+        /// Consecutive small-delta solves required.
+        patience: usize,
+    },
+}
+
+/// Configuration shared by every executor backend: everything that
+/// parameterises the *algorithm* rather than the *machine*.
+#[derive(Debug, Clone)]
+pub struct CommonConfig {
+    /// Impedance policy (the Fig. 9 knob).
+    pub impedance: ImpedancePolicy,
+    /// Local factorization backend.
+    pub solver_kind: LocalSolverKind,
+    /// Stopping rule.
+    pub termination: Termination,
+    /// Safety cap on solves per node (guards non-convergent configs).
+    pub max_solves_per_node: usize,
+}
+
+impl Default for CommonConfig {
+    fn default() -> Self {
+        Self {
+            impedance: ImpedancePolicy::default(),
+            solver_kind: LocalSolverKind::Auto,
+            termination: Termination::OracleRms { tol: 1e-8 },
+            max_solves_per_node: 200_000,
+        }
+    }
+}
+
+/// Where scattered waves go. Implemented by each backend's message fabric;
+/// see the [module docs](self) for the contract (per-pair FIFO, delay
+/// owned by the transport).
+pub trait Transport {
+    /// Carry `msg` from the stepping node to the node executing subdomain
+    /// `dst`. Called during [`NodeRuntime::step`], once per neighbour.
+    fn send(&mut self, dst: usize, msg: DtmMsg);
+}
+
+/// A [`Transport`] that buffers instead of delivering — handy for
+/// backends that must release a node lock before touching neighbour
+/// state, and for tests that inspect scattered waves.
+#[derive(Debug, Default)]
+pub struct BufferedTransport {
+    /// Collected `(destination part, message)` pairs, in send order.
+    pub outbox: Vec<(usize, DtmMsg)>,
+}
+
+impl Transport for BufferedTransport {
+    fn send(&mut self, dst: usize, msg: DtmMsg) {
+        self.outbox.push((dst, msg));
+    }
+}
+
+/// What a node does after a step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NodeControl {
+    /// Keep scheduling this node when waves arrive.
+    Continue,
+    /// The node declared local convergence (Table 1 step 3.3). The
+    /// backend must stop activating it and may drop its pending messages.
+    Converged,
+    /// The node hit the `max_solves_per_node` safety cap *without*
+    /// declaring convergence. The backend retires it like
+    /// [`Converged`](Self::Converged), but a capped run must never be
+    /// reported as converged under [`Termination::LocalDelta`].
+    Capped,
+}
+
+impl NodeControl {
+    /// Whether the backend should retire the node (either halt kind).
+    pub fn is_halt(self) -> bool {
+        !matches!(self, NodeControl::Continue)
+    }
+}
+
+/// The canonical DTM node state machine: one subdomain's factored local
+/// system, its wave routes, and the self-halt bookkeeping of Table 1.
+///
+/// Lifecycle, driven by a backend:
+///
+/// 1. [`build_nodes`] factors every subdomain once (§5: "only once
+///    factorization should be done at the beginning");
+/// 2. the backend calls [`step`](Self::step) on every node — the initial
+///    solve under the zero boundary guess of eq. (5.6), scattering the
+///    first wave fronts;
+/// 3. whenever one or more waves reach a node, the backend calls
+///    [`absorb`](Self::absorb) for each [`PortUpdate`] and then
+///    [`step`](Self::step) — merge, re-solve, scatter;
+/// 4. a halting [`NodeControl`] return (`Converged` or `Capped`) retires
+///    the node.
+#[derive(Debug, Clone)]
+pub struct NodeRuntime {
+    part: usize,
+    local: LocalSystem,
+    /// Per neighbour part: `(receiver_port, my_port)` pairs.
+    routes: Vec<(usize, Vec<(usize, usize)>)>,
+    termination: Termination,
+    max_solves: usize,
+    small_streak: usize,
+    messages_sent: u64,
+    capped: bool,
+}
+
+impl NodeRuntime {
+    /// The subdomain/part id this node executes.
+    pub fn part(&self) -> usize {
+        self.part
+    }
+
+    /// The factored local system (for inspection and monitoring).
+    pub fn local(&self) -> &LocalSystem {
+        &self.local
+    }
+
+    /// Neighbour parts this node scatters waves to, in route order.
+    pub fn neighbor_parts(&self) -> impl Iterator<Item = usize> + '_ {
+        self.routes.iter().map(|&(dst, _)| dst)
+    }
+
+    /// Local solves performed so far.
+    pub fn solves(&self) -> u64 {
+        self.local.n_solves() as u64
+    }
+
+    /// Wave-front messages scattered so far.
+    pub fn messages_sent(&self) -> u64 {
+        self.messages_sent
+    }
+
+    /// Merge one incoming boundary-condition update (Table 1 step 3.1).
+    /// Later updates for the same port overwrite earlier ones — exactly
+    /// the "use whatever is freshest" semantics of asynchronous iteration.
+    pub fn absorb(&mut self, update: PortUpdate) {
+        self.local.set_remote(update.port, update.u, update.omega);
+    }
+
+    /// Merge a whole wave-front message.
+    pub fn absorb_msg(&mut self, msg: &DtmMsg) {
+        for &u in &msg.updates {
+            self.absorb(u);
+        }
+    }
+
+    /// Solve-and-scatter (Table 1 steps 3.2–3.3, and step 1–2 on the first
+    /// call): re-solve the local system against the currently stored
+    /// boundary conditions, transmit the resulting `(u, ω)` pairs to every
+    /// neighbour through `transport`, and evaluate the self-halt rule.
+    pub fn step(&mut self, transport: &mut impl Transport) -> NodeControl {
+        self.local.solve();
+        for (dst, pairs) in &self.routes {
+            let updates = pairs
+                .iter()
+                .map(|&(their_port, my_port)| {
+                    let (u, omega) = self.local.outgoing(my_port);
+                    PortUpdate {
+                        port: their_port,
+                        u,
+                        omega,
+                    }
+                })
+                .collect();
+            transport.send(*dst, DtmMsg { updates });
+            self.messages_sent += 1;
+        }
+        if let Termination::LocalDelta { tol, patience } = self.termination {
+            if self.local.last_delta() < tol {
+                self.small_streak += 1;
+                if self.small_streak >= patience {
+                    return NodeControl::Converged;
+                }
+            } else {
+                self.small_streak = 0;
+            }
+        }
+        if self.local.n_solves() >= self.max_solves {
+            self.capped = true;
+            return NodeControl::Capped;
+        }
+        NodeControl::Continue
+    }
+
+    /// Whether this node was retired by the solve cap rather than by
+    /// declaring convergence (consulted by backends when deciding the
+    /// run-level `converged` flag).
+    pub fn capped(&self) -> bool {
+        self.capped
+    }
+}
+
+/// Build one [`NodeRuntime`] per subdomain: assign impedances, factor
+/// every local system once, and derive the wave routes (ports grouped by
+/// neighbour part, deterministically in port order).
+///
+/// # Errors
+/// Fails if the impedance assignment fails or a local factorization fails
+/// (the subdomain was not SNND, i.e. the EVS split violated Theorem 6.1's
+/// hypothesis).
+pub fn build_nodes(split: &SplitSystem, common: &CommonConfig) -> Result<Vec<NodeRuntime>> {
+    let z_dtlp = common.impedance.assign(split)?;
+    let z_ports = per_port(split, &z_dtlp);
+    let mut nodes = Vec::with_capacity(split.n_parts());
+    for (p, sd) in split.subdomains.iter().enumerate() {
+        let mut routes: Vec<(usize, Vec<(usize, usize)>)> = Vec::new();
+        for (my_port, port) in sd.ports.iter().enumerate() {
+            match routes.iter_mut().find(|(dst, _)| *dst == port.peer.part) {
+                Some((_, pairs)) => pairs.push((port.peer.port, my_port)),
+                None => routes.push((port.peer.part, vec![(port.peer.port, my_port)])),
+            }
+        }
+        let local = LocalSystem::new(sd, &z_ports[p], common.solver_kind)?;
+        nodes.push(NodeRuntime {
+            part: p,
+            local,
+            routes,
+            termination: common.termination,
+            max_solves: common.max_solves_per_node,
+            small_streak: 0,
+            messages_sent: 0,
+            capped: false,
+        });
+    }
+    Ok(nodes)
+}
+
+/// The direct reference solution `x* = A⁻¹b` of the reconstructed system,
+/// used by every backend's RMS monitor. Passing `Some` skips the (sparse
+/// Cholesky) factorization.
+///
+/// # Errors
+/// Propagates factorization failure of the reconstructed system.
+pub fn reference_solution(split: &SplitSystem, reference: Option<Vec<f64>>) -> Result<Vec<f64>> {
+    match reference {
+        Some(r) => Ok(r),
+        None => {
+            let (a, b) = split.reconstruct();
+            Ok(SparseCholesky::factor_rcm(&a)?.solve(&b))
+        }
+    }
+}
+
+/// Shared supervision loop for the real-execution (wall-clock) backends.
+///
+/// The simulated backend has an omniscient observer inside the event
+/// loop; real executors instead publish per-part solution snapshots that
+/// a supervisor polls. This helper owns that loop: gather → RMS → record
+/// a series point → decide (oracle tolerance reached / every node halted
+/// / budget expired). Keeping it here means the threaded and
+/// work-stealing backends share their termination bookkeeping exactly as
+/// they share the node state machine.
+pub(crate) mod wallclock {
+    use crate::report::StopKind;
+    use dtm_graph::evs::SplitSystem;
+    use parking_lot::Mutex;
+    use std::time::{Duration, Instant};
+
+    /// What the supervisor observed by the time the run ended.
+    pub(crate) struct Outcome {
+        /// Gathered global solution at stop.
+        pub solution: Vec<f64>,
+        /// Exact RMS of `solution` against the reference.
+        pub final_rms: f64,
+        /// Best RMS ever observed at a poll (snapshots can drift *past*
+        /// the tolerance while workers keep iterating).
+        pub best_rms: f64,
+        /// `(elapsed_ms, rms)` series, one point per poll.
+        pub series: Vec<(f64, f64)>,
+        /// Why the run ended.
+        pub stop: StopKind,
+        /// Wall-clock duration of the run.
+        pub elapsed: Duration,
+    }
+
+    /// Poll `snapshots` until the oracle tolerance is met (`tol`), every
+    /// node reports done (`all_done`), or `budget` expires.
+    pub(crate) fn supervise(
+        split: &SplitSystem,
+        reference: &[f64],
+        snapshots: &[Mutex<Vec<f64>>],
+        tol: Option<f64>,
+        budget: Duration,
+        poll: Duration,
+        mut all_done: impl FnMut() -> bool,
+    ) -> Outcome {
+        let started = Instant::now();
+        let gather = |snapshots: &[Mutex<Vec<f64>>]| -> Vec<f64> {
+            let xs: Vec<Vec<f64>> = snapshots.iter().map(|m| m.lock().clone()).collect();
+            split.gather(&xs)
+        };
+        let mut series = Vec::new();
+        let mut best_rms = f64::INFINITY;
+        let stop = loop {
+            std::thread::sleep(poll);
+            let est = gather(snapshots);
+            let rms = dtm_sparse::vector::rms_error(&est, reference);
+            best_rms = best_rms.min(rms);
+            series.push((started.elapsed().as_secs_f64() * 1e3, rms));
+            if let Some(tol) = tol {
+                if rms <= tol {
+                    break StopKind::OracleTolerance;
+                }
+            }
+            if all_done() {
+                break StopKind::AllHalted;
+            }
+            if started.elapsed() >= budget {
+                break StopKind::Budget;
+            }
+        };
+        let solution = gather(snapshots);
+        let final_rms = dtm_sparse::vector::rms_error(&solution, reference);
+        Outcome {
+            solution,
+            final_rms,
+            best_rms: best_rms.min(final_rms),
+            series,
+            stop,
+            elapsed: started.elapsed(),
+        }
+    }
+}
+
+/// An execution scenario for the DTM: a machine (real or simulated) that
+/// schedules [`NodeRuntime`]s and carries their waves.
+///
+/// Implementations must preserve the delay-mapping contract described in
+/// the [module docs](self): nodes run only in response to arriving waves
+/// (after their initial solve), and per-pair message order is FIFO.
+pub trait ExecutorBackend {
+    /// Backend-specific knobs (time budgets, delay shaping, thread
+    /// counts). Every config embeds [`CommonConfig`].
+    type Config;
+
+    /// Which executor this is, for reports.
+    fn kind(&self) -> crate::report::BackendKind;
+
+    /// Run DTM on `split` to completion under `config`.
+    ///
+    /// `reference` is the direct solution used for RMS monitoring; when
+    /// `None` it is computed via [`reference_solution`].
+    ///
+    /// # Errors
+    /// Propagates node-construction failures (see [`build_nodes`]) and
+    /// backend-specific mapping failures.
+    fn solve(
+        &self,
+        split: &SplitSystem,
+        reference: Option<Vec<f64>>,
+        config: &Self::Config,
+    ) -> Result<crate::report::SolveReport>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dtm_graph::evs::{paper_example_shares, split as evs_split, EvsOptions};
+    use dtm_graph::{ElectricGraph, PartitionPlan};
+    use dtm_sparse::generators;
+
+    fn paper_split() -> SplitSystem {
+        let (a, b) = generators::paper_example_system();
+        let g = ElectricGraph::from_system(a, b).unwrap();
+        let plan = PartitionPlan::from_assignment(&g, &[0, 0, 1, 1]).unwrap();
+        let options = EvsOptions {
+            explicit: paper_example_shares(),
+            ..Default::default()
+        };
+        evs_split(&g, &plan, &options).unwrap()
+    }
+
+    fn paper_common() -> CommonConfig {
+        CommonConfig {
+            impedance: ImpedancePolicy::PerDtlp(vec![0.2, 0.1]),
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn build_nodes_factors_every_subdomain_once() {
+        let ss = paper_split();
+        let nodes = build_nodes(&ss, &paper_common()).unwrap();
+        assert_eq!(nodes.len(), 2);
+        for (p, node) in nodes.iter().enumerate() {
+            assert_eq!(node.part(), p);
+            assert_eq!(node.solves(), 0);
+            assert_eq!(node.local().n_ports(), 2);
+            assert_eq!(node.neighbor_parts().collect::<Vec<_>>(), vec![1 - p]);
+        }
+    }
+
+    #[test]
+    fn step_scatters_one_message_per_neighbor() {
+        let ss = paper_split();
+        let mut nodes = build_nodes(&ss, &paper_common()).unwrap();
+        let mut t = BufferedTransport::default();
+        let ctl = nodes[0].step(&mut t);
+        assert_eq!(ctl, NodeControl::Continue);
+        assert_eq!(nodes[0].solves(), 1);
+        assert_eq!(nodes[0].messages_sent(), 1);
+        assert_eq!(t.outbox.len(), 1);
+        let (dst, msg) = &t.outbox[0];
+        assert_eq!(*dst, 1);
+        // Both DTLPs connect parts 0 and 1, so one message carries both
+        // port updates.
+        assert_eq!(msg.updates.len(), 2);
+    }
+
+    #[test]
+    fn scatter_then_merge_reaches_fixed_point() {
+        // Manual two-node exchange: ping-ponging wave fronts must converge
+        // to the direct solution of the reconstructed system — the runtime
+        // alone implements the whole algorithm.
+        let ss = paper_split();
+        let mut nodes = build_nodes(&ss, &paper_common()).unwrap();
+        let (a, b) = ss.reconstruct();
+        let exact = dtm_sparse::DenseCholesky::factor_csr(&a).unwrap().solve(&b);
+
+        let mut inboxes: Vec<Vec<DtmMsg>> = vec![Vec::new(), Vec::new()];
+        let mut t = BufferedTransport::default();
+        for node in nodes.iter_mut() {
+            node.step(&mut t);
+        }
+        for _ in 0..200 {
+            for (dst, msg) in t.outbox.drain(..) {
+                inboxes[dst].push(msg);
+            }
+            for (p, node) in nodes.iter_mut().enumerate() {
+                if inboxes[p].is_empty() {
+                    continue;
+                }
+                for msg in inboxes[p].drain(..) {
+                    node.absorb_msg(&msg);
+                }
+                node.step(&mut t);
+            }
+        }
+        let locals: Vec<Vec<f64>> = nodes
+            .iter()
+            .map(|n| n.local().solution().to_vec())
+            .collect();
+        let est = ss.gather(&locals);
+        for (u, v) in est.iter().zip(&exact) {
+            assert!((u - v).abs() < 1e-10, "{u} vs {v}");
+        }
+    }
+
+    #[test]
+    fn local_delta_self_halt_respects_patience() {
+        let ss = paper_split();
+        let common = CommonConfig {
+            termination: Termination::LocalDelta {
+                tol: f64::INFINITY, // every solve counts as "small"
+                patience: 3,
+            },
+            ..paper_common()
+        };
+        let mut nodes = build_nodes(&ss, &common).unwrap();
+        let mut t = BufferedTransport::default();
+        assert_eq!(nodes[0].step(&mut t), NodeControl::Continue);
+        assert_eq!(nodes[0].step(&mut t), NodeControl::Continue);
+        assert_eq!(nodes[0].step(&mut t), NodeControl::Converged);
+        assert!(!nodes[0].capped());
+    }
+
+    #[test]
+    fn max_solves_cap_halts() {
+        let ss = paper_split();
+        let common = CommonConfig {
+            max_solves_per_node: 2,
+            ..paper_common()
+        };
+        let mut nodes = build_nodes(&ss, &common).unwrap();
+        let mut t = BufferedTransport::default();
+        assert_eq!(nodes[0].step(&mut t), NodeControl::Continue);
+        assert_eq!(nodes[0].step(&mut t), NodeControl::Capped);
+        assert!(nodes[0].capped());
+    }
+
+    #[test]
+    fn absorb_overwrites_per_port() {
+        let ss = paper_split();
+        let mut nodes = build_nodes(&ss, &paper_common()).unwrap();
+        nodes[1].absorb(PortUpdate {
+            port: 0,
+            u: 1.0,
+            omega: 0.5,
+        });
+        nodes[1].absorb(PortUpdate {
+            port: 0,
+            u: 2.0,
+            omega: -0.25,
+        });
+        // incident wave w = u − z·ω with z = 0.2 for port 0.
+        let z = nodes[1].local().impedances()[0];
+        assert!((nodes[1].local().incident_wave(0) - (2.0 - z * -0.25)).abs() < 1e-15);
+    }
+}

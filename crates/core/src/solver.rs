@@ -1,20 +1,29 @@
-//! DTM on the simulated heterogeneous machine — the algorithm of Table 1.
+//! DTM on the simulated heterogeneous machine — the algorithm of Table 1
+//! under the [`SimulatedBackend`].
 //!
-//! Each subdomain becomes a [`DtmNode`] mapped 1:1 onto a processor of the
-//! [`Topology`]; each DTL maps onto the directed link its messages travel,
-//! so the transmission delay of the algorithm *is* the communication delay
-//! of the machine (the Algorithm-Architecture Delay Mapping). There is no
-//! synchronization anywhere: a node re-solves whenever at least one
-//! neighbour's boundary condition arrives, with whatever other values it
-//! currently holds.
+//! This module is a **thin adapter**: the node behaviour (solve-and-
+//! scatter, wave merge, self-halt) lives in [`crate::runtime`], shared
+//! with every other executor. What this file owns is the *mapping onto the
+//! simulated machine*: each [`NodeRuntime`] becomes a [`dtm_simnet`]
+//! processor, each wave-front message travels the directed link whose
+//! simulated delay realises the DTL's transmission delay (the
+//! Algorithm-Architecture Delay Mapping), and the per-activation compute
+//! time comes from a [`ComputeModel`]. There is no synchronization
+//! anywhere: a node re-solves whenever at least one neighbour's boundary
+//! condition arrives, with whatever other values it currently holds.
 
-use crate::impedance::{per_port, ImpedancePolicy};
-use crate::local::{LocalSolverKind, LocalSystem};
+use crate::local::LocalSystem;
 use crate::monitor::Monitor;
-use crate::report::{SolveReport, StopKind};
+use crate::report::{BackendKind, SolveReport, StopKind};
+use crate::runtime::{
+    self, build_nodes as build_runtime_nodes, CommonConfig, ExecutorBackend, NodeRuntime, Transport,
+};
 use dtm_graph::evs::SplitSystem;
 use dtm_simnet::{Ctx, Engine, Envelope, Node, SimDuration, SimTime, StopReason, Topology};
-use dtm_sparse::{Error, Result, SparseCholesky};
+use dtm_sparse::{Error, Result};
+
+// The shared runtime vocabulary, re-exported where it historically lived.
+pub use crate::runtime::{DtmMsg, PortUpdate, Termination};
 
 /// Per-activation compute-time model for a processor's local solve.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -68,43 +77,18 @@ impl ComputeModel {
     }
 }
 
-/// Stopping rule of a distributed solve.
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub enum Termination {
-    /// Oracle: stop when the (centrally monitored) global RMS error drops
-    /// below `tol`. Matches how the paper's figures are produced.
-    OracleRms {
-        /// RMS-error tolerance.
-        tol: f64,
-    },
-    /// Distributed: each processor halts itself after its outgoing boundary
-    /// conditions change by less than `tol` for `patience` consecutive
-    /// solves (Table 1 step 3.3). The run ends when every processor halted.
-    LocalDelta {
-        /// Outgoing-wave change tolerance.
-        tol: f64,
-        /// Consecutive small-delta solves required.
-        patience: usize,
-    },
-}
-
-/// Full DTM configuration.
+/// Simulated-backend configuration: the shared [`CommonConfig`] plus the
+/// knobs that only exist on a simulated machine.
 #[derive(Debug, Clone)]
 pub struct DtmConfig {
-    /// Impedance policy (the Fig. 9 knob).
-    pub impedance: ImpedancePolicy,
-    /// Local factorization backend.
-    pub solver_kind: LocalSolverKind,
+    /// Algorithm configuration shared with every backend.
+    pub common: CommonConfig,
     /// Compute-time model.
     pub compute: ComputeModel,
-    /// Stopping rule.
-    pub termination: Termination,
     /// Simulated-time budget.
     pub horizon: SimDuration,
     /// Series sampling interval (zero = every activation).
     pub sample_interval: SimDuration,
-    /// Safety cap on solves per node (guards non-convergent configs).
-    pub max_solves_per_node: usize,
     /// Capture an activation trace of this capacity.
     pub trace_capacity: Option<usize>,
 }
@@ -112,89 +96,49 @@ pub struct DtmConfig {
 impl Default for DtmConfig {
     fn default() -> Self {
         Self {
-            impedance: ImpedancePolicy::default(),
-            solver_kind: LocalSolverKind::Auto,
+            common: CommonConfig::default(),
             compute: ComputeModel::default(),
-            termination: Termination::OracleRms { tol: 1e-8 },
             horizon: SimDuration::from_millis_f64(60_000.0),
             sample_interval: SimDuration::ZERO,
-            max_solves_per_node: 200_000,
             trace_capacity: None,
         }
     }
 }
 
-/// Boundary-condition update for one port of the receiving subdomain.
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub struct PortUpdate {
-    /// Port index *at the receiver*.
-    pub port: usize,
-    /// Transmitted twin potential `u`.
-    pub u: f64,
-    /// Transmitted twin inflow current `ω`.
-    pub omega: f64,
-}
-
-/// Message payload: the local boundary conditions relevant to one
-/// neighbour (Table 1 step 3.2).
-#[derive(Debug, Clone, PartialEq)]
-pub struct DtmMsg {
-    /// Updates keyed by receiver port.
-    pub updates: Vec<PortUpdate>,
-}
-
-/// One subdomain living on one simulated processor.
+/// One subdomain living on one simulated processor: the shared
+/// [`NodeRuntime`] plus its simulated per-activation compute time.
 #[derive(Debug)]
 pub struct DtmNode {
-    part: usize,
-    local: LocalSystem,
-    /// Per neighbour processor: `(receiver_port, my_port)` pairs.
-    routes: Vec<(usize, Vec<(usize, usize)>)>,
+    rt: NodeRuntime,
     compute: SimDuration,
-    termination: Termination,
-    max_solves: usize,
-    small_streak: usize,
 }
 
 impl DtmNode {
     /// The local system (for inspection).
     pub fn local(&self) -> &LocalSystem {
-        &self.local
+        self.rt.local()
     }
 
     /// The subdomain/part id.
     pub fn part(&self) -> usize {
-        self.part
+        self.rt.part()
     }
+}
 
-    fn solve_and_send(&mut self, ctx: &mut Ctx<DtmMsg>) {
-        self.local.solve();
+/// Adapter: scattered waves leave through the simulation context, so the
+/// link's simulated delay becomes the DTL's transmission delay.
+struct CtxTransport<'a, 't>(&'a mut Ctx<'t, DtmMsg>);
+
+impl Transport for CtxTransport<'_, '_> {
+    fn send(&mut self, dst: usize, msg: DtmMsg) {
+        self.0.send(dst, msg);
+    }
+}
+
+impl DtmNode {
+    fn run_step(&mut self, ctx: &mut Ctx<DtmMsg>) {
         ctx.set_compute(self.compute);
-        for (dst, pairs) in &self.routes {
-            let updates = pairs
-                .iter()
-                .map(|&(their_port, my_port)| {
-                    let (u, omega) = self.local.outgoing(my_port);
-                    PortUpdate {
-                        port: their_port,
-                        u,
-                        omega,
-                    }
-                })
-                .collect();
-            ctx.send(*dst, DtmMsg { updates });
-        }
-        if let Termination::LocalDelta { tol, patience } = self.termination {
-            if self.local.last_delta() < tol {
-                self.small_streak += 1;
-                if self.small_streak >= patience {
-                    ctx.halt();
-                }
-            } else {
-                self.small_streak = 0;
-            }
-        }
-        if self.local.n_solves() >= self.max_solves {
+        if self.rt.step(&mut CtxTransport(ctx)).is_halt() {
             ctx.halt();
         }
     }
@@ -206,24 +150,23 @@ impl Node for DtmNode {
     fn start(&mut self, ctx: &mut Ctx<DtmMsg>) {
         // Initial boundary guess is zero (eq. 5.6) — already the local
         // system's initial state. Solve and transmit (Table 1 steps 1–2).
-        self.solve_and_send(ctx);
+        self.run_step(ctx);
     }
 
     fn receive(&mut self, ctx: &mut Ctx<DtmMsg>, batch: Vec<Envelope<DtmMsg>>) {
         for env in batch {
-            for upd in env.payload.updates {
-                self.local.set_remote(upd.port, upd.u, upd.omega);
-            }
+            self.rt.absorb_msg(&env.payload);
         }
-        self.solve_and_send(ctx);
+        self.run_step(ctx);
     }
 }
 
-/// Build the DTM nodes for a split system.
+/// Build the simulated DTM nodes for a split system, checking the
+/// algorithm-architecture mapping.
 ///
 /// # Errors
-/// Fails if the impedance assignment fails, a local factorization fails, or
-/// a DTLP connects parts with no directed machine link (broken
+/// Fails if the impedance assignment fails, a local factorization fails,
+/// or a DTLP connects parts with no directed machine link (broken
 /// algorithm-architecture mapping).
 pub fn build_nodes(
     split: &SplitSystem,
@@ -237,38 +180,50 @@ pub fn build_nodes(
             actual: topology.n_nodes(),
         });
     }
-    let z_dtlp = config.impedance.assign(split)?;
-    let z_ports = per_port(split, &z_dtlp);
-    let mut nodes = Vec::with_capacity(split.n_parts());
+    // The delay mapping requires a directed machine link under every DTL.
+    // Checked before building the runtimes: factorization is the dominant
+    // setup cost and a broken mapping should fail fast.
     for (p, sd) in split.subdomains.iter().enumerate() {
-        // Group ports by neighbour part, deterministically.
-        let mut routes: Vec<(usize, Vec<(usize, usize)>)> = Vec::new();
-        for (my_port, port) in sd.ports.iter().enumerate() {
-            if topology.link(p, port.peer.part).is_none() {
+        for port in &sd.ports {
+            let dst = port.peer.part;
+            if topology.link(p, dst).is_none() {
                 return Err(Error::Parse(format!(
-                    "subdomains {p} and {} share a DTLP but the machine has \
-                     no link {p} → {}; delay mapping impossible",
-                    port.peer.part, port.peer.part
+                    "subdomains {p} and {dst} share a DTLP but the machine has \
+                     no link {p} → {dst}; delay mapping impossible"
                 )));
             }
-            match routes.iter_mut().find(|(dst, _)| *dst == port.peer.part) {
-                Some((_, pairs)) => pairs.push((port.peer.port, my_port)),
-                None => routes.push((port.peer.part, vec![(port.peer.port, my_port)])),
-            }
         }
-        let local = LocalSystem::new(sd, &z_ports[p], config.solver_kind)?;
-        let compute = config.compute.duration_for(&local);
-        nodes.push(DtmNode {
-            part: p,
-            local,
-            routes,
-            compute,
-            termination: config.termination,
-            max_solves: config.max_solves_per_node,
-            small_streak: 0,
-        });
     }
-    Ok(nodes)
+    let runtimes = build_runtime_nodes(split, &config.common)?;
+    Ok(runtimes
+        .into_iter()
+        .map(|rt| {
+            let compute = config.compute.duration_for(rt.local());
+            DtmNode { rt, compute }
+        })
+        .collect())
+}
+
+/// The deterministic discrete-event executor (the paper's own testbed,
+/// §7).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SimulatedBackend;
+
+impl ExecutorBackend for SimulatedBackend {
+    type Config = (Topology, DtmConfig);
+
+    fn kind(&self) -> BackendKind {
+        BackendKind::Simulated
+    }
+
+    fn solve(
+        &self,
+        split: &SplitSystem,
+        reference: Option<Vec<f64>>,
+        (topology, config): &Self::Config,
+    ) -> Result<SolveReport> {
+        solve(split, topology.clone(), reference, config)
+    }
 }
 
 /// Run DTM to completion on a simulated machine.
@@ -284,13 +239,7 @@ pub fn solve(
     reference: Option<Vec<f64>>,
     config: &DtmConfig,
 ) -> Result<SolveReport> {
-    let reference = match reference {
-        Some(r) => r,
-        None => {
-            let (a, b) = split.reconstruct();
-            SparseCholesky::factor_rcm(&a)?.solve(&b)
-        }
-    };
+    let reference = runtime::reference_solution(split, reference)?;
     let nodes = build_nodes(split, &topology, config)?;
     let mut engine = Engine::new(topology, nodes);
     if let Some(cap) = config.trace_capacity {
@@ -299,7 +248,7 @@ pub fn solve(
     let mut monitor = Monitor::new(split, reference, config.sample_interval);
     let horizon = SimTime::ZERO + config.horizon;
 
-    let oracle_tol = match config.termination {
+    let oracle_tol = match config.common.termination {
         Termination::OracleRms { tol } => Some(tol),
         Termination::LocalDelta { .. } => None,
     };
@@ -307,7 +256,7 @@ pub fn solve(
     // the stopping decision is made.
     monitor.set_refresh_below(oracle_tol.unwrap_or(0.0));
     let outcome = engine.run(horizon, |time, part, node: &DtmNode| {
-        let rms = monitor.update_part(part, time, node.local.solution());
+        let rms = monitor.update_part(part, time, node.local().solution());
         match oracle_tol {
             Some(tol) => rms > tol,
             None => true,
@@ -322,14 +271,17 @@ pub fn solve(
         StopReason::TimeLimit => StopKind::Horizon,
         StopReason::QueueEmpty => StopKind::Quiescent,
     };
-    let converged = match config.termination {
+    // A node retired by the solve cap never declared convergence: the run
+    // must not report success just because everyone eventually stopped.
+    let any_capped = engine.nodes().iter().any(|n| n.rt.capped());
+    let converged = match config.common.termination {
         Termination::OracleRms { tol } => final_rms <= tol,
-        Termination::LocalDelta { .. } => matches!(
-            stop,
-            StopKind::AllHalted | StopKind::Quiescent
-        ),
+        Termination::LocalDelta { .. } => {
+            matches!(stop, StopKind::AllHalted | StopKind::Quiescent) && !any_capped
+        }
     };
     Ok(SolveReport {
+        backend: BackendKind::Simulated,
         solution: monitor.estimate().to_vec(),
         converged,
         final_rms,
@@ -346,6 +298,8 @@ pub fn solve(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::impedance::{per_port, ImpedancePolicy};
+    use crate::local::{LocalSolverKind, LocalSystem};
     use dtm_graph::evs::{paper_example_shares, split as evs_split, EvsOptions};
     use dtm_graph::{ElectricGraph, PartitionPlan};
     use dtm_simnet::DelayModel;
@@ -382,9 +336,12 @@ mod tests {
 
     fn example_config() -> DtmConfig {
         DtmConfig {
-            impedance: ImpedancePolicy::PerDtlp(vec![0.2, 0.1]),
+            common: CommonConfig {
+                impedance: ImpedancePolicy::PerDtlp(vec![0.2, 0.1]),
+                termination: Termination::OracleRms { tol: 1e-10 },
+                ..Default::default()
+            },
             compute: ComputeModel::Zero,
-            termination: Termination::OracleRms { tol: 1e-10 },
             horizon: SimDuration::from_millis_f64(10.0),
             ..Default::default()
         }
@@ -402,7 +359,19 @@ mod tests {
             assert!((u - v).abs() < 1e-8, "{u} vs {v}");
         }
         assert_eq!(report.n_parts, 2);
+        assert_eq!(report.backend, BackendKind::Simulated);
         assert!(report.total_solves > 4);
+    }
+
+    #[test]
+    fn backend_trait_solves_like_free_function() {
+        let (ss, topo) = example_5_1();
+        let via_trait = SimulatedBackend
+            .solve(&ss, None, &(topo.clone(), example_config()))
+            .unwrap();
+        let direct = solve(&ss, topo, None, &example_config()).unwrap();
+        assert_eq!(via_trait.total_solves, direct.total_solves);
+        assert_eq!(via_trait.solution, direct.solution);
     }
 
     #[test]
@@ -411,21 +380,33 @@ mod tests {
         let report = solve(&ss, topo, None, &example_config()).unwrap();
         let first = report.series.first().unwrap().1;
         let last = report.series.last().unwrap().1;
-        assert!(last < first * 1e-6, "error must fall by orders of magnitude");
+        assert!(
+            last < first * 1e-6,
+            "error must fall by orders of magnitude"
+        );
     }
 
     #[test]
     fn local_delta_termination_halts_all_nodes() {
         let (ss, topo) = example_5_1();
         let config = DtmConfig {
-            termination: Termination::LocalDelta {
-                tol: 1e-12,
-                patience: 2,
+            common: CommonConfig {
+                impedance: ImpedancePolicy::PerDtlp(vec![0.2, 0.1]),
+                termination: Termination::LocalDelta {
+                    tol: 1e-12,
+                    patience: 2,
+                },
+                ..Default::default()
             },
-            ..example_config()
+            compute: ComputeModel::Zero,
+            horizon: SimDuration::from_millis_f64(10.0),
+            ..Default::default()
         };
         let report = solve(&ss, topo, None, &config).unwrap();
-        assert!(matches!(report.stop, StopKind::AllHalted | StopKind::Quiescent));
+        assert!(matches!(
+            report.stop,
+            StopKind::AllHalted | StopKind::Quiescent
+        ));
         assert!(report.converged);
         assert!(report.final_rms < 1e-7, "rms {}", report.final_rms);
     }
@@ -437,8 +418,7 @@ mod tests {
         let g = ElectricGraph::from_system(a.clone(), b.clone()).unwrap();
         let asg = dtm_graph::partition::grid_blocks(8, 8, 2, 2);
         let plan = PartitionPlan::from_assignment(&g, &asg).unwrap();
-        let topo =
-            Topology::mesh(2, 2).with_delays(&DelayModel::uniform_ms(10.0, 99.0, 5));
+        let topo = Topology::mesh(2, 2).with_delays(&DelayModel::uniform_ms(10.0, 99.0, 5));
         // Align the DTLP wiring with the machine links so cross-point
         // (multilevel) splits never need a diagonal connection.
         let pairs: std::collections::BTreeSet<(usize, usize)> = topo
@@ -452,8 +432,11 @@ mod tests {
         };
         let ss = evs_split(&g, &plan, &options).unwrap();
         let config = DtmConfig {
+            common: CommonConfig {
+                termination: Termination::OracleRms { tol: 1e-9 },
+                ..Default::default()
+            },
             compute: ComputeModel::Fixed(SimDuration::from_millis_f64(1.0)),
-            termination: Termination::OracleRms { tol: 1e-9 },
             horizon: SimDuration::from_millis_f64(3_600_000.0),
             ..Default::default()
         };
@@ -479,7 +462,7 @@ mod tests {
     }
 
     #[test]
-    fn trace_shows_n2n_only_and_no_sync(){
+    fn trace_shows_n2n_only_and_no_sync() {
         let (ss, topo) = example_5_1();
         let config = DtmConfig {
             trace_capacity: Some(10_000),
@@ -501,10 +484,11 @@ mod tests {
     #[test]
     fn compute_model_durations() {
         let (ss, _) = example_5_1();
-        let z = ImpedancePolicy::PerDtlp(vec![0.2, 0.1]).assign(&ss).unwrap();
+        let z = ImpedancePolicy::PerDtlp(vec![0.2, 0.1])
+            .assign(&ss)
+            .unwrap();
         let zp = per_port(&ss, &z);
-        let local =
-            LocalSystem::new(&ss.subdomains[0], &zp[0], LocalSolverKind::Dense).unwrap();
+        let local = LocalSystem::new(&ss.subdomains[0], &zp[0], LocalSolverKind::Dense).unwrap();
         assert_eq!(ComputeModel::Zero.duration_for(&local), SimDuration::ZERO);
         let fixed = ComputeModel::Fixed(SimDuration::from_micros_f64(5.0));
         assert_eq!(fixed.duration_for(&local).as_nanos(), 5_000);

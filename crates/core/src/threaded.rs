@@ -1,47 +1,45 @@
-//! DTM on real OS threads — genuine asynchrony, no simulation.
+//! DTM on real OS threads — genuine asynchrony, no simulation, under the
+//! [`ThreadedBackend`].
 //!
-//! The simulated engine proves the algorithm under *controlled* asynchrony;
-//! this executor proves it under the real thing: one thread per subdomain,
-//! lock-free crossbeam channels for the N2N messages, no barrier anywhere.
-//! An optional router thread injects per-link delays (scaled from a
-//! [`Topology`]) so heterogeneous-machine behaviour can be exercised with
-//! real threads too.
+//! This module is a **thin adapter** over [`crate::runtime`]: one thread
+//! per subdomain runs the shared [`NodeRuntime`] state machine; waves
+//! travel crossbeam channels, so the DTL transmission delay is realised by
+//! real scheduling and channel latency (the Algorithm-Architecture Delay
+//! Mapping under natural asynchrony). No barrier anywhere. An optional
+//! router thread injects per-link delays (scaled from a [`Topology`]) so
+//! heterogeneous-machine behaviour can be exercised with real threads
+//! too.
 //!
-//! Termination mirrors Table 1 step 3.3: every worker halts itself once its
-//! outgoing boundary conditions stop changing; a lightweight supervisor
-//! additionally watches the shared snapshots and raises a global stop flag
-//! when the oracle tolerance is met (or a wall-clock budget expires).
+//! Termination follows the shared [`Termination`] vocabulary: under
+//! [`Termination::LocalDelta`] every worker halts itself through the
+//! runtime's Table 1 step 3.3 rule; under [`Termination::OracleRms`] the
+//! shared wall-clock supervisor polls solution snapshots and raises a
+//! global stop flag when the tolerance is met (or the budget expires).
 
-use crate::impedance::{per_port, ImpedancePolicy};
-use crate::local::{LocalSolverKind, LocalSystem};
-use crate::solver::PortUpdate;
+use crate::report::{BackendKind, SolveReport, StopKind};
+use crate::runtime::{
+    self, wallclock, CommonConfig, DtmMsg, ExecutorBackend, NodeControl, NodeRuntime, Termination,
+    Transport,
+};
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use dtm_graph::evs::SplitSystem;
 use dtm_simnet::Topology;
-use dtm_sparse::{Result, SparseCholesky};
+use dtm_sparse::Result;
 use parking_lot::Mutex;
-use serde::Serialize;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-/// Threaded-executor configuration.
+/// Threaded-executor configuration: the shared [`CommonConfig`] plus the
+/// wall-clock and delay-shaping knobs that only exist on real threads.
 #[derive(Debug, Clone)]
 pub struct ThreadedConfig {
-    /// Impedance policy.
-    pub impedance: ImpedancePolicy,
-    /// Local factorization backend.
-    pub solver_kind: LocalSolverKind,
-    /// Oracle RMS tolerance watched by the supervisor.
-    pub tol: f64,
+    /// Algorithm configuration shared with every backend.
+    pub common: CommonConfig,
     /// Wall-clock budget.
     pub budget: Duration,
-    /// Per-worker solve cap.
-    pub max_solves: usize,
-    /// Local-delta self-halt: outgoing-wave change tolerance.
-    pub local_tol: f64,
-    /// Consecutive small-delta solves before self-halt.
-    pub patience: usize,
+    /// Supervisor poll interval.
+    pub poll_interval: Duration,
     /// Inject link delays from this topology, scaled by `delay_scale`
     /// (simulated nanoseconds × scale = real nanoseconds). `None` sends
     /// directly (natural channel latency only).
@@ -53,50 +51,89 @@ pub struct ThreadedConfig {
 impl Default for ThreadedConfig {
     fn default() -> Self {
         Self {
-            impedance: ImpedancePolicy::default(),
-            solver_kind: LocalSolverKind::Auto,
-            tol: 1e-8,
+            common: CommonConfig {
+                max_solves_per_node: 1_000_000,
+                ..Default::default()
+            },
             budget: Duration::from_secs(30),
-            max_solves: 1_000_000,
-            local_tol: 1e-12,
-            patience: 4,
+            poll_interval: Duration::from_micros(500),
             delay_topology: None,
             delay_scale: 1e-3,
         }
     }
 }
 
-/// Threaded run outcome.
-#[derive(Debug, Clone, Serialize)]
-pub struct ThreadedReport {
-    /// Gathered global solution.
-    pub solution: Vec<f64>,
-    /// Oracle tolerance met?
-    pub converged: bool,
-    /// Final RMS error.
-    pub final_rms: f64,
-    /// Wall-clock elapsed.
-    pub elapsed: Duration,
-    /// Total solves across workers.
-    pub total_solves: u64,
-    /// Total messages sent.
-    pub total_messages: u64,
-}
-
-struct WireMsg {
-    updates: Vec<PortUpdate>,
-}
+/// Unified report type; kept as an alias for source continuity with the
+/// pre-runtime API.
+pub type ThreadedReport = SolveReport;
 
 enum RouterMsg {
     Forward {
         deliver_at: Instant,
         dst: usize,
-        msg: WireMsg,
+        msg: DtmMsg,
     },
     /// Explicit shutdown; the router also exits when all worker-side
     /// senders disconnect, which is the path the supervisor normally takes.
     #[allow(dead_code)]
     Shutdown,
+}
+
+/// Adapter: scattered waves leave through crossbeam channels — directly,
+/// or via the delay-shaping router when a topology is injected.
+struct ChannelTransport {
+    src: usize,
+    senders: Vec<Sender<DtmMsg>>,
+    router_tx: Sender<RouterMsg>,
+    delays: Option<Arc<Topology>>,
+    delay_scale: f64,
+    messages: Arc<AtomicU64>,
+    /// Waves sent but not yet absorbed (or drained) — the quiescence
+    /// signal for the LocalDelta idle kick.
+    in_flight: Arc<AtomicI64>,
+}
+
+impl Transport for ChannelTransport {
+    fn send(&mut self, dst: usize, msg: DtmMsg) {
+        self.messages.fetch_add(1, Ordering::Relaxed);
+        self.in_flight.fetch_add(1, Ordering::AcqRel);
+        match &self.delays {
+            Some(topo) => {
+                let ns = topo.delay(self.src, dst).as_nanos() as f64 * self.delay_scale;
+                let deliver_at = Instant::now() + Duration::from_nanos(ns.round() as u64);
+                // Ignore send failures during shutdown.
+                let _ = self.router_tx.send(RouterMsg::Forward {
+                    deliver_at,
+                    dst,
+                    msg,
+                });
+            }
+            None => {
+                let _ = self.senders[dst].send(msg);
+            }
+        }
+    }
+}
+
+/// The one-thread-per-subdomain executor.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ThreadedBackend;
+
+impl ExecutorBackend for ThreadedBackend {
+    type Config = ThreadedConfig;
+
+    fn kind(&self) -> BackendKind {
+        BackendKind::Threaded
+    }
+
+    fn solve(
+        &self,
+        split: &SplitSystem,
+        reference: Option<Vec<f64>>,
+        config: &Self::Config,
+    ) -> Result<SolveReport> {
+        solve_with_reference(split, reference, config)
+    }
 }
 
 /// Run DTM on real threads.
@@ -106,25 +143,28 @@ enum RouterMsg {
 ///
 /// # Panics
 /// Panics if a worker thread panics (the panic is propagated on join).
-pub fn solve(split: &SplitSystem, config: &ThreadedConfig) -> Result<ThreadedReport> {
-    let n_parts = split.n_parts();
-    let (a, b) = split.reconstruct();
-    let reference = SparseCholesky::factor_rcm(&a)?.solve(&b);
+pub fn solve(split: &SplitSystem, config: &ThreadedConfig) -> Result<SolveReport> {
+    solve_with_reference(split, None, config)
+}
 
-    let z_dtlp = config.impedance.assign(split)?;
-    let z_ports = per_port(split, &z_dtlp);
-    let locals: Vec<LocalSystem> = split
-        .subdomains
-        .iter()
-        .enumerate()
-        .map(|(p, sd)| LocalSystem::new(sd, &z_ports[p], config.solver_kind))
-        .collect::<Result<_>>()?;
+/// [`solve`] with a precomputed direct reference solution.
+///
+/// # Errors
+/// See [`solve`].
+pub fn solve_with_reference(
+    split: &SplitSystem,
+    reference: Option<Vec<f64>>,
+    config: &ThreadedConfig,
+) -> Result<SolveReport> {
+    let n_parts = split.n_parts();
+    let reference = runtime::reference_solution(split, reference)?;
+    let runtimes = runtime::build_nodes(split, &config.common)?;
 
     // Wiring: one channel per part; router channel if delays are injected.
-    let mut senders: Vec<Sender<WireMsg>> = Vec::with_capacity(n_parts);
-    let mut receivers: Vec<Option<Receiver<WireMsg>>> = Vec::with_capacity(n_parts);
+    let mut senders: Vec<Sender<DtmMsg>> = Vec::with_capacity(n_parts);
+    let mut receivers: Vec<Option<Receiver<DtmMsg>>> = Vec::with_capacity(n_parts);
     for _ in 0..n_parts {
-        let (tx, rx) = unbounded::<WireMsg>();
+        let (tx, rx) = unbounded::<DtmMsg>();
         senders.push(tx);
         receivers.push(Some(rx));
     }
@@ -134,10 +174,24 @@ pub fn solve(split: &SplitSystem, config: &ThreadedConfig) -> Result<ThreadedRep
     let stop = Arc::new(AtomicBool::new(false));
     let total_solves = Arc::new(AtomicU64::new(0));
     let total_messages = Arc::new(AtomicU64::new(0));
+    // Quiescence accounting: waves in flight + workers mid-step. The
+    // LocalDelta idle kick below may only fire when both are zero —
+    // otherwise a wave merely delayed in the router would let zero-delta
+    // re-solves feed the self-halt streak and end the run prematurely.
+    let in_flight = Arc::new(AtomicI64::new(0));
+    let active = Arc::new(AtomicUsize::new(0));
+    let any_capped = Arc::new(AtomicBool::new(false));
+    // Supervisor-side receiver clones: once a worker has halted and
+    // dropped out, waves still addressed to it are drained here so the
+    // in-flight count can reach zero.
+    let drain_rx: Vec<Receiver<DtmMsg>> = receivers
+        .iter()
+        .map(|r| r.as_ref().expect("receiver present").clone())
+        .collect();
     let snapshots: Arc<Vec<Mutex<Vec<f64>>>> = Arc::new(
-        locals
+        runtimes
             .iter()
-            .map(|l| Mutex::new(vec![0.0; l.n_local()]))
+            .map(|rt| Mutex::new(vec![0.0; rt.local().n_local()]))
             .collect(),
     );
 
@@ -152,7 +206,7 @@ pub fn solve(split: &SplitSystem, config: &ThreadedConfig) -> Result<ThreadedRep
                 deliver_at: Instant,
                 seq: u64,
                 dst: usize,
-                msg: WireMsg,
+                msg: DtmMsg,
             }
             impl PartialEq for Pending {
                 fn eq(&self, o: &Self) -> bool {
@@ -215,83 +269,43 @@ pub fn solve(split: &SplitSystem, config: &ThreadedConfig) -> Result<ThreadedRep
         })
     };
 
-    // Worker threads.
+    // Worker threads: the shared runtime drives each subdomain.
     let mut handles = Vec::with_capacity(n_parts);
-    for (p, mut local) in locals.into_iter().enumerate() {
+    for (p, mut rt) in runtimes.into_iter().enumerate() {
         let rx = receivers[p].take().expect("receiver unused");
-        let senders = senders.clone();
-        let router_tx = router_tx.clone();
-        let delays = delays.clone();
+        let mut transport = ChannelTransport {
+            src: p,
+            senders: senders.clone(),
+            router_tx: router_tx.clone(),
+            delays: delays.clone(),
+            delay_scale: config.delay_scale,
+            messages: total_messages.clone(),
+            in_flight: in_flight.clone(),
+        };
         let stop = stop.clone();
         let total_solves = total_solves.clone();
-        let total_messages = total_messages.clone();
         let snapshots = snapshots.clone();
-        let routes: Vec<(usize, Vec<(usize, usize)>)> = {
-            let sd = &split.subdomains[p];
-            let mut routes: Vec<(usize, Vec<(usize, usize)>)> = Vec::new();
-            for (my_port, port) in sd.ports.iter().enumerate() {
-                match routes.iter_mut().find(|(d, _)| *d == port.peer.part) {
-                    Some((_, pairs)) => pairs.push((port.peer.port, my_port)),
-                    None => routes.push((port.peer.part, vec![(port.peer.port, my_port)])),
-                }
-            }
-            routes
-        };
-        let max_solves = config.max_solves;
-        let local_tol = config.local_tol;
-        let patience = config.patience;
-        let delay_scale = config.delay_scale;
+        let in_flight = in_flight.clone();
+        let active = active.clone();
+        let any_capped = any_capped.clone();
+        let self_halting = matches!(config.common.termination, Termination::LocalDelta { .. });
 
         handles.push(std::thread::spawn(move || {
-            let mut streak = 0usize;
-            let solve_and_send = |local: &mut LocalSystem, streak: &mut usize| -> bool {
-                local.solve();
+            let step = |rt: &mut NodeRuntime, transport: &mut ChannelTransport| -> bool {
+                let control = rt.step(transport);
                 total_solves.fetch_add(1, Ordering::Relaxed);
-                snapshots[p].lock().copy_from_slice(local.solution());
-                for (dst, pairs) in &routes {
-                    let updates: Vec<PortUpdate> = pairs
-                        .iter()
-                        .map(|&(their_port, my_port)| {
-                            let (u, omega) = local.outgoing(my_port);
-                            PortUpdate {
-                                port: their_port,
-                                u,
-                                omega,
-                            }
-                        })
-                        .collect();
-                    total_messages.fetch_add(1, Ordering::Relaxed);
-                    let msg = WireMsg { updates };
-                    match &delays {
-                        Some(topo) => {
-                            let ns = topo.delay(p, *dst).as_nanos() as f64 * delay_scale;
-                            let deliver_at =
-                                Instant::now() + Duration::from_nanos(ns.round() as u64);
-                            let _ = router_tx.send(RouterMsg::Forward {
-                                deliver_at,
-                                dst: *dst,
-                                msg,
-                            });
-                        }
-                        None => {
-                            let _ = senders[*dst].send(msg);
-                        }
-                    }
+                snapshots[p].lock().copy_from_slice(rt.local().solution());
+                if control == NodeControl::Capped {
+                    any_capped.store(true, Ordering::Release);
                 }
-                // Local convergence (Table 1 step 3.3).
-                if local.last_delta() < local_tol {
-                    *streak += 1;
-                    if *streak >= patience {
-                        return false;
-                    }
-                } else {
-                    *streak = 0;
-                }
-                local.n_solves() < max_solves
+                !control.is_halt()
             };
 
             // Initial solve with the zero boundary guess (eq. 5.6).
-            if !solve_and_send(&mut local, &mut streak) {
+            active.fetch_add(1, Ordering::AcqRel);
+            let go_on = step(&mut rt, &mut transport);
+            active.fetch_sub(1, Ordering::AcqRel);
+            if !go_on {
                 return;
             }
             loop {
@@ -300,20 +314,51 @@ pub fn solve(split: &SplitSystem, config: &ThreadedConfig) -> Result<ThreadedRep
                 }
                 match rx.recv_timeout(Duration::from_millis(1)) {
                     Ok(first) => {
-                        for upd in first.updates {
-                            local.set_remote(upd.port, upd.u, upd.omega);
-                        }
-                        // Coalesce whatever else is pending.
+                        // Mark active *before* releasing the in-flight
+                        // count, so quiescence observers never see both
+                        // zero while a wave is being processed.
+                        active.fetch_add(1, Ordering::AcqRel);
+                        in_flight.fetch_sub(1, Ordering::AcqRel);
+                        rt.absorb_msg(&first);
+                        // Coalesce whatever else is pending (Table 1
+                        // step 3: "one or more of the adjacent
+                        // subgraphs").
                         while let Ok(more) = rx.try_recv() {
-                            for upd in more.updates {
-                                local.set_remote(upd.port, upd.u, upd.omega);
-                            }
+                            in_flight.fetch_sub(1, Ordering::AcqRel);
+                            rt.absorb_msg(&more);
                         }
-                        if !solve_and_send(&mut local, &mut streak) {
+                        let go_on = step(&mut rt, &mut transport);
+                        active.fetch_sub(1, Ordering::AcqRel);
+                        if !go_on {
                             return;
                         }
                     }
-                    Err(RecvTimeoutError::Timeout) => {}
+                    Err(RecvTimeoutError::Timeout) => {
+                        // Idle under LocalDelta *and* globally quiescent
+                        // (no worker mid-step, no wave in any channel or
+                        // in the router): neighbours have halted, so no
+                        // further waves will ever arrive. Re-solving
+                        // against the unchanged boundary state yields a
+                        // zero outgoing delta, letting the Table 1 step
+                        // 3.3 streak complete instead of waiting forever.
+                        // The quiescence guard means a wave merely
+                        // delayed in flight can never feed the streak.
+                        // (`active` is loaded before `in_flight`: any
+                        // activity between the two loads leaves a wave
+                        // in flight, so the pair can't both read zero
+                        // while work remains.)
+                        if self_halting
+                            && active.load(Ordering::Acquire) == 0
+                            && in_flight.load(Ordering::Acquire) == 0
+                        {
+                            active.fetch_add(1, Ordering::AcqRel);
+                            let go_on = step(&mut rt, &mut transport);
+                            active.fetch_sub(1, Ordering::AcqRel);
+                            if !go_on {
+                                return;
+                            }
+                        }
+                    }
                     Err(RecvTimeoutError::Disconnected) => return,
                 }
             }
@@ -322,48 +367,66 @@ pub fn solve(split: &SplitSystem, config: &ThreadedConfig) -> Result<ThreadedRep
     drop(senders);
     drop(router_tx);
 
-    // Supervisor: watch the snapshots until tolerance or budget.
-    let started = Instant::now();
-    let mut rms;
-    let gather = |snapshots: &Arc<Vec<Mutex<Vec<f64>>>>| -> Vec<f64> {
-        let xs: Vec<Vec<f64>> = snapshots.iter().map(|m| m.lock().clone()).collect();
-        split.gather(&xs)
+    // Supervisor: shared wall-clock loop over the snapshots.
+    let oracle_tol = match config.common.termination {
+        Termination::OracleRms { tol } => Some(tol),
+        Termination::LocalDelta { .. } => None,
     };
-    loop {
-        std::thread::sleep(Duration::from_micros(500));
-        let est = gather(&snapshots);
-        rms = dtm_sparse::vector::rms_error(&est, &reference);
-        if rms <= config.tol || started.elapsed() >= config.budget {
-            break;
-        }
-        if handles.iter().all(|h| h.is_finished()) {
-            // All workers self-halted.
-            let est = gather(&snapshots);
-            rms = dtm_sparse::vector::rms_error(&est, &reference);
-            break;
-        }
-    }
+    let outcome = wallclock::supervise(
+        split,
+        &reference,
+        &snapshots,
+        oracle_tol,
+        config.budget,
+        config.poll_interval,
+        || {
+            // Drain waves addressed to halted workers (semantically
+            // dropped) so the in-flight count can reach zero and let the
+            // survivors' quiescence kick fire.
+            for (i, h) in handles.iter().enumerate() {
+                if h.is_finished() {
+                    while drain_rx[i].try_recv().is_ok() {
+                        in_flight.fetch_sub(1, Ordering::AcqRel);
+                    }
+                }
+            }
+            handles.iter().all(|h| h.is_finished())
+        },
+    );
     stop.store(true, Ordering::Relaxed);
     for h in handles {
         h.join().expect("worker thread panicked");
     }
     router_handle.join().expect("router thread panicked");
 
-    let solution = gather(&snapshots);
-    let final_rms = dtm_sparse::vector::rms_error(&solution, &reference);
-    Ok(ThreadedReport {
-        converged: final_rms.min(rms) <= config.tol,
-        final_rms,
-        elapsed: started.elapsed(),
+    let converged = match config.common.termination {
+        Termination::OracleRms { tol } => outcome.best_rms <= tol,
+        Termination::LocalDelta { .. } => {
+            // A worker retired by the solve cap never declared
+            // convergence; don't let "everyone eventually stopped"
+            // masquerade as success.
+            outcome.stop == StopKind::AllHalted && !any_capped.load(Ordering::Acquire)
+        }
+    };
+    Ok(SolveReport {
+        backend: BackendKind::Threaded,
+        solution: outcome.solution,
+        converged,
+        final_rms: outcome.final_rms,
+        final_time_ms: outcome.elapsed.as_secs_f64() * 1e3,
+        series: outcome.series,
         total_solves: total_solves.load(Ordering::Relaxed),
         total_messages: total_messages.load(Ordering::Relaxed),
-        solution,
+        coalesced_batches: 0,
+        n_parts,
+        stop: outcome.stop,
     })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::impedance::ImpedancePolicy;
     use dtm_graph::evs::{split as evs_split, EvsOptions};
     use dtm_graph::{ElectricGraph, PartitionPlan};
     use dtm_simnet::DelayModel;
@@ -382,24 +445,32 @@ mod tests {
     fn threaded_dtm_converges_natural_asynchrony() {
         let ss = grid_split(10, 4, 71);
         let config = ThreadedConfig {
-            tol: 1e-8,
+            common: CommonConfig {
+                termination: Termination::OracleRms { tol: 1e-8 },
+                ..ThreadedConfig::default().common
+            },
             budget: Duration::from_secs(60),
             ..Default::default()
         };
         let report = solve(&ss, &config).unwrap();
         assert!(report.converged, "rms {}", report.final_rms);
+        assert_eq!(report.backend, BackendKind::Threaded);
         let (a, b) = ss.reconstruct();
         assert!(a.residual_norm(&report.solution, &b) < 1e-5);
         assert!(report.total_solves > 4);
+        assert!(report.total_messages > 0);
     }
 
     #[test]
     fn threaded_dtm_with_injected_heterogeneous_delays() {
         let ss = grid_split(8, 4, 72);
-        let topo = dtm_simnet::Topology::ring(4)
-            .with_delays(&DelayModel::uniform_ms(10.0, 99.0, 9));
+        let topo =
+            dtm_simnet::Topology::ring(4).with_delays(&DelayModel::uniform_ms(10.0, 99.0, 9));
         let config = ThreadedConfig {
-            tol: 1e-7,
+            common: CommonConfig {
+                termination: Termination::OracleRms { tol: 1e-7 },
+                ..ThreadedConfig::default().common
+            },
             budget: Duration::from_secs(60),
             delay_topology: Some(topo),
             delay_scale: 1e-3, // 10–99 ms simulated → 10–99 µs real
@@ -407,6 +478,78 @@ mod tests {
         };
         let report = solve(&ss, &config).unwrap();
         assert!(report.converged, "rms {}", report.final_rms);
+    }
+
+    #[test]
+    fn threaded_local_delta_self_halts() {
+        let ss = grid_split(8, 3, 73);
+        let config = ThreadedConfig {
+            common: CommonConfig {
+                termination: Termination::LocalDelta {
+                    tol: 1e-12,
+                    patience: 4,
+                },
+                ..ThreadedConfig::default().common
+            },
+            budget: Duration::from_secs(60),
+            ..Default::default()
+        };
+        let report = solve(&ss, &config).unwrap();
+        assert_eq!(report.stop, StopKind::AllHalted);
+        assert!(report.converged);
+        assert!(report.final_rms < 1e-6, "rms {}", report.final_rms);
+    }
+
+    #[test]
+    fn threaded_solve_cap_is_not_convergence() {
+        let ss = grid_split(8, 3, 74);
+        let config = ThreadedConfig {
+            common: CommonConfig {
+                // tol 0.0: the delta rule can never fire; only the cap halts.
+                termination: Termination::LocalDelta {
+                    tol: 0.0,
+                    patience: 2,
+                },
+                max_solves_per_node: 5,
+                ..ThreadedConfig::default().common
+            },
+            budget: Duration::from_secs(30),
+            ..Default::default()
+        };
+        let report = solve(&ss, &config).unwrap();
+        assert!(
+            !report.converged,
+            "capped-out run must not claim convergence (rms {})",
+            report.final_rms
+        );
+    }
+
+    #[test]
+    fn threaded_local_delta_with_long_real_delays_still_converges() {
+        // Regression: waves spending ~10 ms in the router used to let the
+        // 1 ms idle kick feed the zero-delta self-halt streak, halting
+        // workers long before the run converged. The quiescence guard
+        // (no worker active, nothing in flight) must hold the kick back
+        // until the waves have genuinely stopped.
+        let ss = grid_split(6, 2, 75);
+        let topo = dtm_simnet::Topology::ring(2).with_delays(&DelayModel::fixed_ms(10.0));
+        let config = ThreadedConfig {
+            common: CommonConfig {
+                termination: Termination::LocalDelta {
+                    tol: 1e-12,
+                    patience: 4,
+                },
+                ..ThreadedConfig::default().common
+            },
+            budget: Duration::from_secs(60),
+            delay_topology: Some(topo),
+            delay_scale: 1.0, // 10 ms simulated -> 10 ms real
+            ..Default::default()
+        };
+        let report = solve(&ss, &config).unwrap();
+        assert_eq!(report.stop, StopKind::AllHalted);
+        assert!(report.converged);
+        assert!(report.final_rms < 1e-6, "rms {}", report.final_rms);
     }
 
     #[test]
@@ -420,8 +563,11 @@ mod tests {
         };
         let ss = evs_split(&g, &plan, &options).unwrap();
         let config = ThreadedConfig {
-            impedance: ImpedancePolicy::PerDtlp(vec![0.2, 0.1]),
-            tol: 1e-9,
+            common: CommonConfig {
+                impedance: ImpedancePolicy::PerDtlp(vec![0.2, 0.1]),
+                termination: Termination::OracleRms { tol: 1e-9 },
+                ..ThreadedConfig::default().common
+            },
             budget: Duration::from_secs(30),
             ..Default::default()
         };

@@ -97,8 +97,8 @@ pub fn solve(
             local.solve();
         }
         for (p, local) in locals.iter().enumerate() {
-            for q in 0..local.n_ports() {
-                outbox[p][q] = local.outgoing(q);
+            for (q, slot) in outbox[p].iter_mut().enumerate() {
+                *slot = local.outgoing(q);
             }
         }
         for (p, sd) in split.subdomains.iter().enumerate() {
@@ -134,7 +134,16 @@ fn gather(split: &SplitSystem, locals: &[LocalSystem]) -> Vec<f64> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::runtime::CommonConfig;
     use crate::solver::{self, ComputeModel, DtmConfig, Termination};
+
+    fn dtm_core_common(impedance: ImpedancePolicy) -> CommonConfig {
+        CommonConfig {
+            impedance,
+            termination: Termination::OracleRms { tol: 0.0 },
+            ..Default::default()
+        }
+    }
     use dtm_graph::evs::{paper_example_shares, split as evs_split, EvsOptions};
     use dtm_graph::{ElectricGraph, PartitionPlan};
     use dtm_simnet::{DelayModel, SimDuration, Topology};
@@ -208,9 +217,8 @@ mod tests {
         // happens at t = k ms; stop mid-way through round `rounds`.
         let topo = Topology::complete(2).with_delays(&DelayModel::fixed_ms(1.0));
         let config = DtmConfig {
-            impedance,
+            common: dtm_core_common(impedance),
             compute: ComputeModel::Zero,
-            termination: Termination::OracleRms { tol: 0.0 },
             horizon: SimDuration::from_micros_f64((rounds as f64 - 0.5) * 1000.0),
             ..Default::default()
         };

@@ -83,7 +83,11 @@ impl ElectricGraph {
 
     /// Total number of (undirected) edges.
     pub fn n_edges(&self) -> usize {
-        (self.a.nnz() - (0..self.n()).filter(|&i| self.vertex_weight(i) != 0.0).count()) / 2
+        (self.a.nnz()
+            - (0..self.n())
+                .filter(|&i| self.vertex_weight(i) != 0.0)
+                .count())
+            / 2
     }
 
     /// Recover the linear system (the inverse of [`Self::from_system`]).

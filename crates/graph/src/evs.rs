@@ -265,7 +265,11 @@ pub fn split(
     let mut global_of_local: Vec<Vec<usize>> = Vec::with_capacity(n_parts);
     for p in 0..n_parts {
         let mut g2l = Vec::with_capacity(copy_lists[p].len() + inner_lists[p].len());
-        for (i, &v) in copy_lists[p].iter().chain(inner_lists[p].iter()).enumerate() {
+        for (i, &v) in copy_lists[p]
+            .iter()
+            .chain(inner_lists[p].iter())
+            .enumerate()
+        {
             local_of.insert((v, p), i);
             g2l.push(v);
         }
@@ -312,8 +316,7 @@ pub fn split(
                 }
                 SharePolicy::DominanceProportional => {
                     // Off-diagonal magnitude that lands in each part.
-                    let mut s: HashMap<usize, f64> =
-                        parts.iter().map(|&p| (p, 0.0)).collect();
+                    let mut s: HashMap<usize, f64> = parts.iter().map(|&p| (p, 0.0)).collect();
                     for (u, _) in graph.neighbors(v) {
                         let key = (v.min(u), v.max(u));
                         for &(p, share) in &edge_shares[&key] {

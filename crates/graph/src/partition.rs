@@ -82,9 +82,9 @@ pub fn greedy_grow(a: &Csr, k: usize, seed: u64) -> Vec<usize> {
             Some(p) => p,
             None => {
                 // Disconnected leftover: seed the smallest part anywhere.
-                let v = (0..n).find(|&v| assignment[v] == usize::MAX).expect(
-                    "remaining > 0 implies an unassigned vertex exists",
-                );
+                let v = (0..n)
+                    .find(|&v| assignment[v] == usize::MAX)
+                    .expect("remaining > 0 implies an unassigned vertex exists");
                 let p = (0..k).min_by_key(|&p| sizes[p]).expect("k ≥ 1");
                 assignment[v] = p;
                 sizes[p] += 1;
@@ -314,7 +314,7 @@ mod tests {
     #[test]
     fn metrics_single_part() {
         let a = generators::grid2d_laplacian(3, 3);
-        let m = metrics(&a, &vec![0; 9]);
+        let m = metrics(&a, &[0; 9]);
         assert_eq!(m.boundary_vertices, 0);
         assert_eq!(m.cut_edges, 0);
         assert_eq!(m.sizes, vec![9]);

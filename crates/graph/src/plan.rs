@@ -112,20 +112,18 @@ impl PartitionPlan {
                              at least one endpoint must be split"
                         )));
                     }
-                    (Owner::Inner(p), Owner::Split(qs)) | (Owner::Split(qs), Owner::Inner(p)) => {
-                        if !qs.contains(p) {
-                            return Err(Error::Parse(format!(
-                                "edge ({u}, {v}): split endpoint lacks a copy in part {p}"
-                            )));
-                        }
+                    (Owner::Inner(p), Owner::Split(qs)) | (Owner::Split(qs), Owner::Inner(p))
+                        if !qs.contains(p) =>
+                    {
+                        return Err(Error::Parse(format!(
+                            "edge ({u}, {v}): split endpoint lacks a copy in part {p}"
+                        )));
                     }
-                    (Owner::Split(ps), Owner::Split(qs)) => {
-                        if common_parts(ps, qs).is_empty() {
-                            return Err(Error::Parse(format!(
-                                "edge ({u}, {v}): split endpoints share no part \
+                    (Owner::Split(ps), Owner::Split(qs)) if common_parts(ps, qs).is_empty() => {
+                        return Err(Error::Parse(format!(
+                            "edge ({u}, {v}): split endpoints share no part \
                                  ({ps:?} vs {qs:?})"
-                            )));
-                        }
+                        )));
                     }
                     _ => {}
                 }

@@ -42,12 +42,7 @@ pub fn check_theorem_hypothesis(ss: &SplitSystem, tol: f64) -> TheoremCheck {
 ///
 /// # Errors
 /// [`Error::Parse`] describing the first mismatching entry.
-pub fn check_reconstruction(
-    ss: &SplitSystem,
-    a: &Csr,
-    b: &[f64],
-    tol: f64,
-) -> Result<()> {
+pub fn check_reconstruction(ss: &SplitSystem, a: &Csr, b: &[f64], tol: f64) -> Result<()> {
     let (a2, b2) = ss.reconstruct();
     if a2.n_rows() != a.n_rows() {
         return Err(Error::DimensionMismatch {
@@ -106,12 +101,14 @@ pub fn check_wiring(ss: &SplitSystem) -> Result<()> {
                     port.local_vertex
                 )));
             }
-            let peer_sd = ss.subdomains.get(port.peer.part).ok_or_else(|| {
-                Error::Parse(format!("part {pi} port {qi}: bad peer part"))
-            })?;
-            let peer = peer_sd.ports.get(port.peer.port).ok_or_else(|| {
-                Error::Parse(format!("part {pi} port {qi}: bad peer port"))
-            })?;
+            let peer_sd = ss
+                .subdomains
+                .get(port.peer.part)
+                .ok_or_else(|| Error::Parse(format!("part {pi} port {qi}: bad peer part")))?;
+            let peer = peer_sd
+                .ports
+                .get(port.peer.port)
+                .ok_or_else(|| Error::Parse(format!("part {pi} port {qi}: bad peer port")))?;
             if peer.peer.part != pi || peer.peer.port != qi {
                 return Err(Error::Parse(format!(
                     "part {pi} port {qi}: peer does not point back"
@@ -149,7 +146,13 @@ mod tests {
     use crate::plan::PartitionPlan;
     use dtm_sparse::generators;
 
-    fn split_grid(nx: usize, ny: usize, px: usize, py: usize, seed: u64) -> (SplitSystem, Csr, Vec<f64>) {
+    fn split_grid(
+        nx: usize,
+        ny: usize,
+        px: usize,
+        py: usize,
+        seed: u64,
+    ) -> (SplitSystem, Csr, Vec<f64>) {
         let a = generators::grid2d_random(nx, ny, 1.0, seed);
         let b = generators::random_rhs(a.n_rows(), seed + 1);
         let g = ElectricGraph::from_system(a.clone(), b.clone()).unwrap();

@@ -718,10 +718,7 @@ mod tests {
         engine.run_until(SimTime::from_nanos(u64::MAX - 1));
         let trace = engine.trace().unwrap();
         assert!(trace.records().len() >= 4);
-        assert!(matches!(
-            trace.records()[0].kind,
-            TraceKind::Start { .. }
-        ));
+        assert!(matches!(trace.records()[0].kind, TraceKind::Start { .. }));
         // No record is a broadcast; every receive lists a bounded batch.
         assert!(trace.records().iter().all(|r| match r.kind {
             TraceKind::Receive { batch, .. } => batch >= 1,

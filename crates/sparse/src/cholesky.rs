@@ -70,6 +70,10 @@ impl DenseCholesky {
     }
 
     /// Solve `A x = b` in place: forward then backward substitution.
+    // Triangular substitutions update x[i] for i > j while reading
+    // L(i, j): the index form mirrors the math; iterator forms obscure the
+    // column-sweep access pattern.
+    #[allow(clippy::needless_range_loop)]
     pub fn solve_in_place(&self, x: &mut [f64]) {
         let n = self.n();
         assert_eq!(x.len(), n, "DenseCholesky::solve length");
@@ -149,6 +153,9 @@ impl DenseLdlt {
     /// [`Error::NotPositiveDefinite`] if a pivot is `< -tol`, or if a zero
     /// pivot has a structurally nonzero column below it (indefinite or
     /// rank-revealing failure).
+    // The LDLT inner products read l(·, k)·d[k] across k: index form keeps
+    // the three-factor recurrence legible.
+    #[allow(clippy::needless_range_loop)]
     pub fn factor(a: &Dense, tol: f64) -> Result<Self> {
         let n = a.n_rows();
         if a.n_cols() != n {
@@ -293,8 +300,8 @@ mod tests {
     #[test]
     fn semidefinite_laplacian_classified() {
         // Graph Laplacian of a path (singular, SNND).
-        let a = Dense::from_rows(&[&[1.0, -1.0, 0.0], &[-1.0, 2.0, -1.0], &[0.0, -1.0, 1.0]])
-            .unwrap();
+        let a =
+            Dense::from_rows(&[&[1.0, -1.0, 0.0], &[-1.0, 2.0, -1.0], &[0.0, -1.0, 1.0]]).unwrap();
         assert_eq!(
             DenseLdlt::classify(&a, 1e-10),
             Definiteness::PositiveSemiDefinite

@@ -124,7 +124,12 @@ impl Coo {
         for r in 0..self.n_rows {
             let (lo, hi) = (row_counts[r], row_counts[r + 1]);
             scratch.clear();
-            scratch.extend(cols[lo..hi].iter().copied().zip(vals[lo..hi].iter().copied()));
+            scratch.extend(
+                cols[lo..hi]
+                    .iter()
+                    .copied()
+                    .zip(vals[lo..hi].iter().copied()),
+            );
             scratch.sort_unstable_by_key(|&(c, _)| c);
             let mut i = 0;
             while i < scratch.len() {

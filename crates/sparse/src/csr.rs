@@ -153,14 +153,14 @@ impl Csr {
     pub fn matvec_into(&self, x: &[f64], y: &mut [f64]) {
         assert_eq!(x.len(), self.n_cols, "matvec: x length");
         assert_eq!(y.len(), self.n_rows, "matvec: y length");
-        for r in 0..self.n_rows {
+        for (r, yr) in y.iter_mut().enumerate() {
             let lo = self.row_ptr[r];
             let hi = self.row_ptr[r + 1];
             let mut acc = 0.0;
             for k in lo..hi {
                 acc += self.values[k] * x[self.col_idx[k]];
             }
-            y[r] = acc;
+            *yr = acc;
         }
     }
 

@@ -104,8 +104,7 @@ impl Dense {
         assert_eq!(y.len(), self.n_rows, "dense matvec: y length");
         y.fill(0.0);
         // Column-major: iterate columns outermost for unit-stride access.
-        for c in 0..self.n_cols {
-            let xc = x[c];
+        for (c, &xc) in x.iter().enumerate() {
             if xc == 0.0 {
                 continue;
             }

@@ -64,10 +64,7 @@ impl fmt::Display for Error {
                 context,
                 index,
                 bound,
-            } => write!(
-                f,
-                "index {index} out of bounds (< {bound}) in {context}"
-            ),
+            } => write!(f, "index {index} out of bounds (< {bound}) in {context}"),
             Error::NotPositiveDefinite { column, pivot } => write!(
                 f,
                 "matrix is not positive definite: pivot {pivot:.3e} at column {column}"

@@ -24,8 +24,7 @@ use rand::{Rng, SeedableRng};
 /// boundary conditions: diagonal 4, off-diagonal −1 to the 4-neighbours.
 /// SPD and irreducibly diagonally dominant.
 pub fn grid2d_laplacian(nx: usize, ny: usize) -> Csr {
-    grid2d_conductance(nx, ny, |_, _| 1.0, 0.0)
-        .add_to_diagonal(&boundary_margin_2d(nx, ny))
+    grid2d_conductance(nx, ny, |_, _| 1.0, 0.0).add_to_diagonal(&boundary_margin_2d(nx, ny))
 }
 
 /// Margin that converts the singular grid Laplacian into the classic

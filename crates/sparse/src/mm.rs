@@ -30,11 +30,7 @@ pub fn read_matrix<R: BufRead>(reader: R) -> Result<Csr> {
     let symmetric = match h[4].as_str() {
         "general" => false,
         "symmetric" => true,
-        other => {
-            return Err(Error::Parse(format!(
-                "unsupported symmetry kind: {other}"
-            )))
-        }
+        other => return Err(Error::Parse(format!("unsupported symmetry kind: {other}"))),
     };
 
     let mut size_line = None;
@@ -50,7 +46,10 @@ pub fn read_matrix<R: BufRead>(reader: R) -> Result<Csr> {
     let size_line = size_line.ok_or_else(|| Error::Parse("missing size line".into()))?;
     let dims: Vec<usize> = size_line
         .split_whitespace()
-        .map(|t| t.parse().map_err(|_| Error::Parse(format!("bad size: {t}"))))
+        .map(|t| {
+            t.parse()
+                .map_err(|_| Error::Parse(format!("bad size: {t}")))
+        })
         .collect::<Result<_>>()?;
     if dims.len() != 3 {
         return Err(Error::Parse(format!("bad size line: {size_line}")));

@@ -97,14 +97,10 @@ pub fn reverse_cuthill_mckee(a: &Csr) -> Permutation {
     let mut nbrs: Vec<usize> = Vec::new();
 
     // Process components in order of their minimum-degree unvisited vertex.
-    loop {
-        let start = match (0..n)
-            .filter(|&v| !visited[v])
-            .min_by_key(|&v| (degree[v], v))
-        {
-            Some(s) => s,
-            None => break,
-        };
+    while let Some(start) = (0..n)
+        .filter(|&v| !visited[v])
+        .min_by_key(|&v| (degree[v], v))
+    {
         let root = pseudo_peripheral(a, start, &degree);
         visited[root] = true;
         queue.push_back(root);
@@ -212,7 +208,9 @@ mod tests {
     fn inverse_composes_to_identity() {
         let p = Permutation::from_new_to_old(vec![3, 1, 0, 2]).unwrap();
         let inv = p.inverse();
-        let composed: Vec<usize> = (0..4).map(|i| p.new_to_old()[inv.new_to_old()[i]]).collect();
+        let composed: Vec<usize> = (0..4)
+            .map(|i| p.new_to_old()[inv.new_to_old()[i]])
+            .collect();
         assert_eq!(composed, vec![0, 1, 2, 3]);
     }
 

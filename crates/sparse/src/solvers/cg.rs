@@ -136,7 +136,7 @@ mod tests {
     #[test]
     fn zero_rhs_is_immediate() {
         let a = generators::grid2d_laplacian(4, 4);
-        let res = solve(&a, &vec![0.0; 16], &IterConfig::default());
+        let res = solve(&a, &[0.0; 16], &IterConfig::default());
         assert!(res.converged);
         assert_eq!(res.iterations, 0);
         assert!(res.x.iter().all(|&v| v == 0.0));

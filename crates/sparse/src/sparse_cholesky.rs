@@ -338,10 +338,8 @@ mod tests {
         let a = generators::grid2d_laplacian(9, 9);
         let shuffled = {
             let n = a.n_rows();
-            let p = Permutation::from_new_to_old(
-                (0..n).map(|i| (i * 37) % n).collect::<Vec<_>>(),
-            )
-            .unwrap();
+            let p = Permutation::from_new_to_old((0..n).map(|i| (i * 37) % n).collect::<Vec<_>>())
+                .unwrap();
             a.permute_sym(&p)
         };
         let f_nat = SparseCholesky::factor(&shuffled).unwrap();

@@ -8,6 +8,7 @@
 //! ```
 
 use dtm_repro::core::impedance::ImpedancePolicy;
+use dtm_repro::core::runtime::CommonConfig;
 use dtm_repro::core::solver::{self, ComputeModel, DtmConfig, Termination};
 use dtm_repro::graph::evs::{paper_example_shares, split, EvsOptions};
 use dtm_repro::graph::{ElectricGraph, PartitionPlan};
@@ -70,9 +71,12 @@ fn main() {
 
     // --- run DTM (Fig. 8). ----------------------------------------------
     let config = DtmConfig {
-        impedance: ImpedancePolicy::PerDtlp(vec![0.2, 0.1]),
+        common: CommonConfig {
+            impedance: ImpedancePolicy::PerDtlp(vec![0.2, 0.1]),
+            termination: Termination::OracleRms { tol: 1e-10 },
+            ..Default::default()
+        },
         compute: ComputeModel::Zero,
-        termination: Termination::OracleRms { tol: 1e-10 },
         horizon: SimDuration::from_millis_f64(5.0),
         ..Default::default()
     };

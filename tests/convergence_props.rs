@@ -9,6 +9,7 @@
 use dtm_repro::core::analysis::WaveOperator;
 use dtm_repro::core::impedance::ImpedancePolicy;
 use dtm_repro::core::local::LocalSolverKind;
+use dtm_repro::core::runtime::CommonConfig;
 use dtm_repro::core::solver::{self, ComputeModel, DtmConfig, Termination};
 use dtm_repro::graph::evs::{split, EvsOptions, SharePolicy, SplitSystem};
 use dtm_repro::graph::validate;
@@ -90,8 +91,11 @@ proptest! {
         let topo = Topology::ring(k)
             .with_delays(&DelayModel::uniform_ms(lo_ms, lo_ms * spread, seed));
         let config = DtmConfig {
+            common: CommonConfig {
+                termination: Termination::OracleRms { tol: 1e-7 },
+                ..Default::default()
+            },
             compute: ComputeModel::Fixed(SimDuration::from_millis_f64(lo_ms / 4.0)),
-            termination: Termination::OracleRms { tol: 1e-7 },
             horizon: SimDuration::from_millis_f64(3_600_000.0),
             sample_interval: SimDuration::from_millis_f64(50.0),
             ..Default::default()
@@ -109,8 +113,11 @@ fn simulation_is_deterministic() {
     let mk = || {
         let topo = Topology::ring(3).with_delays(&DelayModel::uniform_ms(5.0, 40.0, 7));
         let config = DtmConfig {
+            common: CommonConfig {
+                termination: Termination::OracleRms { tol: 1e-9 },
+                ..Default::default()
+            },
             compute: ComputeModel::Fixed(SimDuration::from_millis_f64(1.0)),
-            termination: Termination::OracleRms { tol: 1e-9 },
             horizon: SimDuration::from_millis_f64(600_000.0),
             ..Default::default()
         };

@@ -5,6 +5,7 @@
 
 use dtm_repro::core::impedance::ImpedancePolicy;
 use dtm_repro::core::report::StopKind;
+use dtm_repro::core::runtime::CommonConfig;
 use dtm_repro::core::solver::{self, ComputeModel, DtmConfig, Termination};
 use dtm_repro::graph::evs::{split, EvsOptions};
 use dtm_repro::graph::{partition, ElectricGraph, PartitionPlan};
@@ -15,8 +16,8 @@ fn grid_split(side: usize, k: usize, seed: u64) -> dtm_repro::graph::SplitSystem
     let a = generators::grid2d_random(side, side, 1.0, seed);
     let b = generators::random_rhs(side * side, seed + 1);
     let g = ElectricGraph::from_system(a, b).expect("symmetric");
-    let plan = PartitionPlan::from_assignment(&g, &partition::grid_strips(side, side, k))
-        .expect("valid");
+    let plan =
+        PartitionPlan::from_assignment(&g, &partition::grid_strips(side, side, k)).expect("valid");
     split(&g, &plan, &EvsOptions::default()).expect("splits")
 }
 
@@ -27,10 +28,13 @@ fn premature_halt_via_solve_cap_reports_horizon_not_hang() {
     let ss = grid_split(10, 3, 501);
     let topo = Topology::ring(3).with_delays(&DelayModel::uniform_ms(5.0, 40.0, 2));
     let config = DtmConfig {
+        common: CommonConfig {
+            termination: Termination::OracleRms { tol: 1e-12 },
+            max_solves_per_node: 5,
+            ..Default::default()
+        },
         compute: ComputeModel::Fixed(SimDuration::from_millis_f64(1.0)),
-        termination: Termination::OracleRms { tol: 1e-12 },
         horizon: SimDuration::from_millis_f64(3_600_000.0),
-        max_solves_per_node: 5,
         ..Default::default()
     };
     let report = solver::solve(&ss, topo, None, &config).expect("runs");
@@ -52,8 +56,11 @@ fn loose_local_tolerance_gives_commensurately_loose_answer() {
     let run = |tol: f64| {
         let topo = Topology::ring(3).with_delays(&DelayModel::uniform_ms(5.0, 40.0, 3));
         let config = DtmConfig {
+            common: CommonConfig {
+                termination: Termination::LocalDelta { tol, patience: 3 },
+                ..Default::default()
+            },
             compute: ComputeModel::Fixed(SimDuration::from_millis_f64(1.0)),
-            termination: Termination::LocalDelta { tol, patience: 3 },
             horizon: SimDuration::from_millis_f64(3_600_000.0),
             ..Default::default()
         };
@@ -72,8 +79,11 @@ fn tiny_horizon_stops_on_time_limit() {
     let ss = grid_split(8, 2, 503);
     let topo = Topology::ring(2).with_delays(&DelayModel::fixed_ms(10.0));
     let config = DtmConfig {
+        common: CommonConfig {
+            termination: Termination::OracleRms { tol: 1e-12 },
+            ..Default::default()
+        },
         compute: ComputeModel::Fixed(SimDuration::from_millis_f64(1.0)),
-        termination: Termination::OracleRms { tol: 1e-12 },
         horizon: SimDuration::from_millis_f64(25.0), // ~2 exchanges
         ..Default::default()
     };
@@ -104,8 +114,11 @@ fn extreme_delay_skew_still_converges() {
         ],
     );
     let config = DtmConfig {
+        common: CommonConfig {
+            termination: Termination::OracleRms { tol: 1e-8 },
+            ..Default::default()
+        },
         compute: ComputeModel::Fixed(SimDuration::from_millis_f64(0.5)),
-        termination: Termination::OracleRms { tol: 1e-8 },
         horizon: SimDuration::from_millis_f64(3_600_000.0),
         ..Default::default()
     };
@@ -121,9 +134,12 @@ fn wildly_bad_impedances_still_converge_just_slowly() {
     for z in [1e-3, 1e3] {
         let topo = Topology::ring(2).with_delays(&DelayModel::fixed_ms(5.0));
         let config = DtmConfig {
-            impedance: ImpedancePolicy::Fixed(z),
+            common: CommonConfig {
+                impedance: ImpedancePolicy::Fixed(z),
+                termination: Termination::OracleRms { tol: 1e-6 },
+                ..Default::default()
+            },
             compute: ComputeModel::Fixed(SimDuration::from_millis_f64(0.5)),
-            termination: Termination::OracleRms { tol: 1e-6 },
             horizon: SimDuration::from_millis_f64(36_000_000.0),
             sample_interval: SimDuration::from_millis_f64(1_000.0),
             ..Default::default()
@@ -131,4 +147,34 @@ fn wildly_bad_impedances_still_converge_just_slowly() {
         let report = solver::solve(&ss, topo, None, &config).expect("runs");
         assert!(report.converged, "z = {z}: rms {}", report.final_rms);
     }
+}
+
+#[test]
+fn solve_cap_under_local_delta_is_not_reported_as_convergence() {
+    // Nodes that hit the max_solves safety cap never declared Table 1
+    // step 3.3 convergence: the run must report converged = false even
+    // though every node (eventually) halted.
+    let ss = grid_split(10, 3, 506);
+    let topo = Topology::ring(3).with_delays(&DelayModel::uniform_ms(5.0, 40.0, 4));
+    let config = DtmConfig {
+        common: CommonConfig {
+            // tol 0.0: the delta rule can never fire; only the cap halts.
+            termination: Termination::LocalDelta {
+                tol: 0.0,
+                patience: 2,
+            },
+            max_solves_per_node: 5,
+            ..Default::default()
+        },
+        compute: ComputeModel::Fixed(SimDuration::from_millis_f64(1.0)),
+        horizon: SimDuration::from_millis_f64(3_600_000.0),
+        ..Default::default()
+    };
+    let report = solver::solve(&ss, topo, None, &config).expect("runs");
+    assert!(
+        !report.converged,
+        "capped-out run must not claim convergence (rms {})",
+        report.final_rms
+    );
+    assert!(report.total_solves <= 3 * 5);
 }

@@ -4,6 +4,7 @@
 
 use dtm_repro::core::impedance::ImpedancePolicy;
 use dtm_repro::core::local::{LocalSolverKind, LocalSystem};
+use dtm_repro::core::runtime::CommonConfig;
 use dtm_repro::core::solver::{self, ComputeModel, DtmConfig, Termination};
 use dtm_repro::graph::evs::{paper_example_shares, split, EvsOptions, SplitSystem};
 use dtm_repro::graph::{ElectricGraph, PartitionPlan};
@@ -71,10 +72,8 @@ fn subsystems_4_1_and_4_2_reconstruct_3_2() {
 fn local_systems_5_4_and_5_5_digit_for_digit() {
     // (5.4): diag [7.5, 13.3] on the V2a/V3a ports; (5.5): [8.5, 13.7].
     let ss = paper_split();
-    let l1 = LocalSystem::new(&ss.subdomains[0], &[0.2, 0.1], LocalSolverKind::Dense)
-        .expect("SPD");
-    let l2 = LocalSystem::new(&ss.subdomains[1], &[0.2, 0.1], LocalSolverKind::Dense)
-        .expect("SPD");
+    let l1 = LocalSystem::new(&ss.subdomains[0], &[0.2, 0.1], LocalSolverKind::Dense).expect("SPD");
+    let l2 = LocalSystem::new(&ss.subdomains[1], &[0.2, 0.1], LocalSolverKind::Dense).expect("SPD");
     assert!((l1.matrix().get(0, 0) - 7.5).abs() < 1e-12);
     assert!((l1.matrix().get(1, 1) - 13.3).abs() < 1e-12);
     assert!((l2.matrix().get(0, 0) - 8.5).abs() < 1e-12);
@@ -84,8 +83,7 @@ fn local_systems_5_4_and_5_5_digit_for_digit() {
 #[test]
 fn initial_condition_5_6_is_all_zero() {
     let ss = paper_split();
-    let ls = LocalSystem::new(&ss.subdomains[0], &[0.2, 0.1], LocalSolverKind::Dense)
-        .expect("SPD");
+    let ls = LocalSystem::new(&ss.subdomains[0], &[0.2, 0.1], LocalSolverKind::Dense).expect("SPD");
     for p in 0..ls.n_ports() {
         assert_eq!(ls.incident_wave(p), 0.0, "x(0) = ω(0) = 0 ⇒ w(0) = 0");
     }
@@ -96,21 +94,19 @@ fn initial_condition_5_6_is_all_zero() {
 fn figure_8_run_reaches_the_exact_solution() {
     let ss = paper_split();
     let config = DtmConfig {
-        impedance: ImpedancePolicy::PerDtlp(vec![0.2, 0.1]),
+        common: CommonConfig {
+            impedance: ImpedancePolicy::PerDtlp(vec![0.2, 0.1]),
+            termination: Termination::OracleRms { tol: 1e-11 },
+            ..Default::default()
+        },
         compute: ComputeModel::Zero,
-        termination: Termination::OracleRms { tol: 1e-11 },
         horizon: SimDuration::from_millis_f64(10.0),
         ..Default::default()
     };
     let report = solver::solve(&ss, paper_topology(), None, &config).expect("runs");
     assert!(report.converged);
     // x* = A⁻¹ b of (3.2) = [10/17, 15.6/17, 17.4/17, 14.8/17].
-    let expect = [
-        10.0 / 17.0,
-        15.6 / 17.0,
-        17.4 / 17.0,
-        14.8 / 17.0,
-    ];
+    let expect = [10.0 / 17.0, 15.6 / 17.0, 17.4 / 17.0, 14.8 / 17.0];
     for (u, v) in report.solution.iter().zip(&expect) {
         assert!((u - v).abs() < 1e-7, "{u} vs {v}");
     }
@@ -130,9 +126,12 @@ fn fig9_impedance_sensitivity_visible_at_100us() {
     // a bad one by orders of magnitude.
     let run = |z2: f64, z3: f64| {
         let config = DtmConfig {
-            impedance: ImpedancePolicy::PerDtlp(vec![z2, z3]),
+            common: CommonConfig {
+                impedance: ImpedancePolicy::PerDtlp(vec![z2, z3]),
+                termination: Termination::OracleRms { tol: 0.0 },
+                ..Default::default()
+            },
             compute: ComputeModel::Zero,
-            termination: Termination::OracleRms { tol: 0.0 },
             horizon: SimDuration::from_micros_f64(100.0),
             ..Default::default()
         };

@@ -1,8 +1,11 @@
 //! Cross-solver agreement: every path to a solution — direct Cholesky
-//! (dense & sparse), CG, SOR, DTM (simulated & threaded), VTM, and both
-//! block-Jacobi baselines — must land on the same x* for the same system.
+//! (dense & sparse), CG, SOR, DTM (simulated, threaded & work-stealing),
+//! VTM, and both block-Jacobi baselines — must land on the same x* for
+//! the same system.
 
 use dtm_repro::core::baselines::{self, BlockJacobiConfig};
+use dtm_repro::core::rayon_backend::{self, RayonConfig};
+use dtm_repro::core::runtime::CommonConfig;
 use dtm_repro::core::solver::{ComputeModel, Termination};
 use dtm_repro::core::threaded::{self, ThreadedConfig};
 use dtm_repro::core::vtm::{self, VtmConfig};
@@ -25,10 +28,7 @@ fn system() -> (dtm_repro::sparse::Csr, Vec<f64>) {
 
 fn assert_close(name: &str, x: &[f64], y: &[f64], tol: f64) {
     for (i, (u, v)) in x.iter().zip(y).enumerate() {
-        assert!(
-            (u - v).abs() < tol,
-            "{name}: x[{i}] = {u} vs reference {v}"
-        );
+        assert!((u - v).abs() < tol, "{name}: x[{i}] = {u} vs reference {v}");
     }
 }
 
@@ -60,8 +60,8 @@ fn all_solvers_agree() {
 
     // VTM.
     let g = ElectricGraph::from_system(a.clone(), b.clone()).expect("symmetric");
-    let plan = PartitionPlan::from_assignment(&g, &partition::grid_strips(SIDE, SIDE, K))
-        .expect("valid");
+    let plan =
+        PartitionPlan::from_assignment(&g, &partition::grid_strips(SIDE, SIDE, K)).expect("valid");
     let ss = split(&g, &plan, &EvsOptions::default()).expect("valid");
     let v = vtm::solve(
         &ss,
@@ -79,7 +79,10 @@ fn all_solvers_agree() {
     let t = threaded::solve(
         &ss,
         &ThreadedConfig {
-            tol: 1e-9,
+            common: CommonConfig {
+                termination: Termination::OracleRms { tol: 1e-9 },
+                ..ThreadedConfig::default().common
+            },
             budget: Duration::from_secs(60),
             ..Default::default()
         },
@@ -87,6 +90,22 @@ fn all_solvers_agree() {
     .expect("threads");
     assert!(t.converged);
     assert_close("threaded dtm", &t.solution, &reference, 1e-6);
+
+    // Work-stealing DTM.
+    let w = rayon_backend::solve(
+        &ss,
+        &RayonConfig {
+            common: CommonConfig {
+                termination: Termination::OracleRms { tol: 1e-9 },
+                ..RayonConfig::default().common
+            },
+            budget: Duration::from_secs(60),
+            ..Default::default()
+        },
+    )
+    .expect("work-stealing pool");
+    assert!(w.converged);
+    assert_close("work-stealing dtm", &w.solution, &reference, 1e-6);
 
     // Block-Jacobi baselines.
     let asg = partition::grid_strips(SIDE, SIDE, K);
@@ -97,13 +116,19 @@ fn all_solvers_agree() {
         horizon: SimDuration::from_millis_f64(3_600_000.0),
         ..Default::default()
     };
-    let abj = baselines::solve_async(&a, &b, &asg, topo.clone(), Some(reference.clone()), &bj_config)
-        .expect("abj");
+    let abj = baselines::solve_async(
+        &a,
+        &b,
+        &asg,
+        topo.clone(),
+        Some(reference.clone()),
+        &bj_config,
+    )
+    .expect("abj");
     assert!(abj.converged);
     assert_close("async block-jacobi", &abj.solution, &reference, 1e-6);
-    let sbj =
-        baselines::solve_sync(&a, &b, &asg, &topo, Some(reference.clone()), &bj_config)
-            .expect("sbj");
+    let sbj = baselines::solve_sync(&a, &b, &asg, &topo, Some(reference.clone()), &bj_config)
+        .expect("sbj");
     assert!(sbj.converged);
     assert_close("sync block-jacobi", &sbj.solution, &reference, 1e-6);
 }

@@ -1,0 +1,366 @@
+//! Offline stand-in for `rayon`.
+//!
+//! Implements a genuine (if small) **work-stealing thread pool**: each
+//! worker owns a deque, runs it front-to-back, and steals from the back of
+//! a victim's deque when it runs dry; external submissions are spread
+//! round-robin across the deques. That is the scheduling discipline rayon
+//! is named for, scaled down to ~200 lines of std-only code for a
+//! container with no crates.io access.
+//!
+//! One deliberate divergence: worker-local spawns are enqueued **FIFO**
+//! (rayon's `spawn_fifo`), not LIFO (rayon's `spawn`). The consumers here
+//! are event-driven task graphs — message-triggered activations that spawn
+//! their successors — where LIFO self-scheduling lets a two-task cycle
+//! starve every older queued task forever on a busy worker (guaranteed on
+//! a single-core machine, where no thief can rescue them). FIFO makes the
+//! pool starvation-free for exactly that shape.
+//!
+//! Differences from upstream, by design of a small stub:
+//!
+//! * spawned closures must be `'static` (state is shared via `Arc`, which
+//!   is how the DTM rayon backend uses it anyway) — there is no
+//!   lifetime-juggling `Scope<'scope>`;
+//! * [`Scope::spawn`] takes `&self` and the handle is cloneable, so tasks
+//!   that need to spawn continuations capture a clone;
+//! * no `par_iter`; the pool surface (`ThreadPoolBuilder`, `spawn`,
+//!   `scope`, `wait_quiescent`) is what the workspace consumes.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+type Task = Box<dyn FnOnce() + Send + 'static>;
+
+struct PoolInner {
+    queues: Vec<Mutex<VecDeque<Task>>>,
+    injector: Mutex<VecDeque<Task>>,
+    /// Tasks submitted and not yet finished.
+    pending: AtomicUsize,
+    shutdown: AtomicBool,
+    park: Mutex<()>,
+    work_cv: Condvar,
+    idle: Mutex<()>,
+    idle_cv: Condvar,
+    next_queue: AtomicUsize,
+}
+
+thread_local! {
+    /// `(pool identity, worker index)` when running on a pool thread.
+    static WORKER: std::cell::Cell<Option<(usize, usize)>> =
+        const { std::cell::Cell::new(None) };
+}
+
+impl PoolInner {
+    fn id(self: &Arc<Self>) -> usize {
+        Arc::as_ptr(self) as usize
+    }
+
+    fn push(self: &Arc<Self>, task: Task) {
+        self.pending.fetch_add(1, Ordering::AcqRel);
+        let worker = WORKER.with(|w| w.get());
+        match worker {
+            // A worker spawning onto its own pool: FIFO local push (see
+            // the module docs for why not LIFO).
+            Some((pool, idx)) if pool == self.id() => {
+                self.queues[idx].lock().unwrap().push_back(task);
+            }
+            _ => {
+                let k = self.next_queue.fetch_add(1, Ordering::Relaxed);
+                if self.queues.is_empty() {
+                    self.injector.lock().unwrap().push_back(task);
+                } else {
+                    // Round-robin external pushes across worker deques to
+                    // spread initial load; the injector catches overflow
+                    // races only in the zero-worker edge case above.
+                    self.queues[k % self.queues.len()]
+                        .lock()
+                        .unwrap()
+                        .push_back(task);
+                }
+            }
+        }
+        // Notify under the park lock: a worker that missed this task in
+        // its scan re-checks `has_queued` under the same lock before
+        // sleeping, so the wakeup cannot be lost between its miss and its
+        // wait. (A lost wakeup here once delayed a queued task a full
+        // park-timeout — an eternity next to microsecond solve tasks.)
+        let _guard = self.park.lock().unwrap();
+        self.work_cv.notify_one();
+    }
+
+    /// Any task currently sitting in a deque or the injector?
+    fn has_queued(&self) -> bool {
+        if !self.injector.lock().unwrap().is_empty() {
+            return true;
+        }
+        self.queues.iter().any(|q| !q.lock().unwrap().is_empty())
+    }
+
+    /// Own deque front → injector → steal from the back of other deques.
+    fn find_task(&self, me: usize) -> Option<Task> {
+        if let Some(t) = self.queues[me].lock().unwrap().pop_front() {
+            return Some(t);
+        }
+        if let Some(t) = self.injector.lock().unwrap().pop_front() {
+            return Some(t);
+        }
+        let n = self.queues.len();
+        for off in 1..n {
+            let victim = (me + off) % n;
+            if let Some(t) = self.queues[victim].lock().unwrap().pop_back() {
+                return Some(t);
+            }
+        }
+        None
+    }
+
+    fn finish_task(&self) {
+        if self.pending.fetch_sub(1, Ordering::AcqRel) == 1 {
+            let _g = self.idle.lock().unwrap();
+            self.idle_cv.notify_all();
+        }
+    }
+}
+
+fn worker_loop(inner: Arc<PoolInner>, me: usize) {
+    WORKER.with(|w| w.set(Some((inner.id(), me))));
+    loop {
+        if let Some(task) = inner.find_task(me) {
+            task();
+            inner.finish_task();
+            continue;
+        }
+        if inner.shutdown.load(Ordering::Acquire) {
+            return;
+        }
+        let guard = inner.park.lock().unwrap();
+        // Close the miss-then-park race: a task pushed after our scan
+        // notifies under this same lock, so re-checking here guarantees we
+        // either see it or we are parked before the notification fires.
+        if inner.has_queued() {
+            continue;
+        }
+        // Timed park as a second belt against any residual race.
+        let _ = inner
+            .work_cv
+            .wait_timeout(guard, Duration::from_millis(1))
+            .unwrap();
+    }
+}
+
+/// Builder mirroring `rayon::ThreadPoolBuilder`.
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: Option<usize>,
+}
+
+/// Error type mirroring `rayon::ThreadPoolBuildError`.
+#[derive(Debug)]
+pub struct ThreadPoolBuildError(String);
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "thread pool build failed: {}", self.0)
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+impl ThreadPoolBuilder {
+    /// Fresh builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Worker count; defaults to available parallelism.
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = Some(n);
+        self
+    }
+
+    /// Spawn the workers.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        let n = match self.num_threads {
+            Some(0) | None => std::thread::available_parallelism()
+                .map(|v| v.get())
+                .unwrap_or(4),
+            Some(n) => n,
+        };
+        let inner = Arc::new(PoolInner {
+            queues: (0..n).map(|_| Mutex::new(VecDeque::new())).collect(),
+            injector: Mutex::new(VecDeque::new()),
+            pending: AtomicUsize::new(0),
+            shutdown: AtomicBool::new(false),
+            park: Mutex::new(()),
+            work_cv: Condvar::new(),
+            idle: Mutex::new(()),
+            idle_cv: Condvar::new(),
+            next_queue: AtomicUsize::new(0),
+        });
+        let handles = (0..n)
+            .map(|i| {
+                let inner = inner.clone();
+                std::thread::Builder::new()
+                    .name(format!("rayon-stub-{i}"))
+                    .spawn(move || worker_loop(inner, i))
+                    .map_err(|e| ThreadPoolBuildError(e.to_string()))
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(ThreadPool { inner, handles })
+    }
+}
+
+/// The work-stealing pool.
+pub struct ThreadPool {
+    inner: Arc<PoolInner>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl ThreadPool {
+    /// Number of worker threads.
+    pub fn current_num_threads(&self) -> usize {
+        self.handles.len()
+    }
+
+    /// Submit a fire-and-forget task.
+    pub fn spawn<F: FnOnce() + Send + 'static>(&self, f: F) {
+        assert!(
+            !self.inner.shutdown.load(Ordering::Acquire),
+            "spawn on shut-down pool"
+        );
+        self.inner.push(Box::new(f));
+    }
+
+    /// Run `f` with a [`Scope`] handle and block until every task spawned
+    /// through that handle (transitively) has finished.
+    pub fn scope<F: FnOnce(&Scope)>(&self, f: F) {
+        let scope = Scope {
+            pool: self.inner.clone(),
+            live: Arc::new(AtomicUsize::new(0)),
+        };
+        f(&scope);
+        scope.wait();
+    }
+
+    /// Tasks submitted and not yet finished (queued or running).
+    pub fn pending_tasks(&self) -> usize {
+        self.inner.pending.load(Ordering::Acquire)
+    }
+
+    /// Block until the pool has no submitted-but-unfinished tasks.
+    pub fn wait_quiescent(&self) {
+        let mut guard = self.inner.idle.lock().unwrap();
+        while self.inner.pending.load(Ordering::Acquire) > 0 {
+            let (g, _) = self
+                .inner
+                .idle_cv
+                .wait_timeout(guard, Duration::from_millis(1))
+                .unwrap();
+            guard = g;
+        }
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        self.inner.shutdown.store(true, Ordering::Release);
+        self.inner.work_cv.notify_all();
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Cloneable spawn handle for structured task groups.
+#[derive(Clone)]
+pub struct Scope {
+    pool: Arc<PoolInner>,
+    live: Arc<AtomicUsize>,
+}
+
+impl Scope {
+    /// Spawn a task tracked by this scope. Tasks that spawn continuations
+    /// capture a clone of the scope.
+    pub fn spawn<F: FnOnce() + Send + 'static>(&self, f: F) {
+        self.live.fetch_add(1, Ordering::AcqRel);
+        let live = self.live.clone();
+        self.pool.push(Box::new(move || {
+            f();
+            live.fetch_sub(1, Ordering::AcqRel);
+        }));
+    }
+
+    fn wait(&self) {
+        while self.live.load(Ordering::Acquire) > 0 {
+            std::thread::sleep(Duration::from_micros(50));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn spawn_and_quiesce() {
+        let pool = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        let counter = Arc::new(AtomicU64::new(0));
+        for _ in 0..1000 {
+            let c = counter.clone();
+            pool.spawn(move || {
+                c.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        pool.wait_quiescent();
+        assert_eq!(counter.load(Ordering::Relaxed), 1000);
+    }
+
+    #[test]
+    fn scope_waits_for_nested_spawns() {
+        let pool = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        let counter = Arc::new(AtomicU64::new(0));
+        pool.scope(|s| {
+            for _ in 0..8 {
+                let c = counter.clone();
+                let s2 = s.clone();
+                s.spawn(move || {
+                    c.fetch_add(1, Ordering::Relaxed);
+                    for _ in 0..4 {
+                        let c = c.clone();
+                        s2.spawn(move || {
+                            c.fetch_add(1, Ordering::Relaxed);
+                        });
+                    }
+                });
+            }
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 8 + 8 * 4);
+    }
+
+    #[test]
+    fn work_is_stolen_across_workers() {
+        // One worker floods its own deque via local spawns; with stealing,
+        // other workers execute some of them. Observed worker identities
+        // must exceed one.
+        let pool = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        let seen = Arc::new(Mutex::new(std::collections::BTreeSet::new()));
+        pool.scope(|s| {
+            let seen = seen.clone();
+            let s2 = s.clone();
+            s.spawn(move || {
+                for _ in 0..64 {
+                    let seen = seen.clone();
+                    s2.spawn(move || {
+                        seen.lock()
+                            .unwrap()
+                            .insert(std::thread::current().name().map(String::from));
+                        std::thread::sleep(Duration::from_micros(200));
+                    });
+                }
+            });
+        });
+        assert!(seen.lock().unwrap().len() > 1, "no stealing observed");
+    }
+}
