@@ -14,8 +14,12 @@
 //! repro cmp-vtm  DTM vs VTM (conclusion §8)                     [§8]
 //! repro cmp-jacobi  DTM vs async/sync block-Jacobi (§1)         [§1]
 //! repro sweep-z  spectral radius vs impedance scale (Thm 6.1)   [§6, Fig. 9]
+//! repro batched  per-RHS amortized cost of multi-RHS batches    [§5, factor-once]
 //! repro all      everything above
 //! ```
+//!
+//! `batched` sweeps K ∈ {1, 4, 16, 64} by default; `--num-rhs K` pins a
+//! single batch width instead.
 //!
 //! Absolute numbers depend on the delay seeds and the compute model (the
 //! paper's own testbed was a MATLAB simulation); the *shapes* — monotone
@@ -37,6 +41,17 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let cmd = args.first().map(String::as_str).unwrap_or("help");
     let quick = args.iter().any(|a| a == "--quick");
+    let num_rhs = args
+        .iter()
+        .position(|a| a == "--num-rhs")
+        .and_then(|i| args.get(i + 1))
+        .map(|v| match v.parse::<usize>() {
+            Ok(k) if k >= 1 => k,
+            _ => {
+                eprintln!("--num-rhs takes a positive integer, got {v:?}");
+                std::process::exit(2);
+            }
+        });
     match cmd {
         "fig3" => fig3(),
         "fig5" => fig5(),
@@ -51,6 +66,7 @@ fn main() {
         "cmp-vtm" => cmp_vtm(),
         "cmp-jacobi" => cmp_jacobi(),
         "sweep-z" => sweep_z(),
+        "batched" => batched(num_rhs),
         "all" => {
             fig3();
             fig5();
@@ -65,11 +81,12 @@ fn main() {
             cmp_vtm();
             cmp_jacobi();
             sweep_z();
+            batched(num_rhs);
         }
         _ => {
             eprintln!(
                 "usage: repro <fig3|fig5|fig7|fig8|fig9|table1|fig11|fig12|fig13|fig14|\
-                 cmp-vtm|cmp-jacobi|sweep-z|all> [--quick]"
+                 cmp-vtm|cmp-jacobi|sweep-z|batched|all> [--quick] [--num-rhs K]"
             );
             std::process::exit(2);
         }
@@ -514,6 +531,72 @@ fn sweep_z() {
     }
     let all_contractive = sweep.iter().all(|&(_, r)| r < 1.0);
     println!("all contractive (Theorem 6.1, arbitrary positive impedance): {all_contractive}\n");
+}
+
+/// §5 factor-once, turned into a serving number: per-RHS amortized wall
+/// time of a streaming batch at K right-hand sides over one factorization.
+fn batched(num_rhs: Option<usize>) {
+    banner("Batched multi-RHS: per-RHS amortized solve time over one factorization");
+    let side = 9; // n = 81: small enough that a batch is interactive
+    let a = dtm_sparse::generators::grid2d_laplacian(side, side);
+    let b = generators::random_rhs(side * side, 4_001);
+    let problem = dtm_core::DtmBuilder::new(a, b)
+        .grid_blocks(side, side, 2, 2)
+        .termination(Termination::OracleRms { tol: 1e-8 })
+        .compute(ComputeModel::Fixed(SimDuration::from_micros_f64(100.0)))
+        .build()
+        .expect("valid problem");
+    let ks: Vec<usize> = match num_rhs {
+        Some(k) => vec![k],
+        None => vec![1, 4, 16, 64],
+    };
+    println!(
+        "{:>6} {:>14} {:>14} {:>14} {:>10} {:>12}",
+        "K", "batch [ms]", "per-RHS [ms]", "sim/RHS [ms]", "solves", "worst rms"
+    );
+    let mut per_rhs_ms: Vec<(usize, f64)> = Vec::new();
+    for &k in &ks {
+        let mut session = problem.session().expect("factors once");
+        let cols: Vec<Vec<f64>> = (0..k)
+            .map(|c| generators::random_rhs(side * side, 5_000 + c as u64))
+            .collect();
+        // One warm-up batch, then the measured batch (steady-state
+        // streaming: the factors and routes are already hot).
+        for col in &cols {
+            session.push_rhs(col).expect("dimension ok");
+        }
+        session.solve_batch().expect("warm-up converges");
+        for col in &cols {
+            session.push_rhs(col).expect("dimension ok");
+        }
+        let t = std::time::Instant::now();
+        let report = session.solve_batch().expect("batch converges");
+        let batch_ms = t.elapsed().as_secs_f64() * 1e3;
+        assert!(report.converged, "K = {k} must converge");
+        per_rhs_ms.push((k, batch_ms / k as f64));
+        println!(
+            "{:>6} {:>14.3} {:>14.3} {:>14.3} {:>10} {:>12.2e}",
+            k,
+            batch_ms,
+            batch_ms / k as f64,
+            report.time_per_rhs_ms(),
+            report.total_solves,
+            report.final_rms
+        );
+    }
+    if num_rhs.is_none() {
+        let k1 = per_rhs_ms[0].1;
+        let k16 = per_rhs_ms.iter().find(|&&(k, _)| k == 16).expect("swept").1;
+        println!(
+            "amortization: K=16 per-RHS {:.3} ms vs K=1 {:.3} ms ({:.1}x cheaper) — \
+             additional right-hand sides ride the factor-once design nearly free\n",
+            k16,
+            k1,
+            k1 / k16
+        );
+    } else {
+        println!();
+    }
 }
 
 fn banner(s: &str) {

@@ -6,7 +6,7 @@
 //!   block-Jacobi), which pay a barrier costing the *maximum* link delay
 //!   every round on a heterogeneous machine, and
 //! * **traditional asynchronous** iterations (asynchronous block-Jacobi of
-//!   Baudet / Chazan–Miranker; refs [17]–[19]), whose "performances … are
+//!   Baudet / Chazan–Miranker; refs \[17\]–\[19\]), whose "performances … are
 //!   not comparable to the synchronous ones".
 //!
 //! Both exchange raw boundary *potentials*; DTM instead exchanges
@@ -271,7 +271,7 @@ impl Node for BjNode {
 
 /// Asynchronous block-Jacobi on a simulated machine: same engine, same
 /// monitoring as DTM, but exchanging raw potentials without transmission
-/// lines (the classical asynchronous iteration, refs [17]–[19]).
+/// lines (the classical asynchronous iteration, refs \[17\]–\[19\]).
 ///
 /// # Errors
 /// Fails on dimension mismatches, factorization failure, or a block
@@ -363,6 +363,9 @@ pub fn solve_async(
     Ok(SolveReport {
         backend: BackendKind::Simulated,
         solution: monitor.estimate().to_vec(),
+        n_rhs: 1,
+        solutions: vec![monitor.estimate().to_vec()],
+        final_rms_per_rhs: vec![final_rms],
         converged,
         final_rms,
         final_time_ms: outcome.final_time.as_millis_f64(),
@@ -437,7 +440,10 @@ pub fn solve_sync(
     }
     Ok(SolveReport {
         backend: BackendKind::Simulated,
-        solution: x,
+        solution: x.clone(),
+        n_rhs: 1,
+        solutions: vec![x],
+        final_rms_per_rhs: vec![rms],
         converged: rms <= tol,
         final_rms: rms,
         final_time_ms: t.as_millis_f64(),

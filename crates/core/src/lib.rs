@@ -75,9 +75,9 @@ pub mod solver;
 pub mod threaded;
 pub mod vtm;
 
-pub use builder::{DtmBuilder, DtmProblem};
+pub use builder::{DtmBuilder, DtmProblem, SolveSession};
 pub use impedance::ImpedancePolicy;
 pub use local::LocalSystem;
 pub use report::{BackendKind, SolveReport};
-pub use runtime::{CommonConfig, ExecutorBackend, NodeRuntime, Termination, Transport};
+pub use runtime::{CommonConfig, ExecutorBackend, NodeRuntime, SmallBlock, Termination, Transport};
 pub use solver::{ComputeModel, DtmConfig};

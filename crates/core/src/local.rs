@@ -1,4 +1,5 @@
-//! The DTM local system (paper eq. (5.8)–(5.9)).
+//! The DTM local system (paper eq. (5.8)–(5.9)), generalized to a block
+//! of K simultaneous right-hand sides.
 //!
 //! Eliminating the inflow currents ω from the subdomain system plus the DTL
 //! boundary conditions leaves
@@ -14,10 +15,22 @@
 //! piece of cake to solve (5.9)" (§5). [`LocalSystem`] is that object:
 //! factor once, then each remote-boundary update is one RHS rebuild plus a
 //! forward/backward substitution.
+//!
+//! Because the matrix does not depend on the right-hand side, **K right-hand
+//! sides share one factor**: the state (`w`, `x`, `ω`, previous outgoing
+//! waves) simply becomes a K-column block, stored column-major, and each
+//! solve is one *block* substitution that sweeps the factor once for all
+//! columns ([`dtm_sparse::DenseCholesky::solve_block_in_place`]). Column `c`
+//! undergoes exactly the scalar arithmetic, so a block solve is bitwise a
+//! stack of K scalar solves — the property the block-wave pipeline is built
+//! on. The factor itself sits behind an [`Arc`] so a streaming session can
+//! re-instantiate fresh per-batch state without refactoring
+//! ([`LocalSystem::with_rhs_block`]).
 
 use crate::dtl;
 use dtm_graph::evs::Subdomain;
 use dtm_sparse::{Csr, DenseCholesky, Result, SparseCholesky};
+use std::sync::Arc;
 
 /// Which factorization backs the local solves.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -36,42 +49,58 @@ pub enum LocalSolverKind {
 /// Crossover for [`LocalSolverKind::Auto`].
 pub const AUTO_DENSE_LIMIT: usize = 96;
 
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 enum Factor {
     Dense(DenseCholesky),
     Sparse(SparseCholesky),
 }
 
 impl Factor {
-    fn solve_in_place(&self, x: &mut [f64]) {
+    fn solve_block_in_place(&self, xs: &mut [f64], k: usize) {
         match self {
-            Factor::Dense(f) => f.solve_in_place(x),
-            Factor::Sparse(f) => f.solve_in_place(x),
+            Factor::Dense(f) => f.solve_block_in_place(xs, k),
+            Factor::Sparse(f) => f.solve_block_in_place(xs, k),
         }
     }
 }
 
-/// A factored DTM local system with its current boundary state.
+/// A factored DTM local system with its current boundary state — a block of
+/// `n_rhs` columns sharing one factor (the scalar pipeline is the
+/// `n_rhs == 1` special case).
+///
+/// All block state is stored column-major: column `c` of an `n`-vector
+/// quantity occupies `[c·n .. (c+1)·n]`, and per-port quantities likewise
+/// with `n = n_ports`.
 #[derive(Debug, Clone)]
 pub struct LocalSystem {
-    /// Local matrix `Â = A_j + Σ_p (1/z_p) e_v e_vᵀ` (kept for analysis).
-    matrix: Csr,
-    factor: Factor,
+    /// Local matrix `Â = A_j + Σ_p (1/z_p) e_v e_vᵀ` (kept for analysis;
+    /// constant, so shared like the factor).
+    matrix: Arc<Csr>,
+    /// Shared factor: cloning a `LocalSystem` (or deriving per-batch state
+    /// via [`with_rhs_block`](Self::with_rhs_block)) never refactors.
+    factor: Arc<Factor>,
     /// Local vertex carrying each port.
     port_vertex: Vec<usize>,
     /// Characteristic impedance per port.
     z: Vec<f64>,
-    /// Constant part of the RHS: `[f; g]`.
+    /// Local dimension.
+    n: usize,
+    /// Number of RHS columns in the block.
+    k: usize,
+    /// Constant part of the RHS: `[f; g]` per column (`n·k`).
     base_rhs: Vec<f64>,
-    /// Latest incident wave per port (`u_twin − z·ω_twin`, init 0: eq. 5.6).
+    /// Latest incident wave per port per column (`u_twin − z·ω_twin`,
+    /// init 0: eq. 5.6) — `n_ports·k`.
     w: Vec<f64>,
-    /// Latest local solution `[u; y]`.
+    /// Latest local solution `[u; y]` per column — `n·k`.
     x: Vec<f64>,
-    /// Latest inflow current per port.
+    /// Latest inflow current per port per column — `n_ports·k`.
     omega: Vec<f64>,
-    /// Previous outgoing wave per port (for convergence deltas).
+    /// Previous outgoing wave per port per column (convergence deltas).
     prev_out: Vec<f64>,
-    /// Outgoing-wave change of the latest solve.
+    /// Outgoing-wave change of the latest solve, per column.
+    col_delta: Vec<f64>,
+    /// Max over [`col_delta`](Self::col_delta).
     last_delta: f64,
     solves: usize,
     rhs_buf: Vec<f64>,
@@ -80,7 +109,8 @@ pub struct LocalSystem {
 impl LocalSystem {
     /// Build and factor the local system of `sub` with per-port impedances
     /// `z` (use [`crate::impedance::per_port`] to derive them from a
-    /// per-DTLP assignment).
+    /// per-DTLP assignment). Single right-hand side: the subdomain's own
+    /// sources.
     ///
     /// # Errors
     /// Propagates factorization failure (the subdomain was not SNND, i.e.
@@ -90,6 +120,37 @@ impl LocalSystem {
     /// Panics if `z.len() != sub.n_ports()` or any impedance is
     /// non-positive.
     pub fn new(sub: &Subdomain, z: &[f64], kind: LocalSolverKind) -> Result<Self> {
+        Self::with_base_rhs(sub, z, kind, sub.rhs.clone(), 1)
+    }
+
+    /// Build and factor the local system with a block of `rhs_cols` local
+    /// right-hand sides solved simultaneously over the one factor (each
+    /// column a full local source vector, e.g. from
+    /// [`dtm_graph::evs::SplitSystem::scatter_rhs`]).
+    ///
+    /// # Errors
+    /// See [`LocalSystem::new`].
+    ///
+    /// # Panics
+    /// Additionally panics if `rhs_cols` is empty or a column has the wrong
+    /// length.
+    pub fn new_block(
+        sub: &Subdomain,
+        z: &[f64],
+        kind: LocalSolverKind,
+        rhs_cols: &[Vec<f64>],
+    ) -> Result<Self> {
+        let base = concat_cols(rhs_cols, sub.n_local());
+        Self::with_base_rhs(sub, z, kind, base, rhs_cols.len())
+    }
+
+    fn with_base_rhs(
+        sub: &Subdomain,
+        z: &[f64],
+        kind: LocalSolverKind,
+        base_rhs: Vec<f64>,
+        k: usize,
+    ) -> Result<Self> {
         assert_eq!(z.len(), sub.n_ports(), "one impedance per port");
         assert!(
             z.iter().all(|&zi| zi > 0.0 && zi.is_finite()),
@@ -116,29 +177,65 @@ impl LocalSystem {
         };
         let n_ports = sub.n_ports();
         Ok(Self {
-            matrix,
-            factor,
+            matrix: Arc::new(matrix),
+            factor: Arc::new(factor),
             port_vertex: sub.ports.iter().map(|p| p.local_vertex).collect(),
             z: z.to_vec(),
-            base_rhs: sub.rhs.clone(),
-            w: vec![0.0; n_ports],
-            x: vec![0.0; n],
-            omega: vec![0.0; n_ports],
-            prev_out: vec![0.0; n_ports],
+            n,
+            k,
+            base_rhs,
+            w: vec![0.0; n_ports * k],
+            x: vec![0.0; n * k],
+            omega: vec![0.0; n_ports * k],
+            prev_out: vec![0.0; n_ports * k],
+            col_delta: vec![f64::INFINITY; k],
             last_delta: f64::INFINITY,
             solves: 0,
-            rhs_buf: vec![0.0; n],
+            rhs_buf: vec![0.0; n * k],
         })
+    }
+
+    /// Derive a fresh block system over the **same factor** (no
+    /// refactorization — the streaming path): new right-hand-side columns,
+    /// zeroed boundary state (eq. 5.6), reset counters.
+    ///
+    /// # Panics
+    /// Panics if `rhs_cols` is empty or a column has the wrong length.
+    pub fn with_rhs_block(&self, rhs_cols: &[Vec<f64>]) -> Self {
+        let k = rhs_cols.len();
+        let (n, n_ports) = (self.n, self.n_ports());
+        Self {
+            matrix: Arc::clone(&self.matrix),
+            factor: Arc::clone(&self.factor),
+            port_vertex: self.port_vertex.clone(),
+            z: self.z.clone(),
+            n,
+            k,
+            base_rhs: concat_cols(rhs_cols, n),
+            w: vec![0.0; n_ports * k],
+            x: vec![0.0; n * k],
+            omega: vec![0.0; n_ports * k],
+            prev_out: vec![0.0; n_ports * k],
+            col_delta: vec![f64::INFINITY; k],
+            last_delta: f64::INFINITY,
+            solves: 0,
+            rhs_buf: vec![0.0; n * k],
+        }
     }
 
     /// Local dimension.
     pub fn n_local(&self) -> usize {
-        self.x.len()
+        self.n
     }
 
     /// Number of ports.
     pub fn n_ports(&self) -> usize {
         self.port_vertex.len()
+    }
+
+    /// Number of right-hand-side columns in the block.
+    pub fn n_rhs(&self) -> usize {
+        self.k
     }
 
     /// The (constant) local coefficient matrix `Â`.
@@ -152,65 +249,126 @@ impl LocalSystem {
     }
 
     /// Update one port's remote boundary condition from the twin's
-    /// transmitted `(u_twin, ω_twin)` pair — the message payload of Table 1.
+    /// transmitted `(u_twin, ω_twin)` pair — the message payload of Table 1
+    /// (column 0; see [`set_remote_col`](Self::set_remote_col) for blocks).
     pub fn set_remote(&mut self, port: usize, u_twin: f64, omega_twin: f64) {
-        self.w[port] = dtl::incident_wave(u_twin, omega_twin, self.z[port]);
+        self.set_remote_col(port, 0, u_twin, omega_twin);
     }
 
-    /// Update one port's incident wave directly.
+    /// Update one port's remote boundary condition for one block column.
+    pub fn set_remote_col(&mut self, port: usize, col: usize, u_twin: f64, omega_twin: f64) {
+        let i = col * self.n_ports() + port;
+        self.w[i] = dtl::incident_wave(u_twin, omega_twin, self.z[port]);
+    }
+
+    /// Update one port's remote boundary conditions for all columns at once
+    /// — the block-wave merge (`u` and `omega` hold one value per column).
+    ///
+    /// # Panics
+    /// Panics if the payload width differs from the block width.
+    pub fn set_remote_block(&mut self, port: usize, u: &[f64], omega: &[f64]) {
+        assert_eq!(u.len(), self.k, "block payload width");
+        assert_eq!(omega.len(), self.k, "block payload width");
+        let np = self.n_ports();
+        for c in 0..self.k {
+            self.w[c * np + port] = dtl::incident_wave(u[c], omega[c], self.z[port]);
+        }
+    }
+
+    /// Update one port's incident wave directly (column 0).
     pub fn set_incident_wave(&mut self, port: usize, w: f64) {
         self.w[port] = w;
     }
 
-    /// Incident wave currently stored for `port`.
+    /// Incident wave currently stored for `port` (column 0).
     pub fn incident_wave(&self, port: usize) -> f64 {
         self.w[port]
     }
 
-    /// Solve (5.9) with the stored remote boundary conditions: one RHS
-    /// rebuild + forward/backward substitution (no refactorization).
+    /// Incident wave currently stored for `port` in block column `col`.
+    pub fn incident_wave_col(&self, port: usize, col: usize) -> f64 {
+        self.w[col * self.n_ports() + port]
+    }
+
+    /// Solve (5.9) for every column with the stored remote boundary
+    /// conditions: one RHS rebuild + one block forward/backward
+    /// substitution over the shared factor (no refactorization, no
+    /// allocation — `rhs_buf` is recycled across solves and columns).
     pub fn solve(&mut self) -> &[f64] {
+        let (n, np, k) = (self.n, self.n_ports(), self.k);
+        // The buffer swap below recycles `x`'s storage: both buffers were
+        // allocated at n·k once and must never shrink or grow, or the
+        // rebuild would reallocate per solve.
+        debug_assert_eq!(self.rhs_buf.len(), n * k, "rhs_buf recycled, never resized");
+        debug_assert!(self.rhs_buf.capacity() >= n * k);
         self.rhs_buf.copy_from_slice(&self.base_rhs);
-        for (p, &v) in self.port_vertex.iter().enumerate() {
-            self.rhs_buf[v] += self.w[p] / self.z[p];
+        for c in 0..k {
+            for (p, &v) in self.port_vertex.iter().enumerate() {
+                self.rhs_buf[c * n + v] += self.w[c * np + p] / self.z[p];
+            }
         }
-        self.factor.solve_in_place(&mut self.rhs_buf);
+        self.factor.solve_block_in_place(&mut self.rhs_buf, k);
         std::mem::swap(&mut self.x, &mut self.rhs_buf);
-        let mut delta = 0.0_f64;
-        for (p, &v) in self.port_vertex.iter().enumerate() {
-            self.omega[p] = dtl::inflow_current(self.w[p], self.x[v], self.z[p]);
-            let out = dtl::outgoing_wave(self.x[v], self.omega[p], self.z[p]);
-            delta = delta.max((out - self.prev_out[p]).abs());
-            self.prev_out[p] = out;
+        let mut max_delta = 0.0_f64;
+        for c in 0..k {
+            let mut delta = 0.0_f64;
+            for (p, &v) in self.port_vertex.iter().enumerate() {
+                let i = c * np + p;
+                self.omega[i] = dtl::inflow_current(self.w[i], self.x[c * n + v], self.z[p]);
+                let out = dtl::outgoing_wave(self.x[c * n + v], self.omega[i], self.z[p]);
+                delta = delta.max((out - self.prev_out[i]).abs());
+                self.prev_out[i] = out;
+            }
+            self.col_delta[c] = delta;
+            max_delta = max_delta.max(delta);
         }
-        self.last_delta = delta;
+        self.last_delta = max_delta;
         self.solves += 1;
         &self.x
     }
 
-    /// Latest local solution `[u; y]`.
+    /// Latest local solution `[u; y]` — the whole block, column-major.
     pub fn solution(&self) -> &[f64] {
         &self.x
     }
 
-    /// Latest inflow currents.
+    /// Latest local solution of one block column.
+    pub fn solution_col(&self, col: usize) -> &[f64] {
+        &self.x[col * self.n..(col + 1) * self.n]
+    }
+
+    /// Latest inflow currents (whole block, column-major per port).
     pub fn currents(&self) -> &[f64] {
         &self.omega
     }
 
     /// The local boundary condition `(u, ω)` this subdomain transmits for
-    /// `port` (Table 1 step 3.2).
+    /// `port` (Table 1 step 3.2), column 0.
     pub fn outgoing(&self, port: usize) -> (f64, f64) {
-        (self.x[self.port_vertex[port]], self.omega[port])
+        self.outgoing_col(port, 0)
     }
 
-    /// Max |change| of any outgoing wave in the latest solve — the local
-    /// convergence signal of Table 1 step 3.3.
+    /// The transmitted `(u, ω)` pair for `port` in block column `col`.
+    pub fn outgoing_col(&self, port: usize, col: usize) -> (f64, f64) {
+        (
+            self.x[col * self.n + self.port_vertex[port]],
+            self.omega[col * self.n_ports() + port],
+        )
+    }
+
+    /// Max |change| of any outgoing wave in the latest solve, over all
+    /// columns — the local convergence signal of Table 1 step 3.3 (a block
+    /// node keeps exchanging until its *worst* column settles).
     pub fn last_delta(&self) -> f64 {
         self.last_delta
     }
 
-    /// Number of solves performed.
+    /// Per-column outgoing-wave change of the latest solve.
+    pub fn col_deltas(&self) -> &[f64] {
+        &self.col_delta
+    }
+
+    /// Number of solves performed (a block solve counts once).
     pub fn n_solves(&self) -> usize {
         self.solves
     }
@@ -218,11 +376,22 @@ impl LocalSystem {
     /// Size of the factor backing each substitution (dense: n(n+1)/2;
     /// sparse: nnz(L)); drives the per-solve compute-time model.
     pub fn factor_nnz(&self) -> usize {
-        match &self.factor {
+        match &*self.factor {
             Factor::Dense(f) => f.n() * (f.n() + 1) / 2,
             Factor::Sparse(f) => f.nnz_l(),
         }
     }
+}
+
+/// Concatenate equal-length columns into one column-major buffer.
+fn concat_cols(cols: &[Vec<f64>], n: usize) -> Vec<f64> {
+    assert!(!cols.is_empty(), "at least one RHS column");
+    let mut out = Vec::with_capacity(n * cols.len());
+    for col in cols {
+        assert_eq!(col.len(), n, "RHS column length");
+        out.extend_from_slice(col);
+    }
+    out
 }
 
 #[cfg(test)]
@@ -373,6 +542,59 @@ mod tests {
         ls.solve();
         assert_eq!(ls.last_delta(), 0.0);
         assert_eq!(ls.n_solves(), 2);
+    }
+
+    #[test]
+    fn block_solve_is_bitwise_stack_of_scalar_solves() {
+        // A 3-column block with per-column boundary states must reproduce,
+        // bit for bit, three independent scalar LocalSystems fed the same
+        // states — for every factor kind.
+        let ss = paper_split();
+        let sd = &ss.subdomains[0];
+        let z = [0.2, 0.1];
+        let cols: Vec<Vec<f64>> = vec![sd.rhs.clone(), vec![1.0, -2.0, 0.5], vec![0.0, 3.0, -1.0]];
+        for kind in [
+            LocalSolverKind::Dense,
+            LocalSolverKind::Sparse,
+            LocalSolverKind::SparseRcm,
+        ] {
+            let mut block = LocalSystem::new_block(sd, &z, kind, &cols).unwrap();
+            assert_eq!(block.n_rhs(), 3);
+            for c in 0..3 {
+                for p in 0..2 {
+                    block.set_remote_col(p, c, 0.3 * (c + 1) as f64, -0.1 * (p as f64 + 1.0));
+                }
+            }
+            block.solve();
+            for (c, col) in cols.iter().enumerate() {
+                let mut scalar = block.with_rhs_block(std::slice::from_ref(col));
+                for p in 0..2 {
+                    scalar.set_remote(p, 0.3 * (c + 1) as f64, -0.1 * (p as f64 + 1.0));
+                }
+                scalar.solve();
+                assert_eq!(block.solution_col(c), scalar.solution(), "column {c}");
+                assert_eq!(block.col_deltas()[c], scalar.last_delta(), "delta {c}");
+                for p in 0..2 {
+                    assert_eq!(block.outgoing_col(p, c), scalar.outgoing(p));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn with_rhs_block_shares_the_factor_and_resets_state() {
+        let ss = paper_split();
+        let mut ls =
+            LocalSystem::new(&ss.subdomains[0], &[0.2, 0.1], LocalSolverKind::Dense).unwrap();
+        ls.set_remote(0, 0.9, 0.1);
+        ls.solve();
+        let fresh = ls.with_rhs_block(&[vec![1.0, 0.0, 0.0], vec![0.0, 0.0, 2.0]]);
+        assert_eq!(fresh.n_rhs(), 2);
+        assert_eq!(fresh.n_solves(), 0);
+        assert_eq!(fresh.incident_wave_col(0, 0), 0.0);
+        assert_eq!(fresh.incident_wave_col(0, 1), 0.0);
+        // Same factor object, no refactorization.
+        assert!(Arc::ptr_eq(&ls.factor, &fresh.factor));
     }
 
     #[test]

@@ -1,28 +1,35 @@
-//! RMS-error-vs-time monitoring.
+//! RMS-error-vs-time monitoring, over a block of K right-hand sides.
 //!
 //! The paper's convergence figures (8, 9, 12, 14) plot the error of the
 //! evolving distributed state against the true solution `x* = A⁻¹b`. The
 //! monitor maintains the *global* estimate (averaging every split vertex's
-//! copies) incrementally — O(|part|) per activation, not O(n) — and records
-//! a `(time, rms)` staircase series.
+//! copies) incrementally — O(|part|·K) per activation, not O(n·K) — and
+//! records a `(time, rms)` staircase series. With several right-hand sides
+//! in flight the reported scalar is the **worst column's** RMS: a batched
+//! solve is only done when its slowest column is done.
 
 use dtm_graph::evs::SplitSystem;
 use dtm_simnet::{SimDuration, SimTime};
 
-/// Incremental global-error tracker.
+/// Incremental global-error tracker for a K-column solution block.
 #[derive(Debug, Clone)]
 pub struct Monitor {
+    /// RHS columns tracked.
+    k: usize,
+    /// Original dimension.
+    n: usize,
+    /// Reference solutions, column-major (`n·k`).
     reference: Vec<f64>,
     copy_count: Vec<f64>,
     global_of_local: Vec<Vec<usize>>,
-    /// Latest local solution per part.
+    /// Latest local solution block per part (`n_local·k`).
     part_values: Vec<Vec<f64>>,
-    /// Per-vertex sum of copies.
+    /// Per-vertex sum of copies, column-major.
     sum: Vec<f64>,
-    /// Per-vertex averaged estimate.
+    /// Per-vertex averaged estimate, column-major.
     est: Vec<f64>,
-    /// Running Σ (est − ref)².
-    sum_sq_err: f64,
+    /// Running Σ (est − ref)², per column.
+    sum_sq_err: Vec<f64>,
     series: Vec<(f64, f64)>,
     sample_interval: SimDuration,
     last_sample: Option<SimTime>,
@@ -30,21 +37,42 @@ pub struct Monitor {
     /// accumulator exactly before reporting (guards against catastrophic
     /// cancellation near convergence). Zero disables.
     refresh_below: f64,
+    /// Updates folded in since the last exact resync.
+    updates_since_sync: usize,
 }
+
+/// Resync cadence while refresh is armed: the incremental accumulator can
+/// also drift *upward* past the stopping tolerance (stalling an oracle run
+/// at the horizon), so it is recomputed exactly every this many updates —
+/// amortized O(copies-per-part) per activation, unchanged asymptotics.
+const RESYNC_EVERY: usize = 256;
 
 impl Monitor {
     /// Create a monitor for `split` against the reference solution
     /// (`x* = A⁻¹ b` of the original system). `sample_interval` throttles
     /// the recorded series (zero = record every activation).
     pub fn new(split: &SplitSystem, reference: Vec<f64>, sample_interval: SimDuration) -> Self {
-        Self::from_parts(
+        Self::new_block(split, &[reference], sample_interval)
+    }
+
+    /// Create a monitor for a K-column block solve: one reference solution
+    /// per RHS column.
+    ///
+    /// # Panics
+    /// Panics if `references` is empty or columns disagree in length.
+    pub fn new_block(
+        split: &SplitSystem,
+        references: &[Vec<f64>],
+        sample_interval: SimDuration,
+    ) -> Self {
+        Self::from_parts_block(
             split
                 .subdomains
                 .iter()
                 .map(|sd| sd.global_of_local.clone())
                 .collect(),
             split.copy_count.clone(),
-            reference,
+            references,
             sample_interval,
         )
     }
@@ -57,26 +85,56 @@ impl Monitor {
         reference: Vec<f64>,
         sample_interval: SimDuration,
     ) -> Self {
-        let n = reference.len();
+        Self::from_parts_block(global_of_local, copy_count, &[reference], sample_interval)
+    }
+
+    /// Block form of [`from_parts`](Self::from_parts).
+    ///
+    /// # Panics
+    /// Panics if `references` is empty or columns disagree in length.
+    pub fn from_parts_block(
+        global_of_local: Vec<Vec<usize>>,
+        copy_count: Vec<usize>,
+        references: &[Vec<f64>],
+        sample_interval: SimDuration,
+    ) -> Self {
+        let k = references.len();
+        assert!(k > 0, "at least one reference column");
+        let n = references[0].len();
         assert_eq!(copy_count.len(), n, "copy_count length");
-        let est = vec![0.0; n];
-        let sum_sq_err = reference.iter().map(|r| r * r).sum();
+        let mut reference = Vec::with_capacity(n * k);
+        for r in references {
+            assert_eq!(r.len(), n, "reference column length");
+            reference.extend_from_slice(r);
+        }
+        let sum_sq_err = references
+            .iter()
+            .map(|r| r.iter().map(|v| v * v).sum())
+            .collect();
         Self {
+            k,
+            n,
             copy_count: copy_count.iter().map(|&c| c as f64).collect(),
             part_values: global_of_local
                 .iter()
-                .map(|g2l| vec![0.0; g2l.len()])
+                .map(|g2l| vec![0.0; g2l.len() * k])
                 .collect(),
             global_of_local,
-            sum: vec![0.0; n],
-            est,
+            sum: vec![0.0; n * k],
+            est: vec![0.0; n * k],
             sum_sq_err,
             series: Vec::new(),
             sample_interval,
             last_sample: None,
             refresh_below: 0.0,
+            updates_since_sync: 0,
             reference,
         }
+    }
+
+    /// RHS columns tracked.
+    pub fn n_rhs(&self) -> usize {
+        self.k
     }
 
     /// Enable exact resynchronization whenever the incrementally tracked
@@ -85,39 +143,51 @@ impl Monitor {
         self.refresh_below = threshold;
     }
 
-    /// Recompute the error accumulator exactly and return the exact RMS.
+    /// Recompute the error accumulators exactly and return the exact
+    /// worst-column RMS.
     pub fn resync(&mut self) -> f64 {
-        let ss: f64 = self
-            .est
-            .iter()
-            .zip(&self.reference)
-            .map(|(e, r)| (e - r) * (e - r))
-            .sum();
-        self.sum_sq_err = ss;
+        let n = self.n;
+        for c in 0..self.k {
+            self.sum_sq_err[c] = self.est[c * n..(c + 1) * n]
+                .iter()
+                .zip(&self.reference[c * n..(c + 1) * n])
+                .map(|(e, r)| (e - r) * (e - r))
+                .sum();
+        }
         self.rms()
     }
 
-    /// Fold one part's newly solved local values in; returns the current
+    /// Fold one part's newly solved local block in (`x` is the part's
+    /// `n_local·k` column-major solution); returns the current worst-column
     /// global RMS error.
     pub fn update_part(&mut self, part: usize, time: SimTime, x: &[f64]) -> f64 {
         let g2l = &self.global_of_local[part];
-        assert_eq!(x.len(), g2l.len(), "monitor: local length");
-        for (l, &g) in g2l.iter().enumerate() {
-            let old = self.part_values[part][l];
-            if old == x[l] {
-                continue;
+        let nl = g2l.len();
+        let n = self.n;
+        assert_eq!(x.len(), nl * self.k, "monitor: local block length");
+        for c in 0..self.k {
+            for (l, &g) in g2l.iter().enumerate() {
+                let (li, gi) = (c * nl + l, c * n + g);
+                let old = self.part_values[part][li];
+                if old == x[li] {
+                    continue;
+                }
+                self.part_values[part][li] = x[li];
+                self.sum[gi] += x[li] - old;
+                let new_est = self.sum[gi] / self.copy_count[g];
+                let e_old = self.est[gi] - self.reference[gi];
+                let e_new = new_est - self.reference[gi];
+                self.sum_sq_err[c] += e_new * e_new - e_old * e_old;
+                self.est[gi] = new_est;
             }
-            self.part_values[part][l] = x[l];
-            self.sum[g] += x[l] - old;
-            let new_est = self.sum[g] / self.copy_count[g];
-            let e_old = self.est[g] - self.reference[g];
-            let e_new = new_est - self.reference[g];
-            self.sum_sq_err += e_new * e_new - e_old * e_old;
-            self.est[g] = new_est;
         }
         let mut rms = self.rms();
-        if self.refresh_below > 0.0 && rms < self.refresh_below {
+        self.updates_since_sync += 1;
+        if self.refresh_below > 0.0
+            && (rms < self.refresh_below || self.updates_since_sync >= RESYNC_EVERY)
+        {
             rms = self.resync();
+            self.updates_since_sync = 0;
         }
         let due = match self.last_sample {
             None => true,
@@ -130,22 +200,50 @@ impl Monitor {
         rms
     }
 
-    /// Current RMS error (incrementally maintained).
+    /// Current worst-column RMS error (incrementally maintained).
     pub fn rms(&self) -> f64 {
-        (self.sum_sq_err.max(0.0) / self.reference.len().max(1) as f64).sqrt()
+        let n = self.n.max(1) as f64;
+        self.sum_sq_err
+            .iter()
+            .map(|ss| (ss.max(0.0) / n).sqrt())
+            .fold(0.0, f64::max)
     }
 
-    /// Exactly recomputed RMS error (clears accumulated FP drift).
+    /// Exactly recomputed worst-column RMS error (clears accumulated FP
+    /// drift).
     pub fn rms_exact(&self) -> f64 {
-        dtm_sparse::vector::rms_error(&self.est, &self.reference)
+        self.rms_exact_per_rhs().into_iter().fold(0.0, f64::max)
     }
 
-    /// Current global estimate (copies averaged).
+    /// Exactly recomputed RMS error per RHS column.
+    pub fn rms_exact_per_rhs(&self) -> Vec<f64> {
+        let n = self.n;
+        (0..self.k)
+            .map(|c| {
+                dtm_sparse::vector::rms_error(
+                    &self.est[c * n..(c + 1) * n],
+                    &self.reference[c * n..(c + 1) * n],
+                )
+            })
+            .collect()
+    }
+
+    /// Current global estimate of column 0 (copies averaged).
     pub fn estimate(&self) -> &[f64] {
-        &self.est
+        self.estimate_col(0)
     }
 
-    /// The recorded `(time_ms, rms)` staircase.
+    /// Current global estimate of one RHS column.
+    pub fn estimate_col(&self, col: usize) -> &[f64] {
+        &self.est[col * self.n..(col + 1) * self.n]
+    }
+
+    /// Current global estimates, one vector per RHS column.
+    pub fn estimates(&self) -> Vec<Vec<f64>> {
+        (0..self.k).map(|c| self.estimate_col(c).to_vec()).collect()
+    }
+
+    /// The recorded `(time_ms, rms)` staircase (worst column).
     pub fn series(&self) -> &[(f64, f64)] {
         &self.series
     }
@@ -225,5 +323,35 @@ mod tests {
         }
         assert_eq!(dense.series().len(), 50);
         assert!(sparse.series().len() < 10);
+    }
+
+    #[test]
+    fn block_monitor_tracks_worst_column() {
+        // Two columns: feed column 0 its exact solution, leave column 1 at
+        // zero — the reported RMS must be column 1's error, and the
+        // per-column report must distinguish them.
+        let (ss, reference) = make();
+        let ref2: Vec<f64> = reference.iter().map(|v| v * 2.0).collect();
+        let refs = vec![reference.clone(), ref2.clone()];
+        let mut m = Monitor::new_block(&ss, &refs, SimDuration::ZERO);
+        assert_eq!(m.n_rhs(), 2);
+        for (p, sd) in ss.subdomains.iter().enumerate() {
+            let nl = sd.n_local();
+            let mut block = vec![0.0; nl * 2];
+            for (l, &g) in sd.global_of_local.iter().enumerate() {
+                block[l] = reference[g]; // column 0 exact
+            }
+            m.update_part(p, SimTime::from_nanos(p as u64), &block);
+        }
+        let per = m.rms_exact_per_rhs();
+        assert!(per[0] < 1e-12, "column 0 exact, got {}", per[0]);
+        let expect = dtm_sparse::vector::rms_error(&[0.0; 16], &ref2);
+        assert!((per[1] - expect).abs() < 1e-12);
+        assert!((m.rms() - per[1]).abs() < 1e-9, "worst column wins");
+        // Column estimates address the right slices.
+        for (e, r) in m.estimate_col(0).iter().zip(&reference) {
+            assert!((e - r).abs() < 1e-12);
+        }
+        assert_eq!(m.estimates().len(), 2);
     }
 }

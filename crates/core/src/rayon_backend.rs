@@ -193,9 +193,38 @@ pub fn solve_with_reference(
     reference: Option<Vec<f64>>,
     config: &RayonConfig,
 ) -> Result<SolveReport> {
-    let n_parts = split.n_parts();
-    let reference = runtime::reference_solution(split, reference)?;
+    let references = runtime::reference_solutions(split, None, reference.map(|r| vec![r]))?;
     let runtimes = runtime::build_nodes(split, &config.common)?;
+    solve_runtimes(split, runtimes, references, config)
+}
+
+/// Run DTM on the work-stealing pool for a **block of right-hand sides**
+/// sharing one factorization per subdomain (see
+/// [`crate::solver::solve_block`] for the block-wave semantics; here the
+/// waves are inbox entries and spawned tasks).
+///
+/// # Errors
+/// See [`solve`].
+pub fn solve_block(
+    split: &SplitSystem,
+    rhs_cols: &[Vec<f64>],
+    references: Option<Vec<Vec<f64>>>,
+    config: &RayonConfig,
+) -> Result<SolveReport> {
+    let references = runtime::reference_solutions(split, Some(rhs_cols), references)?;
+    let runtimes = runtime::build_nodes_block(split, &config.common, rhs_cols)?;
+    solve_runtimes(split, runtimes, references, config)
+}
+
+/// The executor body shared by the scalar and block entry points.
+fn solve_runtimes(
+    split: &SplitSystem,
+    runtimes: Vec<NodeRuntime>,
+    references: Vec<Vec<f64>>,
+    config: &RayonConfig,
+) -> Result<SolveReport> {
+    let n_parts = split.n_parts();
+    let n_rhs = references.len();
 
     let pool = Arc::new(
         ThreadPoolBuilder::new()
@@ -206,7 +235,7 @@ pub fn solve_with_reference(
     let shared = Arc::new(Shared {
         snapshots: runtimes
             .iter()
-            .map(|rt| Mutex::new(vec![0.0; rt.local().n_local()]))
+            .map(|rt| Mutex::new(vec![0.0; rt.local().n_local() * n_rhs]))
             .collect(),
         cells: runtimes
             .into_iter()
@@ -240,7 +269,7 @@ pub fn solve_with_reference(
         let self_halting = oracle_tol.is_none();
         wallclock::supervise(
             split,
-            &reference,
+            &references,
             &shared.snapshots,
             oracle_tol,
             config.budget,
@@ -281,7 +310,10 @@ pub fn solve_with_reference(
     };
     Ok(SolveReport {
         backend: BackendKind::WorkStealing,
-        solution: outcome.solution,
+        solution: outcome.solutions[0].clone(),
+        n_rhs,
+        solutions: outcome.solutions,
+        final_rms_per_rhs: outcome.final_rms_per_rhs,
         converged,
         final_rms: outcome.final_rms,
         final_time_ms: outcome.elapsed.as_secs_f64() * 1e3,

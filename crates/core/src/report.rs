@@ -40,11 +40,21 @@ pub enum StopKind {
 pub struct SolveReport {
     /// Which executor ran the solve.
     pub backend: BackendKind,
-    /// Gathered global solution (split copies averaged).
+    /// Gathered global solution (split copies averaged) of the first RHS
+    /// column — the scalar pipeline's answer, kept as the primary field.
     pub solution: Vec<f64>,
+    /// Number of right-hand-side columns solved simultaneously (1 for the
+    /// scalar pipeline).
+    pub n_rhs: usize,
+    /// Gathered global solution per RHS column (`solutions[0]` ==
+    /// `solution`).
+    pub solutions: Vec<Vec<f64>>,
+    /// Final RMS error per RHS column.
+    pub final_rms_per_rhs: Vec<f64>,
     /// Whether the requested tolerance was met.
     pub converged: bool,
-    /// Final RMS error against the direct reference solution.
+    /// Final RMS error against the direct reference solution (worst column
+    /// of a block solve).
     pub final_rms: f64,
     /// Solver time at stop, in milliseconds: simulated time for the
     /// simnet backend, wall-clock time for real-execution backends.
@@ -84,6 +94,13 @@ impl SolveReport {
             self.total_messages as f64 / self.total_solves as f64
         }
     }
+
+    /// Solver time per right-hand side — the amortized cost a batched run
+    /// pays per RHS column (equals [`final_time_ms`](Self::final_time_ms)
+    /// for the scalar pipeline).
+    pub fn time_per_rhs_ms(&self) -> f64 {
+        self.final_time_ms / self.n_rhs.max(1) as f64
+    }
 }
 
 #[cfg(test)]
@@ -94,6 +111,9 @@ mod tests {
         SolveReport {
             backend: BackendKind::Simulated,
             solution: vec![1.0],
+            n_rhs: 1,
+            solutions: vec![vec![1.0]],
+            final_rms_per_rhs: vec![1e-9],
             converged: true,
             final_rms: 1e-9,
             final_time_ms: 12.5,
@@ -117,5 +137,13 @@ mod tests {
     #[test]
     fn messages_per_solve() {
         assert!((report().messages_per_solve() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn time_per_rhs_amortizes_over_columns() {
+        let mut r = report();
+        assert!((r.time_per_rhs_ms() - 12.5).abs() < 1e-12);
+        r.n_rhs = 5;
+        assert!((r.time_per_rhs_ms() - 2.5).abs() < 1e-12);
     }
 }

@@ -59,19 +59,115 @@ use crate::local::{LocalSolverKind, LocalSystem};
 use dtm_graph::evs::SplitSystem;
 use dtm_sparse::{Result, SparseCholesky};
 
+/// Columns a [`SmallBlock`] stores inline before spilling to the heap.
+///
+/// Sized so the common block widths (and always the scalar K = 1 path) pay
+/// zero allocations per scattered wave — the K = 1 fast-path guarantee.
+pub const SMALL_BLOCK_INLINE: usize = 4;
+
+/// One value per RHS column of a block wave — the payload half of a
+/// [`PortUpdate`].
+///
+/// Up to [`SMALL_BLOCK_INLINE`] columns live inline; wider blocks spill to
+/// a heap vector. Dereferences to `[f64]` (one entry per column).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SmallBlock {
+    len: usize,
+    inline: [f64; SMALL_BLOCK_INLINE],
+    spill: Vec<f64>,
+}
+
+impl SmallBlock {
+    /// A single-column (scalar-pipeline) block.
+    pub fn scalar(v: f64) -> Self {
+        Self::from_fn(1, |_| v)
+    }
+
+    /// Build a `k`-column block from a per-column generator.
+    pub fn from_fn(k: usize, mut f: impl FnMut(usize) -> f64) -> Self {
+        if k <= SMALL_BLOCK_INLINE {
+            let mut inline = [0.0; SMALL_BLOCK_INLINE];
+            for (c, slot) in inline.iter_mut().take(k).enumerate() {
+                *slot = f(c);
+            }
+            Self {
+                len: k,
+                inline,
+                spill: Vec::new(),
+            }
+        } else {
+            Self {
+                len: k,
+                inline: [0.0; SMALL_BLOCK_INLINE],
+                spill: (0..k).map(f).collect(),
+            }
+        }
+    }
+
+    /// Copy a slice into a block.
+    pub fn from_slice(vals: &[f64]) -> Self {
+        Self::from_fn(vals.len(), |c| vals[c])
+    }
+
+    /// Number of columns.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the block has no columns.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The per-column values.
+    pub fn as_slice(&self) -> &[f64] {
+        if self.len <= SMALL_BLOCK_INLINE {
+            &self.inline[..self.len]
+        } else {
+            &self.spill
+        }
+    }
+}
+
+impl std::ops::Deref for SmallBlock {
+    type Target = [f64];
+
+    fn deref(&self) -> &[f64] {
+        self.as_slice()
+    }
+}
+
+impl From<f64> for SmallBlock {
+    fn from(v: f64) -> Self {
+        Self::scalar(v)
+    }
+}
+
 /// Boundary-condition update for one port of the receiving subdomain.
 ///
 /// This is the paper's message payload (Table 1 step 3.2): the sender's
 /// twin potential `u` and inflow current `ω` for one DTLP, addressed by
-/// the *receiver's* port index.
-#[derive(Debug, Clone, Copy, PartialEq)]
+/// the *receiver's* port index — one value per RHS column of the block
+/// wave (the scalar pipeline is the one-column case).
+#[derive(Debug, Clone, PartialEq)]
 pub struct PortUpdate {
     /// Port index *at the receiver*.
     pub port: usize,
-    /// Transmitted twin potential `u`.
-    pub u: f64,
-    /// Transmitted twin inflow current `ω`.
-    pub omega: f64,
+    /// Transmitted twin potentials `u`, one per column.
+    pub u: SmallBlock,
+    /// Transmitted twin inflow currents `ω`, one per column.
+    pub omega: SmallBlock,
+}
+
+impl PortUpdate {
+    /// A scalar (single-column) update — the paper's original payload.
+    pub fn scalar(port: usize, u: f64, omega: f64) -> Self {
+        Self {
+            port,
+            u: SmallBlock::scalar(u),
+            omega: SmallBlock::scalar(omega),
+        }
+    }
 }
 
 /// One wave-front message: every boundary condition the sending subdomain
@@ -233,14 +329,16 @@ impl NodeRuntime {
     /// Merge one incoming boundary-condition update (Table 1 step 3.1).
     /// Later updates for the same port overwrite earlier ones — exactly
     /// the "use whatever is freshest" semantics of asynchronous iteration.
+    /// All columns of a block wave merge together.
     pub fn absorb(&mut self, update: PortUpdate) {
-        self.local.set_remote(update.port, update.u, update.omega);
+        self.local
+            .set_remote_block(update.port, &update.u, &update.omega);
     }
 
     /// Merge a whole wave-front message.
     pub fn absorb_msg(&mut self, msg: &DtmMsg) {
-        for &u in &msg.updates {
-            self.absorb(u);
+        for u in &msg.updates {
+            self.local.set_remote_block(u.port, &u.u, &u.omega);
         }
     }
 
@@ -250,16 +348,14 @@ impl NodeRuntime {
     /// neighbour through `transport`, and evaluate the self-halt rule.
     pub fn step(&mut self, transport: &mut impl Transport) -> NodeControl {
         self.local.solve();
+        let k = self.local.n_rhs();
         for (dst, pairs) in &self.routes {
             let updates = pairs
                 .iter()
-                .map(|&(their_port, my_port)| {
-                    let (u, omega) = self.local.outgoing(my_port);
-                    PortUpdate {
-                        port: their_port,
-                        u,
-                        omega,
-                    }
+                .map(|&(their_port, my_port)| PortUpdate {
+                    port: their_port,
+                    u: SmallBlock::from_fn(k, |c| self.local.outgoing_col(my_port, c).0),
+                    omega: SmallBlock::from_fn(k, |c| self.local.outgoing_col(my_port, c).1),
                 })
                 .collect();
             transport.send(*dst, DtmMsg { updates });
@@ -288,6 +384,23 @@ impl NodeRuntime {
     pub fn capped(&self) -> bool {
         self.capped
     }
+
+    /// Derive a fresh node over the **same factor** for a new block of
+    /// local right-hand-side columns — the streaming path: routes,
+    /// impedances and the factorization are reused; boundary state,
+    /// self-halt streak and counters reset.
+    pub fn with_rhs_block(&self, rhs_cols: &[Vec<f64>]) -> Self {
+        Self {
+            part: self.part,
+            local: self.local.with_rhs_block(rhs_cols),
+            routes: self.routes.clone(),
+            termination: self.termination,
+            max_solves: self.max_solves,
+            small_streak: 0,
+            messages_sent: 0,
+            capped: false,
+        }
+    }
 }
 
 /// Build one [`NodeRuntime`] per subdomain: assign impedances, factor
@@ -299,6 +412,38 @@ impl NodeRuntime {
 /// (the subdomain was not SNND, i.e. the EVS split violated Theorem 6.1's
 /// hypothesis).
 pub fn build_nodes(split: &SplitSystem, common: &CommonConfig) -> Result<Vec<NodeRuntime>> {
+    build_nodes_inner(split, common, None)
+}
+
+/// [`build_nodes`] for a **block wave**: every node solves `rhs_cols.len()`
+/// right-hand sides simultaneously over its one factorization. `rhs_cols`
+/// are *global* RHS vectors, scattered onto the subdomains with the split's
+/// own source-share fractions
+/// ([`SplitSystem::scatter_rhs`](dtm_graph::evs::SplitSystem::scatter_rhs)).
+///
+/// # Errors
+/// See [`build_nodes`].
+///
+/// # Panics
+/// Panics if `rhs_cols` is empty or a column's length differs from the
+/// original system dimension.
+pub fn build_nodes_block(
+    split: &SplitSystem,
+    common: &CommonConfig,
+    rhs_cols: &[Vec<f64>],
+) -> Result<Vec<NodeRuntime>> {
+    assert!(!rhs_cols.is_empty(), "at least one RHS column");
+    let local_cols: Vec<Vec<Vec<f64>>> = rhs_cols.iter().map(|b| split.scatter_rhs(b)).collect();
+    build_nodes_inner(split, common, Some(&local_cols))
+}
+
+/// `local_cols[c][p]` = column `c`'s scattered sources for part `p`; `None`
+/// = the split's own single right-hand side.
+fn build_nodes_inner(
+    split: &SplitSystem,
+    common: &CommonConfig,
+    local_cols: Option<&[Vec<Vec<f64>>]>,
+) -> Result<Vec<NodeRuntime>> {
     let z_dtlp = common.impedance.assign(split)?;
     let z_ports = per_port(split, &z_dtlp);
     let mut nodes = Vec::with_capacity(split.n_parts());
@@ -310,7 +455,13 @@ pub fn build_nodes(split: &SplitSystem, common: &CommonConfig) -> Result<Vec<Nod
                 None => routes.push((port.peer.part, vec![(port.peer.port, my_port)])),
             }
         }
-        let local = LocalSystem::new(sd, &z_ports[p], common.solver_kind)?;
+        let local = match local_cols {
+            None => LocalSystem::new(sd, &z_ports[p], common.solver_kind)?,
+            Some(cols) => {
+                let part_cols: Vec<Vec<f64>> = cols.iter().map(|c| c[p].clone()).collect();
+                LocalSystem::new_block(sd, &z_ports[p], common.solver_kind, &part_cols)?
+            }
+        };
         nodes.push(NodeRuntime {
             part: p,
             local,
@@ -341,6 +492,37 @@ pub fn reference_solution(split: &SplitSystem, reference: Option<Vec<f64>>) -> R
     }
 }
 
+/// Block form of [`reference_solution`]: the direct solutions
+/// `x*_c = A⁻¹ b_c` for every RHS column, sharing **one** factorization of
+/// the reconstructed `A`. `rhs_cols = None` means the split's own
+/// right-hand side (the scalar pipeline). Passing `Some(references)` skips
+/// the factorization entirely.
+///
+/// # Errors
+/// Propagates factorization failure of the reconstructed system.
+///
+/// # Panics
+/// Panics if `references` is given with a different column count than
+/// `rhs_cols`.
+pub fn reference_solutions(
+    split: &SplitSystem,
+    rhs_cols: Option<&[Vec<f64>]>,
+    references: Option<Vec<Vec<f64>>>,
+) -> Result<Vec<Vec<f64>>> {
+    if let Some(refs) = references {
+        if let Some(cols) = rhs_cols {
+            assert_eq!(refs.len(), cols.len(), "one reference per RHS column");
+        }
+        return Ok(refs);
+    }
+    let (a, b) = split.reconstruct();
+    let factor = SparseCholesky::factor_rcm(&a)?;
+    Ok(match rhs_cols {
+        None => vec![factor.solve(&b)],
+        Some(cols) => cols.iter().map(|c| factor.solve(c)).collect(),
+    })
+}
+
 /// Shared supervision loop for the real-execution (wall-clock) backends.
 ///
 /// The simulated backend has an omniscient observer inside the event
@@ -358,14 +540,16 @@ pub(crate) mod wallclock {
 
     /// What the supervisor observed by the time the run ended.
     pub(crate) struct Outcome {
-        /// Gathered global solution at stop.
-        pub solution: Vec<f64>,
-        /// Exact RMS of `solution` against the reference.
+        /// Gathered global solution per RHS column at stop.
+        pub solutions: Vec<Vec<f64>>,
+        /// Exact RMS against the reference, worst column.
         pub final_rms: f64,
-        /// Best RMS ever observed at a poll (snapshots can drift *past*
-        /// the tolerance while workers keep iterating).
+        /// Exact RMS against the reference, per column.
+        pub final_rms_per_rhs: Vec<f64>,
+        /// Best worst-column RMS ever observed at a poll (snapshots can
+        /// drift *past* the tolerance while workers keep iterating).
         pub best_rms: f64,
-        /// `(elapsed_ms, rms)` series, one point per poll.
+        /// `(elapsed_ms, rms)` series, one point per poll (worst column).
         pub series: Vec<(f64, f64)>,
         /// Why the run ended.
         pub stop: StopKind,
@@ -373,11 +557,13 @@ pub(crate) mod wallclock {
         pub elapsed: Duration,
     }
 
-    /// Poll `snapshots` until the oracle tolerance is met (`tol`), every
-    /// node reports done (`all_done`), or `budget` expires.
+    /// Poll `snapshots` until the oracle tolerance is met by **every**
+    /// column (`tol`), every node reports done (`all_done`), or `budget`
+    /// expires. Each part's snapshot holds its `n_local × k` solution block
+    /// column-major; `references` holds the `k` direct solutions.
     pub(crate) fn supervise(
         split: &SplitSystem,
-        reference: &[f64],
+        references: &[Vec<f64>],
         snapshots: &[Mutex<Vec<f64>>],
         tol: Option<f64>,
         budget: Duration,
@@ -385,16 +571,34 @@ pub(crate) mod wallclock {
         mut all_done: impl FnMut() -> bool,
     ) -> Outcome {
         let started = Instant::now();
-        let gather = |snapshots: &[Mutex<Vec<f64>>]| -> Vec<f64> {
-            let xs: Vec<Vec<f64>> = snapshots.iter().map(|m| m.lock().clone()).collect();
-            split.gather(&xs)
+        let k = references.len();
+        let gather = |snapshots: &[Mutex<Vec<f64>>]| -> Vec<Vec<f64>> {
+            let blocks: Vec<Vec<f64>> = snapshots.iter().map(|m| m.lock().clone()).collect();
+            (0..k)
+                .map(|c| {
+                    let cols: Vec<Vec<f64>> = blocks
+                        .iter()
+                        .map(|b| {
+                            let nl = b.len() / k;
+                            b[c * nl..(c + 1) * nl].to_vec()
+                        })
+                        .collect();
+                    split.gather(&cols)
+                })
+                .collect()
         };
+        let rms_cols = |ests: &[Vec<f64>]| -> Vec<f64> {
+            ests.iter()
+                .zip(references)
+                .map(|(e, r)| dtm_sparse::vector::rms_error(e, r))
+                .collect()
+        };
+        let worst = |rms: &[f64]| rms.iter().fold(0.0_f64, |m, &v| m.max(v));
         let mut series = Vec::new();
         let mut best_rms = f64::INFINITY;
         let stop = loop {
             std::thread::sleep(poll);
-            let est = gather(snapshots);
-            let rms = dtm_sparse::vector::rms_error(&est, reference);
+            let rms = worst(&rms_cols(&gather(snapshots)));
             best_rms = best_rms.min(rms);
             series.push((started.elapsed().as_secs_f64() * 1e3, rms));
             if let Some(tol) = tol {
@@ -409,11 +613,13 @@ pub(crate) mod wallclock {
                 break StopKind::Budget;
             }
         };
-        let solution = gather(snapshots);
-        let final_rms = dtm_sparse::vector::rms_error(&solution, reference);
+        let solutions = gather(snapshots);
+        let final_rms_per_rhs = rms_cols(&solutions);
+        let final_rms = worst(&final_rms_per_rhs);
         Outcome {
-            solution,
+            solutions,
             final_rms,
+            final_rms_per_rhs,
             best_rms: best_rms.min(final_rms),
             series,
             stop,
@@ -582,18 +788,70 @@ mod tests {
     fn absorb_overwrites_per_port() {
         let ss = paper_split();
         let mut nodes = build_nodes(&ss, &paper_common()).unwrap();
-        nodes[1].absorb(PortUpdate {
-            port: 0,
-            u: 1.0,
-            omega: 0.5,
-        });
-        nodes[1].absorb(PortUpdate {
-            port: 0,
-            u: 2.0,
-            omega: -0.25,
-        });
+        nodes[1].absorb(PortUpdate::scalar(0, 1.0, 0.5));
+        nodes[1].absorb(PortUpdate::scalar(0, 2.0, -0.25));
         // incident wave w = u − z·ω with z = 0.2 for port 0.
         let z = nodes[1].local().impedances()[0];
         assert!((nodes[1].local().incident_wave(0) - (2.0 - z * -0.25)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn small_block_inline_and_spill() {
+        let s = SmallBlock::scalar(3.5);
+        assert_eq!(s.as_slice(), &[3.5]);
+        let inline = SmallBlock::from_fn(SMALL_BLOCK_INLINE, |c| c as f64);
+        assert_eq!(inline.len(), SMALL_BLOCK_INLINE);
+        let wide = SmallBlock::from_fn(SMALL_BLOCK_INLINE + 3, |c| c as f64);
+        assert_eq!(wide.len(), SMALL_BLOCK_INLINE + 3);
+        for (c, v) in wide.iter().enumerate() {
+            assert_eq!(*v, c as f64);
+        }
+        assert_eq!(SmallBlock::from_slice(&[1.0, 2.0]).as_slice(), &[1.0, 2.0]);
+        assert!(!wide.is_empty());
+    }
+
+    #[test]
+    fn block_nodes_scatter_block_waves() {
+        // A 3-column block build: every scattered update carries 3-wide
+        // payloads, and column 0 (the split's own b, round-tripped through
+        // the scatter fractions) matches the scalar build to rounding.
+        let ss = paper_split();
+        let (_, b) = ss.reconstruct();
+        let cols = vec![b, vec![1.0, 0.0, 0.0, 0.0], vec![0.0, -1.0, 2.0, 0.5]];
+        let mut block_nodes = build_nodes_block(&ss, &paper_common(), &cols).unwrap();
+        let mut scalar_nodes = build_nodes(&ss, &paper_common()).unwrap();
+        let mut bt = BufferedTransport::default();
+        let mut st = BufferedTransport::default();
+        block_nodes[0].step(&mut bt);
+        scalar_nodes[0].step(&mut st);
+        let (_, bmsg) = &bt.outbox[0];
+        let (_, smsg) = &st.outbox[0];
+        assert_eq!(bmsg.updates.len(), smsg.updates.len());
+        for (bu, su) in bmsg.updates.iter().zip(&smsg.updates) {
+            assert_eq!(bu.u.len(), 3);
+            assert_eq!(bu.omega.len(), 3);
+            assert!(
+                (bu.u[0] - su.u[0]).abs() < 1e-14,
+                "column 0 is the scalar pipeline"
+            );
+            assert!((bu.omega[0] - su.omega[0]).abs() < 1e-14);
+        }
+    }
+
+    #[test]
+    fn with_rhs_block_resets_node_counters() {
+        let ss = paper_split();
+        let mut nodes = build_nodes(&ss, &paper_common()).unwrap();
+        let mut t = BufferedTransport::default();
+        nodes[0].step(&mut t);
+        assert_eq!(nodes[0].messages_sent(), 1);
+        let fresh = nodes[0].with_rhs_block(&[vec![1.0, 0.0, 0.0], vec![0.0, 1.0, 0.0]]);
+        assert_eq!(fresh.messages_sent(), 0);
+        assert_eq!(fresh.solves(), 0);
+        assert_eq!(fresh.local().n_rhs(), 2);
+        assert_eq!(
+            fresh.neighbor_parts().collect::<Vec<_>>(),
+            nodes[0].neighbor_parts().collect::<Vec<_>>()
+        );
     }
 }

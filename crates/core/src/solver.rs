@@ -173,6 +173,35 @@ pub fn build_nodes(
     topology: &Topology,
     config: &DtmConfig,
 ) -> Result<Vec<DtmNode>> {
+    check_mapping(split, topology)?;
+    Ok(map_nodes(
+        build_runtime_nodes(split, &config.common)?,
+        config,
+    ))
+}
+
+/// [`build_nodes`] for a block of simultaneous right-hand sides: `rhs_cols`
+/// are global RHS vectors scattered onto the split (see
+/// [`runtime::build_nodes_block`]).
+///
+/// # Errors
+/// See [`build_nodes`].
+pub fn build_nodes_block(
+    split: &SplitSystem,
+    topology: &Topology,
+    config: &DtmConfig,
+    rhs_cols: &[Vec<f64>],
+) -> Result<Vec<DtmNode>> {
+    check_mapping(split, topology)?;
+    Ok(map_nodes(
+        runtime::build_nodes_block(split, &config.common, rhs_cols)?,
+        config,
+    ))
+}
+
+/// Check the algorithm-architecture mapping before the (dominant)
+/// factorization cost: every DTLP needs a directed machine link.
+fn check_mapping(split: &SplitSystem, topology: &Topology) -> Result<()> {
     if topology.n_nodes() != split.n_parts() {
         return Err(Error::DimensionMismatch {
             context: "DTM: one processor per subdomain",
@@ -180,9 +209,6 @@ pub fn build_nodes(
             actual: topology.n_nodes(),
         });
     }
-    // The delay mapping requires a directed machine link under every DTL.
-    // Checked before building the runtimes: factorization is the dominant
-    // setup cost and a broken mapping should fail fast.
     for (p, sd) in split.subdomains.iter().enumerate() {
         for port in &sd.ports {
             let dst = port.peer.part;
@@ -194,14 +220,18 @@ pub fn build_nodes(
             }
         }
     }
-    let runtimes = build_runtime_nodes(split, &config.common)?;
-    Ok(runtimes
+    Ok(())
+}
+
+/// Attach per-activation compute durations to shared runtimes.
+pub(crate) fn map_nodes(runtimes: Vec<NodeRuntime>, config: &DtmConfig) -> Vec<DtmNode> {
+    runtimes
         .into_iter()
         .map(|rt| {
             let compute = config.compute.duration_for(rt.local());
             DtmNode { rt, compute }
         })
-        .collect())
+        .collect()
 }
 
 /// The deterministic discrete-event executor (the paper's own testbed,
@@ -239,13 +269,52 @@ pub fn solve(
     reference: Option<Vec<f64>>,
     config: &DtmConfig,
 ) -> Result<SolveReport> {
-    let reference = runtime::reference_solution(split, reference)?;
+    let references = runtime::reference_solutions(split, None, reference.map(|r| vec![r]))?;
     let nodes = build_nodes(split, &topology, config)?;
+    solve_prepared(split, topology, nodes, references, config)
+}
+
+/// Run DTM for a **block of right-hand sides** sharing one factorization
+/// per subdomain: every wave carries one `(u, ω)` value per column, and the
+/// run ends when the *worst* column meets the stopping rule.
+///
+/// `rhs_cols` are global right-hand-side vectors; `references` optionally
+/// supplies their precomputed direct solutions (same column order).
+///
+/// # Errors
+/// Propagates node-construction failures (see [`build_nodes_block`]).
+pub fn solve_block(
+    split: &SplitSystem,
+    topology: Topology,
+    rhs_cols: &[Vec<f64>],
+    references: Option<Vec<Vec<f64>>>,
+    config: &DtmConfig,
+) -> Result<SolveReport> {
+    let references = runtime::reference_solutions(split, Some(rhs_cols), references)?;
+    let nodes = build_nodes_block(split, &topology, config, rhs_cols)?;
+    solve_prepared(split, topology, nodes, references, config)
+}
+
+/// Run prebuilt nodes to completion — the engine loop shared by the scalar
+/// path, the block path, and the streaming [`crate::builder::SolveSession`]
+/// (which rebuilds nodes from cached factors between batches).
+///
+/// # Errors
+/// Currently infallible; kept fallible for parity with the other entry
+/// points.
+pub fn solve_prepared(
+    split: &SplitSystem,
+    topology: Topology,
+    nodes: Vec<DtmNode>,
+    references: Vec<Vec<f64>>,
+    config: &DtmConfig,
+) -> Result<SolveReport> {
+    let n_rhs = references.len();
     let mut engine = Engine::new(topology, nodes);
     if let Some(cap) = config.trace_capacity {
         engine.enable_trace(cap);
     }
-    let mut monitor = Monitor::new(split, reference, config.sample_interval);
+    let mut monitor = Monitor::new_block(split, &references, config.sample_interval);
     let horizon = SimTime::ZERO + config.horizon;
 
     let oracle_tol = match config.common.termination {
@@ -264,7 +333,8 @@ pub fn solve(
     });
 
     let stats = engine.stats();
-    let final_rms = monitor.rms_exact();
+    let final_rms_per_rhs = monitor.rms_exact_per_rhs();
+    let final_rms = final_rms_per_rhs.iter().fold(0.0_f64, |m, &v| m.max(v));
     let stop = match outcome.reason {
         StopReason::ObserverStop => StopKind::OracleTolerance,
         StopReason::AllHalted => StopKind::AllHalted,
@@ -283,6 +353,9 @@ pub fn solve(
     Ok(SolveReport {
         backend: BackendKind::Simulated,
         solution: monitor.estimate().to_vec(),
+        n_rhs,
+        solutions: monitor.estimates(),
+        final_rms_per_rhs,
         converged,
         final_rms,
         final_time_ms: outcome.final_time.as_millis_f64(),
@@ -443,6 +516,37 @@ mod tests {
         let report = solve(&ss, topo, None, &config).unwrap();
         assert!(report.converged, "rms {}", report.final_rms);
         assert!(a.residual_norm(&report.solution, &b) < 1e-6);
+    }
+
+    #[test]
+    fn single_column_block_is_the_scalar_pipeline() {
+        // K = 1 must remain the fast path: on a uniform-share split the
+        // scattered column equals the split's own sources bit for bit, so
+        // the deterministic engine must produce the identical run.
+        let a = generators::grid2d_random(8, 8, 1.0, 23);
+        let b = generators::random_rhs(64, 24);
+        let g = ElectricGraph::from_system(a, b.clone()).unwrap();
+        let asg = dtm_graph::partition::grid_strips(8, 8, 2);
+        let plan = PartitionPlan::from_assignment(&g, &asg).unwrap();
+        let ss = evs_split(&g, &plan, &EvsOptions::default()).unwrap();
+        let topo = Topology::ring(2).with_delays(&DelayModel::fixed_ms(1.0));
+        let config = DtmConfig {
+            common: CommonConfig {
+                termination: Termination::OracleRms { tol: 1e-9 },
+                ..Default::default()
+            },
+            compute: ComputeModel::Fixed(SimDuration::from_micros_f64(100.0)),
+            horizon: SimDuration::from_millis_f64(3_600_000.0),
+            ..Default::default()
+        };
+        let scalar = solve(&ss, topo.clone(), None, &config).unwrap();
+        let block = solve_block(&ss, topo, &[b], None, &config).unwrap();
+        assert_eq!(block.n_rhs, 1);
+        assert_eq!(block.total_solves, scalar.total_solves);
+        assert_eq!(block.total_messages, scalar.total_messages);
+        assert_eq!(block.solution, scalar.solution, "bitwise-identical run");
+        assert_eq!(block.solutions[0], scalar.solution);
+        assert_eq!(block.final_rms_per_rhs, vec![block.final_rms]);
     }
 
     #[test]

@@ -156,9 +156,37 @@ pub fn solve_with_reference(
     reference: Option<Vec<f64>>,
     config: &ThreadedConfig,
 ) -> Result<SolveReport> {
-    let n_parts = split.n_parts();
-    let reference = runtime::reference_solution(split, reference)?;
+    let references = runtime::reference_solutions(split, None, reference.map(|r| vec![r]))?;
     let runtimes = runtime::build_nodes(split, &config.common)?;
+    solve_runtimes(split, runtimes, references, config)
+}
+
+/// Run DTM on real threads for a **block of right-hand sides** sharing one
+/// factorization per subdomain (see [`crate::solver::solve_block`] for the
+/// block-wave semantics; here the waves travel real channels).
+///
+/// # Errors
+/// See [`solve`].
+pub fn solve_block(
+    split: &SplitSystem,
+    rhs_cols: &[Vec<f64>],
+    references: Option<Vec<Vec<f64>>>,
+    config: &ThreadedConfig,
+) -> Result<SolveReport> {
+    let references = runtime::reference_solutions(split, Some(rhs_cols), references)?;
+    let runtimes = runtime::build_nodes_block(split, &config.common, rhs_cols)?;
+    solve_runtimes(split, runtimes, references, config)
+}
+
+/// The executor body shared by the scalar and block entry points.
+fn solve_runtimes(
+    split: &SplitSystem,
+    runtimes: Vec<NodeRuntime>,
+    references: Vec<Vec<f64>>,
+    config: &ThreadedConfig,
+) -> Result<SolveReport> {
+    let n_parts = split.n_parts();
+    let n_rhs = references.len();
 
     // Wiring: one channel per part; router channel if delays are injected.
     let mut senders: Vec<Sender<DtmMsg>> = Vec::with_capacity(n_parts);
@@ -191,7 +219,7 @@ pub fn solve_with_reference(
     let snapshots: Arc<Vec<Mutex<Vec<f64>>>> = Arc::new(
         runtimes
             .iter()
-            .map(|rt| Mutex::new(vec![0.0; rt.local().n_local()]))
+            .map(|rt| Mutex::new(vec![0.0; rt.local().n_local() * n_rhs]))
             .collect(),
     );
 
@@ -374,7 +402,7 @@ pub fn solve_with_reference(
     };
     let outcome = wallclock::supervise(
         split,
-        &reference,
+        &references,
         &snapshots,
         oracle_tol,
         config.budget,
@@ -410,7 +438,10 @@ pub fn solve_with_reference(
     };
     Ok(SolveReport {
         backend: BackendKind::Threaded,
-        solution: outcome.solution,
+        solution: outcome.solutions[0].clone(),
+        n_rhs,
+        solutions: outcome.solutions,
+        final_rms_per_rhs: outcome.final_rms_per_rhs,
         converged,
         final_rms: outcome.final_rms,
         final_time_ms: outcome.elapsed.as_secs_f64() * 1e3,

@@ -129,6 +129,11 @@ pub struct Subdomain {
     pub matrix: Csr,
     /// Local sources `[f; g]`.
     pub rhs: Vec<f64>,
+    /// Fraction of the original source `b[g]` that lands on each local
+    /// vertex (1 for inner vertices; the source-share fraction for copies).
+    /// Lets a *new* global right-hand side be scattered onto the existing
+    /// split without re-partitioning — see [`SplitSystem::scatter_rhs`].
+    pub rhs_weight: Vec<f64>,
     /// Map local vertex → original vertex.
     pub global_of_local: Vec<usize>,
     /// Number of copy vertices (they occupy local indices `0..n_copies`).
@@ -213,6 +218,32 @@ impl SplitSystem {
             *s /= c as f64;
         }
         sum
+    }
+
+    /// Scatter a *new* global right-hand side onto the existing split: each
+    /// subdomain receives `rhs_weight[l] · b[g]` at local vertex `l` — the
+    /// same source-share fractions the original split used, so summing the
+    /// scattered vectors back reproduces `b` (inner vertices carry weight 1;
+    /// copy fractions sum to 1 across a vertex's parts).
+    ///
+    /// This is what makes RHS streaming cheap: the partition, the shares,
+    /// the DTLP wiring and every local factorization stay fixed; only these
+    /// `O(n)` local source vectors change between batches.
+    ///
+    /// # Panics
+    /// Panics if `b.len() != original_n`.
+    pub fn scatter_rhs(&self, b: &[f64]) -> Vec<Vec<f64>> {
+        assert_eq!(b.len(), self.original_n, "scatter_rhs: length");
+        self.subdomains
+            .iter()
+            .map(|sd| {
+                sd.global_of_local
+                    .iter()
+                    .zip(&sd.rhs_weight)
+                    .map(|(&g, &w)| w * b[g])
+                    .collect()
+            })
+            .collect()
     }
 
     /// Maximum disagreement between copies of the same vertex — 0 at exact
@@ -348,33 +379,53 @@ pub fn split(
     }
 
     // --- Source shares. ---------------------------------------------------
+    // Alongside the absolute shares (which produce `rhs`), record the share
+    // *fraction* of each copy — the per-vertex weights that let any future
+    // right-hand side be scattered onto this split (`scatter_rhs`). For
+    // explicit shares over a zero source the fraction is unrecoverable, so
+    // the policy fraction is used for future scatters.
     let mut source_shares: HashMap<usize, Vec<(usize, f64)>> = HashMap::new();
+    let mut source_fracs: HashMap<usize, Vec<(usize, f64)>> = HashMap::new();
     for v in plan.split_vertices() {
         let parts = plan.owner(v).parts().to_vec();
         let b = graph.source(v);
-        let shares = match options.explicit.source.get(&v) {
+        let policy_fracs: Vec<(usize, f64)> = match options.policy {
+            SharePolicy::Uniform => {
+                let each = 1.0 / parts.len() as f64;
+                parts.iter().map(|&p| (p, each)).collect()
+            }
+            SharePolicy::DominanceProportional => {
+                let ds = &diag_shares[&v];
+                let total: f64 = ds.iter().map(|&(_, d)| d.abs()).sum();
+                if total <= 0.0 {
+                    let each = 1.0 / parts.len() as f64;
+                    parts.iter().map(|&p| (p, each)).collect()
+                } else {
+                    ds.iter().map(|&(p, d)| (p, d.abs() / total)).collect()
+                }
+            }
+        };
+        type ShareList = Vec<(usize, f64)>;
+        let (shares, fracs): (ShareList, ShareList) = match options.explicit.source.get(&v) {
             Some(exp) => {
                 validate_shares("source", exp, &parts, b)?;
-                exp.clone()
+                let fracs = if b != 0.0 {
+                    exp.iter().map(|&(p, s)| (p, s / b)).collect()
+                } else {
+                    policy_fracs
+                };
+                (exp.clone(), fracs)
             }
-            None => match options.policy {
-                SharePolicy::Uniform => {
-                    let each = b / parts.len() as f64;
-                    parts.iter().map(|&p| (p, each)).collect()
-                }
-                SharePolicy::DominanceProportional => {
-                    let ds = &diag_shares[&v];
-                    let total: f64 = ds.iter().map(|&(_, d)| d.abs()).sum();
-                    if total <= 0.0 {
-                        let each = b / parts.len() as f64;
-                        parts.iter().map(|&p| (p, each)).collect()
-                    } else {
-                        ds.iter().map(|&(p, d)| (p, b * d.abs() / total)).collect()
-                    }
-                }
-            },
+            // Policy shares are *defined* as fraction × b so that
+            // `scatter_rhs` of the original b reproduces `rhs` bit for
+            // bit — the invariant the streaming RHS path relies on.
+            None => (
+                policy_fracs.iter().map(|&(p, f)| (p, f * b)).collect(),
+                policy_fracs,
+            ),
         };
         source_shares.insert(v, shares);
+        source_fracs.insert(v, fracs);
     }
 
     // --- DTLPs and ports. --------------------------------------------------
@@ -423,19 +474,22 @@ pub fn split(
         let nl = global_of_local[p].len();
         let mut coo = Coo::new(nl, nl);
         let mut rhs = vec![0.0; nl];
+        let mut rhs_weight = vec![1.0; nl];
         // Diagonals and sources.
         for (l, &v) in global_of_local[p].iter().enumerate() {
-            let (dv, sv) = match plan.owner(v) {
-                Owner::Inner(_) => (graph.vertex_weight(v), graph.source(v)),
+            let (dv, sv, fv) = match plan.owner(v) {
+                Owner::Inner(_) => (graph.vertex_weight(v), graph.source(v), 1.0),
                 Owner::Split(_) => (
                     share_for(&diag_shares[&v], p),
                     share_for(&source_shares[&v], p),
+                    share_for(&source_fracs[&v], p),
                 ),
             };
             if dv != 0.0 {
                 coo.push(l, l, dv)?;
             }
             rhs[l] = sv;
+            rhs_weight[l] = fv;
         }
         // Edges.
         for (&(u, v), shares) in &edge_shares {
@@ -452,6 +506,7 @@ pub fn split(
             part: p,
             matrix: coo.to_csr(),
             rhs,
+            rhs_weight,
             global_of_local: global_of_local[p].clone(),
             n_copies: copy_lists[p].len(),
             ports: std::mem::take(&mut ports[p]),
@@ -839,6 +894,66 @@ mod tree_within_tests {
         let (a2, _) = ss.reconstruct();
         let orig = generators::grid2d_laplacian(9, 9);
         assert!(orig.to_dense().max_abs_diff(&a2.to_dense()) < 1e-12);
+    }
+
+    #[test]
+    fn scatter_rhs_reproduces_the_split_sources() {
+        // Default (uniform) policy on a grid split: re-scattering the
+        // original b must reproduce every subdomain's rhs, and the weights
+        // of each vertex's copies must sum to 1.
+        let a = generators::grid2d_random(6, 6, 1.0, 17);
+        let b = generators::random_rhs(36, 18);
+        let g = ElectricGraph::from_system(a, b.clone()).unwrap();
+        let plan = PartitionPlan::from_assignment(&g, &partition::grid_strips(6, 6, 3)).unwrap();
+        let ss = split(&g, &plan, &EvsOptions::default()).unwrap();
+        let scattered = ss.scatter_rhs(&b);
+        for (sd, got) in ss.subdomains.iter().zip(&scattered) {
+            for (l, (u, v)) in got.iter().zip(&sd.rhs).enumerate() {
+                assert_eq!(u, v, "local {l}: scatter must be bitwise-faithful");
+            }
+        }
+        let mut weight_sum = vec![0.0; ss.original_n];
+        for sd in &ss.subdomains {
+            for (l, &gv) in sd.global_of_local.iter().enumerate() {
+                weight_sum[gv] += sd.rhs_weight[l];
+            }
+        }
+        for (v, w) in weight_sum.iter().enumerate() {
+            assert!((w - 1.0).abs() < 1e-12, "vertex {v}: weights sum to {w}");
+        }
+        // A fresh RHS sums back exactly onto original indices.
+        let b2 = generators::random_rhs(36, 19);
+        let scattered2 = ss.scatter_rhs(&b2);
+        let mut sum = vec![0.0; ss.original_n];
+        for (sd, x) in ss.subdomains.iter().zip(&scattered2) {
+            for (l, &gv) in sd.global_of_local.iter().enumerate() {
+                sum[gv] += x[l];
+            }
+        }
+        for (u, v) in sum.iter().zip(&b2) {
+            assert!((u - v).abs() <= 1e-14 * v.abs().max(1.0));
+        }
+    }
+
+    #[test]
+    fn scatter_rhs_recovers_explicit_paper_shares() {
+        // The paper's explicit source shares (0.8/1.2 and 1.6/1.4) are
+        // value-proportional fractions of b = 2 and 3: scattering the
+        // original b must reproduce them exactly.
+        let (a, b) = generators::paper_example_system();
+        let g = ElectricGraph::from_system(a, b.clone()).unwrap();
+        let plan = PartitionPlan::from_assignment(&g, &[0, 0, 1, 1]).unwrap();
+        let options = EvsOptions {
+            explicit: paper_example_shares(),
+            ..Default::default()
+        };
+        let ss = split(&g, &plan, &options).unwrap();
+        let scattered = ss.scatter_rhs(&b);
+        for (sd, got) in ss.subdomains.iter().zip(&scattered) {
+            for (u, v) in got.iter().zip(&sd.rhs) {
+                assert!((u - v).abs() < 1e-15, "{u} vs {v}");
+            }
+        }
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! Conjugate Gradient, optionally Jacobi-preconditioned.
 //!
-//! The standard Krylov solver for SPD systems (paper reference [3], Saad).
+//! The standard Krylov solver for SPD systems (paper reference \[3\], Saad).
 //! Serves two roles in the reproduction: the strong *sequential* baseline in
 //! the end-to-end comparisons, and an alternative *local* solver for DTM
 //! subsystems (§5: "(5.9) could be solved by Sparse or Dense Cholesky, CG,

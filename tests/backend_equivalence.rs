@@ -153,6 +153,85 @@ fn grid_laplacian_equivalent_across_backends() {
 }
 
 #[test]
+fn example_5_1_batched_k8_equivalent_across_backends() {
+    // Block waves: 8 right-hand sides (the paper's own b plus 7 random
+    // ones) solved simultaneously over one factorization per subdomain.
+    // Every backend must deliver, per column, the direct solution of the
+    // original matrix against that column.
+    let ss = example_5_1_split();
+    let (a, b) = generators::paper_example_system();
+    let cols: Vec<Vec<f64>> = std::iter::once(b)
+        .chain((0..7).map(|c| generators::random_rhs(4, 9_000 + c)))
+        .collect();
+    let direct = dtm_repro::sparse::DenseCholesky::factor_csr(&a).expect("SPD");
+    let exact: Vec<Vec<f64>> = cols.iter().map(|c| direct.solve(c)).collect();
+    let impedance = ImpedancePolicy::PerDtlp(vec![0.2, 0.1]);
+    let tol = 1e-9;
+
+    let topo = Topology::complete(2).with_delays(&DelayModel::fixed_ms(1.0));
+    let sim = solver::solve_block(
+        &ss,
+        topo,
+        &cols,
+        None,
+        &DtmConfig {
+            common: common(impedance.clone(), tol),
+            compute: ComputeModel::Fixed(SimDuration::from_micros_f64(100.0)),
+            horizon: SimDuration::from_millis_f64(3_600_000.0),
+            ..Default::default()
+        },
+    )
+    .expect("simulated block run");
+    let threaded = threaded::solve_block(
+        &ss,
+        &cols,
+        None,
+        &ThreadedConfig {
+            common: common(impedance.clone(), tol),
+            budget: Duration::from_secs(60),
+            ..Default::default()
+        },
+    )
+    .expect("threaded block run");
+    let stealing = rayon_backend::solve_block(
+        &ss,
+        &cols,
+        None,
+        &RayonConfig {
+            common: common(impedance, tol),
+            num_threads: 2,
+            budget: Duration::from_secs(60),
+            ..Default::default()
+        },
+    )
+    .expect("work-stealing block run");
+
+    for report in [&sim, &threaded, &stealing] {
+        assert!(
+            report.converged,
+            "{:?} did not converge (rms {})",
+            report.backend, report.final_rms
+        );
+        assert_eq!(report.n_rhs, 8, "{:?}", report.backend);
+        assert_eq!(report.solutions.len(), 8);
+        assert_eq!(report.final_rms_per_rhs.len(), 8);
+        assert_eq!(report.solution, report.solutions[0]);
+        for (c, x) in report.solutions.iter().enumerate() {
+            for (i, (u, v)) in x.iter().zip(&exact[c]).enumerate() {
+                assert!(
+                    (u - v).abs() < 1e-6,
+                    "{:?} col {c} x[{i}]: {u} vs direct {v}",
+                    report.backend
+                );
+            }
+        }
+    }
+    assert_eq!(sim.backend, BackendKind::Simulated);
+    assert_eq!(threaded.backend, BackendKind::Threaded);
+    assert_eq!(stealing.backend, BackendKind::WorkStealing);
+}
+
+#[test]
 fn local_delta_self_halt_equivalent_across_backends() {
     // The genuinely distributed stopping rule (Table 1 step 3.3) must end
     // every backend at the same fixed point, with every node self-halted.

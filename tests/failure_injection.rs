@@ -150,6 +150,57 @@ fn wildly_bad_impedances_still_converge_just_slowly() {
 }
 
 #[test]
+fn batched_run_degrades_gracefully_under_solve_cap() {
+    // Degraded mode with a block of 4 right-hand sides: processors stop
+    // after 5 solves each, long before any column converges. The batched
+    // run must terminate honestly — per-column solutions and error levels
+    // reported, no convergence claimed for any column, no hang.
+    let ss = grid_split(10, 3, 507);
+    let n = 100;
+    let cols: Vec<Vec<f64>> = (0..4).map(|c| generators::random_rhs(n, 600 + c)).collect();
+    let topo = Topology::ring(3).with_delays(&DelayModel::uniform_ms(5.0, 40.0, 5));
+    let config = DtmConfig {
+        common: CommonConfig {
+            termination: Termination::OracleRms { tol: 1e-12 },
+            max_solves_per_node: 5,
+            ..Default::default()
+        },
+        compute: ComputeModel::Fixed(SimDuration::from_millis_f64(1.0)),
+        horizon: SimDuration::from_millis_f64(3_600_000.0),
+        ..Default::default()
+    };
+    let report = solver::solve_block(&ss, topo, &cols, None, &config).expect("runs");
+    assert!(!report.converged, "capped batch must not claim convergence");
+    assert!(
+        matches!(report.stop, StopKind::Quiescent | StopKind::AllHalted),
+        "graceful stop expected, got {:?}",
+        report.stop
+    );
+    assert_eq!(report.n_rhs, 4);
+    assert_eq!(report.solutions.len(), 4);
+    assert_eq!(report.final_rms_per_rhs.len(), 4);
+    assert!(report.total_solves <= 3 * 5);
+    // Honest per-column reporting: the worst column is the reported rms,
+    // and every column made *some* progress over the zero guess.
+    let worst = report
+        .final_rms_per_rhs
+        .iter()
+        .fold(0.0_f64, |m, &v| m.max(v));
+    assert!((worst - report.final_rms).abs() <= 1e-15 * worst.max(1.0));
+    let (a, _) = ss.reconstruct();
+    let f = dtm_repro::sparse::SparseCholesky::factor_rcm(&a).expect("SPD");
+    for (c, (x, b)) in report.solutions.iter().zip(&cols).enumerate() {
+        let exact = f.solve(b);
+        let zero_err = dtm_repro::sparse::vector::rms_error(&vec![0.0; n], &exact);
+        assert!(
+            report.final_rms_per_rhs[c] < zero_err,
+            "column {c} should improve on the zero guess"
+        );
+        assert_eq!(x.len(), n);
+    }
+}
+
+#[test]
 fn solve_cap_under_local_delta_is_not_reported_as_convergence() {
     // Nodes that hit the max_solves safety cap never declared Table 1
     // step 3.3 convergence: the run must report converged = false even

@@ -85,10 +85,12 @@ proptest! {
         nodes[1].step(&mut sink);
         for update in &msg.updates {
             let z = nodes[1].local().impedances()[update.port];
-            // The merged incident wave is the sender's u − z·ω.
+            // The merged incident wave is the sender's u − z·ω (scalar
+            // pipeline: the block payload is one column wide).
+            prop_assert_eq!(update.u.len(), 1);
             let w = nodes[1].local().incident_wave(update.port);
             prop_assert!(
-                (w - dtl::incident_wave(update.u, update.omega, z)).abs()
+                (w - dtl::incident_wave(update.u[0], update.omega[0], z)).abs()
                     <= 1e-12 * w.abs().max(1.0),
                 "incident wave mismatch at port {}", update.port
             );
