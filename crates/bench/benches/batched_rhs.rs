@@ -5,10 +5,13 @@
 //! on the grid-Laplacian workload — divide a batch time by its K to get
 //! the per-RHS amortized cost, which must fall as K grows (K = 16 strictly
 //! below the K = 1 per-solve time is the acceptance bar; `repro batched`
-//! prints the division). The measured batch includes the K oracle
-//! reference substitutions the session performs for RMS monitoring — they
-//! amortize identically (cached factor, substitution only) and are paid
-//! by every K equally.
+//! prints the division). Two termination modes are measured side by side:
+//! the oracle path pays K direct reference substitutions per batch for RMS
+//! monitoring (cached factor, substitution only), while the reference-free
+//! residual path (`Termination::Residual`) skips them — and the session's
+//! reference factorization — entirely, stopping on the incrementally
+//! tracked `‖b − A·x‖/‖b‖` instead; the difference between the groups is
+//! the oracle tax.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use dtm_core::runtime::Termination;
@@ -20,33 +23,42 @@ use std::hint::black_box;
 
 fn bench_batched_rhs(c: &mut Criterion) {
     let side = 9; // n = 81: small enough that a batch is interactive
-    let a = generators::grid2d_laplacian(side, side);
-    let b = generators::random_rhs(side * side, 4_001);
-    let problem = DtmBuilder::new(a, b)
-        .grid_blocks(side, side, 2, 2)
-        .termination(Termination::OracleRms { tol: 1e-8 })
-        .compute(ComputeModel::Fixed(SimDuration::from_micros_f64(100.0)))
-        .build()
-        .expect("valid problem");
-
     let mut group = c.benchmark_group("batched_rhs");
-    for k in [1usize, 4, 16, 64] {
-        let cols: Vec<Vec<f64>> = (0..k)
-            .map(|c| generators::random_rhs(side * side, 5_000 + c as u64))
-            .collect();
-        // Factor once outside the measurement: the session IS the product
-        // being measured — each iteration is one streamed batch of K RHS.
-        let mut session = problem.session().expect("factors");
-        group.bench_with_input(BenchmarkId::new("solve_batch", k), &k, |bench, _| {
-            bench.iter(|| {
-                for col in &cols {
-                    session.push_rhs(col).expect("dimension ok");
-                }
-                let report = session.solve_batch().expect("converges");
-                assert!(report.converged);
-                black_box(report.final_rms)
-            });
-        });
+    for (mode, termination) in [
+        ("oracle", Termination::OracleRms { tol: 1e-8 }),
+        ("residual", Termination::Residual { tol: 1e-8 }),
+    ] {
+        let a = generators::grid2d_laplacian(side, side);
+        let b = generators::random_rhs(side * side, 4_001);
+        let problem = DtmBuilder::new(a, b)
+            .grid_blocks(side, side, 2, 2)
+            .termination(termination)
+            .compute(ComputeModel::Fixed(SimDuration::from_micros_f64(100.0)))
+            .build()
+            .expect("valid problem");
+        for k in [1usize, 4, 16, 64] {
+            let cols: Vec<Vec<f64>> = (0..k)
+                .map(|c| generators::random_rhs(side * side, 5_000 + c as u64))
+                .collect();
+            // Factor once outside the measurement: the session IS the
+            // product being measured — each iteration is one streamed
+            // batch of K RHS.
+            let mut session = problem.session().expect("factors");
+            group.bench_with_input(
+                BenchmarkId::new(format!("solve_batch/{mode}"), k),
+                &k,
+                |bench, _| {
+                    bench.iter(|| {
+                        for col in &cols {
+                            session.push_rhs(col).expect("dimension ok");
+                        }
+                        let report = session.solve_batch().expect("converges");
+                        assert!(report.converged);
+                        black_box(report.final_residual)
+                    });
+                },
+            );
+        }
     }
     group.finish();
 }

@@ -18,8 +18,8 @@ impl Node for Pinger {
             ctx.send(1, 0);
         }
     }
-    fn receive(&mut self, ctx: &mut Ctx<u64>, batch: Vec<Envelope<u64>>) {
-        for env in batch {
+    fn receive(&mut self, ctx: &mut Ctx<u64>, batch: &mut Vec<Envelope<u64>>) {
+        for env in batch.drain(..) {
             if env.payload < self.hops {
                 ctx.send(1 - self.id, env.payload + 1);
             }
@@ -37,7 +37,7 @@ impl Node for Gossiper {
             ctx.send(n, 0);
         }
     }
-    fn receive(&mut self, ctx: &mut Ctx<u32>, batch: Vec<Envelope<u32>>) {
+    fn receive(&mut self, ctx: &mut Ctx<u32>, batch: &mut Vec<Envelope<u32>>) {
         ctx.set_compute(SimDuration::from_micros_f64(100.0));
         let hop = batch.iter().map(|e| e.payload).max().unwrap_or(0);
         if hop < 200 {

@@ -1,0 +1,99 @@
+//! Wave-exchange throughput on the real-execution backends.
+//!
+//! The hot path under test is the pooled, allocation-free pipeline of
+//! `dtm_core::runtime`: solve → refill recycled payload buffers in place →
+//! send one coalesced message per neighbour → absorb-and-recycle at the
+//! receiver — plus the dirty-column snapshot hand-off to the supervisor.
+//! Runs terminate on the reference-free relative residual, so no oracle
+//! direct solve pollutes the measurement; what's timed is purely exchange
+//! plus local substitutions.
+//!
+//! Axes: backend (threaded = one OS thread per subdomain, rayon = work-
+//! stealing pool), number of subdomains, and block width K (K ≤ 4 is the
+//! zero-allocation inline path; see `tests/alloc_free.rs` for the counted
+//! proof).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dtm_core::rayon_backend::{self, RayonConfig};
+use dtm_core::runtime::{CommonConfig, Termination};
+use dtm_core::threaded::{self, ThreadedConfig};
+use dtm_graph::evs::{split as evs_split, EvsOptions, SplitSystem};
+use dtm_graph::{partition, ElectricGraph, PartitionPlan};
+use dtm_sparse::generators;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn grid_split(side: usize, n_parts: usize) -> SplitSystem {
+    let a = generators::grid2d_laplacian(side, side);
+    let b = generators::random_rhs(side * side, 7_001);
+    let g = ElectricGraph::from_system(a, b).expect("symmetric");
+    let asg = partition::grid_strips(side, side, n_parts);
+    let plan = PartitionPlan::from_assignment(&g, &asg).expect("valid");
+    evs_split(&g, &plan, &EvsOptions::default()).expect("splits")
+}
+
+fn common() -> CommonConfig {
+    CommonConfig {
+        termination: Termination::Residual { tol: 1e-7 },
+        max_solves_per_node: 1_000_000,
+        ..Default::default()
+    }
+}
+
+fn bench_wave_exchange(c: &mut Criterion) {
+    let side = 8; // n = 64: the exchange, not the substitutions, dominates
+    let mut group = c.benchmark_group("wave_exchange");
+    for &n_parts in &[2usize, 4] {
+        let ss = grid_split(side, n_parts);
+        for &k in &[1usize, 4] {
+            let cols: Vec<Vec<f64>> = (0..k)
+                .map(|c| generators::random_rhs(side * side, 8_000 + c as u64))
+                .collect();
+
+            let threaded_config = ThreadedConfig {
+                common: common(),
+                budget: Duration::from_secs(30),
+                ..Default::default()
+            };
+            group.bench_with_input(
+                BenchmarkId::new(format!("threaded/p{n_parts}"), k),
+                &k,
+                |bench, _| {
+                    bench.iter(|| {
+                        let report = threaded::solve_block(&ss, &cols, None, &threaded_config)
+                            .expect("threaded block solve");
+                        assert!(report.converged, "resid {}", report.final_residual);
+                        black_box(report.total_messages)
+                    });
+                },
+            );
+
+            let rayon_config = RayonConfig {
+                common: common(),
+                num_threads: 2,
+                budget: Duration::from_secs(30),
+                ..Default::default()
+            };
+            group.bench_with_input(
+                BenchmarkId::new(format!("rayon/p{n_parts}"), k),
+                &k,
+                |bench, _| {
+                    bench.iter(|| {
+                        let report = rayon_backend::solve_block(&ss, &cols, None, &rayon_config)
+                            .expect("rayon block solve");
+                        assert!(report.converged, "resid {}", report.final_residual);
+                        black_box(report.total_messages)
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_wave_exchange
+}
+criterion_main!(benches);

@@ -1,0 +1,92 @@
+//! A counting global allocator, so "the hot loop is allocation-free" is a
+//! measured number instead of a comment.
+//!
+//! Register [`CountingAllocator`] as the `#[global_allocator]` of a test
+//! binary, [`arm`] it around the region under measurement, and [`disarm`]
+//! to read how many allocations (and bytes) happened inside. Counting is a
+//! pair of relaxed atomic increments on the allocation path — cheap enough
+//! to leave in a measurement build, and disabled entirely while unarmed.
+//!
+//! The harness lives behind the `alloc-count` cargo feature so ordinary
+//! builds keep the system allocator untouched:
+//!
+//! ```text
+//! cargo test -p dtm-bench --features alloc-count --test alloc_free
+//! ```
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+static ARMED: AtomicBool = AtomicBool::new(false);
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+static REALLOCS: AtomicU64 = AtomicU64::new(0);
+static BYTES: AtomicU64 = AtomicU64::new(0);
+
+/// What happened between [`arm`] and [`disarm`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AllocStats {
+    /// `alloc`/`alloc_zeroed` calls.
+    pub allocs: u64,
+    /// `realloc` calls (growths count here, not in `allocs`).
+    pub reallocs: u64,
+    /// Total bytes requested by the counted calls.
+    pub bytes: u64,
+}
+
+impl AllocStats {
+    /// Total heap acquisitions of any kind.
+    pub fn total(&self) -> u64 {
+        self.allocs + self.reallocs
+    }
+}
+
+/// Reset the counters and start counting.
+pub fn arm() {
+    ALLOCS.store(0, Ordering::Relaxed);
+    REALLOCS.store(0, Ordering::Relaxed);
+    BYTES.store(0, Ordering::Relaxed);
+    ARMED.store(true, Ordering::SeqCst);
+}
+
+/// Stop counting and return what was observed while armed.
+pub fn disarm() -> AllocStats {
+    ARMED.store(false, Ordering::SeqCst);
+    AllocStats {
+        allocs: ALLOCS.load(Ordering::Relaxed),
+        reallocs: REALLOCS.load(Ordering::Relaxed),
+        bytes: BYTES.load(Ordering::Relaxed),
+    }
+}
+
+/// A [`System`]-backed allocator that counts while [`arm`]ed.
+pub struct CountingAllocator;
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        if ARMED.load(Ordering::Relaxed) {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+            BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        }
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        if ARMED.load(Ordering::Relaxed) {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+            BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        }
+        unsafe { System.alloc_zeroed(layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        if ARMED.load(Ordering::Relaxed) {
+            REALLOCS.fetch_add(1, Ordering::Relaxed);
+            BYTES.fetch_add(new_size as u64, Ordering::Relaxed);
+        }
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}

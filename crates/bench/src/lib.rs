@@ -2,6 +2,9 @@
 //! the Criterion benches: canonical setups for each paper experiment,
 //! series decimation, and plain-text chart/table rendering.
 
+#[cfg(feature = "alloc-count")]
+pub mod alloc_count;
+
 use dtm_core::impedance::ImpedancePolicy;
 use dtm_core::runtime::CommonConfig;
 use dtm_core::solver::{ComputeModel, DtmConfig, Termination};
@@ -97,14 +100,61 @@ pub fn paper_split(side: usize, px: usize, py: usize, topo: &Topology) -> SplitS
     evs_split(&g, &plan, &options).expect("regular split is valid")
 }
 
+/// Which stopping rule the repro subcommands exercise: the paper's oracle
+/// RMS (direct solve per RHS) or the production reference-free relative
+/// residual (`repro … --termination residual`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TerminationMode {
+    /// Oracle RMS against the direct solution (the paper's figures).
+    #[default]
+    Oracle,
+    /// Reference-free relative true residual `‖b − A·x‖/‖b‖`.
+    Residual,
+}
+
+impl TerminationMode {
+    /// Parse a `--termination` argument value.
+    pub fn parse(value: &str) -> Option<Self> {
+        match value {
+            "oracle" => Some(Self::Oracle),
+            "residual" => Some(Self::Residual),
+            _ => None,
+        }
+    }
+
+    /// Resolve to a concrete [`Termination`] at tolerance `tol`.
+    pub fn termination(self, tol: f64) -> Termination {
+        match self {
+            Self::Oracle => Termination::OracleRms { tol },
+            Self::Residual => Termination::Residual { tol },
+        }
+    }
+
+    /// The report scalar this mode stops on: oracle RMS or relative
+    /// residual (`final_rms` is `NaN` on reference-free runs, so pick the
+    /// right field for printing).
+    pub fn metric_of(self, report: &dtm_core::SolveReport) -> f64 {
+        match self {
+            Self::Oracle => report.final_rms,
+            Self::Residual => report.final_residual,
+        }
+    }
+}
+
 /// The DTM configuration used for the mesh experiments: 1 ms local solves
 /// (bounding the asynchronous event rate the way a real CPU does), oracle
 /// monitoring.
 pub fn mesh_config(tol: f64, horizon_ms: f64) -> DtmConfig {
+    mesh_config_mode(tol, horizon_ms, TerminationMode::Oracle)
+}
+
+/// [`mesh_config`] with an explicit [`TerminationMode`] (the
+/// `--termination` CLI knob).
+pub fn mesh_config_mode(tol: f64, horizon_ms: f64, mode: TerminationMode) -> DtmConfig {
     DtmConfig {
         common: CommonConfig {
             impedance: ImpedancePolicy::default(),
-            termination: Termination::OracleRms { tol },
+            termination: mode.termination(tol),
             ..Default::default()
         },
         compute: ComputeModel::Fixed(SimDuration::from_millis_f64(1.0)),

@@ -259,8 +259,8 @@ impl Node for BjNode {
         self.solve_and_send(ctx);
     }
 
-    fn receive(&mut self, ctx: &mut Ctx<BjMsg>, batch: Vec<Envelope<BjMsg>>) {
-        for env in batch {
+    fn receive(&mut self, ctx: &mut Ctx<BjMsg>, batch: &mut Vec<Envelope<BjMsg>>) {
+        for env in batch.drain(..) {
             for (slot, v) in env.payload.updates {
                 self.ext[slot] = v;
             }
@@ -284,9 +284,12 @@ pub fn solve_async(
     reference: Option<Vec<f64>>,
     config: &BlockJacobiConfig,
 ) -> Result<SolveReport> {
-    let reference = match reference {
-        Some(r) => r,
-        None => SparseCholesky::factor_rcm(a)?.solve(b),
+    // The oracle direct solve is opt-in: under `Termination::Residual`
+    // (and no explicit reference) the run is monitored reference-free.
+    let reference = match (reference, config.termination) {
+        (Some(r), _) => Some(r),
+        (None, Termination::Residual { .. }) => None,
+        (None, _) => Some(SparseCholesky::factor_rcm(a)?.solve(b)),
     };
     let blocks = std::sync::Arc::new(Blocks::build(a, b, assignment)?);
     let k = blocks.n_parts();
@@ -322,32 +325,62 @@ pub fn solve_async(
         })
         .collect();
 
-    let mut monitor = Monitor::from_parts(
-        blocks.rows.clone(),
-        vec![1; a.n_rows()],
-        reference,
-        config.sample_interval,
-    );
-    let oracle_tol = match config.termination {
-        Termination::OracleRms { tol } => Some(tol),
+    let mut monitor = match (reference, config.termination) {
+        // As in the DTM executors: residual termination keeps the
+        // residual as the stopping metric even when a reference exists
+        // (the reference then only adds RMS reporting).
+        (Some(r), Termination::Residual { .. }) => {
+            let mut m = Monitor::from_parts_residual(
+                blocks.rows.clone(),
+                vec![1; a.n_rows()],
+                a.clone(),
+                std::slice::from_ref(&b.to_vec()),
+                config.sample_interval,
+            );
+            m.attach_oracle(std::slice::from_ref(&r));
+            m
+        }
+        (Some(r), _) => Monitor::from_parts(
+            blocks.rows.clone(),
+            vec![1; a.n_rows()],
+            r,
+            config.sample_interval,
+        ),
+        (None, _) => Monitor::from_parts_residual(
+            blocks.rows.clone(),
+            vec![1; a.n_rows()],
+            a.clone(),
+            std::slice::from_ref(&b.to_vec()),
+            config.sample_interval,
+        ),
+    };
+    let metric_tol = match config.termination {
+        Termination::OracleRms { tol } | Termination::Residual { tol } => Some(tol),
         Termination::LocalDelta { .. } => None,
     };
-    monitor.set_refresh_below(oracle_tol.unwrap_or(0.0));
+    monitor.set_refresh_below(metric_tol.unwrap_or(0.0));
 
     let mut engine = Engine::new(topology, nodes);
     let outcome = engine.run(
         SimTime::ZERO + config.horizon,
         |time, part, node: &BjNode| {
-            let rms = monitor.update_part(part, time, &node.x);
-            match oracle_tol {
-                Some(tol) => rms > tol,
+            let metric = monitor.update_part(part, time, &node.x);
+            match metric_tol {
+                Some(tol) => metric > tol,
                 None => true,
             }
         },
     );
 
     let stats = engine.stats();
-    let final_rms = monitor.rms_exact();
+    let (final_rms, final_rms_per_rhs) = if monitor.has_oracle() {
+        let rms = monitor.rms_exact();
+        (rms, vec![rms])
+    } else {
+        (f64::NAN, Vec::new())
+    };
+    let final_residual =
+        a.residual_norm(monitor.estimate(), b) / dtm_sparse::vector::norm2_or_one(b);
     let stop = match outcome.reason {
         StopReason::ObserverStop => StopKind::OracleTolerance,
         StopReason::AllHalted => StopKind::AllHalted,
@@ -356,6 +389,7 @@ pub fn solve_async(
     };
     let converged = match config.termination {
         Termination::OracleRms { tol } => final_rms <= tol,
+        Termination::Residual { tol } => final_residual <= tol,
         Termination::LocalDelta { .. } => {
             matches!(stop, StopKind::AllHalted | StopKind::Quiescent)
         }
@@ -365,9 +399,11 @@ pub fn solve_async(
         solution: monitor.estimate().to_vec(),
         n_rhs: 1,
         solutions: vec![monitor.estimate().to_vec()],
-        final_rms_per_rhs: vec![final_rms],
+        final_rms_per_rhs,
         converged,
         final_rms,
+        final_residual,
+        final_residual_per_rhs: vec![final_residual],
         final_time_ms: outcome.final_time.as_millis_f64(),
         series: monitor.into_series(),
         total_solves: stats.activations.iter().sum(),
@@ -393,9 +429,27 @@ pub fn solve_sync(
     reference: Option<Vec<f64>>,
     config: &BlockJacobiConfig,
 ) -> Result<SolveReport> {
-    let reference = match reference {
-        Some(r) => r,
-        None => SparseCholesky::factor_rcm(a)?.solve(b),
+    // Opt-in oracle, as in `solve_async`: residual termination tracks
+    // `‖b − A·x‖/‖b‖` instead and performs no direct solve.
+    let reference = match (reference, config.termination) {
+        (Some(r), _) => Some(r),
+        (None, Termination::Residual { .. }) => None,
+        (None, _) => Some(SparseCholesky::factor_rcm(a)?.solve(b)),
+    };
+    let b_scale = dtm_sparse::vector::norm2_or_one(b);
+    // The stopping metric follows the termination mode, not reference
+    // availability: residual termination stops on the residual even when
+    // a reference was supplied for reporting.
+    let use_residual = matches!(config.termination, Termination::Residual { .. });
+    let metric_of = |x: &[f64]| -> f64 {
+        if use_residual {
+            a.residual_norm(x, b) / b_scale
+        } else {
+            let r = reference
+                .as_ref()
+                .expect("oracle metric requires a reference");
+            dtm_sparse::vector::rms_error(x, r)
+        }
     };
     let blocks = Blocks::build(a, b, assignment)?;
     let k = blocks.n_parts();
@@ -410,14 +464,14 @@ pub fn solve_sync(
     let round_time = max_compute + overhead;
 
     let tol = match config.termination {
-        Termination::OracleRms { tol } => tol,
+        Termination::OracleRms { tol } | Termination::Residual { tol } => tol,
         Termination::LocalDelta { tol, .. } => tol,
     };
     let mut x = vec![0.0; a.n_rows()];
     let mut series = Vec::new();
     let mut t = SimTime::ZERO;
     let mut rounds = 0u64;
-    let mut rms = dtm_sparse::vector::rms_error(&x, &reference);
+    let mut metric = metric_of(&x);
     let mut buf = Vec::new();
     while t + round_time <= SimTime::ZERO + config.horizon {
         // One synchronous round: every block reads the same global x.
@@ -432,20 +486,30 @@ pub fn solve_sync(
         x = x_new;
         t += round_time;
         rounds += 1;
-        rms = dtm_sparse::vector::rms_error(&x, &reference);
-        series.push((t.as_millis_f64(), rms));
-        if rms <= tol || rounds >= config.max_solves_per_node as u64 {
+        metric = metric_of(&x);
+        series.push((t.as_millis_f64(), metric));
+        if metric <= tol || rounds >= config.max_solves_per_node as u64 {
             break;
         }
     }
+    let (final_rms, final_rms_per_rhs) = match &reference {
+        Some(r) => {
+            let rms = dtm_sparse::vector::rms_error(&x, r);
+            (rms, vec![rms])
+        }
+        None => (f64::NAN, Vec::new()),
+    };
+    let final_residual = a.residual_norm(&x, b) / b_scale;
     Ok(SolveReport {
         backend: BackendKind::Simulated,
         solution: x.clone(),
         n_rhs: 1,
         solutions: vec![x],
-        final_rms_per_rhs: vec![rms],
-        converged: rms <= tol,
-        final_rms: rms,
+        final_rms_per_rhs,
+        converged: metric <= tol,
+        final_rms,
+        final_residual,
+        final_residual_per_rhs: vec![final_residual],
         final_time_ms: t.as_millis_f64(),
         series,
         total_solves: rounds * k as u64,
@@ -453,7 +517,7 @@ pub fn solve_sync(
         total_messages: rounds * blocks.routes.iter().map(|r| r.len() as u64).sum::<u64>(),
         coalesced_batches: 0,
         n_parts: k,
-        stop: if rms <= tol {
+        stop: if metric <= tol {
             StopKind::OracleTolerance
         } else {
             StopKind::Horizon

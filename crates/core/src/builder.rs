@@ -39,8 +39,12 @@ pub struct DtmProblem {
     pub topology: Topology,
     /// Solver configuration.
     pub config: DtmConfig,
-    /// Direct reference solution `A⁻¹ b`.
-    pub reference: Vec<f64>,
+    /// Direct reference solution `A⁻¹ b` — computed at build time only for
+    /// the termination modes that need an oracle
+    /// ([`Termination::OracleRms`], and [`Termination::LocalDelta`] for RMS
+    /// reporting). `None` under [`Termination::Residual`]: reference-free
+    /// runs never direct-solve the original system.
+    pub reference: Option<Vec<f64>>,
 }
 
 impl DtmBuilder {
@@ -170,7 +174,10 @@ impl DtmBuilder {
             evs_options.twin_topology = TwinTopology::TreeWithin(pairs);
         }
         let split = evs_split(&graph, &plan, &evs_options)?;
-        let reference = SparseCholesky::factor_rcm(&self.a)?.solve(&self.b);
+        let reference = match self.config.common.termination {
+            Termination::Residual { .. } => None,
+            _ => Some(SparseCholesky::factor_rcm(&self.a)?.solve(&self.b)),
+        };
         Ok(DtmProblem {
             split,
             topology,
@@ -197,7 +204,7 @@ impl DtmProblem {
         solver::solve(
             &self.split,
             self.topology.clone(),
-            Some(self.reference.clone()),
+            self.reference.clone(),
             &self.config,
         )
     }
@@ -234,7 +241,7 @@ impl DtmProblem {
     /// # Errors
     /// See [`vtm::solve`].
     pub fn solve_vtm(&self, config: &VtmConfig) -> Result<VtmReport> {
-        vtm::solve(&self.split, Some(self.reference.clone()), config)
+        vtm::solve(&self.split, self.reference.clone(), config)
     }
 
     /// Run DTM on real OS threads over the same torn system — one
@@ -243,7 +250,7 @@ impl DtmProblem {
     /// # Errors
     /// See [`crate::threaded::solve`].
     pub fn solve_threaded(&self, config: &crate::threaded::ThreadedConfig) -> Result<SolveReport> {
-        crate::threaded::solve_with_reference(&self.split, Some(self.reference.clone()), config)
+        crate::threaded::solve_with_reference(&self.split, self.reference.clone(), config)
     }
 
     /// Run DTM on the in-process work-stealing pool over the same torn
@@ -255,11 +262,7 @@ impl DtmProblem {
         &self,
         config: &crate::rayon_backend::RayonConfig,
     ) -> Result<SolveReport> {
-        crate::rayon_backend::solve_with_reference(
-            &self.split,
-            Some(self.reference.clone()),
-            config,
-        )
+        crate::rayon_backend::solve_with_reference(&self.split, self.reference.clone(), config)
     }
 }
 
@@ -278,14 +281,15 @@ impl DtmProblem {
 /// — an `Arc` clone, no numerical work), and the block waves run to
 /// convergence. No re-factorization, no re-partitioning, ever.
 ///
-/// One qualification: because every backend in this repo monitors RMS
-/// against the direct solution (the paper's oracle figures), each batch
-/// also performs K triangular substitutions on the session's cached
-/// reference factor to obtain `x*_c = A⁻¹ b_c`. That is substitution-only
-/// work (the factor-once economics apply to it too), but it is not free —
-/// a deployment that terminates via [`Termination::LocalDelta`] and does
-/// not need oracle error reporting could skip it; see the batched item in
-/// ROADMAP.md.
+/// **Termination modes and the oracle.** Under the paper's oracle modes
+/// ([`Termination::OracleRms`], and [`Termination::LocalDelta`] for RMS
+/// reporting) the session factors the reconstructed original system once
+/// and pays K triangular substitutions per batch for the reference
+/// solutions `x*_c = A⁻¹ b_c`. Under [`Termination::Residual`] neither
+/// happens: the run stops on the incrementally tracked true residual
+/// `‖b − A·x‖/‖b‖`, no direct factorization or substitution of the
+/// original system is ever performed, and the per-batch cost is purely the
+/// wave exchange — the production serving configuration.
 ///
 /// ```
 /// use dtm_core::DtmBuilder;
@@ -310,8 +314,10 @@ pub struct SolveSession {
     /// their factors via `Arc`.
     templates: Vec<runtime::NodeRuntime>,
     /// Factorization of the reconstructed original system, reused for the
-    /// per-batch direct reference solutions.
-    ref_factor: SparseCholesky,
+    /// per-batch direct reference solutions — only under oracle
+    /// terminations. Reference-free ([`Termination::Residual`]) sessions
+    /// never build it.
+    ref_factor: Option<SparseCholesky>,
     /// Right-hand sides queued for the next batch.
     pending: Vec<Vec<f64>>,
     batches_solved: usize,
@@ -321,8 +327,13 @@ pub struct SolveSession {
 impl SolveSession {
     fn new(problem: DtmProblem) -> Result<Self> {
         let templates = runtime::build_nodes(&problem.split, &problem.config.common)?;
-        let (a, _) = problem.split.reconstruct();
-        let ref_factor = SparseCholesky::factor_rcm(&a)?;
+        let ref_factor = match problem.config.common.termination {
+            Termination::Residual { .. } => None,
+            _ => {
+                let (a, _) = problem.split.reconstruct();
+                Some(SparseCholesky::factor_rcm(&a)?)
+            }
+        };
         Ok(Self {
             problem,
             templates,
@@ -378,18 +389,21 @@ impl SolveSession {
         }
         let rhs_cols = std::mem::take(&mut self.pending);
         let split = &self.problem.split;
-        let references: Vec<Vec<f64>> = rhs_cols.iter().map(|b| self.ref_factor.solve(b)).collect();
-        // local_cols[c][p] = column c's scattered sources for part p.
-        let local_cols: Vec<Vec<Vec<f64>>> =
-            rhs_cols.iter().map(|b| split.scatter_rhs(b)).collect();
+        // Oracle substitutions only where an oracle termination asked for
+        // them; residual-mode batches skip this entirely.
+        let references: Option<Vec<Vec<f64>>> = self
+            .ref_factor
+            .as_ref()
+            .map(|f| rhs_cols.iter().map(|b| f.solve(b)).collect());
+        // Scatter each column once, then regroup per part by moving the
+        // scattered vectors (no per-part clone).
+        let part_cols =
+            runtime::transpose_scatter(rhs_cols.iter().map(|b| split.scatter_rhs(b)).collect());
         let runtimes: Vec<runtime::NodeRuntime> = self
             .templates
             .iter()
-            .enumerate()
-            .map(|(p, t)| {
-                let part_cols: Vec<Vec<f64>> = local_cols.iter().map(|c| c[p].clone()).collect();
-                t.with_rhs_block(&part_cols)
-            })
+            .zip(&part_cols)
+            .map(|(t, cols)| t.with_rhs_block(cols))
             .collect();
         let nodes = solver::map_nodes(runtimes, &self.problem.config);
         let report = solver::solve_prepared(
@@ -397,6 +411,7 @@ impl SolveSession {
             self.problem.topology.clone(),
             nodes,
             references,
+            Some(&rhs_cols),
             &self.problem.config,
         )?;
         self.batches_solved += 1;

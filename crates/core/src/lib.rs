@@ -41,7 +41,8 @@
 //!   comparisons the paper's introduction makes;
 //! * [`analysis`] — spectral radius of the VTM iteration operator
 //!   (quantitative convergence rates, Fig. 9 cross-check);
-//! * [`monitor`] — RMS-error-vs-time tracking against the direct solution;
+//! * [`monitor`] — convergence tracking over time: oracle RMS against the
+//!   direct solution, or the reference-free incremental true residual;
 //! * [`builder`] — the high-level [`DtmBuilder`] entry point;
 //! * [`report`] — the shared solve-report vocabulary.
 //!

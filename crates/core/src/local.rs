@@ -102,8 +102,25 @@ pub struct LocalSystem {
     col_delta: Vec<f64>,
     /// Max over [`col_delta`](Self::col_delta).
     last_delta: f64,
+    /// Columns whose boundary inputs changed since the previous solve
+    /// (bitmask; `k ≥ 64` saturates to all-ones). A column outside the mask
+    /// re-solves to a bitwise-identical solution, so publishers may skip it.
+    touched_cols: u64,
+    /// The mask captured by the latest [`solve`](Self::solve).
+    solved_cols: u64,
     solves: usize,
     rhs_buf: Vec<f64>,
+}
+
+/// All-columns bitmask for a `k`-wide block (saturating at 64) — the one
+/// dirty-column mask rule, shared by the publisher here and the snapshot
+/// consumer in `runtime::wallclock`.
+pub(crate) fn all_cols(k: usize) -> u64 {
+    if k >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << k) - 1
+    }
 }
 
 impl LocalSystem {
@@ -190,6 +207,8 @@ impl LocalSystem {
             prev_out: vec![0.0; n_ports * k],
             col_delta: vec![f64::INFINITY; k],
             last_delta: f64::INFINITY,
+            touched_cols: all_cols(k),
+            solved_cols: all_cols(k),
             solves: 0,
             rhs_buf: vec![0.0; n * k],
         })
@@ -218,6 +237,8 @@ impl LocalSystem {
             prev_out: vec![0.0; n_ports * k],
             col_delta: vec![f64::INFINITY; k],
             last_delta: f64::INFINITY,
+            touched_cols: all_cols(k),
+            solved_cols: all_cols(k),
             solves: 0,
             rhs_buf: vec![0.0; n * k],
         }
@@ -259,6 +280,12 @@ impl LocalSystem {
     pub fn set_remote_col(&mut self, port: usize, col: usize, u_twin: f64, omega_twin: f64) {
         let i = col * self.n_ports() + port;
         self.w[i] = dtl::incident_wave(u_twin, omega_twin, self.z[port]);
+        self.touch(col);
+    }
+
+    /// Mark one column's boundary input as changed.
+    fn touch(&mut self, col: usize) {
+        self.touched_cols |= if col >= 64 { u64::MAX } else { 1u64 << col };
     }
 
     /// Update one port's remote boundary conditions for all columns at once
@@ -273,11 +300,13 @@ impl LocalSystem {
         for c in 0..self.k {
             self.w[c * np + port] = dtl::incident_wave(u[c], omega[c], self.z[port]);
         }
+        self.touched_cols = all_cols(self.k);
     }
 
     /// Update one port's incident wave directly (column 0).
     pub fn set_incident_wave(&mut self, port: usize, w: f64) {
         self.w[port] = w;
+        self.touch(0);
     }
 
     /// Incident wave currently stored for `port` (column 0).
@@ -323,6 +352,7 @@ impl LocalSystem {
             max_delta = max_delta.max(delta);
         }
         self.last_delta = max_delta;
+        self.solved_cols = std::mem::replace(&mut self.touched_cols, 0);
         self.solves += 1;
         &self.x
     }
@@ -366,6 +396,15 @@ impl LocalSystem {
     /// Per-column outgoing-wave change of the latest solve.
     pub fn col_deltas(&self) -> &[f64] {
         &self.col_delta
+    }
+
+    /// Bitmask of columns whose boundary inputs changed going into the
+    /// latest solve (`k ≥ 64` saturates to all-ones; the first solve
+    /// reports every column). Columns outside the mask re-solved to
+    /// bitwise-identical values — the same deterministic substitution of
+    /// the same inputs — so snapshot publishers copy only these columns.
+    pub fn last_solve_cols(&self) -> u64 {
+        self.solved_cols
     }
 
     /// Number of solves performed (a block solve counts once).

@@ -1,25 +1,102 @@
-//! RMS-error-vs-time monitoring, over a block of K right-hand sides.
+//! Convergence monitoring over a block of K right-hand sides: oracle RMS
+//! error and/or reference-free true residual, both incremental.
 //!
 //! The paper's convergence figures (8, 9, 12, 14) plot the error of the
 //! evolving distributed state against the true solution `x* = A⁻¹b`. The
 //! monitor maintains the *global* estimate (averaging every split vertex's
 //! copies) incrementally — O(|part|·K) per activation, not O(n·K) — and
-//! records a `(time, rms)` staircase series. With several right-hand sides
-//! in flight the reported scalar is the **worst column's** RMS: a batched
-//! solve is only done when its slowest column is done.
+//! records a `(time, metric)` staircase series. With several right-hand
+//! sides in flight the reported scalar is the **worst column's** value: a
+//! batched solve is only done when its slowest column is done.
+//!
+//! Two metrics are supported, selected at construction:
+//!
+//! * **Oracle RMS** (the paper's figures): RMS error against precomputed
+//!   direct solutions — requires one exact substitution per right-hand
+//!   side, which no production deployment can pay.
+//! * **Relative true residual** `‖b − A·x‖₂ / ‖b‖₂`
+//!   ([`Monitor::new_residual`]): maintained incrementally from the same
+//!   per-part updates — when an averaged estimate entry moves by δ, only
+//!   the residual entries of A's column `g` change. The per-update cost is
+//!   O(1) per changed entry: deltas are *aggregated* and the sparse row
+//!   folds run batched at flush points (the residual is linear in the
+//!   estimate, so aggregated folding is exact; staleness between flushes
+//!   can only delay a stop, never trigger one early), with periodic exact
+//!   resynchronization (like the RMS resync) bounding floating-point
+//!   drift. No direct solve of the original system is ever performed.
 
 use dtm_graph::evs::SplitSystem;
 use dtm_simnet::{SimDuration, SimTime};
+use dtm_sparse::Csr;
 
-/// Incremental global-error tracker for a K-column solution block.
+/// Which incremental metric drives [`Monitor::update_part`]'s return value
+/// and the recorded series.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Primary {
+    OracleRms,
+    Residual,
+}
+
+/// Incremental oracle-error state: Σ(est − x*)² per column.
+#[derive(Debug, Clone)]
+struct OracleTracker {
+    /// Reference solutions, column-major (`n·k`).
+    reference: Vec<f64>,
+    /// Running Σ (est − ref)², per column.
+    sum_sq_err: Vec<f64>,
+}
+
+/// Incremental true-residual state: r = b − A·est and Σr² per column.
+///
+/// The fold is **deferred**: an estimate update only aggregates its delta
+/// into `pending` (O(1) per entry — cheaper than the oracle fold), and the
+/// actual sparse row folds run batched at flush points. Because the
+/// residual is linear in the estimate, folding an aggregated delta once is
+/// exactly equivalent to folding every step (to rounding), so deferral
+/// loses no precision — only freshness, and staleness is safe: the cached
+/// metric is only ever a previously *exact* value, so a stop decision can
+/// fire late by at most one flush window, never early.
+#[derive(Debug, Clone)]
+struct ResidualTracker {
+    /// The reconstructed original system.
+    a: Csr,
+    /// Right-hand sides, column-major (`n·k`).
+    rhs: Vec<f64>,
+    /// `‖b_c‖₂` per column (1 where b is zero, so the ratio stays defined).
+    b_scale: Vec<f64>,
+    /// Residual as of the last flush, column-major (`n·k`).
+    resid: Vec<f64>,
+    /// Running Σ r² matching `resid`, per column.
+    sum_sq: Vec<f64>,
+    /// Aggregated estimate deltas awaiting a fold (`n·k`).
+    pending: Vec<f64>,
+    /// Entries of `pending` currently nonzero-recorded, as flat indices.
+    dirty: Vec<usize>,
+    /// O(1) dedup for `dirty`.
+    in_dirty: Vec<bool>,
+    /// Worst-column relative residual as of the last flush.
+    cached_metric: f64,
+    /// Monitor updates folded into `pending` since the last flush.
+    updates_since_flush: usize,
+}
+
+/// Deferred-fold cadence: pending residual deltas are folded (and the
+/// cached metric refreshed) every this many monitor updates while the
+/// metric is far from the tolerance. Near the tolerance (within
+/// [`RESID_NEAR_FACTOR`]×) every update flushes, so the stopping decision
+/// is made on fresh values exactly when precision matters.
+const RESID_FLUSH_EVERY: usize = 32;
+/// See [`RESID_FLUSH_EVERY`].
+const RESID_NEAR_FACTOR: f64 = 16.0;
+
+/// Incremental global-estimate tracker for a K-column solution block, with
+/// an oracle-RMS and/or true-residual metric on top.
 #[derive(Debug, Clone)]
 pub struct Monitor {
     /// RHS columns tracked.
     k: usize,
     /// Original dimension.
     n: usize,
-    /// Reference solutions, column-major (`n·k`).
-    reference: Vec<f64>,
     copy_count: Vec<f64>,
     global_of_local: Vec<Vec<usize>>,
     /// Latest local solution block per part (`n_local·k`).
@@ -28,14 +105,19 @@ pub struct Monitor {
     sum: Vec<f64>,
     /// Per-vertex averaged estimate, column-major.
     est: Vec<f64>,
-    /// Running Σ (est − ref)², per column.
-    sum_sq_err: Vec<f64>,
+    /// Oracle-error state (present when references were supplied).
+    oracle: Option<OracleTracker>,
+    /// True-residual state (present in reference-free mode, or when
+    /// explicitly attached for cross-checks).
+    residual: Option<ResidualTracker>,
+    /// Which metric [`update_part`](Self::update_part) returns and records.
+    primary: Primary,
     series: Vec<(f64, f64)>,
     sample_interval: SimDuration,
     last_sample: Option<SimTime>,
-    /// When the incremental RMS drops below this value, resynchronize the
-    /// accumulator exactly before reporting (guards against catastrophic
-    /// cancellation near convergence). Zero disables.
+    /// When the incremental metric drops below this value, resynchronize
+    /// the accumulators exactly before reporting (guards against
+    /// catastrophic cancellation near convergence). Zero disables.
     refresh_below: f64,
     /// Updates folded in since the last exact resync.
     updates_since_sync: usize,
@@ -101,7 +183,6 @@ impl Monitor {
         let k = references.len();
         assert!(k > 0, "at least one reference column");
         let n = references[0].len();
-        assert_eq!(copy_count.len(), n, "copy_count length");
         let mut reference = Vec::with_capacity(n * k);
         for r in references {
             assert_eq!(r.len(), n, "reference column length");
@@ -111,6 +192,132 @@ impl Monitor {
             .iter()
             .map(|r| r.iter().map(|v| v * v).sum())
             .collect();
+        let mut m = Self::bare(global_of_local, copy_count, n, k, sample_interval);
+        m.oracle = Some(OracleTracker {
+            reference,
+            sum_sq_err,
+        });
+        m.primary = Primary::OracleRms;
+        m
+    }
+
+    /// Create a **reference-free** monitor for `split`: the driving metric
+    /// is the relative true residual `‖b − A·x‖₂ / ‖b‖₂` of the gathered
+    /// estimate against the reconstructed original system, maintained
+    /// incrementally. `rhs_cols = None` tracks the split's own right-hand
+    /// side (the scalar pipeline); `Some` supplies the K global columns of
+    /// a block solve. No direct solve of the original system happens here
+    /// or later.
+    ///
+    /// # Panics
+    /// Panics if a supplied column's length differs from the original
+    /// dimension, or `rhs_cols` is `Some` but empty.
+    pub fn new_residual(
+        split: &SplitSystem,
+        rhs_cols: Option<&[Vec<f64>]>,
+        sample_interval: SimDuration,
+    ) -> Self {
+        let (a, own_b) = split.reconstruct();
+        Self::from_parts_residual(
+            split
+                .subdomains
+                .iter()
+                .map(|sd| sd.global_of_local.clone())
+                .collect(),
+            split.copy_count.clone(),
+            a,
+            match rhs_cols {
+                Some(cols) => cols,
+                None => std::slice::from_ref(&own_b),
+            },
+            sample_interval,
+        )
+    }
+
+    /// Raw-parts form of [`new_residual`](Self::new_residual) (used by the
+    /// block-Jacobi baselines, whose parts don't overlap).
+    ///
+    /// # Panics
+    /// Panics if `rhs_cols` is empty or a column's length differs from
+    /// `a`'s dimension.
+    pub fn from_parts_residual(
+        global_of_local: Vec<Vec<usize>>,
+        copy_count: Vec<usize>,
+        a: Csr,
+        rhs_cols: &[Vec<f64>],
+        sample_interval: SimDuration,
+    ) -> Self {
+        let k = rhs_cols.len();
+        assert!(k > 0, "at least one RHS column");
+        let n = a.n_rows();
+        let mut rhs = Vec::with_capacity(n * k);
+        for c in rhs_cols {
+            assert_eq!(c.len(), n, "RHS column length");
+            rhs.extend_from_slice(c);
+        }
+        let b_scale = rhs_cols
+            .iter()
+            .map(|c| dtm_sparse::vector::norm2_or_one(c))
+            .collect();
+        // est = 0 ⇒ r = b ⇒ relative residual exactly 1 per column.
+        let sum_sq = rhs_cols
+            .iter()
+            .map(|c| c.iter().map(|v| v * v).sum())
+            .collect();
+        let mut m = Self::bare(global_of_local, copy_count, n, k, sample_interval);
+        m.residual = Some(ResidualTracker {
+            a,
+            resid: rhs.clone(),
+            pending: vec![0.0; rhs.len()],
+            in_dirty: vec![false; rhs.len()],
+            dirty: Vec::new(),
+            rhs,
+            b_scale,
+            sum_sq,
+            cached_metric: 1.0,
+            updates_since_flush: 0,
+        });
+        m.primary = Primary::Residual;
+        m
+    }
+
+    /// Attach an oracle tracker to an existing (typically residual-mode)
+    /// monitor so tests can cross-check both metrics on one run. The
+    /// primary metric is unchanged.
+    ///
+    /// # Panics
+    /// Panics on column count/length mismatch.
+    pub fn attach_oracle(&mut self, references: &[Vec<f64>]) {
+        assert_eq!(references.len(), self.k, "one reference per column");
+        let mut reference = Vec::with_capacity(self.n * self.k);
+        for r in references {
+            assert_eq!(r.len(), self.n, "reference column length");
+            reference.extend_from_slice(r);
+        }
+        let sum_sq_err = (0..self.k)
+            .map(|c| {
+                self.est[c * self.n..(c + 1) * self.n]
+                    .iter()
+                    .zip(&reference[c * self.n..(c + 1) * self.n])
+                    .map(|(e, r)| (e - r) * (e - r))
+                    .sum()
+            })
+            .collect();
+        self.oracle = Some(OracleTracker {
+            reference,
+            sum_sq_err,
+        });
+    }
+
+    /// The shared estimate machinery, with no metric attached yet.
+    fn bare(
+        global_of_local: Vec<Vec<usize>>,
+        copy_count: Vec<usize>,
+        n: usize,
+        k: usize,
+        sample_interval: SimDuration,
+    ) -> Self {
+        assert_eq!(copy_count.len(), n, "copy_count length");
         Self {
             k,
             n,
@@ -122,13 +329,14 @@ impl Monitor {
             global_of_local,
             sum: vec![0.0; n * k],
             est: vec![0.0; n * k],
-            sum_sq_err,
+            oracle: None,
+            residual: None,
+            primary: Primary::OracleRms,
             series: Vec::new(),
             sample_interval,
             last_sample: None,
             refresh_below: 0.0,
             updates_since_sync: 0,
-            reference,
         }
     }
 
@@ -137,34 +345,123 @@ impl Monitor {
         self.k
     }
 
+    /// Whether this monitor carries oracle references.
+    pub fn has_oracle(&self) -> bool {
+        self.oracle.is_some()
+    }
+
+    /// Whether this monitor tracks the true residual.
+    pub fn tracks_residual(&self) -> bool {
+        self.residual.is_some()
+    }
+
     /// Enable exact resynchronization whenever the incrementally tracked
-    /// RMS falls below `threshold` (typically the solver's tolerance).
+    /// primary metric falls below `threshold` (typically the solver's
+    /// tolerance).
     pub fn set_refresh_below(&mut self, threshold: f64) {
         self.refresh_below = threshold;
     }
 
-    /// Recompute the error accumulators exactly and return the exact
-    /// worst-column RMS.
+    /// Recompute every attached metric's accumulators exactly and return
+    /// the exact worst-column primary metric.
     pub fn resync(&mut self) -> f64 {
         let n = self.n;
-        for c in 0..self.k {
-            self.sum_sq_err[c] = self.est[c * n..(c + 1) * n]
-                .iter()
-                .zip(&self.reference[c * n..(c + 1) * n])
-                .map(|(e, r)| (e - r) * (e - r))
-                .sum();
+        if let Some(o) = &mut self.oracle {
+            for c in 0..self.k {
+                o.sum_sq_err[c] = self.est[c * n..(c + 1) * n]
+                    .iter()
+                    .zip(&o.reference[c * n..(c + 1) * n])
+                    .map(|(e, r)| (e - r) * (e - r))
+                    .sum();
+            }
         }
-        self.rms()
+        if let Some(t) = &mut self.residual {
+            // Pending deltas are already reflected in `est`; recomputing
+            // from `est` subsumes them, so they are simply discarded.
+            for &gi in &t.dirty {
+                t.pending[gi] = 0.0;
+                t.in_dirty[gi] = false;
+            }
+            t.dirty.clear();
+            t.updates_since_flush = 0;
+            for c in 0..self.k {
+                let (est_c, resid_c) = (
+                    &self.est[c * n..(c + 1) * n],
+                    &mut t.resid[c * n..(c + 1) * n],
+                );
+                t.a.residual_into(est_c, &t.rhs[c * n..(c + 1) * n], resid_c);
+                t.sum_sq[c] = resid_c.iter().map(|r| r * r).sum();
+            }
+            t.cached_metric = t
+                .sum_sq
+                .iter()
+                .zip(&t.b_scale)
+                .map(|(ss, sc)| ss.max(0.0).sqrt() / sc)
+                .fold(0.0, f64::max);
+        }
+        self.metric()
+    }
+
+    /// Fold all pending residual deltas and refresh the cached metric —
+    /// one sparse row fold per aggregated dirty entry.
+    fn flush_tracker(t: &mut ResidualTracker, n: usize) {
+        let ResidualTracker {
+            a,
+            resid,
+            sum_sq,
+            pending,
+            dirty,
+            in_dirty,
+            cached_metric,
+            b_scale,
+            updates_since_flush,
+            ..
+        } = t;
+        let (rp, ci, vv) = (a.row_ptr(), a.col_idx(), a.values());
+        for &gi in dirty.iter() {
+            let delta = pending[gi];
+            pending[gi] = 0.0;
+            in_dirty[gi] = false;
+            if delta == 0.0 {
+                continue;
+            }
+            let (c, g) = (gi / n, gi % n);
+            let base = c * n;
+            let mut ssq = sum_sq[c];
+            for idx in rp[g]..rp[g + 1] {
+                let rj = base + ci[idx];
+                let r_old = resid[rj];
+                let r_new = r_old - vv[idx] * delta;
+                ssq += r_new * r_new - r_old * r_old;
+                resid[rj] = r_new;
+            }
+            sum_sq[c] = ssq;
+        }
+        dirty.clear();
+        *updates_since_flush = 0;
+        *cached_metric = sum_sq
+            .iter()
+            .zip(b_scale.iter())
+            .map(|(ss, sc)| ss.max(0.0).sqrt() / sc)
+            .fold(0.0, f64::max);
     }
 
     /// Fold one part's newly solved local block in (`x` is the part's
     /// `n_local·k` column-major solution); returns the current worst-column
-    /// global RMS error.
+    /// primary metric (oracle RMS, or relative residual in reference-free
+    /// mode).
     pub fn update_part(&mut self, part: usize, time: SimTime, x: &[f64]) -> f64 {
         let g2l = &self.global_of_local[part];
         let nl = g2l.len();
         let n = self.n;
         assert_eq!(x.len(), nl * self.k, "monitor: local block length");
+        // Residual tracking is O(1) per changed entry here: the delta is
+        // aggregated into `pending` and the sparse row folds run batched
+        // at the flush below (see `ResidualTracker`).
+        let mut resid_state = self
+            .residual
+            .as_mut()
+            .map(|t| (&mut t.pending, &mut t.in_dirty, &mut t.dirty));
         for c in 0..self.k {
             for (l, &g) in g2l.iter().enumerate() {
                 let (li, gi) = (c * nl + l, c * n + g);
@@ -175,18 +472,42 @@ impl Monitor {
                 self.part_values[part][li] = x[li];
                 self.sum[gi] += x[li] - old;
                 let new_est = self.sum[gi] / self.copy_count[g];
-                let e_old = self.est[gi] - self.reference[gi];
-                let e_new = new_est - self.reference[gi];
-                self.sum_sq_err[c] += e_new * e_new - e_old * e_old;
+                if let Some(o) = &mut self.oracle {
+                    let e_old = self.est[gi] - o.reference[gi];
+                    let e_new = new_est - o.reference[gi];
+                    o.sum_sq_err[c] += e_new * e_new - e_old * e_old;
+                }
+                if let Some((pending, in_dirty, dirty)) = &mut resid_state {
+                    // est[g] moves by δ ⇒ r[j] −= A[j,g]·δ for the nonzeros
+                    // of column g (A symmetric: row g); the fold itself is
+                    // deferred, only the aggregated δ is recorded here.
+                    pending[gi] += new_est - self.est[gi];
+                    if !in_dirty[gi] {
+                        in_dirty[gi] = true;
+                        dirty.push(gi);
+                    }
+                }
                 self.est[gi] = new_est;
             }
         }
-        let mut rms = self.rms();
+        // Deferred residual fold: flush every RESID_FLUSH_EVERY updates —
+        // or every update once the cached metric is within
+        // RESID_NEAR_FACTOR of the refresh threshold (≈ the stopping
+        // tolerance), where freshness decides when the run ends.
+        if let Some(t) = &mut self.residual {
+            t.updates_since_flush += 1;
+            let near = self.refresh_below > 0.0
+                && t.cached_metric < self.refresh_below * RESID_NEAR_FACTOR;
+            if near || t.updates_since_flush >= RESID_FLUSH_EVERY {
+                Self::flush_tracker(t, n);
+            }
+        }
+        let mut metric = self.metric();
         self.updates_since_sync += 1;
         if self.refresh_below > 0.0
-            && (rms < self.refresh_below || self.updates_since_sync >= RESYNC_EVERY)
+            && (metric < self.refresh_below || self.updates_since_sync >= RESYNC_EVERY)
         {
-            rms = self.resync();
+            metric = self.resync();
             self.updates_since_sync = 0;
         }
         let due = match self.last_sample {
@@ -194,36 +515,99 @@ impl Monitor {
             Some(t0) => time.since(t0) >= self.sample_interval,
         };
         if due {
-            self.series.push((time.as_millis_f64(), rms));
+            self.series.push((time.as_millis_f64(), metric));
             self.last_sample = Some(time);
         }
-        rms
+        metric
+    }
+
+    /// Current worst-column primary metric (incrementally maintained; the
+    /// residual value is the cached last-flush metric — always a
+    /// previously exact number, possibly one flush window stale).
+    pub fn metric(&self) -> f64 {
+        match self.primary {
+            Primary::OracleRms => self.rms(),
+            Primary::Residual => {
+                self.residual
+                    .as_ref()
+                    .expect("residual primary requires a tracker")
+                    .cached_metric
+            }
+        }
     }
 
     /// Current worst-column RMS error (incrementally maintained).
+    ///
+    /// # Panics
+    /// Panics if the monitor carries no oracle references.
     pub fn rms(&self) -> f64 {
+        let o = self.oracle.as_ref().expect("monitor has no oracle");
         let n = self.n.max(1) as f64;
-        self.sum_sq_err
+        o.sum_sq_err
             .iter()
             .map(|ss| (ss.max(0.0) / n).sqrt())
             .fold(0.0, f64::max)
     }
 
+    /// Current worst-column relative residual `‖b − A·x‖₂ / ‖b‖₂`
+    /// (incrementally maintained; any pending deferred folds are applied
+    /// first, so the returned value always reflects every update).
+    ///
+    /// # Panics
+    /// Panics if the monitor does not track the residual.
+    pub fn rel_residual(&mut self) -> f64 {
+        let n = self.n;
+        let t = self
+            .residual
+            .as_mut()
+            .expect("monitor does not track the residual");
+        if !t.dirty.is_empty() {
+            Self::flush_tracker(t, n);
+        }
+        t.cached_metric
+    }
+
     /// Exactly recomputed worst-column RMS error (clears accumulated FP
     /// drift).
+    ///
+    /// # Panics
+    /// Panics if the monitor carries no oracle references.
     pub fn rms_exact(&self) -> f64 {
         self.rms_exact_per_rhs().into_iter().fold(0.0, f64::max)
     }
 
     /// Exactly recomputed RMS error per RHS column.
+    ///
+    /// # Panics
+    /// Panics if the monitor carries no oracle references.
     pub fn rms_exact_per_rhs(&self) -> Vec<f64> {
+        let o = self.oracle.as_ref().expect("monitor has no oracle");
         let n = self.n;
         (0..self.k)
             .map(|c| {
                 dtm_sparse::vector::rms_error(
                     &self.est[c * n..(c + 1) * n],
-                    &self.reference[c * n..(c + 1) * n],
+                    &o.reference[c * n..(c + 1) * n],
                 )
+            })
+            .collect()
+    }
+
+    /// Exactly recomputed relative residual per RHS column (one fused SpMV
+    /// per column; does not disturb the incremental accumulators).
+    ///
+    /// # Panics
+    /// Panics if the monitor does not track the residual.
+    pub fn residual_exact_per_rhs(&self) -> Vec<f64> {
+        let t = self
+            .residual
+            .as_ref()
+            .expect("monitor does not track the residual");
+        let n = self.n;
+        (0..self.k)
+            .map(|c| {
+                t.a.residual_norm(&self.est[c * n..(c + 1) * n], &t.rhs[c * n..(c + 1) * n])
+                    / t.b_scale[c]
             })
             .collect()
     }
@@ -243,7 +627,9 @@ impl Monitor {
         (0..self.k).map(|c| self.estimate_col(c).to_vec()).collect()
     }
 
-    /// The recorded `(time_ms, rms)` staircase (worst column).
+    /// The recorded `(time_ms, metric)` staircase (worst column, in the
+    /// primary metric: oracle RMS, or relative residual in reference-free
+    /// mode).
     pub fn series(&self) -> &[(f64, f64)] {
         &self.series
     }
@@ -323,6 +709,75 @@ mod tests {
         }
         assert_eq!(dense.series().len(), 50);
         assert!(sparse.series().len() < 10);
+    }
+
+    #[test]
+    fn residual_monitor_starts_at_one_and_reaches_zero() {
+        // est = 0 ⇒ r = b ⇒ ‖r‖/‖b‖ = 1 exactly; feeding the exact
+        // solution drives the relative residual to ~0 (reference-free: no
+        // direct solve of the original system is involved in the metric).
+        let (ss, reference) = make();
+        let mut m = Monitor::new_residual(&ss, None, SimDuration::ZERO);
+        m.set_refresh_below(1e-6);
+        assert!(!m.has_oracle());
+        assert!(m.tracks_residual());
+        assert!((m.rel_residual() - 1.0).abs() < 1e-12);
+        for (p, sd) in ss.subdomains.iter().enumerate() {
+            let local: Vec<f64> = sd.global_of_local.iter().map(|&g| reference[g]).collect();
+            m.update_part(p, SimTime::from_nanos(p as u64), &local);
+        }
+        // The incremental accumulator carries cancellation drift until a
+        // resync; the exact recompute is clean immediately.
+        assert!(m.rel_residual() < 1e-6, "residual {}", m.rel_residual());
+        assert!(m.residual_exact_per_rhs()[0] < 1e-10);
+        m.resync();
+        assert!(m.rel_residual() < 1e-10, "post-resync {}", m.rel_residual());
+    }
+
+    #[test]
+    fn incremental_residual_matches_exact_recompute() {
+        let (ss, _) = make();
+        let (a, b) = ss.reconstruct();
+        let bnorm = dtm_sparse::vector::norm2(&b);
+        let mut m = Monitor::new_residual(&ss, None, SimDuration::ZERO);
+        for round in 0..5 {
+            for (p, sd) in ss.subdomains.iter().enumerate() {
+                let local: Vec<f64> = (0..sd.n_local())
+                    .map(|l| ((l + round) as f64 * 0.61).cos())
+                    .collect();
+                m.update_part(p, SimTime::from_nanos((round * 10 + p) as u64), &local);
+            }
+        }
+        let exact = a.residual_norm(m.estimate(), &b) / bnorm;
+        assert!(
+            (m.rel_residual() - exact).abs() < 1e-12,
+            "incremental {} vs exact {}",
+            m.rel_residual(),
+            exact
+        );
+    }
+
+    #[test]
+    fn attached_oracle_cross_checks_residual_mode() {
+        // A residual-primary monitor with an oracle attached reports both:
+        // the primary metric (and series) stay residual, while the oracle
+        // RMS is available for test-only equivalence checks.
+        let (ss, reference) = make();
+        let mut m = Monitor::new_residual(&ss, None, SimDuration::ZERO);
+        m.set_refresh_below(1e-6);
+        m.attach_oracle(std::slice::from_ref(&reference));
+        assert!(m.has_oracle());
+        for (p, sd) in ss.subdomains.iter().enumerate() {
+            let local: Vec<f64> = sd.global_of_local.iter().map(|&g| reference[g]).collect();
+            // The primary (returned) metric is the residual's cached
+            // value — a previously exact number, never the oracle RMS.
+            let metric = m.update_part(p, SimTime::from_nanos(p as u64), &local);
+            assert!(metric <= 1.0 + 1e-12, "cached residual metric");
+        }
+        assert!(m.rms_exact() < 1e-12);
+        assert!(m.rel_residual() < 1e-6);
+        m.resync();
+        assert!(m.rel_residual() < 1e-10);
     }
 
     #[test]

@@ -23,8 +23,7 @@
 
 use crate::report::{BackendKind, SolveReport, StopKind};
 use crate::runtime::{
-    self, wallclock, BufferedTransport, CommonConfig, ExecutorBackend, NodeControl, NodeRuntime,
-    Termination,
+    self, wallclock, CommonConfig, DtmMsg, ExecutorBackend, NodeControl, NodeRuntime, Termination,
 };
 use dtm_graph::evs::SplitSystem;
 use dtm_sparse::Result;
@@ -62,19 +61,33 @@ impl Default for RayonConfig {
     }
 }
 
+/// One node's runtime plus its recycled activation buffers, all serialized
+/// by one lock (activations of the same node never overlap their solves).
+struct NodeState {
+    rt: NodeRuntime,
+    /// Swap target for the inbox: messages drain through here and their
+    /// payload buffers return to `rt`'s freelist.
+    drain: Vec<DtmMsg>,
+    /// Reused scatter buffer (drained after every step, capacity kept).
+    outbox: Vec<(usize, DtmMsg)>,
+}
+
 /// Per-subdomain shared state the tasks operate on.
 struct NodeCell {
-    rt: Mutex<NodeRuntime>,
-    inbox: Mutex<Vec<runtime::PortUpdate>>,
+    state: Mutex<NodeState>,
+    /// Whole wave-front messages, one per sender step — coalesced
+    /// per-neighbour by the runtime, delivered without flattening so the
+    /// payload buffers survive to be recycled.
+    inbox: Mutex<Vec<DtmMsg>>,
     /// An activation task is queued or running.
     scheduled: AtomicBool,
-    /// The node returned [`NodeControl::Halt`].
+    /// The node returned a halting [`NodeControl`].
     halted: AtomicBool,
 }
 
 struct Shared {
     cells: Vec<NodeCell>,
-    snapshots: Vec<Mutex<Vec<f64>>>,
+    snapshots: Vec<wallclock::SharedBlock>,
     stop: AtomicBool,
     halted_count: AtomicUsize,
     /// Some node was retired by the solve cap rather than by declaring
@@ -100,40 +113,45 @@ fn activate(shared: &Arc<Shared>, pool: &Arc<ThreadPool>, p: usize, force: bool)
     if shared.stop.load(Ordering::Acquire) || cell.halted.load(Ordering::Acquire) {
         return;
     }
-    let mut transport = BufferedTransport::default();
-    let control = {
-        let mut rt = cell.rt.lock();
-        let pending = std::mem::take(&mut *cell.inbox.lock());
-        if pending.is_empty() && !force {
+    {
+        let mut st = cell.state.lock();
+        let NodeState { rt, drain, outbox } = &mut *st;
+        // Swap the inbox against the node's (empty) drain buffer: the
+        // inbox lock is held only for the pointer swap, and both vectors
+        // keep their capacity across activations.
+        std::mem::swap(&mut *cell.inbox.lock(), drain);
+        if drain.is_empty() && !force {
             return;
         }
-        for update in pending {
-            rt.absorb(update);
+        for msg in drain.drain(..) {
+            // Consumed waves fund the next outgoing ones: the payload
+            // buffers go to this node's freelist.
+            rt.absorb_owned(msg);
         }
-        let control = rt.step(&mut transport);
+        let control = rt.step(outbox);
         shared.total_solves.fetch_add(1, Ordering::Relaxed);
-        shared.snapshots[p]
-            .lock()
-            .copy_from_slice(rt.local().solution());
-        control
-    };
-    if control.is_halt() {
-        if control == NodeControl::Capped {
-            shared.any_capped.store(true, Ordering::Release);
+        // Publish only the columns this step could have changed — the
+        // supervisor mirrors them incrementally.
+        shared.snapshots[p].publish(rt.local().solution(), rt.local().last_solve_cols());
+        if control.is_halt() {
+            if control == NodeControl::Capped {
+                shared.any_capped.store(true, Ordering::Release);
+            }
+            cell.halted.store(true, Ordering::Release);
+            shared.halted_count.fetch_add(1, Ordering::AcqRel);
         }
-        cell.halted.store(true, Ordering::Release);
-        shared.halted_count.fetch_add(1, Ordering::AcqRel);
-    }
-    // Deliver outside the node lock: inbox pushes and task spawns touch
-    // other cells only.
-    for (dst, msg) in transport.outbox {
-        shared.total_messages.fetch_add(1, Ordering::Relaxed);
-        let target = &shared.cells[dst];
-        if target.halted.load(Ordering::Acquire) {
-            continue; // halted nodes drop pending and future waves
+        // Deliver while still holding only this node's state lock: inbox
+        // pushes are leaf locks on *other* cells, so no ordering cycle —
+        // and draining here lets the outbox buffer be reused next step.
+        for (dst, msg) in outbox.drain(..) {
+            shared.total_messages.fetch_add(1, Ordering::Relaxed);
+            let target = &shared.cells[dst];
+            if target.halted.load(Ordering::Acquire) {
+                continue; // halted nodes drop pending and future waves
+            }
+            target.inbox.lock().push(msg);
+            schedule(shared, pool, dst, false);
         }
-        target.inbox.lock().extend(msg.updates);
-        schedule(shared, pool, dst, false);
     }
 }
 
@@ -193,9 +211,14 @@ pub fn solve_with_reference(
     reference: Option<Vec<f64>>,
     config: &RayonConfig,
 ) -> Result<SolveReport> {
-    let references = runtime::reference_solutions(split, None, reference.map(|r| vec![r]))?;
+    let references = runtime::resolve_references(
+        split,
+        config.common.termination,
+        None,
+        reference.map(|r| vec![r]),
+    )?;
     let runtimes = runtime::build_nodes(split, &config.common)?;
-    solve_runtimes(split, runtimes, references, config)
+    solve_runtimes(split, runtimes, references, None, config)
 }
 
 /// Run DTM on the work-stealing pool for a **block of right-hand sides**
@@ -211,20 +234,25 @@ pub fn solve_block(
     references: Option<Vec<Vec<f64>>>,
     config: &RayonConfig,
 ) -> Result<SolveReport> {
-    let references = runtime::reference_solutions(split, Some(rhs_cols), references)?;
+    let references =
+        runtime::resolve_references(split, config.common.termination, Some(rhs_cols), references)?;
     let runtimes = runtime::build_nodes_block(split, &config.common, rhs_cols)?;
-    solve_runtimes(split, runtimes, references, config)
+    solve_runtimes(split, runtimes, references, Some(rhs_cols), config)
 }
 
 /// The executor body shared by the scalar and block entry points.
+/// `references = None` runs reference-free (the [`Termination::Residual`]
+/// path); `rhs_cols` names the block's global right-hand sides (`None` =
+/// the split's own source vector).
 fn solve_runtimes(
     split: &SplitSystem,
     runtimes: Vec<NodeRuntime>,
-    references: Vec<Vec<f64>>,
+    references: Option<Vec<Vec<f64>>>,
+    rhs_cols: Option<&[Vec<f64>]>,
     config: &RayonConfig,
 ) -> Result<SolveReport> {
     let n_parts = split.n_parts();
-    let n_rhs = references.len();
+    let n_rhs = runtimes.first().map_or(1, |rt| rt.local().n_rhs());
 
     let pool = Arc::new(
         ThreadPoolBuilder::new()
@@ -235,12 +263,16 @@ fn solve_runtimes(
     let shared = Arc::new(Shared {
         snapshots: runtimes
             .iter()
-            .map(|rt| Mutex::new(vec![0.0; rt.local().n_local() * n_rhs]))
+            .map(|rt| wallclock::SharedBlock::new(rt.local().n_local(), n_rhs))
             .collect(),
         cells: runtimes
             .into_iter()
             .map(|rt| NodeCell {
-                rt: Mutex::new(rt),
+                state: Mutex::new(NodeState {
+                    rt,
+                    drain: Vec::new(),
+                    outbox: Vec::new(),
+                }),
                 inbox: Mutex::new(Vec::new()),
                 scheduled: AtomicBool::new(false),
                 halted: AtomicBool::new(false),
@@ -259,19 +291,17 @@ fn solve_runtimes(
     }
 
     // Supervisor: shared wall-clock loop over the snapshots.
-    let oracle_tol = match config.common.termination {
-        Termination::OracleRms { tol } => Some(tol),
-        Termination::LocalDelta { .. } => None,
-    };
     let outcome = {
         let done = shared.clone();
         let pool2 = pool.clone();
-        let self_halting = oracle_tol.is_none();
+        let self_halting = matches!(config.common.termination, Termination::LocalDelta { .. });
         wallclock::supervise(
             split,
-            &references,
+            references.as_deref(),
+            rhs_cols,
+            n_rhs,
             &shared.snapshots,
-            oracle_tol,
+            config.common.termination,
             config.budget,
             config.poll_interval,
             move || {
@@ -300,7 +330,9 @@ fn solve_runtimes(
     pool.wait_quiescent();
 
     let converged = match config.common.termination {
-        Termination::OracleRms { tol } => outcome.best_rms <= tol,
+        Termination::OracleRms { tol } | Termination::Residual { tol } => {
+            outcome.best_metric <= tol
+        }
         Termination::LocalDelta { .. } => {
             // A node retired by the solve cap never declared convergence;
             // don't let "everyone eventually stopped" masquerade as
@@ -316,6 +348,8 @@ fn solve_runtimes(
         final_rms_per_rhs: outcome.final_rms_per_rhs,
         converged,
         final_rms: outcome.final_rms,
+        final_residual: outcome.final_residual,
+        final_residual_per_rhs: outcome.final_residual_per_rhs,
         final_time_ms: outcome.elapsed.as_secs_f64() * 1e3,
         series: outcome.series,
         total_solves: shared.total_solves.load(Ordering::Relaxed),

@@ -49,13 +49,23 @@ pub struct SolveReport {
     /// Gathered global solution per RHS column (`solutions[0]` ==
     /// `solution`).
     pub solutions: Vec<Vec<f64>>,
-    /// Final RMS error per RHS column.
+    /// Final RMS error per RHS column. **Empty for reference-free runs**
+    /// ([`Termination::Residual`](crate::runtime::Termination::Residual)
+    /// with no explicit reference): no oracle solution exists to compare
+    /// against.
     pub final_rms_per_rhs: Vec<f64>,
     /// Whether the requested tolerance was met.
     pub converged: bool,
     /// Final RMS error against the direct reference solution (worst column
-    /// of a block solve).
+    /// of a block solve). **`NaN` for reference-free runs** — use
+    /// [`final_residual`](Self::final_residual), which is always computed.
     pub final_rms: f64,
+    /// Final relative true residual `‖b − A·x‖₂ / ‖b‖₂` against the
+    /// reconstructed original system, worst column. Always computed (one
+    /// SpMV per column at stop), in every termination mode.
+    pub final_residual: f64,
+    /// Final relative residual per RHS column.
+    pub final_residual_per_rhs: Vec<f64>,
     /// Solver time at stop, in milliseconds: simulated time for the
     /// simnet backend, wall-clock time for real-execution backends.
     pub final_time_ms: f64,
@@ -116,6 +126,8 @@ mod tests {
             final_rms_per_rhs: vec![1e-9],
             converged: true,
             final_rms: 1e-9,
+            final_residual: 2e-9,
+            final_residual_per_rhs: vec![2e-9],
             final_time_ms: 12.5,
             series: vec![(0.0, 1.0), (5.0, 1e-3), (10.0, 1e-7), (12.5, 1e-9)],
             total_solves: 40,

@@ -109,6 +109,23 @@ impl SmallBlock {
         Self::from_fn(vals.len(), |c| vals[c])
     }
 
+    /// Overwrite this block in place with `k` freshly generated columns,
+    /// reusing the spill buffer's capacity — the zero-allocation refill used
+    /// by the pooled wave pipeline (a recycled block never reallocates
+    /// unless `k` outgrows every width it has carried before).
+    pub fn fill_from_fn(&mut self, k: usize, mut f: impl FnMut(usize) -> f64) {
+        self.len = k;
+        if k <= SMALL_BLOCK_INLINE {
+            self.spill.clear();
+            for (c, slot) in self.inline.iter_mut().take(k).enumerate() {
+                *slot = f(c);
+            }
+        } else {
+            self.spill.clear();
+            self.spill.extend((0..k).map(&mut f));
+        }
+    }
+
     /// Number of columns.
     pub fn len(&self) -> usize {
         self.len
@@ -143,6 +160,14 @@ impl From<f64> for SmallBlock {
     }
 }
 
+impl Default for SmallBlock {
+    /// An empty (zero-column) block — the state of a pooled payload before
+    /// its first [`fill_from_fn`](Self::fill_from_fn).
+    fn default() -> Self {
+        Self::from_fn(0, |_| 0.0)
+    }
+}
+
 /// Boundary-condition update for one port of the receiving subdomain.
 ///
 /// This is the paper's message payload (Table 1 step 3.2): the sender's
@@ -170,6 +195,17 @@ impl PortUpdate {
     }
 }
 
+impl Default for PortUpdate {
+    /// An empty pooled slot, overwritten in place before transmission.
+    fn default() -> Self {
+        Self {
+            port: 0,
+            u: SmallBlock::default(),
+            omega: SmallBlock::default(),
+        }
+    }
+}
+
 /// One wave-front message: every boundary condition the sending subdomain
 /// owes one neighbour after a solve.
 #[derive(Debug, Clone, PartialEq)]
@@ -184,9 +220,24 @@ pub struct DtmMsg {
 pub enum Termination {
     /// Oracle: stop when the (centrally monitored) global RMS error drops
     /// below `tol`. Matches how the paper's figures are produced. The
-    /// *backend's* monitor enforces this; nodes never self-halt.
+    /// *backend's* monitor enforces this; nodes never self-halt. Requires a
+    /// direct reference solution `x* = A⁻¹b` per right-hand side — a cost
+    /// real traffic cannot pay, which is what [`Residual`](Self::Residual)
+    /// removes.
     OracleRms {
         /// RMS-error tolerance.
+        tol: f64,
+    },
+    /// Reference-free: stop when the (centrally monitored) relative true
+    /// residual `‖b − A·x‖₂ / ‖b‖₂` of the gathered estimate drops below
+    /// `tol` (worst column of a block solve). No direct solve of the
+    /// original system is ever performed — the monitor tracks the residual
+    /// incrementally from the same per-part solution updates the oracle
+    /// mode uses, with periodic exact resynchronization. This is the
+    /// production stopping rule (cf. Avron et al. 2013, Hong 2012, which
+    /// terminate on computable residuals).
+    Residual {
+        /// Relative-residual tolerance.
         tol: f64,
     },
     /// Distributed: each node halts itself once its outgoing boundary
@@ -250,6 +301,16 @@ impl Transport for BufferedTransport {
     }
 }
 
+/// A bare `Vec<(dst, msg)>` is itself a transport — the reusable-buffer
+/// variant of [`BufferedTransport`]: backends keep one outbox vector per
+/// node and `drain(..)` it after each step, so the buffer's capacity
+/// survives across activations and the scatter path never allocates.
+impl Transport for Vec<(usize, DtmMsg)> {
+    fn send(&mut self, dst: usize, msg: DtmMsg) {
+        self.push((dst, msg));
+    }
+}
+
 /// What a node does after a step.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum NodeControl {
@@ -293,11 +354,26 @@ pub struct NodeRuntime {
     local: LocalSystem,
     /// Per neighbour part: `(receiver_port, my_port)` pairs.
     routes: Vec<(usize, Vec<(usize, usize)>)>,
+    /// Freelist of recycled message payloads: [`step`](Self::step) pops a
+    /// buffer per outgoing wave and refills it in place;
+    /// [`recycle`](Self::recycle) (or [`absorb_owned`](Self::absorb_owned))
+    /// returns consumed payloads. In a balanced two-way exchange the list
+    /// reaches a steady state and the wave pipeline stops allocating
+    /// entirely (for K ≤ [`SMALL_BLOCK_INLINE`]; wider blocks also reuse
+    /// their spill vectors once warm).
+    pool: Vec<Vec<PortUpdate>>,
     termination: Termination,
     max_solves: usize,
     small_streak: usize,
     messages_sent: u64,
     capped: bool,
+}
+
+/// Cap on pooled payload buffers per node: enough for every neighbour to
+/// have one message in flight in each direction plus slack, while bounding
+/// memory if a fast sender outpaces a slow receiver.
+fn pool_cap(n_routes: usize) -> usize {
+    (2 * n_routes).max(8)
 }
 
 impl NodeRuntime {
@@ -342,6 +418,29 @@ impl NodeRuntime {
         }
     }
 
+    /// Merge a whole wave-front message **and recycle its payload buffer**
+    /// into this node's freelist — the allocation-free absorb path every
+    /// executor uses: a consumed message funds the next outgoing one.
+    pub fn absorb_owned(&mut self, msg: DtmMsg) {
+        self.absorb_msg(&msg);
+        self.recycle(msg);
+    }
+
+    /// Return a consumed message's payload buffer to the freelist (bounded;
+    /// overflow is dropped). The buffer's `PortUpdate`s — including any
+    /// heap-spilled wide blocks — are kept intact for in-place refill.
+    pub fn recycle(&mut self, msg: DtmMsg) {
+        if self.pool.len() < pool_cap(self.routes.len()) {
+            self.pool.push(msg.updates);
+        }
+    }
+
+    /// Recycled payload buffers currently pooled (for tests and
+    /// diagnostics).
+    pub fn pooled_buffers(&self) -> usize {
+        self.pool.len()
+    }
+
     /// Solve-and-scatter (Table 1 steps 3.2–3.3, and step 1–2 on the first
     /// call): re-solve the local system against the currently stored
     /// boundary conditions, transmit the resulting `(u, ω)` pairs to every
@@ -349,17 +448,34 @@ impl NodeRuntime {
     pub fn step(&mut self, transport: &mut impl Transport) -> NodeControl {
         self.local.solve();
         let k = self.local.n_rhs();
-        for (dst, pairs) in &self.routes {
-            let updates = pairs
-                .iter()
-                .map(|&(their_port, my_port)| PortUpdate {
-                    port: their_port,
-                    u: SmallBlock::from_fn(k, |c| self.local.outgoing_col(my_port, c).0),
-                    omega: SmallBlock::from_fn(k, |c| self.local.outgoing_col(my_port, c).1),
-                })
-                .collect();
+        // Disjoint field borrows: routes are read while the freelist is
+        // popped and the local system's outgoing state is sampled.
+        let Self {
+            routes,
+            pool,
+            local,
+            messages_sent,
+            ..
+        } = self;
+        for (dst, pairs) in routes.iter() {
+            // Pop a recycled payload buffer — preferring one whose slot
+            // count already matches this neighbour, so resize never
+            // truncates warm spilled blocks (port counts are symmetric, so
+            // a message received from a neighbour is exactly the size of
+            // the one owed back). Only a cold pool allocates.
+            let mut updates = match pool.iter().position(|b| b.len() == pairs.len()) {
+                Some(i) => pool.swap_remove(i),
+                None => pool.pop().unwrap_or_default(),
+            };
+            updates.resize_with(pairs.len(), PortUpdate::default);
+            for (slot, &(their_port, my_port)) in updates.iter_mut().zip(pairs) {
+                slot.port = their_port;
+                slot.u.fill_from_fn(k, |c| local.outgoing_col(my_port, c).0);
+                slot.omega
+                    .fill_from_fn(k, |c| local.outgoing_col(my_port, c).1);
+            }
             transport.send(*dst, DtmMsg { updates });
-            self.messages_sent += 1;
+            *messages_sent += 1;
         }
         if let Termination::LocalDelta { tol, patience } = self.termination {
             if self.local.last_delta() < tol {
@@ -394,6 +510,7 @@ impl NodeRuntime {
             part: self.part,
             local: self.local.with_rhs_block(rhs_cols),
             routes: self.routes.clone(),
+            pool: Vec::new(),
             termination: self.termination,
             max_solves: self.max_solves,
             small_streak: 0,
@@ -434,15 +551,32 @@ pub fn build_nodes_block(
 ) -> Result<Vec<NodeRuntime>> {
     assert!(!rhs_cols.is_empty(), "at least one RHS column");
     let local_cols: Vec<Vec<Vec<f64>>> = rhs_cols.iter().map(|b| split.scatter_rhs(b)).collect();
-    build_nodes_inner(split, common, Some(&local_cols))
+    build_nodes_inner(split, common, Some(transpose_scatter(local_cols)))
 }
 
-/// `local_cols[c][p]` = column `c`'s scattered sources for part `p`; `None`
+/// Regroup scattered RHS columns from per-column `[c][p]` order into the
+/// per-part `[p][c]` order node construction needs — by **moving** the
+/// inner vectors, not cloning them (each scattered column is built exactly
+/// once and consumed exactly once).
+pub(crate) fn transpose_scatter(local_cols: Vec<Vec<Vec<f64>>>) -> Vec<Vec<Vec<f64>>> {
+    let n_parts = local_cols.first().map_or(0, Vec::len);
+    let k = local_cols.len();
+    let mut by_part: Vec<Vec<Vec<f64>>> = (0..n_parts).map(|_| Vec::with_capacity(k)).collect();
+    for col in local_cols {
+        assert_eq!(col.len(), n_parts, "scatter produced one vector per part");
+        for (p, v) in col.into_iter().enumerate() {
+            by_part[p].push(v);
+        }
+    }
+    by_part
+}
+
+/// `part_cols[p][c]` = column `c`'s scattered sources for part `p`; `None`
 /// = the split's own single right-hand side.
 fn build_nodes_inner(
     split: &SplitSystem,
     common: &CommonConfig,
-    local_cols: Option<&[Vec<Vec<f64>>]>,
+    part_cols: Option<Vec<Vec<Vec<f64>>>>,
 ) -> Result<Vec<NodeRuntime>> {
     let z_dtlp = common.impedance.assign(split)?;
     let z_ports = per_port(split, &z_dtlp);
@@ -455,17 +589,15 @@ fn build_nodes_inner(
                 None => routes.push((port.peer.part, vec![(port.peer.port, my_port)])),
             }
         }
-        let local = match local_cols {
+        let local = match &part_cols {
             None => LocalSystem::new(sd, &z_ports[p], common.solver_kind)?,
-            Some(cols) => {
-                let part_cols: Vec<Vec<f64>> = cols.iter().map(|c| c[p].clone()).collect();
-                LocalSystem::new_block(sd, &z_ports[p], common.solver_kind, &part_cols)?
-            }
+            Some(cols) => LocalSystem::new_block(sd, &z_ports[p], common.solver_kind, &cols[p])?,
         };
         nodes.push(NodeRuntime {
             part: p,
             local,
             routes,
+            pool: Vec::new(),
             termination: common.termination,
             max_solves: common.max_solves_per_node,
             small_streak: 0,
@@ -523,6 +655,50 @@ pub fn reference_solutions(
     })
 }
 
+/// Resolve the (now opt-in) oracle references for a run: an explicitly
+/// supplied reference always wins; otherwise the oracle direct solve is
+/// performed only for the termination modes that *need* one
+/// ([`Termination::OracleRms`] to stop, [`Termination::LocalDelta`] to
+/// report RMS). Under [`Termination::Residual`] no reference is ever
+/// computed — the whole point of the mode.
+///
+/// # Errors
+/// Propagates factorization failure of the reconstructed system.
+pub(crate) fn resolve_references(
+    split: &SplitSystem,
+    termination: Termination,
+    rhs_cols: Option<&[Vec<f64>]>,
+    references: Option<Vec<Vec<f64>>>,
+) -> Result<Option<Vec<Vec<f64>>>> {
+    match (references, termination) {
+        (Some(refs), _) => Ok(Some(reference_solutions(split, rhs_cols, Some(refs))?)),
+        (None, Termination::Residual { .. }) => Ok(None),
+        (None, _) => Ok(Some(reference_solutions(split, rhs_cols, None)?)),
+    }
+}
+
+/// Exact per-column relative residuals `‖b_c − A·x_c‖₂ / ‖b_c‖₂` of a set
+/// of gathered solutions, against the reconstructed original system
+/// (`rhs_cols = None` = the split's own right-hand side). One SpMV per
+/// column, performed once at the end of every solve so each report carries
+/// a computable quality number even in oracle mode.
+pub(crate) fn final_residuals(
+    split: &SplitSystem,
+    rhs_cols: Option<&[Vec<f64>]>,
+    solutions: &[Vec<f64>],
+) -> Vec<f64> {
+    let (a, b) = split.reconstruct();
+    let cols: Vec<&[f64]> = match rhs_cols {
+        None => vec![&b],
+        Some(cols) => cols.iter().map(Vec::as_slice).collect(),
+    };
+    solutions
+        .iter()
+        .zip(cols)
+        .map(|(x, c)| a.residual_norm(x, c) / dtm_sparse::vector::norm2_or_one(c))
+        .collect()
+}
+
 /// Shared supervision loop for the real-execution (wall-clock) backends.
 ///
 /// The simulated backend has an omniscient observer inside the event
@@ -533,23 +709,116 @@ pub fn reference_solutions(
 /// work-stealing backends share their termination bookkeeping exactly as
 /// they share the node state machine.
 pub(crate) mod wallclock {
+    use super::Termination;
     use crate::report::StopKind;
     use dtm_graph::evs::SplitSystem;
     use parking_lot::Mutex;
+    use std::sync::atomic::{AtomicU64, Ordering};
     use std::time::{Duration, Instant};
+
+    /// Bitmask of all columns of a `k`-wide block — the one saturating-mask
+    /// rule shared with the publisher side
+    /// ([`LocalSystem::last_solve_cols`](crate::local::LocalSystem::last_solve_cols)).
+    pub(crate) use crate::local::all_cols as all_cols_mask;
+
+    /// A worker's published `n_local × k` solution block with dirty-column
+    /// tracking: workers publish only the columns whose boundary inputs
+    /// changed in the step, and the supervisor copies only columns dirtied
+    /// since its last poll into a persistent mirror — no full-block clone
+    /// on either side of the hand-off.
+    pub(crate) struct SharedBlock {
+        data: Mutex<Vec<f64>>,
+        /// Bumped on every publish; lets the supervisor skip untouched
+        /// parts without taking the lock.
+        version: AtomicU64,
+        /// Columns written since the supervisor last drained.
+        dirty: AtomicU64,
+        nl: usize,
+        k: usize,
+    }
+
+    impl SharedBlock {
+        pub(crate) fn new(nl: usize, k: usize) -> Self {
+            Self {
+                data: Mutex::new(vec![0.0; nl * k]),
+                version: AtomicU64::new(0),
+                dirty: AtomicU64::new(0),
+                nl,
+                k,
+            }
+        }
+
+        /// Publish the columns of `sol` selected by `cols` (a bitmask;
+        /// saturated masks publish everything).
+        pub(crate) fn publish(&self, sol: &[f64], cols: u64) {
+            let mut data = self.data.lock();
+            debug_assert_eq!(sol.len(), data.len(), "published block length");
+            if self.k >= 64 || cols == all_cols_mask(self.k) {
+                data.copy_from_slice(sol);
+            } else {
+                let mut rest = cols;
+                while rest != 0 {
+                    let c = rest.trailing_zeros() as usize;
+                    rest &= rest - 1;
+                    if c < self.k {
+                        let r = c * self.nl..(c + 1) * self.nl;
+                        data[r.clone()].copy_from_slice(&sol[r]);
+                    }
+                }
+            }
+            // Ordered under the data lock: a drain observing the new
+            // version also sees the new data and mask.
+            self.dirty.fetch_or(cols, Ordering::Release);
+            self.version.fetch_add(1, Ordering::Release);
+        }
+
+        /// Copy everything dirtied since the last drain into `mirror`;
+        /// returns the drained column mask (0 = nothing changed, lock never
+        /// taken).
+        fn drain_into(&self, mirror: &mut [f64], seen_version: &mut u64) -> u64 {
+            if self.version.load(Ordering::Acquire) == *seen_version {
+                return 0;
+            }
+            let data = self.data.lock();
+            let mask = self.dirty.swap(0, Ordering::AcqRel);
+            *seen_version = self.version.load(Ordering::Acquire);
+            if self.k >= 64 || mask == all_cols_mask(self.k) {
+                mirror.copy_from_slice(&data);
+            } else {
+                let mut rest = mask;
+                while rest != 0 {
+                    let c = rest.trailing_zeros() as usize;
+                    rest &= rest - 1;
+                    if c < self.k {
+                        let r = c * self.nl..(c + 1) * self.nl;
+                        mirror[r.clone()].copy_from_slice(&data[r]);
+                    }
+                }
+            }
+            mask
+        }
+    }
 
     /// What the supervisor observed by the time the run ended.
     pub(crate) struct Outcome {
         /// Gathered global solution per RHS column at stop.
         pub solutions: Vec<Vec<f64>>,
-        /// Exact RMS against the reference, worst column.
+        /// Exact RMS against the oracle references, worst column — `NaN`
+        /// when the run carried no references (reference-free mode).
         pub final_rms: f64,
-        /// Exact RMS against the reference, per column.
+        /// Exact RMS per column; empty without references.
         pub final_rms_per_rhs: Vec<f64>,
-        /// Best worst-column RMS ever observed at a poll (snapshots can
-        /// drift *past* the tolerance while workers keep iterating).
-        pub best_rms: f64,
-        /// `(elapsed_ms, rms)` series, one point per poll (worst column).
+        /// Exact relative residual `‖b − A·x‖/‖b‖`, worst column — always
+        /// computed (one SpMV per column at stop).
+        pub final_residual: f64,
+        /// Exact relative residual per column.
+        pub final_residual_per_rhs: Vec<f64>,
+        /// Best worst-column driving metric ever observed at a poll
+        /// (snapshots can drift *past* the tolerance while workers keep
+        /// iterating).
+        pub best_metric: f64,
+        /// `(elapsed_ms, metric)` series, one point per poll (worst
+        /// column, in the termination mode's own metric).
         pub series: Vec<(f64, f64)>,
         /// Why the run ended.
         pub stop: StopKind,
@@ -557,52 +826,120 @@ pub(crate) mod wallclock {
         pub elapsed: Duration,
     }
 
-    /// Poll `snapshots` until the oracle tolerance is met by **every**
-    /// column (`tol`), every node reports done (`all_done`), or `budget`
-    /// expires. Each part's snapshot holds its `n_local × k` solution block
-    /// column-major; `references` holds the `k` direct solutions.
+    /// Poll `snapshots` until the termination metric is met by **every**
+    /// column, every node reports done (`all_done`), or `budget` expires.
+    ///
+    /// The driving metric follows `termination`: oracle RMS against
+    /// `references` for [`Termination::OracleRms`], relative true residual
+    /// of the reconstructed system for [`Termination::Residual`] (no
+    /// reference required), and — for [`Termination::LocalDelta`] — a
+    /// passive series in whichever of the two is available.
+    ///
+    /// Per poll the supervisor drains only dirty columns of changed parts
+    /// into persistent mirrors and re-evaluates only the columns that
+    /// moved; a poll where nothing changed reuses the previous metric
+    /// without locking anything.
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn supervise(
         split: &SplitSystem,
-        references: &[Vec<f64>],
-        snapshots: &[Mutex<Vec<f64>>],
-        tol: Option<f64>,
+        references: Option<&[Vec<f64>]>,
+        rhs_cols: Option<&[Vec<f64>]>,
+        n_rhs: usize,
+        snapshots: &[SharedBlock],
+        termination: Termination,
         budget: Duration,
         poll: Duration,
         mut all_done: impl FnMut() -> bool,
     ) -> Outcome {
         let started = Instant::now();
-        let k = references.len();
-        let gather = |snapshots: &[Mutex<Vec<f64>>]| -> Vec<Vec<f64>> {
-            let blocks: Vec<Vec<f64>> = snapshots.iter().map(|m| m.lock().clone()).collect();
-            (0..k)
-                .map(|c| {
-                    let cols: Vec<Vec<f64>> = blocks
-                        .iter()
-                        .map(|b| {
-                            let nl = b.len() / k;
-                            b[c * nl..(c + 1) * nl].to_vec()
-                        })
-                        .collect();
-                    split.gather(&cols)
-                })
-                .collect()
+        let k = n_rhs;
+        let n = split.original_n;
+        let (a, own_b) = split.reconstruct();
+        let b_col = |c: usize| -> &[f64] {
+            match rhs_cols {
+                Some(cols) => &cols[c],
+                None => &own_b,
+            }
         };
-        let rms_cols = |ests: &[Vec<f64>]| -> Vec<f64> {
-            ests.iter()
-                .zip(references)
-                .map(|(e, r)| dtm_sparse::vector::rms_error(e, r))
-                .collect()
+        let b_scale: Vec<f64> = (0..k)
+            .map(|c| dtm_sparse::vector::norm2_or_one(b_col(c)))
+            .collect();
+        let tol = match termination {
+            Termination::OracleRms { tol } | Termination::Residual { tol } => Some(tol),
+            Termination::LocalDelta { .. } => None,
         };
-        let worst = |rms: &[f64]| rms.iter().fold(0.0_f64, |m, &v| m.max(v));
+        let use_oracle_metric = match termination {
+            Termination::OracleRms { .. } => true,
+            Termination::Residual { .. } => false,
+            Termination::LocalDelta { .. } => references.is_some(),
+        };
+
+        // Persistent supervisor-side state: per-part mirrors + versions,
+        // per-column gathered estimates and metric values. All allocated
+        // once here; the poll loop below never allocates.
+        let mut mirrors: Vec<Vec<f64>> = split
+            .subdomains
+            .iter()
+            .map(|sd| vec![0.0; sd.n_local() * k])
+            .collect();
+        let mut seen: Vec<u64> = vec![0; snapshots.len()];
+        let mut est: Vec<Vec<f64>> = (0..k).map(|_| vec![0.0; n]).collect();
+        let mut metric_col: Vec<f64> = vec![f64::INFINITY; k];
+
+        let gather_col = |est: &mut [Vec<f64>], mirrors: &[Vec<f64>], c: usize| {
+            let e = &mut est[c];
+            e.iter_mut().for_each(|v| *v = 0.0);
+            for (sd, m) in split.subdomains.iter().zip(mirrors) {
+                let nl = sd.n_local();
+                for (l, &g) in sd.global_of_local.iter().enumerate() {
+                    e[g] += m[c * nl + l];
+                }
+            }
+            for (v, &cc) in e.iter_mut().zip(&split.copy_count) {
+                *v /= cc as f64;
+            }
+        };
+        let eval_col = |est: &[Vec<f64>], c: usize| -> f64 {
+            if use_oracle_metric {
+                let refs = references.expect("oracle metric requires references");
+                dtm_sparse::vector::rms_error(&est[c], &refs[c])
+            } else {
+                a.residual_norm(&est[c], b_col(c)) / b_scale[c]
+            }
+        };
+
+        let worst = |m: &[f64]| m.iter().fold(0.0_f64, |acc, &v| acc.max(v));
         let mut series = Vec::new();
-        let mut best_rms = f64::INFINITY;
+        let mut best_metric = f64::INFINITY;
         let stop = loop {
             std::thread::sleep(poll);
-            let rms = worst(&rms_cols(&gather(snapshots)));
-            best_rms = best_rms.min(rms);
-            series.push((started.elapsed().as_secs_f64() * 1e3, rms));
+            let mut dirty = 0u64;
+            for (snap, (mirror, seen)) in snapshots.iter().zip(mirrors.iter_mut().zip(&mut seen)) {
+                dirty |= snap.drain_into(mirror, seen);
+            }
+            if dirty != 0 {
+                let mut rest = if k >= 64 { all_cols_mask(64) } else { dirty };
+                while rest != 0 {
+                    let c = rest.trailing_zeros() as usize;
+                    rest &= rest - 1;
+                    if c < k {
+                        gather_col(&mut est, &mirrors, c);
+                        metric_col[c] = eval_col(&est, c);
+                    }
+                }
+                // Saturated masks (k ≥ 64) re-evaluate every column.
+                if k > 64 {
+                    for (c, slot) in metric_col.iter_mut().enumerate().skip(64) {
+                        gather_col(&mut est, &mirrors, c);
+                        *slot = eval_col(&est, c);
+                    }
+                }
+            }
+            let metric = worst(&metric_col);
+            best_metric = best_metric.min(metric);
+            series.push((started.elapsed().as_secs_f64() * 1e3, metric));
             if let Some(tol) = tol {
-                if rms <= tol {
+                if metric <= tol {
                     break StopKind::OracleTolerance;
                 }
             }
@@ -613,14 +950,46 @@ pub(crate) mod wallclock {
                 break StopKind::Budget;
             }
         };
-        let solutions = gather(snapshots);
-        let final_rms_per_rhs = rms_cols(&solutions);
-        let final_rms = worst(&final_rms_per_rhs);
+
+        // Final exact numbers: one last full drain + gather, then both
+        // metrics (oracle RMS only where references exist; residual
+        // always — it is computable from the system alone).
+        for (snap, (mirror, seen)) in snapshots.iter().zip(mirrors.iter_mut().zip(&mut seen)) {
+            snap.drain_into(mirror, seen);
+        }
+        for c in 0..k {
+            gather_col(&mut est, &mirrors, c);
+        }
+        let solutions = est;
+        let final_rms_per_rhs: Vec<f64> = match references {
+            Some(refs) => solutions
+                .iter()
+                .zip(refs)
+                .map(|(e, r)| dtm_sparse::vector::rms_error(e, r))
+                .collect(),
+            None => Vec::new(),
+        };
+        let final_rms = if final_rms_per_rhs.is_empty() {
+            f64::NAN
+        } else {
+            worst(&final_rms_per_rhs)
+        };
+        let final_residual_per_rhs: Vec<f64> = (0..k)
+            .map(|c| a.residual_norm(&solutions[c], b_col(c)) / b_scale[c])
+            .collect();
+        let final_residual = worst(&final_residual_per_rhs);
+        let final_metric = if use_oracle_metric {
+            final_rms
+        } else {
+            final_residual
+        };
         Outcome {
             solutions,
             final_rms,
             final_rms_per_rhs,
-            best_rms: best_rms.min(final_rms),
+            final_residual,
+            final_residual_per_rhs,
+            best_metric: best_metric.min(final_metric),
             series,
             stop,
             elapsed: started.elapsed(),

@@ -153,9 +153,11 @@ impl Node for DtmNode {
         self.run_step(ctx);
     }
 
-    fn receive(&mut self, ctx: &mut Ctx<DtmMsg>, batch: Vec<Envelope<DtmMsg>>) {
-        for env in batch {
-            self.rt.absorb_msg(&env.payload);
+    fn receive(&mut self, ctx: &mut Ctx<DtmMsg>, batch: &mut Vec<Envelope<DtmMsg>>) {
+        for env in batch.drain(..) {
+            // Consume the wave and recycle its payload buffer into this
+            // node's freelist: steady-state exchange allocates nothing.
+            self.rt.absorb_owned(env.payload);
         }
         self.run_step(ctx);
     }
@@ -269,9 +271,14 @@ pub fn solve(
     reference: Option<Vec<f64>>,
     config: &DtmConfig,
 ) -> Result<SolveReport> {
-    let references = runtime::reference_solutions(split, None, reference.map(|r| vec![r]))?;
+    let references = runtime::resolve_references(
+        split,
+        config.common.termination,
+        None,
+        reference.map(|r| vec![r]),
+    )?;
     let nodes = build_nodes(split, &topology, config)?;
-    solve_prepared(split, topology, nodes, references, config)
+    solve_prepared(split, topology, nodes, references, None, config)
 }
 
 /// Run DTM for a **block of right-hand sides** sharing one factorization
@@ -290,14 +297,21 @@ pub fn solve_block(
     references: Option<Vec<Vec<f64>>>,
     config: &DtmConfig,
 ) -> Result<SolveReport> {
-    let references = runtime::reference_solutions(split, Some(rhs_cols), references)?;
+    let references =
+        runtime::resolve_references(split, config.common.termination, Some(rhs_cols), references)?;
     let nodes = build_nodes_block(split, &topology, config, rhs_cols)?;
-    solve_prepared(split, topology, nodes, references, config)
+    solve_prepared(split, topology, nodes, references, Some(rhs_cols), config)
 }
 
 /// Run prebuilt nodes to completion — the engine loop shared by the scalar
 /// path, the block path, and the streaming [`crate::builder::SolveSession`]
 /// (which rebuilds nodes from cached factors between batches).
+///
+/// `references = None` runs **reference-free**: the monitor tracks the
+/// incremental true residual instead of oracle RMS (the
+/// [`Termination::Residual`] path), and the report's RMS fields are
+/// `NaN`/empty. `rhs_cols` names the global right-hand-side columns the
+/// nodes were built with (`None` = the split's own source vector).
 ///
 /// # Errors
 /// Currently infallible; kept fallible for parity with the other entry
@@ -306,35 +320,68 @@ pub fn solve_prepared(
     split: &SplitSystem,
     topology: Topology,
     nodes: Vec<DtmNode>,
-    references: Vec<Vec<f64>>,
+    references: Option<Vec<Vec<f64>>>,
+    rhs_cols: Option<&[Vec<f64>]>,
     config: &DtmConfig,
 ) -> Result<SolveReport> {
-    let n_rhs = references.len();
+    let n_rhs = match (&references, rhs_cols) {
+        (Some(refs), _) => refs.len(),
+        (None, Some(cols)) => cols.len(),
+        (None, None) => 1,
+    };
     let mut engine = Engine::new(topology, nodes);
     if let Some(cap) = config.trace_capacity {
         engine.enable_trace(cap);
     }
-    let mut monitor = Monitor::new_block(split, &references, config.sample_interval);
+    let mut monitor = match (&references, config.common.termination) {
+        // Residual termination stays residual-primary even when a
+        // reference was supplied: the references then only add RMS
+        // reporting, never change the stopping metric (keeps all
+        // backends' stopping behaviour identical for identical inputs).
+        (Some(refs), Termination::Residual { .. }) => {
+            let mut m = Monitor::new_residual(split, rhs_cols, config.sample_interval);
+            m.attach_oracle(refs);
+            m
+        }
+        (Some(refs), _) => Monitor::new_block(split, refs, config.sample_interval),
+        (None, _) => Monitor::new_residual(split, rhs_cols, config.sample_interval),
+    };
     let horizon = SimTime::ZERO + config.horizon;
 
-    let oracle_tol = match config.common.termination {
-        Termination::OracleRms { tol } => Some(tol),
+    let metric_tol = match config.common.termination {
+        Termination::OracleRms { tol } | Termination::Residual { tol } => Some(tol),
         Termination::LocalDelta { .. } => None,
     };
-    // Guard the incremental error tracker against cancellation right where
-    // the stopping decision is made.
-    monitor.set_refresh_below(oracle_tol.unwrap_or(0.0));
+    // Guard the incremental tracker against cancellation right where the
+    // stopping decision is made.
+    monitor.set_refresh_below(metric_tol.unwrap_or(0.0));
     let outcome = engine.run(horizon, |time, part, node: &DtmNode| {
-        let rms = monitor.update_part(part, time, node.local().solution());
-        match oracle_tol {
-            Some(tol) => rms > tol,
+        let metric = monitor.update_part(part, time, node.local().solution());
+        match metric_tol {
+            Some(tol) => metric > tol,
             None => true,
         }
     });
 
     let stats = engine.stats();
-    let final_rms_per_rhs = monitor.rms_exact_per_rhs();
-    let final_rms = final_rms_per_rhs.iter().fold(0.0_f64, |m, &v| m.max(v));
+    let solutions = monitor.estimates();
+    let final_rms_per_rhs = if monitor.has_oracle() {
+        monitor.rms_exact_per_rhs()
+    } else {
+        Vec::new()
+    };
+    let worst = |v: &[f64]| v.iter().fold(0.0_f64, |m, &x| m.max(x));
+    let final_rms = if final_rms_per_rhs.is_empty() {
+        f64::NAN
+    } else {
+        worst(&final_rms_per_rhs)
+    };
+    let final_residual_per_rhs = if monitor.tracks_residual() {
+        monitor.residual_exact_per_rhs()
+    } else {
+        runtime::final_residuals(split, rhs_cols, &solutions)
+    };
+    let final_residual = worst(&final_residual_per_rhs);
     let stop = match outcome.reason {
         StopReason::ObserverStop => StopKind::OracleTolerance,
         StopReason::AllHalted => StopKind::AllHalted,
@@ -346,18 +393,21 @@ pub fn solve_prepared(
     let any_capped = engine.nodes().iter().any(|n| n.rt.capped());
     let converged = match config.common.termination {
         Termination::OracleRms { tol } => final_rms <= tol,
+        Termination::Residual { tol } => final_residual <= tol,
         Termination::LocalDelta { .. } => {
             matches!(stop, StopKind::AllHalted | StopKind::Quiescent) && !any_capped
         }
     };
     Ok(SolveReport {
         backend: BackendKind::Simulated,
-        solution: monitor.estimate().to_vec(),
+        solution: solutions[0].clone(),
         n_rhs,
-        solutions: monitor.estimates(),
+        solutions,
         final_rms_per_rhs,
         converged,
         final_rms,
+        final_residual,
+        final_residual_per_rhs,
         final_time_ms: outcome.final_time.as_millis_f64(),
         series: monitor.into_series(),
         total_solves: stats.activations.iter().sum(),

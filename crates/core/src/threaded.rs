@@ -25,7 +25,6 @@ use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use dtm_graph::evs::SplitSystem;
 use dtm_simnet::Topology;
 use dtm_sparse::Result;
-use parking_lot::Mutex;
 use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -156,9 +155,14 @@ pub fn solve_with_reference(
     reference: Option<Vec<f64>>,
     config: &ThreadedConfig,
 ) -> Result<SolveReport> {
-    let references = runtime::reference_solutions(split, None, reference.map(|r| vec![r]))?;
+    let references = runtime::resolve_references(
+        split,
+        config.common.termination,
+        None,
+        reference.map(|r| vec![r]),
+    )?;
     let runtimes = runtime::build_nodes(split, &config.common)?;
-    solve_runtimes(split, runtimes, references, config)
+    solve_runtimes(split, runtimes, references, None, config)
 }
 
 /// Run DTM on real threads for a **block of right-hand sides** sharing one
@@ -173,20 +177,25 @@ pub fn solve_block(
     references: Option<Vec<Vec<f64>>>,
     config: &ThreadedConfig,
 ) -> Result<SolveReport> {
-    let references = runtime::reference_solutions(split, Some(rhs_cols), references)?;
+    let references =
+        runtime::resolve_references(split, config.common.termination, Some(rhs_cols), references)?;
     let runtimes = runtime::build_nodes_block(split, &config.common, rhs_cols)?;
-    solve_runtimes(split, runtimes, references, config)
+    solve_runtimes(split, runtimes, references, Some(rhs_cols), config)
 }
 
 /// The executor body shared by the scalar and block entry points.
+/// `references = None` runs reference-free (the [`Termination::Residual`]
+/// path); `rhs_cols` names the block's global right-hand sides (`None` =
+/// the split's own source vector).
 fn solve_runtimes(
     split: &SplitSystem,
     runtimes: Vec<NodeRuntime>,
-    references: Vec<Vec<f64>>,
+    references: Option<Vec<Vec<f64>>>,
+    rhs_cols: Option<&[Vec<f64>]>,
     config: &ThreadedConfig,
 ) -> Result<SolveReport> {
     let n_parts = split.n_parts();
-    let n_rhs = references.len();
+    let n_rhs = runtimes.first().map_or(1, |rt| rt.local().n_rhs());
 
     // Wiring: one channel per part; router channel if delays are injected.
     let mut senders: Vec<Sender<DtmMsg>> = Vec::with_capacity(n_parts);
@@ -216,10 +225,10 @@ fn solve_runtimes(
         .iter()
         .map(|r| r.as_ref().expect("receiver present").clone())
         .collect();
-    let snapshots: Arc<Vec<Mutex<Vec<f64>>>> = Arc::new(
+    let snapshots: Arc<Vec<wallclock::SharedBlock>> = Arc::new(
         runtimes
             .iter()
-            .map(|rt| Mutex::new(vec![0.0; rt.local().n_local() * n_rhs]))
+            .map(|rt| wallclock::SharedBlock::new(rt.local().n_local(), n_rhs))
             .collect(),
     );
 
@@ -322,7 +331,9 @@ fn solve_runtimes(
             let step = |rt: &mut NodeRuntime, transport: &mut ChannelTransport| -> bool {
                 let control = rt.step(transport);
                 total_solves.fetch_add(1, Ordering::Relaxed);
-                snapshots[p].lock().copy_from_slice(rt.local().solution());
+                // Publish only the columns this step could have changed —
+                // the supervisor mirrors them incrementally.
+                snapshots[p].publish(rt.local().solution(), rt.local().last_solve_cols());
                 if control == NodeControl::Capped {
                     any_capped.store(true, Ordering::Release);
                 }
@@ -347,13 +358,15 @@ fn solve_runtimes(
                         // zero while a wave is being processed.
                         active.fetch_add(1, Ordering::AcqRel);
                         in_flight.fetch_sub(1, Ordering::AcqRel);
-                        rt.absorb_msg(&first);
+                        // Consumed messages fund the next outgoing ones:
+                        // their payload buffers go to this node's freelist.
+                        rt.absorb_owned(first);
                         // Coalesce whatever else is pending (Table 1
                         // step 3: "one or more of the adjacent
                         // subgraphs").
                         while let Ok(more) = rx.try_recv() {
                             in_flight.fetch_sub(1, Ordering::AcqRel);
-                            rt.absorb_msg(&more);
+                            rt.absorb_owned(more);
                         }
                         let go_on = step(&mut rt, &mut transport);
                         active.fetch_sub(1, Ordering::AcqRel);
@@ -396,15 +409,13 @@ fn solve_runtimes(
     drop(router_tx);
 
     // Supervisor: shared wall-clock loop over the snapshots.
-    let oracle_tol = match config.common.termination {
-        Termination::OracleRms { tol } => Some(tol),
-        Termination::LocalDelta { .. } => None,
-    };
     let outcome = wallclock::supervise(
         split,
-        &references,
+        references.as_deref(),
+        rhs_cols,
+        n_rhs,
         &snapshots,
-        oracle_tol,
+        config.common.termination,
         config.budget,
         config.poll_interval,
         || {
@@ -428,7 +439,9 @@ fn solve_runtimes(
     router_handle.join().expect("router thread panicked");
 
     let converged = match config.common.termination {
-        Termination::OracleRms { tol } => outcome.best_rms <= tol,
+        Termination::OracleRms { tol } | Termination::Residual { tol } => {
+            outcome.best_metric <= tol
+        }
         Termination::LocalDelta { .. } => {
             // A worker retired by the solve cap never declared
             // convergence; don't let "everyone eventually stopped"
@@ -444,6 +457,8 @@ fn solve_runtimes(
         final_rms_per_rhs: outcome.final_rms_per_rhs,
         converged,
         final_rms: outcome.final_rms,
+        final_residual: outcome.final_residual,
+        final_residual_per_rhs: outcome.final_residual_per_rhs,
         final_time_ms: outcome.elapsed.as_secs_f64() * 1e3,
         series: outcome.series,
         total_solves: total_solves.load(Ordering::Relaxed),

@@ -42,7 +42,13 @@ pub trait Node {
     fn start(&mut self, ctx: &mut Ctx<Self::Msg>);
 
     /// Called whenever one or more messages are ready (coalesced batch).
-    fn receive(&mut self, ctx: &mut Ctx<Self::Msg>, batch: Vec<Envelope<Self::Msg>>);
+    ///
+    /// The batch is handed over as a mutable vector so the node can
+    /// `drain(..)` the envelopes (taking ownership of the payloads, e.g. to
+    /// recycle their buffers); the engine reclaims the emptied vector as the
+    /// node's next inbox buffer, so steady-state delivery performs no heap
+    /// allocation.
+    fn receive(&mut self, ctx: &mut Ctx<Self::Msg>, batch: &mut Vec<Envelope<Self::Msg>>);
 }
 
 /// Per-activation context handed to a [`Node`].
@@ -183,6 +189,11 @@ pub struct Engine<N: Node> {
     nodes: Vec<N>,
     queue: BinaryHeap<Reverse<QueuedEvent<N::Msg>>>,
     inbox: Vec<Vec<Envelope<N::Msg>>>,
+    /// Recycled activation buffers: the outbox handed to each `Ctx` and the
+    /// drained batch vector are reused across activations, so steady-state
+    /// delivery allocates nothing.
+    outbox_buf: Vec<(usize, N::Msg)>,
+    batch_buf: Vec<Envelope<N::Msg>>,
     busy_until: Vec<SimTime>,
     wakeup_at: Vec<Option<SimTime>>,
     halted: Vec<bool>,
@@ -212,6 +223,8 @@ impl<N: Node> Engine<N> {
                 ..Default::default()
             },
             inbox: (0..n).map(|_| Vec::new()).collect(),
+            outbox_buf: Vec::new(),
+            batch_buf: Vec::new(),
             busy_until: vec![SimTime::ZERO; n],
             wakeup_at: vec![None; n],
             halted: vec![false; n],
@@ -281,12 +294,13 @@ impl<N: Node> Engine<N> {
         }
     }
 
-    /// Activate `node` at `time` with `batch` (empty = `start`).
+    /// Activate `node` at `time` with `batch` (empty = `start`). The batch
+    /// vector is drained by the node and left reusable for the caller.
     fn activate(
         &mut self,
         node: usize,
         time: SimTime,
-        batch: Vec<Envelope<N::Msg>>,
+        batch: &mut Vec<Envelope<N::Msg>>,
         is_start: bool,
     ) {
         let batch_size = batch.len();
@@ -299,7 +313,7 @@ impl<N: Node> Engine<N> {
                 now: time,
                 node,
                 topology,
-                outbox: Vec::new(),
+                outbox: std::mem::take(&mut self.outbox_buf),
                 compute: SimDuration::ZERO,
                 halt: false,
             };
@@ -317,7 +331,8 @@ impl<N: Node> Engine<N> {
         let done_at = time + compute;
         self.busy_until[node] = done_at;
         let sent = outbox.len();
-        for (dst, payload) in outbox {
+        let mut outbox = outbox;
+        for (dst, payload) in outbox.drain(..) {
             let link_id = self
                 .topology
                 .link_id(node, dst)
@@ -334,6 +349,7 @@ impl<N: Node> Engine<N> {
             self.stats.messages_sent += 1;
             self.push_event(env.delivered_at, EventKind::Deliver(env));
         }
+        self.outbox_buf = outbox;
         if halt {
             self.halted[node] = true;
             self.inbox[node].clear();
@@ -370,7 +386,9 @@ impl<N: Node> Engine<N> {
         if !self.started {
             self.started = true;
             for node in 0..self.nodes.len() {
-                self.activate(node, SimTime::ZERO, Vec::new(), true);
+                let mut batch = std::mem::take(&mut self.batch_buf);
+                self.activate(node, SimTime::ZERO, &mut batch, true);
+                self.batch_buf = batch;
                 if !observer(SimTime::ZERO, node, &self.nodes[node]) {
                     return RunOutcome {
                         final_time: self.now,
@@ -415,8 +433,14 @@ impl<N: Node> Engine<N> {
                         self.schedule_wakeup(node, at);
                         continue;
                     }
-                    let batch = std::mem::take(&mut self.inbox[node]);
-                    self.activate(node, ev.time, batch, false);
+                    // Swap the inbox for the recycled batch buffer: the node
+                    // drains the batch during `activate`, leaving it empty
+                    // and ready to serve as the next swap target.
+                    let mut batch = std::mem::take(&mut self.inbox[node]);
+                    self.inbox[node] = std::mem::take(&mut self.batch_buf);
+                    self.activate(node, ev.time, &mut batch, false);
+                    batch.clear();
+                    self.batch_buf = batch;
                     if !observer(ev.time, node, &self.nodes[node]) {
                         return RunOutcome {
                             final_time: self.now,
@@ -470,8 +494,8 @@ mod tests {
                 ctx.send(1, 0);
             }
         }
-        fn receive(&mut self, ctx: &mut Ctx<u64>, batch: Vec<Envelope<u64>>) {
-            for env in batch {
+        fn receive(&mut self, ctx: &mut Ctx<u64>, batch: &mut Vec<Envelope<u64>>) {
+            for env in batch.drain(..) {
                 self.log.push((ctx.now(), env.payload));
                 if env.payload >= self.limit {
                     ctx.halt();
@@ -542,7 +566,7 @@ mod tests {
                 ctx.send(0, ());
             }
         }
-        fn receive(&mut self, ctx: &mut Ctx<()>, batch: Vec<Envelope<()>>) {
+        fn receive(&mut self, ctx: &mut Ctx<()>, batch: &mut Vec<Envelope<()>>) {
             self.batches.push(batch.len());
             ctx.set_compute(self.compute);
         }
@@ -598,7 +622,7 @@ mod tests {
                     ctx.send(0, ());
                 }
             }
-            fn receive(&mut self, ctx: &mut Ctx<()>, _batch: Vec<Envelope<()>>) {
+            fn receive(&mut self, ctx: &mut Ctx<()>, _batch: &mut Vec<Envelope<()>>) {
                 ctx.halt();
             }
         }
@@ -668,7 +692,7 @@ mod tests {
                     ctx.send(3, ()); // 0 → 3 is not a mesh link
                 }
             }
-            fn receive(&mut self, _: &mut Ctx<()>, _: Vec<Envelope<()>>) {}
+            fn receive(&mut self, _: &mut Ctx<()>, _: &mut Vec<Envelope<()>>) {}
         }
         let topo = Topology::mesh(2, 2).with_delays(&DelayModel::fixed_ms(1.0));
         let mut engine = Engine::new(topo, vec![Rogue, Rogue, Rogue, Rogue]);

@@ -9,6 +9,18 @@ pub fn norm2(x: &[f64]) -> f64 {
     dot(x, x).sqrt()
 }
 
+/// `‖x‖₂`, saturated to 1 when zero — the scale of a relative residual
+/// `‖b − A·x‖ / ‖b‖` (keeps the ratio defined for b = 0, where the
+/// absolute and relative residuals coincide).
+pub fn norm2_or_one(x: &[f64]) -> f64 {
+    let norm = norm2(x);
+    if norm > 0.0 {
+        norm
+    } else {
+        1.0
+    }
+}
+
 /// Infinity (max-abs) norm of `x`.
 #[inline]
 pub fn norm_inf(x: &[f64]) -> f64 {
