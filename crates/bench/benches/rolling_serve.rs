@@ -1,0 +1,44 @@
+//! Rolling admission vs the batch barrier, as a wall-clock serving bench.
+//!
+//! Both policies serve the identical seeded Poisson arrival stream of
+//! mixed-tolerance right-hand sides on the 9×9 grid-Laplacian problem
+//! (the acceptance workload): `rolling/*` admits each arrival into the
+//! live wave exchange the moment a column slot frees up and retires it at
+//! its own tolerance; `batch_barrier` queues arrivals behind the running
+//! batch and pays the strictest member's tolerance for every column. The
+//! simulated-time *latency* comparison (the serving metric itself) is
+//! printed by `repro serve`; this bench pins the *throughput* side — the
+//! wall-clock cost of driving each policy through the same trace — and
+//! keeps both paths from rotting.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dtm_bench::serve;
+use std::hint::black_box;
+
+fn bench_rolling_serve(c: &mut Criterion) {
+    let problem = serve::serve_problem();
+    let trace = serve::poisson_trace(81, 12, 4.0, 4_201);
+    let mut group = c.benchmark_group("rolling_serve");
+    for slots in [2usize, 4] {
+        group.bench_with_input(BenchmarkId::new("rolling", slots), &slots, |bench, &s| {
+            bench.iter(|| {
+                let latencies = serve::serve_rolling(&problem, &trace, s);
+                black_box(serve::latency_stats(&latencies))
+            });
+        });
+    }
+    group.bench_function("batch_barrier", |bench| {
+        bench.iter(|| {
+            let latencies = serve::serve_batch(&problem, &trace);
+            black_box(serve::latency_stats(&latencies))
+        });
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_rolling_serve
+}
+criterion_main!(benches);

@@ -4,6 +4,7 @@
 
 #[cfg(feature = "alloc-count")]
 pub mod alloc_count;
+pub mod serve;
 
 use dtm_core::impedance::ImpedancePolicy;
 use dtm_core::runtime::CommonConfig;
@@ -132,12 +133,25 @@ impl TerminationMode {
 
     /// The report scalar this mode stops on: oracle RMS or relative
     /// residual (`final_rms` is `NaN` on reference-free runs, so pick the
-    /// right field for printing).
+    /// right field for printing — or use [`fmt_metric`] /
+    /// [`SolveReport::final_rms_opt`](dtm_core::SolveReport::final_rms_opt)
+    /// for table cells).
     pub fn metric_of(self, report: &dtm_core::SolveReport) -> f64 {
         match self {
             Self::Oracle => report.final_rms,
             Self::Residual => report.final_residual,
         }
+    }
+}
+
+/// Format an optional metric for a table cell: `-` when the value is
+/// absent (e.g. the oracle RMS of a reference-free run, where
+/// `SolveReport::final_rms` is `NaN` by contract) instead of leaking
+/// `NaN` into the output.
+pub fn fmt_metric(v: Option<f64>) -> String {
+    match v {
+        Some(v) if v.is_finite() => format!("{v:.2e}"),
+        _ => "-".into(),
     }
 }
 
@@ -240,6 +254,13 @@ mod tests {
         let ss = example_5_1_split();
         assert_eq!(ss.dtlps.len(), 2);
         assert_eq!(ss.subdomains[0].matrix.get(0, 0), 2.5);
+    }
+
+    #[test]
+    fn fmt_metric_renders_dash_for_missing_values() {
+        assert_eq!(fmt_metric(Some(1.25e-7)), "1.25e-7");
+        assert_eq!(fmt_metric(None), "-");
+        assert_eq!(fmt_metric(Some(f64::NAN)), "-");
     }
 
     #[test]

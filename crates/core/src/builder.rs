@@ -174,6 +174,10 @@ impl DtmBuilder {
             evs_options.twin_topology = TwinTopology::TreeWithin(pairs);
         }
         let split = evs_split(&graph, &plan, &evs_options)?;
+        // Surface a malformed machine (a DTLP with no directed link) as a
+        // typed error here, at assembly time, rather than a panic once a
+        // backend first looks the delay up.
+        solver::check_mapping(&split, &topology)?;
         let reference = match self.config.common.termination {
             Termination::Residual { .. } => None,
             _ => Some(SparseCholesky::factor_rcm(&self.a)?.solve(&self.b)),
@@ -233,6 +237,39 @@ impl DtmProblem {
     /// Propagates impedance/factorization failures.
     pub fn session(&self) -> Result<SolveSession> {
         SolveSession::new(self.clone())
+    }
+
+    /// Open a **rolling** session on the simulated machine: right-hand
+    /// sides are admitted into the live block wave as slots free up, each
+    /// under its own [`Termination`], and completions stream out as
+    /// [`crate::session::ColumnReport`]s — see [`crate::session`].
+    ///
+    /// # Errors
+    /// Propagates impedance/factorization failures; `slots` must be ≥ 1.
+    pub fn rolling(&self, slots: usize) -> Result<crate::session::RollingSession> {
+        crate::session::RollingSession::new(self, slots)
+    }
+
+    /// Open a rolling session on real OS threads (one per subdomain) —
+    /// the wall-clock variant of [`rolling`](Self::rolling).
+    ///
+    /// # Errors
+    /// See [`rolling`](Self::rolling).
+    pub fn rolling_threaded(&self, slots: usize) -> Result<crate::session::RollingThreadedSession> {
+        crate::session::RollingThreadedSession::new(self, slots)
+    }
+
+    /// Open a rolling session on the in-process work-stealing pool
+    /// (`num_threads = 0` uses the available parallelism).
+    ///
+    /// # Errors
+    /// See [`rolling`](Self::rolling); pool construction may also fail.
+    pub fn rolling_workstealing(
+        &self,
+        slots: usize,
+        num_threads: usize,
+    ) -> Result<crate::session::RollingPoolSession> {
+        crate::session::RollingPoolSession::new(self, slots, num_threads)
     }
 
     /// Run VTM (synchronous rounds) on the same torn system — the paper's

@@ -44,6 +44,10 @@
 //! * [`monitor`] — convergence tracking over time: oracle RMS against the
 //!   direct solution, or the reference-free incremental true residual;
 //! * [`builder`] — the high-level [`DtmBuilder`] entry point;
+//! * [`session`] — **rolling mixed-tolerance sessions**: an admission
+//!   queue that swaps right-hand sides into the live block wave as column
+//!   slots free up, each ticket under its own termination, with per-column
+//!   completion reports — on all three executors;
 //! * [`report`] — the shared solve-report vocabulary.
 //!
 //! ## Quickstart
@@ -72,6 +76,7 @@ pub mod monitor;
 pub mod rayon_backend;
 pub mod report;
 pub mod runtime;
+pub mod session;
 pub mod solver;
 pub mod threaded;
 pub mod vtm;
@@ -81,4 +86,8 @@ pub use impedance::ImpedancePolicy;
 pub use local::LocalSystem;
 pub use report::{BackendKind, SolveReport};
 pub use runtime::{CommonConfig, ExecutorBackend, NodeRuntime, SmallBlock, Termination, Transport};
+pub use session::{
+    ColumnReport, RollingPoolSession, RollingSession, RollingThreadedSession, SessionQueue,
+    TicketId,
+};
 pub use solver::{ComputeModel, DtmConfig};

@@ -244,6 +244,37 @@ impl LocalSystem {
         }
     }
 
+    /// Replace **one column** of the block in place — the rolling-session
+    /// retire/admit step: the column's base right-hand side becomes
+    /// `rhs_col`, its boundary state resets to the zero initial guess of
+    /// eq. (5.6), and its convergence delta re-arms, all without touching
+    /// the other columns, the factor, or the exchange. The column is marked
+    /// touched so the next solve republishes it (dirty-column snapshot
+    /// compatibility).
+    ///
+    /// Waves already in flight still carry the retired column's values;
+    /// absorbing them merely gives the fresh column a nonzero (stale)
+    /// starting boundary state, which asynchronous contraction corrects —
+    /// per-component staleness is exactly what Theorem 6.1 licenses.
+    ///
+    /// # Panics
+    /// Panics if `col >= n_rhs()` or `rhs_col` has the wrong length.
+    pub fn replace_rhs_col(&mut self, col: usize, rhs_col: &[f64]) {
+        assert!(col < self.k, "column {col} out of range (k = {})", self.k);
+        assert_eq!(rhs_col.len(), self.n, "RHS column length");
+        let (n, np) = (self.n, self.n_ports());
+        self.base_rhs[col * n..(col + 1) * n].copy_from_slice(rhs_col);
+        for p in 0..np {
+            let i = col * np + p;
+            self.w[i] = 0.0;
+            self.omega[i] = 0.0;
+            self.prev_out[i] = 0.0;
+        }
+        self.col_delta[col] = f64::INFINITY;
+        self.last_delta = f64::INFINITY;
+        self.touch(col);
+    }
+
     /// Local dimension.
     pub fn n_local(&self) -> usize {
         self.n
@@ -634,6 +665,47 @@ mod tests {
         assert_eq!(fresh.incident_wave_col(0, 1), 0.0);
         // Same factor object, no refactorization.
         assert!(Arc::ptr_eq(&ls.factor, &fresh.factor));
+    }
+
+    #[test]
+    fn replace_rhs_col_resets_only_that_column() {
+        // Swap column 1 of a 2-column block mid-exchange: the swapped
+        // column must behave exactly like a freshly built scalar system
+        // (zero boundary guess, new RHS) while column 0's state and
+        // solutions are untouched.
+        let ss = paper_split();
+        let sd = &ss.subdomains[0];
+        let z = [0.2, 0.1];
+        let cols = vec![sd.rhs.clone(), vec![1.0, -2.0, 0.5]];
+        let mut block = LocalSystem::new_block(sd, &z, LocalSolverKind::Dense, &cols).unwrap();
+        for c in 0..2 {
+            for p in 0..2 {
+                block.set_remote_col(p, c, 0.4 * (c + 1) as f64, -0.2);
+            }
+        }
+        block.solve();
+        let col0_before = block.solution_col(0).to_vec();
+
+        let new_rhs = vec![0.3, 2.0, -1.0];
+        block.replace_rhs_col(1, &new_rhs);
+        assert_eq!(block.incident_wave_col(0, 1), 0.0, "boundary reset");
+        assert_eq!(block.col_deltas()[1], f64::INFINITY, "delta re-armed");
+        block.solve();
+        assert_eq!(
+            block.last_solve_cols(),
+            0b10,
+            "only the swapped column was touched going into the solve"
+        );
+        assert_eq!(block.solution_col(0), col0_before, "column 0 untouched");
+        let mut fresh = LocalSystem::new_block(
+            sd,
+            &z,
+            LocalSolverKind::Dense,
+            std::slice::from_ref(&new_rhs),
+        )
+        .unwrap();
+        fresh.solve();
+        assert_eq!(block.solution_col(1), fresh.solution(), "swapped == fresh");
     }
 
     #[test]

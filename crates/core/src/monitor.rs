@@ -89,6 +89,15 @@ const RESID_FLUSH_EVERY: usize = 32;
 /// See [`RESID_FLUSH_EVERY`].
 const RESID_NEAR_FACTOR: f64 = 16.0;
 
+/// Worst-column relative residual from per-column Σr² and scales.
+fn worst_residual(sum_sq: &[f64], b_scale: &[f64]) -> f64 {
+    sum_sq
+        .iter()
+        .zip(b_scale)
+        .map(|(ss, sc)| ss.max(0.0).sqrt() / sc)
+        .fold(0.0, f64::max)
+}
+
 /// Incremental global-estimate tracker for a K-column solution block, with
 /// an oracle-RMS and/or true-residual metric on top.
 #[derive(Debug, Clone)]
@@ -255,15 +264,19 @@ impl Monitor {
             assert_eq!(c.len(), n, "RHS column length");
             rhs.extend_from_slice(c);
         }
-        let b_scale = rhs_cols
+        let b_scale: Vec<f64> = rhs_cols
             .iter()
             .map(|c| dtm_sparse::vector::norm2_or_one(c))
             .collect();
-        // est = 0 ⇒ r = b ⇒ relative residual exactly 1 per column.
-        let sum_sq = rhs_cols
+        // est = 0 ⇒ r = b ⇒ relative residual exactly 1 per column — except
+        // an all-zero column, whose scale saturates to 1 (absolute
+        // residual) and whose initial metric is therefore exactly 0, never
+        // NaN: x = 0 already solves A·x = 0.
+        let sum_sq: Vec<f64> = rhs_cols
             .iter()
             .map(|c| c.iter().map(|v| v * v).sum())
             .collect();
+        let cached_metric = worst_residual(&sum_sq, &b_scale);
         let mut m = Self::bare(global_of_local, copy_count, n, k, sample_interval);
         m.residual = Some(ResidualTracker {
             a,
@@ -274,7 +287,7 @@ impl Monitor {
             rhs,
             b_scale,
             sum_sq,
-            cached_metric: 1.0,
+            cached_metric,
             updates_since_flush: 0,
         });
         m.primary = Primary::Residual;
@@ -392,12 +405,7 @@ impl Monitor {
                 t.a.residual_into(est_c, &t.rhs[c * n..(c + 1) * n], resid_c);
                 t.sum_sq[c] = resid_c.iter().map(|r| r * r).sum();
             }
-            t.cached_metric = t
-                .sum_sq
-                .iter()
-                .zip(&t.b_scale)
-                .map(|(ss, sc)| ss.max(0.0).sqrt() / sc)
-                .fold(0.0, f64::max);
+            t.cached_metric = worst_residual(&t.sum_sq, &t.b_scale);
         }
         self.metric()
     }
@@ -439,11 +447,7 @@ impl Monitor {
         }
         dirty.clear();
         *updates_since_flush = 0;
-        *cached_metric = sum_sq
-            .iter()
-            .zip(b_scale.iter())
-            .map(|(ss, sc)| ss.max(0.0).sqrt() / sc)
-            .fold(0.0, f64::max);
+        *cached_metric = worst_residual(sum_sq, b_scale);
     }
 
     /// Fold one part's newly solved local block in (`x` is the part's
@@ -504,8 +508,13 @@ impl Monitor {
         }
         let mut metric = self.metric();
         self.updates_since_sync += 1;
+        // `<=`, not `<`: a stop decision compares `metric <= tol`, so the
+        // boundary value must also be re-derived exactly. An incremental
+        // (or deferred-fold) value that drifted **at or below** the
+        // threshold is never allowed to terminate a run by itself — the
+        // exact resync re-derives it before it is reported.
         if self.refresh_below > 0.0
-            && (metric < self.refresh_below || self.updates_since_sync >= RESYNC_EVERY)
+            && (metric <= self.refresh_below || self.updates_since_sync >= RESYNC_EVERY)
         {
             metric = self.resync();
             self.updates_since_sync = 0;
@@ -610,6 +619,118 @@ impl Monitor {
                     / t.b_scale[c]
             })
             .collect()
+    }
+
+    /// Incrementally maintained RMS error of **one** column (rolling
+    /// sessions stop columns individually; the worst-column scalar is the
+    /// batch pipeline's view).
+    ///
+    /// # Panics
+    /// Panics if the monitor carries no oracle references.
+    pub fn col_rms(&self, col: usize) -> f64 {
+        let o = self.oracle.as_ref().expect("monitor has no oracle");
+        (o.sum_sq_err[col].max(0.0) / self.n.max(1) as f64).sqrt()
+    }
+
+    /// Relative residual of one column as of the last flush (cheap; may be
+    /// one flush window stale — confirm a crossing with
+    /// [`residual_exact_col`](Self::residual_exact_col) before acting on
+    /// it).
+    ///
+    /// # Panics
+    /// Panics if the monitor does not track the residual.
+    pub fn col_residual(&self, col: usize) -> f64 {
+        let t = self
+            .residual
+            .as_ref()
+            .expect("monitor does not track the residual");
+        t.sum_sq[col].max(0.0).sqrt() / t.b_scale[col]
+    }
+
+    /// Exactly recomputed RMS error of one column.
+    ///
+    /// # Panics
+    /// Panics if the monitor carries no oracle references.
+    pub fn rms_exact_col(&self, col: usize) -> f64 {
+        let o = self.oracle.as_ref().expect("monitor has no oracle");
+        let n = self.n;
+        dtm_sparse::vector::rms_error(
+            &self.est[col * n..(col + 1) * n],
+            &o.reference[col * n..(col + 1) * n],
+        )
+    }
+
+    /// Exactly recomputed relative residual of one column (one fused SpMV;
+    /// does not disturb the incremental accumulators).
+    ///
+    /// # Panics
+    /// Panics if the monitor does not track the residual.
+    pub fn residual_exact_col(&self, col: usize) -> f64 {
+        let t = self
+            .residual
+            .as_ref()
+            .expect("monitor does not track the residual");
+        let n = self.n;
+        t.a.residual_norm(
+            &self.est[col * n..(col + 1) * n],
+            &t.rhs[col * n..(col + 1) * n],
+        ) / t.b_scale[col]
+    }
+
+    /// Retire/admit one column in place — the rolling-session hand-off.
+    ///
+    /// The estimate state is **kept**: the executors' nodes still hold (and
+    /// keep reporting) their current solutions, so the incremental diffing
+    /// against `part_values` stays consistent; only the *targets* change.
+    /// The residual tracker re-anchors on `rhs_col` (its pending deferred
+    /// deltas for this column are discarded — they described folds against
+    /// the retired right-hand side — and the column's residual is recomputed
+    /// exactly against the new one). When the monitor carries an oracle,
+    /// `reference` replaces the column's reference (`None` zeroes it —
+    /// residual-rule tickets in a mixed session have no oracle and must
+    /// never be judged by RMS).
+    ///
+    /// # Panics
+    /// Panics on column/length mismatch.
+    pub fn replace_column(&mut self, col: usize, rhs_col: &[f64], reference: Option<&[f64]>) {
+        assert!(col < self.k, "column out of range");
+        assert_eq!(rhs_col.len(), self.n, "RHS column length");
+        let n = self.n;
+        if let Some(t) = &mut self.residual {
+            t.rhs[col * n..(col + 1) * n].copy_from_slice(rhs_col);
+            t.b_scale[col] = dtm_sparse::vector::norm2_or_one(rhs_col);
+            // Pending deltas for this column described folds against the
+            // retired RHS; the exact recompute below subsumes them.
+            for &gi in &t.dirty {
+                if gi / n == col {
+                    t.pending[gi] = 0.0;
+                    t.in_dirty[gi] = false;
+                }
+            }
+            t.dirty.retain(|&gi| gi / n != col);
+            let (est_c, resid_c) = (
+                &self.est[col * n..(col + 1) * n],
+                &mut t.resid[col * n..(col + 1) * n],
+            );
+            t.a.residual_into(est_c, &t.rhs[col * n..(col + 1) * n], resid_c);
+            t.sum_sq[col] = resid_c.iter().map(|r| r * r).sum();
+            t.cached_metric = worst_residual(&t.sum_sq, &t.b_scale);
+        }
+        if let Some(o) = &mut self.oracle {
+            let slot = &mut o.reference[col * n..(col + 1) * n];
+            match reference {
+                Some(r) => {
+                    assert_eq!(r.len(), n, "reference column length");
+                    slot.copy_from_slice(r);
+                }
+                None => slot.fill(0.0),
+            }
+            o.sum_sq_err[col] = self.est[col * n..(col + 1) * n]
+                .iter()
+                .zip(&o.reference[col * n..(col + 1) * n])
+                .map(|(e, r)| (e - r) * (e - r))
+                .sum();
+        }
     }
 
     /// Current global estimate of column 0 (copies averaged).
@@ -778,6 +899,170 @@ mod tests {
         assert!(m.rel_residual() < 1e-6);
         m.resync();
         assert!(m.rel_residual() < 1e-10);
+    }
+
+    #[test]
+    fn drifted_incremental_value_cannot_declare_convergence() {
+        // Regression (stale deferred fold): simulate a drifted incremental
+        // accumulator sitting AT or BELOW the stopping tolerance while the
+        // exact residual is far above it. The next update_part must resync
+        // exactly before reporting, so the returned (stop-deciding) metric
+        // is the true one — a drifted value can never terminate a run
+        // early.
+        let (ss, _) = make();
+        let tol = 1e-6;
+        let mut m = Monitor::new_residual(&ss, None, SimDuration::ZERO);
+        m.set_refresh_below(tol);
+        // One genuine update so the estimate is nonzero and far from
+        // convergence.
+        let local0: Vec<f64> = (0..ss.subdomains[0].n_local())
+            .map(|l| 0.5 + l as f64 * 0.1)
+            .collect();
+        m.update_part(0, SimTime::from_nanos(0), &local0);
+        let exact = m.residual_exact_per_rhs()[0];
+        assert!(exact > 100.0 * tol, "setup: far from converged ({exact})");
+        // Fold all pending deltas, then corrupt the incremental
+        // accumulator the way drift would: the cached metric lands exactly
+        // on the tolerance (the `<` vs `<=` boundary) and the per-column
+        // sum agrees with it.
+        m.rel_residual();
+        {
+            let t = m.residual.as_mut().unwrap();
+            t.sum_sq[0] = (tol * t.b_scale[0]).powi(2);
+            t.cached_metric = tol;
+        }
+        assert_eq!(m.metric(), tol, "drifted value is in place");
+        // The next update must NOT report the drifted value: the stop
+        // decision sees the exact resynced metric.
+        let local1 = vec![0.0; ss.subdomains[1].n_local()];
+        let reported = m.update_part(1, SimTime::from_nanos(1), &local1);
+        assert!(
+            reported > tol,
+            "reported {reported} must be the exact metric, not the drifted {tol}"
+        );
+        let exact_now = m.residual_exact_per_rhs()[0];
+        assert!(
+            (reported - exact_now).abs() <= 1e-12 * exact_now.max(1.0),
+            "reported {reported} vs exact {exact_now}"
+        );
+    }
+
+    #[test]
+    fn adversarial_update_orders_stop_only_on_exact_values() {
+        // Contract form of the same regression: across an adversarial
+        // update order (many tiny alternating-sign changes that maximise
+        // cancellation in the deferred folds), every time update_part
+        // returns a value at or below the tolerance, the exact
+        // recomputation agrees — the stop decision never fires on a stale
+        // or drifted number.
+        let (ss, reference) = make();
+        let tol = 1e-3;
+        let mut m = Monitor::new_residual(&ss, None, SimDuration::ZERO);
+        m.set_refresh_below(tol);
+        let mut crossings = 0;
+        for round in 0..120 {
+            for (p, sd) in ss.subdomains.iter().enumerate() {
+                // Converge toward the solution with oscillating over/under
+                // shoot so deltas alternate sign (worst case for aggregated
+                // folds), approaching the tolerance from above.
+                let damp = 1.0 / (1.0 + (round as f64).powi(2) * 0.5);
+                let wiggle = if round % 2 == 0 { 1.0 } else { -1.0 };
+                let local: Vec<f64> = sd
+                    .global_of_local
+                    .iter()
+                    .enumerate()
+                    .map(|(l, &g)| {
+                        reference[g] * (1.0 + wiggle * damp * (0.3 + 0.1 * (l as f64).sin()))
+                    })
+                    .collect();
+                let reported =
+                    m.update_part(p, SimTime::from_nanos((round * 10 + p) as u64), &local);
+                if reported <= tol {
+                    crossings += 1;
+                    let exact = m.residual_exact_per_rhs()[0];
+                    assert!(
+                        (reported - exact).abs() <= 1e-12 * exact.max(1.0),
+                        "round {round}: stop-eligible value {reported} must be \
+                         exact (true residual {exact})"
+                    );
+                }
+            }
+        }
+        assert!(crossings > 0, "the run must actually cross the tolerance");
+    }
+
+    #[test]
+    fn zero_rhs_column_has_defined_residual_from_the_start() {
+        // An all-zero RHS column: ‖b‖ = 0, so the scale saturates to 1 and
+        // the metric is the ABSOLUTE residual — defined (never NaN) and 0
+        // at the zero initial guess, because x = 0 solves A·x = 0 exactly.
+        let (ss, _) = make();
+        let zero = vec![0.0; 16];
+        let mut m =
+            Monitor::new_residual(&ss, Some(std::slice::from_ref(&zero)), SimDuration::ZERO);
+        assert_eq!(m.metric(), 0.0, "initial metric is exactly 0, not NaN/1");
+        assert_eq!(m.rel_residual(), 0.0);
+        assert_eq!(m.residual_exact_per_rhs()[0], 0.0);
+        // Perturbing the estimate raises the absolute residual; it stays
+        // finite and returns to ~0 when the parts report zeros again.
+        let n0 = ss.subdomains[0].n_local();
+        m.update_part(0, SimTime::from_nanos(0), &vec![0.5; n0]);
+        let m1 = m.rel_residual();
+        assert!(m1.is_finite() && m1 > 0.0, "perturbed metric {m1}");
+        m.update_part(0, SimTime::from_nanos(1), &vec![0.0; n0]);
+        assert!(m.rel_residual().is_finite());
+        m.resync();
+        assert!(m.rel_residual() < 1e-12);
+    }
+
+    #[test]
+    fn replace_column_reanchors_both_metrics_mid_run() {
+        // The rolling retire/admit hand-off: replace column 0's RHS (and
+        // oracle reference) while the estimate is mid-flight. Both metrics
+        // must re-anchor on the new targets against the *current* estimate,
+        // and subsequent updates must stay consistent with exact
+        // recomputation.
+        let (ss, reference) = make();
+        let (a, b_old) = ss.reconstruct();
+        let mut m =
+            Monitor::new_residual(&ss, Some(std::slice::from_ref(&b_old)), SimDuration::ZERO);
+        m.attach_oracle(std::slice::from_ref(&reference));
+        // Drive the estimate to the OLD solution.
+        for (p, sd) in ss.subdomains.iter().enumerate() {
+            let local: Vec<f64> = sd.global_of_local.iter().map(|&g| reference[g]).collect();
+            m.update_part(p, SimTime::from_nanos(p as u64), &local);
+        }
+        m.resync();
+        assert!(m.rel_residual() < 1e-10, "converged on the old column");
+
+        // Admit a new RHS into the slot.
+        let b_new = generators::random_rhs(16, 77);
+        let x_new = dtm_sparse::SparseCholesky::factor(&a)
+            .unwrap()
+            .solve(&b_new);
+        m.replace_column(0, &b_new, Some(&x_new));
+        let expect_resid =
+            a.residual_norm(m.estimate(), &b_new) / dtm_sparse::vector::norm2(&b_new);
+        assert!(
+            (m.col_residual(0) - expect_resid).abs() <= 1e-12 * expect_resid.max(1.0),
+            "residual re-anchored: {} vs {}",
+            m.col_residual(0),
+            expect_resid
+        );
+        assert!(
+            (m.col_rms(0) - dtm_sparse::vector::rms_error(m.estimate(), &x_new)).abs() < 1e-12,
+            "oracle re-anchored"
+        );
+        // Feed the NEW solution; both metrics drop to ~0 and incremental
+        // tracking stayed consistent through the swap.
+        for (p, sd) in ss.subdomains.iter().enumerate() {
+            let local: Vec<f64> = sd.global_of_local.iter().map(|&g| x_new[g]).collect();
+            m.update_part(p, SimTime::from_nanos(10 + p as u64), &local);
+        }
+        m.resync();
+        assert!(m.rel_residual() < 1e-10, "resid {}", m.rel_residual());
+        assert!(m.rms_exact_col(0) < 1e-12);
+        assert!(m.residual_exact_col(0) < 1e-10);
     }
 
     #[test]

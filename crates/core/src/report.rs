@@ -57,8 +57,11 @@ pub struct SolveReport {
     /// Whether the requested tolerance was met.
     pub converged: bool,
     /// Final RMS error against the direct reference solution (worst column
-    /// of a block solve). **`NaN` for reference-free runs** — use
-    /// [`final_residual`](Self::final_residual), which is always computed.
+    /// of a block solve). **`NaN` for reference-free runs** (by contract,
+    /// exactly when [`final_rms_per_rhs`](Self::final_rms_per_rhs) is
+    /// empty) — use [`final_rms_opt`](Self::final_rms_opt) for printing
+    /// and [`final_residual`](Self::final_residual), which is always
+    /// computed, for a quality number.
     pub final_rms: f64,
     /// Final relative true residual `‖b − A·x‖₂ / ‖b‖₂` against the
     /// reconstructed original system, worst column. Always computed (one
@@ -87,6 +90,20 @@ pub struct SolveReport {
 }
 
 impl SolveReport {
+    /// [`final_rms`](Self::final_rms) as an `Option`: `None` on
+    /// reference-free runs, where the stored field is `NaN` **by
+    /// contract** (`final_rms.is_nan()` ⇔ `final_rms_per_rhs.is_empty()`;
+    /// every constructor debug-asserts it). Prefer this accessor anywhere
+    /// the value is printed or compared, so a reference-free run renders
+    /// as "no oracle" (e.g. `-`) instead of leaking `NaN` into a table.
+    pub fn final_rms_opt(&self) -> Option<f64> {
+        if self.final_rms.is_nan() {
+            None
+        } else {
+            Some(self.final_rms)
+        }
+    }
+
     /// Time (ms) at which the recorded series first dropped below `rms`;
     /// `None` if it never did. Handy for "time to 10⁻⁶" tables.
     pub fn time_to_rms(&self, rms: f64) -> Option<f64> {

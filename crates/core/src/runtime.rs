@@ -501,6 +501,20 @@ impl NodeRuntime {
         self.capped
     }
 
+    /// Swap **one column** of the live block for a freshly admitted
+    /// right-hand side (see [`LocalSystem::replace_rhs_col`]) — the
+    /// rolling-session retire/admit step. The exchange keeps running: no
+    /// counters reset, no routes change, the node simply solves the new
+    /// column alongside the surviving ones from its next step on. The
+    /// self-halt streak re-arms because the swapped column's delta does.
+    ///
+    /// # Panics
+    /// Panics if `col` is out of range or `rhs_col` has the wrong length.
+    pub fn swap_rhs_col(&mut self, col: usize, rhs_col: &[f64]) {
+        self.local.replace_rhs_col(col, rhs_col);
+        self.small_streak = 0;
+    }
+
     /// Derive a fresh node over the **same factor** for a new block of
     /// local right-hand-side columns — the streaming path: routes,
     /// impedances and the factorization are reused; boundary state,
@@ -774,8 +788,8 @@ pub(crate) mod wallclock {
 
         /// Copy everything dirtied since the last drain into `mirror`;
         /// returns the drained column mask (0 = nothing changed, lock never
-        /// taken).
-        fn drain_into(&self, mirror: &mut [f64], seen_version: &mut u64) -> u64 {
+        /// taken). Shared with the rolling-session supervisors.
+        pub(crate) fn drain_into(&self, mirror: &mut [f64], seen_version: &mut u64) -> u64 {
             if self.version.load(Ordering::Acquire) == *seen_version {
                 return 0;
             }
@@ -974,6 +988,11 @@ pub(crate) mod wallclock {
         } else {
             worst(&final_rms_per_rhs)
         };
+        debug_assert_eq!(
+            final_rms.is_nan(),
+            final_rms_per_rhs.is_empty(),
+            "SolveReport contract: final_rms is NaN exactly on reference-free runs"
+        );
         let final_residual_per_rhs: Vec<f64> = (0..k)
             .map(|c| a.residual_norm(&solutions[c], b_col(c)) / b_scale[c])
             .collect();

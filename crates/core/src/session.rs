@@ -1,0 +1,1296 @@
+//! Rolling mixed-tolerance solve sessions: admit right-hand sides into a
+//! **live** wave exchange, retire them individually, and stream per-column
+//! completion reports.
+//!
+//! The batch [`SolveSession`](crate::builder::SolveSession) works in rigid
+//! rounds: every right-hand side in a batch shares one tolerance, and new
+//! work waits for the whole exchange to drain. The paper's factor-once
+//! design promises more — the local matrices never depend on the
+//! right-hand side, so a *column slot* of the block wave can be recycled
+//! the instant its ticket converges, without quiescing anything. Avron et
+//! al. (2013) supply the license: asynchronous iterations tolerate
+//! per-component staleness, so a freshly admitted column may start from
+//! whatever stale boundary waves are still in flight for the retired one —
+//! contraction corrects the initial state, and the stop decision is
+//! **self-validating** (a ticket only retires when the *exact* metric of
+//! the gathered estimate meets its own tolerance, so stale data can delay
+//! a stop, never corrupt a result).
+//!
+//! The subsystem has one admission/queueing core and three drivers, one
+//! per executor:
+//!
+//! * [`SessionQueue`] — tickets, slot states, completion stream. Pure
+//!   logic, shared by every driver.
+//! * [`RollingSession`] — the simulated machine: the discrete-event engine
+//!   is paused (its event queue, in-flight envelopes and busy windows all
+//!   persist), the retiring column is swapped in place
+//!   ([`dtm_simnet::Engine::nodes_mut`] +
+//!   [`NodeRuntime::swap_rhs_col`](crate::runtime::NodeRuntime::swap_rhs_col)),
+//!   and the run resumes — an instantaneous control action at the current
+//!   simulated instant, not an exchange restart.
+//! * [`RollingThreadedSession`] — one OS thread per subdomain; swap orders
+//!   travel per-part admission mailboxes the workers drain between steps,
+//!   so no worker ever blocks or restarts.
+//! * [`RollingPoolSession`] — the work-stealing pool; swap orders land in
+//!   per-cell mailboxes drained at the top of each activation task.
+//!
+//! Every submitted right-hand side carries its **own**
+//! [`Termination`] — `Residual` and `OracleRms` tolerances mix freely in
+//! one session ([`Termination::LocalDelta`] is rejected: nodes must keep
+//! exchanging for the session's lifetime, so per-node self-halt cannot
+//! coexist with rolling admission). Completion is reported per column as a
+//! [`ColumnReport`] stream instead of one batch-level
+//! [`SolveReport`](crate::report::SolveReport).
+
+use crate::builder::DtmProblem;
+use crate::monitor::Monitor;
+use crate::runtime::{
+    self, wallclock::SharedBlock, CommonConfig, DtmMsg, NodeRuntime, Termination,
+};
+use crate::solver::{self, DtmNode};
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use dtm_graph::evs::SplitSystem;
+use dtm_simnet::{Engine, SimDuration, SimTime, StopReason};
+use dtm_sparse::{Csr, Error, Result, SparseCholesky};
+use parking_lot::Mutex;
+use rayon::{ThreadPool, ThreadPoolBuilder};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Handle for one submitted right-hand side; returned by `submit`, carried
+/// by its [`ColumnReport`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TicketId(pub u64);
+
+impl std::fmt::Display for TicketId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "#{}", self.0)
+    }
+}
+
+/// Per-column completion report — the rolling analogue of a batch
+/// [`SolveReport`](crate::report::SolveReport): one per ticket, streamed
+/// out as tickets retire instead of once per barrier.
+#[derive(Debug, Clone)]
+pub struct ColumnReport {
+    /// Which submission this answers.
+    pub ticket: TicketId,
+    /// The stopping rule the ticket was admitted with.
+    pub termination: Termination,
+    /// Gathered global solution at retirement (split copies averaged).
+    pub solution: Vec<f64>,
+    /// Exact relative residual `‖b − A·x‖₂ / ‖b‖₂` at retirement (absolute
+    /// residual for an all-zero `b`). Always computed.
+    pub final_residual: f64,
+    /// Exact RMS error against the oracle reference — `None` for
+    /// residual-rule tickets, which never pay for an oracle.
+    pub final_rms: Option<f64>,
+    /// Session clock at submission, in milliseconds (simulated time for
+    /// the simnet driver, wall-clock for the real executors).
+    pub submitted_at_ms: f64,
+    /// Session clock at retirement, in milliseconds.
+    pub completed_at_ms: f64,
+}
+
+impl ColumnReport {
+    /// Submission-to-completion latency in milliseconds — the serving
+    /// number the rolling design exists to lower.
+    pub fn latency_ms(&self) -> f64 {
+        self.completed_at_ms - self.submitted_at_ms
+    }
+}
+
+/// One queued or live right-hand side.
+#[derive(Debug, Clone)]
+struct Ticket {
+    id: TicketId,
+    b: Vec<f64>,
+    termination: Termination,
+    /// Direct solution `A⁻¹ b`, present only for `OracleRms` tickets.
+    reference: Option<Vec<f64>>,
+    submitted_at_ms: f64,
+}
+
+/// State of one column slot of the live block wave.
+#[derive(Debug, Clone)]
+enum Slot {
+    /// No ticket occupies the slot. The retired column's values keep
+    /// circulating in the exchange (they are converged, so their deltas
+    /// are ~0 and they cost nothing extra) until an admission overwrites
+    /// them.
+    Idle,
+    /// A live ticket.
+    Active(Ticket),
+}
+
+/// The admission/queueing layer every rolling driver shares: a FIFO of
+/// pending tickets, the slot table of the live block wave, and the
+/// completed-report stream. Owns no executor state — drivers translate
+/// its decisions (admit into slot `s`, retire slot `s`) into column swaps
+/// on their machine.
+#[derive(Debug)]
+pub struct SessionQueue {
+    n: usize,
+    slots: Vec<Slot>,
+    queue: VecDeque<Ticket>,
+    next_ticket: u64,
+    completed: Vec<ColumnReport>,
+}
+
+impl SessionQueue {
+    /// A queue for systems of dimension `n` over `slots` column slots.
+    pub fn new(n: usize, slots: usize) -> Self {
+        assert!(slots >= 1, "at least one column slot");
+        Self {
+            n,
+            slots: vec![Slot::Idle; slots],
+            queue: VecDeque::new(),
+            next_ticket: 0,
+            completed: Vec::new(),
+        }
+    }
+
+    /// Column slots of the live block wave.
+    pub fn n_slots(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Tickets waiting for a slot.
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Tickets currently occupying slots.
+    pub fn active(&self) -> usize {
+        self.slots
+            .iter()
+            .filter(|s| matches!(s, Slot::Active(_)))
+            .count()
+    }
+
+    /// Tickets submitted but not yet completed (queued + live).
+    pub fn outstanding(&self) -> usize {
+        self.pending() + self.active()
+    }
+
+    /// Completed reports not yet taken.
+    pub fn completed(&self) -> usize {
+        self.completed.len()
+    }
+
+    /// Queue a right-hand side under its own stopping rule.
+    ///
+    /// # Errors
+    /// Rejects wrong-length vectors and [`Termination::LocalDelta`]
+    /// (rolling sessions need nodes that keep exchanging; per-node
+    /// self-halt cannot coexist with mid-exchange admission).
+    fn submit(
+        &mut self,
+        b: &[f64],
+        termination: Termination,
+        reference: Option<Vec<f64>>,
+        now_ms: f64,
+    ) -> Result<TicketId> {
+        if b.len() != self.n {
+            return Err(Error::DimensionMismatch {
+                context: "rolling session submit",
+                expected: self.n,
+                actual: b.len(),
+            });
+        }
+        if matches!(termination, Termination::LocalDelta { .. }) {
+            return Err(Error::Parse(
+                "rolling sessions accept Residual or OracleRms tickets; LocalDelta \
+                 self-halt would retire nodes the session still needs"
+                    .into(),
+            ));
+        }
+        debug_assert_eq!(
+            matches!(termination, Termination::OracleRms { .. }),
+            reference.is_some(),
+            "oracle tickets carry a reference, residual tickets never do"
+        );
+        let id = TicketId(self.next_ticket);
+        self.next_ticket += 1;
+        self.queue.push_back(Ticket {
+            id,
+            b: b.to_vec(),
+            termination,
+            reference,
+            submitted_at_ms: now_ms,
+        });
+        Ok(id)
+    }
+
+    /// Lowest-numbered idle slot, if any.
+    fn idle_slot(&self) -> Option<usize> {
+        self.slots.iter().position(|s| matches!(s, Slot::Idle))
+    }
+
+    /// Move the front pending ticket into `slot`; returns the admitted
+    /// ticket for the driver to scatter, or `None` if the queue is empty.
+    fn admit_into(&mut self, slot: usize) -> Option<&Ticket> {
+        debug_assert!(matches!(self.slots[slot], Slot::Idle), "slot occupied");
+        let t = self.queue.pop_front()?;
+        self.slots[slot] = Slot::Active(t);
+        match &self.slots[slot] {
+            Slot::Active(t) => Some(t),
+            Slot::Idle => unreachable!(),
+        }
+    }
+
+    /// Live tickets, as `(slot, ticket)` pairs.
+    fn active_slots(&self) -> impl Iterator<Item = (usize, &Ticket)> {
+        self.slots.iter().enumerate().filter_map(|(i, s)| match s {
+            Slot::Active(t) => Some((i, t)),
+            Slot::Idle => None,
+        })
+    }
+
+    /// Retire the ticket in `slot` with its final numbers; frees the slot.
+    fn retire(
+        &mut self,
+        slot: usize,
+        solution: Vec<f64>,
+        final_residual: f64,
+        final_rms: Option<f64>,
+        now_ms: f64,
+    ) {
+        let t = match std::mem::replace(&mut self.slots[slot], Slot::Idle) {
+            Slot::Active(t) => t,
+            Slot::Idle => panic!("retiring an idle slot"),
+        };
+        self.completed.push(ColumnReport {
+            ticket: t.id,
+            termination: t.termination,
+            solution,
+            final_residual,
+            final_rms,
+            submitted_at_ms: t.submitted_at_ms,
+            completed_at_ms: now_ms,
+        });
+    }
+
+    /// Drain the completed-report stream (submission order not
+    /// guaranteed — tickets complete when their own tolerance is met).
+    pub fn take_completed(&mut self) -> Vec<ColumnReport> {
+        std::mem::take(&mut self.completed)
+    }
+}
+
+/// Node-level configuration for a rolling run: the problem's common config
+/// with self-halt and the solve cap disabled — session nodes live as long
+/// as the session and halt for no reason of their own.
+fn rolling_common(common: &CommonConfig) -> CommonConfig {
+    CommonConfig {
+        termination: Termination::Residual { tol: 0.0 },
+        max_solves_per_node: usize::MAX,
+        ..common.clone()
+    }
+}
+
+/// Lazily factored oracle for `OracleRms` tickets: residual-only sessions
+/// never pay for the direct factorization of the original system.
+#[derive(Debug, Default)]
+struct LazyOracle {
+    factor: Option<SparseCholesky>,
+}
+
+impl LazyOracle {
+    fn reference(&mut self, a: &Csr, b: &[f64]) -> Result<Vec<f64>> {
+        if self.factor.is_none() {
+            self.factor = Some(SparseCholesky::factor_rcm(a)?);
+        }
+        Ok(self.factor.as_ref().expect("just set").solve(b))
+    }
+
+    fn for_ticket(&mut self, a: &Csr, b: &[f64], t: Termination) -> Result<Option<Vec<f64>>> {
+        match t {
+            Termination::OracleRms { .. } => Ok(Some(self.reference(a, b)?)),
+            _ => Ok(None),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Driver 1: the simulated machine.
+// ---------------------------------------------------------------------------
+
+/// A rolling session on the simulated heterogeneous machine.
+///
+/// Built once from a [`DtmProblem`]: every subdomain is factored once,
+/// the engine and its event queue live for the whole session, and columns
+/// are admitted/retired by in-place swaps between `run` slices — the
+/// exchange is never restarted and nothing is ever re-factored.
+///
+/// ```
+/// use dtm_core::runtime::Termination;
+/// use dtm_core::DtmBuilder;
+/// use dtm_simnet::SimDuration;
+/// use dtm_sparse::generators;
+///
+/// let a = generators::grid2d_laplacian(9, 9);
+/// let problem = DtmBuilder::new(a, vec![1.0; 81])
+///     .grid_blocks(9, 9, 2, 2)
+///     .build()
+///     .unwrap();
+/// let mut session = problem.rolling(2).unwrap();
+/// // Mixed tolerances in one session: each stops at its own target.
+/// let loose = session
+///     .submit(&generators::random_rhs(81, 1), Termination::Residual { tol: 1e-3 })
+///     .unwrap();
+/// let tight = session
+///     .submit(&generators::random_rhs(81, 2), Termination::OracleRms { tol: 1e-8 })
+///     .unwrap();
+/// let reports = session.drain_for(SimDuration::from_millis_f64(60_000.0));
+/// assert_eq!(reports.len(), 2);
+/// assert!(reports.iter().any(|r| r.ticket == loose));
+/// assert!(reports.iter().any(|r| r.ticket == tight));
+/// ```
+#[derive(Debug)]
+pub struct RollingSession {
+    split: SplitSystem,
+    engine: Engine<DtmNode>,
+    monitor: Monitor,
+    queue: SessionQueue,
+    /// Reconstructed original system, for oracle references.
+    a: Csr,
+    oracle: LazyOracle,
+    k: usize,
+}
+
+impl RollingSession {
+    pub(crate) fn new(problem: &DtmProblem, slots: usize) -> Result<Self> {
+        if slots == 0 {
+            return Err(Error::Parse("rolling session needs ≥ 1 column slot".into()));
+        }
+        let split = problem.split.clone();
+        let n = split.original_n;
+        let mut config = problem.config.clone();
+        config.common = rolling_common(&config.common);
+        let zero_cols = vec![vec![0.0; n]; slots];
+        let nodes = solver::build_nodes_block(&split, &problem.topology, &config, &zero_cols)?;
+        let engine = Engine::new(problem.topology.clone(), nodes);
+        // Residual tracking only: the oracle tracker is attached lazily on
+        // the first `OracleRms` admission, so residual-only sessions never
+        // pay its per-update accounting in the observer hot loop.
+        let monitor = Monitor::new_residual(&split, Some(&zero_cols), config.sample_interval);
+        let (a, _) = split.reconstruct();
+        Ok(Self {
+            split,
+            engine,
+            monitor,
+            queue: SessionQueue::new(n, slots),
+            a,
+            oracle: LazyOracle::default(),
+            k: slots,
+        })
+    }
+
+    /// Current simulated session clock.
+    pub fn now(&self) -> SimTime {
+        self.engine.now()
+    }
+
+    /// Column slots of the live block wave.
+    pub fn n_slots(&self) -> usize {
+        self.k
+    }
+
+    /// Tickets submitted but not yet completed.
+    pub fn outstanding(&self) -> usize {
+        self.queue.outstanding()
+    }
+
+    /// Total local solves across the session so far — monotone for the
+    /// session's whole life (admissions never reset the exchange).
+    pub fn total_solves(&self) -> u64 {
+        self.engine.stats().activations.iter().sum()
+    }
+
+    /// Queue a right-hand side under its own stopping rule; it is admitted
+    /// into the live wave as soon as a slot is free (immediately, if one
+    /// is).
+    ///
+    /// # Errors
+    /// See [`SessionQueue`] (wrong length, `LocalDelta`); `OracleRms`
+    /// tickets additionally factor the original system once per session.
+    pub fn submit(&mut self, b: &[f64], termination: Termination) -> Result<TicketId> {
+        let reference = self.oracle.for_ticket(&self.a, b, termination)?;
+        let now_ms = self.engine.now().as_millis_f64();
+        let id = self.queue.submit(b, termination, reference, now_ms)?;
+        self.admit_idle_slots();
+        Ok(id)
+    }
+
+    /// Admit pending tickets into every idle slot: swap the column into
+    /// every node's live block and re-anchor the monitor — the exchange
+    /// keeps running throughout.
+    fn admit_idle_slots(&mut self) {
+        while self.queue.pending() > 0 {
+            let Some(slot) = self.queue.idle_slot() else {
+                return;
+            };
+            let t = self.queue.admit_into(slot).expect("pending checked");
+            let (b, reference) = (t.b.clone(), t.reference.clone());
+            let local_cols = self.split.scatter_rhs(&b);
+            for (node, local) in self.engine.nodes_mut().iter_mut().zip(&local_cols) {
+                node.swap_rhs_col(slot, local);
+            }
+            // First oracle ticket: attach the (lazily created) oracle
+            // tracker with zero references; `replace_column` installs this
+            // ticket's real one below. Residual-rule slots never query it.
+            if reference.is_some() && !self.monitor.has_oracle() {
+                let zeros = vec![vec![0.0; self.split.original_n]; self.k];
+                self.monitor.attach_oracle(&zeros);
+            }
+            self.monitor.replace_column(slot, &b, reference.as_deref());
+        }
+    }
+
+    /// Retire `slot` at the current instant and return nothing — the
+    /// report lands in the completed stream.
+    fn retire_slot(&mut self, slot: usize) {
+        let now_ms = self.engine.now().as_millis_f64();
+        let solution = self.monitor.estimate_col(slot).to_vec();
+        let final_residual = self.monitor.residual_exact_col(slot);
+        let final_rms = match self
+            .queue
+            .active_slots()
+            .find(|&(s, _)| s == slot)
+            .map(|(_, t)| t.termination)
+        {
+            Some(Termination::OracleRms { .. }) => Some(self.monitor.rms_exact_col(slot)),
+            _ => None,
+        };
+        self.queue
+            .retire(slot, solution, final_residual, final_rms, now_ms);
+    }
+
+    /// Advance the simulated machine by `d`, admitting and retiring
+    /// tickets as their own tolerances are crossed; returns the reports
+    /// completed in the window.
+    pub fn run_for(&mut self, d: SimDuration) -> Vec<ColumnReport> {
+        let horizon = self.engine.now() + d;
+        self.run_until(horizon, false)
+    }
+
+    /// Run until every outstanding ticket has completed, or `max` more
+    /// simulated time has elapsed; returns everything completed.
+    pub fn drain_for(&mut self, max: SimDuration) -> Vec<ColumnReport> {
+        let horizon = self.engine.now() + max;
+        self.run_until(horizon, true)
+    }
+
+    fn run_until(&mut self, horizon: SimTime, stop_when_drained: bool) -> Vec<ColumnReport> {
+        let mut crossed: Vec<usize> = Vec::new();
+        loop {
+            if stop_when_drained && self.queue.outstanding() == 0 {
+                break;
+            }
+            self.admit_idle_slots();
+            // Keep the monitor resyncing exactly where stop decisions are
+            // made: the tightest live tolerance.
+            let tightest = self
+                .queue
+                .active_slots()
+                .map(|(_, t)| match t.termination {
+                    Termination::Residual { tol } | Termination::OracleRms { tol } => tol,
+                    Termination::LocalDelta { .. } => unreachable!("rejected at submit"),
+                })
+                .fold(f64::INFINITY, f64::min);
+            self.monitor
+                .set_refresh_below(if tightest.is_finite() { tightest } else { 0.0 });
+
+            let Self {
+                engine,
+                monitor,
+                queue,
+                ..
+            } = self;
+            crossed.clear();
+            let outcome = engine.run(horizon, |time, part, node| {
+                monitor.update_part(part, time, node.local().solution());
+                for (slot, t) in queue.active_slots() {
+                    // Cached per-column values gate the check; an exact
+                    // recomputation confirms every crossing, so a stale or
+                    // drifted number can never retire a ticket early.
+                    let done = match t.termination {
+                        Termination::Residual { tol } => {
+                            monitor.col_residual(slot) <= tol
+                                && monitor.residual_exact_col(slot) <= tol
+                        }
+                        Termination::OracleRms { tol } => {
+                            monitor.col_rms(slot) <= tol && monitor.rms_exact_col(slot) <= tol
+                        }
+                        Termination::LocalDelta { .. } => unreachable!("rejected at submit"),
+                    };
+                    if done {
+                        crossed.push(slot);
+                    }
+                }
+                crossed.is_empty()
+            });
+            if !crossed.is_empty() {
+                for slot in crossed.drain(..) {
+                    self.retire_slot(slot);
+                }
+                continue; // resume the same exchange; admissions at loop top
+            }
+            match outcome.reason {
+                StopReason::TimeLimit => break,
+                // A quiescent or fully halted machine cannot make further
+                // progress (only possible with no live tickets driving it).
+                StopReason::QueueEmpty | StopReason::AllHalted => break,
+                StopReason::ObserverStop => unreachable!("observer stops only on crossings"),
+            }
+        }
+        self.queue.take_completed()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Wall-clock drivers (threads, work-stealing pool).
+// ---------------------------------------------------------------------------
+
+/// Supervisor-side state shared by the two real-execution drivers: the
+/// queue, the per-part solution mirrors, the gathered per-column
+/// estimates, and the exact per-ticket stop decisions. The drivers differ
+/// only in how workers run and how swap orders reach them.
+#[derive(Debug)]
+struct WallclockCore {
+    split: SplitSystem,
+    a: Csr,
+    queue: SessionQueue,
+    oracle: LazyOracle,
+    mirrors: Vec<Vec<f64>>,
+    seen: Vec<u64>,
+    est: Vec<Vec<f64>>,
+    started: Instant,
+}
+
+impl WallclockCore {
+    fn new(split: SplitSystem, slots: usize) -> Self {
+        let n = split.original_n;
+        let (a, _) = split.reconstruct();
+        Self {
+            mirrors: split
+                .subdomains
+                .iter()
+                .map(|sd| vec![0.0; sd.n_local() * slots])
+                .collect(),
+            seen: vec![0; split.n_parts()],
+            est: (0..slots).map(|_| vec![0.0; n]).collect(),
+            queue: SessionQueue::new(n, slots),
+            oracle: LazyOracle::default(),
+            a,
+            split,
+            started: Instant::now(),
+        }
+    }
+
+    fn now_ms(&self) -> f64 {
+        self.started.elapsed().as_secs_f64() * 1e3
+    }
+
+    fn submit(&mut self, b: &[f64], termination: Termination) -> Result<TicketId> {
+        let reference = self.oracle.for_ticket(&self.a, b, termination)?;
+        let now_ms = self.now_ms();
+        self.queue.submit(b, termination, reference, now_ms)
+    }
+
+    /// Copy everything the workers dirtied since the last poll into the
+    /// mirrors (cheap no-op for untouched parts).
+    fn drain_snapshots(&mut self, snapshots: &[SharedBlock]) {
+        for (snap, (mirror, seen)) in snapshots
+            .iter()
+            .zip(self.mirrors.iter_mut().zip(&mut self.seen))
+        {
+            snap.drain_into(mirror, seen);
+        }
+    }
+
+    /// Gather one column's global estimate from the mirrors.
+    fn gather_col(&mut self, c: usize) {
+        let k = self.est.len();
+        let e = &mut self.est[c];
+        e.iter_mut().for_each(|v| *v = 0.0);
+        for (sd, m) in self.split.subdomains.iter().zip(&self.mirrors) {
+            let nl = sd.n_local();
+            debug_assert_eq!(m.len(), nl * k);
+            for (l, &g) in sd.global_of_local.iter().enumerate() {
+                e[g] += m[c * nl + l];
+            }
+        }
+        for (v, &cc) in e.iter_mut().zip(&self.split.copy_count) {
+            *v /= cc as f64;
+        }
+    }
+
+    /// One admission/retirement sweep over the drained state. `issue_swap`
+    /// delivers `(slot, per-part local columns)` to the executor's workers.
+    fn sweep(&mut self, mut issue_swap: impl FnMut(usize, &[Vec<f64>])) {
+        loop {
+            // Admissions first, so freed slots refill in the same poll.
+            while self.queue.pending() > 0 {
+                let Some(slot) = self.queue.idle_slot() else {
+                    break;
+                };
+                let t = self.queue.admit_into(slot).expect("pending checked");
+                let local_cols = self.split.scatter_rhs(&t.b);
+                issue_swap(slot, &local_cols);
+            }
+            let slots: Vec<usize> = self.queue.active_slots().map(|(slot, _)| slot).collect();
+            for &slot in &slots {
+                self.gather_col(slot);
+            }
+            // Exact metrics straight off the gathered estimates: the stop
+            // decision is self-validating even while some parts still hold
+            // a just-swapped column's stale state. One scan, one residual
+            // SpMV per residual-rule slot (it *is* the stopping metric);
+            // oracle slots pay theirs only on retirement, for the report.
+            let mut retire: Vec<(usize, f64, Option<f64>)> = Vec::new();
+            for (slot, t) in self.queue.active_slots() {
+                let est = &self.est[slot];
+                let resid =
+                    || self.a.residual_norm(est, &t.b) / dtm_sparse::vector::norm2_or_one(&t.b);
+                match t.termination {
+                    Termination::OracleRms { tol } => {
+                        let reference = t.reference.as_deref().expect("oracle tickets carry one");
+                        let rms = dtm_sparse::vector::rms_error(est, reference);
+                        if rms <= tol {
+                            retire.push((slot, resid(), Some(rms)));
+                        }
+                    }
+                    Termination::Residual { tol } => {
+                        let r = resid();
+                        if r <= tol {
+                            retire.push((slot, r, None));
+                        }
+                    }
+                    Termination::LocalDelta { .. } => unreachable!("rejected at submit"),
+                }
+            }
+            if retire.is_empty() {
+                return;
+            }
+            let now_ms = self.now_ms();
+            for (slot, final_residual, final_rms) in retire {
+                let solution = self.est[slot].clone();
+                self.queue
+                    .retire(slot, solution, final_residual, final_rms, now_ms);
+            }
+        }
+    }
+}
+
+/// One admission order: `(column slot, local RHS column)`.
+type ColumnSwap = (usize, Vec<f64>);
+
+/// Per-part channels and mailboxes shared with the threaded workers.
+struct ThreadedShared {
+    snapshots: Vec<SharedBlock>,
+    /// Admission mailboxes: [`ColumnSwap`] orders the worker drains
+    /// between steps — column swap-in without quiescing.
+    swaps: Vec<Mutex<Vec<ColumnSwap>>>,
+    stop: AtomicBool,
+}
+
+/// A rolling session on real OS threads (one per subdomain).
+///
+/// Workers run the perpetual exchange — every received wave triggers a
+/// re-solve and a re-scatter — for the session's whole life; the caller's
+/// thread is the supervisor: [`poll`](Self::poll) drains solution
+/// snapshots, retires tickets whose own tolerance is met (exact metrics on
+/// the gathered estimate — self-validating), and admits queued tickets by
+/// dropping swap orders into per-part mailboxes. Call
+/// [`finish`](Self::finish) (or drop the session) to stop the workers.
+pub struct RollingThreadedSession {
+    core: WallclockCore,
+    shared: Arc<ThreadedShared>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+    poll_interval: Duration,
+}
+
+impl RollingThreadedSession {
+    pub(crate) fn new(problem: &DtmProblem, slots: usize) -> Result<Self> {
+        if slots == 0 {
+            return Err(Error::Parse("rolling session needs ≥ 1 column slot".into()));
+        }
+        let split = problem.split.clone();
+        let n = split.original_n;
+        let common = rolling_common(&problem.config.common);
+        let zero_cols = vec![vec![0.0; n]; slots];
+        let runtimes = runtime::build_nodes_block(&split, &common, &zero_cols)?;
+        let n_parts = split.n_parts();
+
+        let mut senders: Vec<Sender<DtmMsg>> = Vec::with_capacity(n_parts);
+        let mut receivers: Vec<Option<Receiver<DtmMsg>>> = Vec::with_capacity(n_parts);
+        for _ in 0..n_parts {
+            let (tx, rx) = unbounded::<DtmMsg>();
+            senders.push(tx);
+            receivers.push(Some(rx));
+        }
+        let shared = Arc::new(ThreadedShared {
+            snapshots: runtimes
+                .iter()
+                .map(|rt| SharedBlock::new(rt.local().n_local(), slots))
+                .collect(),
+            swaps: (0..n_parts).map(|_| Mutex::new(Vec::new())).collect(),
+            stop: AtomicBool::new(false),
+        });
+
+        let mut handles = Vec::with_capacity(n_parts);
+        for (p, mut rt) in runtimes.into_iter().enumerate() {
+            let rx = receivers[p].take().expect("receiver unused");
+            let senders = senders.clone();
+            let shared = shared.clone();
+            handles.push(std::thread::spawn(move || {
+                let mut outbox: Vec<(usize, DtmMsg)> = Vec::new();
+                let mut step = |rt: &mut NodeRuntime| {
+                    rt.step(&mut outbox);
+                    for (dst, msg) in outbox.drain(..) {
+                        // Send failures mean the session is tearing down.
+                        let _ = senders[dst].send(msg);
+                    }
+                    shared.snapshots[p]
+                        .publish(rt.local().solution(), rt.local().last_solve_cols());
+                };
+                step(&mut rt); // initial solve, zero boundary guess (eq. 5.6)
+                loop {
+                    if shared.stop.load(Ordering::Acquire) {
+                        return;
+                    }
+                    // Drain admission orders between steps: the swap is an
+                    // in-place column replacement, never a pause.
+                    let mut swapped = false;
+                    {
+                        let mut orders = shared.swaps[p].lock();
+                        for (col, rhs) in orders.drain(..) {
+                            rt.swap_rhs_col(col, &rhs);
+                            swapped = true;
+                        }
+                    }
+                    match rx.recv_timeout(Duration::from_millis(1)) {
+                        Ok(first) => {
+                            rt.absorb_owned(first);
+                            while let Ok(more) = rx.try_recv() {
+                                rt.absorb_owned(more);
+                            }
+                            step(&mut rt);
+                        }
+                        Err(RecvTimeoutError::Timeout) => {
+                            // No wave this millisecond (possible on tiny
+                            // or single-part machines): a swapped column
+                            // must still be solved and published.
+                            if swapped {
+                                step(&mut rt);
+                            }
+                        }
+                        Err(RecvTimeoutError::Disconnected) => return,
+                    }
+                }
+            }));
+        }
+        drop(senders);
+
+        Ok(Self {
+            core: WallclockCore::new(split, slots),
+            shared,
+            handles,
+            poll_interval: Duration::from_micros(200),
+        })
+    }
+
+    /// Tickets submitted but not yet completed.
+    pub fn outstanding(&self) -> usize {
+        self.core.queue.outstanding()
+    }
+
+    /// Queue a right-hand side under its own stopping rule; admission
+    /// happens immediately if a slot is free (completed reports stay
+    /// queued for the next [`poll`](Self::poll) — submitting never
+    /// discards them).
+    ///
+    /// # Errors
+    /// See [`SessionQueue`]; also rejects submissions after
+    /// [`finish`](Self::finish) — the workers are gone, so the ticket
+    /// could never complete.
+    pub fn submit(&mut self, b: &[f64], termination: Termination) -> Result<TicketId> {
+        if self.shared.stop.load(Ordering::Acquire) {
+            return Err(Error::Parse(
+                "rolling session is finished; workers are stopped".into(),
+            ));
+        }
+        let id = self.core.submit(b, termination)?;
+        self.pump();
+        Ok(id)
+    }
+
+    /// Drain snapshots, retire finished tickets, admit queued ones —
+    /// without consuming the completed-report stream.
+    fn pump(&mut self) {
+        let shared = self.shared.clone();
+        self.core.drain_snapshots(&shared.snapshots);
+        self.core.sweep(|slot, local_cols| {
+            for (mailbox, local) in shared.swaps.iter().zip(local_cols) {
+                mailbox.lock().push((slot, local.clone()));
+            }
+        });
+    }
+
+    /// One supervisor pass: drain snapshots, retire finished tickets,
+    /// admit queued ones; returns the reports completed so far.
+    pub fn poll(&mut self) -> Vec<ColumnReport> {
+        self.pump();
+        self.core.queue.take_completed()
+    }
+
+    /// Poll until every outstanding ticket completes or `timeout` elapses.
+    pub fn drain(&mut self, timeout: Duration) -> Vec<ColumnReport> {
+        let deadline = Instant::now() + timeout;
+        let mut out = self.poll();
+        while self.core.queue.outstanding() > 0 && Instant::now() < deadline {
+            std::thread::sleep(self.poll_interval);
+            out.extend(self.poll());
+        }
+        out
+    }
+
+    /// Stop the workers and join them. Further submissions are rejected;
+    /// prefer draining first.
+    pub fn finish(&mut self) {
+        self.shared.stop.store(true, Ordering::Release);
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for RollingThreadedSession {
+    fn drop(&mut self) {
+        self.finish();
+    }
+}
+
+/// One pool node's runtime plus its recycled buffers (same shape as the
+/// batch work-stealing executor).
+struct PoolNodeState {
+    rt: NodeRuntime,
+    drain: Vec<DtmMsg>,
+    outbox: Vec<(usize, DtmMsg)>,
+}
+
+struct PoolCell {
+    state: Mutex<PoolNodeState>,
+    inbox: Mutex<Vec<DtmMsg>>,
+    /// Admission mailbox, drained at the top of each activation.
+    swaps: Mutex<Vec<ColumnSwap>>,
+    scheduled: AtomicBool,
+}
+
+struct PoolShared {
+    cells: Vec<PoolCell>,
+    snapshots: Vec<SharedBlock>,
+    stop: AtomicBool,
+}
+
+/// Run one activation of pool node `p`: drain swap orders and inbox,
+/// merge, solve-and-scatter, schedule receivers — the rolling variant of
+/// the batch executor's task body (no halt states: session nodes never
+/// self-retire).
+fn pool_activate(shared: &Arc<PoolShared>, pool: &Arc<ThreadPool>, p: usize, force: bool) {
+    let cell = &shared.cells[p];
+    cell.scheduled.store(false, Ordering::Release);
+    if shared.stop.load(Ordering::Acquire) {
+        return;
+    }
+    let mut st = cell.state.lock();
+    let PoolNodeState { rt, drain, outbox } = &mut *st;
+    let mut swapped = false;
+    {
+        let mut orders = cell.swaps.lock();
+        for (col, rhs) in orders.drain(..) {
+            rt.swap_rhs_col(col, &rhs);
+            swapped = true;
+        }
+    }
+    std::mem::swap(&mut *cell.inbox.lock(), drain);
+    if drain.is_empty() && !force && !swapped {
+        return;
+    }
+    for msg in drain.drain(..) {
+        rt.absorb_owned(msg);
+    }
+    rt.step(outbox);
+    shared.snapshots[p].publish(rt.local().solution(), rt.local().last_solve_cols());
+    for (dst, msg) in outbox.drain(..) {
+        shared.cells[dst].inbox.lock().push(msg);
+        pool_schedule(shared, pool, dst, false);
+    }
+}
+
+/// Spawn an activation task for `p` unless one is already queued/running.
+fn pool_schedule(shared: &Arc<PoolShared>, pool: &Arc<ThreadPool>, p: usize, force: bool) {
+    if shared.stop.load(Ordering::Acquire) {
+        return;
+    }
+    if shared.cells[p]
+        .scheduled
+        .compare_exchange(false, true, Ordering::AcqRel, Ordering::Acquire)
+        .is_ok()
+    {
+        let shared = shared.clone();
+        let pool2 = pool.clone();
+        pool.spawn(move || pool_activate(&shared, &pool2, p, force));
+    }
+}
+
+/// A rolling session on the in-process work-stealing pool — the serving
+/// shape: subdomain count decoupled from thread count, column swap-in
+/// without quiescing via per-cell admission mailboxes.
+pub struct RollingPoolSession {
+    core: WallclockCore,
+    shared: Arc<PoolShared>,
+    pool: Arc<ThreadPool>,
+    poll_interval: Duration,
+}
+
+impl RollingPoolSession {
+    pub(crate) fn new(problem: &DtmProblem, slots: usize, num_threads: usize) -> Result<Self> {
+        if slots == 0 {
+            return Err(Error::Parse("rolling session needs ≥ 1 column slot".into()));
+        }
+        let split = problem.split.clone();
+        let n = split.original_n;
+        let common = rolling_common(&problem.config.common);
+        let zero_cols = vec![vec![0.0; n]; slots];
+        let runtimes = runtime::build_nodes_block(&split, &common, &zero_cols)?;
+        let n_parts = split.n_parts();
+        let pool = Arc::new(
+            ThreadPoolBuilder::new()
+                .num_threads(num_threads)
+                .build()
+                .map_err(|e| Error::Parse(format!("thread pool: {e}")))?,
+        );
+        let shared = Arc::new(PoolShared {
+            snapshots: runtimes
+                .iter()
+                .map(|rt| SharedBlock::new(rt.local().n_local(), slots))
+                .collect(),
+            cells: runtimes
+                .into_iter()
+                .map(|rt| PoolCell {
+                    state: Mutex::new(PoolNodeState {
+                        rt,
+                        drain: Vec::new(),
+                        outbox: Vec::new(),
+                    }),
+                    inbox: Mutex::new(Vec::new()),
+                    swaps: Mutex::new(Vec::new()),
+                    scheduled: AtomicBool::new(false),
+                })
+                .collect(),
+            stop: AtomicBool::new(false),
+        });
+        // Initial solves (eq. 5.6).
+        for p in 0..n_parts {
+            pool_schedule(&shared, &pool, p, true);
+        }
+        Ok(Self {
+            core: WallclockCore::new(split, slots),
+            shared,
+            pool,
+            poll_interval: Duration::from_micros(200),
+        })
+    }
+
+    /// Tickets submitted but not yet completed.
+    pub fn outstanding(&self) -> usize {
+        self.core.queue.outstanding()
+    }
+
+    /// Queue a right-hand side under its own stopping rule; admission
+    /// happens immediately if a slot is free (completed reports stay
+    /// queued for the next [`poll`](Self::poll) — submitting never
+    /// discards them).
+    ///
+    /// # Errors
+    /// See [`SessionQueue`]; also rejects submissions after
+    /// [`finish`](Self::finish) — the activation chain is stopped, so the
+    /// ticket could never complete.
+    pub fn submit(&mut self, b: &[f64], termination: Termination) -> Result<TicketId> {
+        if self.shared.stop.load(Ordering::Acquire) {
+            return Err(Error::Parse(
+                "rolling session is finished; the pool is stopped".into(),
+            ));
+        }
+        let id = self.core.submit(b, termination)?;
+        self.pump();
+        Ok(id)
+    }
+
+    /// Drain snapshots, retire finished tickets, admit queued ones —
+    /// without consuming the completed-report stream. Swap orders
+    /// additionally kick an activation so an idle cell picks them up
+    /// promptly.
+    fn pump(&mut self) {
+        let shared = self.shared.clone();
+        let pool = self.pool.clone();
+        self.core.drain_snapshots(&shared.snapshots);
+        self.core.sweep(|slot, local_cols| {
+            for (p, (cell, local)) in shared.cells.iter().zip(local_cols).enumerate() {
+                cell.swaps.lock().push((slot, local.clone()));
+                pool_schedule(&shared, &pool, p, true);
+            }
+        });
+    }
+
+    /// One supervisor pass (see [`RollingThreadedSession::poll`]).
+    pub fn poll(&mut self) -> Vec<ColumnReport> {
+        self.pump();
+        self.core.queue.take_completed()
+    }
+
+    /// Poll until every outstanding ticket completes or `timeout` elapses.
+    pub fn drain(&mut self, timeout: Duration) -> Vec<ColumnReport> {
+        let deadline = Instant::now() + timeout;
+        let mut out = self.poll();
+        while self.core.queue.outstanding() > 0 && Instant::now() < deadline {
+            std::thread::sleep(self.poll_interval);
+            out.extend(self.poll());
+        }
+        out
+    }
+
+    /// Stop the pool's activation chain and wait for quiescence.
+    pub fn finish(&mut self) {
+        self.shared.stop.store(true, Ordering::Release);
+        self.pool.wait_quiescent();
+    }
+}
+
+impl Drop for RollingPoolSession {
+    fn drop(&mut self) {
+        self.finish();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::DtmBuilder;
+    use dtm_sparse::generators;
+
+    fn grid_problem(side: usize) -> DtmProblem {
+        let a = generators::grid2d_laplacian(side, side);
+        let b = vec![1.0; side * side];
+        DtmBuilder::new(a, b)
+            .grid_blocks(side, side, 2, 2)
+            .build()
+            .expect("builds")
+    }
+
+    #[test]
+    fn queue_rejects_local_delta_and_wrong_lengths() {
+        let mut q = SessionQueue::new(4, 2);
+        assert!(q
+            .submit(&[1.0; 3], Termination::Residual { tol: 1e-6 }, None, 0.0)
+            .is_err());
+        assert!(q
+            .submit(
+                &[1.0; 4],
+                Termination::LocalDelta {
+                    tol: 1e-9,
+                    patience: 2
+                },
+                None,
+                0.0
+            )
+            .is_err());
+        let id = q
+            .submit(&[1.0; 4], Termination::Residual { tol: 1e-6 }, None, 0.0)
+            .unwrap();
+        assert_eq!(id, TicketId(0));
+        assert_eq!(q.outstanding(), 1);
+        assert_eq!(q.pending(), 1);
+    }
+
+    #[test]
+    fn queue_admission_and_retirement_lifecycle() {
+        let mut q = SessionQueue::new(2, 1);
+        let t0 = q
+            .submit(&[1.0, 2.0], Termination::Residual { tol: 1e-6 }, None, 1.0)
+            .unwrap();
+        let t1 = q
+            .submit(&[3.0, 4.0], Termination::Residual { tol: 1e-3 }, None, 2.0)
+            .unwrap();
+        assert_eq!(q.idle_slot(), Some(0));
+        assert_eq!(q.admit_into(0).unwrap().id, t0);
+        assert_eq!(q.idle_slot(), None, "single slot occupied");
+        assert_eq!(q.active(), 1);
+        q.retire(0, vec![0.5, 0.5], 1e-7, None, 5.0);
+        assert_eq!(q.idle_slot(), Some(0), "slot recycled");
+        assert_eq!(q.admit_into(0).unwrap().id, t1);
+        q.retire(0, vec![0.1, 0.1], 1e-4, None, 9.0);
+        let done = q.take_completed();
+        assert_eq!(done.len(), 2);
+        assert_eq!(done[0].ticket, t0);
+        assert!((done[0].latency_ms() - 4.0).abs() < 1e-12);
+        assert_eq!(done[1].ticket, t1);
+        assert!((done[1].latency_ms() - 7.0).abs() < 1e-12);
+        assert_eq!(q.outstanding(), 0);
+    }
+
+    #[test]
+    fn rolling_sim_session_admits_mid_exchange_without_restart() {
+        let problem = grid_problem(8);
+        let (a, _) = problem.split.reconstruct();
+        let mut session = problem.rolling(2).expect("builds");
+        let b1 = generators::random_rhs(64, 11);
+        let b2 = generators::random_rhs(64, 12);
+        let b3 = generators::random_rhs(64, 13);
+        // Two tickets occupy both slots; the third queues.
+        session
+            .submit(&b1, Termination::Residual { tol: 1e-8 })
+            .unwrap();
+        session
+            .submit(&b2, Termination::Residual { tol: 1e-8 })
+            .unwrap();
+        session
+            .submit(&b3, Termination::OracleRms { tol: 1e-8 })
+            .unwrap();
+        assert_eq!(session.outstanding(), 3);
+        // Run a short slice: the exchange starts and time advances.
+        let _ = session.run_for(SimDuration::from_millis_f64(1.0));
+        let (t_mid, solves_mid) = (session.now(), session.total_solves());
+        assert!(solves_mid > 0, "exchange is live");
+        // Drain: ticket 3 must be admitted into a recycled slot while the
+        // same exchange keeps running — time and solve counts continue
+        // monotonically from the mid-run snapshot, never reset.
+        let reports = session.drain_for(SimDuration::from_millis_f64(600_000.0));
+        assert_eq!(reports.len(), 3, "all tickets complete");
+        assert!(session.now() > t_mid, "simulated time never restarted");
+        assert!(
+            session.total_solves() > solves_mid,
+            "solve counters continued, not reset"
+        );
+        for r in &reports {
+            let b = match r.ticket {
+                TicketId(0) => &b1,
+                TicketId(1) => &b2,
+                _ => &b3,
+            };
+            // Residual tickets stopped on the relative residual itself; the
+            // oracle ticket stopped on its RMS, which bounds the residual
+            // more loosely.
+            let bound = if r.ticket == TicketId(2) { 1e-5 } else { 1e-8 };
+            assert!(
+                a.residual_norm(&r.solution, b) / dtm_sparse::vector::norm2(b) <= bound * 1.0001,
+                "ticket {} meets its own tolerance",
+                r.ticket
+            );
+            assert!(r.latency_ms() >= 0.0);
+        }
+        // The oracle ticket reports an RMS; residual tickets don't.
+        let oracle_report = reports.iter().find(|r| r.ticket == TicketId(2)).unwrap();
+        assert!(oracle_report.final_rms.is_some());
+        assert!(oracle_report.final_rms.unwrap() <= 1e-8);
+        assert!(reports
+            .iter()
+            .filter(|r| r.ticket != TicketId(2))
+            .all(|r| r.final_rms.is_none()));
+    }
+
+    #[test]
+    fn rolling_sim_mixed_tolerances_stop_at_their_own_targets() {
+        let problem = grid_problem(8);
+        let mut session = problem.rolling(2).expect("builds");
+        let b_loose = generators::random_rhs(64, 21);
+        let b_tight = generators::random_rhs(64, 22);
+        let loose = session
+            .submit(&b_loose, Termination::Residual { tol: 1e-2 })
+            .unwrap();
+        let tight = session
+            .submit(&b_tight, Termination::Residual { tol: 1e-9 })
+            .unwrap();
+        let reports = session.drain_for(SimDuration::from_millis_f64(600_000.0));
+        assert_eq!(reports.len(), 2);
+        let r_loose = reports.iter().find(|r| r.ticket == loose).unwrap();
+        let r_tight = reports.iter().find(|r| r.ticket == tight).unwrap();
+        assert!(r_loose.final_residual <= 1e-2);
+        assert!(r_tight.final_residual <= 1e-9);
+        assert!(
+            r_loose.completed_at_ms < r_tight.completed_at_ms,
+            "the loose ticket retires earlier ({} vs {} ms), not at a shared barrier",
+            r_loose.completed_at_ms,
+            r_tight.completed_at_ms
+        );
+    }
+
+    #[test]
+    fn rolling_session_rejects_local_delta_and_zero_slots() {
+        let problem = grid_problem(6);
+        assert!(problem.rolling(0).is_err());
+        let mut session = problem.rolling(1).unwrap();
+        assert!(session
+            .submit(
+                &[0.0; 36],
+                Termination::LocalDelta {
+                    tol: 1e-9,
+                    patience: 2
+                }
+            )
+            .is_err());
+        assert!(session
+            .submit(&[0.0; 35], Termination::Residual { tol: 1e-6 })
+            .is_err());
+    }
+
+    #[test]
+    fn rolling_threaded_session_serves_staggered_tickets() {
+        let problem = grid_problem(8);
+        let (a, _) = problem.split.reconstruct();
+        let mut session = problem.rolling_threaded(2).expect("spawns");
+        let b1 = generators::random_rhs(64, 31);
+        let b2 = generators::random_rhs(64, 32);
+        session
+            .submit(&b1, Termination::Residual { tol: 1e-7 })
+            .unwrap();
+        let r1 = session.drain(Duration::from_secs(60));
+        assert_eq!(r1.len(), 1, "first ticket completes");
+        // Staggered admission into the still-running exchange.
+        session
+            .submit(&b2, Termination::OracleRms { tol: 1e-7 })
+            .unwrap();
+        let r2 = session.drain(Duration::from_secs(60));
+        assert_eq!(r2.len(), 1, "second ticket completes");
+        session.finish();
+        assert!(a.residual_norm(&r1[0].solution, &b1) / dtm_sparse::vector::norm2(&b1) <= 2e-7);
+        assert!(r2[0].final_rms.expect("oracle ticket") <= 1e-7);
+    }
+
+    #[test]
+    fn rolling_pool_session_serves_staggered_tickets() {
+        let problem = grid_problem(8);
+        let (a, _) = problem.split.reconstruct();
+        let mut session = problem.rolling_workstealing(2, 2).expect("spawns");
+        let b1 = generators::random_rhs(64, 41);
+        let b2 = generators::random_rhs(64, 42);
+        session
+            .submit(&b1, Termination::Residual { tol: 1e-7 })
+            .unwrap();
+        session
+            .submit(&b2, Termination::Residual { tol: 1e-4 })
+            .unwrap();
+        let reports = session.drain(Duration::from_secs(60));
+        session.finish();
+        assert_eq!(reports.len(), 2);
+        let r1 = reports.iter().find(|r| r.ticket == TicketId(0)).unwrap();
+        let r2 = reports.iter().find(|r| r.ticket == TicketId(1)).unwrap();
+        assert!(a.residual_norm(&r1.solution, &b1) / dtm_sparse::vector::norm2(&b1) <= 2e-7);
+        assert!(a.residual_norm(&r2.solution, &b2) / dtm_sparse::vector::norm2(&b2) <= 2e-4);
+    }
+}

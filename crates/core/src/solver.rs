@@ -123,6 +123,14 @@ impl DtmNode {
     pub fn part(&self) -> usize {
         self.rt.part()
     }
+
+    /// Swap one column of the live block for a freshly admitted local
+    /// right-hand side (see
+    /// [`NodeRuntime::swap_rhs_col`](crate::runtime::NodeRuntime::swap_rhs_col))
+    /// — called by the rolling session between engine `run` slices.
+    pub fn swap_rhs_col(&mut self, col: usize, rhs_col: &[f64]) {
+        self.rt.swap_rhs_col(col, rhs_col);
+    }
 }
 
 /// Adapter: scattered waves leave through the simulation context, so the
@@ -202,8 +210,11 @@ pub fn build_nodes_block(
 }
 
 /// Check the algorithm-architecture mapping before the (dominant)
-/// factorization cost: every DTLP needs a directed machine link.
-fn check_mapping(split: &SplitSystem, topology: &Topology) -> Result<()> {
+/// factorization cost: every DTLP needs a directed machine link. Shared
+/// with [`DtmBuilder::build`](crate::builder::DtmBuilder::build), so a
+/// malformed machine surfaces as a typed error at assembly time instead of
+/// a [`dtm_simnet::MissingLink`] panic mid-run.
+pub(crate) fn check_mapping(split: &SplitSystem, topology: &Topology) -> Result<()> {
     if topology.n_nodes() != split.n_parts() {
         return Err(Error::DimensionMismatch {
             context: "DTM: one processor per subdomain",
@@ -214,10 +225,10 @@ fn check_mapping(split: &SplitSystem, topology: &Topology) -> Result<()> {
     for (p, sd) in split.subdomains.iter().enumerate() {
         for port in &sd.ports {
             let dst = port.peer.part;
-            if topology.link(p, dst).is_none() {
+            if let Err(missing) = topology.try_delay(p, dst) {
                 return Err(Error::Parse(format!(
-                    "subdomains {p} and {dst} share a DTLP but the machine has \
-                     no link {p} → {dst}; delay mapping impossible"
+                    "subdomains {p} and {dst} share a DTLP but {missing}; \
+                     delay mapping impossible"
                 )));
             }
         }
@@ -376,6 +387,11 @@ pub fn solve_prepared(
     } else {
         worst(&final_rms_per_rhs)
     };
+    debug_assert_eq!(
+        final_rms.is_nan(),
+        final_rms_per_rhs.is_empty(),
+        "SolveReport contract: final_rms is NaN exactly on reference-free runs"
+    );
     let final_residual_per_rhs = if monitor.tracks_residual() {
         monitor.residual_exact_per_rhs()
     } else {

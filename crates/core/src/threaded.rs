@@ -197,6 +197,28 @@ fn solve_runtimes(
     let n_parts = split.n_parts();
     let n_rhs = runtimes.first().map_or(1, |rt| rt.local().n_rhs());
 
+    // Validate an injected delay topology up front: every wave route needs
+    // a directed link, or the transport would panic inside a worker thread
+    // (surfacing as a join panic) the first time it looked the delay up.
+    if let Some(topo) = &config.delay_topology {
+        if topo.n_nodes() != n_parts {
+            return Err(dtm_sparse::Error::DimensionMismatch {
+                context: "threaded delay topology: processors vs parts",
+                expected: n_parts,
+                actual: topo.n_nodes(),
+            });
+        }
+        for rt in &runtimes {
+            for dst in rt.neighbor_parts() {
+                if let Err(missing) = topo.try_delay(rt.part(), dst) {
+                    return Err(dtm_sparse::Error::Parse(format!(
+                        "threaded delay topology: {missing}"
+                    )));
+                }
+            }
+        }
+    }
+
     // Wiring: one channel per part; router channel if delays are injected.
     let mut senders: Vec<Sender<DtmMsg>> = Vec::with_capacity(n_parts);
     let mut receivers: Vec<Option<Receiver<DtmMsg>>> = Vec::with_capacity(n_parts);
@@ -596,6 +618,36 @@ mod tests {
         assert_eq!(report.stop, StopKind::AllHalted);
         assert!(report.converged);
         assert!(report.final_rms < 1e-6, "rms {}", report.final_rms);
+    }
+
+    #[test]
+    fn malformed_delay_topology_is_a_typed_error_not_a_panic() {
+        // Regression: a delay topology missing a route's link used to
+        // panic inside a worker thread ("no link {src} → {dst}") and
+        // surface as a join panic; it must be a typed error before any
+        // thread spawns.
+        let ss = grid_split(6, 3, 76);
+        // A 3-node topology with NO links at all: every route is missing.
+        let topo = dtm_simnet::Topology::from_links(3, vec![]);
+        let config = ThreadedConfig {
+            delay_topology: Some(topo),
+            budget: Duration::from_secs(5),
+            ..Default::default()
+        };
+        let err = solve(&ss, &config);
+        assert!(err.is_err(), "missing links must be a typed error");
+        let msg = format!("{}", err.unwrap_err());
+        assert!(msg.contains("no link"), "typed message, got: {msg}");
+
+        // Wrong processor count is likewise typed.
+        let wrong = ThreadedConfig {
+            delay_topology: Some(
+                dtm_simnet::Topology::ring(4).with_delays(&DelayModel::fixed_ms(1.0)),
+            ),
+            budget: Duration::from_secs(5),
+            ..Default::default()
+        };
+        assert!(solve(&ss, &wrong).is_err());
     }
 
     #[test]

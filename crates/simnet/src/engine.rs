@@ -253,6 +253,16 @@ impl<N: Node> Engine<N> {
         &self.nodes
     }
 
+    /// Mutable access to the nodes **between** [`run`](Self::run) calls —
+    /// the rolling-session hook: a paused run's event queue, in-flight
+    /// envelopes and per-node busy windows all persist, so mutating node
+    /// state here (e.g. swapping a retired right-hand-side column for a
+    /// freshly admitted one) is an instantaneous control action at the
+    /// current simulated instant, not an exchange restart.
+    pub fn nodes_mut(&mut self) -> &mut [N] {
+        &mut self.nodes
+    }
+
     /// The topology.
     pub fn topology(&self) -> &Topology {
         &self.topology

@@ -33,4 +33,4 @@ pub mod trace;
 pub use delays::DelayModel;
 pub use engine::{Ctx, Engine, Envelope, Node, RunOutcome, Stats, StopReason};
 pub use time::{SimDuration, SimTime};
-pub use topology::{Link, Topology};
+pub use topology::{Link, MissingLink, Topology};

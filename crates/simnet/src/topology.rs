@@ -9,6 +9,33 @@ use crate::delays::DelayModel;
 use crate::time::SimDuration;
 use std::collections::HashMap;
 
+/// A directed link required by a delay lookup is absent from the topology —
+/// the machine cannot realise the algorithm's delay mapping.
+///
+/// Returned by [`Topology::try_delay`] so malformed topologies surface as a
+/// typed error through the builder/executor layers instead of a panic in
+/// the middle of a run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MissingLink {
+    /// Source processor of the missing link.
+    pub src: usize,
+    /// Destination processor of the missing link.
+    pub dst: usize,
+}
+
+impl std::fmt::Display for MissingLink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "no link {} → {}: the machine has no directed connection to \
+             realise this transmission delay",
+            self.src, self.dst
+        )
+    }
+}
+
+impl std::error::Error for MissingLink {}
+
 /// A directed communication link.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Link {
@@ -210,14 +237,26 @@ impl Topology {
         self.index.get(&(src, dst)).copied()
     }
 
+    /// Delay of `src → dst`, as a typed error when the link is absent.
+    ///
+    /// # Errors
+    /// Returns [`MissingLink`] when the topology carries no directed link
+    /// `src → dst` — callers that validate machines up front (e.g. the
+    /// builder's mapping check) surface this instead of panicking mid-run.
+    pub fn try_delay(&self, src: usize, dst: usize) -> Result<SimDuration, MissingLink> {
+        self.link(src, dst)
+            .map(|l| l.delay)
+            .ok_or(MissingLink { src, dst })
+    }
+
     /// Delay of `src → dst`.
     ///
     /// # Panics
-    /// Panics if the link does not exist (a DTM mapping bug).
+    /// Panics if the link does not exist (a DTM mapping bug); use
+    /// [`try_delay`](Self::try_delay) where a malformed topology is user
+    /// input rather than an internal invariant.
     pub fn delay(&self, src: usize, dst: usize) -> SimDuration {
-        self.link(src, dst)
-            .unwrap_or_else(|| panic!("no link {src} → {dst}"))
-            .delay
+        self.try_delay(src, dst).unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Smallest and largest link delay (0, 0) for an empty topology.
@@ -382,5 +421,18 @@ mod tests {
     fn missing_link_delay_panics() {
         let t = Topology::mesh(2, 2);
         let _ = t.delay(0, 3);
+    }
+
+    #[test]
+    fn try_delay_returns_typed_error_for_missing_link() {
+        let t = Topology::mesh(2, 2).with_delays(&DelayModel::fixed_ms(2.0));
+        assert_eq!(
+            t.try_delay(0, 1),
+            Ok(SimDuration::from_millis_f64(2.0)),
+            "present link resolves"
+        );
+        let err = t.try_delay(0, 3).unwrap_err();
+        assert_eq!(err, MissingLink { src: 0, dst: 3 });
+        assert!(err.to_string().contains("no link 0 → 3"));
     }
 }

@@ -135,6 +135,59 @@ fn workstealing_backend_residual_solves_grid_without_oracle() {
 }
 
 #[test]
+fn zero_rhs_column_falls_back_to_absolute_residual() {
+    // Regression: an all-zero right-hand side has ‖b‖ = 0, so a naive
+    // relative residual is NaN — a never- (or instantly-) terminating
+    // column. The monitor must fall back to the ABSOLUTE residual (scale
+    // saturates to 1): the zero column is solved exactly by x = 0 from
+    // the start, never poisons the block metric with NaN, and the run
+    // stops when the *other* column meets the tolerance.
+    let ss = laplacian_split(6, 2);
+    let topo = Topology::ring(2).with_delays(&DelayModel::fixed_ms(1.0));
+    let tol = 1e-8;
+    let config = DtmConfig {
+        common: CommonConfig {
+            termination: Termination::Residual { tol },
+            ..Default::default()
+        },
+        compute: ComputeModel::Fixed(SimDuration::from_micros_f64(100.0)),
+        horizon: SimDuration::from_millis_f64(3_600_000.0),
+        ..Default::default()
+    };
+    let zero = vec![0.0; 36];
+    let b1 = generators::random_rhs(36, 991);
+    let report = solver::solve_block(
+        &ss,
+        topo.clone(),
+        &[zero.clone(), b1.clone()],
+        None,
+        &config,
+    )
+    .expect("block run with a zero column");
+    assert!(report.converged, "resid {}", report.final_residual);
+    assert_reference_free(&report);
+    assert!(
+        report.final_residual_per_rhs[0].is_finite(),
+        "zero column must never be NaN, got {}",
+        report.final_residual_per_rhs[0]
+    );
+    assert!(report.final_residual_per_rhs[0] <= tol);
+    assert!(report.final_residual_per_rhs[1] <= tol);
+    for v in &report.solutions[0] {
+        assert!(v.abs() < 1e-9, "zero RHS solves to zero, got {v}");
+    }
+    let (a, _) = ss.reconstruct();
+    assert!(a.residual_norm(&report.solutions[1], &b1) < 1e-5);
+
+    // The degenerate all-zero single-RHS solve also terminates cleanly
+    // (instantly: x = 0 already meets any tolerance) instead of NaN-looping
+    // to the horizon.
+    let degenerate = solver::solve_block(&ss, topo, &[zero], None, &config).expect("zero run");
+    assert!(degenerate.converged);
+    assert_eq!(degenerate.final_residual, 0.0);
+}
+
+#[test]
 fn residual_and_oracle_modes_agree_on_the_solution() {
     // The equivalence case: a residual-terminated run and an oracle-RMS
     // run must stop at solutions agreeing to the configured tolerance.
