@@ -1,0 +1,49 @@
+//! DTM vs the randomized-asynchrony baselines, as a wall-clock bench.
+//!
+//! All three algorithms solve the identical workload on the identical
+//! simulated machine — same 9×9 grid Laplacian, same 2×2 block partition,
+//! same seeded asymmetric-delay mesh, same 1 ms compute model, same
+//! reference-free residual tolerance (`dtm_bench::compare` is the single
+//! source of that setup, shared with `repro compare`). The simulated-time
+//! and counter comparison (the scientific result) is printed by
+//! `repro compare`; this bench pins the *driver cost* — the wall-clock
+//! price of running each algorithm's full exchange through the
+//! discrete-event engine — and keeps all three code paths from rotting.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dtm_bench::compare;
+use std::hint::black_box;
+
+fn bench_baseline_compare(c: &mut Criterion) {
+    let setup = compare::grid_setup(9, 2, 2, 1e-6);
+    let mut group = c.benchmark_group("baseline_compare");
+    group.bench_function("dtm", |b| {
+        b.iter(|| {
+            let report = compare::dtm_report(&setup);
+            assert!(report.converged);
+            black_box(report.total_messages)
+        });
+    });
+    group.bench_function("randomized_richardson", |b| {
+        b.iter(|| {
+            let report = compare::richardson_report(&setup);
+            assert!(report.converged);
+            black_box(report.total_messages)
+        });
+    });
+    group.bench_function("d_iteration", |b| {
+        b.iter(|| {
+            let report = compare::diteration_report(&setup);
+            assert!(report.converged);
+            black_box(report.total_messages)
+        });
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_baseline_compare
+}
+criterion_main!(benches);

@@ -4,6 +4,7 @@
 
 #[cfg(feature = "alloc-count")]
 pub mod alloc_count;
+pub mod compare;
 pub mod serve;
 
 use dtm_core::impedance::ImpedancePolicy;

@@ -35,6 +35,34 @@ pub struct Arrival {
 /// only done when its strictest member is).
 pub const SERVE_TIGHT_TOL: f64 = 1e-6;
 
+/// Default seed of the `repro serve` arrival trace (`repro serve --seed N`
+/// overrides it; the same seed always reproduces the identical ticket
+/// trace).
+pub const SERVE_TRACE_SEED: u64 = 4_201;
+
+/// The serving workload shape of `repro serve`:
+/// `(arrival count, mean inter-arrival gap in simulated ms, rolling
+/// slots)` — `quick` is the CI smoke variant.
+pub fn serve_workload(quick: bool) -> (usize, f64, usize) {
+    // Mean gap chosen near the single-ticket service time (~a few tens of
+    // ms of simulated exchange): a loaded-but-not-saturated stream, where
+    // admission policy — not raw throughput — decides the latency. The
+    // slot pool is sized to the offered load.
+    if quick {
+        (12, 12.0, 4)
+    } else {
+        (36, 12.0, 8)
+    }
+}
+
+/// The exact arrival trace `repro serve` drives for a given `--quick` /
+/// `--seed` combination — deterministic per seed, so a run can be
+/// reproduced ticket for ticket.
+pub fn serve_trace(quick: bool, seed: u64) -> Vec<Arrival> {
+    let (count, mean_gap_ms, _) = serve_workload(quick);
+    poisson_trace(81, count, mean_gap_ms, seed)
+}
+
 /// The 9×9 grid-Laplacian serving problem (the acceptance benchmark),
 /// torn 2×2, residual termination at the tightest traffic tolerance.
 pub fn serve_problem() -> DtmProblem {
@@ -178,6 +206,39 @@ mod tests {
         assert!(a
             .iter()
             .any(|x| matches!(x.termination, Termination::Residual { tol } if tol > 1e-4)));
+    }
+
+    #[test]
+    fn serve_trace_is_reproducible_per_seed() {
+        // The `repro serve --seed N` contract: the same seed reproduces
+        // the identical ticket trace (arrival instants, right-hand sides
+        // AND per-ticket stopping rules), a different seed does not.
+        for quick in [true, false] {
+            let a = serve_trace(quick, 7);
+            let b = serve_trace(quick, 7);
+            let (count, _, _) = serve_workload(quick);
+            assert_eq!(a.len(), count);
+            assert_eq!(a.len(), b.len());
+            for (x, y) in a.iter().zip(&b) {
+                assert_eq!(x.at_ms, y.at_ms, "identical arrival instants");
+                assert_eq!(x.b, y.b, "identical right-hand sides");
+                assert_eq!(x.termination, y.termination, "identical rules");
+            }
+            let c = serve_trace(quick, 8);
+            assert!(
+                a.iter()
+                    .zip(&c)
+                    .any(|(x, y)| x.at_ms != y.at_ms || x.b != y.b),
+                "a different seed produces a different trace"
+            );
+        }
+        // The default seed is the one the CLI documents.
+        let d = serve_trace(true, SERVE_TRACE_SEED);
+        let e = serve_trace(true, 4_201);
+        assert_eq!(d.len(), e.len());
+        for (x, y) in d.iter().zip(&e) {
+            assert_eq!(x.at_ms, y.at_ms);
+        }
     }
 
     #[test]

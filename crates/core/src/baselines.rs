@@ -15,7 +15,7 @@
 //! comparisons in `repro cmp-jacobi` are apples-to-apples.
 
 use crate::monitor::Monitor;
-use crate::report::{BackendKind, SolveReport, StopKind};
+use crate::report::{AlgorithmKind, BackendKind, SolveReport, StopKind};
 use crate::solver::{ComputeModel, Termination};
 use dtm_simnet::{Ctx, Engine, Envelope, Node, SimDuration, SimTime, StopReason, Topology};
 use dtm_sparse::{Csr, DenseCholesky, Error, Result, SparseCholesky};
@@ -177,6 +177,13 @@ impl Blocks {
 
     fn n_parts(&self) -> usize {
         self.rows.len()
+    }
+
+    /// Uniform flop estimate of one block solve: a pair of triangular
+    /// substitutions over the factor (2 flops per stored entry per sweep)
+    /// plus the coupling fold into the right-hand side.
+    fn flops_per_solve(&self, p: usize) -> u64 {
+        4 * self.factor_nnz[p] as u64 + 2 * self.coupling[p].len() as u64
     }
 
     /// One block solve: `x_p = A_pp⁻¹ (b_p − A_p,ext · x_ext)`.
@@ -396,6 +403,7 @@ pub fn solve_async(
     };
     Ok(SolveReport {
         backend: BackendKind::Simulated,
+        algorithm: AlgorithmKind::BlockJacobiAsync,
         solution: monitor.estimate().to_vec(),
         n_rhs: 1,
         solutions: vec![monitor.estimate().to_vec()],
@@ -408,6 +416,12 @@ pub fn solve_async(
         series: monitor.into_series(),
         total_solves: stats.activations.iter().sum(),
         total_messages: stats.messages_sent,
+        total_flops: stats
+            .activations
+            .iter()
+            .enumerate()
+            .map(|(p, &acts)| acts * blocks.flops_per_solve(p))
+            .sum(),
         coalesced_batches: stats.coalesced_batches,
         n_parts: k,
         stop,
@@ -502,6 +516,7 @@ pub fn solve_sync(
     let final_residual = a.residual_norm(&x, b) / b_scale;
     Ok(SolveReport {
         backend: BackendKind::Simulated,
+        algorithm: AlgorithmKind::BlockJacobiSync,
         solution: x.clone(),
         n_rhs: 1,
         solutions: vec![x],
@@ -515,6 +530,7 @@ pub fn solve_sync(
         total_solves: rounds * k as u64,
         // Per round each coupled pair exchanges once in each direction.
         total_messages: rounds * blocks.routes.iter().map(|r| r.len() as u64).sum::<u64>(),
+        total_flops: rounds * (0..k).map(|p| blocks.flops_per_solve(p)).sum::<u64>(),
         coalesced_batches: 0,
         n_parts: k,
         stop: if metric <= tol {

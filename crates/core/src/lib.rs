@@ -39,6 +39,12 @@
 //!   special case (eq. 5.10);
 //! * [`baselines`] — synchronous and asynchronous block-Jacobi for the
 //!   comparisons the paper's introduction makes;
+//! * [`async_baselines`] — **randomized-asynchrony baselines**: randomized
+//!   asynchronous Richardson (Avron et al. 2013) and Hong's D-iteration
+//!   (2012) as first-class peer solvers behind the same
+//!   [`runtime::Transport`] / [`runtime::ExecutorBackend`] contract,
+//!   driven by all three executors and compared message for message by
+//!   `repro compare`;
 //! * [`analysis`] — spectral radius of the VTM iteration operator
 //!   (quantitative convergence rates, Fig. 9 cross-check);
 //! * [`monitor`] — convergence tracking over time: oracle RMS against the
@@ -67,6 +73,7 @@
 //! ```
 
 pub mod analysis;
+pub mod async_baselines;
 pub mod baselines;
 pub mod builder;
 pub mod dtl;
@@ -81,11 +88,17 @@ pub mod solver;
 pub mod threaded;
 pub mod vtm;
 
+pub use async_baselines::{
+    BaselineAlgo, BaselineConfig, DIteration, DIterationParams, RandomizedRichardson,
+    RelaxationSchedule, RichardsonParams,
+};
 pub use builder::{DtmBuilder, DtmProblem, SolveSession};
 pub use impedance::ImpedancePolicy;
 pub use local::LocalSystem;
-pub use report::{BackendKind, SolveReport};
-pub use runtime::{CommonConfig, ExecutorBackend, NodeRuntime, SmallBlock, Termination, Transport};
+pub use report::{AlgorithmKind, BackendKind, SolveReport};
+pub use runtime::{
+    AsyncNode, CommonConfig, ExecutorBackend, NodeRuntime, SmallBlock, Termination, Transport,
+};
 pub use session::{
     ColumnReport, RollingPoolSession, RollingSession, RollingThreadedSession, SessionQueue,
     TicketId,

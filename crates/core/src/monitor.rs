@@ -130,6 +130,10 @@ pub struct Monitor {
     refresh_below: f64,
     /// Updates folded in since the last exact resync.
     updates_since_sync: usize,
+    /// Total [`update_part`](Self::update_part) calls — the monitor-side
+    /// activation counter, uniform across DTM and the baselines (every
+    /// algorithm reports exactly one update per node activation).
+    updates_total: u64,
 }
 
 /// Resync cadence while refresh is armed: the incremental accumulator can
@@ -350,12 +354,21 @@ impl Monitor {
             last_sample: None,
             refresh_below: 0.0,
             updates_since_sync: 0,
+            updates_total: 0,
         }
     }
 
     /// RHS columns tracked.
     pub fn n_rhs(&self) -> usize {
         self.k
+    }
+
+    /// Total updates observed ([`update_part`](Self::update_part) calls) —
+    /// the activations this monitor has witnessed. The simulated baseline
+    /// driver asserts it against the engine's own activation counter, so
+    /// the uniform counters stay uniform by construction.
+    pub fn updates(&self) -> u64 {
+        self.updates_total
     }
 
     /// Whether this monitor carries oracle references.
@@ -459,6 +472,7 @@ impl Monitor {
         let nl = g2l.len();
         let n = self.n;
         assert_eq!(x.len(), nl * self.k, "monitor: local block length");
+        self.updates_total += 1;
         // Residual tracking is O(1) per changed entry here: the delta is
         // aggregated into `pending` and the sparse row folds run batched
         // at the flush below (see `ResidualTracker`).
@@ -816,6 +830,18 @@ mod tests {
             }
         }
         assert!((m.rms() - m.rms_exact()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn update_counter_counts_activations() {
+        let (ss, reference) = make();
+        let mut m = Monitor::new(&ss, reference, SimDuration::ZERO);
+        assert_eq!(m.updates(), 0);
+        for k in 0..7u64 {
+            let local = vec![k as f64; ss.subdomains[0].n_local()];
+            m.update_part(0, SimTime::from_nanos(k), &local);
+        }
+        assert_eq!(m.updates(), 7);
     }
 
     #[test]

@@ -21,7 +21,7 @@
 //! simulator's busy-window coalescing (Table 1 step 3: "one or more of
 //! the adjacent subgraphs").
 
-use crate::report::{BackendKind, SolveReport, StopKind};
+use crate::report::{AlgorithmKind, BackendKind, SolveReport, StopKind};
 use crate::runtime::{
     self, wallclock, CommonConfig, DtmMsg, ExecutorBackend, NodeControl, NodeRuntime, Termination,
 };
@@ -329,6 +329,13 @@ fn solve_runtimes(
     shared.stop.store(true, Ordering::Release);
     pool.wait_quiescent();
 
+    // The pool is quiescent: no activation holds a state lock, so the
+    // per-node flop totals can be read directly off the runtimes.
+    let total_flops: u64 = shared
+        .cells
+        .iter()
+        .map(|cell| cell.state.lock().rt.flops())
+        .sum();
     let converged = match config.common.termination {
         Termination::OracleRms { tol } | Termination::Residual { tol } => {
             outcome.best_metric <= tol
@@ -342,6 +349,7 @@ fn solve_runtimes(
     };
     Ok(SolveReport {
         backend: BackendKind::WorkStealing,
+        algorithm: AlgorithmKind::Dtm,
         solution: outcome.solutions[0].clone(),
         n_rhs,
         solutions: outcome.solutions,
@@ -354,6 +362,7 @@ fn solve_runtimes(
         series: outcome.series,
         total_solves: shared.total_solves.load(Ordering::Relaxed),
         total_messages: shared.total_messages.load(Ordering::Relaxed),
+        total_flops,
         coalesced_batches: 0,
         n_parts,
         stop: outcome.stop,

@@ -18,6 +18,42 @@ pub enum BackendKind {
     WorkStealing,
 }
 
+/// Which *algorithm* produced a report — orthogonal to [`BackendKind`]
+/// (the machine it ran on). DTM and the randomized-asynchrony baselines
+/// run behind the same [`Transport`](crate::runtime::Transport) /
+/// [`ExecutorBackend`](crate::runtime::ExecutorBackend) contract, so one
+/// report vocabulary covers them all and `repro compare` can pit them
+/// message for message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum AlgorithmKind {
+    /// The Directed Transmission Method (the paper's algorithm).
+    Dtm,
+    /// Asynchronous block-Jacobi (refs \[17\]–\[19\] of the paper).
+    BlockJacobiAsync,
+    /// Synchronous block-Jacobi / additive Schwarz with a barrier model.
+    BlockJacobiSync,
+    /// Randomized asynchronous Richardson (Avron et al. 2013,
+    /// arXiv:1304.6475): per-update random row selection with a relaxation
+    /// schedule.
+    RandomizedRichardson,
+    /// Hong's D-iteration (2012, arXiv:1202.3108): residual diffusion with
+    /// per-node fluid retention.
+    DIteration,
+}
+
+impl AlgorithmKind {
+    /// Human-readable name for tables and trace tags.
+    pub fn name(self) -> &'static str {
+        match self {
+            AlgorithmKind::Dtm => "dtm",
+            AlgorithmKind::BlockJacobiAsync => "block-jacobi-async",
+            AlgorithmKind::BlockJacobiSync => "block-jacobi-sync",
+            AlgorithmKind::RandomizedRichardson => "randomized-richardson",
+            AlgorithmKind::DIteration => "d-iteration",
+        }
+    }
+}
+
 /// Why a distributed solve ended.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
 pub enum StopKind {
@@ -40,6 +76,8 @@ pub enum StopKind {
 pub struct SolveReport {
     /// Which executor ran the solve.
     pub backend: BackendKind,
+    /// Which algorithm ran (DTM or one of the baselines).
+    pub algorithm: AlgorithmKind,
     /// Gathered global solution (split copies averaged) of the first RHS
     /// column — the scalar pipeline's answer, kept as the primary field.
     pub solution: Vec<f64>,
@@ -76,10 +114,17 @@ pub struct SolveReport {
     /// the simulated backend; one point per supervisor poll for the
     /// wall-clock backends).
     pub series: Vec<(f64, f64)>,
-    /// Total local solves across all processors.
+    /// Total local solves (activations) across all processors — one unit
+    /// of useful work whatever the algorithm: a pair of triangular
+    /// substitutions for DTM/block-Jacobi, a randomized relaxation sweep
+    /// for Richardson, a diffusion pass for D-iteration.
     pub total_solves: u64,
     /// Total messages transmitted.
     pub total_messages: u64,
+    /// Estimated floating-point operations across all processors —
+    /// counted uniformly (multiply-adds ×2) so DTM and the baselines can
+    /// be compared flop for flop as well as message for message.
+    pub total_flops: u64,
     /// Receive batches that coalesced more than one message (tracked by
     /// the simulated backend; zero where the fabric doesn't expose it).
     pub coalesced_batches: u64,
@@ -122,6 +167,17 @@ impl SolveReport {
         }
     }
 
+    /// Average flops per transmitted message (arithmetic intensity of the
+    /// exchange — the comparison axis where DTM's factor-once local solves
+    /// differ most from point-relaxation baselines).
+    pub fn flops_per_message(&self) -> f64 {
+        if self.total_messages == 0 {
+            0.0
+        } else {
+            self.total_flops as f64 / self.total_messages as f64
+        }
+    }
+
     /// Solver time per right-hand side — the amortized cost a batched run
     /// pays per RHS column (equals [`final_time_ms`](Self::final_time_ms)
     /// for the scalar pipeline).
@@ -137,6 +193,7 @@ mod tests {
     fn report() -> SolveReport {
         SolveReport {
             backend: BackendKind::Simulated,
+            algorithm: AlgorithmKind::Dtm,
             solution: vec![1.0],
             n_rhs: 1,
             solutions: vec![vec![1.0]],
@@ -149,6 +206,7 @@ mod tests {
             series: vec![(0.0, 1.0), (5.0, 1e-3), (10.0, 1e-7), (12.5, 1e-9)],
             total_solves: 40,
             total_messages: 80,
+            total_flops: 400,
             coalesced_batches: 3,
             n_parts: 4,
             stop: StopKind::OracleTolerance,
@@ -166,6 +224,24 @@ mod tests {
     #[test]
     fn messages_per_solve() {
         assert!((report().messages_per_solve() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn flops_per_message() {
+        assert!((report().flops_per_message() - 5.0).abs() < 1e-12);
+        let mut r = report();
+        r.total_messages = 0;
+        assert_eq!(r.flops_per_message(), 0.0);
+    }
+
+    #[test]
+    fn algorithm_names_are_stable() {
+        assert_eq!(AlgorithmKind::Dtm.name(), "dtm");
+        assert_eq!(
+            AlgorithmKind::RandomizedRichardson.name(),
+            "randomized-richardson"
+        );
+        assert_eq!(AlgorithmKind::DIteration.name(), "d-iteration");
     }
 
     #[test]

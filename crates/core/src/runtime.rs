@@ -311,6 +311,69 @@ impl Transport for Vec<(usize, DtmMsg)> {
     }
 }
 
+/// A mutable reference to a transport is itself a transport — lets node
+/// state machines take `&mut dyn Transport` (the object-safe form the
+/// [`AsyncNode`] contract uses) while callers keep passing concrete
+/// transports by reference.
+impl<T: Transport + ?Sized> Transport for &mut T {
+    fn send(&mut self, dst: usize, msg: DtmMsg) {
+        (**self).send(dst, msg);
+    }
+}
+
+/// The abstract asynchronous-solver node: the contract every distributed
+/// algorithm in this crate satisfies — DTM's [`NodeRuntime`] and the
+/// randomized-asynchrony baselines of [`crate::async_baselines`]
+/// (randomized Richardson, D-iteration) alike.
+///
+/// The contract is exactly the executor loop's view of a node: absorb
+/// whatever waves arrived, run one activation (solve/relax/diffuse and
+/// scatter through a [`Transport`]), publish the current local solution,
+/// and report uniform work counters (activations, messages, flops). Any
+/// machine that can drive this trait — the simulated engine, OS threads,
+/// a work-stealing pool — can therefore drive *any* of the algorithms,
+/// which is what makes `repro compare` a message-for-message benchmark on
+/// identical machines.
+pub trait AsyncNode: Send {
+    /// The subdomain/partition id this node executes.
+    fn part(&self) -> usize;
+
+    /// Rows this node owns (length of [`solution`](Self::solution)).
+    fn n_local(&self) -> usize;
+
+    /// The node's current local solution estimate, one value per owned
+    /// row (column-major `n_local × k` for block-capable algorithms; the
+    /// baselines are scalar, `k = 1`).
+    fn solution(&self) -> &[f64];
+
+    /// Merge one incoming message (consuming it, so payload buffers can be
+    /// recycled).
+    fn absorb_owned(&mut self, msg: DtmMsg);
+
+    /// One activation: update local state against the currently held
+    /// remote values and scatter outgoing messages through `transport`.
+    fn step_node(&mut self, transport: &mut dyn Transport) -> NodeControl;
+
+    /// Activations performed so far.
+    fn solves(&self) -> u64;
+
+    /// Messages scattered so far.
+    fn messages_sent(&self) -> u64;
+
+    /// Estimated floating-point operations so far (multiply-adds ×2),
+    /// counted uniformly across algorithms.
+    fn flops(&self) -> u64;
+
+    /// Size of one activation's working set (e.g. factor nonzeros for
+    /// DTM, owned-row nonzeros for point relaxation) — the input to a
+    /// per-activation compute-time model.
+    fn work_nnz(&self) -> usize;
+
+    /// Whether this node was retired by its solve cap rather than by
+    /// declaring convergence.
+    fn capped(&self) -> bool;
+}
+
 /// What a node does after a step.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum NodeControl {
@@ -400,6 +463,15 @@ impl NodeRuntime {
     /// Wave-front messages scattered so far.
     pub fn messages_sent(&self) -> u64 {
         self.messages_sent
+    }
+
+    /// Estimated floating-point operations so far: every solve is a pair
+    /// of triangular substitutions over the constant factor (§5's
+    /// factor-once remark), ≈ 2 flops (multiply + add) per stored factor
+    /// entry per sweep per RHS column — `4 · nnz(L) · k` per activation.
+    /// The wave algebra per port is negligible next to the substitutions.
+    pub fn flops(&self) -> u64 {
+        self.solves() * 4 * self.local.factor_nnz() as u64 * self.local.n_rhs() as u64
     }
 
     /// Merge one incoming boundary-condition update (Table 1 step 3.1).
@@ -531,6 +603,51 @@ impl NodeRuntime {
             messages_sent: 0,
             capped: false,
         }
+    }
+}
+
+/// [`NodeRuntime`] satisfies the abstract [`AsyncNode`] contract — the
+/// proof that DTM and the randomized-asynchrony baselines really are peer
+/// algorithms behind one executor interface.
+impl AsyncNode for NodeRuntime {
+    fn part(&self) -> usize {
+        NodeRuntime::part(self)
+    }
+
+    fn n_local(&self) -> usize {
+        self.local.n_local()
+    }
+
+    fn solution(&self) -> &[f64] {
+        self.local.solution()
+    }
+
+    fn absorb_owned(&mut self, msg: DtmMsg) {
+        NodeRuntime::absorb_owned(self, msg);
+    }
+
+    fn step_node(&mut self, transport: &mut dyn Transport) -> NodeControl {
+        self.step(&mut &mut *transport)
+    }
+
+    fn solves(&self) -> u64 {
+        NodeRuntime::solves(self)
+    }
+
+    fn messages_sent(&self) -> u64 {
+        NodeRuntime::messages_sent(self)
+    }
+
+    fn flops(&self) -> u64 {
+        NodeRuntime::flops(self)
+    }
+
+    fn work_nnz(&self) -> usize {
+        self.local.factor_nnz()
+    }
+
+    fn capped(&self) -> bool {
+        NodeRuntime::capped(self)
     }
 }
 
@@ -1170,6 +1287,28 @@ mod tests {
         assert_eq!(nodes[0].step(&mut t), NodeControl::Continue);
         assert_eq!(nodes[0].step(&mut t), NodeControl::Capped);
         assert!(nodes[0].capped());
+    }
+
+    #[test]
+    fn node_runtime_drives_through_the_async_node_contract() {
+        // The object-safe AsyncNode view must behave exactly like the
+        // inherent API: step through a `dyn` reference, counters included.
+        let ss = paper_split();
+        let mut nodes = build_nodes(&ss, &paper_common()).unwrap();
+        let node: &mut dyn AsyncNode = &mut nodes[0];
+        assert_eq!(node.part(), 0);
+        assert_eq!(node.n_local(), 3);
+        assert!(node.work_nnz() > 0);
+        let mut t = BufferedTransport::default();
+        let ctl = node.step_node(&mut t);
+        assert_eq!(ctl, NodeControl::Continue);
+        assert_eq!(node.solves(), 1);
+        assert_eq!(node.messages_sent(), 1);
+        assert_eq!(node.flops(), 4 * node.work_nnz() as u64);
+        assert_eq!(node.solution().len(), 3);
+        assert!(!node.capped());
+        let (_, msg) = t.outbox.pop().unwrap();
+        node.absorb_owned(msg);
     }
 
     #[test]

@@ -1144,6 +1144,162 @@ mod tests {
         assert_eq!(q.outstanding(), 0);
     }
 
+    mod queue_props {
+        use super::*;
+        use proptest::prelude::*;
+
+        /// One step of the adversarial driver schedule.
+        #[derive(Debug, Clone, Copy)]
+        enum Op {
+            /// Submit a fresh ticket.
+            Submit,
+            /// Retire the `i % active`-th live slot (no-op when none live).
+            Retire(u8),
+            /// Admit pending tickets into every idle slot (what every
+            /// driver does between steps).
+            AdmitAll,
+        }
+
+        fn op_strategy() -> impl Strategy<Value = Op> {
+            (0u8..12).prop_map(|v| match v {
+                0..=4 => Op::Submit,
+                5..=8 => Op::Retire(v),
+                _ => Op::AdmitAll,
+            })
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+            /// FIFO + slot-recycling invariants under racing retire/admit
+            /// schedules: admission happens in exact submission order, a
+            /// retired slot is reused exactly once per free-up, and no
+            /// ticket is ever lost or duplicated.
+            #[test]
+            fn queue_fifo_and_slot_recycling_invariants(
+                slots in 1usize..5,
+                ops in proptest::collection::vec(op_strategy(), 1..60),
+            ) {
+                let n = 3;
+                let mut q = SessionQueue::new(n, slots);
+                let mut submitted: u64 = 0;
+                let mut admitted_order: Vec<u64> = Vec::new();
+                let mut live: Vec<(usize, u64)> = Vec::new(); // (slot, ticket)
+                let mut clock = 0.0_f64;
+                for op in ops {
+                    clock += 1.0;
+                    match op {
+                        Op::Submit => {
+                            let id = q
+                                .submit(
+                                    &[1.0, 2.0, 3.0],
+                                    Termination::Residual { tol: 1e-6 },
+                                    None,
+                                    clock,
+                                )
+                                .unwrap();
+                            prop_assert_eq!(id, TicketId(submitted), "ids are sequential");
+                            submitted += 1;
+                        }
+                        Op::Retire(i) => {
+                            if !live.is_empty() {
+                                let (slot, ticket) =
+                                    live.remove(i as usize % live.len());
+                                q.retire(slot, vec![0.0; n], 1e-9, None, clock);
+                                prop_assert_eq!(
+                                    q.idle_slot(),
+                                    Some(
+                                        (0..slots)
+                                            .find(|s| !live.iter().any(|&(l, _)| l == *s))
+                                            .unwrap()
+                                    ),
+                                    "lowest freed slot becomes admissible (ticket {})",
+                                    ticket
+                                );
+                            }
+                        }
+                        Op::AdmitAll => {
+                            while q.pending() > 0 {
+                                let Some(slot) = q.idle_slot() else { break };
+                                prop_assert!(
+                                    !live.iter().any(|&(l, _)| l == slot),
+                                    "admitting into an occupied slot"
+                                );
+                                let t = q.admit_into(slot).unwrap();
+                                admitted_order.push(t.id.0);
+                                live.push((slot, t.id.0));
+                            }
+                        }
+                    }
+                    // Book-keeping invariants hold after every op.
+                    prop_assert_eq!(q.active(), live.len());
+                    prop_assert_eq!(
+                        q.outstanding(),
+                        q.pending() + live.len(),
+                        "outstanding = queued + live"
+                    );
+                    prop_assert!(q.active() <= slots, "never more live than slots");
+                }
+                // FIFO: tickets entered slots in exact submission order.
+                let sorted: Vec<u64> = {
+                    let mut s = admitted_order.clone();
+                    s.sort_unstable();
+                    s
+                };
+                prop_assert_eq!(&admitted_order, &sorted, "admission preserves FIFO");
+                // Drain everything: every submitted ticket must surface in
+                // exactly one completed report — none lost, none duplicated.
+                loop {
+                    while q.pending() > 0 {
+                        let Some(slot) = q.idle_slot() else { break };
+                        let t = q.admit_into(slot).unwrap();
+                        live.push((slot, t.id.0));
+                    }
+                    let Some((slot, _)) = live.pop() else { break };
+                    q.retire(slot, vec![0.0; n], 1e-9, None, clock);
+                }
+                let mut done: Vec<u64> =
+                    q.take_completed().iter().map(|r| r.ticket.0).collect();
+                done.sort_unstable();
+                prop_assert_eq!(done.len() as u64, submitted, "no ticket lost");
+                prop_assert_eq!(done, (0..submitted).collect::<Vec<u64>>(), "no duplicates");
+                prop_assert_eq!(q.outstanding(), 0);
+            }
+
+            /// Latency accounting survives any schedule: completion time
+            /// never precedes submission time, and reports carry the
+            /// termination they were admitted with.
+            #[test]
+            fn queue_reports_are_causally_ordered(
+                gaps in proptest::collection::vec(0.0f64..10.0, 1..12),
+            ) {
+                let mut q = SessionQueue::new(2, 1);
+                let mut clock = 0.0;
+                for (i, gap) in gaps.iter().enumerate() {
+                    clock += gap;
+                    let term = if i % 2 == 0 {
+                        Termination::Residual { tol: 1e-6 }
+                    } else {
+                        Termination::Residual { tol: 1e-3 }
+                    };
+                    q.submit(&[1.0, 2.0], term, None, clock).unwrap();
+                }
+                let mut retired = 0;
+                while retired < gaps.len() {
+                    let slot = q.idle_slot().unwrap();
+                    q.admit_into(slot).unwrap();
+                    clock += 1.0;
+                    q.retire(slot, vec![0.0; 2], 1e-9, None, clock);
+                    retired += 1;
+                }
+                for r in q.take_completed() {
+                    prop_assert!(r.latency_ms() >= 1.0 - 1e-12, "causal latency");
+                    prop_assert!(matches!(r.termination, Termination::Residual { .. }));
+                }
+            }
+        }
+    }
+
     #[test]
     fn rolling_sim_session_admits_mid_exchange_without_restart() {
         let problem = grid_problem(8);

@@ -14,7 +14,7 @@
 
 use crate::local::LocalSystem;
 use crate::monitor::Monitor;
-use crate::report::{BackendKind, SolveReport, StopKind};
+use crate::report::{AlgorithmKind, BackendKind, SolveReport, StopKind};
 use crate::runtime::{
     self, build_nodes as build_runtime_nodes, CommonConfig, ExecutorBackend, NodeRuntime, Transport,
 };
@@ -407,6 +407,7 @@ pub fn solve_prepared(
     // A node retired by the solve cap never declared convergence: the run
     // must not report success just because everyone eventually stopped.
     let any_capped = engine.nodes().iter().any(|n| n.rt.capped());
+    let total_flops: u64 = engine.nodes().iter().map(|n| n.rt.flops()).sum();
     let converged = match config.common.termination {
         Termination::OracleRms { tol } => final_rms <= tol,
         Termination::Residual { tol } => final_residual <= tol,
@@ -416,6 +417,7 @@ pub fn solve_prepared(
     };
     Ok(SolveReport {
         backend: BackendKind::Simulated,
+        algorithm: AlgorithmKind::Dtm,
         solution: solutions[0].clone(),
         n_rhs,
         solutions,
@@ -428,6 +430,7 @@ pub fn solve_prepared(
         series: monitor.into_series(),
         total_solves: stats.activations.iter().sum(),
         total_messages: stats.messages_sent,
+        total_flops,
         coalesced_batches: stats.coalesced_batches,
         n_parts: split.n_parts(),
         stop,

@@ -16,7 +16,7 @@
 //! shared wall-clock supervisor polls solution snapshots and raises a
 //! global stop flag when the tolerance is met (or the budget expires).
 
-use crate::report::{BackendKind, SolveReport, StopKind};
+use crate::report::{AlgorithmKind, BackendKind, SolveReport, StopKind};
 use crate::runtime::{
     self, wallclock, CommonConfig, DtmMsg, ExecutorBackend, NodeControl, NodeRuntime, Termination,
     Transport,
@@ -240,6 +240,11 @@ fn solve_runtimes(
     let in_flight = Arc::new(AtomicI64::new(0));
     let active = Arc::new(AtomicUsize::new(0));
     let any_capped = Arc::new(AtomicBool::new(false));
+    // Per-part cumulative flop counters: each worker *stores* (not adds)
+    // its runtime's running total after every step, so the sum at join
+    // time is exact whatever order the workers retired in.
+    let part_flops: Arc<Vec<AtomicU64>> =
+        Arc::new((0..n_parts).map(|_| AtomicU64::new(0)).collect());
     // Supervisor-side receiver clones: once a worker has halted and
     // dropped out, waves still addressed to it are drained here so the
     // in-flight count can reach zero.
@@ -347,12 +352,14 @@ fn solve_runtimes(
         let in_flight = in_flight.clone();
         let active = active.clone();
         let any_capped = any_capped.clone();
+        let part_flops = part_flops.clone();
         let self_halting = matches!(config.common.termination, Termination::LocalDelta { .. });
 
         handles.push(std::thread::spawn(move || {
             let step = |rt: &mut NodeRuntime, transport: &mut ChannelTransport| -> bool {
                 let control = rt.step(transport);
                 total_solves.fetch_add(1, Ordering::Relaxed);
+                part_flops[p].store(rt.flops(), Ordering::Relaxed);
                 // Publish only the columns this step could have changed —
                 // the supervisor mirrors them incrementally.
                 snapshots[p].publish(rt.local().solution(), rt.local().last_solve_cols());
@@ -473,6 +480,7 @@ fn solve_runtimes(
     };
     Ok(SolveReport {
         backend: BackendKind::Threaded,
+        algorithm: AlgorithmKind::Dtm,
         solution: outcome.solutions[0].clone(),
         n_rhs,
         solutions: outcome.solutions,
@@ -485,6 +493,7 @@ fn solve_runtimes(
         series: outcome.series,
         total_solves: total_solves.load(Ordering::Relaxed),
         total_messages: total_messages.load(Ordering::Relaxed),
+        total_flops: part_flops.iter().map(|f| f.load(Ordering::Relaxed)).sum(),
         coalesced_batches: 0,
         n_parts,
         stop: outcome.stop,

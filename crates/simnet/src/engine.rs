@@ -243,6 +243,13 @@ impl<N: Node> Engine<N> {
         self.trace = Some(Trace::new(capacity));
     }
 
+    /// [`enable_trace`](Self::enable_trace) with a run label — the
+    /// per-algorithm tagging comparison harnesses use so traces from
+    /// different algorithms on the same machine stay attributable.
+    pub fn enable_trace_tagged(&mut self, capacity: usize, tag: impl Into<String>) {
+        self.trace = Some(Trace::with_tag(capacity, tag));
+    }
+
     /// The captured trace, if enabled.
     pub fn trace(&self) -> Option<&Trace> {
         self.trace.as_ref()
@@ -730,6 +737,29 @@ mod tests {
         assert_eq!(s.messages_sent, s.messages_delivered);
         assert_eq!(s.sent_per_link.iter().sum::<u64>(), s.messages_sent);
         assert!(s.messages_sent >= 6);
+    }
+
+    #[test]
+    fn tagged_trace_carries_its_label() {
+        let topo = two_node_topology(1.0, 1.0);
+        let nodes = vec![
+            PingPong {
+                id: 0,
+                limit: 2,
+                log: vec![],
+            },
+            PingPong {
+                id: 1,
+                limit: 2,
+                log: vec![],
+            },
+        ];
+        let mut engine = Engine::new(topo, nodes);
+        engine.enable_trace_tagged(100, "d-iteration");
+        engine.run_until(SimTime::from_nanos(u64::MAX - 1));
+        let trace = engine.trace().unwrap();
+        assert_eq!(trace.tag(), "d-iteration");
+        assert!(!trace.records().is_empty());
     }
 
     #[test]

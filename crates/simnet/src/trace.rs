@@ -37,22 +37,37 @@ pub struct TraceRecord {
 }
 
 /// Fixed-capacity trace; once full, further records are counted but
-/// dropped.
+/// dropped. A trace can carry a **tag** naming what produced it (e.g. the
+/// algorithm of a comparison run), so interleaved traces from different
+/// runs stay attributable when printed side by side.
 #[derive(Debug, Clone)]
 pub struct Trace {
     capacity: usize,
     records: Vec<TraceRecord>,
     dropped: u64,
+    tag: String,
 }
 
 impl Trace {
     /// New trace holding at most `capacity` records.
     pub fn new(capacity: usize) -> Self {
+        Self::with_tag(capacity, "")
+    }
+
+    /// New tagged trace: `tag` labels the run (per-algorithm tagging for
+    /// comparison harnesses).
+    pub fn with_tag(capacity: usize, tag: impl Into<String>) -> Self {
         Self {
             capacity,
             records: Vec::with_capacity(capacity.min(4096)),
             dropped: 0,
+            tag: tag.into(),
         }
+    }
+
+    /// The run label this trace carries (empty when untagged).
+    pub fn tag(&self) -> &str {
+        &self.tag
     }
 
     /// Append a record (drops when full).
@@ -91,5 +106,12 @@ mod tests {
         }
         assert_eq!(t.records().len(), 2);
         assert_eq!(t.dropped(), 3);
+    }
+
+    #[test]
+    fn tags_label_runs() {
+        assert_eq!(Trace::new(4).tag(), "");
+        let t = Trace::with_tag(4, "randomized-richardson");
+        assert_eq!(t.tag(), "randomized-richardson");
     }
 }

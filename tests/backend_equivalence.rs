@@ -6,38 +6,23 @@
 //! behaviourally: every backend must converge to the direct Cholesky
 //! solution of the same torn system, with live message/solve counters.
 
+mod common;
+
+use common::example_5_1_split;
 use dtm_repro::core::rayon_backend::{self, RayonConfig};
 use dtm_repro::core::report::BackendKind;
 use dtm_repro::core::runtime::{CommonConfig, Termination};
 use dtm_repro::core::solver::{self, ComputeModel, DtmConfig};
 use dtm_repro::core::threaded::{self, ThreadedConfig};
 use dtm_repro::core::{ImpedancePolicy, SolveReport};
-use dtm_repro::graph::evs::{paper_example_shares, split, EvsOptions, SplitSystem};
-use dtm_repro::graph::{partition, ElectricGraph, PartitionPlan};
+use dtm_repro::graph::evs::SplitSystem;
 use dtm_repro::simnet::{DelayModel, SimDuration, Topology};
 use dtm_repro::sparse::generators;
 use std::time::Duration;
 
-/// The paper's Example 5.1 split: two subdomains, Z₂ = 0.2, Z₃ = 0.1.
-fn example_5_1_split() -> SplitSystem {
-    let (a, b) = generators::paper_example_system();
-    let g = ElectricGraph::from_system(a, b).expect("symmetric");
-    let plan = PartitionPlan::from_assignment(&g, &[0, 0, 1, 1]).expect("valid");
-    let options = EvsOptions {
-        explicit: paper_example_shares(),
-        ..Default::default()
-    };
-    split(&g, &plan, &options).expect("paper split")
-}
-
-/// A 2-D grid Laplacian torn into strips.
+/// A 2-D grid Laplacian torn into strips (this file's historical seed).
 fn laplacian_split(side: usize, k: usize) -> SplitSystem {
-    let a = generators::grid2d_laplacian(side, side);
-    let b = generators::random_rhs(side * side, 907);
-    let g = ElectricGraph::from_system(a, b).expect("symmetric");
-    let plan =
-        PartitionPlan::from_assignment(&g, &partition::grid_strips(side, side, k)).expect("valid");
-    split(&g, &plan, &EvsOptions::default()).expect("splits")
+    common::laplacian_split(side, k, 907)
 }
 
 fn common(impedance: ImpedancePolicy, tol: f64) -> CommonConfig {

@@ -8,25 +8,17 @@
 //! column — on every backend. These properties pin that down on random SPD
 //! systems.
 
+mod common;
+
+use common::random_grid_split as grid_split;
 use dtm_repro::core::rayon_backend::{self, RayonConfig};
 use dtm_repro::core::runtime::{CommonConfig, Termination};
 use dtm_repro::core::solver::{self, ComputeModel, DtmConfig};
 use dtm_repro::core::threaded::{self, ThreadedConfig};
-use dtm_repro::graph::evs::{split, EvsOptions, SplitSystem};
-use dtm_repro::graph::{partition, ElectricGraph, PartitionPlan};
 use dtm_repro::simnet::{DelayModel, SimDuration, Topology};
 use dtm_repro::sparse::generators;
 use proptest::prelude::*;
 use std::time::Duration;
-
-fn grid_split(side: usize, parts: usize, seed: u64) -> SplitSystem {
-    let a = generators::grid2d_random(side, side, 1.0, seed);
-    let b = generators::random_rhs(side * side, seed + 1);
-    let g = ElectricGraph::from_system(a, b).expect("symmetric");
-    let plan = PartitionPlan::from_assignment(&g, &partition::grid_strips(side, side, parts))
-        .expect("valid");
-    split(&g, &plan, &EvsOptions::default()).expect("splits")
-}
 
 fn sim_config(tol: f64) -> DtmConfig {
     DtmConfig {
@@ -122,14 +114,8 @@ proptest! {
 /// column to the scalar runs — far inside the 1e-12 requirement.
 #[test]
 fn simnet_example_5_1_block_is_bitwise_k_scalar_runs() {
-    let (a, b) = generators::paper_example_system();
-    let g = ElectricGraph::from_system(a, b.clone()).expect("symmetric");
-    let plan = PartitionPlan::from_assignment(&g, &[0, 0, 1, 1]).expect("valid");
-    let options = EvsOptions {
-        explicit: dtm_repro::graph::evs::paper_example_shares(),
-        ..Default::default()
-    };
-    let ss = split(&g, &plan, &options).expect("paper split");
+    let (_, b) = generators::paper_example_system();
+    let ss = common::example_5_1_split();
     let cols: Vec<Vec<f64>> = std::iter::once(b)
         .chain((0..7).map(|c| generators::random_rhs(4, 300 + c)))
         .collect();

@@ -3,23 +3,15 @@
 //! degrade *gracefully* — bounded error, honest reports — never hang or
 //! panic.
 
+mod common;
+
+use common::random_grid_split as grid_split;
 use dtm_repro::core::impedance::ImpedancePolicy;
 use dtm_repro::core::report::StopKind;
 use dtm_repro::core::runtime::CommonConfig;
 use dtm_repro::core::solver::{self, ComputeModel, DtmConfig, Termination};
-use dtm_repro::graph::evs::{split, EvsOptions};
-use dtm_repro::graph::{partition, ElectricGraph, PartitionPlan};
 use dtm_repro::simnet::{DelayModel, SimDuration, Topology};
 use dtm_repro::sparse::generators;
-
-fn grid_split(side: usize, k: usize, seed: u64) -> dtm_repro::graph::SplitSystem {
-    let a = generators::grid2d_random(side, side, 1.0, seed);
-    let b = generators::random_rhs(side * side, seed + 1);
-    let g = ElectricGraph::from_system(a, b).expect("symmetric");
-    let plan =
-        PartitionPlan::from_assignment(&g, &partition::grid_strips(side, side, k)).expect("valid");
-    split(&g, &plan, &EvsOptions::default()).expect("splits")
-}
 
 #[test]
 fn premature_halt_via_solve_cap_reports_horizon_not_hang() {

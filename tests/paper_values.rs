@@ -6,21 +6,12 @@ use dtm_repro::core::impedance::ImpedancePolicy;
 use dtm_repro::core::local::{LocalSolverKind, LocalSystem};
 use dtm_repro::core::runtime::CommonConfig;
 use dtm_repro::core::solver::{self, ComputeModel, DtmConfig, Termination};
-use dtm_repro::graph::evs::{paper_example_shares, split, EvsOptions, SplitSystem};
-use dtm_repro::graph::{ElectricGraph, PartitionPlan};
 use dtm_repro::simnet::{Link, SimDuration, Topology};
 use dtm_repro::sparse::generators;
 
-fn paper_split() -> SplitSystem {
-    let (a, b) = generators::paper_example_system();
-    let g = ElectricGraph::from_system(a, b).expect("symmetric");
-    let plan = PartitionPlan::from_assignment(&g, &[0, 0, 1, 1]).expect("valid");
-    let options = EvsOptions {
-        explicit: paper_example_shares(),
-        ..Default::default()
-    };
-    split(&g, &plan, &options).expect("valid split")
-}
+mod common;
+
+use common::example_5_1_split as paper_split;
 
 fn paper_topology() -> Topology {
     Topology::from_links(

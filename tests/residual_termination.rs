@@ -15,47 +15,23 @@
 //! * a residual-terminated run and an oracle-RMS run stop at solutions
 //!   agreeing to the configured tolerance.
 
+mod common;
+
+use common::{direct_solution, example_5_1_split};
 use dtm_repro::core::monitor::Monitor;
 use dtm_repro::core::rayon_backend::{self, RayonConfig};
 use dtm_repro::core::runtime::{CommonConfig, Termination};
 use dtm_repro::core::solver::{self, ComputeModel, DtmConfig};
 use dtm_repro::core::threaded::{self, ThreadedConfig};
 use dtm_repro::core::{DtmBuilder, ImpedancePolicy, SolveReport};
-use dtm_repro::graph::evs::{paper_example_shares, split, EvsOptions, SplitSystem};
-use dtm_repro::graph::{partition, ElectricGraph, PartitionPlan};
+use dtm_repro::graph::evs::SplitSystem;
 use dtm_repro::simnet::{DelayModel, SimDuration, SimTime, Topology};
 use dtm_repro::sparse::generators;
 use proptest::prelude::*;
 use std::time::Duration;
 
-fn example_5_1_split() -> SplitSystem {
-    let (a, b) = generators::paper_example_system();
-    let g = ElectricGraph::from_system(a, b).expect("symmetric");
-    let plan = PartitionPlan::from_assignment(&g, &[0, 0, 1, 1]).expect("valid");
-    let options = EvsOptions {
-        explicit: paper_example_shares(),
-        ..Default::default()
-    };
-    split(&g, &plan, &options).expect("paper split")
-}
-
 fn laplacian_split(side: usize, n_parts: usize) -> SplitSystem {
-    let a = generators::grid2d_laplacian(side, side);
-    let b = generators::random_rhs(side * side, 1_907);
-    let g = ElectricGraph::from_system(a, b).expect("symmetric");
-    let plan = PartitionPlan::from_assignment(&g, &partition::grid_strips(side, side, n_parts))
-        .expect("valid");
-    split(&g, &plan, &EvsOptions::default()).expect("splits")
-}
-
-/// Direct solution of the split's reconstructed system, computed by the
-/// TEST (the solver under test never sees it).
-fn direct_solution(ss: &SplitSystem) -> (Vec<f64>, Vec<f64>) {
-    let (a, b) = ss.reconstruct();
-    let x = dtm_repro::sparse::SparseCholesky::factor_rcm(&a)
-        .expect("SPD")
-        .solve(&b);
-    (x, b)
+    common::laplacian_split(side, n_parts, 1_907)
 }
 
 /// A reference-free report must carry no oracle numbers: that is the

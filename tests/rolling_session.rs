@@ -11,8 +11,10 @@
 //! solution and with a separate one-shot solve of the same right-hand
 //! side. Pinned here as proptests across all three executors.
 
+mod common;
+
 use dtm_repro::core::runtime::Termination;
-use dtm_repro::core::{DtmBuilder, DtmProblem};
+use dtm_repro::core::DtmProblem;
 use dtm_repro::simnet::SimDuration;
 use dtm_repro::sparse::generators;
 use proptest::prelude::*;
@@ -22,12 +24,7 @@ const SIDE: usize = 8;
 const N: usize = SIDE * SIDE;
 
 fn grid_problem() -> DtmProblem {
-    let a = generators::grid2d_laplacian(SIDE, SIDE);
-    DtmBuilder::new(a, vec![1.0; N])
-        .grid_blocks(SIDE, SIDE, 2, 2)
-        .termination(Termination::Residual { tol: 1e-8 })
-        .build()
-        .expect("builds")
+    common::grid_problem(SIDE, Termination::Residual { tol: 1e-8 })
 }
 
 /// The workload a case serves: seeded right-hand sides with alternating

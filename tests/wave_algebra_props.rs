@@ -12,21 +12,11 @@
 use dtm_repro::core::dtl;
 use dtm_repro::core::runtime::{build_nodes, BufferedTransport, CommonConfig, PortUpdate};
 use dtm_repro::core::ImpedancePolicy;
-use dtm_repro::graph::evs::{paper_example_shares, split, EvsOptions, SplitSystem};
-use dtm_repro::graph::{ElectricGraph, PartitionPlan};
-use dtm_repro::sparse::generators;
 use proptest::prelude::*;
 
-fn paper_split() -> SplitSystem {
-    let (a, b) = generators::paper_example_system();
-    let g = ElectricGraph::from_system(a, b).expect("symmetric");
-    let plan = PartitionPlan::from_assignment(&g, &[0, 0, 1, 1]).expect("valid");
-    let options = EvsOptions {
-        explicit: paper_example_shares(),
-        ..Default::default()
-    };
-    split(&g, &plan, &options).expect("paper split")
-}
+mod common;
+
+use common::example_5_1_split as paper_split;
 
 proptest! {
     #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]

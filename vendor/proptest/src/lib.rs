@@ -83,6 +83,29 @@ pub trait Strategy {
 
     /// Draw one value.
     fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Map generated values through `f` (the upstream `prop_map`
+    /// combinator).
+    fn prop_map<T: Debug, F: Fn(Self::Value) -> T>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Mapped strategy returned by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, T: Debug, F: Fn(S::Value) -> T> Strategy for Map<S, F> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> T {
+        (self.f)(self.inner.sample(rng))
+    }
 }
 
 macro_rules! impl_int_strategy {
@@ -253,6 +276,17 @@ macro_rules! prop_assert_eq {
             return Err($crate::TestCaseError::Fail(format!(
                 "assertion failed: {:?} != {:?}",
                 l, r
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if l != r {
+            return Err($crate::TestCaseError::Fail(format!(
+                "assertion failed: {:?} != {:?}: {}",
+                l,
+                r,
+                format!($($fmt)+)
             )));
         }
     }};
