@@ -124,6 +124,7 @@ fn main() {
         "batched" => batched(num_rhs, mode),
         "serve" => serve_cmd(quick, seed),
         "compare" => compare_cmd(quick),
+        "bench" => bench_cmd(&args, quick),
         "all" => {
             fig3();
             fig5();
@@ -145,8 +146,9 @@ fn main() {
         _ => {
             eprintln!(
                 "usage: repro <fig3|fig5|fig7|fig8|fig9|table1|fig11|fig12|fig13|fig14|\
-                 cmp-vtm|cmp-jacobi|sweep-z|batched|serve|compare|all> [--quick] \
-                 [--num-rhs K] [--seed N] [--termination residual|oracle]"
+                 cmp-vtm|cmp-jacobi|sweep-z|batched|serve|compare|bench|all> [--quick] \
+                 [--num-rhs K] [--seed N] [--termination residual|oracle]\n\
+                 bench flags: [--matrix FILE.mtx [--rhs FILE]] [--out FILE] [--check BASELINE]"
             );
             std::process::exit(2);
         }
@@ -867,6 +869,39 @@ fn compare_cmd(quick: bool) {
         }
     }
     println!();
+}
+
+/// `repro bench`: the fixed perf suite of PR 6 (seed case, 3-D Laplacians
+/// under nested dissection, substitution kernels, Matrix Market), written
+/// as machine-readable JSON with an optional regression gate.
+fn bench_cmd(args: &[String], quick: bool) {
+    banner("Bench: scaling suite (BENCH_6.json)");
+    let path_flag = |name: &str| -> Option<std::path::PathBuf> {
+        args.iter()
+            .position(|a| a == name)
+            .map(|i| match args.get(i + 1) {
+                Some(v) if !v.starts_with("--") => std::path::PathBuf::from(v),
+                _ => {
+                    eprintln!("{name} requires a file path");
+                    std::process::exit(2);
+                }
+            })
+    };
+    let opts = perf::BenchOptions {
+        quick,
+        matrix: path_flag("--matrix"),
+        rhs: path_flag("--rhs"),
+        out: path_flag("--out").unwrap_or_else(|| std::path::PathBuf::from("BENCH_6.json")),
+        check: path_flag("--check"),
+    };
+    if opts.rhs.is_some() && opts.matrix.is_none() {
+        eprintln!("--rhs requires --matrix");
+        std::process::exit(2);
+    }
+    if let Err(e) = perf::run(&opts) {
+        eprintln!("bench failed: {e}");
+        std::process::exit(1);
+    }
 }
 
 fn metric_name(mode: TerminationMode) -> &'static str {

@@ -5,6 +5,7 @@
 #[cfg(feature = "alloc-count")]
 pub mod alloc_count;
 pub mod compare;
+pub mod perf;
 pub mod serve;
 
 use dtm_core::impedance::ImpedancePolicy;

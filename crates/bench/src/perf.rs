@@ -1,0 +1,648 @@
+//! The `repro bench` measurement suite: a fixed set of solves and kernel
+//! timings emitting a machine-readable `BENCH_6.json`, plus a regression
+//! checker over its **tracked** metrics.
+//!
+//! The suite spans the scales the repository claims to cover:
+//!
+//! * **seed case** — the 9×9 grid Laplacian every earlier PR measured on,
+//!   as an 8-column reference-free block solve on the simulated machine
+//!   (deterministic: msgs/solves/flops/simulated time are tracked).
+//! * **3-D Laplacians** — `grid3d_laplacian` under nested-dissection
+//!   partitioning, solved reference-free (`Termination::Residual`) on the
+//!   threaded and work-stealing backends. A 16³ case runs always (its
+//!   convergence bit is tracked — CI-sized); the 48³ ≈ 110k-unknown case
+//!   runs without `--quick` and publishes the msgs/flops/wall-clock
+//!   trajectory. Partition cut metrics (deterministic) are tracked.
+//! * **substitution kernels** — median per-RHS latency of the seed
+//!   column-major kernel vs the cache-blocked interleaved kernel at
+//!   K ∈ {1, 8, 16} over an RCM sparse factor: the before/after numbers
+//!   for the blocked-kernel claim (wall-clock, so recorded untracked).
+//! * **Matrix Market** — `sparse::mm` wired end to end: load a committed
+//!   `.mtx` fixture (or `--matrix <path.mtx> [--rhs <path>]`), partition
+//!   by nested dissection, solve reference-free on real threads.
+//!
+//! JSON schema (`dtm-bench-6`): a flat `"metrics"` object mapping
+//! `case/section/metric` keys to numbers, plus a `"tracked"` array naming
+//! the keys the regression gate guards. `--check BASELINE.json` compares
+//! every tracked metric present in both files and fails (exit ≠ 0) on
+//! any regression over 20% — lower is worse for counters, and any
+//! `*/converged` metric must not drop. Wall-clock metrics are recorded
+//! but never tracked: CI boxes are noisy; counters and cuts are
+//! deterministic.
+
+use dtm_core::builder::DtmBuilder;
+use dtm_core::rayon_backend::RayonConfig;
+use dtm_core::runtime::{CommonConfig, Termination};
+use dtm_core::threaded::ThreadedConfig;
+use dtm_core::SolveReport;
+use dtm_graph::partition;
+use dtm_sparse::{generators, mm, SparseCholesky};
+use std::collections::{BTreeMap, BTreeSet};
+use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
+
+/// Options for [`run`], parsed from `repro bench` flags.
+#[derive(Debug, Clone)]
+pub struct BenchOptions {
+    /// CI-sized suite: skip the 110k-unknown case, fewer kernel reps.
+    pub quick: bool,
+    /// Matrix Market system to solve instead of the committed fixture.
+    pub matrix: Option<PathBuf>,
+    /// Right-hand side for `--matrix` (whitespace-separated numbers).
+    pub rhs: Option<PathBuf>,
+    /// Where to write the JSON report.
+    pub out: PathBuf,
+    /// Baseline JSON to regression-check tracked metrics against.
+    pub check: Option<PathBuf>,
+}
+
+impl Default for BenchOptions {
+    fn default() -> Self {
+        Self {
+            quick: false,
+            matrix: None,
+            rhs: None,
+            out: PathBuf::from("BENCH_6.json"),
+            check: None,
+        }
+    }
+}
+
+/// The committed Matrix Market fixture (an 8×8 grid Laplacian).
+pub fn fixture_matrix() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("fixtures/grid2d_8x8.mtx")
+}
+
+/// The committed right-hand side paired with [`fixture_matrix`].
+pub fn fixture_rhs() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("fixtures/grid2d_8x8_rhs.txt")
+}
+
+/// An accumulating benchmark report: flat metric map plus the tracked set.
+#[derive(Debug, Default)]
+pub struct BenchReport {
+    metrics: BTreeMap<String, f64>,
+    tracked: BTreeSet<String>,
+}
+
+impl BenchReport {
+    /// Record an untracked (informational) metric.
+    pub fn record(&mut self, key: &str, value: f64) {
+        self.metrics.insert(key.to_string(), value);
+    }
+
+    /// Record a tracked metric — guarded by the `--check` regression gate.
+    pub fn track(&mut self, key: &str, value: f64) {
+        self.metrics.insert(key.to_string(), value);
+        self.tracked.insert(key.to_string());
+    }
+
+    /// All recorded metrics.
+    pub fn metrics(&self) -> &BTreeMap<String, f64> {
+        &self.metrics
+    }
+
+    /// The tracked key set.
+    pub fn tracked(&self) -> &BTreeSet<String> {
+        &self.tracked
+    }
+
+    /// Serialize to the `dtm-bench-6` JSON schema (hand-rolled: the
+    /// vendored serde derives are inert, and the format is a flat map).
+    pub fn to_json(&self, quick: bool) -> String {
+        let mut s = String::new();
+        s.push_str("{\n");
+        s.push_str("  \"schema\": \"dtm-bench-6\",\n");
+        s.push_str(&format!("  \"quick\": {quick},\n"));
+        s.push_str("  \"metrics\": {\n");
+        let last = self.metrics.len();
+        for (i, (k, v)) in self.metrics.iter().enumerate() {
+            let comma = if i + 1 == last { "" } else { "," };
+            s.push_str(&format!("    \"{k}\": {}{comma}\n", fmt_num(*v)));
+        }
+        s.push_str("  },\n");
+        s.push_str("  \"tracked\": [\n");
+        let last = self.tracked.len();
+        for (i, k) in self.tracked.iter().enumerate() {
+            let comma = if i + 1 == last { "" } else { "," };
+            s.push_str(&format!("    \"{k}\"{comma}\n"));
+        }
+        s.push_str("  ]\n}\n");
+        s
+    }
+}
+
+fn fmt_num(v: f64) -> String {
+    if v.fract() == 0.0 && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v:.6e}")
+    }
+}
+
+/// Parse a `dtm-bench-6` JSON file back into (metrics, tracked).
+///
+/// A minimal scanner for the format [`BenchReport::to_json`] writes (and
+/// hand-edited variants of it): string keys, numeric values, a string
+/// array. Not a general JSON parser.
+///
+/// # Errors
+/// [`dtm_sparse::Error::Parse`] when the expected sections are missing or
+/// malformed.
+pub fn parse_bench_json(
+    text: &str,
+) -> dtm_sparse::Result<(BTreeMap<String, f64>, BTreeSet<String>)> {
+    let metrics_block = extract_block(text, "\"metrics\"", '{', '}')
+        .ok_or_else(|| dtm_sparse::Error::Parse("bench json: no \"metrics\" object".into()))?;
+    let mut metrics = BTreeMap::new();
+    for (key, rest) in string_literals(metrics_block) {
+        let rest = rest.trim_start();
+        let Some(rest) = rest.strip_prefix(':') else {
+            continue; // a value that happens to be a string, not a key
+        };
+        let num: String = rest
+            .trim_start()
+            .chars()
+            .take_while(|c| c.is_ascii_digit() || matches!(c, '-' | '+' | '.' | 'e' | 'E'))
+            .collect();
+        let value = num
+            .parse::<f64>()
+            .map_err(|_| dtm_sparse::Error::Parse(format!("bench json: bad number for {key}")))?;
+        metrics.insert(key, value);
+    }
+    let tracked_block = extract_block(text, "\"tracked\"", '[', ']')
+        .ok_or_else(|| dtm_sparse::Error::Parse("bench json: no \"tracked\" array".into()))?;
+    let tracked: BTreeSet<String> = string_literals(tracked_block).map(|(k, _)| k).collect();
+    Ok((metrics, tracked))
+}
+
+/// The text between the `open`/`close` pair following `label`.
+fn extract_block<'a>(text: &'a str, label: &str, open: char, close: char) -> Option<&'a str> {
+    let at = text.find(label)?;
+    let rest = &text[at + label.len()..];
+    let start = rest.find(open)? + 1;
+    let mut depth = 1usize;
+    for (i, c) in rest[start..].char_indices() {
+        if c == open {
+            depth += 1;
+        } else if c == close {
+            depth -= 1;
+            if depth == 0 {
+                return Some(&rest[start..start + i]);
+            }
+        }
+    }
+    None
+}
+
+/// Iterate `("literal", text-after-closing-quote)` pairs.
+fn string_literals(block: &str) -> impl Iterator<Item = (String, &str)> {
+    let mut rest = block;
+    std::iter::from_fn(move || {
+        let open = rest.find('"')?;
+        let after = &rest[open + 1..];
+        let close = after.find('"')?;
+        let lit = after[..close].to_string();
+        rest = &after[close + 1..];
+        Some((lit, rest))
+    })
+}
+
+/// Compare `new` against `baseline`: every tracked metric present in both
+/// must not regress by more than 20%. Counters regress upward;
+/// `*/converged` metrics regress downward. Returns the offending keys.
+pub fn regressions(
+    new: &(BTreeMap<String, f64>, BTreeSet<String>),
+    baseline: &(BTreeMap<String, f64>, BTreeSet<String>),
+) -> Vec<String> {
+    let mut bad = Vec::new();
+    for key in new.1.intersection(&baseline.1) {
+        let (Some(&n), Some(&b)) = (new.0.get(key), baseline.0.get(key)) else {
+            continue;
+        };
+        let regressed = if key.ends_with("/converged") {
+            n < b
+        } else {
+            n > b * 1.2 + 1e-9
+        };
+        if regressed {
+            bad.push(format!("{key}: {} vs baseline {}", fmt_num(n), fmt_num(b)));
+        }
+    }
+    bad
+}
+
+/// Run the full suite, write the JSON, optionally check a baseline.
+///
+/// # Errors
+/// Propagates solver/IO failures; a failed `--check` comes back as
+/// `Error::Parse` listing the regressed metrics.
+pub fn run(opts: &BenchOptions) -> dtm_sparse::Result<()> {
+    let mut report = BenchReport::default();
+
+    seed_case(&mut report)?;
+
+    // CI-sized 3-D case: always present so quick runs and the committed
+    // full baseline share keys for the regression gate.
+    grid3d_case(&mut report, 16, 8, 1e-6, &grid3d_budget(true))?;
+    if !opts.quick {
+        grid3d_case(&mut report, 48, 32, 1e-6, &grid3d_budget(false))?;
+    }
+
+    kernel_case(&mut report, if opts.quick { 5 } else { 15 })?;
+
+    let matrix = opts.matrix.clone().unwrap_or_else(fixture_matrix);
+    let rhs = match &opts.matrix {
+        Some(_) => opts.rhs.clone(),
+        None => Some(fixture_rhs()),
+    };
+    mm_case(&mut report, &matrix, rhs.as_deref())?;
+
+    let json = report.to_json(opts.quick);
+    std::fs::write(&opts.out, &json)
+        .map_err(|e| dtm_sparse::Error::Parse(format!("write {}: {e}", opts.out.display())))?;
+    println!(
+        "\nwrote {} ({} metrics, {} tracked)",
+        opts.out.display(),
+        report.metrics.len(),
+        report.tracked.len()
+    );
+
+    if let Some(baseline_path) = &opts.check {
+        let text = std::fs::read_to_string(baseline_path).map_err(|e| {
+            dtm_sparse::Error::Parse(format!("read {}: {e}", baseline_path.display()))
+        })?;
+        let baseline = parse_bench_json(&text)?;
+        let new = (report.metrics.clone(), report.tracked.clone());
+        let shared = new.1.intersection(&baseline.1).count();
+        let bad = regressions(&new, &baseline);
+        println!(
+            "checked {shared} tracked metrics against {}",
+            baseline_path.display()
+        );
+        if bad.is_empty() {
+            println!("no regressions > 20%");
+        } else {
+            return Err(dtm_sparse::Error::Parse(format!(
+                "{} tracked metric(s) regressed > 20%:\n  {}",
+                bad.len(),
+                bad.join("\n  ")
+            )));
+        }
+    }
+    Ok(())
+}
+
+fn grid3d_budget(quick: bool) -> Duration {
+    if quick {
+        Duration::from_secs(60)
+    } else {
+        Duration::from_secs(600)
+    }
+}
+
+fn record_solve(
+    report: &mut BenchReport,
+    prefix: &str,
+    r: &SolveReport,
+    wall: Duration,
+    track_counters: bool,
+) {
+    let rec = |report: &mut BenchReport, key: String, v: f64, tracked: bool| {
+        if tracked {
+            report.track(&key, v);
+        } else {
+            report.record(&key, v);
+        }
+    };
+    rec(
+        report,
+        format!("{prefix}/msgs"),
+        r.total_messages as f64,
+        track_counters,
+    );
+    rec(
+        report,
+        format!("{prefix}/solves"),
+        r.total_solves as f64,
+        track_counters,
+    );
+    rec(
+        report,
+        format!("{prefix}/flops"),
+        r.total_flops as f64,
+        track_counters,
+    );
+    report.record(&format!("{prefix}/wall_ms"), wall.as_secs_f64() * 1e3);
+    report.record(&format!("{prefix}/residual"), r.final_residual);
+    report.track(
+        &format!("{prefix}/converged"),
+        f64::from(u8::from(r.converged)),
+    );
+}
+
+/// The 9×9 seed case: an 8-column reference-free block solve on the
+/// deterministic simulated machine.
+fn seed_case(report: &mut BenchReport) -> dtm_sparse::Result<()> {
+    println!("— seed 9×9, simnet, K = 8 —");
+    let a = generators::grid2d_laplacian(9, 9);
+    let n = a.n_rows();
+    let b = generators::random_rhs(n, crate::seeds::RHS);
+    let cols: Vec<Vec<f64>> = (0..8)
+        .map(|c| generators::random_rhs(n, crate::seeds::RHS + 1 + c))
+        .collect();
+    let problem = DtmBuilder::new(a, b)
+        .grid_strips(9, 9, 3)
+        .termination(Termination::Residual { tol: 1e-8 })
+        .build()?;
+    let t = Instant::now();
+    let r = problem.solve_block(&cols)?;
+    let wall = t.elapsed();
+    report.track("seed9x9/simnet_k8/sim_ms", r.final_time_ms);
+    record_solve(report, "seed9x9/simnet_k8", &r, wall, true);
+    println!(
+        "  converged={} msgs={} flops={} sim_ms={:.3} wall_ms={:.1}",
+        r.converged,
+        r.total_messages,
+        r.total_flops,
+        r.final_time_ms,
+        wall.as_secs_f64() * 1e3
+    );
+    Ok(())
+}
+
+/// A 3-D Laplacian under nested dissection on both wall-clock backends.
+fn grid3d_case(
+    report: &mut BenchReport,
+    s: usize,
+    parts: usize,
+    tol: f64,
+    budget: &Duration,
+) -> dtm_sparse::Result<()> {
+    let case = format!("grid3d{s}p{parts}");
+    println!(
+        "— {case}: {0}×{0}×{0} = {1} unknowns, {parts} parts —",
+        s,
+        s * s * s
+    );
+    let a = generators::grid3d_laplacian(s, s, s);
+    let n = a.n_rows();
+    let b = generators::random_rhs(n, crate::seeds::RHS);
+    let t = Instant::now();
+    let nd = partition::nested_dissection(&a, parts);
+    let nd_ms = t.elapsed().as_secs_f64() * 1e3;
+    let ndm = partition::metrics(&a, &nd);
+    let ggm = partition::metrics(&a, &partition::greedy_grow(&a, parts, 42));
+    report.record(&format!("{case}/n"), n as f64);
+    report.record(&format!("{case}/partition/nd_ms"), nd_ms);
+    report.track(&format!("{case}/partition/nd_cut"), ndm.cut_edges as f64);
+    report.track(
+        &format!("{case}/partition/nd_boundary"),
+        ndm.boundary_vertices as f64,
+    );
+    report.record(&format!("{case}/partition/nd_imbalance"), ndm.imbalance);
+    report.track(
+        &format!("{case}/partition/greedy_cut"),
+        ggm.cut_edges as f64,
+    );
+    println!(
+        "  partition: nd cut={} boundary={} imbalance={:.3} ({:.0} ms); greedy cut={}",
+        ndm.cut_edges, ndm.boundary_vertices, ndm.imbalance, nd_ms, ggm.cut_edges
+    );
+
+    let t = Instant::now();
+    let problem = DtmBuilder::new(a, b)
+        .assignment(nd)
+        .termination(Termination::Residual { tol })
+        .build()?;
+    report.record(&format!("{case}/split_ms"), t.elapsed().as_secs_f64() * 1e3);
+
+    let common = CommonConfig {
+        termination: Termination::Residual { tol },
+        ..Default::default()
+    };
+    let tconfig = ThreadedConfig {
+        common: common.clone(),
+        budget: *budget,
+        ..Default::default()
+    };
+    let t = Instant::now();
+    let r = problem.solve_threaded(&tconfig)?;
+    let wall = t.elapsed();
+    println!(
+        "  threaded: converged={} residual={:.2e} msgs={} flops={} wall={:.1}s",
+        r.converged,
+        r.final_residual,
+        r.total_messages,
+        r.total_flops,
+        wall.as_secs_f64()
+    );
+    record_solve(report, &format!("{case}/threaded"), &r, wall, false);
+
+    let rconfig = RayonConfig {
+        common,
+        budget: *budget,
+        ..Default::default()
+    };
+    let t = Instant::now();
+    let r = problem.solve_workstealing(&rconfig)?;
+    let wall = t.elapsed();
+    println!(
+        "  rayon:    converged={} residual={:.2e} msgs={} flops={} wall={:.1}s",
+        r.converged,
+        r.final_residual,
+        r.total_messages,
+        r.total_flops,
+        wall.as_secs_f64()
+    );
+    record_solve(report, &format!("{case}/rayon"), &r, wall, false);
+    Ok(())
+}
+
+/// Median per-RHS substitution latency: seed column-major kernel vs the
+/// cache-blocked interleaved kernel, K ∈ {1, 8, 16}, RCM sparse factor of
+/// a 20³ Laplacian.
+fn kernel_case(report: &mut BenchReport, reps: usize) -> dtm_sparse::Result<()> {
+    let s = 20usize;
+    println!("— substitution kernels: grid3d {s}³ RCM factor, {reps} reps —");
+    let a = generators::grid3d_laplacian(s, s, s);
+    let n = a.n_rows();
+    let f = SparseCholesky::factor_rcm(&a)?;
+    report.record("kernels/grid3d20_rcm/nnz_l", f.nnz_l() as f64);
+    for k in [1usize, 8, 16] {
+        let template: Vec<f64> = (0..n * k)
+            .map(|i| ((i % 101) as f64 - 50.0) * 0.013)
+            .collect();
+        let mut xs = template.clone();
+        let mut scratch = Vec::new();
+        // Warm up both paths (fills scratch, faults pages).
+        f.solve_block_colmajor(&mut xs, k);
+        xs.copy_from_slice(&template);
+        f.solve_block_with_scratch(&mut xs, k, &mut scratch);
+        let time_ns = |blocked: bool, xs: &mut Vec<f64>, scratch: &mut Vec<f64>| -> f64 {
+            let mut samples: Vec<f64> = (0..reps)
+                .map(|_| {
+                    xs.copy_from_slice(&template);
+                    let t = Instant::now();
+                    if blocked {
+                        f.solve_block_with_scratch(xs, k, scratch);
+                    } else {
+                        f.solve_block_colmajor(xs, k);
+                    }
+                    t.elapsed().as_secs_f64() * 1e9
+                })
+                .collect();
+            samples.sort_by(f64::total_cmp);
+            samples[samples.len() / 2]
+        };
+        let colmajor = time_ns(false, &mut xs, &mut scratch);
+        let blocked = time_ns(true, &mut xs, &mut scratch);
+        let (col_rhs, blk_rhs) = (colmajor / k as f64, blocked / k as f64);
+        report.record(
+            &format!("kernels/grid3d20_rcm/k{k}/colmajor_ns_per_rhs"),
+            col_rhs,
+        );
+        report.record(
+            &format!("kernels/grid3d20_rcm/k{k}/blocked_ns_per_rhs"),
+            blk_rhs,
+        );
+        report.record(
+            &format!("kernels/grid3d20_rcm/k{k}/speedup"),
+            col_rhs / blk_rhs,
+        );
+        println!(
+            "  K={k:>2}: colmajor {:>9.0} ns/rhs, blocked {:>9.0} ns/rhs, speedup {:.2}×",
+            col_rhs,
+            blk_rhs,
+            col_rhs / blk_rhs
+        );
+    }
+    Ok(())
+}
+
+/// Load, partition and solve a Matrix Market system reference-free.
+fn mm_case(report: &mut BenchReport, matrix: &Path, rhs: Option<&Path>) -> dtm_sparse::Result<()> {
+    let stem = matrix
+        .file_stem()
+        .map(|s| s.to_string_lossy().into_owned())
+        .unwrap_or_else(|| "matrix".into());
+    println!("— matrix market: {} —", matrix.display());
+    let file = std::fs::File::open(matrix)
+        .map_err(|e| dtm_sparse::Error::Parse(format!("open {}: {e}", matrix.display())))?;
+    let a = mm::read_matrix(std::io::BufReader::new(file))?;
+    let n = a.n_rows();
+    let b = match rhs {
+        Some(path) => {
+            let file = std::fs::File::open(path)
+                .map_err(|e| dtm_sparse::Error::Parse(format!("open {}: {e}", path.display())))?;
+            let v = mm::read_vector(std::io::BufReader::new(file))?;
+            if v.len() != n {
+                return Err(dtm_sparse::Error::DimensionMismatch {
+                    context: "bench --rhs length",
+                    expected: n,
+                    actual: v.len(),
+                });
+            }
+            v
+        }
+        None => generators::manufactured_rhs(&a, crate::seeds::RHS).0,
+    };
+    let parts = 4.min(n);
+    let asg = partition::nested_dissection(&a, parts);
+    let cut = partition::metrics(&a, &asg).cut_edges;
+    let problem = DtmBuilder::new(a, b)
+        .assignment(asg)
+        .termination(Termination::Residual { tol: 1e-8 })
+        .build()?;
+    let config = ThreadedConfig {
+        common: CommonConfig {
+            termination: Termination::Residual { tol: 1e-8 },
+            ..Default::default()
+        },
+        budget: Duration::from_secs(60),
+        ..Default::default()
+    };
+    let t = Instant::now();
+    let r = problem.solve_threaded(&config)?;
+    let wall = t.elapsed();
+    let prefix = format!("mm/{stem}");
+    report.track(&format!("{prefix}/n"), n as f64);
+    report.track(&format!("{prefix}/parts"), parts as f64);
+    report.track(&format!("{prefix}/nd_cut"), cut as f64);
+    record_solve(report, &prefix, &r, wall, false);
+    println!(
+        "  n={n} parts={parts} cut={cut} converged={} residual={:.2e} wall_ms={:.1}",
+        r.converged,
+        r.final_residual,
+        wall.as_secs_f64() * 1e3
+    );
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_roundtrip() {
+        let mut r = BenchReport::default();
+        r.track("a/msgs", 420.0);
+        r.record("a/wall_ms", 13.25);
+        r.track("b/converged", 1.0);
+        let text = r.to_json(true);
+        let (metrics, tracked) = parse_bench_json(&text).unwrap();
+        assert_eq!(metrics.len(), 3);
+        assert_eq!(metrics["a/msgs"], 420.0);
+        assert!((metrics["a/wall_ms"] - 13.25).abs() < 1e-9);
+        assert_eq!(tracked.len(), 2);
+        assert!(tracked.contains("b/converged"));
+    }
+
+    #[test]
+    fn regression_gate_flags_worse_counters_and_lost_convergence() {
+        let base: (BTreeMap<String, f64>, BTreeSet<String>) = (
+            [
+                ("x/msgs".to_string(), 100.0),
+                ("x/converged".to_string(), 1.0),
+                ("x/wall_ms".to_string(), 5.0),
+            ]
+            .into(),
+            ["x/msgs".to_string(), "x/converged".to_string()].into(),
+        );
+        // Within 20%: fine.
+        let mut new = base.clone();
+        new.0.insert("x/msgs".into(), 115.0);
+        assert!(regressions(&new, &base).is_empty());
+        // 25% worse: flagged.
+        new.0.insert("x/msgs".into(), 125.0);
+        assert_eq!(regressions(&new, &base).len(), 1);
+        // Untracked metrics never flag.
+        new.0.insert("x/msgs".into(), 100.0);
+        new.0.insert("x/wall_ms".into(), 50_000.0);
+        assert!(regressions(&new, &base).is_empty());
+        // Convergence may not drop, and improvements never flag.
+        new.0.insert("x/converged".into(), 0.0);
+        assert_eq!(regressions(&new, &base).len(), 1);
+        new.0.insert("x/converged".into(), 1.0);
+        new.0.insert("x/msgs".into(), 10.0);
+        assert!(regressions(&new, &base).is_empty());
+    }
+
+    #[test]
+    fn fixture_files_exist_and_roundtrip() {
+        // The committed fixture must parse, re-serialize, and re-parse to
+        // the identical matrix (read → write → read equality), and the
+        // paired RHS must match its dimension.
+        let file = std::fs::File::open(fixture_matrix()).expect("committed fixture");
+        let a = mm::read_matrix(std::io::BufReader::new(file)).expect("parses");
+        let mut buf = Vec::new();
+        mm::write_matrix(&mut buf, &a, true).expect("writes");
+        let b = mm::read_matrix(std::io::Cursor::new(buf)).expect("reparses");
+        assert_eq!(a, b, "mm read → write → read must be the identity");
+        let rhs = mm::read_vector(std::io::BufReader::new(
+            std::fs::File::open(fixture_rhs()).expect("committed rhs"),
+        ))
+        .expect("rhs parses");
+        assert_eq!(rhs.len(), a.n_rows());
+    }
+}

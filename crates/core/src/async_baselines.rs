@@ -982,7 +982,8 @@ fn prepare_sim(
         .build_nodes(&pt, config)
         .into_iter()
         .map(|inner| SimBaselineNode {
-            compute: config.compute.duration_for_nnz(inner.work_nnz()),
+            // Baseline pipelines are scalar: one RHS column per sweep.
+            compute: config.compute.duration_for_block(inner.work_nnz(), 1),
             inner,
         })
         .collect();

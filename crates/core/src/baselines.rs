@@ -324,7 +324,8 @@ pub fn solve_async(
             ext: vec![0.0; blocks.ext_globals[p].len()],
             x: vec![0.0; blocks.rows[p].len()],
             prev_boundary: Vec::new(),
-            compute: config.compute.duration_for_nnz(blocks.factor_nnz[p]),
+            // Baseline pipelines are scalar: one RHS column per sweep.
+            compute: config.compute.duration_for_block(blocks.factor_nnz[p], 1),
             termination: config.termination,
             max_solves: config.max_solves_per_node,
             solves: 0,
@@ -468,7 +469,7 @@ pub fn solve_sync(
     let blocks = Blocks::build(a, b, assignment)?;
     let k = blocks.n_parts();
     let max_compute = (0..k)
-        .map(|p| config.compute.duration_for_nnz(blocks.factor_nnz[p]))
+        .map(|p| config.compute.duration_for_block(blocks.factor_nnz[p], 1))
         .max()
         .unwrap_or(SimDuration::ZERO);
     let overhead = config.sync_round_overhead.unwrap_or_else(|| {

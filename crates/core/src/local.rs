@@ -56,10 +56,10 @@ enum Factor {
 }
 
 impl Factor {
-    fn solve_block_in_place(&self, xs: &mut [f64], k: usize) {
+    fn solve_block_with_scratch(&self, xs: &mut [f64], k: usize, scratch: &mut Vec<f64>) {
         match self {
-            Factor::Dense(f) => f.solve_block_in_place(xs, k),
-            Factor::Sparse(f) => f.solve_block_in_place(xs, k),
+            Factor::Dense(f) => f.solve_block_with_scratch(xs, k, scratch),
+            Factor::Sparse(f) => f.solve_block_with_scratch(xs, k, scratch),
         }
     }
 }
@@ -110,6 +110,9 @@ pub struct LocalSystem {
     solved_cols: u64,
     solves: usize,
     rhs_buf: Vec<f64>,
+    /// Interleave scratch for the blocked substitution kernels, pre-sized
+    /// to `n·k` at construction so the hot loop never allocates.
+    solve_scratch: Vec<f64>,
 }
 
 /// All-columns bitmask for a `k`-wide block (saturating at 64) — the one
@@ -211,6 +214,7 @@ impl LocalSystem {
             solved_cols: all_cols(k),
             solves: 0,
             rhs_buf: vec![0.0; n * k],
+            solve_scratch: vec![0.0; n * k],
         })
     }
 
@@ -241,6 +245,7 @@ impl LocalSystem {
             solved_cols: all_cols(k),
             solves: 0,
             rhs_buf: vec![0.0; n * k],
+            solve_scratch: vec![0.0; n * k],
         }
     }
 
@@ -367,7 +372,8 @@ impl LocalSystem {
                 self.rhs_buf[c * n + v] += self.w[c * np + p] / self.z[p];
             }
         }
-        self.factor.solve_block_in_place(&mut self.rhs_buf, k);
+        self.factor
+            .solve_block_with_scratch(&mut self.rhs_buf, k, &mut self.solve_scratch);
         std::mem::swap(&mut self.x, &mut self.rhs_buf);
         let mut max_delta = 0.0_f64;
         for c in 0..k {

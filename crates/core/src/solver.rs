@@ -34,11 +34,29 @@ pub enum ComputeModel {
     Zero,
     /// Constant solve time.
     Fixed(SimDuration),
-    /// Proportional to the local factor size: `ns_per_entry × nnz(L)`,
-    /// clamped below by `floor` — a realistic substitution-cost model.
+    /// Proportional to the local factor size: `ns_per_entry × nnz(L)` per
+    /// RHS column, clamped below by `floor`. This is the legacy
+    /// "K columns cost K× a scalar substitution" model — it ignores that
+    /// a block solve sweeps the factor **once** for all columns; prefer
+    /// [`ComputeModel::Batched`] (the default), which separates the
+    /// per-sweep traversal from the per-column arithmetic.
     PerFactorEntry {
-        /// Nanoseconds per stored factor entry.
+        /// Nanoseconds per stored factor entry per column.
         ns_per_entry: f64,
+        /// Minimum activation cost.
+        floor: SimDuration,
+    },
+    /// Batch-aware substitution cost mirroring the blocked kernels: one
+    /// factor traversal per activation (index decoding, cache misses —
+    /// amortized over the block) plus `k` unit-stride column sweeps:
+    ///
+    /// `cost(nnz, k) = traversal_ns_per_entry·nnz
+    ///               + column_ns_per_entry·nnz·k`, clamped below by `floor`.
+    Batched {
+        /// Nanoseconds per stored factor entry for the shared traversal.
+        traversal_ns_per_entry: f64,
+        /// Nanoseconds per stored factor entry per RHS column.
+        column_ns_per_entry: f64,
         /// Minimum activation cost.
         floor: SimDuration,
     },
@@ -46,23 +64,34 @@ pub enum ComputeModel {
 
 impl Default for ComputeModel {
     fn default() -> Self {
-        // ~2 ns per factor entry (one multiply-add streamed from cache) on
-        // top of a 10 µs activation floor (syscall + message handling).
-        ComputeModel::PerFactorEntry {
-            ns_per_entry: 2.0,
+        // ~1 ns/entry to stream the factor (indices + one value load) and
+        // ~1 ns/entry/column of fused multiply-adds, on top of a 10 µs
+        // activation floor (syscall + message handling). A scalar solve
+        // costs the same 2 ns/entry as the pre-batching default.
+        ComputeModel::Batched {
+            traversal_ns_per_entry: 1.0,
+            column_ns_per_entry: 1.0,
             floor: SimDuration::from_micros_f64(10.0),
         }
     }
 }
 
 impl ComputeModel {
-    /// Resolve to a concrete duration for a local system.
+    /// Resolve to a concrete duration for a local system (its factor size
+    /// and its block width).
     pub fn duration_for(&self, local: &LocalSystem) -> SimDuration {
-        self.duration_for_nnz(local.factor_nnz())
+        self.duration_for_block(local.factor_nnz(), local.n_rhs())
     }
 
-    /// Resolve to a concrete duration for a factor with `nnz` entries.
+    /// Resolve to a concrete duration for a scalar (one-column) solve over
+    /// a factor with `nnz` entries.
     pub fn duration_for_nnz(&self, nnz: usize) -> SimDuration {
+        self.duration_for_block(nnz, 1)
+    }
+
+    /// Resolve to a concrete duration for a `k`-column block solve over a
+    /// factor with `nnz` entries.
+    pub fn duration_for_block(&self, nnz: usize, k: usize) -> SimDuration {
         match *self {
             ComputeModel::Zero => SimDuration::ZERO,
             ComputeModel::Fixed(d) => d,
@@ -70,7 +99,17 @@ impl ComputeModel {
                 ns_per_entry,
                 floor,
             } => {
-                let ns = (ns_per_entry * nnz as f64).round() as u64;
+                let ns = (ns_per_entry * (nnz * k) as f64).round() as u64;
+                floor.max(SimDuration::from_nanos(ns))
+            }
+            ComputeModel::Batched {
+                traversal_ns_per_entry,
+                column_ns_per_entry,
+                floor,
+            } => {
+                let ns = (traversal_ns_per_entry * nnz as f64
+                    + column_ns_per_entry * (nnz * k) as f64)
+                    .round() as u64;
                 floor.max(SimDuration::from_nanos(ns))
             }
         }
@@ -670,5 +709,43 @@ mod tests {
             floor: SimDuration::ZERO,
         };
         assert_eq!(per.duration_for(&local).as_nanos(), 600); // 6 entries
+    }
+
+    #[test]
+    fn batched_compute_model_formula() {
+        // cost(nnz, k) = traversal·nnz + column·nnz·k, clamped by floor.
+        let m = ComputeModel::Batched {
+            traversal_ns_per_entry: 3.0,
+            column_ns_per_entry: 2.0,
+            floor: SimDuration::ZERO,
+        };
+        assert_eq!(m.duration_for_block(1_000, 1).as_nanos(), 5_000);
+        assert_eq!(m.duration_for_block(1_000, 8).as_nanos(), 19_000);
+        // One traversal is amortized over the block: an 8-column solve is
+        // far cheaper than 8 scalar solves.
+        assert!(m.duration_for_block(1_000, 8) < m.duration_for_nnz(1_000).saturating_mul(8));
+        // The floor still clamps small activations.
+        let floored = ComputeModel::Batched {
+            traversal_ns_per_entry: 1.0,
+            column_ns_per_entry: 1.0,
+            floor: SimDuration::from_micros_f64(10.0),
+        };
+        assert_eq!(floored.duration_for_block(6, 2).as_nanos(), 10_000);
+        // The legacy per-entry model charges K× a scalar sweep.
+        let legacy = ComputeModel::PerFactorEntry {
+            ns_per_entry: 2.0,
+            floor: SimDuration::ZERO,
+        };
+        assert_eq!(
+            legacy.duration_for_block(500, 4),
+            legacy.duration_for_nnz(500).saturating_mul(4)
+        );
+        // The default model keeps the historic 2 ns/entry scalar cost.
+        assert_eq!(
+            ComputeModel::default()
+                .duration_for_block(100_000, 1)
+                .as_nanos(),
+            200_000
+        );
     }
 }

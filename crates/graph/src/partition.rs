@@ -5,10 +5,11 @@
 //! level-one splits (strip/block faces) with higher-level splits where
 //! several blocks meet. General graphs get BFS-based partitioners.
 
+use dtm_sparse::ordering::pseudo_peripheral_in;
 use dtm_sparse::Csr;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use std::collections::VecDeque;
+use std::collections::{BinaryHeap, VecDeque};
 
 /// Column-strip assignment of an `nx × ny` grid into `k` strips
 /// (vertex `(x, y)` has index `y * nx + x`).
@@ -174,6 +175,189 @@ fn bisect(a: &Csr, group: &[usize]) -> (Vec<usize>, Vec<usize>) {
     (lo, hi)
 }
 
+/// Multilevel nested-dissection assignment of a general graph into `k`
+/// parts: the vertex set is split recursively by low-cut vertex
+/// separators, so subdomain factors stay small and the boundary cut stays
+/// low where [`grid_strips`]/[`greedy_grow`] blow up (a strip partition of
+/// an `s×s×s` grid pays an `s²` face per boundary *per strip*; dissection
+/// halves the domain along its shortest extent at every level).
+///
+/// Each bisection grows one side greedily by maximum gain (neighbours
+/// inside minus neighbours outside — Fiduccia–Mattheyses-style) from a
+/// pseudo-peripheral seed found with the BFS machinery behind
+/// [`dtm_sparse::ordering::reverse_cuthill_mckee`]
+/// ([`pseudo_peripheral_in`]). Two growth orientations (index-ascending /
+/// index-descending tie-breaks) are tried and the lower-cut one kept; the
+/// split size may drift from the proportional target by a small slack when
+/// that buys a straighter separator. Part counts need not be powers of
+/// two: `k` is divided as evenly as the recursion tree allows. The result
+/// is deterministic.
+///
+/// # Panics
+/// Panics if `k == 0` or `k > n`.
+pub fn nested_dissection(a: &Csr, k: usize) -> Vec<usize> {
+    let n = a.n_rows();
+    assert!(k >= 1 && k <= n.max(1), "need 1 ≤ k ≤ n");
+    let mut assignment = vec![0usize; n];
+    let mut next_part = 0usize;
+    // DFS over (vertex group, parts to produce); left pushed last so part
+    // ids come out in left-to-right recursion order.
+    let mut stack: Vec<(Vec<usize>, usize)> = vec![((0..n).collect(), k)];
+    while let Some((group, parts)) = stack.pop() {
+        if parts == 1 {
+            for &v in &group {
+                assignment[v] = next_part;
+            }
+            next_part += 1;
+            continue;
+        }
+        let kl = parts / 2;
+        let kr = parts - kl;
+        let (left, right) = bisect_grow(a, &group, kl, kr);
+        stack.push((right, kr));
+        stack.push((left, kl));
+    }
+    assignment
+}
+
+/// One nested-dissection bisection: split `group` into a `kl : kr`
+/// proportioned pair of vertex sets with a low cut between them.
+fn bisect_grow(a: &Csr, group: &[usize], kl: usize, kr: usize) -> (Vec<usize>, Vec<usize>) {
+    let parts = kl + kr;
+    let len = group.len();
+    debug_assert!(len >= parts, "recursion keeps every group ≥ its part count");
+    let target = len * kl / parts;
+    // Allow the split point to drift a little around the proportional
+    // target when that buys a lower cut (a straight separator on an
+    // odd-sized grid, say). Both sides must keep at least one vertex per
+    // part they still owe.
+    let slack = len / (8 * parts) + 1;
+    let min_size = (target.saturating_sub(slack)).max(kl);
+    let max_size = (target + slack).min(len - kr);
+    let lo = grow_region(a, group, max_size, true);
+    let hi = grow_region(a, group, max_size, false);
+    let (order, best_size) = [lo, hi]
+        .into_iter()
+        .map(|run| {
+            let (size, cut) = run.best_in(min_size, max_size, target);
+            (run, size, cut)
+        })
+        // Lower cut wins; ties keep the index-ascending orientation.
+        .min_by_key(|&(_, size, cut)| (cut, size.abs_diff(target)))
+        .map(|(run, size, _)| (run.order, size))
+        .expect("two candidate orientations");
+    let mut left = order[..best_size].to_vec();
+    left.sort_unstable();
+    let mut in_left = vec![false; a.n_rows()];
+    for &v in &left {
+        in_left[v] = true;
+    }
+    let right: Vec<usize> = group.iter().copied().filter(|&v| !in_left[v]).collect();
+    (left, right)
+}
+
+/// A greedy growth run: the order vertices entered the region and the cut
+/// size after each addition.
+struct GrowRun {
+    order: Vec<usize>,
+    /// `cuts[s]` = edges between the first `s + 1` vertices and the rest
+    /// of the group.
+    cuts: Vec<i64>,
+}
+
+impl GrowRun {
+    /// Best prefix size in `[min_size, max_size]`: lowest cut, ties to the
+    /// size closest to `target` (then the smaller size — deterministic).
+    fn best_in(&self, min_size: usize, max_size: usize, target: usize) -> (usize, i64) {
+        (min_size..=max_size)
+            .map(|s| (s, self.cuts[s - 1]))
+            .min_by_key(|&(s, cut)| (cut, s.abs_diff(target), s))
+            .expect("non-empty size window")
+    }
+}
+
+/// Grow a region of `max_size` vertices inside `group` by repeatedly
+/// absorbing the frontier vertex of maximum gain (neighbours inside minus
+/// neighbours outside). `prefer_low` breaks gain ties toward the smallest
+/// vertex index, its negation toward the largest — on index-regular graphs
+/// (grids) the two orientations fill along different axes, and the caller
+/// keeps whichever cut is lower. Seeded from a pseudo-peripheral vertex of
+/// the group; disconnected groups reseed at the lowest unreached vertex.
+fn grow_region(a: &Csr, group: &[usize], max_size: usize, prefer_low: bool) -> GrowRun {
+    let n = a.n_rows();
+    let mut in_group = vec![false; n];
+    for &v in group {
+        in_group[v] = true;
+    }
+    let seed = pseudo_peripheral_in(a, group[0], |v| in_group[v]);
+
+    // Tie-break key: max-heap pops the largest (gain, key) pair.
+    let key = |v: usize| {
+        if prefer_low {
+            -(v as i64)
+        } else {
+            v as i64
+        }
+    };
+    let mut in_region = vec![false; n];
+    let mut seen = vec![false; n];
+    let mut gain = vec![0i64; n];
+    let mut heap: BinaryHeap<(i64, i64, usize)> = BinaryHeap::new();
+    let fresh_gain = |v: usize, in_region: &[bool]| -> i64 {
+        let mut g = 0i64;
+        for (c, _) in a.row(v) {
+            if c != v && in_group[c] {
+                g += if in_region[c] { 1 } else { -1 };
+            }
+        }
+        g
+    };
+    seen[seed] = true;
+    gain[seed] = fresh_gain(seed, &in_region);
+    heap.push((gain[seed], key(seed), seed));
+
+    let mut order = Vec::with_capacity(max_size);
+    let mut cuts = Vec::with_capacity(max_size);
+    let mut cut = 0i64;
+    while order.len() < max_size {
+        let v = match heap.pop() {
+            // Lazy deletion: stale entries carry an outdated gain or a
+            // vertex already absorbed.
+            Some((g, _, v)) if !in_region[v] && g == gain[v] => v,
+            Some(_) => continue,
+            None => {
+                // Disconnected group: reseed at the lowest unreached vertex.
+                let v = *group
+                    .iter()
+                    .find(|&&v| !in_region[v])
+                    .expect("order.len() < max_size ≤ |group|");
+                seen[v] = true;
+                gain[v] = fresh_gain(v, &in_region);
+                heap.push((gain[v], key(v), v));
+                continue;
+            }
+        };
+        in_region[v] = true;
+        cut -= gain[v]; // −gain = new cut edges − edges absorbed
+        order.push(v);
+        cuts.push(cut);
+        for (c, _) in a.row(v) {
+            if c == v || !in_group[c] || in_region[c] {
+                continue;
+            }
+            if seen[c] {
+                // One more neighbour inside: the edge to `v` flipped sides.
+                gain[c] += 2;
+            } else {
+                seen[c] = true;
+                gain[c] = fresh_gain(c, &in_region);
+            }
+            heap.push((gain[c], key(c), c));
+        }
+    }
+    GrowRun { order, cuts }
+}
+
 /// Quality metrics of a raw assignment.
 #[derive(Debug, Clone, PartialEq)]
 pub struct PartitionMetrics {
@@ -309,6 +493,79 @@ mod tests {
         assert_eq!(m.sizes.len(), 4);
         assert_eq!(m.sizes.iter().sum::<usize>(), 64);
         assert!(m.sizes.iter().all(|&s| s >= 8), "sizes {:?}", m.sizes);
+    }
+
+    #[test]
+    fn nested_dissection_covers_all_parts_and_balances() {
+        for &(nx, ny, k) in &[
+            (8, 8, 4),
+            (10, 10, 3),
+            (16, 4, 2),
+            (4, 16, 4),
+            (9, 9, 2),
+            (7, 5, 5),
+        ] {
+            let a = generators::grid2d_laplacian(nx, ny);
+            let asg = nested_dissection(&a, k);
+            let m = metrics(&a, &asg);
+            assert_eq!(m.sizes.len(), k, "{nx}×{ny} k={k}");
+            assert!(
+                m.sizes.iter().all(|&s| s > 0),
+                "{nx}×{ny} k={k}: {:?}",
+                m.sizes
+            );
+            assert_eq!(m.sizes.iter().sum::<usize>(), nx * ny);
+            assert!(
+                m.imbalance < 1.3,
+                "{nx}×{ny} k={k}: imbalance {} sizes {:?}",
+                m.imbalance,
+                m.sizes
+            );
+        }
+    }
+
+    #[test]
+    fn nested_dissection_cut_no_worse_than_strips_on_2d_grids() {
+        // The headline property: on grids (square, wide, tall, odd) the
+        // dissection cut never exceeds the column-strip cut, for part
+        // counts that are and are not powers of two.
+        for &(nx, ny) in &[(8, 8), (9, 9), (16, 4), (4, 16), (12, 6), (17, 17)] {
+            for k in [2usize, 3, 4] {
+                if k > nx {
+                    continue;
+                }
+                let a = generators::grid2d_laplacian(nx, ny);
+                let nd = metrics(&a, &nested_dissection(&a, k));
+                let st = metrics(&a, &grid_strips(nx, ny, k));
+                assert!(
+                    nd.cut_edges <= st.cut_edges,
+                    "{nx}×{ny} k={k}: dissection cut {} > strips cut {}",
+                    nd.cut_edges,
+                    st.cut_edges
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn nested_dissection_is_deterministic() {
+        let a = generators::grid2d_laplacian(11, 7);
+        assert_eq!(nested_dissection(&a, 5), nested_dissection(&a, 5));
+    }
+
+    #[test]
+    fn nested_dissection_handles_disconnected_graphs() {
+        let mut coo = dtm_sparse::Coo::new(6, 6);
+        for i in 0..6 {
+            coo.push(i, i, 2.0).unwrap();
+        }
+        coo.push_sym(0, 1, -1.0).unwrap();
+        coo.push_sym(3, 4, -1.0).unwrap();
+        let a = coo.to_csr();
+        let asg = nested_dissection(&a, 3);
+        let m = metrics(&a, &asg);
+        assert_eq!(m.sizes.len(), 3);
+        assert!(m.sizes.iter().all(|&s| s > 0));
     }
 
     #[test]

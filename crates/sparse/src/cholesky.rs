@@ -80,14 +80,51 @@ impl DenseCholesky {
     /// The factor is traversed **once** per sweep: every `L(i, j)` entry is
     /// loaded one time and applied to all `k` columns, so the per-column
     /// cost falls with `k` (the §5 factor-once design amortized a second
-    /// way). Each column undergoes exactly the arithmetic of the scalar
+    /// way). For `k ≥ 2` the block is transposed into an interleaved
+    /// scratch so the `k`-wide inner loops are unit-stride — see
+    /// [`solve_block_with_scratch`](Self::solve_block_with_scratch), which
+    /// this delegates to with a transient buffer. Each column undergoes
+    /// exactly the arithmetic of the scalar
     /// [`solve_in_place`](Self::solve_in_place), in the same order, so a
     /// block solve is bitwise identical to `k` scalar solves.
+    pub fn solve_block_in_place(&self, xs: &mut [f64], k: usize) {
+        let mut scratch = Vec::new();
+        self.solve_block_with_scratch(xs, k, &mut scratch);
+    }
+
+    /// [`solve_block_in_place`](Self::solve_block_in_place) with a
+    /// caller-owned scratch buffer: once `scratch` has grown to `n·k`,
+    /// repeated solves perform zero heap allocations.
+    pub fn solve_block_with_scratch(&self, xs: &mut [f64], k: usize, scratch: &mut Vec<f64>) {
+        let n = self.n();
+        assert_eq!(xs.len(), n * k, "DenseCholesky::solve_block length");
+        if k == 1 {
+            self.solve_block_colmajor(xs, 1);
+            return;
+        }
+        scratch.resize(n * k, 0.0);
+        for i in 0..n {
+            for c in 0..k {
+                scratch[i * k + c] = xs[c * n + i];
+            }
+        }
+        self.solve_interleaved(scratch, k);
+        for i in 0..n {
+            for c in 0..k {
+                xs[c * n + i] = scratch[i * k + c];
+            }
+        }
+    }
+
+    /// The seed (pre-blocking) kernel: column-major layout with a strided
+    /// inner loop over the `k` right-hand sides. Retained as the reference
+    /// for equivalence tests and before/after benchmarks; bitwise
+    /// identical to [`solve_block_in_place`](Self::solve_block_in_place).
     // Triangular substitutions update x[i] for i > j while reading
     // L(i, j): the index form mirrors the math; iterator forms obscure the
     // column-sweep access pattern.
     #[allow(clippy::needless_range_loop)]
-    pub fn solve_block_in_place(&self, xs: &mut [f64], k: usize) {
+    pub fn solve_block_colmajor(&self, xs: &mut [f64], k: usize) {
         let n = self.n();
         assert_eq!(xs.len(), n * k, "DenseCholesky::solve_block length");
         // L Y = B
@@ -114,6 +151,47 @@ impl DenseCholesky {
             let ljj = self.l.get(j, j);
             for c in 0..k {
                 xs[c * n + j] /= ljj;
+            }
+        }
+    }
+
+    /// Blocked substitution over the interleaved layout (`ys[i·k + c]` =
+    /// row `i`, column `c`): unit-stride inner loops over the block.
+    /// Applies every `L(i, j)` as an individual fused update per column
+    /// with the same per-component order as the scalar sweeps, so the
+    /// result is bitwise identical to the column-major kernel.
+    fn solve_interleaved(&self, ys: &mut [f64], k: usize) {
+        let n = self.n();
+        // L Y = B
+        for j in 0..n {
+            let ljj = self.l.get(j, j);
+            for c in 0..k {
+                ys[j * k + c] /= ljj;
+            }
+            for i in (j + 1)..n {
+                let lij = self.l.get(i, j);
+                let (lo, hi) = ys.split_at_mut(i * k);
+                let yj = &lo[j * k..j * k + k];
+                let yi = &mut hi[..k];
+                for c in 0..k {
+                    yi[c] -= lij * yj[c];
+                }
+            }
+        }
+        // Lᵀ X = Y
+        for j in (0..n).rev() {
+            let (lo, hi) = ys.split_at_mut((j + 1) * k);
+            let yj = &mut lo[j * k..];
+            for i in (j + 1)..n {
+                let lij = self.l.get(i, j);
+                let yi = &hi[(i - j - 1) * k..(i - j) * k];
+                for c in 0..k {
+                    yj[c] -= lij * yi[c];
+                }
+            }
+            let ljj = self.l.get(j, j);
+            for y in yj.iter_mut().take(k) {
+                *y /= ljj;
             }
         }
     }

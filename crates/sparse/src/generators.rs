@@ -318,6 +318,68 @@ mod tests {
     }
 
     #[test]
+    fn grid3d_row_sums_and_spectrum() {
+        // Row sums: an interior row of the 7-point Dirichlet Laplacian
+        // sums to 0; each missing neighbour (one per adjacent face of the
+        // boundary) leaves +1 behind. Total row sum = Σ missing edges
+        // = 2(ny·nz + nx·nz + nx·ny).
+        let (nx, ny, nz) = (5usize, 4, 3);
+        let a = grid3d_laplacian(nx, ny, nz);
+        let idx = |x: usize, y: usize, z: usize| (z * ny + y) * nx + x;
+        let mut total = 0.0;
+        for z in 0..nz {
+            for y in 0..ny {
+                for x in 0..nx {
+                    let faces = usize::from(x == 0)
+                        + usize::from(x == nx - 1)
+                        + usize::from(y == 0)
+                        + usize::from(y == ny - 1)
+                        + usize::from(z == 0)
+                        + usize::from(z == nz - 1);
+                    let sum: f64 = a.row(idx(x, y, z)).map(|(_, v)| v).sum();
+                    assert_eq!(sum, faces as f64, "row ({x},{y},{z})");
+                    total += sum;
+                }
+            }
+        }
+        assert_eq!(total, (2 * (ny * nz + nx * nz + nx * ny)) as f64);
+        // nnz: 7 per vertex minus the two halves of every missing edge.
+        let n = nx * ny * nz;
+        assert_eq!(a.nnz(), 7 * n - 2 * (ny * nz + nx * nz + nx * ny));
+
+        // Spectrum: the eigenvectors are separable sine products with
+        // λ_{pqr} = 6 − 2cos(pπ/(nx+1)) − 2cos(qπ/(ny+1)) − 2cos(rπ/(nz+1)).
+        // Check A v = λ v for the extreme pairs (smallest and largest).
+        use std::f64::consts::PI;
+        for (p, q, r) in [(1usize, 1usize, 1usize), (nx, ny, nz)] {
+            let lambda = 6.0
+                - 2.0 * (p as f64 * PI / (nx as f64 + 1.0)).cos()
+                - 2.0 * (q as f64 * PI / (ny as f64 + 1.0)).cos()
+                - 2.0 * (r as f64 * PI / (nz as f64 + 1.0)).cos();
+            let mut v = vec![0.0; n];
+            for z in 0..nz {
+                for y in 0..ny {
+                    for x in 0..nx {
+                        v[idx(x, y, z)] = ((x + 1) as f64 * p as f64 * PI / (nx as f64 + 1.0))
+                            .sin()
+                            * ((y + 1) as f64 * q as f64 * PI / (ny as f64 + 1.0)).sin()
+                            * ((z + 1) as f64 * r as f64 * PI / (nz as f64 + 1.0)).sin();
+                    }
+                }
+            }
+            let av = a.matvec(&v);
+            for (i, (u, w)) in av.iter().zip(&v).enumerate() {
+                assert!(
+                    (u - lambda * w).abs() < 1e-12,
+                    "eigenpair ({p},{q},{r}) fails at {i}: {u} vs λ·v = {}",
+                    lambda * w
+                );
+            }
+            assert!(lambda > 0.0, "Dirichlet Laplacian is positive definite");
+        }
+    }
+
+    #[test]
     fn nine_point_is_spd() {
         let a = grid2d_laplacian_9pt(5, 4, 0.5);
         assert!(a.is_symmetric(1e-12));

@@ -101,7 +101,7 @@ pub fn reverse_cuthill_mckee(a: &Csr) -> Permutation {
         .filter(|&v| !visited[v])
         .min_by_key(|&v| (degree[v], v))
     {
-        let root = pseudo_peripheral(a, start, &degree);
+        let root = pseudo_peripheral_in(a, start, |_| true);
         visited[root] = true;
         queue.push_back(root);
         while let Some(v) = queue.pop_front() {
@@ -120,10 +120,18 @@ pub fn reverse_cuthill_mckee(a: &Csr) -> Permutation {
     Permutation { new_to_old: order }
 }
 
-/// Find a pseudo-peripheral vertex: repeat BFS from the farthest minimum-
-/// degree vertex of the last level until the eccentricity stops growing.
-fn pseudo_peripheral(a: &Csr, start: usize, degree: &[usize]) -> usize {
+/// Find a pseudo-peripheral vertex of the subgraph induced by `active`,
+/// starting from `start` (which must satisfy `active`): repeat BFS from
+/// the farthest minimum-degree vertex of the last level until the
+/// eccentricity stops growing.
+///
+/// This is the BFS machinery behind [`reverse_cuthill_mckee`] (which uses
+/// it with every vertex active); it is public so graph partitioners can
+/// seed bisections of vertex subsets from the same notion of "far corner".
+pub fn pseudo_peripheral_in(a: &Csr, start: usize, active: impl Fn(usize) -> bool) -> usize {
     let n = a.n_rows();
+    // Degree within the active subgraph, for the last-level tie-break.
+    let deg = |v: usize| a.row(v).filter(|&(c, _)| c != v && active(c)).count();
     let mut root = start;
     let mut last_ecc = 0usize;
     let mut level = vec![usize::MAX; n];
@@ -137,7 +145,7 @@ fn pseudo_peripheral(a: &Csr, start: usize, degree: &[usize]) -> usize {
             let mut next = Vec::new();
             for &v in &frontier {
                 for (c, _) in a.row(v) {
-                    if c != v && level[c] == usize::MAX {
+                    if c != v && active(c) && level[c] == usize::MAX {
                         level[c] = level[v] + 1;
                         ecc = ecc.max(level[c]);
                         next.push(c);
@@ -155,7 +163,7 @@ fn pseudo_peripheral(a: &Csr, start: usize, degree: &[usize]) -> usize {
         last_ecc = ecc;
         root = *last_level
             .iter()
-            .min_by_key(|&&v| (degree[v], v))
+            .min_by_key(|&&v| (deg(v), v))
             .expect("last level non-empty");
     }
 }

@@ -21,6 +21,11 @@ use crate::csr::Csr;
 use crate::error::{Error, Result};
 use crate::ordering::{reverse_cuthill_mckee, Permutation};
 
+/// Widest supernode panel the blocked substitution sweeps at once. Bounds
+/// the dense triangular diagonal block so a panel's working set (panel
+/// columns × block width) stays register/L1-resident.
+const MAX_SUPERNODE: usize = 32;
+
 /// Sparse Cholesky factor `A = L Lᵀ` (CSC lower-triangular `L`).
 #[derive(Debug, Clone)]
 pub struct SparseCholesky {
@@ -33,6 +38,12 @@ pub struct SparseCholesky {
     values: Vec<f64>,
     /// Optional fill-reducing permutation (`None` = natural order).
     perm: Option<Permutation>,
+    /// Supernode boundaries over the columns of `L`: panel `s` spans
+    /// columns `sn_ptr[s]..sn_ptr[s+1]`. Within a panel every column's
+    /// pattern is the panel's dense triangular diagonal block plus one
+    /// shared set of below-panel rows, so the blocked substitution decodes
+    /// those row indices once per panel instead of once per column.
+    sn_ptr: Vec<usize>,
 }
 
 impl SparseCholesky {
@@ -159,12 +170,14 @@ impl SparseCholesky {
             values[col_ptr[k]] = d.sqrt();
         }
 
+        let sn_ptr = detect_supernodes(n, &col_ptr, &row_idx);
         Ok(Self {
             n,
             col_ptr,
             row_idx,
             values,
             perm: None,
+            sn_ptr,
         })
     }
 
@@ -196,19 +209,97 @@ impl SparseCholesky {
     /// Solve `A X = B` in place for a column-major block of `k` right-hand
     /// sides (`xs.len() == n·k`, column `c` at `xs[c·n .. (c+1)·n]`).
     ///
-    /// The CSC factor is swept **once** per triangular phase, each stored
-    /// entry of `L` applied to all `k` columns — amortizing the traversal
-    /// (index decoding, cache misses) over the block. The fill-reducing
-    /// permutation, when present, is applied per column on the way in and
-    /// inverted per column on the way out. Column `c` undergoes exactly
-    /// the scalar [`solve_in_place`](Self::solve_in_place) arithmetic in
-    /// the same order, so a block solve is bitwise identical to `k` scalar
-    /// solves.
+    /// For `k ≥ 2` the block is transposed into an interleaved scratch
+    /// layout (`k` values of one row contiguous) and swept panel by panel —
+    /// see [`solve_block_with_scratch`](Self::solve_block_with_scratch),
+    /// which this delegates to with a transient scratch buffer. Hot-loop
+    /// callers should hold a persistent scratch and call that method
+    /// directly to stay allocation-free.
+    ///
+    /// Column `c` undergoes exactly the scalar
+    /// [`solve_in_place`](Self::solve_in_place) arithmetic in the same
+    /// order, so a block solve is bitwise identical to `k` scalar solves.
     pub fn solve_block_in_place(&self, xs: &mut [f64], k: usize) {
+        let mut scratch = Vec::new();
+        self.solve_block_with_scratch(xs, k, &mut scratch);
+    }
+
+    /// [`solve_block_in_place`](Self::solve_block_in_place) with a
+    /// caller-owned scratch buffer: after warm-up (`scratch` grown to
+    /// `n·k`) repeated solves perform **zero** heap allocations, including
+    /// on the permuted (RCM) path — the permutation gather is fused with
+    /// the layout transpose instead of materializing per-column vectors.
+    pub fn solve_block_with_scratch(&self, xs: &mut [f64], k: usize, scratch: &mut Vec<f64>) {
+        let n = self.n;
+        assert_eq!(xs.len(), n * k, "SparseCholesky::solve_block length");
+        if k == 1 {
+            // Scalar fast path: substitute in place (via scratch only when
+            // the factor is permuted).
+            match &self.perm {
+                None => self.solve_colmajor_natural(xs, 1),
+                Some(p) => {
+                    scratch.resize(n, 0.0);
+                    for (i, &o) in p.new_to_old().iter().enumerate() {
+                        scratch[i] = xs[o];
+                    }
+                    self.solve_colmajor_natural(scratch, 1);
+                    for (i, &o) in p.new_to_old().iter().enumerate() {
+                        xs[o] = scratch[i];
+                    }
+                }
+            }
+            return;
+        }
+        // Blocked path: gather into the interleaved layout
+        // `scratch[i·k + c] = column c, (permuted) row i`, fusing the
+        // fill-reducing permutation with the transpose.
+        scratch.resize(n * k, 0.0);
+        match &self.perm {
+            None => {
+                for i in 0..n {
+                    for c in 0..k {
+                        scratch[i * k + c] = xs[c * n + i];
+                    }
+                }
+            }
+            Some(p) => {
+                for (i, &o) in p.new_to_old().iter().enumerate() {
+                    for c in 0..k {
+                        scratch[i * k + c] = xs[c * n + o];
+                    }
+                }
+            }
+        }
+        self.solve_interleaved(scratch, k);
+        match &self.perm {
+            None => {
+                for i in 0..n {
+                    for c in 0..k {
+                        xs[c * n + i] = scratch[i * k + c];
+                    }
+                }
+            }
+            Some(p) => {
+                for (i, &o) in p.new_to_old().iter().enumerate() {
+                    for c in 0..k {
+                        xs[c * n + o] = scratch[i * k + c];
+                    }
+                }
+            }
+        }
+    }
+
+    /// The seed (pre-blocking) kernel: column-major sweeps with a strided
+    /// inner loop over the `k` right-hand sides, permutation applied per
+    /// column. Retained as the reference for the blocked path's
+    /// equivalence tests and for before/after benchmarking
+    /// (`benches/sparse_kernels.rs`, `repro bench`); produces bitwise the
+    /// same result as [`solve_block_in_place`](Self::solve_block_in_place).
+    pub fn solve_block_colmajor(&self, xs: &mut [f64], k: usize) {
         let n = self.n;
         assert_eq!(xs.len(), n * k, "SparseCholesky::solve_block length");
         match &self.perm {
-            None => self.solve_block_natural(xs, k),
+            None => self.solve_colmajor_natural(xs, k),
             Some(p) => {
                 // B = P A Pᵀ factored; A x = b ⇔ B (P x) = P b, per column.
                 for c in 0..k {
@@ -216,7 +307,7 @@ impl SparseCholesky {
                     let pb = p.apply(col);
                     col.copy_from_slice(&pb);
                 }
-                self.solve_block_natural(xs, k);
+                self.solve_colmajor_natural(xs, k);
                 for c in 0..k {
                     let col = &mut xs[c * n..(c + 1) * n];
                     let x = p.apply_inverse(col);
@@ -226,7 +317,7 @@ impl SparseCholesky {
         }
     }
 
-    fn solve_block_natural(&self, xs: &mut [f64], k: usize) {
+    fn solve_colmajor_natural(&self, xs: &mut [f64], k: usize) {
         let n = self.n;
         // Forward: L Y = B (column-oriented, one factor sweep for all k).
         for j in 0..n {
@@ -258,12 +349,123 @@ impl SparseCholesky {
         }
     }
 
+    /// Blocked substitution over the interleaved layout
+    /// (`ys[i·k + c]` = row `i`, column `c`): the inner `for c in 0..k`
+    /// loops are unit-stride and auto-vectorizable, and the supernode
+    /// panels of [`Self::sn_ptr`] let the forward sweep decode each shared
+    /// below-panel row index once per panel instead of once per column.
+    ///
+    /// Bitwise contract: every `L` entry is still applied as an individual
+    /// fused `y[i] -= l·y[j]` per column, and for each vector component
+    /// the updates arrive in exactly the scalar substitution's order
+    /// (ascending `j` in the forward sweep, ascending row within each
+    /// column of the backward sweep), so no sums are reordered.
+    fn solve_interleaved(&self, ys: &mut [f64], k: usize) {
+        let n_panels = self.sn_ptr.len() - 1;
+        // Forward: L Y = B, panel by panel.
+        for s in 0..n_panels {
+            let (j0, j1) = (self.sn_ptr[s], self.sn_ptr[s + 1]);
+            // Dense triangular diagonal block: finalize the panel columns.
+            for jj in j0..j1 {
+                let pj = self.col_ptr[jj];
+                let d = self.values[pj];
+                for c in 0..k {
+                    ys[jj * k + c] /= d;
+                }
+                for (off, i) in (jj + 1..j1).enumerate() {
+                    let v = self.values[pj + 1 + off];
+                    let (lo, hi) = ys.split_at_mut(i * k);
+                    let yj = &lo[jj * k..jj * k + k];
+                    let yi = &mut hi[..k];
+                    for c in 0..k {
+                        yi[c] -= v * yj[c];
+                    }
+                }
+            }
+            // Below-panel sweep: each shared row updated by every panel
+            // column, one index decode per row. Updates to a given row
+            // still run over ascending `jj` — the scalar order.
+            let below0 = self.col_ptr[j1 - 1] + 1;
+            let below_len = self.col_ptr[j1] - below0;
+            for r in 0..below_len {
+                let i = self.row_idx[below0 + r];
+                let (lo, hi) = ys.split_at_mut(i * k);
+                let yi = &mut hi[..k];
+                for jj in j0..j1 {
+                    // Column jj's below-panel run starts after its
+                    // within-panel entries.
+                    let v = self.values[self.col_ptr[jj] + (j1 - jj) + r];
+                    let yj = &lo[jj * k..jj * k + k];
+                    for c in 0..k {
+                        yi[c] -= v * yj[c];
+                    }
+                }
+            }
+        }
+        // Backward: Lᵀ X = Y. Per column `jj` the updates run in ascending
+        // row order (within-panel rows, then the shared below rows) —
+        // exactly the scalar backward sweep.
+        for s in (0..n_panels).rev() {
+            let (j0, j1) = (self.sn_ptr[s], self.sn_ptr[s + 1]);
+            for jj in (j0..j1).rev() {
+                let pj = self.col_ptr[jj];
+                let (lo, hi) = ys.split_at_mut((jj + 1) * k);
+                let yj = &mut lo[jj * k..];
+                for (off, i) in (jj + 1..j1).enumerate() {
+                    let v = self.values[pj + 1 + off];
+                    let yi = &hi[(i - jj - 1) * k..(i - jj - 1) * k + k];
+                    for c in 0..k {
+                        yj[c] -= v * yi[c];
+                    }
+                }
+                for p in (pj + (j1 - jj))..self.col_ptr[jj + 1] {
+                    let i = self.row_idx[p];
+                    let v = self.values[p];
+                    let yi = &hi[(i - jj - 1) * k..(i - jj - 1) * k + k];
+                    for c in 0..k {
+                        yj[c] -= v * yi[c];
+                    }
+                }
+                let d = self.values[pj];
+                for y in yj.iter_mut().take(k) {
+                    *y /= d;
+                }
+            }
+        }
+    }
+
     /// Solve into a fresh vector.
     pub fn solve(&self, b: &[f64]) -> Vec<f64> {
         let mut x = b.to_vec();
         self.solve_in_place(&mut x);
         x
     }
+}
+
+/// Partition the columns of `L` into supernode panels: maximal runs of
+/// consecutive columns (capped at [`MAX_SUPERNODE`]) where each column's
+/// pattern is exactly the next column's pattern plus the next column
+/// itself. By induction every column of a panel then holds the panel's
+/// dense triangular diagonal block plus one shared set of below-panel
+/// rows — the structure [`SparseCholesky::solve_interleaved`] exploits.
+fn detect_supernodes(n: usize, col_ptr: &[usize], row_idx: &[usize]) -> Vec<usize> {
+    if n == 0 {
+        return vec![0];
+    }
+    let mut sn_ptr = vec![0usize];
+    for j in 1..n {
+        let prev = &row_idx[col_ptr[j - 1]..col_ptr[j]];
+        let cur = &row_idx[col_ptr[j]..col_ptr[j + 1]];
+        let joins = j - sn_ptr.last().copied().unwrap_or(0) < MAX_SUPERNODE
+            && prev.len() == cur.len() + 1
+            && prev[1] == j
+            && prev[2..] == cur[1..];
+        if !joins {
+            sn_ptr.push(j);
+        }
+    }
+    sn_ptr.push(n);
+    sn_ptr
 }
 
 /// Elimination tree of a symmetric CSR matrix (None = root).
