@@ -871,11 +871,12 @@ fn compare_cmd(quick: bool) {
     println!();
 }
 
-/// `repro bench`: the fixed perf suite of PR 6 (seed case, 3-D Laplacians
-/// under nested dissection, substitution kernels, Matrix Market), written
-/// as machine-readable JSON with an optional regression gate.
+/// `repro bench`: the fixed perf suite (seed case, 3-D Laplacians under
+/// nested dissection with per-phase setup timings and the 10⁶-unknown
+/// headline case, substitution kernels, Matrix Market), written as
+/// machine-readable JSON with an optional regression gate.
 fn bench_cmd(args: &[String], quick: bool) {
-    banner("Bench: scaling suite (BENCH_6.json)");
+    banner("Bench: scaling suite (BENCH_7.json)");
     let path_flag = |name: &str| -> Option<std::path::PathBuf> {
         args.iter()
             .position(|a| a == name)
@@ -891,7 +892,7 @@ fn bench_cmd(args: &[String], quick: bool) {
         quick,
         matrix: path_flag("--matrix"),
         rhs: path_flag("--rhs"),
-        out: path_flag("--out").unwrap_or_else(|| std::path::PathBuf::from("BENCH_6.json")),
+        out: path_flag("--out").unwrap_or_else(|| std::path::PathBuf::from("BENCH_7.json")),
         check: path_flag("--check"),
     };
     if opts.rhs.is_some() && opts.matrix.is_none() {

@@ -1,5 +1,5 @@
 //! The `repro bench` measurement suite: a fixed set of solves and kernel
-//! timings emitting a machine-readable `BENCH_6.json`, plus a regression
+//! timings emitting a machine-readable `BENCH_7.json`, plus a regression
 //! checker over its **tracked** metrics.
 //!
 //! The suite spans the scales the repository claims to cover:
@@ -9,34 +9,48 @@
 //!   (deterministic: msgs/solves/flops/simulated time are tracked).
 //! * **3-D Laplacians** — `grid3d_laplacian` under nested-dissection
 //!   partitioning, solved reference-free (`Termination::Residual`) on the
-//!   threaded and work-stealing backends. A 16³ case runs always (its
-//!   convergence bit is tracked — CI-sized); the 48³ ≈ 110k-unknown case
-//!   runs without `--quick` and publishes the msgs/flops/wall-clock
-//!   trajectory. Partition cut metrics (deterministic) are tracked.
-//! * **substitution kernels** — median per-RHS latency of the seed
-//!   column-major kernel vs the cache-blocked interleaved kernel at
-//!   K ∈ {1, 8, 16} over an RCM sparse factor: the before/after numbers
-//!   for the blocked-kernel claim (wall-clock, so recorded untracked).
+//!   threaded and work-stealing backends. Setup is instrumented **per
+//!   phase** — `partition_ms` (nested dissection), `split_ms` (EVS
+//!   tearing via `DtmBuilder::build`), `factor_ms` (concurrent
+//!   factorization of every subdomain into reusable templates) — and each
+//!   backend then solves over the *same* templates
+//!   (`threaded::solve_prepared` / `rayon_backend::solve_prepared`), the
+//!   paper's factor-once serving design, so backend wall-clock is pure
+//!   exchange. A 16³ case runs always (CI-sized; its convergence bit and
+//!   its setup-phase medians are tracked); without `--quick` the suite
+//!   adds the 48³ ≈ 110k-unknown case, an anisotropic 32³ case
+//!   (`grid3d_laplacian_aniso`, ε = 0.05), and the 100³ = 10⁶-unknown
+//!   headline run. Partition cut metrics (deterministic) are tracked.
+//! * **substitution kernels** — per-RHS latency of the seed column-major
+//!   kernel vs the cache-blocked interleaved kernel at K ∈ {1, 8, 16}
+//!   over an RCM sparse factor. Reps of the two kernels are
+//!   **interleaved** (colmajor/blocked alternating) so clock drift and
+//!   cache warm-up hit both equally; medians are reported. K = 1 is
+//!   asserted to dispatch to the scalar path: its blocked/colmajor ratio
+//!   must stay within measurement noise of 1.
 //! * **Matrix Market** — `sparse::mm` wired end to end: load a committed
 //!   `.mtx` fixture (or `--matrix <path.mtx> [--rhs <path>]`), partition
 //!   by nested dissection, solve reference-free on real threads.
 //!
-//! JSON schema (`dtm-bench-6`): a flat `"metrics"` object mapping
+//! JSON schema (`dtm-bench-7`): a flat `"metrics"` object mapping
 //! `case/section/metric` keys to numbers, plus a `"tracked"` array naming
 //! the keys the regression gate guards. `--check BASELINE.json` compares
 //! every tracked metric present in both files and fails (exit ≠ 0) on
 //! any regression over 20% — lower is worse for counters, and any
-//! `*/converged` metric must not drop. Wall-clock metrics are recorded
-//! but never tracked: CI boxes are noisy; counters and cuts are
-//! deterministic.
+//! `*/converged` metric must not drop. Wall-clock metrics are generally
+//! recorded untracked (CI boxes are noisy; counters and cuts are
+//! deterministic) — the exception is the CI-sized case's setup-phase
+//! medians (`*_ms` keys), which the gate compares with an extra 5 ms
+//! absolute slack on top of the 20% band so the parallel-setup win can't
+//! silently rot.
 
 use dtm_core::builder::DtmBuilder;
-use dtm_core::rayon_backend::RayonConfig;
-use dtm_core::runtime::{CommonConfig, Termination};
-use dtm_core::threaded::ThreadedConfig;
+use dtm_core::rayon_backend::{self, RayonConfig};
+use dtm_core::runtime::{build_nodes_parallel, CommonConfig, Termination};
+use dtm_core::threaded::{self, ThreadedConfig};
 use dtm_core::SolveReport;
 use dtm_graph::partition;
-use dtm_sparse::{generators, mm, SparseCholesky};
+use dtm_sparse::{generators, mm, Csr, SparseCholesky};
 use std::collections::{BTreeMap, BTreeSet};
 use std::path::{Path, PathBuf};
 use std::time::{Duration, Instant};
@@ -62,7 +76,7 @@ impl Default for BenchOptions {
             quick: false,
             matrix: None,
             rhs: None,
-            out: PathBuf::from("BENCH_6.json"),
+            out: PathBuf::from("BENCH_7.json"),
             check: None,
         }
     }
@@ -107,12 +121,12 @@ impl BenchReport {
         &self.tracked
     }
 
-    /// Serialize to the `dtm-bench-6` JSON schema (hand-rolled: the
+    /// Serialize to the `dtm-bench-7` JSON schema (hand-rolled: the
     /// vendored serde derives are inert, and the format is a flat map).
     pub fn to_json(&self, quick: bool) -> String {
         let mut s = String::new();
         s.push_str("{\n");
-        s.push_str("  \"schema\": \"dtm-bench-6\",\n");
+        s.push_str("  \"schema\": \"dtm-bench-7\",\n");
         s.push_str(&format!("  \"quick\": {quick},\n"));
         s.push_str("  \"metrics\": {\n");
         let last = self.metrics.len();
@@ -140,7 +154,7 @@ fn fmt_num(v: f64) -> String {
     }
 }
 
-/// Parse a `dtm-bench-6` JSON file back into (metrics, tracked).
+/// Parse a `dtm-bench-7` JSON file back into (metrics, tracked).
 ///
 /// A minimal scanner for the format [`BenchReport::to_json`] writes (and
 /// hand-edited variants of it): string keys, numeric values, a string
@@ -210,7 +224,10 @@ fn string_literals(block: &str) -> impl Iterator<Item = (String, &str)> {
 
 /// Compare `new` against `baseline`: every tracked metric present in both
 /// must not regress by more than 20%. Counters regress upward;
-/// `*/converged` metrics regress downward. Returns the offending keys.
+/// `*/converged` metrics regress downward; tracked wall-clock phases
+/// (`*_ms` keys) get an extra 5 ms absolute slack on top of the 20% band
+/// so timer noise on sub-hundred-millisecond medians can't flake the
+/// gate. Returns the offending keys.
 pub fn regressions(
     new: &(BTreeMap<String, f64>, BTreeSet<String>),
     baseline: &(BTreeMap<String, f64>, BTreeSet<String>),
@@ -222,6 +239,8 @@ pub fn regressions(
         };
         let regressed = if key.ends_with("/converged") {
             n < b
+        } else if key.ends_with("_ms") {
+            n > b * 1.2 + 5.0
         } else {
             n > b * 1.2 + 1e-9
         };
@@ -243,13 +262,61 @@ pub fn run(opts: &BenchOptions) -> dtm_sparse::Result<()> {
     seed_case(&mut report)?;
 
     // CI-sized 3-D case: always present so quick runs and the committed
-    // full baseline share keys for the regression gate.
-    grid3d_case(&mut report, 16, 8, 1e-6, &grid3d_budget(true))?;
+    // full baseline share keys for the regression gate. Its setup-phase
+    // medians (5 reps) are tracked — the parallel-setup win is guarded.
+    grid3d_case(
+        &mut report,
+        &generators::grid3d_laplacian(16, 16, 16),
+        &GridCase {
+            case: "grid3d16p8",
+            parts: 8,
+            tol: 1e-6,
+            budget: Duration::from_secs(60),
+            setup_reps: 5,
+            track_setup: true,
+        },
+    )?;
     if !opts.quick {
-        grid3d_case(&mut report, 48, 32, 1e-6, &grid3d_budget(false))?;
+        grid3d_case(
+            &mut report,
+            &generators::grid3d_laplacian(48, 48, 48),
+            &GridCase {
+                case: "grid3d48p32",
+                parts: 32,
+                tol: 1e-6,
+                budget: Duration::from_secs(600),
+                setup_reps: 3,
+                track_setup: false,
+            },
+        )?;
+        grid3d_case(
+            &mut report,
+            &generators::grid3d_laplacian_aniso(32, 32, 32, 0.05),
+            &GridCase {
+                case: "grid3d_aniso32p16",
+                parts: 16,
+                tol: 1e-6,
+                budget: Duration::from_secs(600),
+                setup_reps: 3,
+                track_setup: false,
+            },
+        )?;
+        // The headline: 100³ = 10⁶ unknowns, reference-free, factor-once.
+        grid3d_case(
+            &mut report,
+            &generators::grid3d_laplacian(100, 100, 100),
+            &GridCase {
+                case: "grid3d100p64",
+                parts: 64,
+                tol: 1e-6,
+                budget: Duration::from_secs(3600),
+                setup_reps: 1,
+                track_setup: false,
+            },
+        )?;
     }
 
-    kernel_case(&mut report, if opts.quick { 5 } else { 15 })?;
+    kernel_case(&mut report, if opts.quick { 7 } else { 15 })?;
 
     let matrix = opts.matrix.clone().unwrap_or_else(fixture_matrix);
     let rhs = match &opts.matrix {
@@ -293,12 +360,23 @@ pub fn run(opts: &BenchOptions) -> dtm_sparse::Result<()> {
     Ok(())
 }
 
-fn grid3d_budget(quick: bool) -> Duration {
-    if quick {
-        Duration::from_secs(60)
-    } else {
-        Duration::from_secs(600)
-    }
+/// One 3-D case of the suite: geometry comes in as the assembled matrix so
+/// isotropic and anisotropic stencils share the measurement path.
+struct GridCase<'a> {
+    case: &'a str,
+    parts: usize,
+    tol: f64,
+    budget: Duration,
+    /// Setup phases are measured this many times; medians are reported.
+    setup_reps: usize,
+    /// Track the phase medians (the CI-sized case only: its timings are
+    /// small and stable enough for the regression gate).
+    track_setup: bool,
+}
+
+fn median(samples: &mut [f64]) -> f64 {
+    samples.sort_by(f64::total_cmp);
+    samples[samples.len() / 2]
 }
 
 fn record_solve(
@@ -371,63 +449,110 @@ fn seed_case(report: &mut BenchReport) -> dtm_sparse::Result<()> {
     Ok(())
 }
 
-/// A 3-D Laplacian under nested dissection on both wall-clock backends.
-fn grid3d_case(
-    report: &mut BenchReport,
-    s: usize,
-    parts: usize,
-    tol: f64,
-    budget: &Duration,
-) -> dtm_sparse::Result<()> {
-    let case = format!("grid3d{s}p{parts}");
-    println!(
-        "— {case}: {0}×{0}×{0} = {1} unknowns, {parts} parts —",
-        s,
-        s * s * s
-    );
-    let a = generators::grid3d_laplacian(s, s, s);
+/// A 3-D system under nested dissection: per-phase setup timings
+/// (partition → split → factor), then both wall-clock backends solving
+/// over the same factored templates (the factor-once serving path — no
+/// backend ever re-factors).
+fn grid3d_case(report: &mut BenchReport, a: &Csr, spec: &GridCase) -> dtm_sparse::Result<()> {
+    let case = spec.case;
     let n = a.n_rows();
+    println!("— {case}: {n} unknowns, {} parts —", spec.parts);
     let b = generators::random_rhs(n, crate::seeds::RHS);
-    let t = Instant::now();
-    let nd = partition::nested_dissection(&a, parts);
-    let nd_ms = t.elapsed().as_secs_f64() * 1e3;
-    let ndm = partition::metrics(&a, &nd);
-    let ggm = partition::metrics(&a, &partition::greedy_grow(&a, parts, 42));
+    let rec_setup = |report: &mut BenchReport, key: String, v: f64| {
+        if spec.track_setup {
+            report.track(&key, v);
+        } else {
+            report.record(&key, v);
+        }
+    };
+
+    // Phase 1: partition. Deterministic output, so reps only re-time it.
+    let mut nd = Vec::new();
+    let mut samples: Vec<f64> = (0..spec.setup_reps)
+        .map(|_| {
+            let t = Instant::now();
+            nd = partition::nested_dissection(a, spec.parts);
+            t.elapsed().as_secs_f64() * 1e3
+        })
+        .collect();
+    let partition_ms = median(&mut samples);
+    let ndm = partition::metrics(a, &nd);
     report.record(&format!("{case}/n"), n as f64);
-    report.record(&format!("{case}/partition/nd_ms"), nd_ms);
+    rec_setup(report, format!("{case}/partition_ms"), partition_ms);
     report.track(&format!("{case}/partition/nd_cut"), ndm.cut_edges as f64);
     report.track(
         &format!("{case}/partition/nd_boundary"),
         ndm.boundary_vertices as f64,
     );
     report.record(&format!("{case}/partition/nd_imbalance"), ndm.imbalance);
-    report.track(
-        &format!("{case}/partition/greedy_cut"),
-        ggm.cut_edges as f64,
-    );
+    // The greedy-grow comparison column is informative, not part of the
+    // pipeline — skip it at the 10⁶ scale where it would dominate setup.
+    if n <= 500_000 {
+        let ggm = partition::metrics(a, &partition::greedy_grow(a, spec.parts, 42));
+        report.track(
+            &format!("{case}/partition/greedy_cut"),
+            ggm.cut_edges as f64,
+        );
+    }
     println!(
-        "  partition: nd cut={} boundary={} imbalance={:.3} ({:.0} ms); greedy cut={}",
-        ndm.cut_edges, ndm.boundary_vertices, ndm.imbalance, nd_ms, ggm.cut_edges
+        "  partition: nd cut={} boundary={} imbalance={:.3} ({partition_ms:.0} ms)",
+        ndm.cut_edges, ndm.boundary_vertices, ndm.imbalance
     );
 
-    let t = Instant::now();
-    let problem = DtmBuilder::new(a, b)
-        .assignment(nd)
-        .termination(Termination::Residual { tol })
-        .build()?;
-    report.record(&format!("{case}/split_ms"), t.elapsed().as_secs_f64() * 1e3);
+    // Phase 2: tearing — `DtmBuilder::build` is graph assembly, plan
+    // derivation and the (pool-fanned) EVS split; reference-free, so no
+    // factorization of the original system hides in here.
+    let mut problem = None;
+    let mut samples: Vec<f64> = (0..spec.setup_reps)
+        .map(|_| {
+            let t = Instant::now();
+            problem = Some(
+                DtmBuilder::new(a.clone(), b.clone())
+                    .assignment(nd.clone())
+                    .termination(Termination::Residual { tol: spec.tol })
+                    .build(),
+            );
+            t.elapsed().as_secs_f64() * 1e3
+        })
+        .collect();
+    let split_ms = median(&mut samples);
+    let problem = problem.expect("setup_reps >= 1")?;
+    rec_setup(report, format!("{case}/split_ms"), split_ms);
 
+    // Phase 3: factor every subdomain concurrently into reusable
+    // templates (factors are Arc-shared; backends clone the templates).
+    let pool = rayon::ThreadPoolBuilder::new()
+        .build()
+        .map_err(|e| dtm_sparse::Error::Parse(format!("bench pool: {e}")))?;
     let common = CommonConfig {
-        termination: Termination::Residual { tol },
+        termination: Termination::Residual { tol: spec.tol },
         ..Default::default()
     };
+    let mut templates = None;
+    let mut samples: Vec<f64> = (0..spec.setup_reps)
+        .map(|_| {
+            let t = Instant::now();
+            templates = Some(build_nodes_parallel(&problem.split, &common, &pool));
+            t.elapsed().as_secs_f64() * 1e3
+        })
+        .collect();
+    let factor_ms = median(&mut samples);
+    let templates = templates.expect("setup_reps >= 1")?;
+    rec_setup(report, format!("{case}/factor_ms"), factor_ms);
+    let setup_ms = partition_ms + split_ms + factor_ms;
+    report.record(&format!("{case}/setup_total_ms"), setup_ms);
+    println!(
+        "  setup: partition {partition_ms:.0} ms + split {split_ms:.0} ms + factor \
+         {factor_ms:.0} ms = {setup_ms:.0} ms"
+    );
+
     let tconfig = ThreadedConfig {
         common: common.clone(),
-        budget: *budget,
+        budget: spec.budget,
         ..Default::default()
     };
     let t = Instant::now();
-    let r = problem.solve_threaded(&tconfig)?;
+    let r = threaded::solve_prepared(&problem.split, templates.clone(), None, &tconfig)?;
     let wall = t.elapsed();
     println!(
         "  threaded: converged={} residual={:.2e} msgs={} flops={} wall={:.1}s",
@@ -441,11 +566,11 @@ fn grid3d_case(
 
     let rconfig = RayonConfig {
         common,
-        budget: *budget,
+        budget: spec.budget,
         ..Default::default()
     };
     let t = Instant::now();
-    let r = problem.solve_workstealing(&rconfig)?;
+    let r = rayon_backend::solve_prepared(&problem.split, templates, None, &rconfig)?;
     let wall = t.elapsed();
     println!(
         "  rayon:    converged={} residual={:.2e} msgs={} flops={} wall={:.1}s",
@@ -461,10 +586,13 @@ fn grid3d_case(
 
 /// Median per-RHS substitution latency: seed column-major kernel vs the
 /// cache-blocked interleaved kernel, K ∈ {1, 8, 16}, RCM sparse factor of
-/// a 20³ Laplacian.
+/// a 20³ Laplacian. Reps alternate colmajor/blocked so clock drift,
+/// frequency scaling and cache state hit both kernels equally — measuring
+/// one kernel's reps back to back systematically flattered whichever ran
+/// second.
 fn kernel_case(report: &mut BenchReport, reps: usize) -> dtm_sparse::Result<()> {
     let s = 20usize;
-    println!("— substitution kernels: grid3d {s}³ RCM factor, {reps} reps —");
+    println!("— substitution kernels: grid3d {s}³ RCM factor, {reps} interleaved reps —");
     let a = generators::grid3d_laplacian(s, s, s);
     let n = a.n_rows();
     let f = SparseCholesky::factor_rcm(&a)?;
@@ -479,25 +607,22 @@ fn kernel_case(report: &mut BenchReport, reps: usize) -> dtm_sparse::Result<()> 
         f.solve_block_colmajor(&mut xs, k);
         xs.copy_from_slice(&template);
         f.solve_block_with_scratch(&mut xs, k, &mut scratch);
-        let time_ns = |blocked: bool, xs: &mut Vec<f64>, scratch: &mut Vec<f64>| -> f64 {
-            let mut samples: Vec<f64> = (0..reps)
-                .map(|_| {
-                    xs.copy_from_slice(&template);
-                    let t = Instant::now();
-                    if blocked {
-                        f.solve_block_with_scratch(xs, k, scratch);
-                    } else {
-                        f.solve_block_colmajor(xs, k);
-                    }
-                    t.elapsed().as_secs_f64() * 1e9
-                })
-                .collect();
-            samples.sort_by(f64::total_cmp);
-            samples[samples.len() / 2]
-        };
-        let colmajor = time_ns(false, &mut xs, &mut scratch);
-        let blocked = time_ns(true, &mut xs, &mut scratch);
+        let mut col_samples = Vec::with_capacity(reps);
+        let mut blk_samples = Vec::with_capacity(reps);
+        for _ in 0..reps {
+            xs.copy_from_slice(&template);
+            let t = Instant::now();
+            f.solve_block_colmajor(&mut xs, k);
+            col_samples.push(t.elapsed().as_secs_f64() * 1e9);
+            xs.copy_from_slice(&template);
+            let t = Instant::now();
+            f.solve_block_with_scratch(&mut xs, k, &mut scratch);
+            blk_samples.push(t.elapsed().as_secs_f64() * 1e9);
+        }
+        let colmajor = median(&mut col_samples);
+        let blocked = median(&mut blk_samples);
         let (col_rhs, blk_rhs) = (colmajor / k as f64, blocked / k as f64);
+        let speedup = col_rhs / blk_rhs;
         report.record(
             &format!("kernels/grid3d20_rcm/k{k}/colmajor_ns_per_rhs"),
             col_rhs,
@@ -506,16 +631,21 @@ fn kernel_case(report: &mut BenchReport, reps: usize) -> dtm_sparse::Result<()> 
             &format!("kernels/grid3d20_rcm/k{k}/blocked_ns_per_rhs"),
             blk_rhs,
         );
-        report.record(
-            &format!("kernels/grid3d20_rcm/k{k}/speedup"),
-            col_rhs / blk_rhs,
-        );
+        report.record(&format!("kernels/grid3d20_rcm/k{k}/speedup"), speedup);
         println!(
-            "  K={k:>2}: colmajor {:>9.0} ns/rhs, blocked {:>9.0} ns/rhs, speedup {:.2}×",
-            col_rhs,
-            blk_rhs,
-            col_rhs / blk_rhs
+            "  K={k:>2}: colmajor {col_rhs:>9.0} ns/rhs, blocked {blk_rhs:>9.0} ns/rhs, \
+             speedup {speedup:.2}×"
         );
+        // K = 1 dispatches to the scalar column-major kernel — the blocked
+        // entry point must cost the same within measurement noise. A real
+        // divergence here means the dispatch regressed.
+        if k == 1 && !(0.7..=1.4).contains(&speedup) {
+            return Err(dtm_sparse::Error::Parse(format!(
+                "K=1 blocked kernel no longer matches the scalar path: \
+                 {blk_rhs:.0} ns/rhs vs colmajor {col_rhs:.0} ns/rhs \
+                 (ratio {speedup:.2}, expected within [0.7, 1.4])"
+            )));
+        }
     }
     Ok(())
 }
@@ -626,6 +756,22 @@ mod tests {
         new.0.insert("x/converged".into(), 1.0);
         new.0.insert("x/msgs".into(), 10.0);
         assert!(regressions(&new, &base).is_empty());
+    }
+
+    #[test]
+    fn tracked_wall_clock_gets_absolute_slack() {
+        // A tracked `_ms` phase gets 5 ms absolute slack on top of the
+        // 20% band: a 2 ms → 6 ms jitter on a tiny median must not flag,
+        // while a genuine blow-up must.
+        let base: (BTreeMap<String, f64>, BTreeSet<String>) = (
+            [("c/split_ms".to_string(), 2.0)].into(),
+            ["c/split_ms".to_string()].into(),
+        );
+        let mut new = base.clone();
+        new.0.insert("c/split_ms".into(), 6.0);
+        assert!(regressions(&new, &base).is_empty());
+        new.0.insert("c/split_ms".into(), 8.0);
+        assert_eq!(regressions(&new, &base).len(), 1);
     }
 
     #[test]

@@ -11,7 +11,7 @@ use crate::report::SolveReport;
 use crate::runtime;
 use crate::solver::{self, ComputeModel, DtmConfig, Termination};
 use crate::vtm::{self, VtmConfig, VtmReport};
-use dtm_graph::evs::{split as evs_split, EvsOptions, SplitSystem, TwinTopology};
+use dtm_graph::evs::{split_parallel as evs_split_parallel, EvsOptions, SplitSystem, TwinTopology};
 use dtm_graph::{partition, ElectricGraph, PartitionPlan};
 use dtm_simnet::{DelayModel, SimDuration, Topology};
 use dtm_sparse::{Csr, Error, Result, SparseCholesky};
@@ -45,6 +45,15 @@ pub struct DtmProblem {
     /// reporting). `None` under [`Termination::Residual`]: reference-free
     /// runs never direct-solve the original system.
     pub reference: Option<Vec<f64>>,
+}
+
+/// Work-stealing pool for the setup pipeline (EVS assembly, per-part
+/// factorization, overlapped reference factor). Sized to the machine's
+/// available parallelism.
+fn setup_pool() -> Result<rayon::ThreadPool> {
+    rayon::ThreadPoolBuilder::new()
+        .build()
+        .map_err(|e| Error::Parse(format!("setup pool: {e}")))
 }
 
 impl DtmBuilder {
@@ -142,10 +151,32 @@ impl DtmBuilder {
     /// choose the machine, align the DTLP trees with its links, split, and
     /// compute the direct reference solution.
     ///
+    /// Setup is pipelined over a work-stealing pool: the per-part EVS
+    /// assembly fans out ([`dtm_graph::evs::split_parallel`], bitwise-equal
+    /// to the serial split), and under oracle terminations the direct
+    /// reference factorization overlaps with the tearing instead of
+    /// running after it. Reference-free ([`Termination::Residual`]) builds
+    /// never factor the original system.
+    ///
     /// # Errors
     /// Any validation failure along the pipeline.
     pub fn build(self) -> Result<DtmProblem> {
-        let graph = ElectricGraph::from_system(self.a.clone(), self.b.clone())?;
+        let pool = setup_pool()?;
+        // Kick off the reference factorization first so it overlaps with
+        // plan derivation and the split on a multi-core machine.
+        let reference_rx = match self.config.common.termination {
+            Termination::Residual { .. } => None,
+            _ => {
+                let (tx, rx) = std::sync::mpsc::channel();
+                let a = self.a.clone();
+                let b = self.b.clone();
+                pool.spawn(move || {
+                    let _ = tx.send(SparseCholesky::factor_rcm(&a).map(|f| f.solve(&b)));
+                });
+                Some(rx)
+            }
+        };
+        let graph = ElectricGraph::from_system(self.a, self.b)?;
         let assignment = self.assignment.ok_or_else(|| {
             Error::Parse("no partition given: call grid_blocks/grid_strips/assignment".into())
         })?;
@@ -173,14 +204,16 @@ impl DtmBuilder {
                 .collect();
             evs_options.twin_topology = TwinTopology::TreeWithin(pairs);
         }
-        let split = evs_split(&graph, &plan, &evs_options)?;
+        let split = evs_split_parallel(&graph, &plan, &evs_options, &pool)?;
         // Surface a malformed machine (a DTLP with no directed link) as a
         // typed error here, at assembly time, rather than a panic once a
         // backend first looks the delay up.
         solver::check_mapping(&split, &topology)?;
-        let reference = match self.config.common.termination {
-            Termination::Residual { .. } => None,
-            _ => Some(SparseCholesky::factor_rcm(&self.a)?.solve(&self.b)),
+        let reference = match reference_rx {
+            None => None,
+            Some(rx) => Some(rx.recv().map_err(|_| {
+                Error::Parse("DtmBuilder: reference factorization task vanished".into())
+            })??),
         };
         Ok(DtmProblem {
             split,
@@ -363,13 +396,29 @@ pub struct SolveSession {
 
 impl SolveSession {
     fn new(problem: DtmProblem) -> Result<Self> {
-        let templates = runtime::build_nodes(&problem.split, &problem.config.common)?;
-        let ref_factor = match problem.config.common.termination {
+        // Factor every subdomain concurrently on the setup pool; under
+        // oracle terminations the reference factorization of the
+        // reconstructed system overlaps with them instead of running
+        // after.
+        let pool = setup_pool()?;
+        let ref_rx = match problem.config.common.termination {
             Termination::Residual { .. } => None,
             _ => {
+                let (tx, rx) = std::sync::mpsc::channel();
                 let (a, _) = problem.split.reconstruct();
-                Some(SparseCholesky::factor_rcm(&a)?)
+                pool.spawn(move || {
+                    let _ = tx.send(SparseCholesky::factor_rcm(&a));
+                });
+                Some(rx)
             }
+        };
+        let templates =
+            runtime::build_nodes_parallel(&problem.split, &problem.config.common, &pool)?;
+        let ref_factor = match ref_rx {
+            None => None,
+            Some(rx) => Some(rx.recv().map_err(|_| {
+                Error::Parse("SolveSession: reference factorization task vanished".into())
+            })??),
         };
         Ok(Self {
             problem,

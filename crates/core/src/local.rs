@@ -49,7 +49,7 @@ pub enum LocalSolverKind {
 /// Crossover for [`LocalSolverKind::Auto`].
 pub const AUTO_DENSE_LIMIT: usize = 96;
 
-#[derive(Debug)]
+#[derive(Debug, PartialEq)]
 enum Factor {
     Dense(DenseCholesky),
     Sparse(SparseCholesky),
@@ -71,7 +71,7 @@ impl Factor {
 /// All block state is stored column-major: column `c` of an `n`-vector
 /// quantity occupies `[c·n .. (c+1)·n]`, and per-port quantities likewise
 /// with `n = n_ports`.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct LocalSystem {
     /// Local matrix `Â = A_j + Σ_p (1/z_p) e_v e_vᵀ` (kept for analysis;
     /// constant, so shared like the factor).

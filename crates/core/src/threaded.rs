@@ -165,6 +165,29 @@ pub fn solve_with_reference(
     solve_runtimes(split, runtimes, references, None, config)
 }
 
+/// [`solve`] over **prebuilt node runtimes** — the factor-once serving
+/// path. Callers build (and pay for) the per-part factorizations once via
+/// [`runtime::build_nodes`]/[`runtime::build_nodes_parallel`], then hand a
+/// clone of the templates to each solve: `NodeRuntime` clones share their
+/// factors, so repeated solves re-run only the wave exchange.
+///
+/// # Errors
+/// See [`solve`].
+pub fn solve_prepared(
+    split: &SplitSystem,
+    runtimes: Vec<NodeRuntime>,
+    reference: Option<Vec<f64>>,
+    config: &ThreadedConfig,
+) -> Result<SolveReport> {
+    let references = runtime::resolve_references(
+        split,
+        config.common.termination,
+        None,
+        reference.map(|r| vec![r]),
+    )?;
+    solve_runtimes(split, runtimes, references, None, config)
+}
+
 /// Run DTM on real threads for a **block of right-hand sides** sharing one
 /// factorization per subdomain (see [`crate::solver::solve_block`] for the
 /// block-wave semantics; here the waves travel real channels).

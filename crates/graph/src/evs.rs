@@ -121,7 +121,7 @@ pub struct Port {
 
 /// One part's local system: eq. (4.3) with copies (ports-carrying vertices)
 /// ordered before inner vertices.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Subdomain {
     /// Part index.
     pub part: usize,
@@ -164,7 +164,7 @@ impl Subdomain {
 }
 
 /// The complete result of EVS: subdomains plus the DTLP wiring between them.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SplitSystem {
     /// Dimension of the original system.
     pub original_n: usize,
@@ -264,7 +264,451 @@ impl SplitSystem {
     }
 }
 
-/// Perform Electric Vertex Splitting.
+/// Precomputed flat (CSR-indexed) split directory: everything the per-part
+/// assembly needs, with no hashing on the hot path.
+///
+/// * Vertex directory: for vertex `v`, slots `vert_ptr[v]..vert_ptr[v+1]`
+///   list its parts in ascending order (`vert_part`), the local index of
+///   its copy in each part (`vert_local`), and the per-slot diagonal,
+///   source, and source-fraction shares (inner vertices have one slot
+///   carrying the unsplit quantities).
+/// * Edge directory: undirected edges `(u < v)` numbered in CSR
+///   upper-triangle order; `edge_ptr[e]..edge_ptr[e+1]` lists the
+///   `(part, weight-share)` placement of edge `e`.
+/// * Part directory: `part_edge_ptr[p]..part_edge_ptr[p+1]` lists the
+///   `(edge id, share)` pairs landing in part `p`, so each part's assembly
+///   touches exactly its own edges instead of scanning all of them.
+struct SplitIndex {
+    n_parts: usize,
+    vert_ptr: Vec<usize>,
+    vert_part: Vec<usize>,
+    vert_local: Vec<usize>,
+    diag_share: Vec<f64>,
+    src_share: Vec<f64>,
+    src_frac: Vec<f64>,
+    edge_u: Vec<usize>,
+    edge_v: Vec<usize>,
+    part_edge_ptr: Vec<usize>,
+    part_edge_eid: Vec<usize>,
+    part_edge_w: Vec<f64>,
+    global_of_local: Vec<Vec<usize>>,
+    copy_counts: Vec<usize>,
+    dtlps: Vec<Dtlp>,
+    ports: Vec<Vec<Port>>,
+}
+
+impl SplitIndex {
+    /// Local index of vertex `v`'s copy in `part` (linear scan over the
+    /// vertex's few slots — bounded by the number of parts it touches).
+    fn local_of(&self, v: usize, part: usize) -> usize {
+        for s in self.vert_ptr[v]..self.vert_ptr[v + 1] {
+            if self.vert_part[s] == part {
+                return self.vert_local[s];
+            }
+        }
+        unreachable!("vertex {v} has no copy in part {part}");
+    }
+
+    fn slot_of(&self, v: usize, part: usize) -> usize {
+        for s in self.vert_ptr[v]..self.vert_ptr[v + 1] {
+            if self.vert_part[s] == part {
+                return s;
+            }
+        }
+        unreachable!("vertex {v} has no slot in part {part}");
+    }
+}
+
+fn build_index(
+    graph: &ElectricGraph,
+    plan: &PartitionPlan,
+    options: &EvsOptions,
+) -> Result<SplitIndex> {
+    let n = graph.n();
+    let n_parts = plan.n_parts();
+
+    // --- Vertex directory + local numbering: copies first (ascending
+    //     original id), then inner vertices (ascending original id). ------
+    let mut vert_ptr = vec![0usize; n + 1];
+    let mut copy_counts = vec![0usize; n_parts];
+    let mut inner_counts = vec![0usize; n_parts];
+    for v in 0..n {
+        let parts = plan.owner(v).parts();
+        vert_ptr[v + 1] = vert_ptr[v] + parts.len();
+        match plan.owner(v) {
+            Owner::Inner(p) => inner_counts[*p] += 1,
+            Owner::Split(ps) => {
+                for &p in ps {
+                    copy_counts[p] += 1;
+                }
+            }
+        }
+    }
+    let n_slots = vert_ptr[n];
+    let mut vert_part = vec![0usize; n_slots];
+    let mut vert_local = vec![0usize; n_slots];
+    let mut global_of_local: Vec<Vec<usize>> = (0..n_parts)
+        .map(|p| Vec::with_capacity(copy_counts[p] + inner_counts[p]))
+        .collect();
+    // Pass 1: copies (split vertices) in ascending vertex order.
+    let mut next_local = vec![0usize; n_parts];
+    for (v, &s0) in vert_ptr[..n].iter().enumerate() {
+        if let Owner::Split(ps) = plan.owner(v) {
+            for (k, &p) in ps.iter().enumerate() {
+                let s = s0 + k;
+                vert_part[s] = p;
+                vert_local[s] = next_local[p];
+                next_local[p] += 1;
+                global_of_local[p].push(v);
+            }
+        }
+    }
+    debug_assert_eq!(next_local, copy_counts);
+    // Pass 2: inner vertices in ascending vertex order.
+    for (v, &s) in vert_ptr[..n].iter().enumerate() {
+        if let Owner::Inner(p) = plan.owner(v) {
+            vert_part[s] = *p;
+            vert_local[s] = next_local[*p];
+            next_local[*p] += 1;
+            global_of_local[*p].push(v);
+        }
+    }
+
+    // --- Edge directory: one CSR upper-triangle pass. --------------------
+    // Edges are numbered in (u asc, v asc) order; a full-adjacency CSR of
+    // incident edge ids is built alongside so the dominance policy can walk
+    // a vertex's edges in the same order `graph.neighbors` yields them.
+    let mut degree = vec![0usize; n];
+    let mut n_edges = 0usize;
+    for (u, deg) in degree.iter_mut().enumerate() {
+        for (v, _) in graph.neighbors(u) {
+            *deg += 1;
+            if v > u {
+                n_edges += 1;
+            }
+        }
+    }
+    let mut adj_ptr = vec![0usize; n + 1];
+    for u in 0..n {
+        adj_ptr[u + 1] = adj_ptr[u] + degree[u];
+    }
+    let mut adj_eid = vec![0usize; adj_ptr[n]];
+    let mut adj_fill = adj_ptr.clone();
+    let mut edge_u = Vec::with_capacity(n_edges);
+    let mut edge_v = Vec::with_capacity(n_edges);
+    let mut edge_ptr = Vec::with_capacity(n_edges + 1);
+    edge_ptr.push(0usize);
+    let mut edge_share_part: Vec<usize> = Vec::new();
+    let mut edge_share_val: Vec<f64> = Vec::new();
+    let have_explicit_edges = !options.explicit.edge.is_empty();
+    let mut common_scratch: Vec<usize> = Vec::new();
+    for u in 0..n {
+        for (v, w) in graph.neighbors(u) {
+            if v < u {
+                // The (v, u) direction was enumerated at row v; record the
+                // incidence for u's adjacency (ascending neighbor order is
+                // preserved because rows are visited in ascending u).
+                continue;
+            }
+            let e = edge_u.len();
+            edge_u.push(u);
+            edge_v.push(v);
+            adj_eid[adj_fill[u]] = e;
+            adj_fill[u] += 1;
+            adj_eid[adj_fill[v]] = e;
+            adj_fill[v] += 1;
+            // Placement parts, without allocating in the common cases.
+            let parts: &[usize] = match (plan.owner(u), plan.owner(v)) {
+                (Owner::Inner(p), Owner::Inner(q)) => {
+                    debug_assert_eq!(p, q, "validated plans have no cross-inner edges");
+                    std::slice::from_ref(p)
+                }
+                (Owner::Inner(p), Owner::Split(_)) | (Owner::Split(_), Owner::Inner(p)) => {
+                    std::slice::from_ref(p)
+                }
+                (Owner::Split(ps), Owner::Split(qs)) => {
+                    common_scratch.clear();
+                    common_scratch.extend(crate::plan::common_parts(ps, qs));
+                    &common_scratch
+                }
+            };
+            let explicit = if have_explicit_edges {
+                options.explicit.edge.get(&(u, v))
+            } else {
+                None
+            };
+            match explicit {
+                Some(exp) => {
+                    validate_shares("edge", exp, parts, w)?;
+                    for &(p, s) in exp {
+                        edge_share_part.push(p);
+                        edge_share_val.push(s);
+                    }
+                }
+                None => {
+                    let each = w / parts.len() as f64;
+                    for &p in parts {
+                        edge_share_part.push(p);
+                        edge_share_val.push(each);
+                    }
+                }
+            }
+            edge_ptr.push(edge_share_part.len());
+        }
+    }
+    debug_assert_eq!(adj_fill[..n], adj_ptr[1..]);
+
+    // --- Per-slot diagonal / source shares. ------------------------------
+    // Inner vertices carry their unsplit quantities in their single slot so
+    // the assembly below needs no owner dispatch.
+    let mut diag_share = vec![0.0f64; n_slots];
+    let mut src_share = vec![0.0f64; n_slots];
+    let mut src_frac = vec![1.0f64; n_slots];
+    let mut acc: Vec<f64> = Vec::new();
+    for v in 0..n {
+        let (s0, s1) = (vert_ptr[v], vert_ptr[v + 1]);
+        let parts = plan.owner(v).parts();
+        if !plan.owner(v).is_split() {
+            diag_share[s0] = graph.vertex_weight(v);
+            src_share[s0] = graph.source(v);
+            continue;
+        }
+        let w = graph.vertex_weight(v);
+        // Diagonal shares, in slot (ascending part) order.
+        match options.explicit.diag.get(&v) {
+            Some(exp) => {
+                validate_shares("diag", exp, parts, w)?;
+                for &(p, s) in exp {
+                    diag_share[slot_in(&vert_part, s0, s1, p)] = s;
+                }
+            }
+            None => match options.policy {
+                SharePolicy::Uniform => {
+                    let each = w / parts.len() as f64;
+                    diag_share[s0..s1].fill(each);
+                }
+                SharePolicy::DominanceProportional => {
+                    // Off-diagonal magnitude landing in each part, walking
+                    // incident edges in `graph.neighbors` order.
+                    acc.clear();
+                    acc.resize(parts.len(), 0.0);
+                    for &e in &adj_eid[adj_ptr[v]..adj_ptr[v + 1]] {
+                        for i in edge_ptr[e]..edge_ptr[e + 1] {
+                            let p = edge_share_part[i];
+                            if let Some(k) = parts.iter().position(|&q| q == p) {
+                                acc[k] += edge_share_val[i].abs();
+                            }
+                        }
+                    }
+                    let total: f64 = acc.iter().sum();
+                    let slack = w - total;
+                    for (k, s) in (s0..s1).enumerate() {
+                        let sp = acc[k];
+                        diag_share[s] = if total <= 0.0 {
+                            w / parts.len() as f64
+                        } else if slack >= 0.0 {
+                            sp + slack * sp / total
+                        } else {
+                            w * sp / total
+                        };
+                    }
+                }
+            },
+        }
+        // Source shares and fractions. Policy shares are *defined* as
+        // fraction × b so that `scatter_rhs` of the original b reproduces
+        // `rhs` bit for bit — the invariant the streaming RHS path relies
+        // on. For explicit shares over a zero source the fraction is
+        // unrecoverable, so the policy fraction is used for future
+        // scatters.
+        let b = graph.source(v);
+        let policy_frac_of = |k: usize| -> f64 {
+            match options.policy {
+                SharePolicy::Uniform => 1.0 / parts.len() as f64,
+                SharePolicy::DominanceProportional => {
+                    let total: f64 = diag_share[s0..s1].iter().map(|d| d.abs()).sum();
+                    if total <= 0.0 {
+                        1.0 / parts.len() as f64
+                    } else {
+                        diag_share[s0 + k].abs() / total
+                    }
+                }
+            }
+        };
+        match options.explicit.source.get(&v) {
+            Some(exp) => {
+                validate_shares("source", exp, parts, b)?;
+                for &(p, s) in exp {
+                    let slot = slot_in(&vert_part, s0, s1, p);
+                    src_share[slot] = s;
+                    src_frac[slot] = if b != 0.0 {
+                        s / b
+                    } else {
+                        policy_frac_of(slot - s0)
+                    };
+                }
+            }
+            None => {
+                for k in 0..parts.len() {
+                    let f = policy_frac_of(k);
+                    src_frac[s0 + k] = f;
+                    src_share[s0 + k] = f * b;
+                }
+            }
+        }
+    }
+
+    // --- Per-part edge directory (CSR over parts). -----------------------
+    let mut part_edge_ptr = vec![0usize; n_parts + 1];
+    for &p in &edge_share_part {
+        part_edge_ptr[p + 1] += 1;
+    }
+    for p in 0..n_parts {
+        part_edge_ptr[p + 1] += part_edge_ptr[p];
+    }
+    let mut part_edge_eid = vec![0usize; edge_share_part.len()];
+    let mut part_edge_w = vec![0.0f64; edge_share_part.len()];
+    let mut part_fill = part_edge_ptr.clone();
+    for e in 0..edge_u.len() {
+        for i in edge_ptr[e]..edge_ptr[e + 1] {
+            let p = edge_share_part[i];
+            part_edge_eid[part_fill[p]] = e;
+            part_edge_w[part_fill[p]] = edge_share_val[i];
+            part_fill[p] += 1;
+        }
+    }
+
+    let mut index = SplitIndex {
+        n_parts,
+        vert_ptr,
+        vert_part,
+        vert_local,
+        diag_share,
+        src_share,
+        src_frac,
+        edge_u,
+        edge_v,
+        part_edge_ptr,
+        part_edge_eid,
+        part_edge_w,
+        global_of_local,
+        copy_counts,
+        dtlps: Vec::new(),
+        ports: vec![Vec::new(); n_parts],
+    };
+
+    // --- DTLPs and ports. ------------------------------------------------
+    for v in plan.split_vertices() {
+        let parts = plan.owner(v).parts();
+        let links: Vec<(usize, usize)> = match &options.twin_topology {
+            TwinTopology::Chain => parts.windows(2).map(|w| (w[0], w[1])).collect(),
+            TwinTopology::Star => parts[1..].iter().map(|&p| (parts[0], p)).collect(),
+            TwinTopology::TreeWithin(allowed) => spanning_tree_links(v, parts, allowed)?,
+        };
+        for (pa, pb) in links {
+            let dtlp_id = index.dtlps.len();
+            let port_a = PortRef {
+                part: pa,
+                port: index.ports[pa].len(),
+            };
+            let port_b = PortRef {
+                part: pb,
+                port: index.ports[pb].len(),
+            };
+            let la = index.local_of(v, pa);
+            let lb = index.local_of(v, pb);
+            index.ports[pa].push(Port {
+                local_vertex: la,
+                global_vertex: v,
+                peer: port_b,
+                dtlp: dtlp_id,
+            });
+            index.ports[pb].push(Port {
+                local_vertex: lb,
+                global_vertex: v,
+                peer: port_a,
+                dtlp: dtlp_id,
+            });
+            index.dtlps.push(Dtlp {
+                a: port_a,
+                b: port_b,
+                vertex: v,
+            });
+        }
+    }
+
+    Ok(index)
+}
+
+/// Slot of `part` within the sorted slot range `s0..s1` of one vertex.
+fn slot_in(vert_part: &[usize], s0: usize, s1: usize, part: usize) -> usize {
+    (s0..s1)
+        .find(|&s| vert_part[s] == part)
+        .expect("share part validated to be a placement part")
+}
+
+/// Assemble one part's local system from the precomputed index. Pure in
+/// its inputs, so parts can be assembled in any order — or concurrently.
+fn assemble_part(p: usize, index: &SplitIndex) -> Result<Subdomain> {
+    let gl = &index.global_of_local[p];
+    let nl = gl.len();
+    let mut coo = Coo::new(nl, nl);
+    let mut rhs = vec![0.0; nl];
+    let mut rhs_weight = vec![1.0; nl];
+    // Diagonals and sources.
+    for (l, &v) in gl.iter().enumerate() {
+        let s = index.slot_of(v, p);
+        let dv = index.diag_share[s];
+        if dv != 0.0 {
+            coo.push(l, l, dv)?;
+        }
+        rhs[l] = index.src_share[s];
+        rhs_weight[l] = index.src_frac[s];
+    }
+    // Edges: exactly this part's placements, in ascending edge order.
+    for i in index.part_edge_ptr[p]..index.part_edge_ptr[p + 1] {
+        let w = index.part_edge_w[i];
+        if w == 0.0 {
+            continue;
+        }
+        let e = index.part_edge_eid[i];
+        let lu = index.local_of(index.edge_u[e], p);
+        let lv = index.local_of(index.edge_v[e], p);
+        coo.push(lu, lv, w)?;
+        coo.push(lv, lu, w)?;
+    }
+    Ok(Subdomain {
+        part: p,
+        matrix: coo.to_csr(),
+        rhs,
+        rhs_weight,
+        global_of_local: gl.clone(),
+        n_copies: index.copy_counts[p],
+        ports: Vec::new(), // attached by the caller
+    })
+}
+
+fn finish(
+    graph: &ElectricGraph,
+    plan: &PartitionPlan,
+    mut index: SplitIndex,
+    mut subdomains: Vec<Subdomain>,
+) -> SplitSystem {
+    for (p, sd) in subdomains.iter_mut().enumerate() {
+        sd.ports = std::mem::take(&mut index.ports[p]);
+    }
+    let copy_count = (0..graph.n())
+        .map(|v| plan.owner(v).parts().len())
+        .collect::<Vec<_>>();
+    SplitSystem {
+        original_n: graph.n(),
+        subdomains,
+        dtlps: index.dtlps,
+        copy_count,
+    }
+}
+
+/// Perform Electric Vertex Splitting (serial per-part assembly).
 ///
 /// # Errors
 /// Propagates validation failures from explicit share overrides (wrong
@@ -274,255 +718,41 @@ pub fn split(
     plan: &PartitionPlan,
     options: &EvsOptions,
 ) -> Result<SplitSystem> {
-    let n = graph.n();
-    let n_parts = plan.n_parts();
+    let index = build_index(graph, plan, options)?;
+    let subdomains = (0..index.n_parts)
+        .map(|p| assemble_part(p, &index))
+        .collect::<Result<Vec<_>>>()?;
+    Ok(finish(graph, plan, index, subdomains))
+}
 
-    // --- Local vertex numbering: copies first (ascending original id),
-    //     then inner vertices (ascending original id). -------------------
-    let mut copy_lists: Vec<Vec<usize>> = vec![Vec::new(); n_parts];
-    let mut inner_lists: Vec<Vec<usize>> = vec![Vec::new(); n_parts];
-    for v in 0..n {
-        match plan.owner(v) {
-            Owner::Inner(p) => inner_lists[*p].push(v),
-            Owner::Split(ps) => {
-                for &p in ps {
-                    copy_lists[p].push(v);
-                }
-            }
-        }
-    }
-    // local index of (vertex, part)
-    let mut local_of: HashMap<(usize, usize), usize> = HashMap::new();
-    let mut global_of_local: Vec<Vec<usize>> = Vec::with_capacity(n_parts);
-    for p in 0..n_parts {
-        let mut g2l = Vec::with_capacity(copy_lists[p].len() + inner_lists[p].len());
-        for (i, &v) in copy_lists[p]
-            .iter()
-            .chain(inner_lists[p].iter())
-            .enumerate()
-        {
-            local_of.insert((v, p), i);
-            g2l.push(v);
-        }
-        global_of_local.push(g2l);
-    }
-
-    // --- Edge placement and weight shares. ------------------------------
-    // For each undirected edge (u < v): the list of (part, weight share).
-    let mut edge_shares: HashMap<(usize, usize), Vec<(usize, f64)>> = HashMap::new();
-    for u in 0..n {
-        for (v, w) in graph.neighbors(u) {
-            if v < u {
-                continue;
-            }
-            let parts = plan.edge_parts(u, v);
-            let shares = match options.explicit.edge.get(&(u, v)) {
-                Some(exp) => {
-                    validate_shares("edge", exp, &parts, w)?;
-                    exp.clone()
-                }
-                None => {
-                    let each = w / parts.len() as f64;
-                    parts.iter().map(|&p| (p, each)).collect()
-                }
-            };
-            edge_shares.insert((u, v), shares);
-        }
-    }
-
-    // --- Diagonal (vertex weight) shares for split vertices. ------------
-    let mut diag_shares: HashMap<usize, Vec<(usize, f64)>> = HashMap::new();
-    for v in plan.split_vertices() {
-        let parts = plan.owner(v).parts().to_vec();
-        let w = graph.vertex_weight(v);
-        let shares = match options.explicit.diag.get(&v) {
-            Some(exp) => {
-                validate_shares("diag", exp, &parts, w)?;
-                exp.clone()
-            }
-            None => match options.policy {
-                SharePolicy::Uniform => {
-                    let each = w / parts.len() as f64;
-                    parts.iter().map(|&p| (p, each)).collect()
-                }
-                SharePolicy::DominanceProportional => {
-                    // Off-diagonal magnitude that lands in each part.
-                    let mut s: HashMap<usize, f64> = parts.iter().map(|&p| (p, 0.0)).collect();
-                    for (u, _) in graph.neighbors(v) {
-                        let key = (v.min(u), v.max(u));
-                        for &(p, share) in &edge_shares[&key] {
-                            if let Some(acc) = s.get_mut(&p) {
-                                *acc += share.abs();
-                            }
-                        }
-                    }
-                    let total: f64 = s.values().sum();
-                    let slack = w - total;
-                    parts
-                        .iter()
-                        .map(|&p| {
-                            let sp = s[&p];
-                            let share = if total <= 0.0 {
-                                w / parts.len() as f64
-                            } else if slack >= 0.0 {
-                                sp + slack * sp / total
-                            } else {
-                                w * sp / total
-                            };
-                            (p, share)
-                        })
-                        .collect()
-                }
-            },
-        };
-        diag_shares.insert(v, shares);
-    }
-
-    // --- Source shares. ---------------------------------------------------
-    // Alongside the absolute shares (which produce `rhs`), record the share
-    // *fraction* of each copy — the per-vertex weights that let any future
-    // right-hand side be scattered onto this split (`scatter_rhs`). For
-    // explicit shares over a zero source the fraction is unrecoverable, so
-    // the policy fraction is used for future scatters.
-    let mut source_shares: HashMap<usize, Vec<(usize, f64)>> = HashMap::new();
-    let mut source_fracs: HashMap<usize, Vec<(usize, f64)>> = HashMap::new();
-    for v in plan.split_vertices() {
-        let parts = plan.owner(v).parts().to_vec();
-        let b = graph.source(v);
-        let policy_fracs: Vec<(usize, f64)> = match options.policy {
-            SharePolicy::Uniform => {
-                let each = 1.0 / parts.len() as f64;
-                parts.iter().map(|&p| (p, each)).collect()
-            }
-            SharePolicy::DominanceProportional => {
-                let ds = &diag_shares[&v];
-                let total: f64 = ds.iter().map(|&(_, d)| d.abs()).sum();
-                if total <= 0.0 {
-                    let each = 1.0 / parts.len() as f64;
-                    parts.iter().map(|&p| (p, each)).collect()
-                } else {
-                    ds.iter().map(|&(p, d)| (p, d.abs() / total)).collect()
-                }
-            }
-        };
-        type ShareList = Vec<(usize, f64)>;
-        let (shares, fracs): (ShareList, ShareList) = match options.explicit.source.get(&v) {
-            Some(exp) => {
-                validate_shares("source", exp, &parts, b)?;
-                let fracs = if b != 0.0 {
-                    exp.iter().map(|&(p, s)| (p, s / b)).collect()
-                } else {
-                    policy_fracs
-                };
-                (exp.clone(), fracs)
-            }
-            // Policy shares are *defined* as fraction × b so that
-            // `scatter_rhs` of the original b reproduces `rhs` bit for
-            // bit — the invariant the streaming RHS path relies on.
-            None => (
-                policy_fracs.iter().map(|&(p, f)| (p, f * b)).collect(),
-                policy_fracs,
-            ),
-        };
-        source_shares.insert(v, shares);
-        source_fracs.insert(v, fracs);
-    }
-
-    // --- DTLPs and ports. --------------------------------------------------
-    let mut dtlps: Vec<Dtlp> = Vec::new();
-    let mut ports: Vec<Vec<Port>> = vec![Vec::new(); n_parts];
-    for v in plan.split_vertices() {
-        let parts = plan.owner(v).parts();
-        let links: Vec<(usize, usize)> = match &options.twin_topology {
-            TwinTopology::Chain => parts.windows(2).map(|w| (w[0], w[1])).collect(),
-            TwinTopology::Star => parts[1..].iter().map(|&p| (parts[0], p)).collect(),
-            TwinTopology::TreeWithin(allowed) => spanning_tree_links(v, parts, allowed)?,
-        };
-        for (pa, pb) in links {
-            let dtlp_id = dtlps.len();
-            let port_a = PortRef {
-                part: pa,
-                port: ports[pa].len(),
-            };
-            let port_b = PortRef {
-                part: pb,
-                port: ports[pb].len(),
-            };
-            ports[pa].push(Port {
-                local_vertex: local_of[&(v, pa)],
-                global_vertex: v,
-                peer: port_b,
-                dtlp: dtlp_id,
-            });
-            ports[pb].push(Port {
-                local_vertex: local_of[&(v, pb)],
-                global_vertex: v,
-                peer: port_a,
-                dtlp: dtlp_id,
-            });
-            dtlps.push(Dtlp {
-                a: port_a,
-                b: port_b,
-                vertex: v,
-            });
-        }
-    }
-
-    // --- Assemble per-part matrices and sources. ---------------------------
-    let mut subdomains = Vec::with_capacity(n_parts);
-    for p in 0..n_parts {
-        let nl = global_of_local[p].len();
-        let mut coo = Coo::new(nl, nl);
-        let mut rhs = vec![0.0; nl];
-        let mut rhs_weight = vec![1.0; nl];
-        // Diagonals and sources.
-        for (l, &v) in global_of_local[p].iter().enumerate() {
-            let (dv, sv, fv) = match plan.owner(v) {
-                Owner::Inner(_) => (graph.vertex_weight(v), graph.source(v), 1.0),
-                Owner::Split(_) => (
-                    share_for(&diag_shares[&v], p),
-                    share_for(&source_shares[&v], p),
-                    share_for(&source_fracs[&v], p),
-                ),
-            };
-            if dv != 0.0 {
-                coo.push(l, l, dv)?;
-            }
-            rhs[l] = sv;
-            rhs_weight[l] = fv;
-        }
-        // Edges.
-        for (&(u, v), shares) in &edge_shares {
-            for &(ep, w) in shares {
-                if ep == p && w != 0.0 {
-                    let lu = local_of[&(u, p)];
-                    let lv = local_of[&(v, p)];
-                    coo.push(lu, lv, w)?;
-                    coo.push(lv, lu, w)?;
-                }
-            }
-        }
-        subdomains.push(Subdomain {
-            part: p,
-            matrix: coo.to_csr(),
-            rhs,
-            rhs_weight,
-            global_of_local: global_of_local[p].clone(),
-            n_copies: copy_lists[p].len(),
-            ports: std::mem::take(&mut ports[p]),
-        });
-    }
-
-    let copy_count = (0..n)
-        .map(|v| plan.owner(v).parts().len())
-        .collect::<Vec<_>>();
-
-    Ok(SplitSystem {
-        original_n: n,
-        subdomains,
-        dtlps,
-        copy_count,
-    })
+/// Perform Electric Vertex Splitting with the per-part assembly fanned out
+/// over `pool`. Produces a `SplitSystem` **bitwise-identical** to
+/// [`split`]: parts are assembled from the same precomputed flat index by
+/// the same pure function, only the execution order differs — and no part
+/// reads another part's output.
+pub fn split_parallel(
+    graph: &ElectricGraph,
+    plan: &PartitionPlan,
+    options: &EvsOptions,
+    pool: &rayon::ThreadPool,
+) -> Result<SplitSystem> {
+    let index = build_index(graph, plan, options)?;
+    let n_parts = index.n_parts;
+    let slots: Vec<std::sync::Mutex<Option<Result<Subdomain>>>> =
+        (0..n_parts).map(|_| std::sync::Mutex::new(None)).collect();
+    pool.for_each_index(n_parts, |p| {
+        let sd = assemble_part(p, &index);
+        *slots[p].lock().expect("assembly slot lock") = Some(sd);
+    });
+    let subdomains = slots
+        .into_iter()
+        .map(|s| {
+            s.into_inner()
+                .expect("assembly slot lock")
+                .expect("every part assembled")
+        })
+        .collect::<Result<Vec<_>>>()?;
+    Ok(finish(graph, plan, index, subdomains))
 }
 
 /// BFS spanning tree over `parts` using only `allowed` pairs; edges are
@@ -559,14 +789,6 @@ fn spanning_tree_links(
         )));
     }
     Ok(links)
-}
-
-fn share_for(shares: &[(usize, f64)], part: usize) -> f64 {
-    shares
-        .iter()
-        .find(|&&(p, _)| p == part)
-        .map(|&(_, v)| v)
-        .expect("share list covers placement parts by validation")
 }
 
 fn validate_shares(

@@ -169,26 +169,59 @@ impl PartitionPlan {
         // Greedy cover: repeatedly split the vertex covering the most
         // still-uncovered cut edges; ties broken by total cut degree then
         // by *higher* index (so strip cuts take one consistent side).
+        //
+        // Selection order is `max((live_degree[v], cut_degree[v], v))` over
+        // endpoints of still-uncovered edges — the key is unique (the `v`
+        // component breaks every tie), so a lazy-deletion max-heap picks the
+        // exact same vertex sequence as a full rescan while dropping the
+        // cost from O(boundary × cut²) to O(cut · log cut).
         let mut in_boundary = vec![false; n];
-        let mut uncovered = cut_edges.clone();
         let mut live_degree = cut_degree.clone();
-        while !uncovered.is_empty() {
-            let &best = uncovered
-                .iter()
-                .flat_map(|&(u, v)| [u, v])
-                .collect::<std::collections::BTreeSet<_>>()
-                .iter()
-                .max_by_key(|&&v| (live_degree[v], cut_degree[v], v))
-                .expect("uncovered non-empty");
+
+        // CSR-style adjacency over cut edges: incident edge ids per vertex.
+        let mut adj_ptr = vec![0usize; n + 1];
+        for &(u, v) in &cut_edges {
+            adj_ptr[u + 1] += 1;
+            adj_ptr[v + 1] += 1;
+        }
+        for i in 0..n {
+            adj_ptr[i + 1] += adj_ptr[i];
+        }
+        let mut adj: Vec<(usize, usize)> = vec![(0, 0); adj_ptr[n]];
+        let mut fill = adj_ptr.clone();
+        for (e, &(u, v)) in cut_edges.iter().enumerate() {
+            adj[fill[u]] = (v, e);
+            fill[u] += 1;
+            adj[fill[v]] = (u, e);
+            fill[v] += 1;
+        }
+
+        let mut covered = vec![false; cut_edges.len()];
+        let mut remaining = cut_edges.len();
+        let mut heap: std::collections::BinaryHeap<(usize, usize, usize)> = (0..n)
+            .filter(|&v| cut_degree[v] > 0)
+            .map(|v| (cut_degree[v], cut_degree[v], v))
+            .collect();
+        while remaining > 0 {
+            let (live, _, best) = heap.pop().expect("uncovered edges imply live vertices");
+            // Stale entry: vertex already chosen, or its live degree has
+            // shrunk since this entry was pushed (a fresher one exists).
+            if in_boundary[best] || live != live_degree[best] || live == 0 {
+                continue;
+            }
             in_boundary[best] = true;
-            uncovered.retain(|&(u, v)| {
-                let covered = u == best || v == best;
-                if covered {
-                    live_degree[u] -= 1;
-                    live_degree[v] -= 1;
+            for &(other, e) in &adj[adj_ptr[best]..adj_ptr[best + 1]] {
+                if covered[e] {
+                    continue;
                 }
-                !covered
-            });
+                covered[e] = true;
+                remaining -= 1;
+                live_degree[best] -= 1;
+                live_degree[other] -= 1;
+                if !in_boundary[other] && live_degree[other] > 0 {
+                    heap.push((live_degree[other], cut_degree[other], other));
+                }
+            }
         }
 
         let mut owner = Vec::with_capacity(n);

@@ -12,7 +12,7 @@ use crate::dense::Dense;
 use crate::error::{Error, Result};
 
 /// Dense LLᵀ Cholesky factor of an SPD matrix.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DenseCholesky {
     /// Lower factor, stored densely (upper part is garbage).
     l: Dense,

@@ -168,6 +168,38 @@ pub fn grid3d_laplacian(nx: usize, ny: usize, nz: usize) -> Csr {
     coo.to_csr()
 }
 
+/// Anisotropic 7-point Laplacian on an `nx × ny × nz` grid (Dirichlet):
+/// conductance 1 along x, `eps` along y and z, so the diagonal is
+/// `2 + 4·eps` everywhere (boundary nodes couple to implicit ghost nodes).
+/// Small `eps` stretches the stencil into near-1-D chains — the classic
+/// stress case for partition quality and for the supernode panel shapes
+/// the blocked substitution kernels rely on.
+pub fn grid3d_laplacian_aniso(nx: usize, ny: usize, nz: usize, eps: f64) -> Csr {
+    assert!(eps > 0.0, "anisotropy ratio must be positive");
+    let n = nx * ny * nz;
+    let idx = |x: usize, y: usize, z: usize| (z * ny + y) * nx + x;
+    let diag = 2.0 + 4.0 * eps;
+    let mut coo = Coo::with_capacity(n, n, 7 * n);
+    for z in 0..nz {
+        for y in 0..ny {
+            for x in 0..nx {
+                let u = idx(x, y, z);
+                coo.push(u, u, diag).expect("in bounds");
+                if x + 1 < nx {
+                    coo.push_sym(u, idx(x + 1, y, z), -1.0).expect("in bounds");
+                }
+                if y + 1 < ny {
+                    coo.push_sym(u, idx(x, y + 1, z), -eps).expect("in bounds");
+                }
+                if z + 1 < nz {
+                    coo.push_sym(u, idx(x, y, z + 1), -eps).expect("in bounds");
+                }
+            }
+        }
+    }
+    coo.to_csr()
+}
+
 /// Random-sparsity symmetric diagonally dominant SPD matrix: `n` vertices,
 /// ~`avg_degree` random neighbours each, negative off-diagonals, diagonal =
 /// Σ|off-diag| + `margin`.
@@ -377,6 +409,51 @@ mod tests {
             }
             assert!(lambda > 0.0, "Dirichlet Laplacian is positive definite");
         }
+    }
+
+    #[test]
+    fn grid3d_aniso_row_sums_and_spd() {
+        let (nx, ny, nz, eps) = (4usize, 3, 3, 0.05);
+        let a = grid3d_laplacian_aniso(nx, ny, nz, eps);
+        assert_eq!(a.n_rows(), nx * ny * nz);
+        assert!(a.is_symmetric(0.0));
+        assert!(a.is_diag_dominant());
+        // Each row sums to the ghost-node leakage: 1 per missing x-face,
+        // eps per missing y/z-face; interior rows sum to 0.
+        let idx = |x: usize, y: usize, z: usize| (z * ny + y) * nx + x;
+        for z in 0..nz {
+            for y in 0..ny {
+                for x in 0..nx {
+                    let leak = (usize::from(x == 0) + usize::from(x == nx - 1)) as f64
+                        + (usize::from(y == 0)
+                            + usize::from(y == ny - 1)
+                            + usize::from(z == 0)
+                            + usize::from(z == nz - 1)) as f64
+                            * eps;
+                    let sum: f64 = a.row(idx(x, y, z)).map(|(_, v)| v).sum();
+                    assert!((sum - leak).abs() < 1e-14, "row ({x},{y},{z}): {sum}");
+                }
+            }
+        }
+        assert_eq!(
+            DenseLdlt::classify_csr(&a, 1e-10),
+            Definiteness::PositiveDefinite
+        );
+    }
+
+    #[test]
+    fn grid3d_aniso_at_unit_eps_is_isotropic() {
+        // eps = 1 must reproduce the plain 7-point Dirichlet Laplacian.
+        assert_eq!(
+            grid3d_laplacian_aniso(3, 4, 2, 1.0),
+            grid3d_laplacian(3, 4, 2)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn grid3d_aniso_rejects_nonpositive_eps() {
+        let _ = grid3d_laplacian_aniso(2, 2, 2, 0.0);
     }
 
     #[test]

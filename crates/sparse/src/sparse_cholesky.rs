@@ -27,7 +27,7 @@ use crate::ordering::{reverse_cuthill_mckee, Permutation};
 const MAX_SUPERNODE: usize = 32;
 
 /// Sparse Cholesky factor `A = L Lᵀ` (CSC lower-triangular `L`).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SparseCholesky {
     n: usize,
     /// Column pointers of `L` (CSC).
@@ -351,15 +351,18 @@ impl SparseCholesky {
 
     /// Blocked substitution over the interleaved layout
     /// (`ys[i·k + c]` = row `i`, column `c`): the inner `for c in 0..k`
-    /// loops are unit-stride and auto-vectorizable, and the supernode
+    /// loops are unit-stride, widened by [`axpy_neg`] (vectorized mul-sub
+    /// with an explicit 4-wide AVX `core::arch` fast path), and the supernode
     /// panels of [`Self::sn_ptr`] let the forward sweep decode each shared
     /// below-panel row index once per panel instead of once per column.
     ///
     /// Bitwise contract: every `L` entry is still applied as an individual
-    /// fused `y[i] -= l·y[j]` per column, and for each vector component
+    /// `y[i] -= l·y[j]` per column (mul then sub, two correctly-rounded
+    /// ops — never a single-rounded FMA), and for each vector component
     /// the updates arrive in exactly the scalar substitution's order
     /// (ascending `j` in the forward sweep, ascending row within each
-    /// column of the backward sweep), so no sums are reordered.
+    /// column of the backward sweep). Lanes (columns) are independent, so
+    /// the 4-wide chunking reorders nothing: no sums are reassociated.
     fn solve_interleaved(&self, ys: &mut [f64], k: usize) {
         let n_panels = self.sn_ptr.len() - 1;
         // Forward: L Y = B, panel by panel.
@@ -369,17 +372,13 @@ impl SparseCholesky {
             for jj in j0..j1 {
                 let pj = self.col_ptr[jj];
                 let d = self.values[pj];
-                for c in 0..k {
-                    ys[jj * k + c] /= d;
-                }
+                scale_div(&mut ys[jj * k..(jj + 1) * k], d);
                 for (off, i) in (jj + 1..j1).enumerate() {
                     let v = self.values[pj + 1 + off];
                     let (lo, hi) = ys.split_at_mut(i * k);
                     let yj = &lo[jj * k..jj * k + k];
                     let yi = &mut hi[..k];
-                    for c in 0..k {
-                        yi[c] -= v * yj[c];
-                    }
+                    axpy_neg(yi, yj, v);
                 }
             }
             // Below-panel sweep: each shared row updated by every panel
@@ -396,9 +395,7 @@ impl SparseCholesky {
                     // within-panel entries.
                     let v = self.values[self.col_ptr[jj] + (j1 - jj) + r];
                     let yj = &lo[jj * k..jj * k + k];
-                    for c in 0..k {
-                        yi[c] -= v * yj[c];
-                    }
+                    axpy_neg(yi, yj, v);
                 }
             }
         }
@@ -410,26 +407,20 @@ impl SparseCholesky {
             for jj in (j0..j1).rev() {
                 let pj = self.col_ptr[jj];
                 let (lo, hi) = ys.split_at_mut((jj + 1) * k);
-                let yj = &mut lo[jj * k..];
+                let yj = &mut lo[jj * k..(jj + 1) * k];
                 for (off, i) in (jj + 1..j1).enumerate() {
                     let v = self.values[pj + 1 + off];
                     let yi = &hi[(i - jj - 1) * k..(i - jj - 1) * k + k];
-                    for c in 0..k {
-                        yj[c] -= v * yi[c];
-                    }
+                    axpy_neg(yj, yi, v);
                 }
                 for p in (pj + (j1 - jj))..self.col_ptr[jj + 1] {
                     let i = self.row_idx[p];
                     let v = self.values[p];
                     let yi = &hi[(i - jj - 1) * k..(i - jj - 1) * k + k];
-                    for c in 0..k {
-                        yj[c] -= v * yi[c];
-                    }
+                    axpy_neg(yj, yi, v);
                 }
                 let d = self.values[pj];
-                for y in yj.iter_mut().take(k) {
-                    *y /= d;
-                }
+                scale_div(yj, d);
             }
         }
     }
@@ -439,6 +430,93 @@ impl SparseCholesky {
         let mut x = b.to_vec();
         self.solve_in_place(&mut x);
         x
+    }
+}
+
+/// `yi[c] -= v · yj[c]` over two equal-length slices — the panel kernels'
+/// only inner loop. Lanes are independent vector columns and each lane
+/// performs the same mul-then-sub as the scalar loop (two
+/// correctly-rounded ops), so widening reorders nothing: the result is
+/// bitwise-identical to the plain `for c` form. On x86_64 builds compiled
+/// with AVX enabled (`RUSTFLAGS="-C target-feature=+avx"`) the slices go
+/// through explicit 4-wide 256-bit `core::arch` chunks; the portable
+/// fallback is a bounds-check-free zip loop, which measures *faster*
+/// than manual 4-wide unrolling here — indexed chunk bodies defeat
+/// LLVM's autovectorizer on this kernel, the plain zip does not.
+#[inline(always)]
+fn axpy_neg(yi: &mut [f64], yj: &[f64], v: f64) {
+    debug_assert_eq!(yi.len(), yj.len());
+    #[cfg(all(target_arch = "x86_64", target_feature = "avx"))]
+    {
+        // Safety: AVX is statically enabled by the cfg gate.
+        unsafe { axpy_neg_avx(yi, yj, v) }
+    }
+    #[cfg(not(all(target_arch = "x86_64", target_feature = "avx")))]
+    {
+        axpy_neg_portable(yi, yj, v)
+    }
+}
+
+#[cfg(not(all(target_arch = "x86_64", target_feature = "avx")))]
+#[inline(always)]
+fn axpy_neg_portable(yi: &mut [f64], yj: &[f64], v: f64) {
+    for (a, b) in yi.iter_mut().zip(yj) {
+        *a -= v * b;
+    }
+}
+
+#[cfg(all(target_arch = "x86_64", target_feature = "avx"))]
+#[inline(always)]
+unsafe fn axpy_neg_avx(yi: &mut [f64], yj: &[f64], v: f64) {
+    use core::arch::x86_64::*;
+    let k = yi.len().min(yj.len());
+    let vv = _mm256_set1_pd(v);
+    let mut c = 0;
+    while c + 4 <= k {
+        // Safety: c+4 <= k bounds both slices; loadu/storeu need no
+        // alignment.
+        unsafe {
+            let a = _mm256_loadu_pd(yi.as_ptr().add(c));
+            let b = _mm256_loadu_pd(yj.as_ptr().add(c));
+            // mul then sub, deliberately not fmadd: an FMA's single
+            // rounding would change bits vs the scalar contract.
+            _mm256_storeu_pd(
+                yi.as_mut_ptr().add(c),
+                _mm256_sub_pd(a, _mm256_mul_pd(vv, b)),
+            );
+        }
+        c += 4;
+    }
+    while c < k {
+        yi[c] -= v * yj[c];
+        c += 1;
+    }
+}
+
+/// `y[c] /= d` across a panel row — same widening story as [`axpy_neg`]:
+/// independent lanes, one correctly-rounded divide per component.
+#[inline(always)]
+fn scale_div(y: &mut [f64], d: f64) {
+    #[cfg(all(target_arch = "x86_64", target_feature = "avx"))]
+    {
+        use core::arch::x86_64::*;
+        let dd = unsafe { _mm256_set1_pd(d) };
+        let mut c = 0;
+        while c + 4 <= y.len() {
+            // Safety: in-bounds unaligned load/store as above.
+            unsafe {
+                let a = _mm256_loadu_pd(y.as_ptr().add(c));
+                _mm256_storeu_pd(y.as_mut_ptr().add(c), _mm256_div_pd(a, dd));
+            }
+            c += 4;
+        }
+        for v in &mut y[c..] {
+            *v /= d;
+        }
+    }
+    #[cfg(not(all(target_arch = "x86_64", target_feature = "avx")))]
+    for v in y.iter_mut() {
+        *v /= d;
     }
 }
 

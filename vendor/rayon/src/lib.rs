@@ -243,6 +243,89 @@ impl ThreadPool {
         scope.wait();
     }
 
+    /// Run `f(i)` for every `i in 0..n` across the pool and block until all
+    /// indices have completed. The caller participates: it drains the same
+    /// shared index cursor as the worker tasks, so progress is guaranteed
+    /// even on a saturated (or zero-thread) pool and a nested call can
+    /// never deadlock the calling thread. Indices are claimed dynamically
+    /// (an atomic cursor), so uneven per-index costs load-balance the same
+    /// way stolen tasks do.
+    ///
+    /// Unlike [`spawn`](Self::spawn), `f` may borrow from the caller's
+    /// stack: the call does not return until every index has run, so the
+    /// borrow outlives all uses (the same structured-concurrency argument
+    /// `std::thread::scope` makes; the lifetime erasure below is sound
+    /// because of the barrier).
+    ///
+    /// # Panics
+    /// `f` must not panic: a panicking index aborts the process (the
+    /// barrier could otherwise never be released — matching rayon, which
+    /// aborts on panicking spawned tasks).
+    pub fn for_each_index<F>(&self, n: usize, f: F)
+    where
+        F: Fn(usize) + Sync,
+    {
+        if n == 0 {
+            return;
+        }
+        struct Job {
+            data: *const (),
+            call: unsafe fn(*const (), usize),
+            cursor: AtomicUsize,
+            done: AtomicUsize,
+            total: usize,
+        }
+        unsafe impl Send for Job {}
+        unsafe impl Sync for Job {}
+        impl Job {
+            fn drain(&self) {
+                loop {
+                    let i = self.cursor.fetch_add(1, Ordering::Relaxed);
+                    if i >= self.total {
+                        return;
+                    }
+                    let guard = AbortOnPanic;
+                    // SAFETY: `for_each_index` blocks until `done == total`,
+                    // so the closure this pointer was erased from is still
+                    // alive whenever `drain` runs.
+                    unsafe { (self.call)(self.data, i) };
+                    std::mem::forget(guard);
+                    self.done.fetch_add(1, Ordering::AcqRel);
+                }
+            }
+        }
+        unsafe fn call_thunk<F: Fn(usize) + Sync>(data: *const (), i: usize) {
+            unsafe { (*(data as *const F))(i) };
+        }
+        struct AbortOnPanic;
+        impl Drop for AbortOnPanic {
+            fn drop(&mut self) {
+                eprintln!("rayon stub: for_each_index closure panicked; aborting");
+                std::process::abort();
+            }
+        }
+        let job = Arc::new(Job {
+            data: &f as *const F as *const (),
+            call: call_thunk::<F>,
+            cursor: AtomicUsize::new(0),
+            done: AtomicUsize::new(0),
+            total: n,
+        });
+        // One helper task per worker (capped by the index count); each
+        // drains the shared cursor, so tasks that find it exhausted exit
+        // immediately.
+        let helpers = self.current_num_threads().min(n.saturating_sub(1));
+        for _ in 0..helpers {
+            let job = job.clone();
+            self.spawn(move || job.drain());
+        }
+        job.drain();
+        while job.done.load(Ordering::Acquire) < n {
+            std::hint::spin_loop();
+            std::thread::yield_now();
+        }
+    }
+
     /// Tasks submitted and not yet finished (queued or running).
     pub fn pending_tasks(&self) -> usize {
         self.inner.pending.load(Ordering::Acquire)
@@ -337,6 +420,42 @@ mod tests {
             }
         });
         assert_eq!(counter.load(Ordering::Relaxed), 8 + 8 * 4);
+    }
+
+    #[test]
+    fn for_each_index_covers_all_and_borrows_stack() {
+        let pool = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        let hits: Vec<AtomicU64> = (0..257).map(|_| AtomicU64::new(0)).collect();
+        pool.for_each_index(hits.len(), |i| {
+            hits[i].fetch_add(1, Ordering::Relaxed);
+        });
+        for (i, h) in hits.iter().enumerate() {
+            assert_eq!(
+                h.load(Ordering::Relaxed),
+                1,
+                "index {i} not run exactly once"
+            );
+        }
+        // n == 0 and n == 1 degenerate cases, plus reuse of the same pool.
+        pool.for_each_index(0, |_| panic!("must not run"));
+        let one = AtomicU64::new(0);
+        pool.for_each_index(1, |i| {
+            one.fetch_add(i as u64 + 10, Ordering::Relaxed);
+        });
+        assert_eq!(one.load(Ordering::Relaxed), 10);
+    }
+
+    #[test]
+    fn for_each_index_nested_does_not_deadlock() {
+        let pool = Arc::new(ThreadPoolBuilder::new().num_threads(2).build().unwrap());
+        let total = AtomicU64::new(0);
+        let inner_pool = pool.clone();
+        pool.for_each_index(4, |_| {
+            inner_pool.for_each_index(8, |j| {
+                total.fetch_add(j as u64, Ordering::Relaxed);
+            });
+        });
+        assert_eq!(total.load(Ordering::Relaxed), 4 * (0..8).sum::<u64>());
     }
 
     #[test]
