@@ -1,0 +1,57 @@
+//! Phase costs of the multilevel partitioner on the CI-sized 16³ grid and
+//! the 110k-unknown 48³ grid: **coarsen** (repeated heavy-edge matching),
+//! **initial** (nested dissection of the coarsest graph), and **refine**
+//! (projection + boundary FM at every level), each timed separately, plus
+//! the end-to-end `multilevel` and the `nested_dissection` reference.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dtm_graph::partition::multilevel::{coarsen, uncoarsen_refine};
+use dtm_graph::partition::{
+    multilevel, nested_dissection, nested_dissection_with, PartitionConfig,
+};
+use dtm_sparse::generators;
+use std::hint::black_box;
+
+fn bench_grid(c: &mut Criterion, side: usize, parts: usize, samples: usize) {
+    let a = generators::grid3d_laplacian(side, side, side);
+    let cfg = PartitionConfig::default();
+    let mut group = c.benchmark_group(&format!("partition_grid3d{side}p{parts}"));
+    group.sample_size(samples);
+
+    group.bench_function("coarsen", |bench| {
+        bench.iter(|| black_box(coarsen(&a, parts, &cfg)));
+    });
+
+    let hierarchy = coarsen(&a, parts, &cfg);
+    let coarse = hierarchy.coarsest_csr();
+    group.bench_function("initial", |bench| {
+        bench.iter(|| black_box(nested_dissection_with(&coarse, parts, &cfg)));
+    });
+
+    let initial = nested_dissection_with(&coarse, parts, &cfg);
+    group.bench_function("refine", |bench| {
+        bench.iter(|| black_box(uncoarsen_refine(&hierarchy, initial.clone(), parts, &cfg)));
+    });
+
+    group.bench_function("multilevel_total", |bench| {
+        bench.iter(|| black_box(multilevel(&a, parts, &cfg)));
+    });
+
+    group.bench_function("nested_dissection_reference", |bench| {
+        bench.iter(|| black_box(nested_dissection(&a, parts)));
+    });
+
+    group.finish();
+}
+
+fn bench_partition(c: &mut Criterion) {
+    bench_grid(c, 16, 8, 10);
+    bench_grid(c, 48, 32, 5);
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_partition
+}
+criterion_main!(benches);

@@ -65,6 +65,7 @@ use dtm_core::local::LocalSolverKind;
 use dtm_core::runtime::CommonConfig;
 use dtm_core::solver::{self, ComputeModel, DtmConfig, Termination};
 use dtm_core::{analysis, vtm};
+use dtm_graph::partition::Partitioner;
 use dtm_simnet::{Engine, SimDuration, SimTime};
 use dtm_sparse::generators;
 
@@ -148,7 +149,8 @@ fn main() {
                 "usage: repro <fig3|fig5|fig7|fig8|fig9|table1|fig11|fig12|fig13|fig14|\
                  cmp-vtm|cmp-jacobi|sweep-z|batched|serve|compare|bench|all> [--quick] \
                  [--num-rhs K] [--seed N] [--termination residual|oracle]\n\
-                 bench flags: [--matrix FILE.mtx [--rhs FILE]] [--out FILE] [--check BASELINE]"
+                 bench flags: [--matrix FILE.mtx [--rhs FILE]] [--out FILE] \
+                 [--check BASELINE]... [--partitioner strips|greedy|nd|ml] [--headline]"
             );
             std::process::exit(2);
         }
@@ -872,11 +874,13 @@ fn compare_cmd(quick: bool) {
 }
 
 /// `repro bench`: the fixed perf suite (seed case, 3-D Laplacians under
-/// nested dissection with per-phase setup timings and the 10⁶-unknown
-/// headline case, substitution kernels, Matrix Market), written as
-/// machine-readable JSON with an optional regression gate.
+/// the size-default partitioner — multilevel ≥ 32³, nested dissection
+/// below — with per-phase setup timings, the 10⁶-unknown headline
+/// partition A/B (its wall-clock solves behind `--headline`),
+/// substitution kernels, Matrix Market), written as machine-readable JSON
+/// with optional regression gates (`--check` repeats).
 fn bench_cmd(args: &[String], quick: bool) {
-    banner("Bench: scaling suite (BENCH_7.json)");
+    banner("Bench: scaling suite (BENCH_8.json)");
     let path_flag = |name: &str| -> Option<std::path::PathBuf> {
         args.iter()
             .position(|a| a == name)
@@ -888,12 +892,37 @@ fn bench_cmd(args: &[String], quick: bool) {
                 }
             })
     };
+    let partitioner = args.iter().position(|a| a == "--partitioner").map(|i| {
+        match args.get(i + 1).and_then(|v| Partitioner::parse(v)) {
+            Some(p) => p,
+            None => {
+                eprintln!("--partitioner takes one of: strips, greedy, nd, ml");
+                std::process::exit(2);
+            }
+        }
+    });
+    // `--check` repeats: one bench run can gate against several baselines
+    // (CI checks the quick run against BENCH_7.json and BENCH_8.json).
+    let checks: Vec<std::path::PathBuf> = args
+        .iter()
+        .enumerate()
+        .filter(|&(_, a)| a == "--check")
+        .map(|(i, _)| match args.get(i + 1) {
+            Some(v) if !v.starts_with("--") => std::path::PathBuf::from(v),
+            _ => {
+                eprintln!("--check requires a file path");
+                std::process::exit(2);
+            }
+        })
+        .collect();
     let opts = perf::BenchOptions {
         quick,
+        headline: args.iter().any(|a| a == "--headline"),
         matrix: path_flag("--matrix"),
         rhs: path_flag("--rhs"),
-        out: path_flag("--out").unwrap_or_else(|| std::path::PathBuf::from("BENCH_7.json")),
-        check: path_flag("--check"),
+        out: path_flag("--out").unwrap_or_else(|| std::path::PathBuf::from("BENCH_8.json")),
+        checks,
+        partitioner,
     };
     if opts.rhs.is_some() && opts.matrix.is_none() {
         eprintln!("--rhs requires --matrix");

@@ -1,5 +1,5 @@
 //! The `repro bench` measurement suite: a fixed set of solves and kernel
-//! timings emitting a machine-readable `BENCH_7.json`, plus a regression
+//! timings emitting a machine-readable `BENCH_8.json`, plus a regression
 //! checker over its **tracked** metrics.
 //!
 //! The suite spans the scales the repository claims to cover:
@@ -7,20 +7,29 @@
 //! * **seed case** — the 9×9 grid Laplacian every earlier PR measured on,
 //!   as an 8-column reference-free block solve on the simulated machine
 //!   (deterministic: msgs/solves/flops/simulated time are tracked).
-//! * **3-D Laplacians** — `grid3d_laplacian` under nested-dissection
-//!   partitioning, solved reference-free (`Termination::Residual`) on the
-//!   threaded and work-stealing backends. Setup is instrumented **per
-//!   phase** — `partition_ms` (nested dissection), `split_ms` (EVS
+//! * **3-D Laplacians** — `grid3d_laplacian` under a selectable
+//!   [`Partitioner`] (`--partitioner {strips,greedy,nd,ml}`; without the
+//!   flag each case uses [`Partitioner::default_for`] — multilevel from
+//!   32³ unknowns up, nested dissection below), solved reference-free
+//!   (`Termination::Residual`) on the threaded and
+//!   work-stealing backends. Setup is instrumented **per phase** —
+//!   `partition_ms` (the selected partitioner), `split_ms` (EVS
 //!   tearing via `DtmBuilder::build`), `factor_ms` (concurrent
 //!   factorization of every subdomain into reusable templates) — and each
 //!   backend then solves over the *same* templates
 //!   (`threaded::solve_prepared` / `rayon_backend::solve_prepared`), the
 //!   paper's factor-once serving design, so backend wall-clock is pure
-//!   exchange. A 16³ case runs always (CI-sized; its convergence bit and
-//!   its setup-phase medians are tracked); without `--quick` the suite
-//!   adds the 48³ ≈ 110k-unknown case, an anisotropic 32³ case
-//!   (`grid3d_laplacian_aniso`, ε = 0.05), and the 100³ = 10⁶-unknown
-//!   headline run. Partition cut metrics (deterministic) are tracked.
+//!   exchange. A 16³ case runs always under nested dissection and again
+//!   under multilevel (CI-sized; convergence bits, setup-phase medians,
+//!   and cut metrics are tracked); without `--quick` the suite adds the
+//!   48³ ≈ 110k-unknown case and an anisotropic 32³ case
+//!   (`grid3d_laplacian_aniso`, ε = 0.05), multilevel-partitioned by the
+//!   size default with the nested-dissection cut recorded alongside for
+//!   the A/B delta. The 100³ = 10⁶-unknown headline case records its
+//!   partition A/B (multilevel vs nested-dissection cut — deterministic
+//!   and affordable) in every full run; its wall-clock solves take hours
+//!   on a small box and only run under `--headline`. Every case reports
+//!   `partition/cut_edges`, `partition/boundary` and the partitioner id.
 //! * **substitution kernels** — per-RHS latency of the seed column-major
 //!   kernel vs the cache-blocked interleaved kernel at K ∈ {1, 8, 16}
 //!   over an RCM sparse factor. Reps of the two kernels are
@@ -32,9 +41,12 @@
 //!   `.mtx` fixture (or `--matrix <path.mtx> [--rhs <path>]`), partition
 //!   by nested dissection, solve reference-free on real threads.
 //!
-//! JSON schema (`dtm-bench-7`): a flat `"metrics"` object mapping
+//! JSON schema (`dtm-bench-8`): a flat `"metrics"` object mapping
 //! `case/section/metric` keys to numbers, plus a `"tracked"` array naming
-//! the keys the regression gate guards. `--check BASELINE.json` compares
+//! the keys the regression gate guards. The report is re-written to
+//! `--out` after every case, so a multi-hour run interrupted mid-suite
+//! still leaves the completed cases on disk. `--check BASELINE.json`
+//! (repeatable: one run can gate against several baselines) compares
 //! every tracked metric present in both files and fails (exit ≠ 0) on
 //! any regression over 20% — lower is worse for counters, and any
 //! `*/converged` metric must not drop. Wall-clock metrics are generally
@@ -49,7 +61,7 @@ use dtm_core::rayon_backend::{self, RayonConfig};
 use dtm_core::runtime::{build_nodes_parallel, CommonConfig, Termination};
 use dtm_core::threaded::{self, ThreadedConfig};
 use dtm_core::SolveReport;
-use dtm_graph::partition;
+use dtm_graph::partition::{self, PartitionConfig, Partitioner};
 use dtm_sparse::{generators, mm, Csr, SparseCholesky};
 use std::collections::{BTreeMap, BTreeSet};
 use std::path::{Path, PathBuf};
@@ -60,24 +72,34 @@ use std::time::{Duration, Instant};
 pub struct BenchOptions {
     /// CI-sized suite: skip the 110k-unknown case, fewer kernel reps.
     pub quick: bool,
+    /// Also run the 100³ = 10⁶-unknown wall-clock solves (hours on a
+    /// small box). Without it, full runs still record the headline case's
+    /// partition A/B metrics, which are deterministic and cheap.
+    pub headline: bool,
     /// Matrix Market system to solve instead of the committed fixture.
     pub matrix: Option<PathBuf>,
     /// Right-hand side for `--matrix` (whitespace-separated numbers).
     pub rhs: Option<PathBuf>,
     /// Where to write the JSON report.
     pub out: PathBuf,
-    /// Baseline JSON to regression-check tracked metrics against.
-    pub check: Option<PathBuf>,
+    /// Baseline JSONs to regression-check tracked metrics against — one
+    /// run can gate against several baselines (`--check` repeats).
+    pub checks: Vec<PathBuf>,
+    /// Override the per-case default partitioner for every grid case
+    /// (`--partitioner {strips,greedy,nd,ml}`).
+    pub partitioner: Option<Partitioner>,
 }
 
 impl Default for BenchOptions {
     fn default() -> Self {
         Self {
             quick: false,
+            headline: false,
             matrix: None,
             rhs: None,
-            out: PathBuf::from("BENCH_7.json"),
-            check: None,
+            out: PathBuf::from("BENCH_8.json"),
+            checks: Vec::new(),
+            partitioner: None,
         }
     }
 }
@@ -121,12 +143,12 @@ impl BenchReport {
         &self.tracked
     }
 
-    /// Serialize to the `dtm-bench-7` JSON schema (hand-rolled: the
+    /// Serialize to the `dtm-bench-8` JSON schema (hand-rolled: the
     /// vendored serde derives are inert, and the format is a flat map).
     pub fn to_json(&self, quick: bool) -> String {
         let mut s = String::new();
         s.push_str("{\n");
-        s.push_str("  \"schema\": \"dtm-bench-7\",\n");
+        s.push_str("  \"schema\": \"dtm-bench-8\",\n");
         s.push_str(&format!("  \"quick\": {quick},\n"));
         s.push_str("  \"metrics\": {\n");
         let last = self.metrics.len();
@@ -154,7 +176,7 @@ fn fmt_num(v: f64) -> String {
     }
 }
 
-/// Parse a `dtm-bench-7` JSON file back into (metrics, tracked).
+/// Parse a `dtm-bench-*` JSON file back into (metrics, tracked).
 ///
 /// A minimal scanner for the format [`BenchReport::to_json`] writes (and
 /// hand-edited variants of it): string keys, numeric values, a string
@@ -258,12 +280,23 @@ pub fn regressions(
 /// `Error::Parse` listing the regressed metrics.
 pub fn run(opts: &BenchOptions) -> dtm_sparse::Result<()> {
     let mut report = BenchReport::default();
+    // Flush the partial report after every case: a multi-hour full run
+    // killed mid-suite keeps everything already measured.
+    let flush = |report: &BenchReport| -> dtm_sparse::Result<()> {
+        std::fs::write(&opts.out, report.to_json(opts.quick))
+            .map_err(|e| dtm_sparse::Error::Parse(format!("write {}: {e}", opts.out.display())))
+    };
 
     seed_case(&mut report)?;
+    flush(&report)?;
 
     // CI-sized 3-D case: always present so quick runs and the committed
     // full baseline share keys for the regression gate. Its setup-phase
     // medians (5 reps) are tracked — the parallel-setup win is guarded.
+    // Each case's default partitioner is the size-based
+    // `Partitioner::default_for` (multilevel kicks in at ≥ 32³, where
+    // separator quality pays for the coarsening work — so 16³ gets nested
+    // dissection, the big cases multilevel).
     grid3d_case(
         &mut report,
         &generators::grid3d_laplacian(16, 16, 16),
@@ -274,9 +307,36 @@ pub fn run(opts: &BenchOptions) -> dtm_sparse::Result<()> {
             budget: Duration::from_secs(60),
             setup_reps: 5,
             track_setup: true,
+            solve: true,
+            partitioner: opts
+                .partitioner
+                .unwrap_or_else(|| Partitioner::default_for(16 * 16 * 16)),
         },
     )?;
+    flush(&report)?;
+    // The multilevel slice, also always on (and pinned to `ml` even under
+    // `--partitioner`): quick runs and the committed full baseline share
+    // its tracked cut/convergence keys, giving CI a multilevel gate.
+    grid3d_case(
+        &mut report,
+        &generators::grid3d_laplacian(16, 16, 16),
+        &GridCase {
+            case: "grid3d16p8ml",
+            parts: 8,
+            tol: 1e-6,
+            budget: Duration::from_secs(60),
+            setup_reps: 3,
+            track_setup: false,
+            solve: true,
+            partitioner: Partitioner::Multilevel,
+        },
+    )?;
+    flush(&report)?;
     if !opts.quick {
+        let big = |n: usize| {
+            opts.partitioner
+                .unwrap_or_else(|| Partitioner::default_for(n))
+        };
         grid3d_case(
             &mut report,
             &generators::grid3d_laplacian(48, 48, 48),
@@ -287,8 +347,11 @@ pub fn run(opts: &BenchOptions) -> dtm_sparse::Result<()> {
                 budget: Duration::from_secs(600),
                 setup_reps: 3,
                 track_setup: false,
+                solve: true,
+                partitioner: big(48 * 48 * 48),
             },
         )?;
+        flush(&report)?;
         grid3d_case(
             &mut report,
             &generators::grid3d_laplacian_aniso(32, 32, 32, 0.05),
@@ -299,9 +362,15 @@ pub fn run(opts: &BenchOptions) -> dtm_sparse::Result<()> {
                 budget: Duration::from_secs(600),
                 setup_reps: 3,
                 track_setup: false,
+                solve: true,
+                partitioner: big(32 * 32 * 32),
             },
         )?;
+        flush(&report)?;
         // The headline: 100³ = 10⁶ unknowns, reference-free, factor-once.
+        // Partition A/B always; the wall-clock solves (hours of single-box
+        // time, see BENCH_7.json's nested-dissection numbers) only under
+        // `--headline`.
         grid3d_case(
             &mut report,
             &generators::grid3d_laplacian(100, 100, 100),
@@ -312,11 +381,15 @@ pub fn run(opts: &BenchOptions) -> dtm_sparse::Result<()> {
                 budget: Duration::from_secs(3600),
                 setup_reps: 1,
                 track_setup: false,
+                solve: opts.headline,
+                partitioner: big(100 * 100 * 100),
             },
         )?;
+        flush(&report)?;
     }
 
     kernel_case(&mut report, if opts.quick { 7 } else { 15 })?;
+    flush(&report)?;
 
     let matrix = opts.matrix.clone().unwrap_or_else(fixture_matrix);
     let rhs = match &opts.matrix {
@@ -325,9 +398,7 @@ pub fn run(opts: &BenchOptions) -> dtm_sparse::Result<()> {
     };
     mm_case(&mut report, &matrix, rhs.as_deref())?;
 
-    let json = report.to_json(opts.quick);
-    std::fs::write(&opts.out, &json)
-        .map_err(|e| dtm_sparse::Error::Parse(format!("write {}: {e}", opts.out.display())))?;
+    flush(&report)?;
     println!(
         "\nwrote {} ({} metrics, {} tracked)",
         opts.out.display(),
@@ -335,27 +406,36 @@ pub fn run(opts: &BenchOptions) -> dtm_sparse::Result<()> {
         report.tracked.len()
     );
 
-    if let Some(baseline_path) = &opts.check {
+    let mut bad = Vec::new();
+    for baseline_path in &opts.checks {
         let text = std::fs::read_to_string(baseline_path).map_err(|e| {
             dtm_sparse::Error::Parse(format!("read {}: {e}", baseline_path.display()))
         })?;
         let baseline = parse_bench_json(&text)?;
         let new = (report.metrics.clone(), report.tracked.clone());
         let shared = new.1.intersection(&baseline.1).count();
-        let bad = regressions(&new, &baseline);
+        let regressed = regressions(&new, &baseline);
         println!(
-            "checked {shared} tracked metrics against {}",
-            baseline_path.display()
+            "checked {shared} tracked metrics against {}: {}",
+            baseline_path.display(),
+            if regressed.is_empty() {
+                "no regressions > 20%".to_string()
+            } else {
+                format!("{} regression(s)", regressed.len())
+            }
         );
-        if bad.is_empty() {
-            println!("no regressions > 20%");
-        } else {
-            return Err(dtm_sparse::Error::Parse(format!(
-                "{} tracked metric(s) regressed > 20%:\n  {}",
-                bad.len(),
-                bad.join("\n  ")
-            )));
-        }
+        bad.extend(
+            regressed
+                .into_iter()
+                .map(|r| format!("[vs {}] {r}", baseline_path.display())),
+        );
+    }
+    if !bad.is_empty() {
+        return Err(dtm_sparse::Error::Parse(format!(
+            "{} tracked metric(s) regressed > 20%:\n  {}",
+            bad.len(),
+            bad.join("\n  ")
+        )));
     }
     Ok(())
 }
@@ -372,6 +452,11 @@ struct GridCase<'a> {
     /// Track the phase medians (the CI-sized case only: its timings are
     /// small and stable enough for the regression gate).
     track_setup: bool,
+    /// Run the split/factor/solve phases. `false` records the partition
+    /// A/B metrics only — the headline case without `--headline`.
+    solve: bool,
+    /// The partitioner under measurement.
+    partitioner: Partitioner,
 }
 
 fn median(samples: &mut [f64]) -> f64 {
@@ -449,14 +534,18 @@ fn seed_case(report: &mut BenchReport) -> dtm_sparse::Result<()> {
     Ok(())
 }
 
-/// A 3-D system under nested dissection: per-phase setup timings
+/// A 3-D system under the case's partitioner: per-phase setup timings
 /// (partition → split → factor), then both wall-clock backends solving
 /// over the same factored templates (the factor-once serving path — no
 /// backend ever re-factors).
 fn grid3d_case(report: &mut BenchReport, a: &Csr, spec: &GridCase) -> dtm_sparse::Result<()> {
     let case = spec.case;
     let n = a.n_rows();
-    println!("— {case}: {n} unknowns, {} parts —", spec.parts);
+    let pname = spec.partitioner.name();
+    println!(
+        "— {case}: {n} unknowns, {} parts, partitioner={pname} —",
+        spec.parts
+    );
     let b = generators::random_rhs(n, crate::seeds::RHS);
     let rec_setup = |report: &mut BenchReport, key: String, v: f64| {
         if spec.track_setup {
@@ -466,38 +555,74 @@ fn grid3d_case(report: &mut BenchReport, a: &Csr, spec: &GridCase) -> dtm_sparse
         }
     };
 
-    // Phase 1: partition. Deterministic output, so reps only re-time it.
-    let mut nd = Vec::new();
+    // Phase 1: partition. Deterministic output (multilevel included: the
+    // seed is pinned in `PartitionConfig`), so reps only re-time it.
+    let cfg = PartitionConfig::default();
+    let mut asg = Vec::new();
     let mut samples: Vec<f64> = (0..spec.setup_reps)
         .map(|_| {
             let t = Instant::now();
-            nd = partition::nested_dissection(a, spec.parts);
+            asg = spec.partitioner.assign(a, spec.parts, &cfg);
             t.elapsed().as_secs_f64() * 1e3
         })
         .collect();
     let partition_ms = median(&mut samples);
-    let ndm = partition::metrics(a, &nd);
+    let m = partition::metrics(a, &asg);
     report.record(&format!("{case}/n"), n as f64);
     rec_setup(report, format!("{case}/partition_ms"), partition_ms);
-    report.track(&format!("{case}/partition/nd_cut"), ndm.cut_edges as f64);
+    report.track(&format!("{case}/partition/cut_edges"), m.cut_edges as f64);
     report.track(
-        &format!("{case}/partition/nd_boundary"),
-        ndm.boundary_vertices as f64,
+        &format!("{case}/partition/boundary"),
+        m.boundary_vertices as f64,
     );
-    report.record(&format!("{case}/partition/nd_imbalance"), ndm.imbalance);
-    // The greedy-grow comparison column is informative, not part of the
-    // pipeline — skip it at the 10⁶ scale where it would dominate setup.
-    if n <= 500_000 {
-        let ggm = partition::metrics(a, &partition::greedy_grow(a, spec.parts, 42));
-        report.track(
-            &format!("{case}/partition/greedy_cut"),
-            ggm.cut_edges as f64,
-        );
-    }
+    report.record(&format!("{case}/partition/imbalance"), m.imbalance);
+    report.record(
+        &format!("{case}/partition/partitioner_id"),
+        spec.partitioner.id() as f64,
+    );
     println!(
-        "  partition: nd cut={} boundary={} imbalance={:.3} ({partition_ms:.0} ms)",
-        ndm.cut_edges, ndm.boundary_vertices, ndm.imbalance
+        "  partition[{pname}]: cut={} boundary={} imbalance={:.3} ({partition_ms:.0} ms)",
+        m.cut_edges, m.boundary_vertices, m.imbalance
     );
+    match spec.partitioner {
+        Partitioner::NestedDissection => {
+            // Legacy key aliases the BENCH_7 gate still compares.
+            report.track(&format!("{case}/partition/nd_cut"), m.cut_edges as f64);
+            report.track(
+                &format!("{case}/partition/nd_boundary"),
+                m.boundary_vertices as f64,
+            );
+            report.record(&format!("{case}/partition/nd_imbalance"), m.imbalance);
+            // The greedy-grow comparison column is informative, not part of
+            // the pipeline — skip it where it would dominate setup.
+            if n <= 500_000 {
+                let ggm = partition::metrics(a, &partition::greedy_grow(a, spec.parts, 42));
+                report.track(
+                    &format!("{case}/partition/greedy_cut"),
+                    ggm.cut_edges as f64,
+                );
+            }
+        }
+        _ => {
+            // Record the nested-dissection cut alongside (partition only,
+            // no solve) so the A/B cut delta is machine-readable per case.
+            let ndm = partition::metrics(a, &partition::nested_dissection(a, spec.parts));
+            report.track(&format!("{case}/partition/nd_cut"), ndm.cut_edges as f64);
+            report.record(
+                &format!("{case}/partition/nd_boundary"),
+                ndm.boundary_vertices as f64,
+            );
+            println!(
+                "  partition[nd reference]: cut={} ({}% of nd)",
+                ndm.cut_edges,
+                m.cut_edges * 100 / ndm.cut_edges.max(1)
+            );
+        }
+    }
+    if !spec.solve {
+        println!("  (partition-only case: split/factor/solve skipped — pass --headline)");
+        return Ok(());
+    }
 
     // Phase 2: tearing — `DtmBuilder::build` is graph assembly, plan
     // derivation and the (pool-fanned) EVS split; reference-free, so no
@@ -508,7 +633,7 @@ fn grid3d_case(report: &mut BenchReport, a: &Csr, spec: &GridCase) -> dtm_sparse
             let t = Instant::now();
             problem = Some(
                 DtmBuilder::new(a.clone(), b.clone())
-                    .assignment(nd.clone())
+                    .assignment(asg.clone())
                     .termination(Termination::Residual { tol: spec.tol })
                     .build(),
             );
@@ -678,7 +803,8 @@ fn mm_case(report: &mut BenchReport, matrix: &Path, rhs: Option<&Path>) -> dtm_s
         None => generators::manufactured_rhs(&a, crate::seeds::RHS).0,
     };
     let parts = 4.min(n);
-    let asg = partition::nested_dissection(&a, parts);
+    let partitioner = Partitioner::NestedDissection;
+    let asg = partitioner.assign(&a, parts, &PartitionConfig::default());
     let cut = partition::metrics(&a, &asg).cut_edges;
     let problem = DtmBuilder::new(a, b)
         .assignment(asg)
@@ -699,9 +825,15 @@ fn mm_case(report: &mut BenchReport, matrix: &Path, rhs: Option<&Path>) -> dtm_s
     report.track(&format!("{prefix}/n"), n as f64);
     report.track(&format!("{prefix}/parts"), parts as f64);
     report.track(&format!("{prefix}/nd_cut"), cut as f64);
+    report.track(&format!("{prefix}/partition/cut_edges"), cut as f64);
+    report.record(
+        &format!("{prefix}/partition/partitioner_id"),
+        partitioner.id() as f64,
+    );
     record_solve(report, &prefix, &r, wall, false);
     println!(
-        "  n={n} parts={parts} cut={cut} converged={} residual={:.2e} wall_ms={:.1}",
+        "  n={n} parts={parts} partitioner={} cut={cut} converged={} residual={:.2e} wall_ms={:.1}",
+        partitioner.name(),
         r.converged,
         r.final_residual,
         wall.as_secs_f64() * 1e3

@@ -12,6 +12,7 @@ use crate::runtime;
 use crate::solver::{self, ComputeModel, DtmConfig, Termination};
 use crate::vtm::{self, VtmConfig, VtmReport};
 use dtm_graph::evs::{split_parallel as evs_split_parallel, EvsOptions, SplitSystem, TwinTopology};
+use dtm_graph::partition::{PartitionConfig, Partitioner};
 use dtm_graph::{partition, ElectricGraph, PartitionPlan};
 use dtm_simnet::{DelayModel, SimDuration, Topology};
 use dtm_sparse::{Csr, Error, Result, SparseCholesky};
@@ -23,6 +24,8 @@ pub struct DtmBuilder {
     a: Csr,
     b: Vec<f64>,
     assignment: Option<Vec<usize>>,
+    partitioner: Option<(Partitioner, usize)>,
+    partition_config: PartitionConfig,
     evs_options: EvsOptions,
     twin_topology_set: bool,
     topology: Option<Topology>,
@@ -63,6 +66,8 @@ impl DtmBuilder {
             a,
             b,
             assignment: None,
+            partitioner: None,
+            partition_config: PartitionConfig::default(),
             evs_options: EvsOptions::default(),
             twin_topology_set: false,
             topology: None,
@@ -93,6 +98,31 @@ impl DtmBuilder {
     /// Use an explicit per-vertex part assignment.
     pub fn assignment(mut self, assignment: Vec<usize>) -> Self {
         self.assignment = Some(assignment);
+        self
+    }
+
+    /// Partition the matrix graph into `n_parts` with the named
+    /// [`Partitioner`] (computed at [`build`](Self::build) time, tuned by
+    /// [`partition_config`](Self::partition_config)). An explicit
+    /// [`assignment`](Self::assignment) takes precedence.
+    pub fn partitioner(mut self, kind: Partitioner, n_parts: usize) -> Self {
+        self.partitioner = Some((kind, n_parts));
+        self
+    }
+
+    /// Partition the matrix graph into `n_parts` with the size-based
+    /// default partitioner ([`Partitioner::default_for`]): multilevel for
+    /// systems of ≥ 32³ unknowns, nested dissection below. Equivalent to
+    /// [`partitioner`](Self::partitioner) with that choice spelled out.
+    pub fn partition_auto(mut self, n_parts: usize) -> Self {
+        self.partitioner = Some((Partitioner::default_for(self.a.n_rows()), n_parts));
+        self
+    }
+
+    /// Tune the partitioner (seed, balance slack, coarsening threshold, FM
+    /// passes, nested-dissection slack window).
+    pub fn partition_config(mut self, config: PartitionConfig) -> Self {
+        self.partition_config = config;
         self
     }
 
@@ -176,10 +206,17 @@ impl DtmBuilder {
                 Some(rx)
             }
         };
+        let assignment = match (self.assignment, self.partitioner) {
+            (Some(asg), _) => asg,
+            (None, Some((kind, n_parts))) => kind.assign(&self.a, n_parts, &self.partition_config),
+            (None, None) => {
+                return Err(Error::Parse(
+                    "no partition given: call grid_blocks/grid_strips/assignment/partitioner"
+                        .into(),
+                ))
+            }
+        };
         let graph = ElectricGraph::from_system(self.a, self.b)?;
-        let assignment = self.assignment.ok_or_else(|| {
-            Error::Parse("no partition given: call grid_blocks/grid_strips/assignment".into())
-        })?;
         let plan = PartitionPlan::from_assignment(&graph, &assignment)?;
         let n_parts = plan.n_parts();
         let topology = match self.topology {
@@ -534,6 +571,51 @@ mod tests {
             .solve()
             .unwrap();
         assert!(report.converged);
+    }
+
+    #[test]
+    fn partitioner_builds_and_solves() {
+        let a = generators::grid2d_laplacian(10, 10);
+        let b = generators::random_rhs(100, 81);
+        for kind in [Partitioner::NestedDissection, Partitioner::Multilevel] {
+            let report = DtmBuilder::new(a.clone(), b.clone())
+                .partitioner(kind, 4)
+                .partition_config(PartitionConfig::default())
+                .solve()
+                .unwrap();
+            assert!(
+                report.converged,
+                "{}: rms {}",
+                kind.name(),
+                report.final_rms
+            );
+            assert!(
+                a.residual_norm(&report.solution, &b) < 1e-5,
+                "{}",
+                kind.name()
+            );
+            assert_eq!(report.n_parts, 4);
+        }
+    }
+
+    #[test]
+    fn partition_auto_picks_by_size_and_solves() {
+        // 100 unknowns is far below the 32³ threshold: partition_auto must
+        // behave exactly like an explicit nested-dissection partitioner.
+        let a = generators::grid2d_laplacian(10, 10);
+        let b = generators::random_rhs(100, 83);
+        let auto = DtmBuilder::new(a.clone(), b.clone())
+            .partition_auto(4)
+            .build()
+            .unwrap();
+        let explicit = DtmBuilder::new(a.clone(), b.clone())
+            .partitioner(Partitioner::NestedDissection, 4)
+            .build()
+            .unwrap();
+        assert_eq!(auto.split.subdomains.len(), explicit.split.subdomains.len());
+        let report = auto.solve().unwrap();
+        assert!(report.converged);
+        assert!(a.residual_norm(&report.solution, &b) < 1e-5);
     }
 
     #[test]

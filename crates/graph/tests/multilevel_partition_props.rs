@@ -1,0 +1,145 @@
+//! Property tests for `partition::multilevel`: on random 2-D and 3-D grid
+//! Laplacians the multilevel partition must (a) cover every vertex with
+//! every part non-empty, (b) respect the balance slack (up to nested
+//! dissection's own imbalance, the documented floor), (c) be deterministic
+//! for a fixed seed, and (d) never cut more edges than `nested_dissection`
+//! — the guarantee `multilevel` provides by construction. FM refinement on
+//! its own must never break coverage or balance, and never worsen the cut
+//! on an already-balanced partition.
+
+use dtm_graph::partition::{
+    metrics, multilevel, nested_dissection, refine_assignment, PartitionConfig,
+};
+use dtm_sparse::{generators, Csr};
+use proptest::prelude::*;
+
+/// Per-part sizes must cover all `n` vertices with no empty part.
+fn assert_full_coverage(
+    sizes: &[usize],
+    n: usize,
+    k: usize,
+) -> std::result::Result<(), TestCaseError> {
+    prop_assert_eq!(sizes.len(), k);
+    prop_assert_eq!(sizes.iter().sum::<usize>(), n);
+    prop_assert!(sizes.iter().all(|&s| s > 0), "empty part in {sizes:?}");
+    Ok(())
+}
+
+/// The documented balance guarantee: no part exceeds
+/// `max(max_part_weight, nested dissection's largest part)`.
+fn balance_bound(a: &Csr, k: usize, config: &PartitionConfig) -> u64 {
+    let nd_max = *metrics(a, &nested_dissection(a, k))
+        .sizes
+        .iter()
+        .max()
+        .expect("k ≥ 1") as u64;
+    config.max_part_weight(a.n_rows() as u64, k).max(nd_max)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]
+
+    /// 2-D grids: coverage, balance, determinism, cut ≤ nested dissection.
+    #[test]
+    fn multilevel_on_2d_grids(
+        nx in 4usize..28,
+        ny in 4usize..28,
+        k in 2usize..9,
+        seed in 0u64..1000,
+    ) {
+        prop_assume!(k <= (nx * ny) / 4);
+        let a = generators::grid2d_laplacian(nx, ny);
+        let config = PartitionConfig { seed, ..PartitionConfig::default() };
+        let ml = multilevel(&a, k, &config);
+        let m = metrics(&a, &ml);
+        assert_full_coverage(&m.sizes, nx * ny, k)?;
+        let nd_cut = metrics(&a, &nested_dissection(&a, k)).cut_edges;
+        prop_assert!(
+            m.cut_edges <= nd_cut,
+            "{nx}×{ny} k={k} seed={seed}: ml cut {} > nd cut {nd_cut}",
+            m.cut_edges
+        );
+        let bound = balance_bound(&a, k, &config);
+        prop_assert!(
+            m.sizes.iter().all(|&s| (s as u64) <= bound),
+            "sizes {:?} exceed bound {bound}",
+            m.sizes
+        );
+        prop_assert_eq!(&ml, &multilevel(&a, k, &config), "same seed, same partition");
+    }
+
+    /// 3-D grids (anisotropic included): same four properties.
+    #[test]
+    fn multilevel_on_3d_grids(
+        nx in 3usize..12,
+        ny in 3usize..12,
+        nz in 3usize..12,
+        k in 2usize..9,
+        seed in 0u64..1000,
+        aniso_sel in 0usize..2,
+    ) {
+        let n = nx * ny * nz;
+        prop_assume!(k <= n / 4);
+        let aniso = aniso_sel == 1;
+        let a = if aniso {
+            generators::grid3d_laplacian_aniso(nx, ny, nz, 0.05)
+        } else {
+            generators::grid3d_laplacian(nx, ny, nz)
+        };
+        let config = PartitionConfig { seed, ..PartitionConfig::default() };
+        let ml = multilevel(&a, k, &config);
+        let m = metrics(&a, &ml);
+        assert_full_coverage(&m.sizes, n, k)?;
+        let nd_cut = metrics(&a, &nested_dissection(&a, k)).cut_edges;
+        prop_assert!(
+            m.cut_edges <= nd_cut,
+            "{nx}×{ny}×{nz} k={k} seed={seed} aniso={aniso}: ml cut {} > nd cut {nd_cut}",
+            m.cut_edges
+        );
+        let bound = balance_bound(&a, k, &config);
+        prop_assert!(
+            m.sizes.iter().all(|&s| (s as u64) <= bound),
+            "sizes {:?} exceed bound {bound}",
+            m.sizes
+        );
+        prop_assert_eq!(&ml, &multilevel(&a, k, &config), "same seed, same partition");
+    }
+
+    /// FM refinement alone keeps coverage and balance, and never worsens
+    /// the cut of an already-balanced (nested-dissection) partition.
+    #[test]
+    fn fm_refinement_preserves_coverage_and_balance(
+        nx in 4usize..20,
+        ny in 4usize..20,
+        k in 2usize..7,
+        fm_passes in 1usize..6,
+        seed in 0u64..1000,
+    ) {
+        prop_assume!(k <= (nx * ny) / 4);
+        let a = generators::grid2d_laplacian(nx, ny);
+        let config = PartitionConfig { seed, fm_passes, ..PartitionConfig::default() };
+        let mut asg = nested_dissection(&a, k);
+        let before = metrics(&a, &asg);
+        refine_assignment(&a, &mut asg, k, &config);
+        let after = metrics(&a, &asg);
+        assert_full_coverage(&after.sizes, nx * ny, k)?;
+        // FM never worsens the cut; only *balance repair* may, and repair
+        // runs exactly when the input partition exceeds the slack window.
+        let wmax = config.max_part_weight((nx * ny) as u64, k);
+        if before.sizes.iter().all(|&s| (s as u64) <= wmax) {
+            prop_assert!(
+                after.cut_edges <= before.cut_edges,
+                "refinement worsened the cut of a balanced partition: {} → {}",
+                before.cut_edges,
+                after.cut_edges
+            );
+        }
+        let nd_max = *before.sizes.iter().max().expect("k ≥ 1") as u64;
+        let bound = config.max_part_weight((nx * ny) as u64, k).max(nd_max);
+        prop_assert!(
+            after.sizes.iter().all(|&s| (s as u64) <= bound),
+            "sizes {:?} exceed bound {bound}",
+            after.sizes
+        );
+    }
+}
