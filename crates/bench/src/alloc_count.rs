@@ -67,6 +67,8 @@ unsafe impl GlobalAlloc for CountingAllocator {
             ALLOCS.fetch_add(1, Ordering::Relaxed);
             BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
         }
+        // SAFETY: same layout, same contract — forwarded verbatim to
+        // the system allocator.
         unsafe { System.alloc(layout) }
     }
 
@@ -75,6 +77,8 @@ unsafe impl GlobalAlloc for CountingAllocator {
             ALLOCS.fetch_add(1, Ordering::Relaxed);
             BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
         }
+        // SAFETY: same layout, same contract — forwarded verbatim to
+        // the system allocator.
         unsafe { System.alloc_zeroed(layout) }
     }
 
@@ -83,10 +87,15 @@ unsafe impl GlobalAlloc for CountingAllocator {
             REALLOCS.fetch_add(1, Ordering::Relaxed);
             BYTES.fetch_add(new_size as u64, Ordering::Relaxed);
         }
+        // SAFETY: `ptr`/`layout` were produced by this allocator's
+        // `alloc`, which delegates to `System`; the caller upholds the
+        // `realloc` contract and we add nothing to it.
         unsafe { System.realloc(ptr, layout, new_size) }
     }
 
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        // SAFETY: `ptr` came from `System` via our `alloc`/`realloc`
+        // with this same `layout`; deallocation is forwarded verbatim.
         unsafe { System.dealloc(ptr, layout) }
     }
 }

@@ -126,6 +126,15 @@ fn main() {
         "serve" => serve_cmd(quick, seed),
         "compare" => compare_cmd(quick),
         "bench" => bench_cmd(&args, quick),
+        "lint" => {
+            // Project lint (see crates/lint): panic-free libraries,
+            // never-FMA sparse kernels, simnet determinism, SAFETY
+            // comments, alloc-free hot paths. Gates CI.
+            if let Err(e) = dtm_lint::run_cli(&args[1..]) {
+                eprintln!("error: {e}");
+                std::process::exit(1);
+            }
+        }
         "all" => {
             fig3();
             fig5();
@@ -147,7 +156,7 @@ fn main() {
         _ => {
             eprintln!(
                 "usage: repro <fig3|fig5|fig7|fig8|fig9|table1|fig11|fig12|fig13|fig14|\
-                 cmp-vtm|cmp-jacobi|sweep-z|batched|serve|compare|bench|all> [--quick] \
+                 cmp-vtm|cmp-jacobi|sweep-z|batched|serve|compare|bench|lint|all> [--quick] \
                  [--num-rhs K] [--seed N] [--termination residual|oracle]\n\
                  bench flags: [--matrix FILE.mtx [--rhs FILE]] [--out FILE] \
                  [--check BASELINE]... [--partitioner strips|greedy|nd|ml] [--headline]"

@@ -85,6 +85,7 @@ pub mod report;
 pub mod runtime;
 pub mod session;
 pub mod solver;
+pub mod sync;
 pub mod threaded;
 pub mod vtm;
 

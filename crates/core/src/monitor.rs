@@ -544,18 +544,36 @@ impl Monitor {
         metric
     }
 
+    /// The oracle tracker, which every `OracleRms`-mode accessor needs.
+    /// This is the single place the "monitor has no oracle" contract is
+    /// enforced; the public accessors document it as their `# Panics`.
+    fn oracle_state(&self) -> &OracleTracker {
+        self.oracle.as_ref().expect("monitor has no oracle")
+    }
+
+    /// The residual tracker behind every `Residual`-mode accessor — the
+    /// single enforcement point of the "monitor does not track the
+    /// residual" contract.
+    fn tracker(&self) -> &ResidualTracker {
+        self.residual
+            .as_ref()
+            .expect("monitor does not track the residual")
+    }
+
+    /// Mutable [`tracker`](Self::tracker).
+    fn tracker_mut(&mut self) -> &mut ResidualTracker {
+        self.residual
+            .as_mut()
+            .expect("monitor does not track the residual")
+    }
+
     /// Current worst-column primary metric (incrementally maintained; the
     /// residual value is the cached last-flush metric — always a
     /// previously exact number, possibly one flush window stale).
     pub fn metric(&self) -> f64 {
         match self.primary {
             Primary::OracleRms => self.rms(),
-            Primary::Residual => {
-                self.residual
-                    .as_ref()
-                    .expect("residual primary requires a tracker")
-                    .cached_metric
-            }
+            Primary::Residual => self.tracker().cached_metric,
         }
     }
 
@@ -564,7 +582,7 @@ impl Monitor {
     /// # Panics
     /// Panics if the monitor carries no oracle references.
     pub fn rms(&self) -> f64 {
-        let o = self.oracle.as_ref().expect("monitor has no oracle");
+        let o = self.oracle_state();
         let n = self.n.max(1) as f64;
         o.sum_sq_err
             .iter()
@@ -580,10 +598,7 @@ impl Monitor {
     /// Panics if the monitor does not track the residual.
     pub fn rel_residual(&mut self) -> f64 {
         let n = self.n;
-        let t = self
-            .residual
-            .as_mut()
-            .expect("monitor does not track the residual");
+        let t = self.tracker_mut();
         if !t.dirty.is_empty() {
             Self::flush_tracker(t, n);
         }
@@ -604,7 +619,7 @@ impl Monitor {
     /// # Panics
     /// Panics if the monitor carries no oracle references.
     pub fn rms_exact_per_rhs(&self) -> Vec<f64> {
-        let o = self.oracle.as_ref().expect("monitor has no oracle");
+        let o = self.oracle_state();
         let n = self.n;
         (0..self.k)
             .map(|c| {
@@ -622,10 +637,7 @@ impl Monitor {
     /// # Panics
     /// Panics if the monitor does not track the residual.
     pub fn residual_exact_per_rhs(&self) -> Vec<f64> {
-        let t = self
-            .residual
-            .as_ref()
-            .expect("monitor does not track the residual");
+        let t = self.tracker();
         let n = self.n;
         (0..self.k)
             .map(|c| {
@@ -642,7 +654,7 @@ impl Monitor {
     /// # Panics
     /// Panics if the monitor carries no oracle references.
     pub fn col_rms(&self, col: usize) -> f64 {
-        let o = self.oracle.as_ref().expect("monitor has no oracle");
+        let o = self.oracle_state();
         (o.sum_sq_err[col].max(0.0) / self.n.max(1) as f64).sqrt()
     }
 
@@ -654,10 +666,7 @@ impl Monitor {
     /// # Panics
     /// Panics if the monitor does not track the residual.
     pub fn col_residual(&self, col: usize) -> f64 {
-        let t = self
-            .residual
-            .as_ref()
-            .expect("monitor does not track the residual");
+        let t = self.tracker();
         t.sum_sq[col].max(0.0).sqrt() / t.b_scale[col]
     }
 
@@ -666,7 +675,7 @@ impl Monitor {
     /// # Panics
     /// Panics if the monitor carries no oracle references.
     pub fn rms_exact_col(&self, col: usize) -> f64 {
-        let o = self.oracle.as_ref().expect("monitor has no oracle");
+        let o = self.oracle_state();
         let n = self.n;
         dtm_sparse::vector::rms_error(
             &self.est[col * n..(col + 1) * n],
@@ -680,10 +689,7 @@ impl Monitor {
     /// # Panics
     /// Panics if the monitor does not track the residual.
     pub fn residual_exact_col(&self, col: usize) -> f64 {
-        let t = self
-            .residual
-            .as_ref()
-            .expect("monitor does not track the residual");
+        let t = self.tracker();
         let n = self.n;
         t.a.residual_norm(
             &self.est[col * n..(col + 1) * n],

@@ -25,12 +25,10 @@ use crate::report::{AlgorithmKind, BackendKind, SolveReport, StopKind};
 use crate::runtime::{
     self, wallclock, CommonConfig, DtmMsg, ExecutorBackend, NodeControl, NodeRuntime, Termination,
 };
+use crate::sync::{Arc, AtomicBool, AtomicU64, AtomicUsize, Mutex, Ordering};
 use dtm_graph::evs::SplitSystem;
 use dtm_sparse::Result;
-use parking_lot::Mutex;
 use rayon::{ThreadPool, ThreadPoolBuilder};
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::Arc;
 use std::time::Duration;
 
 /// Work-stealing-executor configuration: the shared [`CommonConfig`] plus

@@ -113,6 +113,7 @@ impl SmallBlock {
     /// reusing the spill buffer's capacity — the zero-allocation refill used
     /// by the pooled wave pipeline (a recycled block never reallocates
     /// unless `k` outgrows every width it has carried before).
+    // lint: hot-path
     pub fn fill_from_fn(&mut self, k: usize, mut f: impl FnMut(usize) -> f64) {
         self.len = k;
         if k <= SMALL_BLOCK_INLINE {
@@ -493,6 +494,7 @@ impl NodeRuntime {
     /// Merge a whole wave-front message **and recycle its payload buffer**
     /// into this node's freelist — the allocation-free absorb path every
     /// executor uses: a consumed message funds the next outgoing one.
+    // lint: hot-path
     pub fn absorb_owned(&mut self, msg: DtmMsg) {
         self.absorb_msg(&msg);
         self.recycle(msg);
@@ -517,6 +519,7 @@ impl NodeRuntime {
     /// call): re-solve the local system against the currently stored
     /// boundary conditions, transmit the resulting `(u, ω)` pairs to every
     /// neighbour through `transport`, and evaluate the self-halt rule.
+    // lint: hot-path
     pub fn step(&mut self, transport: &mut impl Transport) -> NodeControl {
         self.local.solve();
         let k = self.local.n_rhs();
@@ -805,14 +808,22 @@ fn build_nodes_inner_pooled(
     let part_cols = part_cols.as_ref();
     pool.for_each_index(n_parts, |p| {
         let node = build_one_node(p, split, &z_ports, common, part_cols);
-        *slots[p].lock().expect("node slot lock") = Some(node);
+        // A poisoned slot means another builder panicked; the value this
+        // closure writes is still well-formed, so keep going and let the
+        // pool surface the panic.
+        *slots[p].lock().unwrap_or_else(|e| e.into_inner()) = Some(node);
     });
     slots
         .into_iter()
         .map(|s| {
-            s.into_inner()
-                .expect("node slot lock")
-                .expect("every part built")
+            s.into_inner().unwrap_or_else(|e| e.into_inner()).unwrap_or(
+                // for_each_index visits every index exactly once, so an
+                // empty slot is unreachable; report it as a build error
+                // rather than panicking.
+                Err(dtm_sparse::Error::Parse(
+                    "internal: node build slot left empty".into(),
+                )),
+            )
         })
         .collect()
 }
@@ -1077,10 +1088,14 @@ pub(crate) mod wallclock {
             Termination::OracleRms { tol } | Termination::Residual { tol } => Some(tol),
             Termination::LocalDelta { .. } => None,
         };
-        let use_oracle_metric = match termination {
-            Termination::OracleRms { .. } => true,
-            Termination::Residual { .. } => false,
-            Termination::LocalDelta { .. } => references.is_some(),
+        // The oracle metric runs exactly when references exist to score
+        // against: always under `OracleRms` (resolve_references supplies
+        // them), opportunistically under `LocalDelta`, never under
+        // `Residual`. Binding the slice here (instead of a bool) makes
+        // "oracle metric requires references" hold by construction.
+        let oracle_refs = match termination {
+            Termination::OracleRms { .. } | Termination::LocalDelta { .. } => references,
+            Termination::Residual { .. } => None,
         };
 
         // Persistent supervisor-side state: per-part mirrors + versions,
@@ -1109,11 +1124,9 @@ pub(crate) mod wallclock {
             }
         };
         let eval_col = |est: &[Vec<f64>], c: usize| -> f64 {
-            if use_oracle_metric {
-                let refs = references.expect("oracle metric requires references");
-                dtm_sparse::vector::rms_error(&est[c], &refs[c])
-            } else {
-                a.residual_norm(&est[c], b_col(c)) / b_scale[c]
+            match oracle_refs {
+                Some(refs) => dtm_sparse::vector::rms_error(&est[c], &refs[c]),
+                None => a.residual_norm(&est[c], b_col(c)) / b_scale[c],
             }
         };
 
@@ -1192,7 +1205,7 @@ pub(crate) mod wallclock {
             .map(|c| a.residual_norm(&solutions[c], b_col(c)) / b_scale[c])
             .collect();
         let final_residual = worst(&final_residual_per_rhs);
-        let final_metric = if use_oracle_metric {
+        let final_metric = if oracle_refs.is_some() {
             final_rms
         } else {
             final_residual

@@ -48,15 +48,13 @@ use crate::runtime::{
     self, wallclock::SharedBlock, CommonConfig, DtmMsg, NodeRuntime, Termination,
 };
 use crate::solver::{self, DtmNode};
-use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use crate::sync::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use crate::sync::{thread, Arc, AtomicBool, Mutex, Ordering};
 use dtm_graph::evs::SplitSystem;
 use dtm_simnet::{Engine, SimDuration, SimTime, StopReason};
 use dtm_sparse::{Csr, Error, Result, SparseCholesky};
-use parking_lot::Mutex;
 use rayon::{ThreadPool, ThreadPoolBuilder};
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Handle for one submitted right-hand side; returned by `submit`, carried
@@ -237,7 +235,7 @@ impl SessionQueue {
         self.slots[slot] = Slot::Active(t);
         match &self.slots[slot] {
             Slot::Active(t) => Some(t),
-            Slot::Idle => unreachable!(),
+            Slot::Idle => None, // just stored Active
         }
     }
 
@@ -258,9 +256,11 @@ impl SessionQueue {
         final_rms: Option<f64>,
         now_ms: f64,
     ) {
-        let t = match std::mem::replace(&mut self.slots[slot], Slot::Idle) {
-            Slot::Active(t) => t,
-            Slot::Idle => panic!("retiring an idle slot"),
+        let Slot::Active(t) = std::mem::replace(&mut self.slots[slot], Slot::Idle) else {
+            // Retiring an idle slot is a driver bug; there is no ticket to
+            // report, so in release this is a no-op.
+            debug_assert!(false, "retiring an idle slot");
+            return;
         };
         self.completed.push(ColumnReport {
             ticket: t.id,
@@ -300,10 +300,13 @@ struct LazyOracle {
 
 impl LazyOracle {
     fn reference(&mut self, a: &Csr, b: &[f64]) -> Result<Vec<f64>> {
-        if self.factor.is_none() {
-            self.factor = Some(SparseCholesky::factor_rcm(a)?);
-        }
-        Ok(self.factor.as_ref().expect("just set").solve(b))
+        let f = match self.factor.take() {
+            Some(f) => f,
+            None => SparseCholesky::factor_rcm(a)?,
+        };
+        let out = f.solve(b);
+        self.factor = Some(f);
+        Ok(out)
     }
 
     fn for_ticket(&mut self, a: &Csr, b: &[f64], t: Termination) -> Result<Option<Vec<f64>>> {
@@ -433,7 +436,9 @@ impl RollingSession {
             let Some(slot) = self.queue.idle_slot() else {
                 return;
             };
-            let t = self.queue.admit_into(slot).expect("pending checked");
+            let Some(t) = self.queue.admit_into(slot) else {
+                return;
+            };
             let (b, reference) = (t.b.clone(), t.reference.clone());
             let local_cols = self.split.scatter_rhs(&b);
             for (node, local) in self.engine.nodes_mut().iter_mut().zip(&local_cols) {
@@ -638,7 +643,9 @@ impl WallclockCore {
                 let Some(slot) = self.queue.idle_slot() else {
                     break;
                 };
-                let t = self.queue.admit_into(slot).expect("pending checked");
+                let Some(t) = self.queue.admit_into(slot) else {
+                    break;
+                };
                 let local_cols = self.split.scatter_rhs(&t.b);
                 issue_swap(slot, &local_cols);
             }
@@ -658,10 +665,14 @@ impl WallclockCore {
                     || self.a.residual_norm(est, &t.b) / dtm_sparse::vector::norm2_or_one(&t.b);
                 match t.termination {
                     Termination::OracleRms { tol } => {
-                        let reference = t.reference.as_deref().expect("oracle tickets carry one");
-                        let rms = dtm_sparse::vector::rms_error(est, reference);
-                        if rms <= tol {
-                            retire.push((slot, resid(), Some(rms)));
+                        // submit() attaches a reference to every oracle
+                        // ticket, so the if-let always takes.
+                        debug_assert!(t.reference.is_some(), "oracle tickets carry a reference");
+                        if let Some(reference) = t.reference.as_deref() {
+                            let rms = dtm_sparse::vector::rms_error(est, reference);
+                            if rms <= tol {
+                                retire.push((slot, resid(), Some(rms)));
+                            }
                         }
                     }
                     Termination::Residual { tol } => {
@@ -710,7 +721,7 @@ struct ThreadedShared {
 pub struct RollingThreadedSession {
     core: WallclockCore,
     shared: Arc<ThreadedShared>,
-    handles: Vec<std::thread::JoinHandle<()>>,
+    handles: Vec<thread::JoinHandle<()>>,
     poll_interval: Duration,
 }
 
@@ -727,11 +738,11 @@ impl RollingThreadedSession {
         let n_parts = split.n_parts();
 
         let mut senders: Vec<Sender<DtmMsg>> = Vec::with_capacity(n_parts);
-        let mut receivers: Vec<Option<Receiver<DtmMsg>>> = Vec::with_capacity(n_parts);
+        let mut receivers: Vec<Receiver<DtmMsg>> = Vec::with_capacity(n_parts);
         for _ in 0..n_parts {
             let (tx, rx) = unbounded::<DtmMsg>();
             senders.push(tx);
-            receivers.push(Some(rx));
+            receivers.push(rx);
         }
         let shared = Arc::new(ThreadedShared {
             snapshots: runtimes
@@ -743,11 +754,10 @@ impl RollingThreadedSession {
         });
 
         let mut handles = Vec::with_capacity(n_parts);
-        for (p, mut rt) in runtimes.into_iter().enumerate() {
-            let rx = receivers[p].take().expect("receiver unused");
+        for (p, (mut rt, rx)) in runtimes.into_iter().zip(receivers).enumerate() {
             let senders = senders.clone();
             let shared = shared.clone();
-            handles.push(std::thread::spawn(move || {
+            handles.push(thread::spawn(move || {
                 let mut outbox: Vec<(usize, DtmMsg)> = Vec::new();
                 let mut step = |rt: &mut NodeRuntime| {
                     rt.step(&mut outbox);

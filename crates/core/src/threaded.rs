@@ -21,12 +21,11 @@ use crate::runtime::{
     self, wallclock, CommonConfig, DtmMsg, ExecutorBackend, NodeControl, NodeRuntime, Termination,
     Transport,
 };
-use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use crate::sync::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use crate::sync::{thread, Arc, AtomicBool, AtomicI64, AtomicU64, Ordering};
 use dtm_graph::evs::SplitSystem;
 use dtm_simnet::Topology;
 use dtm_sparse::Result;
-use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, AtomicUsize, Ordering};
-use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Threaded-executor configuration: the shared [`CommonConfig`] plus the
@@ -87,15 +86,19 @@ struct ChannelTransport {
     delays: Option<Arc<Topology>>,
     delay_scale: f64,
     messages: Arc<AtomicU64>,
-    /// Waves sent but not yet absorbed (or drained) — the quiescence
-    /// signal for the LocalDelta idle kick.
-    in_flight: Arc<AtomicI64>,
+    /// Outstanding work tokens — the quiescence signal for the
+    /// LocalDelta idle kick. A token is minted here *before* the wave
+    /// becomes receivable and is released by the consumer only after the
+    /// step that absorbed it has registered its own outgoing sends, so a
+    /// zero read proves no wave exists anywhere and none can appear
+    /// without a fresh external cause.
+    work: Arc<AtomicI64>,
 }
 
 impl Transport for ChannelTransport {
     fn send(&mut self, dst: usize, msg: DtmMsg) {
         self.messages.fetch_add(1, Ordering::Relaxed);
-        self.in_flight.fetch_add(1, Ordering::AcqRel);
+        self.work.fetch_add(1, Ordering::AcqRel);
         match &self.delays {
             Some(topo) => {
                 let ns = topo.delay(self.src, dst).as_nanos() as f64 * self.delay_scale;
@@ -244,11 +247,16 @@ fn solve_runtimes(
 
     // Wiring: one channel per part; router channel if delays are injected.
     let mut senders: Vec<Sender<DtmMsg>> = Vec::with_capacity(n_parts);
-    let mut receivers: Vec<Option<Receiver<DtmMsg>>> = Vec::with_capacity(n_parts);
+    let mut receivers: Vec<Receiver<DtmMsg>> = Vec::with_capacity(n_parts);
+    // Supervisor-side receiver clones: once a worker has halted and
+    // dropped out, waves still addressed to it are drained here so the
+    // in-flight count can reach zero.
+    let mut drain_rx: Vec<Receiver<DtmMsg>> = Vec::with_capacity(n_parts);
     for _ in 0..n_parts {
         let (tx, rx) = unbounded::<DtmMsg>();
         senders.push(tx);
-        receivers.push(Some(rx));
+        drain_rx.push(rx.clone());
+        receivers.push(rx);
     }
     let (router_tx, router_rx) = unbounded::<RouterMsg>();
     let delays: Option<Arc<Topology>> = config.delay_topology.clone().map(Arc::new);
@@ -256,25 +264,28 @@ fn solve_runtimes(
     let stop = Arc::new(AtomicBool::new(false));
     let total_solves = Arc::new(AtomicU64::new(0));
     let total_messages = Arc::new(AtomicU64::new(0));
-    // Quiescence accounting: waves in flight + workers mid-step. The
-    // LocalDelta idle kick below may only fire when both are zero —
-    // otherwise a wave merely delayed in the router would let zero-delta
-    // re-solves feed the self-halt streak and end the run prematurely.
-    let in_flight = Arc::new(AtomicI64::new(0));
-    let active = Arc::new(AtomicUsize::new(0));
+    // Quiescence accounting: one deferred-decrement counter of
+    // outstanding work tokens. Seeded with one token per worker (the
+    // initial solve each owes); every transport send mints a token
+    // before the wave is pushed; a worker releases the tokens it
+    // consumed only *after* the absorbing step has minted tokens for its
+    // own outgoing waves. The LocalDelta idle kick below fires only on a
+    // zero read, which therefore proves global quiescence — no wave in
+    // any channel or the router, no step in progress that could emit
+    // one. (A previous two-counter scheme — waves in flight + workers
+    // mid-step — was racy: the two loads could straddle a receive
+    // handoff and both read zero while work remained, feeding spurious
+    // zero-delta re-solves into the self-halt streak; the model checker
+    // in tests/model_check.rs finds that schedule.)
+    // A part count that overflows i64 is unreachable (it would dwarf
+    // addressable memory); saturate rather than panic.
+    let work = Arc::new(AtomicI64::new(i64::try_from(n_parts).unwrap_or(i64::MAX)));
     let any_capped = Arc::new(AtomicBool::new(false));
     // Per-part cumulative flop counters: each worker *stores* (not adds)
     // its runtime's running total after every step, so the sum at join
     // time is exact whatever order the workers retired in.
     let part_flops: Arc<Vec<AtomicU64>> =
         Arc::new((0..n_parts).map(|_| AtomicU64::new(0)).collect());
-    // Supervisor-side receiver clones: once a worker has halted and
-    // dropped out, waves still addressed to it are drained here so the
-    // in-flight count can reach zero.
-    let drain_rx: Vec<Receiver<DtmMsg>> = receivers
-        .iter()
-        .map(|r| r.as_ref().expect("receiver present").clone())
-        .collect();
     let snapshots: Arc<Vec<wallclock::SharedBlock>> = Arc::new(
         runtimes
             .iter()
@@ -286,7 +297,7 @@ fn solve_runtimes(
     let router_handle = {
         let senders = senders.clone();
         let stop = stop.clone();
-        std::thread::spawn(move || {
+        thread::spawn(move || {
             use std::cmp::Reverse;
             use std::collections::BinaryHeap;
             struct Pending {
@@ -341,13 +352,14 @@ fn solve_runtimes(
                     Err(RecvTimeoutError::Disconnected) => return,
                 }
                 let now = Instant::now();
-                while let Some(Reverse(p)) = heap.peek() {
-                    if p.deliver_at > now || stop.load(Ordering::Relaxed) {
-                        break;
+                while heap
+                    .peek()
+                    .is_some_and(|Reverse(p)| p.deliver_at <= now && !stop.load(Ordering::Relaxed))
+                {
+                    if let Some(Reverse(p)) = heap.pop() {
+                        // Ignore send failures during shutdown.
+                        let _ = senders[p.dst].send(p.msg);
                     }
-                    let Reverse(p) = heap.pop().expect("peeked");
-                    // Ignore send failures during shutdown.
-                    let _ = senders[p.dst].send(p.msg);
                 }
                 if stop.load(Ordering::Relaxed) {
                     return;
@@ -358,8 +370,7 @@ fn solve_runtimes(
 
     // Worker threads: the shared runtime drives each subdomain.
     let mut handles = Vec::with_capacity(n_parts);
-    for (p, mut rt) in runtimes.into_iter().enumerate() {
-        let rx = receivers[p].take().expect("receiver unused");
+    for (p, (mut rt, rx)) in runtimes.into_iter().zip(receivers).enumerate() {
         let mut transport = ChannelTransport {
             src: p,
             senders: senders.clone(),
@@ -367,18 +378,17 @@ fn solve_runtimes(
             delays: delays.clone(),
             delay_scale: config.delay_scale,
             messages: total_messages.clone(),
-            in_flight: in_flight.clone(),
+            work: work.clone(),
         };
         let stop = stop.clone();
         let total_solves = total_solves.clone();
         let snapshots = snapshots.clone();
-        let in_flight = in_flight.clone();
-        let active = active.clone();
+        let work = work.clone();
         let any_capped = any_capped.clone();
         let part_flops = part_flops.clone();
         let self_halting = matches!(config.common.termination, Termination::LocalDelta { .. });
 
-        handles.push(std::thread::spawn(move || {
+        handles.push(thread::spawn(move || {
             let step = |rt: &mut NodeRuntime, transport: &mut ChannelTransport| -> bool {
                 let control = rt.step(transport);
                 total_solves.fetch_add(1, Ordering::Relaxed);
@@ -392,10 +402,11 @@ fn solve_runtimes(
                 !control.is_halt()
             };
 
-            // Initial solve with the zero boundary guess (eq. 5.6).
-            active.fetch_add(1, Ordering::AcqRel);
+            // Initial solve with the zero boundary guess (eq. 5.6). Its
+            // work token was minted at counter setup; release it only
+            // after the step's own sends are counted.
             let go_on = step(&mut rt, &mut transport);
-            active.fetch_sub(1, Ordering::AcqRel);
+            work.fetch_sub(1, Ordering::AcqRel);
             if !go_on {
                 return;
             }
@@ -405,48 +416,49 @@ fn solve_runtimes(
                 }
                 match rx.recv_timeout(Duration::from_millis(1)) {
                     Ok(first) => {
-                        // Mark active *before* releasing the in-flight
-                        // count, so quiescence observers never see both
-                        // zero while a wave is being processed.
-                        active.fetch_add(1, Ordering::AcqRel);
-                        in_flight.fetch_sub(1, Ordering::AcqRel);
                         // Consumed messages fund the next outgoing ones:
                         // their payload buffers go to this node's freelist.
                         rt.absorb_owned(first);
                         // Coalesce whatever else is pending (Table 1
                         // step 3: "one or more of the adjacent
                         // subgraphs").
+                        let mut consumed: i64 = 1;
                         while let Ok(more) = rx.try_recv() {
-                            in_flight.fetch_sub(1, Ordering::AcqRel);
+                            consumed += 1;
                             rt.absorb_owned(more);
                         }
                         let go_on = step(&mut rt, &mut transport);
-                        active.fetch_sub(1, Ordering::AcqRel);
+                        // Deferred decrement: the consumed waves' tokens
+                        // stay outstanding until the step they caused has
+                        // minted tokens for its own sends, so the counter
+                        // never reads zero while this causal chain is
+                        // mid-handoff (released on the halt path too —
+                        // survivors' kicks must still be able to fire).
+                        work.fetch_sub(consumed, Ordering::AcqRel);
                         if !go_on {
                             return;
                         }
                     }
                     Err(RecvTimeoutError::Timeout) => {
                         // Idle under LocalDelta *and* globally quiescent
-                        // (no worker mid-step, no wave in any channel or
-                        // in the router): neighbours have halted, so no
+                        // (no wave in any channel or the router, no step
+                        // in progress): neighbours have halted, so no
                         // further waves will ever arrive. Re-solving
                         // against the unchanged boundary state yields a
                         // zero outgoing delta, letting the Table 1 step
                         // 3.3 streak complete instead of waiting forever.
-                        // The quiescence guard means a wave merely
-                        // delayed in flight can never feed the streak.
-                        // (`active` is loaded before `in_flight`: any
-                        // activity between the two loads leaves a wave
-                        // in flight, so the pair can't both read zero
-                        // while work remains.)
-                        if self_halting
-                            && active.load(Ordering::Acquire) == 0
-                            && in_flight.load(Ordering::Acquire) == 0
-                        {
-                            active.fetch_add(1, Ordering::AcqRel);
+                        // The single deferred-decrement counter makes the
+                        // guard one atomic load — a wave merely delayed
+                        // in flight, or mid-absorb in a peer, keeps it
+                        // nonzero, so it can never feed the streak.
+                        if self_halting && work.load(Ordering::Acquire) == 0 {
+                            // The kick step owes no token: at the zero
+                            // read no wave existed, so a re-solve against
+                            // the unchanged boundary is zero-delta and
+                            // sends nothing (any send it *did* make would
+                            // mint its own token before becoming
+                            // visible).
                             let go_on = step(&mut rt, &mut transport);
-                            active.fetch_sub(1, Ordering::AcqRel);
                             if !go_on {
                                 return;
                             }
@@ -472,12 +484,12 @@ fn solve_runtimes(
         config.poll_interval,
         || {
             // Drain waves addressed to halted workers (semantically
-            // dropped) so the in-flight count can reach zero and let the
+            // dropped) so the work counter can reach zero and let the
             // survivors' quiescence kick fire.
             for (i, h) in handles.iter().enumerate() {
                 if h.is_finished() {
                     while drain_rx[i].try_recv().is_ok() {
-                        in_flight.fetch_sub(1, Ordering::AcqRel);
+                        work.fetch_sub(1, Ordering::AcqRel);
                     }
                 }
             }
@@ -485,10 +497,16 @@ fn solve_runtimes(
         },
     );
     stop.store(true, Ordering::Relaxed);
+    // Re-raise any worker/router panic with its original payload rather
+    // than masking it behind a generic join message.
     for h in handles {
-        h.join().expect("worker thread panicked");
+        if let Err(payload) = h.join() {
+            std::panic::resume_unwind(payload);
+        }
     }
-    router_handle.join().expect("router thread panicked");
+    if let Err(payload) = router_handle.join() {
+        std::panic::resume_unwind(payload);
+    }
 
     let converged = match config.common.termination {
         Termination::OracleRms { tol } | Termination::Residual { tol } => {

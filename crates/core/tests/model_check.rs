@@ -1,0 +1,550 @@
+//! Exhaustive-interleaving model checks of the concurrency protocols the
+//! backends' correctness rests on. Runs only with the `model-check`
+//! feature, which flips `dtm_core::sync` to the minloom shim primitives:
+//!
+//! ```text
+//! cargo test -p dtm-core --features model-check --test model_check --release
+//! ```
+//!
+//! Three protocols are modeled, each as a *distilled* version of the
+//! production loop written against the same `dtm_core::sync` facade the
+//! production code compiles against, plus a seeded mutant the checker
+//! must catch:
+//!
+//! 1. **Quiescence kick** (`threaded.rs`): the LocalDelta idle kick may
+//!    fire only at true global quiescence. Current code uses one
+//!    deferred-decrement work counter; the mutant is the previous
+//!    two-counter (`active` + `in_flight`) guard, whose two loads can
+//!    straddle a receive handoff and both read zero while a wave is
+//!    mid-absorb — the checker finds the resulting premature stop.
+//! 2. **Scheduled-bit mailbox** (`rayon_backend.rs`): an activation must
+//!    clear its cell's `scheduled` bit *before* draining the inbox; the
+//!    drain-before-clear mutant strands a wave pushed between the drain
+//!    and the clear.
+//! 3. **Rolling-session retirement** (`session.rs`): a ticket retires
+//!    only on the exact metric of its *own* gathered estimate
+//!    (self-validating); the stale-metric mutant retires a freshly
+//!    admitted ticket on the previous occupant's solved value.
+//!
+//! Plus the PR 4 regression: the monitor's incremental-metric resync
+//! must trigger at `metric <= refresh_below` (inclusive); the historical
+//! `<` mutant skips the resync exactly on the boundary and declares
+//! convergence from a drifted metric. The checker finds the
+//! supervisor-polls-between-updates schedule that exposes it.
+
+#![cfg(feature = "model-check")]
+
+use dtm_core::sync::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use dtm_core::sync::{Arc, AtomicBool, AtomicI64, AtomicU64, AtomicUsize, Mutex, Ordering};
+use minloom::{checkpoint, hash_fold, thread, Builder};
+use std::time::Duration;
+
+// ---------------------------------------------------------------------------
+// 1. Quiescence kick (threaded.rs)
+// ---------------------------------------------------------------------------
+
+/// Which quiescence guard the distilled worker runs.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Guard {
+    /// Current code: one deferred-decrement work counter; kick on a
+    /// single zero read.
+    SingleCounter,
+    /// Pre-PR 9 code: separate `active` (workers mid-step) and
+    /// `in_flight` (waves sent, not yet absorbed) counters; kick when
+    /// both loads read zero. Racy: the receive path's
+    /// `active += 1; in_flight -= 1` handoff can straddle the two loads.
+    TwoCounter,
+}
+
+struct QuiesceShared {
+    /// `SingleCounter`: outstanding work tokens (seeded with one per
+    /// worker for the initial step). `TwoCounter`: waves in flight.
+    in_flight: AtomicI64,
+    /// `TwoCounter` only: workers currently mid-step.
+    active: AtomicI64,
+}
+
+/// Distilled transport send, matching `ChannelTransport::send`: mint the
+/// token *before* the wave becomes receivable.
+fn q_send(shared: &QuiesceShared, tx: &Sender<u32>, v: u32) {
+    shared.in_flight.fetch_add(1, Ordering::AcqRel);
+    let _ = tx.send(v);
+}
+
+/// Distilled worker, matching the `threaded.rs` worker loop shape:
+/// initial step, then recv/coalesce/step with the LocalDelta idle kick
+/// on timeout. The "solve" forwards wave `v` as `v - 1` to the next part
+/// while `v > 0` (a finite causal chain standing in for a decaying
+/// delta). The streak advances only on the kick path, so a worker halts
+/// exactly when its guard claimed global quiescence `patience` times —
+/// any wave left undelivered at join time is a premature stop.
+#[allow(clippy::needless_pass_by_value)]
+fn q_worker(
+    part: u64,
+    guard: Guard,
+    patience: u32,
+    initial_wave: Option<u32>,
+    rx: Receiver<u32>,
+    next: Sender<u32>,
+    shared: Arc<QuiesceShared>,
+) {
+    let step = |absorbed: &[u32]| -> Option<u32> {
+        let out = absorbed.iter().copied().max().unwrap_or(0);
+        (out > 0).then(|| out - 1)
+    };
+
+    // Initial solve. Under `SingleCounter` its token was minted at
+    // counter setup and is released only after the step's own sends are
+    // counted; under `TwoCounter` the step is bracketed by `active`.
+    if guard == Guard::TwoCounter {
+        shared.active.fetch_add(1, Ordering::AcqRel);
+    }
+    if let Some(v) = initial_wave {
+        q_send(&shared, &next, v);
+    }
+    match guard {
+        Guard::SingleCounter => {
+            shared.in_flight.fetch_sub(1, Ordering::AcqRel);
+        }
+        Guard::TwoCounter => {
+            shared.active.fetch_sub(1, Ordering::AcqRel);
+        }
+    }
+
+    let mut streak: u32 = 0;
+    loop {
+        // The recv_timeout poll loop is unbounded; everything
+        // loop-carried that steers behavior is (part, streak).
+        checkpoint(hash_fold(part, u64::from(streak)));
+        match rx.recv_timeout(Duration::from_millis(1)) {
+            Ok(first) => {
+                if guard == Guard::TwoCounter {
+                    // The racy handoff under test: mark active, then
+                    // release the in-flight count — two counters, so no
+                    // observer can read both at once.
+                    shared.active.fetch_add(1, Ordering::AcqRel);
+                    shared.in_flight.fetch_sub(1, Ordering::AcqRel);
+                }
+                let mut absorbed = vec![first];
+                while let Ok(more) = rx.try_recv() {
+                    if guard == Guard::TwoCounter {
+                        shared.in_flight.fetch_sub(1, Ordering::AcqRel);
+                    }
+                    absorbed.push(more);
+                }
+                if let Some(out) = step(&absorbed) {
+                    q_send(&shared, &next, out);
+                }
+                match guard {
+                    Guard::SingleCounter => {
+                        // Deferred decrement: consumed tokens stay
+                        // outstanding until the step they caused has
+                        // minted tokens for its own sends.
+                        shared
+                            .in_flight
+                            .fetch_sub(absorbed.len() as i64, Ordering::AcqRel);
+                    }
+                    Guard::TwoCounter => {
+                        shared.active.fetch_sub(1, Ordering::AcqRel);
+                    }
+                }
+                streak = 0;
+            }
+            Err(RecvTimeoutError::Timeout) => {
+                let quiescent = match guard {
+                    Guard::SingleCounter => shared.in_flight.load(Ordering::Acquire) == 0,
+                    Guard::TwoCounter => {
+                        shared.active.load(Ordering::Acquire) == 0
+                            && shared.in_flight.load(Ordering::Acquire) == 0
+                    }
+                };
+                if quiescent {
+                    // Idle kick: the re-solve against an unchanged
+                    // boundary is zero-delta, advancing the self-halt
+                    // streak (Table 1 step 3.3).
+                    streak += 1;
+                    if streak >= patience {
+                        return;
+                    }
+                }
+            }
+            Err(RecvTimeoutError::Disconnected) => return,
+        }
+    }
+}
+
+/// Build the ring of distilled workers and assert every wave was
+/// absorbed before its addressee halted. `patience = 1` is the hardest
+/// setting: a single spurious quiescence read kills a worker.
+fn quiesce_model(guard: Guard, n_workers: u64, initial_wave: u32) {
+    let shared = Arc::new(QuiesceShared {
+        in_flight: AtomicI64::new(match guard {
+            Guard::SingleCounter => n_workers as i64,
+            Guard::TwoCounter => 0,
+        }),
+        active: AtomicI64::new(0),
+    });
+    let mut txs = Vec::new();
+    let mut rxs = Vec::new();
+    for _ in 0..n_workers {
+        let (tx, rx) = unbounded::<u32>();
+        txs.push(tx);
+        rxs.push(rx);
+    }
+    // Keep supervisor-side clones, mirroring `drain_rx`: after every
+    // worker has halted, an undelivered wave is a protocol violation.
+    let drain: Vec<Receiver<u32>> = rxs.iter().map(Receiver::clone).collect();
+
+    let mut handles = Vec::new();
+    for (p, rx) in rxs.into_iter().enumerate() {
+        let next = txs[(p + 1) % n_workers as usize].clone();
+        let shared = Arc::clone(&shared);
+        // Worker 0 owes the chain's seed wave; the others' initial
+        // solves are zero-delta.
+        let seed = (p == 0).then_some(initial_wave);
+        handles.push(thread::spawn(move || {
+            q_worker(p as u64, guard, 1, seed, rx, next, shared);
+        }));
+    }
+    drop(txs);
+    for h in handles {
+        h.join().unwrap();
+    }
+    for (p, rx) in drain.iter().enumerate() {
+        assert!(
+            rx.try_recv().is_err(),
+            "premature stop: worker {p} halted with a wave still addressed to it"
+        );
+    }
+}
+
+/// Current protocol, two workers, full interleaving exploration: the
+/// idle kick can never fire while the seed wave's causal chain is alive.
+#[test]
+fn quiescence_single_counter_exhaustive() {
+    let report = Builder::new().explore(|| quiesce_model(Guard::SingleCounter, 2, 1));
+    assert!(report.violation.is_none(), "{}", report.violation.unwrap());
+    assert!(report.complete, "exploration must exhaust: {report:?}");
+    // State-hash dedup collapses most branches; completed schedules plus
+    // pruned subtrees together witness a real exploration.
+    assert!(
+        report.schedules + report.pruned > 20,
+        "trivial exploration: {report:?}"
+    );
+}
+
+/// Current protocol at the scale of the real deployment shape (a
+/// three-part ring with a two-hop chain), explored to preemption bound
+/// 2 — the bound that exposes the two-counter race below.
+#[test]
+fn quiescence_single_counter_three_workers_bounded() {
+    let report = Builder::new()
+        .preemption_bound(2)
+        .explore(|| quiesce_model(Guard::SingleCounter, 3, 2));
+    assert!(report.violation.is_none(), "{}", report.violation.unwrap());
+    assert!(report.complete, "exploration must exhaust: {report:?}");
+}
+
+/// The pre-PR 9 two-counter guard: the checker must find the schedule
+/// where an idle worker's two loads straddle a peer's
+/// `active += 1; in_flight -= 1` handoff, both read zero while the peer
+/// is mid-absorb, and the worker self-halts just before the peer's step
+/// sends it the next wave.
+#[test]
+fn quiescence_two_counter_mutant_is_caught() {
+    let report = Builder::new()
+        .preemption_bound(2)
+        .explore(|| quiesce_model(Guard::TwoCounter, 2, 1));
+    let v = report
+        .violation
+        .expect("the two-counter quiescence race must be found");
+    assert!(
+        v.message.contains("premature stop"),
+        "unexpected violation:\n{v}"
+    );
+    assert!(!v.trace.is_empty(), "counterexample must carry a schedule");
+}
+
+// ---------------------------------------------------------------------------
+// 2. Scheduled-bit mailbox (rayon_backend.rs)
+// ---------------------------------------------------------------------------
+
+struct Cell {
+    scheduled: AtomicBool,
+    inbox: Mutex<Vec<u32>>,
+    processed: AtomicUsize,
+}
+
+/// Distilled `activate()`: the production code clears the scheduled bit
+/// *before* draining the inbox, so a wave pushed after the drain finds
+/// the bit clear and respawns the task. `clear_first = false` seeds the
+/// lost-wave mutant.
+fn activate(cell: &Cell, clear_first: bool) {
+    if clear_first {
+        cell.scheduled.store(false, Ordering::SeqCst);
+    }
+    let drained = {
+        let mut inbox = cell.inbox.lock();
+        let n = inbox.len();
+        inbox.clear();
+        n
+    };
+    if !clear_first {
+        cell.scheduled.store(false, Ordering::SeqCst);
+    }
+    cell.processed.fetch_add(drained, Ordering::SeqCst);
+}
+
+/// Distilled `schedule()`: push, then CAS the bit 0 → 1 and run the
+/// activation on its own thread if we won it (the model's stand-in for
+/// `pool.spawn`). Joining inside keeps handle plumbing trivial without
+/// serializing the *other* producer against the activation.
+fn pool_producer(cell: &Arc<Cell>, wave: u32, clear_first: bool) {
+    cell.inbox.lock().push(wave);
+    if cell
+        .scheduled
+        .compare_exchange(false, true, Ordering::SeqCst, Ordering::SeqCst)
+        .is_ok()
+    {
+        let cell2 = Arc::clone(cell);
+        thread::spawn(move || activate(&cell2, clear_first))
+            .join()
+            .unwrap();
+    }
+}
+
+fn scheduled_bit_model(clear_first: bool) {
+    let cell = Arc::new(Cell {
+        scheduled: AtomicBool::new(false),
+        inbox: Mutex::new(Vec::new()),
+        processed: AtomicUsize::new(0),
+    });
+    let producers: Vec<_> = (1..=2)
+        .map(|w| {
+            let cell = Arc::clone(&cell);
+            thread::spawn(move || {
+                minloom::trace_value(u64::from(w));
+                pool_producer(&cell, w, clear_first);
+            })
+        })
+        .collect();
+    for p in producers {
+        p.join().unwrap();
+    }
+    // Producers have returned, so every won CAS's activation has been
+    // joined: anything still in the inbox is stranded for good.
+    assert!(
+        cell.inbox.lock().is_empty(),
+        "lost wave: inbox nonempty after all activations finished"
+    );
+    assert_eq!(cell.processed.load(Ordering::SeqCst), 2);
+}
+
+#[test]
+fn scheduled_bit_clear_before_drain_exhaustive() {
+    let report = Builder::new().explore(|| scheduled_bit_model(true));
+    assert!(report.violation.is_none(), "{}", report.violation.unwrap());
+    assert!(report.complete, "exploration must exhaust: {report:?}");
+}
+
+/// Drain-before-clear: the checker must find the push that lands after
+/// the drain but before the clear — its CAS loses, no task respawns,
+/// the wave is stranded.
+#[test]
+fn scheduled_bit_drain_before_clear_mutant_is_caught() {
+    let report = Builder::new().explore(|| scheduled_bit_model(false));
+    let v = report
+        .violation
+        .expect("the lost-wave schedule must be found");
+    assert!(
+        v.message.contains("lost wave"),
+        "unexpected violation:\n{v}"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// 3. Rolling-session retirement (session.rs)
+// ---------------------------------------------------------------------------
+
+/// Distilled solved-value publication: ticket value `v` solves to
+/// `v + 100` (distinguishing "swap applied" from "solve published").
+const SOLVED_OFFSET: u64 = 100;
+
+/// Distilled rolling-session worker, matching the
+/// `RollingThreadedSession` loop: drain the swap mailbox between steps,
+/// publish the slot's solved value to the shared snapshot.
+fn session_worker(mailbox: &Mutex<Vec<(usize, u64)>>, snapshot: &AtomicU64, stop: &AtomicBool) {
+    let mut current: u64 = 0;
+    loop {
+        checkpoint(hash_fold(0x5e55, current));
+        if stop.load(Ordering::Acquire) {
+            return;
+        }
+        let orders: Vec<(usize, u64)> = {
+            let mut mb = mailbox.lock();
+            let taken = mb.clone();
+            mb.clear();
+            taken
+        };
+        for (_slot, v) in orders {
+            current = v;
+        }
+        if current != 0 {
+            // One step of the live exchange: publish this slot's solve.
+            snapshot.store(current + SOLVED_OFFSET, Ordering::Release);
+        }
+    }
+}
+
+/// Supervisor sweep, distilled: admit a ticket by dropping a swap order
+/// into the mailbox, then retire it only when the published snapshot
+/// equals the ticket's *own* solved value (`exact = true`, the
+/// production self-validating rule) or — the mutant — as soon as any
+/// solved value is published (`exact = false`, a stale cached metric:
+/// slot 0 already "meets tolerance" from its previous occupant).
+fn session_model(exact: bool) {
+    let mailbox = Arc::new(Mutex::new(Vec::new()));
+    let snapshot = Arc::new(AtomicU64::new(0));
+    let stop = Arc::new(AtomicBool::new(false));
+    let worker = {
+        let (mb, sn, st) = (
+            Arc::clone(&mailbox),
+            Arc::clone(&snapshot),
+            Arc::clone(&stop),
+        );
+        thread::spawn(move || session_worker(&mb, &sn, &st))
+    };
+
+    let mut reports: Vec<u64> = Vec::new();
+    for ticket in [10_u64, 20] {
+        mailbox.lock().push((0, ticket));
+        loop {
+            checkpoint(hash_fold(ticket, reports.len() as u64));
+            let seen = snapshot.load(Ordering::Acquire);
+            let retire = if exact {
+                seen == ticket + SOLVED_OFFSET
+            } else {
+                seen >= SOLVED_OFFSET
+            };
+            if retire {
+                reports.push(seen);
+                break;
+            }
+        }
+    }
+    stop.store(true, Ordering::Release);
+    worker.join().unwrap();
+
+    assert_eq!(reports.len(), 2, "every ticket must retire exactly once");
+    assert_eq!(
+        reports,
+        vec![10 + SOLVED_OFFSET, 20 + SOLVED_OFFSET],
+        "a ticket retired with a solution that is not its own"
+    );
+}
+
+#[test]
+fn session_exact_metric_retirement_exhaustive() {
+    let report = Builder::new().explore(|| session_model(true));
+    assert!(report.violation.is_none(), "{}", report.violation.unwrap());
+    assert!(report.complete, "exploration must exhaust: {report:?}");
+}
+
+/// The stale-metric mutant: the checker must find the schedule where the
+/// supervisor polls after admitting ticket 2 but before the worker
+/// applies its swap — the snapshot still holds ticket 1's solved value,
+/// the non-exact rule retires ticket 2 with it.
+#[test]
+fn session_stale_metric_mutant_is_caught() {
+    let report = Builder::new().explore(|| session_model(false));
+    let v = report
+        .violation
+        .expect("the stale-metric retirement must be found");
+    assert!(
+        v.message.contains("not its own"),
+        "unexpected violation:\n{v}"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// 4. PR 4 regression: the monitor resync boundary (`<=` vs `<`)
+// ---------------------------------------------------------------------------
+
+/// Distilled `Monitor` resync discipline (see
+/// `crates/core/src/monitor.rs`, the `metric <= refresh_below` fix from
+/// PR 4), integer-scaled so the boundary equality is exact. The worker
+/// publishes two state updates; the supervisor tracks a cheap
+/// incremental metric that *drifts low* and must re-derive the exact
+/// metric before trusting any stop decision at or below
+/// `refresh_below`.
+fn resync_model(inclusive: bool) {
+    /// Incremental (drifted) metric after observing worker state `v`.
+    fn incremental(v: u64) -> u64 {
+        10 - 5 * v // v=0 → 10, v=1 → 5 (the boundary!), v=2 → 0
+    }
+    /// Exact metric (what a resync recomputes) for worker state `v`.
+    fn exact(v: u64) -> u64 {
+        match v {
+            0 => 10,
+            1 => 7, // the drifted 5 was flattering: truth is above tol
+            _ => 3, // genuinely converged
+        }
+    }
+    const TOL: u64 = 5;
+    const REFRESH_BELOW: u64 = 5;
+
+    let state = Arc::new(AtomicU64::new(0));
+    let worker = {
+        let state = Arc::clone(&state);
+        thread::spawn(move || {
+            state.store(1, Ordering::Release);
+            state.store(2, Ordering::Release);
+        })
+    };
+
+    let converged_at = loop {
+        let v = state.load(Ordering::Acquire);
+        checkpoint(hash_fold(0x4e5c, v));
+        let mut metric = incremental(v);
+        let refresh = if inclusive {
+            metric <= REFRESH_BELOW // production: PR 4's `<=` fix
+        } else {
+            metric < REFRESH_BELOW // mutant: the pre-PR 4 strict `<`
+        };
+        if refresh {
+            metric = exact(v);
+        }
+        if metric <= TOL {
+            break v;
+        }
+    };
+    worker.join().unwrap();
+    assert_eq!(
+        converged_at, 2,
+        "premature stop: converged on a drifted metric at the resync boundary"
+    );
+}
+
+#[test]
+fn monitor_resync_inclusive_boundary_exhaustive() {
+    let report = Builder::new().explore(|| resync_model(true));
+    assert!(report.violation.is_none(), "{}", report.violation.unwrap());
+    assert!(report.complete, "exploration must exhaust: {report:?}");
+}
+
+/// Re-inject the PR 4 bug: with strict `<`, the schedule where the
+/// supervisor polls between the worker's two stores sees the
+/// incremental metric land exactly on `refresh_below`, skips the
+/// resync, and declares convergence from the drifted value. The checker
+/// must find that schedule.
+#[test]
+fn monitor_resync_strict_mutant_is_caught() {
+    let report = Builder::new().explore(|| resync_model(false));
+    let v = report
+        .violation
+        .expect("the boundary premature-stop schedule must be found");
+    assert!(
+        v.message.contains("premature stop"),
+        "unexpected violation:\n{v}"
+    );
+}

@@ -1,0 +1,12 @@
+//! Fixture: must trip the never-FMA rule twice (scalar and method
+//! position), and not on the comment mentioning mul_add below.
+
+pub fn trips(a: f64, b: f64, c: f64) -> f64 {
+    let d = a.mul_add(b, c); // finding 1
+    f64::mul_add(d, b, c) // finding 2
+}
+
+pub fn does_not_trip(a: f64, b: f64, c: f64) -> f64 {
+    // mul_add in a comment is fine; the contract is about emitted code.
+    a * b + c
+}

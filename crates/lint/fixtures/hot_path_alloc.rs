@@ -1,0 +1,19 @@
+//! Fixture: must trip the hot-path-alloc rule five times inside the
+//! tagged function and zero times in the untagged one below it.
+
+// lint: hot-path
+pub fn trips(xs: &[u32]) -> usize {
+    let a: Vec<u32> = Vec::new(); // finding 1
+    let b = vec![1u32, 2]; // finding 2
+    let c = Box::new(3u32); // finding 3
+    let d: Vec<u32> = xs.iter().copied().collect(); // finding 4
+    let e = xs.to_vec(); // finding 5
+    a.len() + b.len() + d.len() + e.len() + *c as usize
+}
+
+pub fn does_not_trip(xs: &[u32]) -> Vec<u32> {
+    // Untagged functions may allocate freely.
+    let mut out = Vec::new();
+    out.extend(xs.iter().copied());
+    out
+}

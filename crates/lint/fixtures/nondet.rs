@@ -1,0 +1,20 @@
+//! Fixture: must trip the determinism rule three times (Instant,
+//! SystemTime, HashMap) and not on BTreeMap or suffixed identifiers.
+
+use std::collections::HashMap; // finding 1
+use std::time::{Instant, SystemTime}; // findings 2 and 3 (one line, two tokens)
+
+pub fn trips() -> usize {
+    let m: HashMap<u32, u32> = HashMap::new(); // findings 4 and 5
+    let _ = Instant::now(); // finding 6
+    let _ = SystemTime::now(); // finding 7
+    m.len()
+}
+
+pub fn does_not_trip() -> usize {
+    let m: std::collections::BTreeMap<u32, u32> = std::collections::BTreeMap::new();
+    struct InstantLike;
+    struct MyHashMapWrapper;
+    let _ = (InstantLike, MyHashMapWrapper);
+    m.len()
+}

@@ -1,0 +1,37 @@
+//! Fixture: must trip the panic-free rule exactly four times in
+//! library positions, and zero times in the test module or literals.
+
+pub fn trips() {
+    let v: Option<u32> = None;
+    let _ = v.unwrap(); // finding 1
+    let _ = v.expect("gone"); // finding 2
+    let r: Result<(), ()> = Err(());
+    let _ = r.unwrap(); // finding 3
+    if v.is_none() {
+        panic!("boom"); // finding 4
+    }
+}
+
+pub fn does_not_trip() {
+    let v: Option<u32> = Some(1);
+    let _ = v.unwrap_or(0);
+    let _ = v.unwrap_or_else(|| 0);
+    let _ = v.unwrap_or_default();
+    let r: Result<(), u8> = Err(3);
+    let _ = r.expect_err("fine");
+    let _ = "a string mentioning .unwrap() and panic! is not code";
+    // a comment mentioning .unwrap() and panic! is not code either
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_may_panic() {
+        let v: Option<u32> = Some(2);
+        assert_eq!(v.unwrap(), 2);
+        v.expect("tests are allowed to be loud");
+        if false {
+            panic!("also fine here");
+        }
+    }
+}

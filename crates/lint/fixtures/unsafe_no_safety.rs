@@ -1,0 +1,17 @@
+//! Fixture: must trip the safety-comment rule exactly once — on the
+//! undocumented block, not the documented one or the declarations.
+
+pub fn trips(p: *const u8) -> u8 {
+    unsafe { *p } // finding 1: no SAFETY comment anywhere above
+}
+
+pub fn does_not_trip(p: *const u8) -> u8 {
+    // SAFETY: caller guarantees `p` is valid for reads (fixture).
+    unsafe { *p }
+}
+
+/// Declarations state a contract; only blocks discharge one.
+pub unsafe fn decl_not_flagged(p: *const u8) -> u8 {
+    // SAFETY: forwarded verbatim to the caller's obligation.
+    unsafe { *p }
+}

@@ -1,0 +1,9 @@
+//! `cargo run -p dtm-lint [-- --update-allowlist]` — lint the workspace.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if let Err(e) = dtm_lint::run_cli(&args) {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}

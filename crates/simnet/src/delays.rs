@@ -13,7 +13,7 @@
 use crate::time::SimDuration;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// A reusable description of how to assign delays to directed links.
 #[derive(Debug, Clone)]
@@ -47,7 +47,7 @@ pub enum DelayModel {
     /// `default`.
     Table {
         /// `(src, dst) → delay` entries.
-        entries: HashMap<(usize, usize), SimDuration>,
+        entries: BTreeMap<(usize, usize), SimDuration>,
         /// Fallback delay.
         default: SimDuration,
     },

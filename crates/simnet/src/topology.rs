@@ -7,7 +7,7 @@
 
 use crate::delays::DelayModel;
 use crate::time::SimDuration;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// A directed link required by a delay lookup is absent from the topology —
 /// the machine cannot realise the algorithm's delay mapping.
@@ -53,7 +53,7 @@ pub struct Topology {
     n: usize,
     links: Vec<Link>,
     out: Vec<Vec<usize>>,
-    index: HashMap<(usize, usize), usize>,
+    index: BTreeMap<(usize, usize), usize>,
 }
 
 impl Topology {
@@ -64,7 +64,7 @@ impl Topology {
     /// dst)` pairs.
     pub fn from_links(n: usize, links: Vec<Link>) -> Self {
         let mut out = vec![Vec::new(); n];
-        let mut index = HashMap::with_capacity(links.len());
+        let mut index = BTreeMap::new();
         for (i, l) in links.iter().enumerate() {
             assert!(l.src < n && l.dst < n, "link endpoint out of range");
             assert_ne!(l.src, l.dst, "self-loop link");

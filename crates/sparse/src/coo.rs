@@ -89,6 +89,33 @@ impl Coo {
         Ok(())
     }
 
+    /// [`push`](Self::push) for crate-internal assembly whose indices are
+    /// in range *by construction* (grid stencils, permutations of an
+    /// existing matrix). The bounds invariant is checked in debug builds
+    /// only, so provably-unreachable error paths don't litter the
+    /// generators with panic-capable `expect`s.
+    pub(crate) fn push_trusted(&mut self, row: usize, col: usize, value: f64) {
+        debug_assert!(
+            row < self.n_rows,
+            "push_trusted row {row} >= {}",
+            self.n_rows
+        );
+        debug_assert!(
+            col < self.n_cols,
+            "push_trusted col {col} >= {}",
+            self.n_cols
+        );
+        self.entries.push((row, col, value));
+    }
+
+    /// Symmetric [`push_trusted`](Self::push_trusted).
+    pub(crate) fn push_sym_trusted(&mut self, row: usize, col: usize, value: f64) {
+        self.push_trusted(row, col, value);
+        if row != col {
+            self.push_trusted(col, row, value);
+        }
+    }
+
     /// Compress to CSR, summing duplicate entries and dropping explicit zeros
     /// produced by cancellation only when `drop_tol` exceeds their magnitude.
     ///

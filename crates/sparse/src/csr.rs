@@ -40,7 +40,7 @@ impl Csr {
     ) -> Self {
         assert_eq!(row_ptr.len(), n_rows + 1, "row_ptr length");
         assert_eq!(row_ptr[0], 0, "row_ptr must start at 0");
-        assert_eq!(*row_ptr.last().unwrap(), col_idx.len(), "row_ptr end");
+        assert_eq!(row_ptr.last().copied(), Some(col_idx.len()), "row_ptr end");
         assert_eq!(col_idx.len(), values.len(), "col/val length");
         for r in 0..n_rows {
             assert!(row_ptr[r] <= row_ptr[r + 1], "row_ptr monotone");
@@ -179,6 +179,7 @@ impl Csr {
     /// # Panics
     /// Panics if `x.len() != n_cols` or `b`/`r` lengths differ from
     /// `n_rows`.
+    // lint: hot-path
     pub fn residual_into(&self, x: &[f64], b: &[f64], r: &mut [f64]) {
         assert_eq!(x.len(), self.n_cols, "residual: x length");
         assert_eq!(b.len(), self.n_rows, "residual: b length");
@@ -195,6 +196,7 @@ impl Csr {
     }
 
     /// ‖b − A x‖₂, computed row-at-a-time without allocating.
+    // lint: hot-path
     pub fn residual_norm(&self, x: &[f64], b: &[f64]) -> f64 {
         assert_eq!(x.len(), self.n_cols, "residual: x length");
         assert_eq!(b.len(), self.n_rows, "residual: b length");
@@ -289,7 +291,7 @@ impl Csr {
         let mut coo = Coo::with_capacity(self.n_rows, self.n_cols, self.nnz());
         for r in 0..self.n_rows {
             for (c, v) in self.row(r) {
-                coo.push(r, c, v).expect("indices valid by invariant");
+                coo.push_trusted(r, c, v);
             }
         }
         coo
@@ -332,7 +334,7 @@ impl Csr {
             for (c, v) in self.row(old_r) {
                 let new_c = inv[c];
                 if new_c != usize::MAX {
-                    coo.push(new_r, new_c, v).expect("in bounds");
+                    coo.push_trusted(new_r, new_c, v);
                 }
             }
         }
@@ -350,7 +352,7 @@ impl Csr {
             let nr = old_to_new.new_to_old()[r];
             for (c, v) in self.row(r) {
                 let nc = old_to_new.new_to_old()[c];
-                coo.push(nr, nc, v).expect("in bounds");
+                coo.push_trusted(nr, nc, v);
             }
         }
         coo.to_csr()
@@ -363,7 +365,7 @@ impl Csr {
         let mut coo = self.to_coo();
         for (i, &d) in delta.iter().enumerate() {
             if d != 0.0 {
-                coo.push(i, i, d).expect("in bounds");
+                coo.push_trusted(i, i, d);
             }
         }
         coo.to_csr()

@@ -75,7 +75,7 @@ pub fn grid2d_conductance(
                 let v = idx(x + 1, y);
                 let w = g(u, v);
                 assert!(w > 0.0, "conductances must be positive");
-                coo.push_sym(u, v, -w).expect("in bounds");
+                coo.push_sym_trusted(u, v, -w);
                 diag[u] += w;
                 diag[v] += w;
             }
@@ -83,14 +83,14 @@ pub fn grid2d_conductance(
                 let v = idx(x, y + 1);
                 let w = g(u, v);
                 assert!(w > 0.0, "conductances must be positive");
-                coo.push_sym(u, v, -w).expect("in bounds");
+                coo.push_sym_trusted(u, v, -w);
                 diag[u] += w;
                 diag[v] += w;
             }
         }
     }
     for (i, d) in diag.iter().enumerate() {
-        coo.push(i, i, *d).expect("in bounds");
+        coo.push_trusted(i, i, *d);
     }
     coo.to_csr()
 }
@@ -120,7 +120,7 @@ pub fn grid2d_laplacian_9pt(nx: usize, ny: usize, diag_w: f64) -> Csr {
                 if vx >= 0 && vy >= 0 && (vx as usize) < nx && (vy as usize) < ny {
                     let v = idx(vx as usize, vy as usize);
                     if v > u {
-                        coo.push_sym(u, v, -w).expect("in bounds");
+                        coo.push_sym_trusted(u, v, -w);
                         diag[u] += w;
                         diag[v] += w;
                     }
@@ -137,8 +137,7 @@ pub fn grid2d_laplacian_9pt(nx: usize, ny: usize, diag_w: f64) -> Csr {
     // the full interior stencil weight.
     let full = 2.0 * (1.0 + 1.0) + 4.0 * diag_w;
     for (i, d) in diag.iter().enumerate() {
-        coo.push(i, i, d + (full - d).max(0.0) * 0.5 + 1e-6)
-            .expect("in bounds");
+        coo.push_trusted(i, i, d + (full - d).max(0.0) * 0.5 + 1e-6);
     }
     coo.to_csr()
 }
@@ -152,15 +151,15 @@ pub fn grid3d_laplacian(nx: usize, ny: usize, nz: usize) -> Csr {
         for y in 0..ny {
             for x in 0..nx {
                 let u = idx(x, y, z);
-                coo.push(u, u, 6.0).expect("in bounds");
+                coo.push_trusted(u, u, 6.0);
                 if x + 1 < nx {
-                    coo.push_sym(u, idx(x + 1, y, z), -1.0).expect("in bounds");
+                    coo.push_sym_trusted(u, idx(x + 1, y, z), -1.0);
                 }
                 if y + 1 < ny {
-                    coo.push_sym(u, idx(x, y + 1, z), -1.0).expect("in bounds");
+                    coo.push_sym_trusted(u, idx(x, y + 1, z), -1.0);
                 }
                 if z + 1 < nz {
-                    coo.push_sym(u, idx(x, y, z + 1), -1.0).expect("in bounds");
+                    coo.push_sym_trusted(u, idx(x, y, z + 1), -1.0);
                 }
             }
         }
@@ -184,15 +183,15 @@ pub fn grid3d_laplacian_aniso(nx: usize, ny: usize, nz: usize, eps: f64) -> Csr 
         for y in 0..ny {
             for x in 0..nx {
                 let u = idx(x, y, z);
-                coo.push(u, u, diag).expect("in bounds");
+                coo.push_trusted(u, u, diag);
                 if x + 1 < nx {
-                    coo.push_sym(u, idx(x + 1, y, z), -1.0).expect("in bounds");
+                    coo.push_sym_trusted(u, idx(x + 1, y, z), -1.0);
                 }
                 if y + 1 < ny {
-                    coo.push_sym(u, idx(x, y + 1, z), -eps).expect("in bounds");
+                    coo.push_sym_trusted(u, idx(x, y + 1, z), -eps);
                 }
                 if z + 1 < nz {
-                    coo.push_sym(u, idx(x, y, z + 1), -eps).expect("in bounds");
+                    coo.push_sym_trusted(u, idx(x, y, z + 1), -eps);
                 }
             }
         }
@@ -215,13 +214,13 @@ pub fn random_spd(n: usize, avg_degree: usize, margin: f64, seed: u64) -> Csr {
                 continue;
             }
             let w: f64 = rng.gen_range(0.1..2.0);
-            coo.push_sym(u, v, -w).expect("in bounds");
+            coo.push_sym_trusted(u, v, -w);
             diag[u] += w;
             diag[v] += w;
         }
     }
     for (i, d) in diag.iter().enumerate() {
-        coo.push(i, i, *d).expect("in bounds");
+        coo.push_trusted(i, i, *d);
     }
     coo.to_csr()
 }
@@ -232,10 +231,10 @@ pub fn tridiagonal(n: usize, d: f64, e: f64) -> Csr {
     assert!(d.abs() > 2.0 * e.abs(), "need |d| > 2|e| for SPD");
     let mut coo = Coo::with_capacity(n, n, 3 * n);
     for i in 0..n {
-        coo.push(i, i, d).expect("in bounds");
+        coo.push_trusted(i, i, d);
     }
     for i in 0..n.saturating_sub(1) {
-        coo.push_sym(i, i + 1, e).expect("in bounds");
+        coo.push_sym_trusted(i, i + 1, e);
     }
     coo.to_csr()
 }
@@ -251,13 +250,13 @@ pub fn tridiagonal(n: usize, d: f64, e: f64) -> Csr {
 pub fn paper_example_system() -> (Csr, Vec<f64>) {
     let mut coo = Coo::new(4, 4);
     for (i, d) in [5.0, 6.0, 7.0, 8.0].iter().enumerate() {
-        coo.push(i, i, *d).expect("in bounds");
+        coo.push_trusted(i, i, *d);
     }
-    coo.push_sym(0, 1, -1.0).expect("in bounds");
-    coo.push_sym(0, 2, -1.0).expect("in bounds");
-    coo.push_sym(1, 2, -2.0).expect("in bounds");
-    coo.push_sym(1, 3, -1.0).expect("in bounds");
-    coo.push_sym(2, 3, -2.0).expect("in bounds");
+    coo.push_sym_trusted(0, 1, -1.0);
+    coo.push_sym_trusted(0, 2, -1.0);
+    coo.push_sym_trusted(1, 2, -2.0);
+    coo.push_sym_trusted(1, 3, -1.0);
+    coo.push_sym_trusted(2, 3, -2.0);
     (coo.to_csr(), vec![1.0, 2.0, 3.0, 4.0])
 }
 

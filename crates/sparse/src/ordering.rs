@@ -161,10 +161,13 @@ pub fn pseudo_peripheral_in(a: &Csr, start: usize, active: impl Fn(usize) -> boo
             return root;
         }
         last_ecc = ecc;
-        root = *last_level
+        // `last_level` only ever holds a non-empty BFS level; keep the
+        // current root if that invariant were ever violated.
+        root = last_level
             .iter()
-            .min_by_key(|&&v| (deg(v), v))
-            .expect("last level non-empty");
+            .copied()
+            .min_by_key(|&v| (deg(v), v))
+            .unwrap_or(root);
     }
 }
 

@@ -229,6 +229,7 @@ impl SparseCholesky {
     /// `n·k`) repeated solves perform **zero** heap allocations, including
     /// on the permuted (RCM) path — the permutation gather is fused with
     /// the layout transpose instead of materializing per-column vectors.
+    // lint: hot-path
     pub fn solve_block_with_scratch(&self, xs: &mut [f64], k: usize, scratch: &mut Vec<f64>) {
         let n = self.n;
         assert_eq!(xs.len(), n * k, "SparseCholesky::solve_block length");
@@ -443,12 +444,13 @@ impl SparseCholesky {
 /// fallback is a bounds-check-free zip loop, which measures *faster*
 /// than manual 4-wide unrolling here — indexed chunk bodies defeat
 /// LLVM's autovectorizer on this kernel, the plain zip does not.
+// lint: hot-path
 #[inline(always)]
 fn axpy_neg(yi: &mut [f64], yj: &[f64], v: f64) {
     debug_assert_eq!(yi.len(), yj.len());
     #[cfg(all(target_arch = "x86_64", target_feature = "avx"))]
     {
-        // Safety: AVX is statically enabled by the cfg gate.
+        // SAFETY: AVX is statically enabled by the cfg gate.
         unsafe { axpy_neg_avx(yi, yj, v) }
     }
     #[cfg(not(all(target_arch = "x86_64", target_feature = "avx")))]
@@ -473,7 +475,7 @@ unsafe fn axpy_neg_avx(yi: &mut [f64], yj: &[f64], v: f64) {
     let vv = _mm256_set1_pd(v);
     let mut c = 0;
     while c + 4 <= k {
-        // Safety: c+4 <= k bounds both slices; loadu/storeu need no
+        // SAFETY: c+4 <= k bounds both slices; loadu/storeu need no
         // alignment.
         unsafe {
             let a = _mm256_loadu_pd(yi.as_ptr().add(c));
@@ -495,15 +497,18 @@ unsafe fn axpy_neg_avx(yi: &mut [f64], yj: &[f64], v: f64) {
 
 /// `y[c] /= d` across a panel row — same widening story as [`axpy_neg`]:
 /// independent lanes, one correctly-rounded divide per component.
+// lint: hot-path
 #[inline(always)]
 fn scale_div(y: &mut [f64], d: f64) {
     #[cfg(all(target_arch = "x86_64", target_feature = "avx"))]
     {
         use core::arch::x86_64::*;
+        // SAFETY: broadcast of an immediate; no memory touched, AVX
+        // statically enabled by the cfg gate.
         let dd = unsafe { _mm256_set1_pd(d) };
         let mut c = 0;
         while c + 4 <= y.len() {
-            // Safety: in-bounds unaligned load/store as above.
+            // SAFETY: in-bounds unaligned load/store as above.
             unsafe {
                 let a = _mm256_loadu_pd(y.as_ptr().add(c));
                 _mm256_storeu_pd(y.as_mut_ptr().add(c), _mm256_div_pd(a, dd));

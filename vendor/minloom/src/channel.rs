@@ -1,0 +1,239 @@
+//! Shim MPMC channel matching the vendored `crossbeam::channel` API
+//! surface used by this workspace: `unbounded`, cloneable endpoints,
+//! `send`/`recv`/`try_recv`/`recv_timeout` with the same error types.
+//!
+//! Payloads live in an untyped-to-the-scheduler side queue; the
+//! scheduler sees only a queue of message *identity* fingerprints
+//! (derived from the sender's history at send time) plus endpoint
+//! counts. `recv_timeout` is always schedulable: granting it with an
+//! empty queue *is* the timeout branch, so "message arrives first" vs
+//! "timeout fires first" falls out of the schedule choice with no clock.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex as StdMutex, PoisonError};
+use std::time::Duration;
+
+use crate::exec::{self, mix, ObjSt, Op, State};
+
+const SALT_SEND: u64 = 0x5eed;
+const SALT_RECV: u64 = 0x4ecf;
+
+/// Sending half of a disconnected channel (message handed back).
+#[derive(Debug, PartialEq, Eq)]
+pub struct SendError<T>(pub T);
+
+/// `recv` on an empty, fully disconnected channel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecvError;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TryRecvError {
+    Empty,
+    Disconnected,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecvTimeoutError {
+    Timeout,
+    Disconnected,
+}
+
+struct Chan<T> {
+    exec: Arc<exec::Exec>,
+    id: usize,
+    payloads: StdMutex<VecDeque<T>>,
+}
+
+impl<T> Chan<T> {
+    fn pop_payload(&self) -> T {
+        self.payloads
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .pop_front()
+            .expect("payload queue desynced from scheduler id queue")
+    }
+}
+
+pub struct Sender<T> {
+    chan: Arc<Chan<T>>,
+}
+
+pub struct Receiver<T> {
+    chan: Arc<Chan<T>>,
+}
+
+/// Shim for `crossbeam::channel::unbounded`.
+pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    let (exec, _) = exec::current();
+    let id = exec.register_object(ObjSt::Channel {
+        ids: VecDeque::new(),
+        senders: 1,
+        receivers: 1,
+    });
+    let chan = Arc::new(Chan {
+        exec,
+        id,
+        payloads: StdMutex::new(VecDeque::new()),
+    });
+    (
+        Sender {
+            chan: Arc::clone(&chan),
+        },
+        Receiver { chan },
+    )
+}
+
+fn endpoint_delta(chan_exec: &exec::Exec, id: usize, senders: isize, receivers: isize) {
+    // Endpoint counts change silently (no yield): clone/drop are not
+    // synchronization events; their effect is observed at the next
+    // recv/send decision, which is where disconnect matters.
+    let mut st = chan_exec.st();
+    if let ObjSt::Channel {
+        senders: s,
+        receivers: r,
+        ..
+    } = &mut st.objects[id]
+    {
+        *s = s
+            .checked_add_signed(senders)
+            .expect("sender count underflow");
+        *r = r
+            .checked_add_signed(receivers)
+            .expect("receiver count underflow");
+    }
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        endpoint_delta(&self.chan.exec, self.chan.id, 1, 0);
+        Self {
+            chan: Arc::clone(&self.chan),
+        }
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        endpoint_delta(&self.chan.exec, self.chan.id, -1, 0);
+    }
+}
+
+impl<T> Clone for Receiver<T> {
+    fn clone(&self) -> Self {
+        endpoint_delta(&self.chan.exec, self.chan.id, 0, 1);
+        Self {
+            chan: Arc::clone(&self.chan),
+        }
+    }
+}
+
+impl<T> Drop for Receiver<T> {
+    fn drop(&mut self) {
+        endpoint_delta(&self.chan.exec, self.chan.id, 0, -1);
+    }
+}
+
+impl<T> Sender<T> {
+    pub fn send(&self, v: T) -> Result<(), SendError<T>> {
+        let (_, me) = exec::current();
+        let id = self.chan.id;
+        let accepted = self
+            .chan
+            .exec
+            .op(me, Op::Send(id), &format!("send c{id}"), |st| {
+                let State {
+                    threads, objects, ..
+                } = st;
+                let hist = threads[me].history;
+                match &mut objects[id] {
+                    ObjSt::Channel { ids, receivers, .. } => {
+                        if *receivers == 0 {
+                            return false;
+                        }
+                        // Message identity = sender's history at send
+                        // time: receivers that consume different
+                        // messages (or the same messages in different
+                        // orders) diverge in their own fingerprints.
+                        let msg_id = mix(SALT_SEND, hist);
+                        ids.push_back(msg_id);
+                        threads[me].history = mix(hist, msg_id);
+                        true
+                    }
+                    other => unreachable!("object {id} is not a channel: {other:?}"),
+                }
+            });
+        if accepted {
+            self.chan
+                .payloads
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .push_back(v);
+            Ok(())
+        } else {
+            Err(SendError(v))
+        }
+    }
+}
+
+/// What the scheduler-side half of a receive produced.
+enum RecvOutcome {
+    Got,
+    Empty,
+    Disconnected,
+}
+
+impl<T> Receiver<T> {
+    fn recv_op(&self, op_kind: Op, desc: &str) -> RecvOutcome {
+        let (_, me) = exec::current();
+        let id = self.chan.id;
+        self.chan.exec.op(me, op_kind, desc, |st| {
+            let State {
+                threads, objects, ..
+            } = st;
+            let hist = threads[me].history;
+            match &mut objects[id] {
+                ObjSt::Channel { ids, senders, .. } => match ids.pop_front() {
+                    Some(msg_id) => {
+                        threads[me].history = mix(hist, mix(SALT_RECV, msg_id));
+                        RecvOutcome::Got
+                    }
+                    None if *senders == 0 => RecvOutcome::Disconnected,
+                    None => RecvOutcome::Empty,
+                },
+                other => unreachable!("object {id} is not a channel: {other:?}"),
+            }
+        })
+    }
+
+    /// Blocking receive: schedulable only once a message is queued or
+    /// every sender is gone.
+    pub fn recv(&self) -> Result<T, RecvError> {
+        let id = self.chan.id;
+        match self.recv_op(Op::Recv(id), &format!("recv c{id}")) {
+            RecvOutcome::Got => Ok(self.chan.pop_payload()),
+            RecvOutcome::Disconnected => Err(RecvError),
+            RecvOutcome::Empty => unreachable!("blocking recv granted on empty channel"),
+        }
+    }
+
+    pub fn try_recv(&self) -> Result<T, TryRecvError> {
+        let id = self.chan.id;
+        match self.recv_op(Op::TryRecv(id), &format!("try_recv c{id}")) {
+            RecvOutcome::Got => Ok(self.chan.pop_payload()),
+            RecvOutcome::Disconnected => Err(TryRecvError::Disconnected),
+            RecvOutcome::Empty => Err(TryRecvError::Empty),
+        }
+    }
+
+    /// The duration is ignored: an empty queue at grant time *is* the
+    /// timeout. Pair with [`crate::checkpoint`] at the poll-loop top so
+    /// futile timeout iterations dedup instead of unrolling forever.
+    pub fn recv_timeout(&self, _timeout: Duration) -> Result<T, RecvTimeoutError> {
+        let id = self.chan.id;
+        match self.recv_op(Op::RecvTimeout(id), &format!("recv_timeout c{id}")) {
+            RecvOutcome::Got => Ok(self.chan.pop_payload()),
+            RecvOutcome::Disconnected => Err(RecvTimeoutError::Disconnected),
+            RecvOutcome::Empty => Err(RecvTimeoutError::Timeout),
+        }
+    }
+}

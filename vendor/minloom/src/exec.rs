@@ -1,0 +1,562 @@
+//! Scheduler core: controlled threads, the DFS over schedules, and the
+//! state fingerprinting that makes the search terminate.
+//!
+//! One schedule = one complete run of the model closure under a fixed
+//! sequence of scheduling decisions. Controlled threads are real OS
+//! threads that hand the single execution slice back to the controller at
+//! every *yield point* (each shim-primitive operation); the controller
+//! picks which parked thread performs its pending operation next. The
+//! controller replays a recorded decision prefix, extends it at the
+//! frontier depth-first, and backtracks — classic stateless model checking
+//! in the CHESS mold, with two refinements:
+//!
+//! * **Preemption bounding** — switching away from a thread that could
+//!   have kept running costs one unit of a configurable budget; forced
+//!   switches (the running thread blocked or exited) are free. Most
+//!   concurrency bugs need only 1–2 preemptions, so a small bound
+//!   explores the high-yield schedules at a fraction of the cost.
+//! * **State-hash deduplication** — at every fresh decision point the
+//!   visible state (per-thread continuation fingerprints + shim-object
+//!   contents) is hashed; a state already explored with at least the
+//!   current preemption budget is pruned. Continuations are fingerprinted
+//!   by a running *history hash* folded over every value the thread has
+//!   observed or produced, which [`crate::checkpoint`] can reset to a
+//!   caller-supplied digest of the thread's live locals so that futile
+//!   loop iterations (e.g. timeout polling) revisit identical states and
+//!   prune instead of unrolling forever.
+
+use std::collections::hash_map::Entry;
+use std::collections::{HashMap, VecDeque};
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+
+pub(crate) type Tid = usize;
+pub(crate) type ObjId = usize;
+
+/// Panic payload used to unwind controlled threads when a schedule is
+/// abandoned (violation found elsewhere, state pruned, or depth exceeded).
+pub(crate) struct AbortSchedule;
+
+/// A pending shim operation: what a parked thread will do when granted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Op {
+    AtomicLoad(ObjId),
+    AtomicStore(ObjId),
+    AtomicRmw(ObjId),
+    Lock(ObjId),
+    Send(ObjId),
+    Recv(ObjId),
+    RecvTimeout(ObjId),
+    TryRecv(ObjId),
+    NotifyOne(ObjId),
+    NotifyAll(ObjId),
+    Join(Tid),
+    IsFinished(Tid),
+    Yield,
+}
+
+/// Where a controlled thread currently stands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Pending {
+    /// Spawned; ready to begin its first slice.
+    Start,
+    /// Parked at an operation, performed when next granted.
+    Op(Op),
+    /// Blocked in `Condvar::wait`; unschedulable until notified.
+    CondWait { mutex: ObjId },
+    /// Holds the execution slice (between a grant and the next park).
+    Running,
+    /// Done (returned or unwound).
+    Exited,
+}
+
+/// Scheduler-visible state of one shim object.
+#[derive(Debug)]
+pub(crate) enum ObjSt {
+    /// Value stored as raw bits.
+    Atomic { value: u64 },
+    /// Lock bit plus an order-sensitive content fingerprint (the guarded
+    /// data itself lives in the shim, untyped to the scheduler).
+    Mutex { holder: Option<Tid>, content: u64 },
+    /// FIFO wait queue.
+    Condvar { waiters: VecDeque<Tid> },
+    /// Message *identity* fingerprints (payloads live in the shim) plus
+    /// endpoint counts for disconnect semantics.
+    Channel {
+        ids: VecDeque<u64>,
+        senders: usize,
+        receivers: usize,
+    },
+}
+
+#[derive(Debug)]
+pub(crate) struct ThreadSt {
+    pub pending: Pending,
+    /// Running fingerprint of everything this thread has observed or
+    /// produced — a proxy for its continuation (see module docs).
+    pub history: u64,
+}
+
+pub(crate) struct State {
+    pub threads: Vec<ThreadSt>,
+    pub objects: Vec<ObjSt>,
+    /// Which controlled thread holds the execution slice; `None` while
+    /// the controller decides.
+    pub running: Option<Tid>,
+    /// Abandon the schedule: parked threads unwind with [`AbortSchedule`].
+    pub abort: bool,
+    /// First assertion failure (or deadlock) observed this schedule.
+    pub violation: Option<String>,
+    /// Granted operations, in order — the counterexample schedule.
+    pub trace: Vec<String>,
+    pub os_handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+/// One model execution: the shared handshake between the controller and
+/// its controlled threads.
+pub(crate) struct Exec {
+    pub state: Mutex<State>,
+    pub cv: Condvar,
+}
+
+thread_local! {
+    static CURRENT: std::cell::RefCell<Option<(Arc<Exec>, Tid)>> =
+        const { std::cell::RefCell::new(None) };
+}
+
+/// The calling thread's execution context.
+///
+/// # Panics
+/// Panics when called outside a controlled thread — shim primitives only
+/// work inside a [`crate::Builder::explore`] run.
+pub(crate) fn current() -> (Arc<Exec>, Tid) {
+    CURRENT
+        .with(|c| c.borrow().clone())
+        .expect("minloom primitive used outside a minloom model run")
+}
+
+/// SplitMix64-style mixer: order-sensitive fold of `v` into `h`.
+pub(crate) fn mix(h: u64, v: u64) -> u64 {
+    let mut x = h ^ v.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+fn payload_to_string(p: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = p.downcast_ref::<&'static str>() {
+        (*s).to_string()
+    } else if let Some(s) = p.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+impl Exec {
+    pub(crate) fn new() -> Self {
+        Self {
+            state: Mutex::new(State {
+                threads: Vec::new(),
+                objects: Vec::new(),
+                running: None,
+                abort: false,
+                violation: None,
+                trace: Vec::new(),
+                os_handles: Vec::new(),
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Poison-tolerant state lock (threads unwind on purpose during
+    /// schedule teardown, and a poisoned mutex carries no broken state
+    /// here — every mutation is complete before any panic point).
+    pub(crate) fn st(&self) -> MutexGuard<'_, State> {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    pub(crate) fn register_object(&self, obj: ObjSt) -> ObjId {
+        let mut st = self.st();
+        st.objects.push(obj);
+        st.objects.len() - 1
+    }
+
+    pub(crate) fn register_thread(&self) -> Tid {
+        let mut st = self.st();
+        st.threads.push(ThreadSt {
+            pending: Pending::Start,
+            history: 0,
+        });
+        st.threads.len() - 1
+    }
+
+    /// Park the calling thread at `pending` (running `before` under the
+    /// same critical section, for atomic release-and-wait shapes), hand
+    /// the slice to the controller, and block until granted again.
+    pub(crate) fn park_with(&self, tid: Tid, pending: Pending, before: impl FnOnce(&mut State)) {
+        let mut st = self.st();
+        if st.abort {
+            drop(st);
+            panic::panic_any(AbortSchedule);
+        }
+        before(&mut st);
+        st.threads[tid].pending = pending;
+        st.running = None;
+        self.cv.notify_all();
+        loop {
+            if st.abort {
+                drop(st);
+                panic::panic_any(AbortSchedule);
+            }
+            if st.running == Some(tid) {
+                st.threads[tid].pending = Pending::Running;
+                return;
+            }
+            st = self.cv.wait(st).unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// Park at `op`; once granted, perform `f` on the state (the granted
+    /// thread is the only one running, so `f` is the op's linearization
+    /// point) and record `desc` in the schedule trace.
+    pub(crate) fn op<R>(&self, tid: Tid, op: Op, desc: &str, f: impl FnOnce(&mut State) -> R) -> R {
+        self.park_with(tid, Pending::Op(op), |_| {});
+        let mut st = self.st();
+        st.trace.push(format!("t{tid}: {desc}"));
+        f(&mut st)
+    }
+}
+
+/// Spawn the OS thread backing controlled thread `tid`. The body waits
+/// for its first grant, runs `f` under `catch_unwind`, then marks itself
+/// exited (recording a violation if `f` panicked with anything other
+/// than the schedule-abort payload).
+pub(crate) fn spawn_controlled(exec: &Arc<Exec>, tid: Tid, f: impl FnOnce() + Send + 'static) {
+    let exec2 = Arc::clone(exec);
+    let handle = std::thread::Builder::new()
+        .name(format!("minloom-t{tid}"))
+        .spawn(move || {
+            // First grant (the `Start` pending op).
+            {
+                let mut st = exec2.st();
+                loop {
+                    if st.abort {
+                        st.threads[tid].pending = Pending::Exited;
+                        st.running = None;
+                        exec2.cv.notify_all();
+                        return;
+                    }
+                    if st.running == Some(tid) {
+                        st.threads[tid].pending = Pending::Running;
+                        break;
+                    }
+                    st = exec2.cv.wait(st).unwrap_or_else(PoisonError::into_inner);
+                }
+            }
+            CURRENT.with(|c| *c.borrow_mut() = Some((Arc::clone(&exec2), tid)));
+            let result = panic::catch_unwind(AssertUnwindSafe(f));
+            CURRENT.with(|c| *c.borrow_mut() = None);
+            let mut st = exec2.st();
+            if let Err(p) = result {
+                if !p.is::<AbortSchedule>() {
+                    let msg = payload_to_string(p.as_ref());
+                    if st.violation.is_none() {
+                        st.violation = Some(format!("thread t{tid} panicked: {msg}"));
+                    }
+                    st.abort = true;
+                }
+            }
+            st.threads[tid].pending = Pending::Exited;
+            st.running = None;
+            exec2.cv.notify_all();
+        })
+        .expect("spawn minloom controlled thread");
+    exec.st().os_handles.push(handle);
+}
+
+/// Can `tid` perform its pending operation in the current state?
+fn enabled_of(st: &State, tid: Tid) -> bool {
+    match st.threads[tid].pending {
+        Pending::Start => true,
+        Pending::Op(op) => match op {
+            Op::Lock(o) => matches!(st.objects[o], ObjSt::Mutex { holder: None, .. }),
+            Op::Recv(o) => match &st.objects[o] {
+                ObjSt::Channel { ids, senders, .. } => !ids.is_empty() || *senders == 0,
+                _ => unreachable!("recv on non-channel"),
+            },
+            Op::Join(t) => st.threads[t].pending == Pending::Exited,
+            // `RecvTimeout` is always enabled: granting it with an empty
+            // queue *is* the timeout branch, so both futures (message
+            // first, timeout first) fall out of the schedule choice.
+            _ => true,
+        },
+        Pending::CondWait { .. } | Pending::Running | Pending::Exited => false,
+    }
+}
+
+fn pending_code(p: Pending) -> u64 {
+    match p {
+        Pending::Start => 1,
+        Pending::Op(op) => {
+            let (k, o) = match op {
+                Op::AtomicLoad(o) => (2, o),
+                Op::AtomicStore(o) => (3, o),
+                Op::AtomicRmw(o) => (4, o),
+                Op::Lock(o) => (5, o),
+                Op::Send(o) => (6, o),
+                Op::Recv(o) => (7, o),
+                Op::RecvTimeout(o) => (8, o),
+                Op::TryRecv(o) => (9, o),
+                Op::NotifyOne(o) => (10, o),
+                Op::NotifyAll(o) => (11, o),
+                Op::Join(t) => (12, t),
+                Op::IsFinished(t) => (13, t),
+                Op::Yield => (14, 0),
+            };
+            mix(k, o as u64)
+        }
+        Pending::CondWait { mutex } => mix(15, mutex as u64),
+        Pending::Running => 16,
+        Pending::Exited => 17,
+    }
+}
+
+/// Fingerprint of the decision-relevant state: thread continuations plus
+/// shim-object contents. Two states with equal fingerprints have (up to
+/// 64-bit collisions) identical futures, because model code is
+/// deterministic given what each thread has observed.
+fn state_key(st: &State) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325_u64;
+    for t in &st.threads {
+        h = mix(h, pending_code(t.pending));
+        h = mix(h, t.history);
+    }
+    for o in &st.objects {
+        match o {
+            ObjSt::Atomic { value } => h = mix(mix(h, 21), *value),
+            ObjSt::Mutex { holder, content } => {
+                h = mix(mix(h, 22), holder.map_or(u64::MAX, |t| t as u64));
+                h = mix(h, *content);
+            }
+            ObjSt::Condvar { waiters } => {
+                h = mix(h, 23);
+                for &w in waiters {
+                    h = mix(h, w as u64);
+                }
+            }
+            ObjSt::Channel {
+                ids,
+                senders,
+                receivers,
+            } => {
+                h = mix(mix(h, 24), ((*senders as u64) << 32) | *receivers as u64);
+                for &i in ids {
+                    h = mix(h, i);
+                }
+            }
+        }
+    }
+    h
+}
+
+/// How one schedule ended.
+enum Outcome {
+    Complete,
+    Pruned,
+    Truncated,
+    Violation(crate::Violation),
+}
+
+struct Choice {
+    enabled: Vec<Tid>,
+    cursor: usize,
+}
+
+/// Silence panic output from controlled threads: assertion failures
+/// during exploration are *expected* (they are how violations are
+/// found) and are re-reported with their schedule trace; the default
+/// hook would spray one backtrace per violating or aborted schedule.
+fn install_panic_hook() {
+    use std::sync::Once;
+    static ONCE: Once = Once::new();
+    ONCE.call_once(|| {
+        let default = panic::take_hook();
+        panic::set_hook(Box::new(move |info| {
+            let silenced = std::thread::current()
+                .name()
+                .is_some_and(|n| n.starts_with("minloom-t"));
+            if !silenced {
+                default(info);
+            }
+        }));
+    });
+}
+
+/// The DFS driver behind [`crate::Builder::explore`].
+pub(crate) fn explore(opts: &crate::Builder, f: Arc<dyn Fn() + Send + Sync>) -> crate::Report {
+    install_panic_hook();
+    let mut stack: Vec<Choice> = Vec::new();
+    // state fingerprint → largest preemption budget it was explored with.
+    let mut visited: HashMap<u64, usize> = HashMap::new();
+    let mut report = crate::Report {
+        schedules: 0,
+        pruned: 0,
+        truncated: 0,
+        complete: false,
+        violation: None,
+    };
+    let mut runs: u64 = 0;
+    loop {
+        runs += 1;
+        if runs > opts.max_schedules {
+            return report;
+        }
+        match run_schedule(opts, &f, &mut stack, &mut visited) {
+            Outcome::Complete => report.schedules += 1,
+            Outcome::Pruned => report.pruned += 1,
+            Outcome::Truncated => report.truncated += 1,
+            Outcome::Violation(v) => {
+                report.violation = Some(v);
+                return report;
+            }
+        }
+        // Backtrack to the deepest decision with an untried alternative.
+        loop {
+            match stack.last_mut() {
+                None => {
+                    report.complete = true;
+                    return report;
+                }
+                Some(c) => {
+                    c.cursor += 1;
+                    if c.cursor < c.enabled.len() {
+                        break;
+                    }
+                    stack.pop();
+                }
+            }
+        }
+    }
+}
+
+fn run_schedule(
+    opts: &crate::Builder,
+    f: &Arc<dyn Fn() + Send + Sync>,
+    stack: &mut Vec<Choice>,
+    visited: &mut HashMap<u64, usize>,
+) -> Outcome {
+    let exec = Arc::new(Exec::new());
+    let root = exec.register_thread();
+    let body = Arc::clone(f);
+    spawn_controlled(&exec, root, move || body());
+
+    let mut d = 0usize;
+    let mut last: Option<Tid> = None;
+    let mut preemptions = 0usize;
+    let outcome = loop {
+        let mut st = exec.st();
+        while st.running.is_some() {
+            st = exec.cv.wait(st).unwrap_or_else(PoisonError::into_inner);
+        }
+        if let Some(v) = st.violation.take() {
+            let trace = std::mem::take(&mut st.trace);
+            break Outcome::Violation(crate::Violation { message: v, trace });
+        }
+        if st.threads.iter().all(|t| t.pending == Pending::Exited) {
+            break Outcome::Complete;
+        }
+        let enabled: Vec<Tid> = (0..st.threads.len())
+            .filter(|&t| enabled_of(&st, t))
+            .collect();
+        if enabled.is_empty() {
+            let live = st
+                .threads
+                .iter()
+                .enumerate()
+                .filter(|(_, t)| t.pending != Pending::Exited)
+                .map(|(i, t)| format!("t{i}:{:?}", t.pending))
+                .collect::<Vec<_>>()
+                .join(", ");
+            let trace = std::mem::take(&mut st.trace);
+            break Outcome::Violation(crate::Violation {
+                message: format!("deadlock: no schedulable thread ({live})"),
+                trace,
+            });
+        }
+        if d >= opts.max_depth {
+            break Outcome::Truncated;
+        }
+        let budget = opts
+            .preemption_bound
+            .map_or(usize::MAX, |b| b - preemptions);
+        if d >= stack.len() {
+            // Fresh territory: dedup, then record the candidate list.
+            match visited.entry(state_key(&st)) {
+                Entry::Occupied(mut e) => {
+                    if *e.get() >= budget {
+                        break Outcome::Pruned;
+                    }
+                    e.insert(budget);
+                }
+                Entry::Vacant(e) => {
+                    e.insert(budget);
+                }
+            }
+            let list = match last {
+                // Out of preemption budget: only the incumbent may
+                // continue (forced switches were filtered above — if the
+                // incumbent is disabled, every switch is free).
+                Some(l) if budget == 0 && enabled.contains(&l) => vec![l],
+                _ => {
+                    let mut list = enabled.clone();
+                    // Non-preemptive continuation first: DFS explores the
+                    // "run until blocked" spine before any interleaving.
+                    if let Some(l) = last {
+                        if let Some(pos) = list.iter().position(|&x| x == l) {
+                            list.remove(pos);
+                            list.insert(0, l);
+                        }
+                    }
+                    list
+                }
+            };
+            stack.push(Choice {
+                enabled: list,
+                cursor: 0,
+            });
+        }
+        let choice = stack[d].enabled[stack[d].cursor];
+        debug_assert!(
+            enabled.contains(&choice),
+            "replay divergence: t{choice} not enabled at depth {d}"
+        );
+        if let Some(l) = last {
+            if l != choice && enabled.contains(&l) {
+                preemptions += 1;
+            }
+        }
+        last = Some(choice);
+        d += 1;
+        st.running = Some(choice);
+        drop(st);
+        exec.cv.notify_all();
+    };
+
+    // Teardown: unwind whatever is still parked, then join every OS
+    // thread so no schedule leaks threads into the next.
+    let handles = {
+        let mut st = exec.st();
+        st.abort = true;
+        st.running = None;
+        exec.cv.notify_all();
+        std::mem::take(&mut st.os_handles)
+    };
+    for h in handles {
+        let _ = h.join();
+    }
+    outcome
+}

@@ -1,0 +1,518 @@
+//! # minloom — a small exhaustive-interleaving model checker
+//!
+//! Vendored, dependency-free stand-in for the loom/CHESS family, sized
+//! for this workspace: write a concurrent protocol against the shim
+//! primitives in [`sync`], [`channel`], and [`thread`], hand it to
+//! [`model`] (or a tuned [`Builder`]), and the checker runs it under
+//! *every* thread interleaving up to a preemption bound, failing with a
+//! replayable schedule trace if any assertion fires or any schedule
+//! deadlocks.
+//!
+//! ```
+//! use minloom::sync::{AtomicUsize, Ordering};
+//! use minloom::{model, thread};
+//! use std::sync::Arc;
+//!
+//! model(|| {
+//!     let n = Arc::new(AtomicUsize::new(0));
+//!     let handles: Vec<_> = (0..2)
+//!         .map(|_| {
+//!             let n = Arc::clone(&n);
+//!             thread::spawn(move || {
+//!                 n.fetch_add(1, Ordering::SeqCst);
+//!             })
+//!         })
+//!         .collect();
+//!     for h in handles {
+//!         h.join().unwrap();
+//!     }
+//!     assert_eq!(n.load(Ordering::SeqCst), 2);
+//! });
+//! ```
+//!
+//! ## How it works
+//!
+//! Controlled threads are real OS threads that park at every shim
+//! operation and run only when granted the single execution slice. The
+//! controller does a depth-first search over grant sequences with a
+//! replay stack, pruning via two mechanisms:
+//!
+//! * **Preemption bounding** ([`Builder::preemption_bound`]): switching
+//!   away from a runnable thread spends budget; forced switches are
+//!   free. Bound 2 catches the overwhelming majority of real races at a
+//!   tiny fraction of the full schedule space.
+//! * **State-hash deduplication**: states are fingerprinted (thread
+//!   continuations by running history hashes, plus shim-object contents)
+//!   and revisits with no more budget than before are pruned.
+//!
+//! ## Unbounded poll loops: [`checkpoint`]
+//!
+//! A loop like `loop { match rx.recv_timeout(..) { .. } }` has
+//! infinitely many schedules (timeout, timeout, ...). Call
+//! `minloom::checkpoint(h)` at the top of such a loop, where `h` hashes
+//! every loop-carried local that affects behavior: it *replaces* the
+//! calling thread's history with `h`, so iterations that changed nothing
+//! map to the same state fingerprint and dedup terminates the unrolling.
+//! The caller owns the proof obligation that `h` really captures all
+//! behavior-relevant state; the worked examples in this workspace hash
+//! their full loop-local tuple.
+
+mod exec;
+
+pub mod channel;
+pub mod sync;
+pub mod thread;
+
+use std::sync::Arc;
+
+/// A failed schedule: what went wrong and the exact grant sequence that
+/// got there (one line per granted operation, in order).
+#[derive(Debug, Clone)]
+pub struct Violation {
+    pub message: String,
+    pub trace: Vec<String>,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "{}", self.message)?;
+        writeln!(f, "schedule ({} steps):", self.trace.len())?;
+        for line in &self.trace {
+            writeln!(f, "  {line}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Exploration statistics returned by [`Builder::explore`].
+#[derive(Debug, Clone)]
+pub struct Report {
+    /// Schedules that ran to completion (every thread exited).
+    pub schedules: u64,
+    /// Schedules abandoned at an already-explored state fingerprint.
+    pub pruned: u64,
+    /// Schedules abandoned at [`Builder::max_depth`].
+    pub truncated: u64,
+    /// The DFS frontier was exhausted (every schedule completed, pruned,
+    /// or truncated) within [`Builder::max_schedules`].
+    pub complete: bool,
+    /// First violation found, if any (the search stops on it).
+    pub violation: Option<Violation>,
+}
+
+/// Exploration configuration.
+#[derive(Debug, Clone)]
+pub struct Builder {
+    /// Maximum *preemptive* context switches per schedule; `None` means
+    /// unbounded (full interleaving exploration).
+    pub preemption_bound: Option<usize>,
+    /// Maximum scheduling decisions per schedule; deeper runs count as
+    /// truncated and make the exploration incomplete evidence.
+    pub max_depth: usize,
+    /// Hard cap on schedules attempted (completed + pruned + truncated).
+    pub max_schedules: u64,
+}
+
+impl Default for Builder {
+    fn default() -> Self {
+        Self {
+            preemption_bound: None,
+            max_depth: 10_000,
+            max_schedules: 1_000_000,
+        }
+    }
+}
+
+impl Builder {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn preemption_bound(mut self, bound: usize) -> Self {
+        self.preemption_bound = Some(bound);
+        self
+    }
+
+    pub fn max_depth(mut self, depth: usize) -> Self {
+        self.max_depth = depth;
+        self
+    }
+
+    pub fn max_schedules(mut self, n: u64) -> Self {
+        self.max_schedules = n;
+        self
+    }
+
+    /// Run `f` under every schedule (up to the configured bounds) and
+    /// return what happened. `f` runs once per schedule, from scratch —
+    /// it must be self-contained and deterministic apart from the
+    /// interleaving.
+    pub fn explore(&self, f: impl Fn() + Send + Sync + 'static) -> Report {
+        exec::explore(self, Arc::new(f))
+    }
+
+    /// Like [`Builder::explore`], but panics with the counterexample
+    /// trace on a violation, and panics if the schedule budget ran out
+    /// before the exploration completed (an incomplete search is not
+    /// evidence of correctness).
+    ///
+    /// # Panics
+    /// On the first violating schedule, or on budget exhaustion.
+    pub fn check(&self, f: impl Fn() + Send + Sync + 'static) {
+        let report = self.explore(f);
+        if let Some(v) = &report.violation {
+            panic!(
+                "minloom: violation after {} schedules ({} pruned):\n{v}",
+                report.schedules, report.pruned
+            );
+        }
+        assert!(
+            report.complete,
+            "minloom: exploration incomplete: budget of {} schedules exhausted \
+             ({} completed, {} pruned, {} truncated) — raise max_schedules or \
+             tighten the model",
+            self.max_schedules, report.schedules, report.pruned, report.truncated
+        );
+    }
+}
+
+/// Check `f` under the default [`Builder`] (unbounded preemptions),
+/// panicking with a schedule trace on any violation.
+///
+/// # Panics
+/// See [`Builder::check`].
+pub fn model(f: impl Fn() + Send + Sync + 'static) {
+    Builder::new().check(f);
+}
+
+/// Replace the calling thread's history fingerprint with `h` — call at
+/// the top of an otherwise-unbounded poll loop with a hash of every
+/// behavior-relevant loop-carried local (see the crate docs for the
+/// contract). Silent: not a scheduling point.
+pub fn checkpoint(h: u64) {
+    let (exec, me) = exec::current();
+    let mut st = exec.st();
+    st.threads[me].history = exec::mix(exec::mix(0xc4ec, me as u64), h);
+}
+
+/// Order-sensitive 64-bit hash fold, exported so models can build
+/// [`checkpoint`] digests without hand-rolling a mixer.
+pub fn hash_fold(h: u64, v: u64) -> u64 {
+    exec::mix(h, v)
+}
+
+/// Fold `h` into the calling thread's history fingerprint (silent: not
+/// a scheduling point). Use this to make state the scheduler cannot see
+/// — above all a *message payload* about to be sent — part of the state
+/// key: channel message identity is derived from the sender's history,
+/// so two sends become distinguishable to dedup exactly when the sender
+/// traced distinguishing state first.
+pub fn trace_value(h: u64) {
+    let (exec, me) = exec::current();
+    let mut st = exec.st();
+    let cur = st.threads[me].history;
+    st.threads[me].history = exec::mix(cur, h);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel::{unbounded, RecvTimeoutError};
+    use super::sync::{AtomicUsize, Condvar, Mutex, Ordering};
+    use super::{checkpoint, hash_fold, thread, Builder};
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    /// Two threads doing a non-atomic read-modify-write must lose an
+    /// update in some schedule — the checker has to find it.
+    #[test]
+    fn finds_lost_update() {
+        let report = Builder::new().explore(|| {
+            let n = Arc::new(AtomicUsize::new(0));
+            let handles: Vec<_> = (0..2)
+                .map(|_| {
+                    let n = Arc::clone(&n);
+                    thread::spawn(move || {
+                        let v = n.load(Ordering::SeqCst);
+                        n.store(v + 1, Ordering::SeqCst);
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().unwrap();
+            }
+            assert_eq!(n.load(Ordering::SeqCst), 2, "lost update");
+        });
+        let v = report.violation.expect("checker must find the lost update");
+        assert!(v.message.contains("lost update"), "wrong violation: {v}");
+        assert!(!v.trace.is_empty(), "violation must carry a schedule trace");
+    }
+
+    /// One preemption is enough to lose an update, so the bound-1 search
+    /// must still find it.
+    #[test]
+    fn finds_lost_update_within_preemption_bound() {
+        let report = Builder::new().preemption_bound(1).explore(|| {
+            let n = Arc::new(AtomicUsize::new(0));
+            let handles: Vec<_> = (0..2)
+                .map(|_| {
+                    let n = Arc::clone(&n);
+                    thread::spawn(move || {
+                        let v = n.load(Ordering::SeqCst);
+                        n.store(v + 1, Ordering::SeqCst);
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().unwrap();
+            }
+            assert_eq!(n.load(Ordering::SeqCst), 2, "lost update");
+        });
+        assert!(report.violation.is_some());
+    }
+
+    /// The same counter with a real RMW has no bad schedule; the
+    /// exploration must terminate and stay silent across three threads.
+    #[test]
+    fn fetch_add_counter_is_clean() {
+        let report = Builder::new().explore(|| {
+            let n = Arc::new(AtomicUsize::new(0));
+            let handles: Vec<_> = (0..3)
+                .map(|_| {
+                    let n = Arc::clone(&n);
+                    thread::spawn(move || {
+                        n.fetch_add(1, Ordering::SeqCst);
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().unwrap();
+            }
+            assert_eq!(n.load(Ordering::SeqCst), 3);
+        });
+        assert!(report.violation.is_none(), "{:?}", report.violation);
+        assert!(report.complete);
+        assert!(report.schedules > 1, "must explore real interleavings");
+    }
+
+    /// Lock-protected increments are race-free.
+    #[test]
+    fn mutex_counter_is_clean() {
+        let report = Builder::new().explore(|| {
+            let n = Arc::new(Mutex::new(0_u32));
+            let handles: Vec<_> = (0..2)
+                .map(|_| {
+                    let n = Arc::clone(&n);
+                    thread::spawn(move || {
+                        *n.lock() += 1;
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().unwrap();
+            }
+            assert_eq!(*n.lock(), 2);
+        });
+        assert!(report.violation.is_none(), "{:?}", report.violation);
+        assert!(report.complete);
+    }
+
+    /// Opposite lock orders deadlock in some schedule; the checker must
+    /// report it rather than hang.
+    #[test]
+    fn detects_lock_order_deadlock() {
+        let report = Builder::new().explore(|| {
+            let a = Arc::new(Mutex::new(()));
+            let b = Arc::new(Mutex::new(()));
+            let (a2, b2) = (Arc::clone(&a), Arc::clone(&b));
+            let h = thread::spawn(move || {
+                let _ga = a2.lock();
+                let _gb = b2.lock();
+            });
+            {
+                let _gb = b.lock();
+                let _ga = a.lock();
+            }
+            let _ = h.join();
+        });
+        let v = report.violation.expect("deadlock must be detected");
+        assert!(v.message.contains("deadlock"), "wrong violation: {v}");
+    }
+
+    /// Condvar wait/notify with the flag checked under the lock: no
+    /// schedule hangs or fails.
+    #[test]
+    fn condvar_handoff_is_clean() {
+        let report = Builder::new().explore(|| {
+            let m = Arc::new(Mutex::new(false));
+            let cv = Arc::new(Condvar::new());
+            let (m2, cv2) = (Arc::clone(&m), Arc::clone(&cv));
+            let h = thread::spawn(move || {
+                let mut g = m2.lock();
+                while !*g {
+                    g = cv2.wait(g);
+                }
+            });
+            *m.lock() = true;
+            cv.notify_one();
+            h.join().unwrap();
+        });
+        assert!(report.violation.is_none(), "{:?}", report.violation);
+        assert!(report.complete);
+    }
+
+    /// A notify with no flag behind it loses the race in the schedule
+    /// where the waiter parks afterwards — detected as a deadlock.
+    #[test]
+    fn detects_lost_notify() {
+        let report = Builder::new().explore(|| {
+            let m = Arc::new(Mutex::new(()));
+            let cv = Arc::new(Condvar::new());
+            let (m2, cv2) = (Arc::clone(&m), Arc::clone(&cv));
+            let h = thread::spawn(move || {
+                // Bug under test: waits unconditionally, no predicate.
+                let g = m2.lock();
+                let _g = cv2.wait(g);
+            });
+            cv.notify_one();
+            let _ = h.join();
+        });
+        let v = report.violation.expect("lost notify must be detected");
+        assert!(v.message.contains("deadlock"), "wrong violation: {v}");
+    }
+
+    /// recv_timeout explores both the message-first and timeout-first
+    /// branches; a checkpoint at the loop top keeps the timeout spin
+    /// finite. The message must arrive in every completed schedule.
+    #[test]
+    fn channel_recv_timeout_poll_loop_terminates() {
+        let report = Builder::new().explore(|| {
+            let (tx, rx) = unbounded::<u32>();
+            let h = thread::spawn(move || {
+                tx.send(7).unwrap();
+            });
+            let mut got = None;
+            while got.is_none() {
+                checkpoint(hash_fold(0x906f, u64::from(got.is_none())));
+                match rx.recv_timeout(Duration::from_millis(1)) {
+                    Ok(v) => got = Some(v),
+                    Err(RecvTimeoutError::Timeout) => {}
+                    Err(RecvTimeoutError::Disconnected) => break,
+                }
+            }
+            h.join().unwrap();
+            assert_eq!(got, Some(7));
+        });
+        assert!(report.violation.is_none(), "{:?}", report.violation);
+        assert!(report.complete, "poll loop must dedup to a finite search");
+        assert!(
+            report.pruned > 0,
+            "futile timeout iterations must be pruned, got {report:?}"
+        );
+    }
+
+    /// Dropping all senders turns a blocked recv into Disconnected
+    /// rather than a deadlock.
+    #[test]
+    fn channel_disconnect_unblocks_recv() {
+        let report = Builder::new().explore(|| {
+            let (tx, rx) = unbounded::<u32>();
+            let h = thread::spawn(move || {
+                tx.send(1).unwrap();
+                // tx dropped here.
+            });
+            assert_eq!(rx.recv(), Ok(1));
+            assert!(rx.recv().is_err(), "disconnect must surface as RecvError");
+            h.join().unwrap();
+        });
+        assert!(report.violation.is_none(), "{:?}", report.violation);
+        assert!(report.complete);
+    }
+
+    /// Preemption bounding explores strictly fewer schedules than the
+    /// unbounded search when interleaving requires preempting a
+    /// still-runnable thread (here: two distinguishable load/store
+    /// threads — `trace_value` makes them asymmetric so symmetry dedup
+    /// doesn't collapse the orders).
+    #[test]
+    fn preemption_bound_prunes_schedules() {
+        fn two_writers() -> impl Fn() + Send + Sync + 'static {
+            || {
+                let n = Arc::new(AtomicUsize::new(0));
+                let handles: Vec<_> = (0..2)
+                    .map(|i| {
+                        let n = Arc::clone(&n);
+                        thread::spawn(move || {
+                            super::trace_value(i as u64);
+                            let v = n.load(Ordering::SeqCst);
+                            n.store(v + 1, Ordering::SeqCst);
+                        })
+                    })
+                    .collect();
+                for h in handles {
+                    h.join().unwrap();
+                }
+            }
+        }
+        let full = Builder::new().explore(two_writers());
+        let bounded = Builder::new().preemption_bound(0).explore(two_writers());
+        assert!(full.violation.is_none());
+        assert!(bounded.violation.is_none());
+        assert!(full.complete && bounded.complete);
+        assert!(
+            bounded.schedules < full.schedules,
+            "bound 0 ({}) must explore fewer schedules than unbounded ({})",
+            bounded.schedules,
+            full.schedules
+        );
+    }
+
+    /// Bound 0 permits only forced switches, which serializes the racy
+    /// increment pair — the lost update needs one preemption, so the
+    /// bound-0 search must complete WITHOUT finding it while bound-1
+    /// does. This pins the forced-vs-preemptive accounting.
+    #[test]
+    fn preemption_bound_zero_serializes() {
+        fn racy() -> impl Fn() + Send + Sync + 'static {
+            || {
+                let n = Arc::new(AtomicUsize::new(0));
+                let handles: Vec<_> = (0..2)
+                    .map(|_| {
+                        let n = Arc::clone(&n);
+                        thread::spawn(move || {
+                            let v = n.load(Ordering::SeqCst);
+                            n.store(v + 1, Ordering::SeqCst);
+                        })
+                    })
+                    .collect();
+                for h in handles {
+                    h.join().unwrap();
+                }
+                assert_eq!(n.load(Ordering::SeqCst), 2, "lost update");
+            }
+        }
+        let b0 = Builder::new().preemption_bound(0).explore(racy());
+        assert!(b0.complete);
+        assert!(
+            b0.violation.is_none(),
+            "bound 0 cannot interleave the load/store pairs: {:?}",
+            b0.violation
+        );
+        let b1 = Builder::new().preemption_bound(1).explore(racy());
+        assert!(b1.violation.is_some(), "one preemption exposes the race");
+    }
+
+    /// is_finished is an observation: both answers are explored, and a
+    /// spin on it with a checkpoint terminates.
+    #[test]
+    fn is_finished_spin_terminates() {
+        let report = Builder::new().explore(|| {
+            let h = thread::spawn(|| 42_u32);
+            while !h.is_finished() {
+                checkpoint(0);
+            }
+            assert_eq!(h.join().unwrap(), 42);
+        });
+        assert!(report.violation.is_none(), "{:?}", report.violation);
+        assert!(report.complete);
+    }
+}

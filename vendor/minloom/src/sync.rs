@@ -1,0 +1,400 @@
+//! Shim synchronization primitives: drop-in stand-ins for
+//! `std::sync::atomic::*`, `parking_lot::Mutex` (`lock()` returns the
+//! guard directly), and a std-style `Condvar`, each of which yields to
+//! the scheduler at every operation.
+//!
+//! Memory model: sequential consistency. Every operation is a global
+//! linearization point and `Ordering` arguments are accepted but
+//! ignored — the checker explores *interleavings*, not weak-memory
+//! reorderings. That is the right fidelity for this project: the
+//! protocols under test are documented to require only SC-per-location
+//! plus the happens-before edges channels already give them.
+
+pub use std::sync::atomic::Ordering;
+use std::sync::{Arc, PoisonError};
+
+use crate::exec::{self, mix, ObjSt, Op, Pending, State, Tid};
+
+// Salts folded into history hashes so different op kinds on the same
+// value never collide.
+const SALT_LOAD: u64 = 0x6c6f;
+const SALT_STORE: u64 = 0x7374;
+const SALT_RMW: u64 = 0x726d;
+const SALT_LOCK: u64 = 0x6c6b;
+
+fn fold_history(st: &mut State, me: Tid, salt: u64, obj: usize, v: u64) {
+    let h = st.threads[me].history;
+    st.threads[me].history = mix(h, mix(mix(salt, obj as u64), v));
+}
+
+fn atomic_cell(st: &mut State, id: usize) -> &mut u64 {
+    match &mut st.objects[id] {
+        ObjSt::Atomic { value } => value,
+        other => unreachable!("object {id} is not an atomic: {other:?}"),
+    }
+}
+
+macro_rules! int_atomic {
+    ($name:ident, $ty:ty) => {
+        /// Model-checked stand-in for the `std::sync::atomic` type of the
+        /// same name. `Ordering` is accepted for source compatibility and
+        /// ignored (see module docs).
+        pub struct $name {
+            exec: Arc<exec::Exec>,
+            id: usize,
+        }
+
+        impl $name {
+            #[allow(clippy::new_without_default)]
+            pub fn new(v: $ty) -> Self {
+                let (exec, _) = exec::current();
+                let id = exec.register_object(ObjSt::Atomic { value: v as u64 });
+                Self { exec, id }
+            }
+
+            fn op<R>(&self, op_kind: Op, desc: &str, f: impl FnOnce(&mut State, Tid) -> R) -> R {
+                let (_, me) = exec::current();
+                self.exec.op(me, op_kind, desc, |st| f(st, me))
+            }
+
+            pub fn load(&self, _o: Ordering) -> $ty {
+                let id = self.id;
+                self.op(Op::AtomicLoad(id), &format!("load a{id}"), |st, me| {
+                    let v = *atomic_cell(st, id);
+                    fold_history(st, me, SALT_LOAD, id, v);
+                    v as $ty
+                })
+            }
+
+            pub fn store(&self, v: $ty, _o: Ordering) {
+                let id = self.id;
+                self.op(
+                    Op::AtomicStore(id),
+                    &format!("store a{id} = {v}"),
+                    |st, me| {
+                        *atomic_cell(st, id) = v as u64;
+                        fold_history(st, me, SALT_STORE, id, v as u64);
+                    },
+                )
+            }
+
+            fn rmw(&self, desc: &str, f: impl FnOnce($ty) -> $ty) -> $ty {
+                let id = self.id;
+                self.op(Op::AtomicRmw(id), desc, |st, me| {
+                    let cell = atomic_cell(st, id);
+                    let old = *cell as $ty;
+                    *cell = f(old) as u64;
+                    fold_history(st, me, SALT_RMW, id, old as u64);
+                    old
+                })
+            }
+
+            pub fn swap(&self, v: $ty, _o: Ordering) -> $ty {
+                self.rmw(&format!("swap a{}", self.id), |_| v)
+            }
+
+            pub fn fetch_add(&self, v: $ty, _o: Ordering) -> $ty {
+                self.rmw(&format!("fetch_add a{}", self.id), |x| x.wrapping_add(v))
+            }
+
+            pub fn fetch_sub(&self, v: $ty, _o: Ordering) -> $ty {
+                self.rmw(&format!("fetch_sub a{}", self.id), |x| x.wrapping_sub(v))
+            }
+
+            pub fn fetch_max(&self, v: $ty, _o: Ordering) -> $ty {
+                self.rmw(&format!("fetch_max a{}", self.id), |x| x.max(v))
+            }
+
+            pub fn compare_exchange(
+                &self,
+                expect: $ty,
+                new: $ty,
+                _ok: Ordering,
+                _err: Ordering,
+            ) -> Result<$ty, $ty> {
+                let id = self.id;
+                self.op(Op::AtomicRmw(id), &format!("cas a{id}"), |st, me| {
+                    let cell = atomic_cell(st, id);
+                    let old = *cell as $ty;
+                    let hit = old == expect;
+                    if hit {
+                        *cell = new as u64;
+                    }
+                    fold_history(st, me, SALT_RMW, id, mix(old as u64, hit as u64));
+                    if hit {
+                        Ok(old)
+                    } else {
+                        Err(old)
+                    }
+                })
+            }
+
+            pub fn compare_exchange_weak(
+                &self,
+                expect: $ty,
+                new: $ty,
+                ok: Ordering,
+                err: Ordering,
+            ) -> Result<$ty, $ty> {
+                // No spurious failures: weak == strong under this model.
+                self.compare_exchange(expect, new, ok, err)
+            }
+        }
+    };
+}
+
+int_atomic!(AtomicUsize, usize);
+int_atomic!(AtomicU64, u64);
+int_atomic!(AtomicU32, u32);
+int_atomic!(AtomicI64, i64);
+int_atomic!(AtomicU8, u8);
+
+/// Model-checked stand-in for `std::sync::atomic::AtomicBool`.
+pub struct AtomicBool {
+    inner: AtomicU8,
+}
+
+impl AtomicBool {
+    #[allow(clippy::new_without_default)]
+    pub fn new(v: bool) -> Self {
+        Self {
+            inner: AtomicU8::new(v as u8),
+        }
+    }
+
+    pub fn load(&self, o: Ordering) -> bool {
+        self.inner.load(o) != 0
+    }
+
+    pub fn store(&self, v: bool, o: Ordering) {
+        self.inner.store(v as u8, o);
+    }
+
+    pub fn swap(&self, v: bool, o: Ordering) -> bool {
+        self.inner.swap(v as u8, o) != 0
+    }
+
+    pub fn compare_exchange(
+        &self,
+        expect: bool,
+        new: bool,
+        ok: Ordering,
+        err: Ordering,
+    ) -> Result<bool, bool> {
+        self.inner
+            .compare_exchange(expect as u8, new as u8, ok, err)
+            .map(|v| v != 0)
+            .map_err(|v| v != 0)
+    }
+}
+
+/// Acquire `id` for `me`: record the holder and exchange fingerprints —
+/// the thread's history absorbs the protected content (it can now
+/// observe it) and the content becomes a function of the thread's
+/// pre-acquire history (it may now be rewritten by it). This is what
+/// makes lock-protected data visible to state dedup without hashing the
+/// data itself.
+pub(crate) fn acquire_mutex(st: &mut State, me: Tid, id: usize) {
+    let hist = st.threads[me].history;
+    let content = match &mut st.objects[id] {
+        ObjSt::Mutex { holder, content } => {
+            debug_assert!(holder.is_none(), "lock grant while held");
+            *holder = Some(me);
+            let c = *content;
+            // Replace, don't fold: re-acquisition by a thread whose
+            // history hasn't changed (a polling loop under
+            // `checkpoint`) is idempotent, so futile lock-and-look
+            // iterations dedup instead of unrolling forever. Earlier
+            // writers still propagate — each acquirer's history absorbs
+            // the content it displaced (below), so the acquisition chain
+            // lives on in the thread fingerprints. Residual obligation
+            // (same as checkpoint's): what a thread writes under a lock
+            // must be a deterministic function of its history at
+            // acquire time; `trace_value` distinguishing inputs first
+            // if not.
+            *content = mix(SALT_LOCK, hist);
+            c
+        }
+        other => unreachable!("object {id} is not a mutex: {other:?}"),
+    };
+    st.threads[me].history = mix(hist, mix(SALT_LOCK, content));
+}
+
+struct Unlocker {
+    exec: Arc<exec::Exec>,
+    id: usize,
+}
+
+impl Drop for Unlocker {
+    // Unlock is silent (no yield): its effect is observed by other
+    // threads only at their next decision point, which is equivalent to
+    // yielding here but halves the schedule depth.
+    fn drop(&mut self) {
+        let mut st = self.exec.st();
+        if let ObjSt::Mutex { holder, .. } = &mut st.objects[self.id] {
+            *holder = None;
+        }
+    }
+}
+
+/// Model-checked stand-in for `parking_lot::Mutex`: `lock()` returns the
+/// guard directly (no `Result`).
+pub struct Mutex<T> {
+    exec: Arc<exec::Exec>,
+    id: usize,
+    data: std::sync::Mutex<T>,
+}
+
+impl<T> Mutex<T> {
+    pub fn new(v: T) -> Self {
+        let (exec, _) = exec::current();
+        let id = exec.register_object(ObjSt::Mutex {
+            holder: None,
+            content: 0,
+        });
+        Self {
+            exec,
+            id,
+            data: std::sync::Mutex::new(v),
+        }
+    }
+
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        let (_, me) = exec::current();
+        let id = self.id;
+        self.exec
+            .op(me, Op::Lock(id), &format!("lock m{id}"), |st| {
+                acquire_mutex(st, me, id);
+            });
+        MutexGuard {
+            // The real lock is uncontended by construction: the scheduler
+            // grants `Lock` only while `holder` is `None`.
+            inner: self.data.lock().unwrap_or_else(PoisonError::into_inner),
+            lock: self,
+            _unlocker: Unlocker {
+                exec: Arc::clone(&self.exec),
+                id,
+            },
+        }
+    }
+
+    pub fn into_inner(self) -> T {
+        self.data
+            .into_inner()
+            .unwrap_or_else(PoisonError::into_inner)
+    }
+
+    pub fn get_mut(&mut self) -> &mut T {
+        self.data.get_mut().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+/// Guard for the shim [`Mutex`]. Field order matters: the inner std
+/// guard is released *before* `unlocker` flips the scheduler-visible
+/// lock bit, so no thread can be granted the lock while the data is
+/// still borrowed.
+pub struct MutexGuard<'a, T> {
+    inner: std::sync::MutexGuard<'a, T>,
+    lock: &'a Mutex<T>,
+    _unlocker: Unlocker,
+}
+
+impl<T> std::ops::Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T> std::ops::DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.inner
+    }
+}
+
+/// Model-checked stand-in for `std::sync::Condvar` (std-style `wait`
+/// consumes and returns the guard). A thread parked in `wait` is
+/// unschedulable until a notify moves it to the lock queue — so a lost
+/// wakeup shows up as a detected deadlock, not a hang.
+pub struct Condvar {
+    exec: Arc<exec::Exec>,
+    id: usize,
+}
+
+impl Condvar {
+    #[allow(clippy::new_without_default)]
+    pub fn new() -> Self {
+        let (exec, _) = exec::current();
+        let id = exec.register_object(ObjSt::Condvar {
+            waiters: std::collections::VecDeque::new(),
+        });
+        Self { exec, id }
+    }
+
+    pub fn wait<'a, T>(&self, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+        let (_, me) = exec::current();
+        let lock = guard.lock;
+        let mutex_id = lock.id;
+        let cv_id = self.id;
+        // Dropping the guard releases the mutex silently; no other
+        // thread can run before we park below, so release-and-enqueue is
+        // atomic exactly like the real primitive.
+        drop(guard);
+        self.exec
+            .park_with(me, Pending::CondWait { mutex: mutex_id }, |st| {
+                if let ObjSt::Condvar { waiters } = &mut st.objects[cv_id] {
+                    waiters.push_back(me);
+                }
+            });
+        // Granted again only after a notify re-armed us as `Op(Lock)` and
+        // the scheduler granted the (free) mutex: perform the acquire.
+        {
+            let mut st = self.exec.st();
+            st.trace
+                .push(format!("t{me}: relock m{mutex_id} after wait cv{cv_id}"));
+            acquire_mutex(&mut st, me, mutex_id);
+        }
+        MutexGuard {
+            inner: lock.data.lock().unwrap_or_else(PoisonError::into_inner),
+            lock,
+            _unlocker: Unlocker {
+                exec: Arc::clone(&lock.exec),
+                id: mutex_id,
+            },
+        }
+    }
+
+    fn notify(&self, count: usize, op_kind: Op, desc: &str) {
+        let (_, me) = exec::current();
+        let cv_id = self.id;
+        self.exec.op(me, op_kind, desc, |st| {
+            for _ in 0..count {
+                let waiter = match &mut st.objects[cv_id] {
+                    ObjSt::Condvar { waiters } => waiters.pop_front(),
+                    other => unreachable!("object {cv_id} is not a condvar: {other:?}"),
+                };
+                let Some(w) = waiter else { break };
+                let Pending::CondWait { mutex } = st.threads[w].pending else {
+                    unreachable!("condvar waiter t{w} not parked in wait")
+                };
+                st.threads[w].pending = Pending::Op(Op::Lock(mutex));
+            }
+        });
+    }
+
+    pub fn notify_one(&self) {
+        self.notify(
+            1,
+            Op::NotifyOne(self.id),
+            &format!("notify_one cv{}", self.id),
+        );
+    }
+
+    pub fn notify_all(&self) {
+        self.notify(
+            usize::MAX,
+            Op::NotifyAll(self.id),
+            &format!("notify_all cv{}", self.id),
+        );
+    }
+}

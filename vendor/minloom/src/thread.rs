@@ -1,0 +1,86 @@
+//! Shim `thread::spawn` / `JoinHandle` producing controlled threads.
+
+use std::any::Any;
+use std::sync::{Arc, Mutex as StdMutex, PoisonError};
+
+use crate::exec::{self, mix, Op, Pending};
+
+const SALT_JOIN: u64 = 0x9017;
+const SALT_FIN: u64 = 0xf1a9;
+
+/// Shim for `std::thread::JoinHandle`.
+pub struct JoinHandle<T> {
+    exec: Arc<exec::Exec>,
+    tid: usize,
+    result: Arc<StdMutex<Option<T>>>,
+}
+
+/// Shim for `std::thread::spawn`. Registration is silent; the new thread
+/// becomes schedulable at the next decision point.
+pub fn spawn<T, F>(f: F) -> JoinHandle<T>
+where
+    T: Send + 'static,
+    F: FnOnce() -> T + Send + 'static,
+{
+    let (exec, _) = exec::current();
+    let tid = exec.register_thread();
+    let result = Arc::new(StdMutex::new(None));
+    let slot = Arc::clone(&result);
+    exec::spawn_controlled(&exec, tid, move || {
+        let v = f();
+        *slot.lock().unwrap_or_else(PoisonError::into_inner) = Some(v);
+    });
+    JoinHandle { exec, tid, result }
+}
+
+impl<T> JoinHandle<T> {
+    /// Blocking join: schedulable only once the target has exited. Folds
+    /// the target's final history into the joiner's (join is a
+    /// happens-before edge: everything the target did is now observable).
+    pub fn join(self) -> Result<T, Box<dyn Any + Send + 'static>> {
+        let (_, me) = exec::current();
+        let target = self.tid;
+        self.exec
+            .op(me, Op::Join(target), &format!("join t{target}"), |st| {
+                let th = st.threads[target].history;
+                let hist = st.threads[me].history;
+                st.threads[me].history = mix(hist, mix(SALT_JOIN, th));
+            });
+        match self
+            .result
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .take()
+        {
+            Some(v) => Ok(v),
+            // Unreachable in practice: a real panic in the target aborts
+            // the whole schedule before the join is granted.
+            None => Err(Box::new("minloom: joined thread panicked")),
+        }
+    }
+
+    /// Non-blocking completion probe (an observation op: two schedules
+    /// where it answers differently are distinct states).
+    pub fn is_finished(&self) -> bool {
+        let (_, me) = exec::current();
+        let target = self.tid;
+        self.exec.op(
+            me,
+            Op::IsFinished(target),
+            &format!("is_finished t{target}"),
+            |st| {
+                let fin = st.threads[target].pending == Pending::Exited;
+                let hist = st.threads[me].history;
+                st.threads[me].history = mix(hist, mix(SALT_FIN, mix(target as u64, fin as u64)));
+                fin
+            },
+        )
+    }
+}
+
+/// Shim for `std::thread::yield_now`: a pure scheduling point with no
+/// effect — useful for adding an explicit interleaving opportunity.
+pub fn yield_now() {
+    let (exec, me) = exec::current();
+    exec.op(me, Op::Yield, "yield", |_| {});
+}

@@ -4,7 +4,9 @@
 //! (`lock()` returns the guard directly; poisoning is ignored, matching
 //! parking_lot's no-poisoning design).
 
-use std::sync::{self, MutexGuard, RwLockReadGuard, RwLockWriteGuard};
+use std::sync::{self, RwLockReadGuard, RwLockWriteGuard};
+// Real parking_lot has its own guard type; this stand-in hands out std's.
+pub use std::sync::MutexGuard;
 
 /// Mutex whose `lock` never returns a poison error.
 #[derive(Debug, Default)]

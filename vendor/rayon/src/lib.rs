@@ -295,6 +295,10 @@ impl ThreadPool {
             }
         }
         unsafe fn call_thunk<F: Fn(usize) + Sync>(data: *const (), i: usize) {
+            // SAFETY: `data` is the `&f` captured below, type-erased;
+            // the blocking join at the end of `for_each_index` keeps it
+            // alive for every invocation, and `F: Sync` licenses the
+            // shared calls.
             unsafe { (*(data as *const F))(i) };
         }
         struct AbortOnPanic;
