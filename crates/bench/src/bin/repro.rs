@@ -31,6 +31,13 @@
 //! with populated counters (the CI smoke contract). `--quick` loosens the
 //! tolerance.
 //!
+//! `compare --transport uds|tcp [--processes N]` switches to the
+//! **distributed socket backend**: the same DTM solve run once in-process
+//! and once across N spawned OS processes linked by real sockets
+//! (`dtm-net`), asserted **bit-for-bit** equal — solution bits, residual
+//! bits and deterministic work counters. (The hidden `net-child`
+//! subcommand is this executable relaunched as a child process.)
+//!
 //! `batched` sweeps K ∈ {1, 4, 16, 64} by default; `--num-rhs K` pins a
 //! single batch width instead.
 //!
@@ -72,6 +79,11 @@ use dtm_sparse::generators;
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let cmd = args.first().map(String::as_str).unwrap_or("help");
+    if cmd == "net-child" {
+        // Hidden mode: this very executable relaunched as a socket-backend
+        // child process (so distributed runs need only one binary on disk).
+        std::process::exit(dtm_net::child_main(&args[1..]));
+    }
     let quick = args.iter().any(|a| a == "--quick");
     let num_rhs = args
         .iter()
@@ -108,6 +120,30 @@ fn main() {
             }
         },
     };
+    let transport = args.iter().position(|a| a == "--transport").map(|i| {
+        match args.get(i + 1).map(String::as_str) {
+            Some(v) => dtm_net::TransportKind::parse(v).unwrap_or_else(|| {
+                eprintln!("--transport takes 'uds' or 'tcp', got {v:?}");
+                std::process::exit(2);
+            }),
+            None => {
+                eprintln!("--transport requires a value: 'uds' or 'tcp'");
+                std::process::exit(2);
+            }
+        }
+    });
+    let processes = args
+        .iter()
+        .position(|a| a == "--processes")
+        .and_then(|i| args.get(i + 1))
+        .map(|v| match v.parse::<usize>() {
+            Ok(n) if n >= 1 => n,
+            _ => {
+                eprintln!("--processes takes a positive integer, got {v:?}");
+                std::process::exit(2);
+            }
+        })
+        .unwrap_or(2);
     match cmd {
         "fig3" => fig3(),
         "fig5" => fig5(),
@@ -124,7 +160,10 @@ fn main() {
         "sweep-z" => sweep_z(),
         "batched" => batched(num_rhs, mode),
         "serve" => serve_cmd(quick, seed),
-        "compare" => compare_cmd(quick),
+        "compare" => match transport {
+            None => compare_cmd(quick),
+            Some(t) => compare_distributed(quick, t, processes),
+        },
         "bench" => bench_cmd(&args, quick),
         "lint" => {
             // Project lint (see crates/lint): panic-free libraries,
@@ -158,6 +197,8 @@ fn main() {
                 "usage: repro <fig3|fig5|fig7|fig8|fig9|table1|fig11|fig12|fig13|fig14|\
                  cmp-vtm|cmp-jacobi|sweep-z|batched|serve|compare|bench|lint|all> [--quick] \
                  [--num-rhs K] [--seed N] [--termination residual|oracle]\n\
+                 compare flags: [--transport uds|tcp [--processes N]] (distributed \
+                 socket backend vs the in-process reference, asserted bit-for-bit)\n\
                  bench flags: [--matrix FILE.mtx [--rhs FILE]] [--out FILE] \
                  [--check BASELINE]... [--partitioner strips|greedy|nd|ml] [--headline]"
             );
@@ -393,7 +434,9 @@ fn fig11() {
     println!("directed link delays (ms):");
     for l in topo.links() {
         if l.src < l.dst {
-            let back = topo.delay(l.dst, l.src);
+            let back = topo
+                .try_delay(l.dst, l.src)
+                .map_or(0.0, |d| d.as_millis_f64());
             println!(
                 "  P{:<2} -> P{:<2}: {:>5.1}   P{:<2} -> P{:<2}: {:>5.1}",
                 l.src + 1,
@@ -401,7 +444,7 @@ fn fig11() {
                 l.delay.as_millis_f64(),
                 l.dst + 1,
                 l.src + 1,
-                back.as_millis_f64()
+                back
             );
         }
     }
@@ -879,6 +922,71 @@ fn compare_cmd(quick: bool) {
             );
         }
     }
+    println!();
+}
+
+/// `repro compare --transport uds|tcp [--processes N]`: the distributed
+/// socket backend against the in-process reference on the comparison
+/// workload — same split, same reference-free residual rule — asserted
+/// **bit for bit** equal (solution bits, residual bits, work counters).
+fn compare_distributed(quick: bool, transport: dtm_net::TransportKind, processes: usize) {
+    banner("Compare: distributed socket backend vs in-process reference, bit for bit");
+    let tol = if quick { 1e-6 } else { 1e-8 };
+    let setup = compare::grid_setup(9, 2, 2, tol);
+    let exe = std::env::current_exe().unwrap_or_else(|e| {
+        eprintln!("cannot locate the repro executable to respawn as children: {e}");
+        std::process::exit(1);
+    });
+    let child = dtm_net::ChildCommand {
+        exe,
+        prefix_args: vec!["net-child".to_string()],
+    };
+    println!(
+        "workload: n = 81 grid Laplacian torn 2x2 (4 parts), termination: \
+         residual <= {tol:.0e}; transport: {}, {processes} processes",
+        transport.name()
+    );
+    let (in_process, multi_process) =
+        match compare::distributed_pair(&setup, transport, processes, child) {
+            Ok(pair) => pair,
+            Err(e) => {
+                eprintln!("distributed comparison failed: {e}");
+                std::process::exit(1);
+            }
+        };
+    println!(
+        "{:>22} {:>10} {:>13} {:>12} {:>10} {:>12} {:>11}",
+        "mode", "converged", "wall [ms]", "activations", "messages", "flops", "residual"
+    );
+    for (name, r) in [
+        ("in-process (1 group)", &in_process),
+        ("socket processes", &multi_process),
+    ] {
+        println!(
+            "{:>22} {:>10} {:>13.1} {:>12} {:>10} {:>12} {:>11.2e}",
+            name,
+            r.converged,
+            r.final_time_ms,
+            r.total_solves,
+            r.total_messages,
+            r.total_flops,
+            r.final_residual
+        );
+    }
+    compare::assert_distributed_bitwise(&in_process, &multi_process);
+    assert!(
+        in_process.converged,
+        "distributed comparison must converge (residual {})",
+        in_process.final_residual
+    );
+    println!(
+        "\nbit-for-bit: {} solution values, residual {:.2e} and all work counters \
+         identical between 1 in-process group and {processes} OS processes over {} — \
+         the round-structured executor makes the result independent of process count.",
+        in_process.solution.len(),
+        in_process.final_residual,
+        transport.name()
+    );
     println!();
 }
 

@@ -10,14 +10,17 @@ use dtm_core::async_baselines::{
     self, BaselineAlgo, BaselineConfig, DIterationParams, RichardsonParams,
 };
 use dtm_core::runtime::CommonConfig;
+use dtm_core::runtime::ExecutorBackend;
 use dtm_core::solver::{self, ComputeModel, DtmConfig, Termination};
 use dtm_core::SolveReport;
 use dtm_graph::evs::{split as evs_split, EvsOptions, SplitSystem, TwinTopology};
 use dtm_graph::{partition, ElectricGraph, PartitionPlan};
+use dtm_net::{ChildCommand, DistributedBackend, DistributedConfig, RunMode, TransportKind};
 use dtm_simnet::trace::Trace;
 use dtm_simnet::{DelayModel, Engine, SimDuration, SimTime, Topology};
 use dtm_sparse::{generators, Csr};
 use std::collections::BTreeSet;
+use std::time::Duration;
 
 /// Delay seed of the comparison machine (fixed, like the figure seeds).
 pub const COMPARE_DELAY_SEED: u64 = 4_411;
@@ -147,6 +150,107 @@ pub fn diteration_report(s: &CompareSetup) -> SolveReport {
 /// All three algorithms on the identical machine, in table order.
 pub fn all_reports(s: &CompareSetup) -> Vec<SolveReport> {
     vec![dtm_report(s), richardson_report(s), diteration_report(s)]
+}
+
+/// Distributed-backend configuration on the comparison workload: the
+/// shared reference-free residual rule, with every wave route validated
+/// against the comparison machine's link table before anything spawns.
+pub fn distributed_config(s: &CompareSetup, processes: usize, mode: RunMode) -> DistributedConfig {
+    DistributedConfig {
+        common: CommonConfig {
+            termination: Termination::Residual { tol: s.tol },
+            ..Default::default()
+        },
+        mode,
+        processes,
+        topology: Some(s.topology.clone()),
+        budget: Duration::from_secs(600),
+    }
+}
+
+/// Run DTM on the comparison workload twice — once fully in-process (one
+/// group, one thread) and once torn into `processes` OS processes over
+/// `transport` sockets — and return both reports. The round-structured
+/// executor makes the pair bitwise-identical; see
+/// [`assert_distributed_bitwise`].
+///
+/// # Errors
+/// Propagates backend failures (spawn, handshake, wire, solve).
+pub fn distributed_pair(
+    s: &CompareSetup,
+    transport: TransportKind,
+    processes: usize,
+    child: ChildCommand,
+) -> dtm_sparse::Result<(SolveReport, SolveReport)> {
+    let backend = DistributedBackend;
+    let in_process = backend.solve(
+        &s.split,
+        None,
+        &distributed_config(s, 1, RunMode::InProcess),
+    )?;
+    let multi_process = backend.solve(
+        &s.split,
+        None,
+        &distributed_config(
+            s,
+            processes,
+            RunMode::Processes {
+                transport,
+                child,
+                fail: None,
+            },
+        ),
+    )?;
+    Ok((in_process, multi_process))
+}
+
+/// Assert the distributed run reproduced the in-process run **bit for
+/// bit**: identical solution bits, identical residual bits, identical
+/// deterministic work counters.
+///
+/// # Panics
+/// Panics (with the first differing index) when any bit differs — this
+/// is the `repro compare --transport …` gate, so divergence must fail
+/// loudly.
+pub fn assert_distributed_bitwise(in_process: &SolveReport, multi_process: &SolveReport) {
+    assert_eq!(
+        in_process.solution.len(),
+        multi_process.solution.len(),
+        "distributed: solution lengths differ"
+    );
+    for (i, (a, b)) in in_process
+        .solution
+        .iter()
+        .zip(&multi_process.solution)
+        .enumerate()
+    {
+        assert_eq!(
+            a.to_bits(),
+            b.to_bits(),
+            "distributed: solution bit mismatch at vertex {i}: {a:?} vs {b:?}"
+        );
+    }
+    assert_eq!(
+        in_process.final_residual.to_bits(),
+        multi_process.final_residual.to_bits(),
+        "distributed: final residual bits differ"
+    );
+    assert_eq!(
+        in_process.total_solves, multi_process.total_solves,
+        "distributed: solve counters differ"
+    );
+    assert_eq!(
+        in_process.total_messages, multi_process.total_messages,
+        "distributed: message counters differ"
+    );
+    assert_eq!(
+        in_process.total_flops, multi_process.total_flops,
+        "distributed: flop counters differ"
+    );
+    assert_eq!(
+        in_process.converged, multi_process.converged,
+        "distributed: convergence flags differ"
+    );
 }
 
 /// A short tagged activation-trace sample of a baseline on the comparison

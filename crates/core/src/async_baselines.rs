@@ -190,28 +190,20 @@ impl RowPartition {
         for (q, globals) in ext_globals.iter().enumerate() {
             for (slot, &g) in globals.iter().enumerate() {
                 let p = assignment[g];
-                let pairs = match routes[p].iter_mut().find(|(dst, _)| *dst == q) {
-                    Some((_, pairs)) => pairs,
-                    None => {
-                        routes[p].push((q, Vec::new()));
-                        &mut routes[p].last_mut().expect("just pushed").1
-                    }
-                };
-                pairs.push((slot, local_of[g]));
+                match routes[p].iter_mut().find(|(dst, _)| *dst == q) {
+                    Some((_, pairs)) => pairs.push((slot, local_of[g])),
+                    None => routes[p].push((q, vec![(slot, local_of[g])])),
+                }
             }
         }
         // Diffusion grouping: p's ext slots bucketed by owner part.
         let mut ext_by_part: Vec<Vec<(usize, Vec<usize>)>> = vec![Vec::new(); k];
         for p in 0..k {
             for (slot, &dst) in ext_owner[p].iter().enumerate() {
-                let slots = match ext_by_part[p].iter_mut().find(|(d, _)| *d == dst) {
-                    Some((_, s)) => s,
-                    None => {
-                        ext_by_part[p].push((dst, Vec::new()));
-                        &mut ext_by_part[p].last_mut().expect("just pushed").1
-                    }
-                };
-                slots.push(slot);
+                match ext_by_part[p].iter_mut().find(|(d, _)| *d == dst) {
+                    Some((_, s)) => s.push(slot),
+                    None => ext_by_part[p].push((dst, vec![slot])),
+                }
             }
         }
         Ok(Arc::new(Self {
@@ -1184,27 +1176,23 @@ pub fn solve_threaded(
     );
 
     let mut senders: Vec<Sender<DtmMsg>> = Vec::with_capacity(n_parts);
-    let mut receivers: Vec<Option<Receiver<DtmMsg>>> = Vec::with_capacity(n_parts);
+    let mut receivers: Vec<Receiver<DtmMsg>> = Vec::with_capacity(n_parts);
     for _ in 0..n_parts {
         let (tx, rx) = unbounded::<DtmMsg>();
         senders.push(tx);
-        receivers.push(Some(rx));
+        receivers.push(rx);
     }
     let stop = Arc::new(AtomicBool::new(false));
     let in_flight = Arc::new(AtomicI64::new(0));
     let active = Arc::new(AtomicUsize::new(0));
     let snapshots: Arc<Vec<SharedBlock>> =
         Arc::new(n_locals.iter().map(|&nl| SharedBlock::new(nl, 1)).collect());
-    let drain_rx: Vec<Receiver<DtmMsg>> = receivers
-        .iter()
-        .map(|r| r.as_ref().expect("receiver present").clone())
-        .collect();
+    let drain_rx: Vec<Receiver<DtmMsg>> = receivers.iter().map(Receiver::clone).collect();
     let self_halting = matches!(config.termination, Termination::LocalDelta { .. });
 
     let mut handles: Vec<std::thread::JoinHandle<(u64, u64, u64, bool)>> =
         Vec::with_capacity(n_parts);
-    for (p, mut node) in nodes.into_iter().enumerate() {
-        let rx = receivers[p].take().expect("receiver unused");
+    for ((p, mut node), rx) in nodes.into_iter().enumerate().zip(receivers) {
         let mut transport = BaselineChannelTransport {
             senders: senders.clone(),
             in_flight: in_flight.clone(),
@@ -1304,7 +1292,12 @@ pub fn solve_threaded(
         any_capped: false,
     };
     for h in handles {
-        let (solves, messages, flops, capped) = h.join().expect("baseline worker panicked");
+        // Propagate a worker panic verbatim rather than wrapping it: the
+        // panic payload carries the original message and location.
+        let (solves, messages, flops, capped) = match h.join() {
+            Ok(counters) => counters,
+            Err(payload) => std::panic::resume_unwind(payload),
+        };
         counters.solves += solves;
         counters.messages += messages;
         counters.flops += flops;

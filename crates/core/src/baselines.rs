@@ -154,14 +154,10 @@ impl Blocks {
         for (q, globals) in ext_globals.iter().enumerate() {
             for (slot, &g) in globals.iter().enumerate() {
                 let p = assignment[g];
-                let entry = match routes[p].iter_mut().find(|(dst, _)| *dst == q) {
-                    Some((_, pairs)) => pairs,
-                    None => {
-                        routes[p].push((q, Vec::new()));
-                        &mut routes[p].last_mut().expect("just pushed").1
-                    }
-                };
-                entry.push((slot, local_of[g]));
+                match routes[p].iter_mut().find(|(dst, _)| *dst == q) {
+                    Some((_, pairs)) => pairs.push((slot, local_of[g])),
+                    None => routes[p].push((q, vec![(slot, local_of[g])])),
+                }
             }
         }
         Ok(Self {
@@ -456,14 +452,13 @@ pub fn solve_sync(
     // availability: residual termination stops on the residual even when
     // a reference was supplied for reporting.
     let use_residual = matches!(config.termination, Termination::Residual { .. });
+    // Non-residual modes always carry a reference (constructed above), so
+    // the `(None, false)` arm is unreachable — falling back to the
+    // residual there keeps the closure total without a panic path.
     let metric_of = |x: &[f64]| -> f64 {
-        if use_residual {
-            a.residual_norm(x, b) / b_scale
-        } else {
-            let r = reference
-                .as_ref()
-                .expect("oracle metric requires a reference");
-            dtm_sparse::vector::rms_error(x, r)
+        match (&reference, use_residual) {
+            (Some(r), false) => dtm_sparse::vector::rms_error(x, r),
+            _ => a.residual_norm(x, b) / b_scale,
         }
     };
     let blocks = Blocks::build(a, b, assignment)?;

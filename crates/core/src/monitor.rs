@@ -545,26 +545,23 @@ impl Monitor {
     }
 
     /// The oracle tracker, which every `OracleRms`-mode accessor needs.
-    /// This is the single place the "monitor has no oracle" contract is
-    /// enforced; the public accessors document it as their `# Panics`.
-    fn oracle_state(&self) -> &OracleTracker {
-        self.oracle.as_ref().expect("monitor has no oracle")
+    /// `None` on a monitor built without references; the accessors map
+    /// that to `NaN` — the report vocabulary's "no oracle" value — so a
+    /// mode mismatch degrades to an unusable number, never a crash.
+    fn oracle_state(&self) -> Option<&OracleTracker> {
+        self.oracle.as_ref()
     }
 
-    /// The residual tracker behind every `Residual`-mode accessor — the
-    /// single enforcement point of the "monitor does not track the
-    /// residual" contract.
-    fn tracker(&self) -> &ResidualTracker {
-        self.residual
-            .as_ref()
-            .expect("monitor does not track the residual")
+    /// The residual tracker behind every `Residual`-mode accessor. `None`
+    /// when the monitor does not track the residual; accessors map that
+    /// to `NaN` rather than panicking.
+    fn tracker(&self) -> Option<&ResidualTracker> {
+        self.residual.as_ref()
     }
 
     /// Mutable [`tracker`](Self::tracker).
-    fn tracker_mut(&mut self) -> &mut ResidualTracker {
-        self.residual
-            .as_mut()
-            .expect("monitor does not track the residual")
+    fn tracker_mut(&mut self) -> Option<&mut ResidualTracker> {
+        self.residual.as_mut()
     }
 
     /// Current worst-column primary metric (incrementally maintained; the
@@ -573,128 +570,121 @@ impl Monitor {
     pub fn metric(&self) -> f64 {
         match self.primary {
             Primary::OracleRms => self.rms(),
-            Primary::Residual => self.tracker().cached_metric,
+            Primary::Residual => self.tracker().map_or(f64::NAN, |t| t.cached_metric),
         }
     }
 
     /// Current worst-column RMS error (incrementally maintained).
-    ///
-    /// # Panics
-    /// Panics if the monitor carries no oracle references.
+    /// `NaN` if the monitor carries no oracle references.
     pub fn rms(&self) -> f64 {
-        let o = self.oracle_state();
         let n = self.n.max(1) as f64;
-        o.sum_sq_err
-            .iter()
-            .map(|ss| (ss.max(0.0) / n).sqrt())
-            .fold(0.0, f64::max)
+        self.oracle_state().map_or(f64::NAN, |o| {
+            o.sum_sq_err
+                .iter()
+                .map(|ss| (ss.max(0.0) / n).sqrt())
+                .fold(0.0, f64::max)
+        })
     }
 
     /// Current worst-column relative residual `‖b − A·x‖₂ / ‖b‖₂`
     /// (incrementally maintained; any pending deferred folds are applied
     /// first, so the returned value always reflects every update).
-    ///
-    /// # Panics
-    /// Panics if the monitor does not track the residual.
+    /// `NaN` if the monitor does not track the residual.
     pub fn rel_residual(&mut self) -> f64 {
         let n = self.n;
-        let t = self.tracker_mut();
-        if !t.dirty.is_empty() {
-            Self::flush_tracker(t, n);
+        match self.tracker_mut() {
+            Some(t) => {
+                if !t.dirty.is_empty() {
+                    Self::flush_tracker(t, n);
+                }
+                t.cached_metric
+            }
+            None => f64::NAN,
         }
-        t.cached_metric
     }
 
     /// Exactly recomputed worst-column RMS error (clears accumulated FP
-    /// drift).
-    ///
-    /// # Panics
-    /// Panics if the monitor carries no oracle references.
+    /// drift). `NaN` if the monitor carries no oracle references.
     pub fn rms_exact(&self) -> f64 {
-        self.rms_exact_per_rhs().into_iter().fold(0.0, f64::max)
+        match self.oracle_state() {
+            Some(_) => self.rms_exact_per_rhs().into_iter().fold(0.0, f64::max),
+            None => f64::NAN,
+        }
     }
 
-    /// Exactly recomputed RMS error per RHS column.
-    ///
-    /// # Panics
-    /// Panics if the monitor carries no oracle references.
+    /// Exactly recomputed RMS error per RHS column. All-`NaN` if the
+    /// monitor carries no oracle references.
     pub fn rms_exact_per_rhs(&self) -> Vec<f64> {
-        let o = self.oracle_state();
         let n = self.n;
         (0..self.k)
             .map(|c| {
-                dtm_sparse::vector::rms_error(
-                    &self.est[c * n..(c + 1) * n],
-                    &o.reference[c * n..(c + 1) * n],
-                )
+                self.oracle_state().map_or(f64::NAN, |o| {
+                    dtm_sparse::vector::rms_error(
+                        &self.est[c * n..(c + 1) * n],
+                        &o.reference[c * n..(c + 1) * n],
+                    )
+                })
             })
             .collect()
     }
 
     /// Exactly recomputed relative residual per RHS column (one fused SpMV
     /// per column; does not disturb the incremental accumulators).
-    ///
-    /// # Panics
-    /// Panics if the monitor does not track the residual.
+    /// All-`NaN` if the monitor does not track the residual.
     pub fn residual_exact_per_rhs(&self) -> Vec<f64> {
-        let t = self.tracker();
         let n = self.n;
         (0..self.k)
             .map(|c| {
-                t.a.residual_norm(&self.est[c * n..(c + 1) * n], &t.rhs[c * n..(c + 1) * n])
-                    / t.b_scale[c]
+                self.tracker().map_or(f64::NAN, |t| {
+                    t.a.residual_norm(&self.est[c * n..(c + 1) * n], &t.rhs[c * n..(c + 1) * n])
+                        / t.b_scale[c]
+                })
             })
             .collect()
     }
 
     /// Incrementally maintained RMS error of **one** column (rolling
     /// sessions stop columns individually; the worst-column scalar is the
-    /// batch pipeline's view).
-    ///
-    /// # Panics
-    /// Panics if the monitor carries no oracle references.
+    /// batch pipeline's view). `NaN` if the monitor carries no oracle
+    /// references.
     pub fn col_rms(&self, col: usize) -> f64 {
-        let o = self.oracle_state();
-        (o.sum_sq_err[col].max(0.0) / self.n.max(1) as f64).sqrt()
+        self.oracle_state().map_or(f64::NAN, |o| {
+            (o.sum_sq_err[col].max(0.0) / self.n.max(1) as f64).sqrt()
+        })
     }
 
     /// Relative residual of one column as of the last flush (cheap; may be
     /// one flush window stale — confirm a crossing with
     /// [`residual_exact_col`](Self::residual_exact_col) before acting on
-    /// it).
-    ///
-    /// # Panics
-    /// Panics if the monitor does not track the residual.
+    /// it). `NaN` if the monitor does not track the residual.
     pub fn col_residual(&self, col: usize) -> f64 {
-        let t = self.tracker();
-        t.sum_sq[col].max(0.0).sqrt() / t.b_scale[col]
+        self.tracker()
+            .map_or(f64::NAN, |t| t.sum_sq[col].max(0.0).sqrt() / t.b_scale[col])
     }
 
-    /// Exactly recomputed RMS error of one column.
-    ///
-    /// # Panics
-    /// Panics if the monitor carries no oracle references.
+    /// Exactly recomputed RMS error of one column. `NaN` if the monitor
+    /// carries no oracle references.
     pub fn rms_exact_col(&self, col: usize) -> f64 {
-        let o = self.oracle_state();
         let n = self.n;
-        dtm_sparse::vector::rms_error(
-            &self.est[col * n..(col + 1) * n],
-            &o.reference[col * n..(col + 1) * n],
-        )
+        self.oracle_state().map_or(f64::NAN, |o| {
+            dtm_sparse::vector::rms_error(
+                &self.est[col * n..(col + 1) * n],
+                &o.reference[col * n..(col + 1) * n],
+            )
+        })
     }
 
     /// Exactly recomputed relative residual of one column (one fused SpMV;
-    /// does not disturb the incremental accumulators).
-    ///
-    /// # Panics
-    /// Panics if the monitor does not track the residual.
+    /// does not disturb the incremental accumulators). `NaN` if the
+    /// monitor does not track the residual.
     pub fn residual_exact_col(&self, col: usize) -> f64 {
-        let t = self.tracker();
         let n = self.n;
-        t.a.residual_norm(
-            &self.est[col * n..(col + 1) * n],
-            &t.rhs[col * n..(col + 1) * n],
-        ) / t.b_scale[col]
+        self.tracker().map_or(f64::NAN, |t| {
+            t.a.residual_norm(
+                &self.est[col * n..(col + 1) * n],
+                &t.rhs[col * n..(col + 1) * n],
+            ) / t.b_scale[col]
+        })
     }
 
     /// Retire/admit one column in place — the rolling-session hand-off.

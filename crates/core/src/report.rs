@@ -16,6 +16,10 @@ pub enum BackendKind {
     /// In-process work-stealing pool, one task per activation
     /// ([`crate::rayon_backend`]).
     WorkStealing,
+    /// Multi-process execution over real sockets (UDS/TCP), one OS
+    /// process per partition group (`dtm-net`'s round-structured
+    /// distributed runner).
+    Distributed,
 }
 
 /// Which *algorithm* produced a report — orthogonal to [`BackendKind`]

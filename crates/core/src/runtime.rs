@@ -56,7 +56,7 @@
 
 use crate::impedance::{per_port, ImpedancePolicy};
 use crate::local::{LocalSolverKind, LocalSystem};
-use dtm_graph::evs::SplitSystem;
+use dtm_graph::evs::{SplitSystem, Subdomain};
 use dtm_sparse::{Result, SparseCholesky};
 
 /// Columns a [`SmallBlock`] stores inline before spilling to the heap.
@@ -705,6 +705,62 @@ pub(crate) fn transpose_scatter(local_cols: Vec<Vec<Vec<f64>>>) -> Vec<Vec<Vec<f
     by_part
 }
 
+/// Build a single part's [`NodeRuntime`] from its subdomain and its
+/// pre-assigned per-port impedances — the distributed backend's entry
+/// point: a child process holding only its own group's subdomains (no
+/// full [`SplitSystem`]) rebuilds each node from exactly this data.
+///
+/// `z_ports[i]` is the impedance of `sub.ports[i]`, as produced by
+/// [`crate::impedance::per_port`] at the parent. The result is
+/// bitwise-identical to the node [`build_nodes`] constructs for the same
+/// part: routes are derived from the same port list in the same order and
+/// the factorization is the same [`LocalSystem::new`] call.
+///
+/// # Errors
+/// Fails when `z_ports` does not match the subdomain's port count, or the
+/// local factorization fails (the subdomain was not SNND, i.e. the EVS
+/// split violated Theorem 6.1's hypothesis).
+pub fn build_node(sub: &Subdomain, z_ports: &[f64], common: &CommonConfig) -> Result<NodeRuntime> {
+    if z_ports.len() != sub.ports.len() {
+        return Err(dtm_sparse::Error::DimensionMismatch {
+            context: "build_node port impedances",
+            expected: sub.ports.len(),
+            actual: z_ports.len(),
+        });
+    }
+    build_node_inner(sub, z_ports, common, None)
+}
+
+fn build_node_inner(
+    sub: &Subdomain,
+    z_ports: &[f64],
+    common: &CommonConfig,
+    cols: Option<&Vec<Vec<f64>>>,
+) -> Result<NodeRuntime> {
+    let mut routes: Vec<(usize, Vec<(usize, usize)>)> = Vec::new();
+    for (my_port, port) in sub.ports.iter().enumerate() {
+        match routes.iter_mut().find(|(dst, _)| *dst == port.peer.part) {
+            Some((_, pairs)) => pairs.push((port.peer.port, my_port)),
+            None => routes.push((port.peer.part, vec![(port.peer.port, my_port)])),
+        }
+    }
+    let local = match cols {
+        None => LocalSystem::new(sub, z_ports, common.solver_kind)?,
+        Some(cols) => LocalSystem::new_block(sub, z_ports, common.solver_kind, cols)?,
+    };
+    Ok(NodeRuntime {
+        part: sub.part,
+        local,
+        routes,
+        pool: Vec::new(),
+        termination: common.termination,
+        max_solves: common.max_solves_per_node,
+        small_streak: 0,
+        messages_sent: 0,
+        capped: false,
+    })
+}
+
 /// Build one part's [`NodeRuntime`]: derive its wave routes and factor its
 /// local system. Pure in its inputs, so parts can be built in any order —
 /// or concurrently.
@@ -715,29 +771,12 @@ fn build_one_node(
     common: &CommonConfig,
     part_cols: Option<&Vec<Vec<Vec<f64>>>>,
 ) -> Result<NodeRuntime> {
-    let sd = &split.subdomains[p];
-    let mut routes: Vec<(usize, Vec<(usize, usize)>)> = Vec::new();
-    for (my_port, port) in sd.ports.iter().enumerate() {
-        match routes.iter_mut().find(|(dst, _)| *dst == port.peer.part) {
-            Some((_, pairs)) => pairs.push((port.peer.port, my_port)),
-            None => routes.push((port.peer.part, vec![(port.peer.port, my_port)])),
-        }
-    }
-    let local = match part_cols {
-        None => LocalSystem::new(sd, &z_ports[p], common.solver_kind)?,
-        Some(cols) => LocalSystem::new_block(sd, &z_ports[p], common.solver_kind, &cols[p])?,
-    };
-    Ok(NodeRuntime {
-        part: p,
-        local,
-        routes,
-        pool: Vec::new(),
-        termination: common.termination,
-        max_solves: common.max_solves_per_node,
-        small_streak: 0,
-        messages_sent: 0,
-        capped: false,
-    })
+    build_node_inner(
+        &split.subdomains[p],
+        &z_ports[p],
+        common,
+        part_cols.map(|cols| &cols[p]),
+    )
 }
 
 /// `part_cols[p][c]` = column `c`'s scattered sources for part `p`; `None`

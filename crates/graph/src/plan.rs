@@ -203,7 +203,11 @@ impl PartitionPlan {
             .map(|v| (cut_degree[v], cut_degree[v], v))
             .collect();
         while remaining > 0 {
-            let (live, _, best) = heap.pop().expect("uncovered edges imply live vertices");
+            // Uncovered edges imply live vertices in the heap; stop the
+            // cover greedily if that invariant is ever broken.
+            let Some((live, _, best)) = heap.pop() else {
+                break;
+            };
             // Stale entry: vertex already chosen, or its live degree has
             // shrunk since this entry was pushed (a fresher one exists).
             if in_boundary[best] || live != live_degree[best] || live == 0 {

@@ -510,9 +510,10 @@ pub fn scan_hot_path(file: &Path, lines: &[LexedLine]) -> Vec<Finding> {
 /// Crates whose `src/` must be panic-free (rule 1). The bench harness
 /// and vendored stand-ins are exempt: the harness is allowed to die
 /// loudly, and minloom uses panics as scheduler control flow.
-const LIBRARY_CRATES: [&str; 4] = [
+const LIBRARY_CRATES: [&str; 5] = [
     "crates/core",
     "crates/graph",
+    "crates/net",
     "crates/simnet",
     "crates/sparse",
 ];

@@ -1,0 +1,8 @@
+//! Standalone child-process binary for the socket backend's own tests
+//! (`repro` embeds the same entry point behind its hidden `net-child`
+//! subcommand, so production runs need only one executable on disk).
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    std::process::exit(dtm_net::child_main(&args));
+}

@@ -1,0 +1,295 @@
+//! The child-process side of the socket backend: one process per
+//! partition group.
+//!
+//! A child connects back to the parent, introduces itself (`Hello`),
+//! receives its [`GroupPlan`](crate::wire::GroupPlan) (its subdomains, impedances and solver
+//! settings), rebuilds its nodes with
+//! [`build_node`] — bitwise-identical to the
+//! in-process construction — then wires up the peer mesh and runs the
+//! same [`crate::round::run_group`] loop the in-process mode runs on a
+//! thread. Sockets only ever appear here, wrapped into the channels the
+//! executor expects.
+//!
+//! Orphan protection: a dedicated thread reads the parent link; `Stop`
+//! *or EOF* raises the stop flag, so a dying parent takes its children
+//! down instead of leaking solver processes.
+
+use crate::round::{self, GroupCtx, GroupIo, UpEvent};
+use crate::runner::FAIL_ENV;
+use crate::socket::{Listener, Stream, TransportKind};
+use crate::wire::{self, Msg, Wave};
+use dtm_core::runtime::{build_node, CommonConfig, NodeRuntime};
+use dtm_sparse::{Error, Result};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::Arc;
+use std::time::Duration;
+
+const HANDSHAKE_TIMEOUT: Duration = Duration::from_secs(30);
+
+fn derr(what: impl std::fmt::Display) -> Error {
+    Error::Parse(format!("net-child: {what}"))
+}
+
+/// Flag-style argument lookup (mirrors the `repro` CLI idiom).
+fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}
+
+/// Entry point of the hidden `net-child` mode: parse the protocol flags,
+/// run the group, report the outcome on the parent link. Returns the
+/// process exit code (0 success, 1 runtime failure, 2 usage error).
+pub fn child_main(args: &[String]) -> i32 {
+    let Some(addr) = flag_value(args, "--connect") else {
+        eprintln!("net-child: missing --connect <addr>");
+        return 2;
+    };
+    let Some(group) = flag_value(args, "--group").and_then(|s| s.parse::<usize>().ok()) else {
+        eprintln!("net-child: missing or invalid --group <n>");
+        return 2;
+    };
+    let Some(kind) = flag_value(args, "--transport").and_then(TransportKind::parse) else {
+        eprintln!("net-child: missing or invalid --transport <uds|tcp>");
+        return 2;
+    };
+
+    match run_child(kind, addr, group) {
+        Ok(()) => 0,
+        Err(e) => {
+            // Best effort: the parent learns more from an Err frame than
+            // from an exit status, but the link may be what failed.
+            if let Ok(mut s) = Stream::connect(kind, addr) {
+                let _ = wire::write_frame(
+                    &mut s,
+                    &Msg::Hello {
+                        group: group as u64,
+                    },
+                );
+                let _ = wire::write_frame(
+                    &mut s,
+                    &Msg::Err {
+                        text: e.to_string(),
+                    },
+                );
+            }
+            eprintln!("net-child group {group}: {e}");
+            1
+        }
+    }
+}
+
+fn run_child(kind: TransportKind, addr: &str, group: usize) -> Result<()> {
+    // Handshake: introduce, receive the plan.
+    let mut parent = Stream::connect(kind, addr)?;
+    parent.set_read_timeout(Some(HANDSHAKE_TIMEOUT))?;
+    wire::write_frame(
+        &mut parent,
+        &Msg::Hello {
+            group: group as u64,
+        },
+    )?;
+    let plan = match wire::read_frame(&mut parent)? {
+        Some(Msg::Plan(p)) => *p,
+        other => return Err(derr(format!("expected Plan, got {other:?}"))),
+    };
+    if plan.group as usize != group {
+        return Err(derr(format!(
+            "plan addressed to group {}, this child is group {group}",
+            plan.group
+        )));
+    }
+
+    // Rebuild this group's nodes exactly as the in-process mode would.
+    let common = CommonConfig {
+        solver_kind: plan.solver_kind,
+        termination: plan.termination,
+        max_solves_per_node: usize::try_from(plan.max_solves_per_node).unwrap_or(usize::MAX),
+        ..Default::default()
+    };
+    let mut nodes: BTreeMap<usize, NodeRuntime> = BTreeMap::new();
+    for pp in &plan.parts {
+        let node = build_node(&pp.sub, &pp.z_ports, &common)?;
+        nodes.insert(pp.sub.part, node);
+    }
+
+    // Bind the peer listener, report where it actually landed.
+    let (listener, peer_addr) = Listener::bind(kind, &plan.listen_spec)?;
+    wire::write_frame(&mut parent, &Msg::Listening { addr: peer_addr })?;
+    let peer_map = match wire::read_frame(&mut parent)? {
+        Some(Msg::PeerMap { addrs }) => addrs,
+        other => return Err(derr(format!("expected PeerMap, got {other:?}"))),
+    };
+
+    // Full mesh: connect to every lower group, accept every higher one.
+    let n_groups = plan.n_groups as usize;
+    let mut peer_links: BTreeMap<usize, Stream> = BTreeMap::new();
+    for h in 0..group {
+        let addr = peer_map
+            .iter()
+            .find(|&&(g, _)| g as usize == h)
+            .map(|(_, a)| a.as_str())
+            .ok_or_else(|| derr(format!("peer map missing group {h}")))?;
+        let mut s = Stream::connect(kind, addr)?;
+        wire::write_frame(
+            &mut s,
+            &Msg::PeerHello {
+                group: group as u64,
+            },
+        )?;
+        peer_links.insert(h, s);
+    }
+    for _ in group + 1..n_groups {
+        let mut s = listener.accept()?;
+        s.set_read_timeout(Some(HANDSHAKE_TIMEOUT))?;
+        match wire::read_frame(&mut s)? {
+            Some(Msg::PeerHello { group: h }) => {
+                s.set_read_timeout(None)?;
+                peer_links.insert(h as usize, s);
+            }
+            other => return Err(derr(format!("expected PeerHello, got {other:?}"))),
+        }
+    }
+
+    // Mesh up: report per-round rates, wait for the starting gun.
+    wire::write_frame(&mut parent, &Msg::Ready(round::group_rates(&nodes)))?;
+    match wire::read_frame(&mut parent)? {
+        Some(Msg::Go) => {}
+        other => return Err(derr(format!("expected Go, got {other:?}"))),
+    }
+    parent.set_read_timeout(None)?;
+
+    // Steady state: wrap every socket in a thread so the executor sees
+    // only channels and the stop flag.
+    let stop = Arc::new(AtomicBool::new(false));
+    let (wave_tx, wave_rx) = channel::<Wave>();
+    let mut peers: BTreeMap<usize, Sender<Wave>> = BTreeMap::new();
+    for (h, link) in peer_links {
+        let reader = link.try_clone()?;
+        let tx_in = wave_tx.clone();
+        std::thread::spawn(move || peer_reader(reader, &tx_in));
+        let (tx_out, rx_out) = channel::<Wave>();
+        std::thread::spawn(move || peer_writer(link, &rx_out));
+        peers.insert(h, tx_out);
+    }
+    drop(wave_tx);
+
+    // Parent link: reader thread for Stop/EOF, uplink thread for
+    // snapshots (it hands the write half back when the run ends).
+    let stop_in = stop.clone();
+    let parent_reader = parent.try_clone()?;
+    std::thread::spawn(move || watch_parent(parent_reader, &stop_in));
+    let (up_tx, up_rx) = channel::<(usize, UpEvent)>();
+    let uplink = std::thread::spawn(move || pump_uplink(parent, &up_rx));
+
+    let ctx = GroupCtx {
+        group,
+        group_of_part: plan.group_of_part.iter().map(|&g| g as usize).collect(),
+        max_rounds: plan.max_rounds,
+        fail_after_round: std::env::var(FAIL_ENV)
+            .ok()
+            .and_then(|v| v.parse::<u64>().ok()),
+    };
+    let stopped = stop.clone();
+    let io = GroupIo {
+        wave_rx,
+        peers,
+        up: up_tx,
+        stop,
+    };
+    let run = round::run_group(&mut nodes, &ctx, &io);
+
+    // Closing the uplink channel flushes the snapshot writer and returns
+    // the parent write half for the final Done/Err frame.
+    drop(io);
+    let mut parent = match uplink.join() {
+        Ok(s) => s,
+        Err(payload) => std::panic::resume_unwind(payload),
+    };
+    match run {
+        Ok(()) => {
+            // After Stop the parent may already have decided the run and
+            // closed the link — a failed Done is then benign teardown
+            // noise, not a protocol error.
+            if let Err(e) = wire::write_frame(&mut parent, &Msg::Done) {
+                if !stopped.load(Ordering::Acquire) {
+                    return Err(e);
+                }
+            }
+            Ok(())
+        }
+        Err(e) => {
+            let _ = wire::write_frame(
+                &mut parent,
+                &Msg::Err {
+                    text: e.to_string(),
+                },
+            );
+            Err(e)
+        }
+    }
+}
+
+/// Pump one peer link's incoming waves into the shared inbox. EOF or a
+/// wire error ends the pump; if the run is still live the executor
+/// notices (the wave it is waiting for never arrives), and the *parent*
+/// — watching the dead peer's supervisor link — tears the run down, so
+/// nothing needs to escalate from here.
+fn peer_reader(mut link: Stream, tx: &Sender<Wave>) {
+    loop {
+        match wire::read_frame(&mut link) {
+            Ok(Some(Msg::Wave(w))) => {
+                if tx.send(w).is_err() {
+                    break;
+                }
+            }
+            Ok(Some(_)) => {}
+            Ok(None) | Err(_) => break,
+        }
+    }
+}
+
+/// Drain one peer's outbound queue onto its socket. A write failure
+/// drops the receiver, which [`round::run_group`] observes as a failed
+/// send and converts to a typed error (unless the run is stopping).
+fn peer_writer(mut link: Stream, rx: &Receiver<Wave>) {
+    while let Ok(w) = rx.recv() {
+        if wire::write_frame(&mut link, &Msg::Wave(w)).is_err() {
+            break;
+        }
+    }
+}
+
+/// Watch the parent link: `Stop` is the graceful shutdown signal, EOF or
+/// an error means the parent is gone — either way, stop solving.
+fn watch_parent(mut link: Stream, stop: &AtomicBool) {
+    loop {
+        match wire::read_frame(&mut link) {
+            Ok(Some(Msg::Stop)) | Ok(None) | Err(_) => {
+                stop.store(true, Ordering::Release);
+                break;
+            }
+            Ok(Some(_)) => {}
+        }
+    }
+}
+
+/// Serialize snapshot events onto the parent link; returns the write
+/// half when the event channel closes so the caller can send the final
+/// frame on the same socket.
+fn pump_uplink(mut parent: Stream, rx: &Receiver<(usize, UpEvent)>) -> Stream {
+    while let Ok((_, ev)) = rx.recv() {
+        let msg = match ev {
+            UpEvent::Snapshot(s) => Msg::Snapshot(s),
+            UpEvent::Done => Msg::Done,
+            UpEvent::Failed(text) => Msg::Err { text },
+        };
+        if wire::write_frame(&mut parent, &msg).is_err() {
+            break;
+        }
+    }
+    parent
+}

@@ -1,0 +1,204 @@
+//! The deterministic round-structured wavefront executor.
+//!
+//! Each group runs its parts in ascending order once per **round**: at
+//! round `r > 0` a node first absorbs every neighbour's round-`r−1` wave
+//! (in ascending source-part order), then steps once — solve and scatter
+//! its round-`r` waves — and ships a round-tagged solution snapshot to
+//! the supervisor. Round 0 is the initial solve under the zero boundary
+//! guess, with nothing to absorb.
+//!
+//! Because every node consumes exactly one wave per neighbour per round
+//! and [`NodeRuntime::step`] emits exactly one wave per route per step,
+//! the sequence of floating-point operations a node performs is a pure
+//! function of the problem — independent of how parts are grouped into
+//! processes, of socket scheduling, and of thread interleaving. That is
+//! the backend's bit-for-bit guarantee: the same solve on 1 thread, N
+//! threads or N OS processes produces identical bits.
+//!
+//! The executor only sees [`std::sync::mpsc`] channels and an atomic stop
+//! flag; the socket child wraps its links in reader/writer threads that
+//! feed the same channels, so this file is the *entire* algorithm for
+//! both transports.
+
+use crate::wire::{GroupRates, Snapshot, Wave};
+use dtm_core::runtime::NodeRuntime;
+use dtm_sparse::{Error, Result};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Upward events a group reports to its supervisor. The socket child
+/// serializes these onto the parent link; the in-process runner delivers
+/// them over a channel directly.
+#[derive(Debug)]
+pub enum UpEvent {
+    /// One part's round-tagged solution snapshot.
+    Snapshot(Snapshot),
+    /// The group's round loop finished (stop flag or round cap).
+    Done,
+    /// The group failed; the supervisor should tear the run down.
+    Failed(String),
+}
+
+/// A group's connections, transport-agnostic.
+pub struct GroupIo {
+    /// Incoming cross-group waves (any source).
+    pub wave_rx: Receiver<Wave>,
+    /// Outbound wave queue per peer group.
+    pub peers: BTreeMap<usize, Sender<Wave>>,
+    /// Upward event channel to the supervisor, tagged with this group id.
+    pub up: Sender<(usize, UpEvent)>,
+    /// Cease after the current absorb/step when set.
+    pub stop: Arc<AtomicBool>,
+}
+
+/// Static execution context of one group.
+pub struct GroupCtx {
+    /// This group's id.
+    pub group: usize,
+    /// Part → group map for the whole solve.
+    pub group_of_part: Vec<usize>,
+    /// Run rounds `0..max_rounds` unless stopped earlier.
+    pub max_rounds: u64,
+    /// Test hook: call [`std::process::exit`]`(3)` after this round
+    /// completes, simulating a mid-solve child crash. Never set outside
+    /// failure-injection tests.
+    pub fail_after_round: Option<u64>,
+}
+
+/// Per-round work rates of a built group (the deterministic counter
+/// basis — see [`GroupRates`]).
+pub fn group_rates(nodes: &BTreeMap<usize, NodeRuntime>) -> GroupRates {
+    let mut r = GroupRates::default();
+    for node in nodes.values() {
+        r.solves_per_round += 1;
+        r.messages_per_round += node.neighbor_parts().count() as u64;
+        r.flops_per_round += 4 * node.local().factor_nnz() as u64 * node.local().n_rhs() as u64;
+    }
+    r
+}
+
+/// Run one group's round loop to completion. Returns `Ok` whether the
+/// loop ended by stop flag or by round cap; channel failures while the
+/// run is still live are errors (a peer vanished mid-solve).
+///
+/// # Errors
+/// Fails if a wave channel disconnects or a send fails before the stop
+/// flag is raised.
+pub fn run_group(
+    nodes: &mut BTreeMap<usize, NodeRuntime>,
+    ctx: &GroupCtx,
+    io: &GroupIo,
+) -> Result<()> {
+    // Neighbours per part, ascending — the canonical absorb order.
+    let neighbors: BTreeMap<usize, Vec<usize>> = nodes
+        .iter()
+        .map(|(&p, node)| {
+            let mut ns: Vec<usize> = node.neighbor_parts().collect();
+            ns.sort_unstable();
+            ns.dedup();
+            (p, ns)
+        })
+        .collect();
+    let parts: Vec<usize> = nodes.keys().copied().collect();
+    // Waves buffered until their round comes up, keyed (round, dst, src).
+    let mut pending: BTreeMap<(u64, usize, usize), dtm_core::runtime::DtmMsg> = BTreeMap::new();
+    let mut outbox: Vec<(usize, dtm_core::runtime::DtmMsg)> = Vec::new();
+
+    'rounds: for round in 0..ctx.max_rounds {
+        for &p in &parts {
+            if round > 0 {
+                for &src in neighbors.get(&p).map(Vec::as_slice).unwrap_or_default() {
+                    let msg = match wait_wave(&mut pending, io, round - 1, p, src)? {
+                        Some(m) => m,
+                        None => break 'rounds, // stopped while waiting
+                    };
+                    if let Some(node) = nodes.get_mut(&p) {
+                        node.absorb_owned(msg);
+                    }
+                }
+            }
+            let Some(node) = nodes.get_mut(&p) else {
+                continue;
+            };
+            outbox.clear();
+            let _ = node.step(&mut outbox);
+            for (dst, msg) in outbox.drain(..) {
+                let dst_group = ctx.group_of_part.get(dst).copied().unwrap_or(ctx.group);
+                if dst_group == ctx.group {
+                    pending.insert((round, dst, p), msg);
+                } else if let Some(tx) = io.peers.get(&dst_group) {
+                    let wave = Wave {
+                        round,
+                        src: p as u64,
+                        dst: dst as u64,
+                        msg,
+                    };
+                    if tx.send(wave).is_err() && !io.stop.load(Ordering::Acquire) {
+                        return Err(Error::Parse(format!(
+                            "distributed group {}: peer link to group {dst_group} closed mid-solve",
+                            ctx.group
+                        )));
+                    }
+                }
+            }
+            let snap = Snapshot {
+                part: p as u64,
+                round,
+                values: node.local().solution().to_vec(),
+            };
+            if io.up.send((ctx.group, UpEvent::Snapshot(snap))).is_err()
+                && !io.stop.load(Ordering::Acquire)
+            {
+                return Err(Error::Parse(format!(
+                    "distributed group {}: supervisor link closed mid-solve",
+                    ctx.group
+                )));
+            }
+        }
+        if ctx.fail_after_round == Some(round) {
+            // Failure injection: vanish like a crashed process would.
+            std::process::exit(3);
+        }
+        if io.stop.load(Ordering::Acquire) {
+            break;
+        }
+    }
+    Ok(())
+}
+
+/// Block until the wave `(round, dst, src)` is available, draining the
+/// shared inbox into the pending buffer. Returns `Ok(None)` if the stop
+/// flag was raised while waiting.
+fn wait_wave(
+    pending: &mut BTreeMap<(u64, usize, usize), dtm_core::runtime::DtmMsg>,
+    io: &GroupIo,
+    round: u64,
+    dst: usize,
+    src: usize,
+) -> Result<Option<dtm_core::runtime::DtmMsg>> {
+    loop {
+        if let Some(m) = pending.remove(&(round, dst, src)) {
+            return Ok(Some(m));
+        }
+        if io.stop.load(Ordering::Acquire) {
+            return Ok(None);
+        }
+        match io.wave_rx.recv_timeout(Duration::from_millis(5)) {
+            Ok(w) => {
+                pending.insert((w.round, w.dst as usize, w.src as usize), w.msg);
+            }
+            Err(RecvTimeoutError::Timeout) => {}
+            Err(RecvTimeoutError::Disconnected) => {
+                if io.stop.load(Ordering::Acquire) {
+                    return Ok(None);
+                }
+                return Err(Error::Parse(
+                    "distributed: wave channel disconnected mid-solve".into(),
+                ));
+            }
+        }
+    }
+}

@@ -1,0 +1,601 @@
+//! The parent supervisor: partitions the solve into groups, runs them —
+//! as threads (in-process reference) or as spawned OS processes over
+//! sockets — and evaluates rounds in order until the residual tolerance
+//! is met.
+//!
+//! Both modes funnel into one `supervise` loop: per-round snapshots
+//! arrive on a merged event channel, the parent gathers the global
+//! estimate for each *complete* round in round order (ascending part
+//! order within the round, matching
+//! [`SplitSystem::reconstruct`]-style averaging of copies) and stops at
+//! the first round whose relative residual meets the tolerance. Because
+//! rounds — not wall-clock races — define the stop decision, the
+//! returned solution is a pure function of the problem, and socket and
+//! in-process runs agree bit for bit.
+//!
+//! Teardown is unconditional in process mode: whatever happens — clean
+//! convergence, a child crash, a wire error — every spawned child is
+//! killed and reaped before the runner returns, so a failed solve leaves
+//! no orphan processes behind.
+
+use crate::round::{self, GroupCtx, GroupIo, UpEvent};
+use crate::socket::{Listener, Stream, TransportKind};
+use crate::wire::{self, GroupPlan, GroupRates, Msg, PartPlan, Snapshot, Wave};
+use dtm_core::runtime::{build_node, CommonConfig, NodeRuntime};
+use dtm_graph::evs::SplitSystem;
+use dtm_sparse::{Error, Result};
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Environment variable the failure-injection hook travels through: set
+/// on one child process, makes it exit mid-solve after the given round.
+pub const FAIL_ENV: &str = "DTM_NET_FAIL_AFTER_ROUND";
+
+const HANDSHAKE_TIMEOUT: Duration = Duration::from_secs(30);
+const REAP_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// Everything both run modes need.
+pub(crate) struct RunInputs<'a> {
+    pub split: &'a SplitSystem,
+    pub z_ports: &'a [Vec<f64>],
+    pub common: &'a CommonConfig,
+    pub group_of_part: &'a [usize],
+    pub n_groups: usize,
+    pub tol: f64,
+    pub budget: Duration,
+    pub max_rounds: u64,
+}
+
+/// What a run produced, mode-independent.
+pub(crate) struct RunOutcome {
+    pub rounds_completed: u64,
+    pub converged: bool,
+    pub solution: Vec<f64>,
+    pub final_residual: f64,
+    pub series: Vec<(f64, f64)>,
+    pub rates: GroupRates,
+    pub elapsed: Duration,
+}
+
+fn derr(what: impl std::fmt::Display) -> Error {
+    Error::Parse(format!("distributed: {what}"))
+}
+
+// ---------------------------------------------------------------------------
+// Shared round evaluation
+// ---------------------------------------------------------------------------
+
+struct SupOutcome {
+    rounds_completed: u64,
+    converged: bool,
+    solution: Vec<f64>,
+    final_residual: f64,
+    series: Vec<(f64, f64)>,
+}
+
+/// Average each original vertex's copies into the global estimate —
+/// the same copy-averaging the wall-clock supervisor applies.
+fn gather(split: &SplitSystem, parts_snap: &BTreeMap<usize, Vec<f64>>, est: &mut [f64]) {
+    est.iter_mut().for_each(|v| *v = 0.0);
+    for (p, sd) in split.subdomains.iter().enumerate() {
+        let Some(vals) = parts_snap.get(&p) else {
+            continue;
+        };
+        for (l, &g) in sd.global_of_local.iter().enumerate() {
+            if let (Some(&v), Some(e)) = (vals.get(l), est.get_mut(g)) {
+                *e += v;
+            }
+        }
+    }
+    for (v, &cc) in est.iter_mut().zip(&split.copy_count) {
+        *v /= cc as f64;
+    }
+}
+
+/// Consume group events until the tolerance is met at some round, every
+/// group reports done (round cap), or the budget expires. Rounds are
+/// evaluated strictly in order, each only once all parts' snapshots for
+/// it have arrived.
+fn supervise(
+    inp: &RunInputs<'_>,
+    events: &Receiver<(usize, UpEvent)>,
+    started: Instant,
+) -> Result<SupOutcome> {
+    let split = inp.split;
+    let n_parts = split.n_parts();
+    let (a, b) = split.reconstruct();
+    let b_scale = dtm_sparse::vector::norm2_or_one(&b);
+    let deadline = started + inp.budget;
+
+    let mut snaps: BTreeMap<u64, BTreeMap<usize, Vec<f64>>> = BTreeMap::new();
+    let mut est = vec![0.0; split.original_n];
+    let mut series: Vec<(f64, f64)> = Vec::new();
+    let mut next_round: u64 = 0;
+    let mut done_groups = 0usize;
+    let mut converged = false;
+
+    'outer: loop {
+        // Evaluate every round that just became complete, in order.
+        while snaps.get(&next_round).is_some_and(|m| m.len() == n_parts) {
+            let m = snaps.remove(&next_round).unwrap_or_default();
+            gather(split, &m, &mut est);
+            let metric = a.residual_norm(&est, &b) / b_scale;
+            series.push((started.elapsed().as_secs_f64() * 1e3, metric));
+            next_round += 1;
+            if metric <= inp.tol {
+                converged = true;
+                break 'outer;
+            }
+        }
+        if done_groups == inp.n_groups {
+            // Nothing more will arrive (per-sender FIFO: every snapshot
+            // a group sent precedes its Done on the merged channel).
+            break;
+        }
+        match events.recv_timeout(Duration::from_millis(50)) {
+            Ok((_, UpEvent::Snapshot(s))) => record_snapshot(&mut snaps, s, n_parts, next_round),
+            Ok((_, UpEvent::Done)) => done_groups += 1,
+            Ok((g, UpEvent::Failed(text))) => {
+                return Err(derr(format!("group {g} failed: {text}")));
+            }
+            Err(RecvTimeoutError::Timeout) => {
+                if Instant::now() >= deadline {
+                    break;
+                }
+            }
+            Err(RecvTimeoutError::Disconnected) => {
+                return Err(derr("all group links closed before completion"));
+            }
+        }
+    }
+
+    let final_residual = a.residual_norm(&est, &b) / b_scale;
+    Ok(SupOutcome {
+        rounds_completed: next_round,
+        converged,
+        solution: est,
+        final_residual,
+        series,
+    })
+}
+
+fn record_snapshot(
+    snaps: &mut BTreeMap<u64, BTreeMap<usize, Vec<f64>>>,
+    s: Snapshot,
+    n_parts: usize,
+    next_round: u64,
+) {
+    let part = s.part as usize;
+    // Out-of-contract or already-evaluated rounds are dropped (late
+    // snapshots keep streaming in while a stop decision propagates).
+    if part >= n_parts || s.round < next_round {
+        return;
+    }
+    snaps.entry(s.round).or_default().insert(part, s.values);
+}
+
+// ---------------------------------------------------------------------------
+// In-process mode: groups as threads, channels as links
+// ---------------------------------------------------------------------------
+
+/// Build each part's node and bucket them by group.
+fn build_groups(inp: &RunInputs<'_>) -> Result<BTreeMap<usize, BTreeMap<usize, NodeRuntime>>> {
+    let mut groups: BTreeMap<usize, BTreeMap<usize, NodeRuntime>> = BTreeMap::new();
+    for (p, sd) in inp.split.subdomains.iter().enumerate() {
+        let z = inp
+            .z_ports
+            .get(p)
+            .ok_or_else(|| derr("impedance table shorter than part list"))?;
+        let node = build_node(sd, z, inp.common)?;
+        let g = inp.group_of_part.get(p).copied().unwrap_or(0);
+        groups.entry(g).or_default().insert(p, node);
+    }
+    Ok(groups)
+}
+
+/// Run the solve with every group on an OS thread in this process — the
+/// bitwise reference the socket mode is compared against.
+pub(crate) fn run_in_process(inp: &RunInputs<'_>) -> Result<RunOutcome> {
+    let started = Instant::now();
+    let groups = build_groups(inp)?;
+    let mut rates = GroupRates::default();
+    for nodes in groups.values() {
+        let r = round::group_rates(nodes);
+        rates.solves_per_round += r.solves_per_round;
+        rates.messages_per_round += r.messages_per_round;
+        rates.flops_per_round += r.flops_per_round;
+    }
+
+    let mut wave_tx: BTreeMap<usize, Sender<Wave>> = BTreeMap::new();
+    let mut wave_rx: BTreeMap<usize, Receiver<Wave>> = BTreeMap::new();
+    for &g in groups.keys() {
+        let (tx, rx) = channel();
+        wave_tx.insert(g, tx);
+        wave_rx.insert(g, rx);
+    }
+    let (ev_tx, ev_rx) = channel();
+    let stop = Arc::new(AtomicBool::new(false));
+
+    let mut handles = Vec::new();
+    for (g, mut nodes) in groups {
+        let peers: BTreeMap<usize, Sender<Wave>> = wave_tx
+            .iter()
+            .filter(|&(&h, _)| h != g)
+            .map(|(&h, tx)| (h, tx.clone()))
+            .collect();
+        let Some(rx) = wave_rx.remove(&g) else {
+            continue;
+        };
+        let io = GroupIo {
+            wave_rx: rx,
+            peers,
+            up: ev_tx.clone(),
+            stop: stop.clone(),
+        };
+        let ctx = GroupCtx {
+            group: g,
+            group_of_part: inp.group_of_part.to_vec(),
+            max_rounds: inp.max_rounds,
+            fail_after_round: None,
+        };
+        handles.push(std::thread::spawn(move || {
+            match round::run_group(&mut nodes, &ctx, &io) {
+                Ok(()) => {
+                    let _ = io.up.send((g, UpEvent::Done));
+                }
+                Err(e) => {
+                    let _ = io.up.send((g, UpEvent::Failed(e.to_string())));
+                }
+            }
+        }));
+    }
+    drop(ev_tx);
+    drop(wave_tx);
+
+    let sup = supervise(inp, &ev_rx, started);
+    stop.store(true, Ordering::Release);
+    for h in handles {
+        match h.join() {
+            Ok(()) => {}
+            Err(payload) => std::panic::resume_unwind(payload),
+        }
+    }
+    let sup = sup?;
+    Ok(RunOutcome {
+        rounds_completed: sup.rounds_completed,
+        converged: sup.converged,
+        solution: sup.solution,
+        final_residual: sup.final_residual,
+        series: sup.series,
+        rates,
+        elapsed: started.elapsed(),
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Process mode: groups as spawned children over sockets
+// ---------------------------------------------------------------------------
+
+/// How child processes are launched: the executable plus any leading
+/// arguments before the protocol flags (`repro` passes itself plus the
+/// hidden `net-child` subcommand; the crate's own tests pass the
+/// `net-child` binary directly).
+#[derive(Debug, Clone)]
+pub struct ChildCommand {
+    /// Executable path.
+    pub exe: PathBuf,
+    /// Arguments inserted before `--connect …`.
+    pub prefix_args: Vec<String>,
+}
+
+/// Failure-injection hook for teardown tests: group `group` exits with a
+/// nonzero status after completing round `after_round`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FailInjection {
+    /// Which group's child crashes.
+    pub group: usize,
+    /// The round after which it crashes.
+    pub after_round: u64,
+}
+
+struct Brood {
+    children: Vec<(usize, std::process::Child)>,
+}
+
+impl Brood {
+    /// Kill and reap every child unconditionally (idempotent).
+    fn kill_all(&mut self) {
+        for (_, c) in &mut self.children {
+            let _ = c.kill();
+            let _ = c.wait();
+        }
+        self.children.clear();
+    }
+
+    /// Give children until `deadline` to exit on their own, then kill
+    /// the rest. Always reaps everything.
+    fn reap_graceful(&mut self, deadline: Instant) {
+        loop {
+            let mut all_done = true;
+            for (_, c) in &mut self.children {
+                match c.try_wait() {
+                    Ok(Some(_)) => {}
+                    Ok(None) => all_done = false,
+                    Err(_) => {}
+                }
+            }
+            if all_done || Instant::now() >= deadline {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        self.kill_all();
+    }
+
+    /// Fail if any child has already exited (used while waiting on
+    /// handshake steps, so a child that died at startup surfaces as a
+    /// typed error instead of a 30-second timeout).
+    fn check_alive(&mut self) -> Result<()> {
+        for (g, c) in &mut self.children {
+            if let Ok(Some(status)) = c.try_wait() {
+                return Err(derr(format!("child for group {g} exited early: {status}")));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Unique scratch directory for this run's UDS paths.
+fn scratch_dir() -> Result<PathBuf> {
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "dtm-net-{}-{}",
+        std::process::id(),
+        SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    std::fs::create_dir_all(&dir).map_err(|e| derr(format!("scratch dir: {e}")))?;
+    Ok(dir)
+}
+
+/// Run the solve with one spawned OS process per group, linked over
+/// `transport` sockets. Children are always reaped before returning,
+/// error or not.
+pub(crate) fn run_processes(
+    inp: &RunInputs<'_>,
+    transport: TransportKind,
+    child_cmd: &ChildCommand,
+    fail: Option<FailInjection>,
+) -> Result<RunOutcome> {
+    let started = Instant::now();
+    let dir = scratch_dir()?;
+    let parent_spec = match transport {
+        TransportKind::Uds => dir.join("parent.sock").to_string_lossy().into_owned(),
+        TransportKind::Tcp => "127.0.0.1:0".to_string(),
+    };
+    let (listener, parent_addr) = Listener::bind(transport, &parent_spec)?;
+    listener.set_nonblocking(true)?;
+
+    let mut brood = Brood {
+        children: Vec::new(),
+    };
+    for g in 0..inp.n_groups {
+        let mut cmd = std::process::Command::new(&child_cmd.exe);
+        cmd.args(&child_cmd.prefix_args)
+            .arg("--connect")
+            .arg(&parent_addr)
+            .arg("--group")
+            .arg(g.to_string())
+            .arg("--transport")
+            .arg(transport.name());
+        if let Some(f) = fail {
+            if f.group == g {
+                cmd.env(FAIL_ENV, f.after_round.to_string());
+            }
+        }
+        match cmd.spawn() {
+            Ok(child) => brood.children.push((g, child)),
+            Err(e) => {
+                brood.kill_all();
+                let _ = std::fs::remove_dir_all(&dir);
+                return Err(derr(format!("spawn child for group {g}: {e}")));
+            }
+        }
+    }
+
+    let result = run_processes_inner(inp, transport, &listener, &dir, &mut brood, started);
+    match result {
+        Ok(outcome) => {
+            // Graceful teardown: Stop frames were already sent; give the
+            // children a moment to flush Done and exit, then reap.
+            brood.reap_graceful(Instant::now() + REAP_TIMEOUT);
+            let _ = std::fs::remove_dir_all(&dir);
+            Ok(outcome)
+        }
+        Err(e) => {
+            brood.kill_all();
+            let _ = std::fs::remove_dir_all(&dir);
+            Err(e)
+        }
+    }
+}
+
+/// The fallible part of process mode; the caller owns teardown.
+fn run_processes_inner(
+    inp: &RunInputs<'_>,
+    transport: TransportKind,
+    listener: &Listener,
+    dir: &std::path::Path,
+    brood: &mut Brood,
+    started: Instant,
+) -> Result<RunOutcome> {
+    let n_groups = inp.n_groups;
+
+    // Accept one supervisor link per child; each opens with Hello.
+    let mut conns: BTreeMap<usize, Stream> = BTreeMap::new();
+    let accept_deadline = Instant::now() + HANDSHAKE_TIMEOUT;
+    while conns.len() < n_groups {
+        match listener.try_accept()? {
+            Some(s) => {
+                s.set_read_timeout(Some(HANDSHAKE_TIMEOUT))?;
+                let mut s = s;
+                match wire::read_frame(&mut s)? {
+                    Some(Msg::Hello { group }) => {
+                        conns.insert(group as usize, s);
+                    }
+                    other => return Err(derr(format!("expected Hello, got {other:?}"))),
+                }
+            }
+            None => {
+                brood.check_alive()?;
+                if Instant::now() >= accept_deadline {
+                    return Err(derr("timed out waiting for children to connect"));
+                }
+                std::thread::sleep(Duration::from_millis(5));
+            }
+        }
+    }
+    if conns.len() != n_groups || conns.keys().copied().ne(0..n_groups) {
+        return Err(derr("children identified with unexpected group ids"));
+    }
+
+    // Ship each group its plan.
+    for (&g, conn) in &mut conns {
+        let parts: Vec<PartPlan> = inp
+            .split
+            .subdomains
+            .iter()
+            .enumerate()
+            .filter(|&(p, _)| inp.group_of_part.get(p) == Some(&g))
+            .map(|(p, sd)| PartPlan {
+                sub: sd.clone(),
+                z_ports: inp.z_ports.get(p).cloned().unwrap_or_default(),
+            })
+            .collect();
+        let listen_spec = match transport {
+            TransportKind::Uds => dir
+                .join(format!("peer-{g}.sock"))
+                .to_string_lossy()
+                .into_owned(),
+            TransportKind::Tcp => "127.0.0.1:0".to_string(),
+        };
+        let plan = GroupPlan {
+            group: g as u64,
+            n_groups: n_groups as u64,
+            n_parts: inp.split.n_parts() as u64,
+            group_of_part: inp.group_of_part.iter().map(|&x| x as u64).collect(),
+            max_rounds: inp.max_rounds,
+            solver_kind: inp.common.solver_kind,
+            termination: inp.common.termination,
+            max_solves_per_node: inp.common.max_solves_per_node as u64,
+            listen_spec,
+            parts,
+        };
+        wire::write_frame(conn, &Msg::Plan(Box::new(plan)))?;
+    }
+
+    // Collect peer listener addresses, broadcast the map.
+    let mut addrs: Vec<(u64, String)> = Vec::with_capacity(n_groups);
+    for (&g, conn) in &mut conns {
+        brood.check_alive()?;
+        match wire::read_frame(conn)? {
+            Some(Msg::Listening { addr }) => addrs.push((g as u64, addr)),
+            other => return Err(derr(format!("expected Listening, got {other:?}"))),
+        }
+    }
+    for conn in conns.values_mut() {
+        wire::write_frame(
+            conn,
+            &Msg::PeerMap {
+                addrs: addrs.clone(),
+            },
+        )?;
+    }
+
+    // Wait for Ready (peer mesh up), summing per-round rates.
+    let mut rates = GroupRates::default();
+    for conn in conns.values_mut() {
+        brood.check_alive()?;
+        match wire::read_frame(conn)? {
+            Some(Msg::Ready(r)) => {
+                rates.solves_per_round += r.solves_per_round;
+                rates.messages_per_round += r.messages_per_round;
+                rates.flops_per_round += r.flops_per_round;
+            }
+            other => return Err(derr(format!("expected Ready, got {other:?}"))),
+        }
+    }
+    for conn in conns.values_mut() {
+        wire::write_frame(conn, &Msg::Go)?;
+    }
+
+    // Steady state: one reader thread per child feeds the merged event
+    // channel; the write halves stay here for the Stop frames.
+    let (ev_tx, ev_rx) = channel();
+    let mut writers: BTreeMap<usize, Stream> = BTreeMap::new();
+    for (g, conn) in conns {
+        conn.set_read_timeout(None)?;
+        let reader = conn.try_clone()?;
+        writers.insert(g, conn);
+        let ev = ev_tx.clone();
+        std::thread::spawn(move || child_link_reader(g, reader, &ev));
+    }
+    drop(ev_tx);
+
+    let sup = supervise(inp, &ev_rx, started);
+
+    // Stop everyone regardless of how supervision ended; the caller
+    // reaps.
+    for conn in writers.values_mut() {
+        let _ = wire::write_frame(conn, &Msg::Stop);
+    }
+    let sup = sup?;
+    Ok(RunOutcome {
+        rounds_completed: sup.rounds_completed,
+        converged: sup.converged,
+        solution: sup.solution,
+        final_residual: sup.final_residual,
+        series: sup.series,
+        rates,
+        elapsed: started.elapsed(),
+    })
+}
+
+/// Pump one child's supervisor link into the merged event channel. A
+/// link that closes before `Done` is a child failure.
+fn child_link_reader(g: usize, mut stream: Stream, ev: &Sender<(usize, UpEvent)>) {
+    let mut saw_done = false;
+    loop {
+        match wire::read_frame(&mut stream) {
+            Ok(Some(Msg::Snapshot(s))) => {
+                if ev.send((g, UpEvent::Snapshot(s))).is_err() {
+                    break;
+                }
+            }
+            Ok(Some(Msg::Done)) => {
+                saw_done = true;
+                let _ = ev.send((g, UpEvent::Done));
+            }
+            Ok(Some(Msg::Err { text })) => {
+                let _ = ev.send((g, UpEvent::Failed(text)));
+                break;
+            }
+            Ok(Some(_)) => {}
+            Ok(None) => {
+                if !saw_done {
+                    let _ = ev.send((g, UpEvent::Failed("supervisor link closed".into())));
+                }
+                break;
+            }
+            Err(e) => {
+                if !saw_done {
+                    let _ = ev.send((g, UpEvent::Failed(format!("supervisor link error: {e}"))));
+                }
+                break;
+            }
+        }
+    }
+}

@@ -1,0 +1,223 @@
+//! Thin transport abstraction: Unix-domain and TCP sockets behind one
+//! enum, so every other module speaks [`Stream`]/[`Listener`] and the
+//! `--transport` flag is a pure dispatch decision.
+
+use dtm_sparse::{Error, Result};
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::time::Duration;
+
+/// Which socket family carries the run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TransportKind {
+    /// Unix-domain sockets (filesystem paths; single-host).
+    Uds,
+    /// TCP loopback (`127.0.0.1`; the same code path a multi-host run
+    /// would use).
+    Tcp,
+}
+
+impl TransportKind {
+    /// CLI name, mirrored by [`TransportKind::parse`].
+    pub fn name(self) -> &'static str {
+        match self {
+            TransportKind::Uds => "uds",
+            TransportKind::Tcp => "tcp",
+        }
+    }
+
+    /// Parse a `--transport` value.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "uds" => Some(TransportKind::Uds),
+            "tcp" => Some(TransportKind::Tcp),
+            _ => None,
+        }
+    }
+}
+
+fn io_err(what: &str, e: std::io::Error) -> Error {
+    Error::Parse(format!("socket: {what}: {e}"))
+}
+
+/// A bound listener of either family.
+pub enum Listener {
+    /// Unix-domain listener (owns its filesystem path).
+    Uds(UnixListener, String),
+    /// TCP listener.
+    Tcp(TcpListener),
+}
+
+impl Listener {
+    /// Bind per `kind`: `spec` is a filesystem path for UDS, an
+    /// `ip:port` (typically port 0) for TCP. Returns the listener and
+    /// the *actual* address peers should connect to.
+    ///
+    /// # Errors
+    /// Propagates bind failures as typed errors.
+    pub fn bind(kind: TransportKind, spec: &str) -> Result<(Self, String)> {
+        match kind {
+            TransportKind::Uds => {
+                // A stale socket file from a crashed run blocks bind.
+                let _ = std::fs::remove_file(spec);
+                let l = UnixListener::bind(spec).map_err(|e| io_err("uds bind", e))?;
+                Ok((Listener::Uds(l, spec.to_string()), spec.to_string()))
+            }
+            TransportKind::Tcp => {
+                let l = TcpListener::bind(spec).map_err(|e| io_err("tcp bind", e))?;
+                let addr = l
+                    .local_addr()
+                    .map_err(|e| io_err("tcp local_addr", e))?
+                    .to_string();
+                Ok((Listener::Tcp(l), addr))
+            }
+        }
+    }
+
+    /// Switch blocking mode (the parent polls accepts so a child that
+    /// died before connecting cannot hang the run).
+    ///
+    /// # Errors
+    /// Propagates the fcntl failure as a typed error.
+    pub fn set_nonblocking(&self, nb: bool) -> Result<()> {
+        match self {
+            Listener::Uds(l, _) => l.set_nonblocking(nb),
+            Listener::Tcp(l) => l.set_nonblocking(nb),
+        }
+        .map_err(|e| io_err("set_nonblocking", e))
+    }
+
+    /// Non-blocking accept: `Ok(None)` when no connection is pending.
+    ///
+    /// # Errors
+    /// Propagates accept failures (other than would-block) as typed
+    /// errors.
+    pub fn try_accept(&self) -> Result<Option<Stream>> {
+        let r = match self {
+            Listener::Uds(l, _) => l.accept().map(|(s, _)| Stream::Uds(s)),
+            Listener::Tcp(l) => l.accept().map(|(s, _)| Stream::tcp_low_latency(s)),
+        };
+        match r {
+            Ok(s) => Ok(Some(s)),
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => Ok(None),
+            Err(e) => Err(io_err("accept", e)),
+        }
+    }
+
+    /// Accept one connection.
+    ///
+    /// # Errors
+    /// Propagates accept failures as typed errors.
+    pub fn accept(&self) -> Result<Stream> {
+        match self {
+            Listener::Uds(l, _) => l
+                .accept()
+                .map(|(s, _)| Stream::Uds(s))
+                .map_err(|e| io_err("uds accept", e)),
+            Listener::Tcp(l) => l
+                .accept()
+                .map(|(s, _)| Stream::tcp_low_latency(s))
+                .map_err(|e| io_err("tcp accept", e)),
+        }
+    }
+}
+
+impl Drop for Listener {
+    fn drop(&mut self) {
+        if let Listener::Uds(_, path) = self {
+            let _ = std::fs::remove_file(path);
+        }
+    }
+}
+
+/// A connected duplex stream of either family.
+pub enum Stream {
+    /// Unix-domain stream.
+    Uds(UnixStream),
+    /// TCP stream.
+    Tcp(TcpStream),
+}
+
+impl Stream {
+    /// Connect per `kind` to an address produced by [`Listener::bind`].
+    ///
+    /// # Errors
+    /// Propagates connect failures as typed errors.
+    pub fn connect(kind: TransportKind, addr: &str) -> Result<Self> {
+        match kind {
+            TransportKind::Uds => UnixStream::connect(addr)
+                .map(Stream::Uds)
+                .map_err(|e| io_err("uds connect", e)),
+            TransportKind::Tcp => TcpStream::connect(addr)
+                .map(Self::tcp_low_latency)
+                .map_err(|e| io_err("tcp connect", e)),
+        }
+    }
+
+    /// Wrap a TCP stream with Nagle's algorithm disabled: wave frames
+    /// are small and latency-bound, and a round cannot proceed until the
+    /// last one lands, so delayed-ACK batching would serialize whole
+    /// rounds behind 40 ms timers. Best effort — a failed setsockopt
+    /// costs latency, not correctness.
+    fn tcp_low_latency(s: TcpStream) -> Self {
+        let _ = s.set_nodelay(true);
+        Stream::Tcp(s)
+    }
+
+    /// Clone the handle (sockets are duplex; reader and writer threads
+    /// each take a clone).
+    ///
+    /// # Errors
+    /// Propagates the OS `dup` failure as a typed error.
+    pub fn try_clone(&self) -> Result<Self> {
+        match self {
+            Stream::Uds(s) => s
+                .try_clone()
+                .map(Stream::Uds)
+                .map_err(|e| io_err("uds clone", e)),
+            Stream::Tcp(s) => s
+                .try_clone()
+                .map(Stream::Tcp)
+                .map_err(|e| io_err("tcp clone", e)),
+        }
+    }
+
+    /// Set (or clear) the read timeout — bounded during handshakes,
+    /// unbounded for the steady-state reader threads.
+    ///
+    /// # Errors
+    /// Propagates the setsockopt failure as a typed error.
+    pub fn set_read_timeout(&self, t: Option<Duration>) -> Result<()> {
+        match self {
+            Stream::Uds(s) => s.set_read_timeout(t),
+            Stream::Tcp(s) => s.set_read_timeout(t),
+        }
+        .map_err(|e| io_err("set_read_timeout", e))
+    }
+}
+
+impl Read for Stream {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        match self {
+            Stream::Uds(s) => s.read(buf),
+            Stream::Tcp(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for Stream {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        match self {
+            Stream::Uds(s) => s.write(buf),
+            Stream::Tcp(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        match self {
+            Stream::Uds(s) => s.flush(),
+            Stream::Tcp(s) => s.flush(),
+        }
+    }
+}

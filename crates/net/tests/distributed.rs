@@ -1,0 +1,258 @@
+//! End-to-end distributed-backend tests: the multi-process socket run
+//! must reproduce the in-process run **bit for bit** (UDS and TCP), and
+//! a child that dies mid-solve must produce a typed error with every
+//! remaining child reaped — no orphans, no hang.
+
+use dtm_core::report::SolveReport;
+use dtm_core::runtime::{CommonConfig, ExecutorBackend, Termination};
+use dtm_graph::evs::{split as evs_split, EvsOptions, SplitSystem};
+use dtm_graph::{partition, ElectricGraph, PartitionPlan};
+use dtm_net::{
+    ChildCommand, DistributedBackend, DistributedConfig, FailInjection, RunMode, TransportKind,
+};
+use dtm_sparse::generators;
+use std::path::PathBuf;
+use std::time::Duration;
+
+/// The standalone child binary of this crate (production runs use the
+/// `repro` executable's hidden `net-child` mode instead).
+fn child_cmd() -> ChildCommand {
+    ChildCommand {
+        exe: PathBuf::from(env!("CARGO_BIN_EXE_net-child")),
+        prefix_args: Vec::new(),
+    }
+}
+
+/// A `side × side` grid Laplacian with a seeded random RHS, torn into
+/// `parts` strips (the `tests/failure_injection.rs` fixture family).
+fn grid_split(side: usize, parts: usize, rhs_seed: u64) -> SplitSystem {
+    let a = generators::grid2d_laplacian(side, side);
+    let b = generators::random_rhs(side * side, rhs_seed);
+    let g = ElectricGraph::from_system(a, b).expect("symmetric");
+    let plan = PartitionPlan::from_assignment(&g, &partition::grid_strips(side, side, parts))
+        .expect("valid");
+    evs_split(&g, &plan, &EvsOptions::default()).expect("splits")
+}
+
+fn config(tol: f64, processes: usize, mode: RunMode) -> DistributedConfig {
+    DistributedConfig {
+        common: CommonConfig {
+            termination: Termination::Residual { tol },
+            ..Default::default()
+        },
+        mode,
+        processes,
+        topology: None,
+        budget: Duration::from_secs(120),
+    }
+}
+
+fn solve(split: &SplitSystem, cfg: &DistributedConfig) -> SolveReport {
+    DistributedBackend
+        .solve(split, None, cfg)
+        .expect("distributed solve")
+}
+
+fn assert_bitwise(a: &SolveReport, b: &SolveReport) {
+    assert_eq!(a.solution.len(), b.solution.len());
+    for (i, (x, y)) in a.solution.iter().zip(&b.solution).enumerate() {
+        assert_eq!(x.to_bits(), y.to_bits(), "vertex {i}: {x:?} vs {y:?}");
+    }
+    assert_eq!(a.final_residual.to_bits(), b.final_residual.to_bits());
+    assert_eq!(a.total_solves, b.total_solves);
+    assert_eq!(a.total_messages, b.total_messages);
+    assert_eq!(a.total_flops, b.total_flops);
+    assert_eq!(a.converged, b.converged);
+}
+
+#[test]
+fn uds_two_processes_match_in_process_bitwise() {
+    let ss = grid_split(10, 4, 501);
+    let reference = solve(&ss, &config(1e-8, 1, RunMode::InProcess));
+    assert!(reference.converged, "reference run must converge");
+    let distributed = solve(
+        &ss,
+        &config(
+            1e-8,
+            2,
+            RunMode::Processes {
+                transport: TransportKind::Uds,
+                child: child_cmd(),
+                fail: None,
+            },
+        ),
+    );
+    assert_bitwise(&reference, &distributed);
+}
+
+#[test]
+fn tcp_three_processes_match_in_process_bitwise() {
+    let ss = grid_split(10, 3, 502);
+    let reference = solve(&ss, &config(1e-8, 1, RunMode::InProcess));
+    assert!(reference.converged, "reference run must converge");
+    let distributed = solve(
+        &ss,
+        &config(
+            1e-8,
+            3,
+            RunMode::Processes {
+                transport: TransportKind::Tcp,
+                child: child_cmd(),
+                fail: None,
+            },
+        ),
+    );
+    assert_bitwise(&reference, &distributed);
+}
+
+#[test]
+fn one_process_per_part_matches_too() {
+    // The extreme grouping: every part its own OS process.
+    let ss = grid_split(8, 3, 503);
+    let reference = solve(&ss, &config(1e-8, 1, RunMode::InProcess));
+    let distributed = solve(
+        &ss,
+        &config(
+            1e-8,
+            3,
+            RunMode::Processes {
+                transport: TransportKind::Uds,
+                child: child_cmd(),
+                fail: None,
+            },
+        ),
+    );
+    assert_bitwise(&reference, &distributed);
+}
+
+#[test]
+fn grouping_does_not_change_the_in_process_bits() {
+    // The structural half of the guarantee, without sockets: 1 group vs
+    // 3 groups on threads produce identical bits.
+    let ss = grid_split(10, 3, 504);
+    let one = solve(&ss, &config(1e-8, 1, RunMode::InProcess));
+    let three = solve(&ss, &config(1e-8, 3, RunMode::InProcess));
+    assert_bitwise(&one, &three);
+}
+
+#[test]
+fn killed_child_yields_typed_error_and_reaps_the_rest() {
+    // Group 1 exits with a nonzero status after round 1 — long before
+    // the 1e-10 tolerance can be met — simulating a mid-solve crash. The
+    // parent must return a typed error (not hang) and reap every child.
+    let ss = grid_split(10, 3, 505);
+    let err = DistributedBackend
+        .solve(
+            &ss,
+            None,
+            &config(
+                1e-10,
+                3,
+                RunMode::Processes {
+                    transport: TransportKind::Uds,
+                    child: child_cmd(),
+                    fail: Some(FailInjection {
+                        group: 1,
+                        after_round: 1,
+                    }),
+                },
+            ),
+        )
+        .expect_err("a crashed child must fail the solve");
+    let text = err.to_string();
+    assert!(
+        text.contains("group"),
+        "error should name the failed group link: {text}"
+    );
+}
+
+#[test]
+fn child_killed_at_round_zero_still_tears_down() {
+    // Crash during the very first round: the handshake has completed but
+    // almost no waves have flowed — the earliest mid-solve death.
+    let ss = grid_split(8, 2, 506);
+    let err = DistributedBackend
+        .solve(
+            &ss,
+            None,
+            &config(
+                1e-10,
+                2,
+                RunMode::Processes {
+                    transport: TransportKind::Uds,
+                    child: child_cmd(),
+                    fail: Some(FailInjection {
+                        group: 0,
+                        after_round: 0,
+                    }),
+                },
+            ),
+        )
+        .expect_err("a crashed child must fail the solve");
+    assert!(err.to_string().contains("group"), "typed error: {err}");
+}
+
+#[test]
+fn unspawnable_child_fails_fast_with_no_orphans() {
+    let ss = grid_split(8, 2, 507);
+    let err = DistributedBackend
+        .solve(
+            &ss,
+            None,
+            &config(
+                1e-8,
+                2,
+                RunMode::Processes {
+                    transport: TransportKind::Uds,
+                    child: ChildCommand {
+                        exe: PathBuf::from("/nonexistent/dtm-net-child"),
+                        prefix_args: Vec::new(),
+                    },
+                    fail: None,
+                },
+            ),
+        )
+        .expect_err("spawn failure must surface");
+    assert!(err.to_string().contains("spawn"), "typed error: {err}");
+}
+
+#[test]
+fn rejects_non_residual_termination() {
+    let ss = grid_split(8, 2, 508);
+    let mut cfg = config(1e-8, 1, RunMode::InProcess);
+    cfg.common.termination = Termination::OracleRms { tol: 1e-8 };
+    let err = DistributedBackend
+        .solve(&ss, None, &cfg)
+        .expect_err("oracle termination is not supported");
+    assert!(err.to_string().contains("Residual"), "typed error: {err}");
+}
+
+#[test]
+fn rejects_more_processes_than_parts() {
+    let ss = grid_split(8, 2, 509);
+    let err = DistributedBackend
+        .solve(&ss, None, &config(1e-8, 7, RunMode::InProcess))
+        .expect_err("7 groups over 2 parts is invalid");
+    assert!(err.to_string().contains("processes"), "typed error: {err}");
+}
+
+#[test]
+fn missing_topology_link_is_a_build_time_error() {
+    // Strips chain parts 0-1-2, but the supplied machine only has the
+    // 0↔1 link: validation must list the missing 1↔2 routes before
+    // anything is spawned or solved.
+    let ss = grid_split(9, 3, 510);
+    let mut cfg = config(1e-8, 3, RunMode::InProcess);
+    cfg.topology = Some(
+        dtm_simnet::Topology::star(2)
+            .with_delays(&dtm_simnet::DelayModel::uniform_ms(5.0, 20.0, 1)),
+    );
+    let err = DistributedBackend
+        .solve(&ss, None, &cfg)
+        .expect_err("missing link must fail validation");
+    let text = err.to_string();
+    assert!(
+        text.contains("1->2") && text.contains("2->1"),
+        "error must list the missing links: {text}"
+    );
+}

@@ -89,13 +89,15 @@ impl DelayModel {
     /// Create a sampler; sampling order is the topology's link order, so a
     /// given `(model, topology)` pair is deterministic.
     pub fn sampler(&self) -> DelaySampler<'_> {
-        let rng = match self {
-            DelayModel::Uniform { seed, .. } | DelayModel::LogNormal { seed, .. } => {
-                Some(StdRng::seed_from_u64(*seed))
-            }
-            _ => None,
+        // Fixed/Table never draw from the rng, so any seed works there.
+        let seed = match self {
+            DelayModel::Uniform { seed, .. } | DelayModel::LogNormal { seed, .. } => *seed,
+            _ => 0,
         };
-        DelaySampler { model: self, rng }
+        DelaySampler {
+            model: self,
+            rng: StdRng::seed_from_u64(seed),
+        }
     }
 }
 
@@ -103,7 +105,7 @@ impl DelayModel {
 #[derive(Debug)]
 pub struct DelaySampler<'m> {
     model: &'m DelayModel,
-    rng: Option<StdRng>,
+    rng: StdRng,
 }
 
 impl DelaySampler<'_> {
@@ -112,11 +114,10 @@ impl DelaySampler<'_> {
         match self.model {
             DelayModel::Fixed(d) => *d,
             DelayModel::Uniform { lo, hi, .. } => {
-                let rng = self.rng.as_mut().expect("uniform sampler has rng");
                 if lo == hi {
                     return *lo;
                 }
-                SimDuration::from_nanos(rng.gen_range(lo.as_nanos()..=hi.as_nanos()))
+                SimDuration::from_nanos(self.rng.gen_range(lo.as_nanos()..=hi.as_nanos()))
             }
             DelayModel::LogNormal {
                 median,
@@ -125,10 +126,9 @@ impl DelaySampler<'_> {
                 hi,
                 ..
             } => {
-                let rng = self.rng.as_mut().expect("lognormal sampler has rng");
                 // Box–Muller normal from two uniforms.
-                let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
-                let u2: f64 = rng.gen_range(0.0..1.0);
+                let u1: f64 = self.rng.gen_range(f64::MIN_POSITIVE..1.0);
+                let u2: f64 = self.rng.gen_range(0.0..1.0);
                 let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
                 let ns = (median.as_nanos() as f64) * (sigma * z).exp();
                 let ns = ns.clamp(lo.as_nanos() as f64, hi.as_nanos() as f64);

@@ -350,10 +350,11 @@ impl<N: Node> Engine<N> {
         let sent = outbox.len();
         let mut outbox = outbox;
         for (dst, payload) in outbox.drain(..) {
-            let link_id = self
-                .topology
-                .link_id(node, dst)
-                .expect("checked by Ctx::send");
+            // `Ctx::send` already rejected unlinked destinations; drop the
+            // message rather than aborting if the topology mutated since.
+            let Some(link_id) = self.topology.link_id(node, dst) else {
+                continue;
+            };
             let delay = self.topology.links()[link_id].delay;
             let env = Envelope {
                 src: node,

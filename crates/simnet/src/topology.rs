@@ -249,16 +249,6 @@ impl Topology {
             .ok_or(MissingLink { src, dst })
     }
 
-    /// Delay of `src → dst`.
-    ///
-    /// # Panics
-    /// Panics if the link does not exist (a DTM mapping bug); use
-    /// [`try_delay`](Self::try_delay) where a malformed topology is user
-    /// input rather than an internal invariant.
-    pub fn delay(&self, src: usize, dst: usize) -> SimDuration {
-        self.try_delay(src, dst).unwrap_or_else(|e| panic!("{e}"))
-    }
-
     /// Smallest and largest link delay (0, 0) for an empty topology.
     pub fn delay_range(&self) -> (SimDuration, SimDuration) {
         let mut lo = SimDuration::from_nanos(u64::MAX);
@@ -366,7 +356,7 @@ mod tests {
     fn fixed_delays_symmetric() {
         let t = Topology::ring(5).with_delays(&DelayModel::fixed_ms(3.0));
         assert_eq!(t.asymmetry(), 0.0);
-        assert_eq!(t.delay(0, 1), SimDuration::from_millis_f64(3.0));
+        assert_eq!(t.try_delay(0, 1), Ok(SimDuration::from_millis_f64(3.0)));
     }
 
     #[test]
@@ -414,13 +404,6 @@ mod tests {
             delay: SimDuration::ZERO,
         };
         let _ = Topology::from_links(2, vec![l, l]);
-    }
-
-    #[test]
-    #[should_panic(expected = "no link")]
-    fn missing_link_delay_panics() {
-        let t = Topology::mesh(2, 2);
-        let _ = t.delay(0, 3);
     }
 
     #[test]
